@@ -1,0 +1,283 @@
+//! Literature reference points.
+//!
+//! Fig. 4 of the paper places HDC-ZSC on an accuracy-vs-parameter-count plane
+//! together with published generative and non-generative zero-shot models;
+//! Table I compares per-group attribute-extraction metrics against Finetag
+//! and A3M. The paper *cites* these numbers rather than re-running the
+//! models, and this module records the same published values (as read from
+//! the paper's figure/table) so the reproduction harnesses can regenerate the
+//! comparisons. Every entry is marked as a literature value — only ESZSL,
+//! DAP and our own models are actually executed in this repository.
+
+use serde::{Deserialize, Serialize};
+
+/// Category of a reference method, controlling how it is grouped in Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MethodCategory {
+    /// Non-generative compatibility methods (ESZSL, TCN, …).
+    NonGenerative,
+    /// Generative (GAN/VAE-based) methods.
+    Generative,
+    /// Models implemented and measured in this repository.
+    Ours,
+}
+
+impl std::fmt::Display for MethodCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MethodCategory::NonGenerative => f.write_str("non-generative"),
+            MethodCategory::Generative => f.write_str("generative"),
+            MethodCategory::Ours => f.write_str("ours"),
+        }
+    }
+}
+
+/// One point of the Fig. 4 accuracy-vs-parameters plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferencePoint {
+    /// Method name as used in the paper.
+    pub name: &'static str,
+    /// Method category.
+    pub category: MethodCategory,
+    /// Published CUB-200 zero-shot top-1 accuracy, in percent.
+    pub top1_percent: f32,
+    /// Published (or derived) model size, in millions of parameters.
+    pub params_millions: f32,
+    /// `true` for values taken from the literature/figure, `false` for values
+    /// measured by this repository.
+    pub literature: bool,
+}
+
+impl ReferencePoint {
+    /// `true` if no other point in `points` has both higher accuracy and
+    /// fewer parameters — i.e. this point lies on the Pareto front of Fig. 4.
+    pub fn is_pareto_optimal(&self, points: &[ReferencePoint]) -> bool {
+        !points.iter().any(|other| {
+            other.name != self.name
+                && other.top1_percent > self.top1_percent
+                && other.params_millions < self.params_millions
+        })
+    }
+}
+
+/// The published reference points of Fig. 4 (CUB-200 zero-shot split),
+/// including the paper's own HDC-ZSC and Trainable-MLP results.
+///
+/// Accuracy/parameter values are read from Fig. 4 and the surrounding text
+/// (the paper reports the deltas: +9.9% / 1.72× vs ESZSL, +4.3% / 1.85× vs
+/// TCN, and 1.75×–2.58× more parameters for the generative models at up to
+/// +3.9% accuracy).
+pub fn zsc_references() -> Vec<ReferencePoint> {
+    vec![
+        ReferencePoint {
+            name: "ESZSL",
+            category: MethodCategory::NonGenerative,
+            top1_percent: 53.9,
+            params_millions: 45.8,
+            literature: true,
+        },
+        ReferencePoint {
+            name: "TCN",
+            category: MethodCategory::NonGenerative,
+            top1_percent: 59.5,
+            params_millions: 49.2,
+            literature: true,
+        },
+        ReferencePoint {
+            name: "f-CLSWGAN",
+            category: MethodCategory::Generative,
+            top1_percent: 57.3,
+            params_millions: 46.6,
+            literature: true,
+        },
+        ReferencePoint {
+            name: "cycle-CLSWGAN",
+            category: MethodCategory::Generative,
+            top1_percent: 58.4,
+            params_millions: 50.3,
+            literature: true,
+        },
+        ReferencePoint {
+            name: "LisGAN",
+            category: MethodCategory::Generative,
+            top1_percent: 58.8,
+            params_millions: 53.0,
+            literature: true,
+        },
+        ReferencePoint {
+            name: "f-VAEGAN-D2",
+            category: MethodCategory::Generative,
+            top1_percent: 61.0,
+            params_millions: 56.5,
+            literature: true,
+        },
+        ReferencePoint {
+            name: "TF-VAEGAN",
+            category: MethodCategory::Generative,
+            top1_percent: 64.9,
+            params_millions: 60.1,
+            literature: true,
+        },
+        ReferencePoint {
+            name: "Composer",
+            category: MethodCategory::Generative,
+            top1_percent: 67.7,
+            params_millions: 68.6,
+            literature: true,
+        },
+        ReferencePoint {
+            name: "HDC-ZSC (paper)",
+            category: MethodCategory::Ours,
+            top1_percent: 63.8,
+            params_millions: 26.6,
+            literature: true,
+        },
+        ReferencePoint {
+            name: "Trainable-MLP (paper)",
+            category: MethodCategory::Ours,
+            top1_percent: 65.0,
+            params_millions: 28.9,
+            literature: true,
+        },
+    ]
+}
+
+/// One row of Table I: published per-group attribute-extraction numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeGroupReference {
+    /// Attribute-group name matching [`dataset::AttributeSchema::cub200`].
+    pub group: &'static str,
+    /// Finetag WMAP, in percent.
+    pub finetag_wmap: f32,
+    /// A3M top-1 accuracy, in percent.
+    pub a3m_top1: f32,
+    /// The paper's HDC-ZSC WMAP ("Ours" column), in percent.
+    pub paper_wmap: f32,
+    /// The paper's HDC-ZSC top-1 accuracy ("Ours" column), in percent.
+    pub paper_top1: f32,
+}
+
+/// The published per-group numbers of Table I (Finetag, A3M, and the paper's
+/// own results), keyed by the group names used by the schema in the `dataset`
+/// crate.
+pub fn attribute_extraction_references() -> Vec<AttributeGroupReference> {
+    // (group, finetag WMAP, ours WMAP, a3m top1, ours top1) from Table I.
+    let rows: [(&str, f32, f32, f32, f32); 28] = [
+        ("bill shape", 54.0, 58.0, 60.0, 90.0),
+        ("wing color", 57.0, 60.0, 45.0, 90.0),
+        ("upperparts color", 55.0, 57.0, 43.0, 90.0),
+        ("underparts color", 59.0, 62.0, 58.0, 93.0),
+        ("breast pattern", 15.0, 61.0, 58.0, 81.0),
+        ("back color", 50.0, 53.0, 45.0, 91.0),
+        ("tail shape", 25.0, 25.0, 34.0, 84.0),
+        ("upper tail color", 40.0, 42.0, 43.0, 93.0),
+        ("head pattern", 30.0, 33.0, 35.0, 89.0),
+        ("breast color", 58.0, 61.0, 57.0, 92.0),
+        ("throat color", 57.0, 61.0, 60.0, 93.0),
+        ("eye color", 76.0, 76.0, 81.0, 98.0),
+        ("bill length", 73.0, 76.0, 72.0, 80.0),
+        ("forehead color", 56.0, 59.0, 51.0, 92.0),
+        ("under tail color", 42.0, 44.0, 38.0, 90.0),
+        ("nape color", 55.0, 58.0, 49.0, 92.0),
+        ("belly color", 58.0, 61.0, 59.0, 93.0),
+        ("wing shape", 24.0, 25.0, 32.0, 80.0),
+        ("size", 55.0, 56.0, 58.0, 81.0),
+        ("shape", 47.0, 49.0, 57.0, 94.0),
+        ("back pattern", 44.0, 45.0, 46.0, 77.0),
+        ("tail pattern", 41.0, 43.0, 43.0, 77.0),
+        ("belly pattern", 60.0, 62.0, 62.0, 81.0),
+        ("primary color", 62.0, 66.0, 51.0, 90.0),
+        ("leg color", 32.0, 37.0, 46.0, 92.0),
+        ("bill color", 42.0, 47.0, 47.0, 91.0),
+        ("crown color", 56.0, 60.0, 53.0, 93.0),
+        ("wing pattern", 48.0, 50.0, 48.0, 72.0),
+    ];
+    rows.iter()
+        .map(|&(group, finetag_wmap, paper_wmap, a3m_top1, paper_top1)| AttributeGroupReference {
+            group,
+            finetag_wmap,
+            a3m_top1,
+            paper_wmap,
+            paper_top1,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_models_lie_on_the_pareto_front() {
+        let points = zsc_references();
+        let hdc = points
+            .iter()
+            .find(|p| p.name == "HDC-ZSC (paper)")
+            .expect("present");
+        let mlp = points
+            .iter()
+            .find(|p| p.name == "Trainable-MLP (paper)")
+            .expect("present");
+        assert!(hdc.is_pareto_optimal(&points));
+        assert!(mlp.is_pareto_optimal(&points));
+        // ESZSL is dominated (HDC-ZSC is both more accurate and smaller).
+        let eszsl = points.iter().find(|p| p.name == "ESZSL").expect("present");
+        assert!(!eszsl.is_pareto_optimal(&points));
+    }
+
+    #[test]
+    fn headline_deltas_match_the_abstract() {
+        let points = zsc_references();
+        let hdc = points.iter().find(|p| p.name == "HDC-ZSC (paper)").expect("present");
+        let eszsl = points.iter().find(|p| p.name == "ESZSL").expect("present");
+        let tcn = points.iter().find(|p| p.name == "TCN").expect("present");
+        // +9.9% and 1.72× fewer parameters vs ESZSL.
+        assert!((hdc.top1_percent - eszsl.top1_percent - 9.9).abs() < 0.2);
+        assert!((eszsl.params_millions / hdc.params_millions - 1.72).abs() < 0.05);
+        // +4.3% and 1.85× fewer parameters vs TCN.
+        assert!((hdc.top1_percent - tcn.top1_percent - 4.3).abs() < 0.2);
+        assert!((tcn.params_millions / hdc.params_millions - 1.85).abs() < 0.05);
+        // Generative models: 1.75×–2.58× more parameters, at most +3.9% accuracy.
+        for p in points.iter().filter(|p| p.category == MethodCategory::Generative) {
+            let ratio = p.params_millions / hdc.params_millions;
+            assert!(ratio > 1.70 && ratio < 2.60, "{}: ratio {ratio}", p.name);
+            assert!(p.top1_percent <= hdc.top1_percent + 3.9 + 0.1);
+        }
+    }
+
+    #[test]
+    fn table1_references_cover_all_28_groups_and_match_paper_averages() {
+        let rows = attribute_extraction_references();
+        assert_eq!(rows.len(), 28);
+        let mean = |f: &dyn Fn(&AttributeGroupReference) -> f32| {
+            rows.iter().map(|r| f(r)).sum::<f32>() / rows.len() as f32
+        };
+        // Paper-reported averages: Finetag 48.96, Ours(WMAP) 53.11,
+        // A3M 51.11, Ours(top-1) 87.82.
+        assert!((mean(&|r| r.finetag_wmap) - 48.96).abs() < 0.15);
+        assert!((mean(&|r| r.paper_wmap) - 53.11).abs() < 0.15);
+        assert!((mean(&|r| r.a3m_top1) - 51.11).abs() < 0.15);
+        assert!((mean(&|r| r.paper_top1) - 87.82).abs() < 0.15);
+    }
+
+    #[test]
+    fn table1_group_names_match_the_dataset_schema() {
+        let schema = dataset::AttributeSchema::cub200();
+        let schema_names: Vec<String> =
+            schema.groups().iter().map(|g| g.name.clone()).collect();
+        for row in attribute_extraction_references() {
+            assert!(
+                schema_names.iter().any(|n| n == row.group),
+                "reference group '{}' missing from the schema",
+                row.group
+            );
+        }
+    }
+
+    #[test]
+    fn category_display() {
+        assert_eq!(MethodCategory::Generative.to_string(), "generative");
+        assert_eq!(MethodCategory::NonGenerative.to_string(), "non-generative");
+        assert_eq!(MethodCategory::Ours.to_string(), "ours");
+    }
+}

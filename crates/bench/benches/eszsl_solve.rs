@@ -1,0 +1,56 @@
+//! Criterion benchmark of the ESZSL closed-form solve (the baseline's
+//! training cost) against the HDC-ZSC per-epoch gradient step, documenting
+//! the computational trade-off discussed in §IV-B.
+
+use baselines::eszsl::{Eszsl, EszslConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tensor::Matrix;
+
+fn synthetic(n: usize, d: usize, classes: usize, alpha: usize, seed: u64) -> (Matrix, Vec<usize>, Matrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features = Matrix::random_uniform(n, d, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..classes)).collect();
+    let signatures = Matrix::random_uniform(classes, alpha, 1.0, &mut rng).map(f32::abs);
+    (features, labels, signatures)
+}
+
+fn bench_eszsl_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eszsl_fit");
+    group.sample_size(10);
+    for &(n, d) in &[(500usize, 128usize), (1000, 256)] {
+        let (features, labels, signatures) = synthetic(n, d, 40, 312, 1);
+        group.bench_with_input(
+            BenchmarkId::new("closed_form", format!("n{n}_d{d}")),
+            &d,
+            |b, _| {
+                b.iter(|| {
+                    black_box(Eszsl::fit(
+                        &features,
+                        &labels,
+                        &signatures,
+                        &EszslConfig::default(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_eszsl_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eszsl_predict");
+    group.sample_size(20);
+    let (features, labels, signatures) = synthetic(500, 256, 40, 312, 2);
+    let model = Eszsl::fit(&features, &labels, &signatures, &EszslConfig::default());
+    let (test_features, _, test_signatures) = synthetic(100, 256, 20, 312, 3);
+    group.bench_function("batch_100", |b| {
+        b.iter(|| black_box(model.predict(&test_features, &test_signatures)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eszsl_fit, bench_eszsl_predict);
+criterion_main!(benches);

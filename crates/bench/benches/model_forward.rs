@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the model's forward paths: attribute-dictionary
+//! construction, class encoding `A × B`, and inference-time class-logit
+//! computation (the operations that run on-device at deployment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataset::AttributeSchema;
+use hdc_zsc::{HdcAttributeEncoder, ModelConfig, ZscModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tensor::Matrix;
+
+fn bench_dictionary_construction(c: &mut Criterion) {
+    let schema = AttributeSchema::cub200();
+    let mut group = c.benchmark_group("attribute_dictionary");
+    group.sample_size(10);
+    for &dim in &[512usize, 1536] {
+        group.bench_with_input(BenchmarkId::new("materialise", dim), &dim, |b, &dim| {
+            b.iter(|| black_box(HdcAttributeEncoder::new(&schema, dim, 1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_class_encoding(c: &mut Criterion) {
+    let schema = AttributeSchema::cub200();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("class_encoding");
+    group.sample_size(10);
+    for &(classes, dim) in &[(50usize, 512usize), (200, 1536)] {
+        let encoder = HdcAttributeEncoder::new(&schema, dim, 1);
+        let attributes = Matrix::random_uniform(classes, 312, 0.5, &mut rng).map(f32::abs);
+        group.bench_with_input(
+            BenchmarkId::new("phi_equals_a_times_b", format!("{classes}x{dim}")),
+            &dim,
+            |b, _| b.iter(|| black_box(encoder.encode_classes(&attributes))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let schema = AttributeSchema::cub200();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("zsc_inference");
+    group.sample_size(10);
+    for &(batch, feature_dim, dim) in &[(16usize, 512usize, 384usize), (16, 2048, 1536)] {
+        let config = ModelConfig::paper_default().with_embedding_dim(dim);
+        let mut model = ZscModel::new(&config, &schema, feature_dim);
+        let features = Matrix::random_uniform(batch, feature_dim, 1.0, &mut rng);
+        let class_attributes = Matrix::random_uniform(50, 312, 0.5, &mut rng).map(f32::abs);
+        group.bench_with_input(
+            BenchmarkId::new("class_logits", format!("b{batch}_f{feature_dim}_d{dim}")),
+            &dim,
+            |b, _| b.iter(|| black_box(model.class_logits(&features, &class_attributes, false))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("attribute_logits", format!("b{batch}_f{feature_dim}_d{dim}")),
+            &dim,
+            |b, _| b.iter(|| black_box(model.attribute_logits(&features, false))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dictionary_construction,
+    bench_class_encoding,
+    bench_inference
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Extra ablation (not a paper artefact): properties of the HDC attribute
+//! dictionary as a function of hypervector dimensionality, and equivalence of
+//! the binary (XOR) and bipolar (Hadamard) binding implementations.
+//!
+//! DESIGN.md §5 calls out two design choices worth quantifying:
+//!
+//! * how quasi-orthogonal the 312 bound attribute codevectors are at
+//!   different dimensionalities (this is what lets the stationary encoder
+//!   separate attributes without training), and
+//! * that the packed-binary XOR implementation is exactly equivalent to the
+//!   bipolar Hadamard implementation used during training (so an edge device
+//!   can deploy the 1-bit representation).
+
+use bench::{maybe_write_json, print_table, ExperimentArgs};
+use dataset::AttributeSchema;
+use hdc::similarity::expected_random_cosine;
+use hdc_zsc::HdcAttributeEncoder;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct DimRow {
+    dim: usize,
+    mean_abs_cross_similarity: f32,
+    max_abs_cross_similarity: f32,
+    expected_random_cosine: f32,
+}
+
+#[derive(Serialize)]
+struct BindingResult {
+    rows: Vec<DimRow>,
+    xor_equals_hadamard: bool,
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let schema = AttributeSchema::cub200();
+    println!("Binding / dimensionality ablation for the attribute dictionary\n");
+
+    let mut rows = Vec::new();
+    let mut table_rows = Vec::new();
+    let dims: &[usize] = if args.quick {
+        &[256, 1024]
+    } else {
+        &[256, 512, 1024, 1536, 2048, 4096]
+    };
+    for &dim in dims {
+        let encoder = HdcAttributeEncoder::new(&schema, dim, 7);
+        let dict = encoder.dictionary();
+        // Sample pairwise similarities of the 312 attribute codevectors.
+        let mut sum = 0.0f64;
+        let mut max: f32 = 0.0;
+        let mut count = 0usize;
+        for i in 0..dict.rows() {
+            for j in (i + 1)..dict.rows() {
+                let a = dict.row(i);
+                let b = dict.row(j);
+                let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+                let cos = dot / dim as f32;
+                sum += cos.abs() as f64;
+                max = max.max(cos.abs());
+                count += 1;
+            }
+        }
+        let mean = (sum / count as f64) as f32;
+        table_rows.push(vec![
+            dim.to_string(),
+            format!("{mean:.4}"),
+            format!("{max:.4}"),
+            format!("{:.4}", expected_random_cosine(dim)),
+        ]);
+        rows.push(DimRow {
+            dim,
+            mean_abs_cross_similarity: mean,
+            max_abs_cross_similarity: max,
+            expected_random_cosine: expected_random_cosine(dim),
+        });
+    }
+    print_table(
+        &["d", "mean |cos| between attributes", "max |cos|", "E|cos| of random HVs"],
+        &table_rows,
+    );
+
+    // XOR (packed binary) vs Hadamard (bipolar) equivalence.
+    let cfg = hdc::HdcConfig::new(2048);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+    let groups = hdc::Codebook::random(schema.num_groups(), &cfg, &mut rng);
+    let values = hdc::Codebook::random(schema.num_values(), &cfg, &mut rng);
+    let mut equal = true;
+    for &(g, v) in schema.pairs().iter().step_by(13) {
+        let bipolar = groups.get(g).bind(values.get(v));
+        let binary = groups.get(g).to_binary().bind(&values.get(v).to_binary());
+        if binary.to_bipolar() != bipolar {
+            equal = false;
+        }
+    }
+    println!("\nXOR (packed binary) binding equals Hadamard (bipolar) binding: {equal}");
+    println!(
+        "→ cross-talk between attribute codevectors shrinks as 1/√d; at the paper's d = 1536 the mean |cos| is ≈{:.3}, small enough for 312 attributes to remain separable without training.",
+        rows.iter().find(|r| r.dim == 1536).map(|r| r.mean_abs_cross_similarity).unwrap_or(0.0)
+    );
+
+    maybe_write_json(
+        &args.json,
+        &BindingResult {
+            rows,
+            xor_equals_hadamard: equal,
+        },
+    );
+}

@@ -1,0 +1,153 @@
+//! **Fig. 5** — hyper-parameter exploration on the validation split.
+//!
+//! Sweeps each of the five hyper-parameters explored in the paper (batch
+//! size, epochs, learning rate, temperature scale, weight decay) one at a
+//! time around the default configuration, training and evaluating HDC-ZSC on
+//! the validation split (50 classes disjoint from both the training and the
+//! ZS test classes).
+
+use bench::{maybe_write_json, print_table, ExperimentArgs};
+use dataset::{CubLikeDataset, SplitKind};
+use hdc_zsc::{ModelConfig, Pipeline, TrainConfig};
+use metrics::SeedAggregate;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    parameter: String,
+    value: String,
+    top1_mean: f32,
+    top1_std: f32,
+}
+
+#[derive(Serialize)]
+struct Fig5Result {
+    scale: String,
+    seeds: usize,
+    points: Vec<SweepPoint>,
+}
+
+/// One hyper-parameter axis: a label and the values to sweep (as in Fig. 5).
+struct Axis {
+    name: &'static str,
+    values: Vec<f32>,
+    apply: fn(TrainConfig, ModelConfig, f32) -> (TrainConfig, ModelConfig),
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    println!(
+        "Fig. 5 — hyper-parameter sweeps on the validation split ({} scale, {} seed(s))\n",
+        args.scale_label(),
+        args.seeds
+    );
+
+    let axes = [
+        Axis {
+            name: "batch size",
+            values: vec![4.0, 8.0, 16.0, 32.0],
+            apply: |t, m, v| (t.with_batch_size(v as usize), m),
+        },
+        Axis {
+            name: "epochs",
+            values: vec![3.0, 10.0, 30.0],
+            apply: |t, m, v| (t.with_epochs(v as usize), m),
+        },
+        Axis {
+            name: "learning rate",
+            values: vec![1e-6, 1e-3, 1e-2],
+            apply: |t, m, v| (t.with_learning_rate(v), m),
+        },
+        Axis {
+            name: "temp scale",
+            values: vec![7e-4, 0.03, 0.7],
+            apply: |t, mut m, v| {
+                m.temperature = v;
+                (t, m)
+            },
+        },
+        Axis {
+            name: "weight decay",
+            values: vec![0.0, 1e-4, 1e-2],
+            apply: |t, m, v| (t.with_weight_decay(v), m),
+        },
+    ];
+
+    let mut agg = SeedAggregate::new();
+    for seed in args.seed_list() {
+        let data = CubLikeDataset::generate(&args.dataset_config(seed));
+        for axis in &axes {
+            for &value in &axis.values {
+                let (train_cfg, model_cfg) = (axis.apply)(
+                    TrainConfig::paper_default().with_seed(seed),
+                    ModelConfig::paper_default()
+                        .with_embedding_dim(args.embedding_dim())
+                        .with_seed(seed),
+                    value,
+                );
+                let outcome = Pipeline::new(model_cfg, train_cfg).run(&data, SplitKind::Validation, seed);
+                let key = format!("{}={value:e}", axis.name);
+                agg.record(key.clone(), outcome.zsc.top1 * 100.0);
+                println!(
+                    "seed {seed}: {:<14} = {value:<8.1e} top-1 {:.1}%",
+                    axis.name,
+                    outcome.zsc.top1 * 100.0
+                );
+            }
+        }
+        println!();
+    }
+
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    for axis in &axes {
+        for &value in &axis.values {
+            let key = format!("{}={value:e}", axis.name);
+            let summary = agg.summary(&key).unwrap_or_default();
+            rows.push(vec![
+                axis.name.to_string(),
+                format!("{value:.1e}"),
+                format!("{:.1} ± {:.1}", summary.mean(), summary.std()),
+            ]);
+            points.push(SweepPoint {
+                parameter: axis.name.to_string(),
+                value: format!("{value:e}"),
+                top1_mean: summary.mean(),
+                top1_std: summary.std(),
+            });
+        }
+    }
+    print_table(&["hyper-parameter", "value", "validation top-1 (%)"], &rows);
+
+    // Shape checks mirroring the paper's observations on Fig. 5.
+    let find = |param: &str, value: f32| {
+        points
+            .iter()
+            .find(|p| p.parameter == param && p.value == format!("{value:e}"))
+            .map(|p| p.top1_mean)
+            .unwrap_or(0.0)
+    };
+    println!("\nshape checks (paper Fig. 5):");
+    println!(
+        "  ~10 epochs reach within 3% of 30 epochs:     {}",
+        find("epochs", 10.0) + 3.0 >= find("epochs", 30.0)
+    );
+    println!(
+        "  lr 1e-3 beats the extremes (1e-6, 1e-2):     {}",
+        find("learning rate", 1e-3) >= find("learning rate", 1e-6)
+            && find("learning rate", 1e-3) >= find("learning rate", 1e-2)
+    );
+    println!(
+        "  moderate temperature (0.03) beats 0.7:       {}",
+        find("temp scale", 0.03) >= find("temp scale", 0.7)
+    );
+
+    maybe_write_json(
+        &args.json,
+        &Fig5Result {
+            scale: args.scale_label().to_string(),
+            seeds: args.seeds,
+            points,
+        },
+    );
+}

@@ -1,0 +1,182 @@
+//! **Table II** — ablation of image-encoder and attribute-encoder
+//! configurations.
+//!
+//! Reproduces the four image-encoder rows of Table II (ResNet50 without FC,
+//! ResNet50+FC at d = 1536 and d = 2048, ResNet101 without FC), each
+//! evaluated with both the stationary HDC attribute encoder and the
+//! trainable-MLP encoder, under a *common* hyper-parameter set (as the paper
+//! notes, no per-model tuning).
+//!
+//! At reduced scale the FC dimensions 1536/2048 are scaled proportionally to
+//! the simulated feature width (384/512 for 512-d features) so the ablation
+//! compares the same ratios; `--full` uses the paper's exact dimensions.
+
+use bench::{format_summary, maybe_write_json, print_table, ExperimentArgs};
+use dataset::{BackboneKind, CubLikeDataset, SplitKind};
+use hdc_zsc::{AttributeEncoderKind, ModelConfig, Pipeline, TrainConfig};
+use metrics::SeedAggregate;
+use serde::Serialize;
+
+/// One image-encoder configuration row of Table II.
+struct Row {
+    label: &'static str,
+    backbone: BackboneKind,
+    use_projection: bool,
+    /// Projection width as a fraction of the paper's 2048-d features.
+    projection_ratio: Option<f32>,
+    /// Pre-training phases, as listed in the paper's "Pre-train" column.
+    pretrain: &'static str,
+}
+
+#[derive(Serialize)]
+struct AblationResult {
+    scale: String,
+    seeds: usize,
+    rows: Vec<AblationRow>,
+}
+
+#[derive(Serialize)]
+struct AblationRow {
+    image_encoder: String,
+    pretrain: String,
+    embedding_dim: usize,
+    hdc_top1_mean: f32,
+    hdc_top1_std: f32,
+    mlp_top1_mean: f32,
+    mlp_top1_std: f32,
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    println!(
+        "Table II — encoder ablation on the ZS split ({} scale, {} seed(s))\n",
+        args.scale_label(),
+        args.seeds
+    );
+
+    let rows = [
+        Row {
+            label: "ResNet50 (no FC)",
+            backbone: BackboneKind::ResNet50,
+            use_projection: false,
+            projection_ratio: None,
+            pretrain: "I,III",
+        },
+        Row {
+            label: "ResNet50+FC (d=1536)",
+            backbone: BackboneKind::ResNet50,
+            use_projection: true,
+            projection_ratio: Some(1536.0 / 2048.0),
+            pretrain: "I,II,III",
+        },
+        Row {
+            label: "ResNet50+FC (d=2048)",
+            backbone: BackboneKind::ResNet50,
+            use_projection: true,
+            projection_ratio: Some(1.0),
+            pretrain: "I,II,III",
+        },
+        Row {
+            label: "ResNet101 (no FC)",
+            backbone: BackboneKind::ResNet101,
+            use_projection: false,
+            projection_ratio: None,
+            pretrain: "I,III",
+        },
+    ];
+
+    let mut agg = SeedAggregate::new();
+    let mut embedding_dims = vec![0usize; rows.len()];
+
+    for seed in args.seed_list() {
+        for (row_idx, row) in rows.iter().enumerate() {
+            let base_cfg = args.dataset_config(seed).with_backbone(row.backbone);
+            let data = CubLikeDataset::generate(&base_cfg);
+            let feature_dim = base_cfg.feature_dim;
+            let embedding_dim = row
+                .projection_ratio
+                .map(|r| ((feature_dim as f32 * r).round() as usize).max(8))
+                .unwrap_or(feature_dim);
+            embedding_dims[row_idx] = embedding_dim;
+            for kind in [AttributeEncoderKind::Hdc, AttributeEncoderKind::TrainableMlp] {
+                let model_cfg = ModelConfig::paper_default()
+                    .with_backbone(row.backbone)
+                    .with_projection(row.use_projection)
+                    .with_embedding_dim(embedding_dim)
+                    .with_attribute_encoder(kind)
+                    .with_seed(seed);
+                // Common hyper-parameters across every row, as in the paper.
+                let train_cfg = TrainConfig::paper_default().with_seed(seed);
+                let mut pipeline = Pipeline::new(model_cfg, train_cfg);
+                if !row.use_projection {
+                    pipeline = pipeline.without_phase2();
+                }
+                let outcome = pipeline.run(&data, SplitKind::Zs, seed);
+                let metric = format!("{}::{kind}", row.label);
+                agg.record(metric, outcome.zsc.top1 * 100.0);
+                println!(
+                    "seed {seed}: {:<22} {:<14} top-1 {:.1}%",
+                    row.label,
+                    kind.to_string(),
+                    outcome.zsc.top1 * 100.0
+                );
+            }
+        }
+        println!();
+    }
+
+    let mut table_rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for (row_idx, row) in rows.iter().enumerate() {
+        let hdc = agg
+            .summary(&format!("{}::HDC", row.label))
+            .unwrap_or_default();
+        let mlp = agg
+            .summary(&format!("{}::Trainable-MLP", row.label))
+            .unwrap_or_default();
+        table_rows.push(vec![
+            row.label.to_string(),
+            row.pretrain.to_string(),
+            embedding_dims[row_idx].to_string(),
+            format_summary(&hdc),
+            format_summary(&mlp),
+        ]);
+        json_rows.push(AblationRow {
+            image_encoder: row.label.to_string(),
+            pretrain: row.pretrain.to_string(),
+            embedding_dim: embedding_dims[row_idx],
+            hdc_top1_mean: hdc.mean(),
+            hdc_top1_std: hdc.std(),
+            mlp_top1_mean: mlp.mean(),
+            mlp_top1_std: mlp.std(),
+        });
+    }
+    print_table(
+        &["image encoder", "pre-train", "d", "HDC-ZSC top-1 (%)", "MLP top-1 (%)"],
+        &table_rows,
+    );
+
+    let fc_row = &json_rows[1];
+    let no_fc_row = &json_rows[0];
+    let r101_row = &json_rows[3];
+    println!("\nshape checks (paper Table II):");
+    println!(
+        "  FC projection helps the HDC model:            {} ({:+.1}%)",
+        fc_row.hdc_top1_mean > no_fc_row.hdc_top1_mean,
+        fc_row.hdc_top1_mean - no_fc_row.hdc_top1_mean
+    );
+    println!(
+        "  ResNet50+FC beats the larger ResNet101:        {} ({:+.1}%)",
+        fc_row.hdc_top1_mean > r101_row.hdc_top1_mean,
+        fc_row.hdc_top1_mean - r101_row.hdc_top1_mean
+    );
+
+    maybe_write_json(
+        &args.json,
+        &AblationResult {
+            scale: args.scale_label().to_string(),
+            seeds: args.seeds,
+            rows: json_rows,
+        },
+    );
+}

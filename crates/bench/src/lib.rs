@@ -1,0 +1,284 @@
+//! Shared utilities for the experiment harnesses that regenerate the paper's
+//! tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one artefact:
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `table1` | Table I — attribute extraction per group vs Finetag/A3M |
+//! | `table2_ablation` | Table II — image/attribute encoder ablation |
+//! | `fig4_pareto` | Fig. 4 — accuracy vs parameter count Pareto plot |
+//! | `fig5_hparam` | Fig. 5 — hyper-parameter sweeps on the validation split |
+//! | `memory_footprint` | §III-A memory-reduction claim (71% / 17 KB) |
+//! | `binding_ablation` | extra ablation: binding variants and dimensionality |
+//!
+//! Every harness accepts `--seeds N` (number of trials, default 3), `--full`
+//! (full CUB-scale dataset — slow) and `--json PATH` (machine-readable result
+//! dump); without `--full` the *reduced* dataset documented in
+//! `EXPERIMENTS.md` is used so a complete run finishes in minutes on a
+//! laptop.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use dataset::{DatasetConfig, InstanceNoise};
+use serde::Serialize;
+use std::path::PathBuf;
+use tensor::Summary;
+
+/// Command-line options shared by all experiment harnesses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentArgs {
+    /// Number of random seeds/trials to run.
+    pub seeds: usize,
+    /// Use the full CUB-scale dataset (slow) instead of the reduced one.
+    pub full: bool,
+    /// Extra-small configuration for smoke tests.
+    pub quick: bool,
+    /// Optional path to write a JSON result dump to.
+    pub json: Option<PathBuf>,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        Self {
+            seeds: 3,
+            full: false,
+            quick: false,
+            json: None,
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses the recognised flags from an iterator of CLI arguments,
+    /// ignoring the binary name. Unrecognised flags abort with a usage
+    /// message.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut parsed = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--seeds" => {
+                    let value = iter.next().unwrap_or_else(|| usage("--seeds needs a value"));
+                    parsed.seeds = value
+                        .parse()
+                        .unwrap_or_else(|_| usage("--seeds expects an integer"));
+                }
+                "--full" => parsed.full = true,
+                "--quick" => parsed.quick = true,
+                "--json" => {
+                    let value = iter.next().unwrap_or_else(|| usage("--json needs a path"));
+                    parsed.json = Some(PathBuf::from(value));
+                }
+                "--help" | "-h" => usage("")
+                ,
+                other => usage(&format!("unrecognised flag '{other}'")),
+            }
+        }
+        parsed.seeds = parsed.seeds.max(1);
+        parsed
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Seed list for the configured number of trials.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (0..self.seeds as u64).collect()
+    }
+
+    /// The dataset configuration implied by the flags.
+    ///
+    /// All scales use the *fine-grained* regime calibrated with the
+    /// `calibrate` harness (classes organised into families that differ in
+    /// only two attribute groups, elevated backbone/annotation noise), which
+    /// keeps accuracies in the paper's 50–70% range instead of saturating;
+    /// see `EXPERIMENTS.md`. The reduced (default) configuration keeps the
+    /// full 200-class split protocol but uses fewer images per class and
+    /// 256-dimensional simulated features so a complete run finishes in
+    /// minutes.
+    pub fn dataset_config(&self, seed: u64) -> DatasetConfig {
+        let noise = InstanceNoise {
+            flip_prob: 0.30,
+            dropout_prob: 0.10,
+        };
+        if self.full {
+            let mut cfg = DatasetConfig::cub200_full(seed).with_families(40, 2);
+            cfg.feature_noise_scale = 2.5;
+            cfg.noise = noise;
+            cfg
+        } else if self.quick {
+            let mut cfg = DatasetConfig::tiny(seed).with_families(10, 2);
+            cfg.num_classes = 40;
+            cfg.images_per_class = 8;
+            cfg.feature_dim = 128;
+            cfg.feature_noise_scale = 2.0;
+            cfg.noise = InstanceNoise {
+                flip_prob: 0.25,
+                dropout_prob: 0.10,
+            };
+            cfg
+        } else {
+            let mut cfg = DatasetConfig::reduced(seed).with_families(30, 2);
+            cfg.feature_noise_scale = 2.5;
+            cfg.noise = noise;
+            cfg
+        }
+    }
+
+    /// Embedding dimension to use for the paper's preferred configuration
+    /// under this scale (1536 at full scale, smaller otherwise so the FC
+    /// projection stays proportionate to the simulated feature width).
+    pub fn embedding_dim(&self) -> usize {
+        if self.full {
+            1536
+        } else if self.quick {
+            96
+        } else {
+            192
+        }
+    }
+
+    /// Label describing the scale, recorded in result dumps.
+    pub fn scale_label(&self) -> &'static str {
+        if self.full {
+            "full"
+        } else if self.quick {
+            "quick"
+        } else {
+            "reduced"
+        }
+    }
+}
+
+fn usage(message: &str) -> ! {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!("usage: <harness> [--seeds N] [--full] [--quick] [--json PATH]");
+    std::process::exit(2);
+}
+
+/// Prints a Markdown-style table: a header row followed by aligned rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let format_row = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", format_row(&header_cells));
+    let divider: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", format_row(&divider));
+    for row in rows {
+        println!("{}", format_row(row));
+    }
+}
+
+/// Formats a [`Summary`] as `µ ± σ` with one decimal, the reporting style of
+/// the paper.
+pub fn format_summary(summary: &Summary) -> String {
+    format!("{:.1} ± {:.1}", summary.mean(), summary.std())
+}
+
+/// Writes a serialisable result structure as pretty JSON to `path` (if
+/// provided), reporting any I/O failure on stderr without aborting the
+/// experiment.
+pub fn maybe_write_json<T: Serialize>(path: &Option<PathBuf>, value: &T) {
+    if let Some(path) = path {
+        match serde_json::to_string_pretty(value) {
+            Ok(json) => {
+                if let Err(err) = std::fs::write(path, json) {
+                    eprintln!("warning: could not write {}: {err}", path.display());
+                } else {
+                    println!("\nwrote results to {}", path.display());
+                }
+            }
+            Err(err) => eprintln!("warning: could not serialise results: {err}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> ExperimentArgs {
+        ExperimentArgs::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn default_args() {
+        let a = args(&[]);
+        assert_eq!(a, ExperimentArgs::default());
+        assert_eq!(a.seeds, 3);
+        assert!(!a.full);
+        assert_eq!(a.seed_list(), vec![0, 1, 2]);
+        assert_eq!(a.scale_label(), "reduced");
+    }
+
+    #[test]
+    fn parse_flags() {
+        let a = args(&["--seeds", "5", "--full", "--json", "/tmp/out.json"]);
+        assert_eq!(a.seeds, 5);
+        assert!(a.full);
+        assert_eq!(a.json, Some(PathBuf::from("/tmp/out.json")));
+        assert_eq!(a.scale_label(), "full");
+        assert_eq!(a.embedding_dim(), 1536);
+        assert_eq!(a.dataset_config(0).num_classes, 200);
+    }
+
+    #[test]
+    fn quick_scale_is_smaller_than_reduced() {
+        let quick = args(&["--quick"]);
+        let reduced = args(&[]);
+        assert!(quick.dataset_config(0).total_images() < reduced.dataset_config(0).total_images());
+        assert!(quick.embedding_dim() < reduced.embedding_dim());
+        assert_eq!(quick.scale_label(), "quick");
+    }
+
+    #[test]
+    fn seeds_are_clamped_to_at_least_one() {
+        let a = args(&["--seeds", "0"]);
+        assert_eq!(a.seeds, 1);
+    }
+
+    #[test]
+    fn format_summary_style() {
+        let s = Summary::from_samples(&[63.0, 64.0]);
+        assert_eq!(format_summary(&s), "63.5 ± 0.5");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["bb".into(), "22".into()]],
+        );
+    }
+
+    #[test]
+    fn json_write_roundtrip() {
+        let path = std::env::temp_dir().join("bench_json_test.json");
+        maybe_write_json(&Some(path.clone()), &vec![1, 2, 3]);
+        let body = std::fs::read_to_string(&path).expect("written");
+        assert!(body.contains('1'));
+        let _ = std::fs::remove_file(path);
+        // None path is a no-op.
+        maybe_write_json::<Vec<u8>>(&None, &vec![]);
+    }
+}

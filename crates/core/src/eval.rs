@@ -1,0 +1,193 @@
+//! Evaluation of the two tasks: zero-shot classification and attribute
+//! extraction.
+
+use crate::model::ZscModel;
+use dataset::AttributeSchema;
+use metrics::wmap::{evaluate_groups, mean_over_groups};
+use metrics::{topk_accuracy, ConfusionMatrix, GroupMetrics};
+use serde::{Deserialize, Serialize};
+use tensor::Matrix;
+
+/// Results of a zero-shot classification evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZscReport {
+    /// Top-1 accuracy (fraction in `[0, 1]`).
+    pub top1: f32,
+    /// Top-5 accuracy (fraction in `[0, 1]`).
+    pub top5: f32,
+    /// Number of evaluation classes.
+    pub num_classes: usize,
+    /// Number of evaluated samples.
+    pub num_samples: usize,
+}
+
+impl std::fmt::Display for ZscReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "top-1 {:.1}%, top-5 {:.1}% over {} classes ({} samples)",
+            self.top1 * 100.0,
+            self.top5 * 100.0,
+            self.num_classes,
+            self.num_samples
+        )
+    }
+}
+
+/// Results of an attribute-extraction evaluation (Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeExtractionReport {
+    /// Per-group WMAP and top-1 accuracy, in schema group order.
+    pub per_group: Vec<GroupMetrics>,
+    /// Mean WMAP over the groups, in percent (the "average" row of Table I).
+    pub mean_wmap: f32,
+    /// Mean top-1 accuracy over the groups, in percent.
+    pub mean_top1: f32,
+}
+
+/// Evaluates zero-shot classification: computes class logits for every
+/// feature row against the evaluation classes' attribute matrix and measures
+/// top-1/top-5 accuracy against the local labels.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != features.rows()` or a label is out of range.
+pub fn evaluate_zsc(
+    model: &mut ZscModel,
+    features: &Matrix,
+    labels: &[usize],
+    class_attributes: &Matrix,
+) -> ZscReport {
+    assert_eq!(
+        features.rows(),
+        labels.len(),
+        "one label per feature row required"
+    );
+    let logits = model.class_logits(features, class_attributes, false);
+    let top1 = topk_accuracy(&logits, labels, 1);
+    let top5 = topk_accuracy(&logits, labels, 5.min(class_attributes.rows()));
+    ZscReport {
+        top1,
+        top5,
+        num_classes: class_attributes.rows(),
+        num_samples: features.rows(),
+    }
+}
+
+/// Evaluates zero-shot classification and additionally returns the confusion
+/// matrix over the evaluation classes.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != features.rows()` or a label is out of range.
+pub fn evaluate_zsc_with_confusion(
+    model: &mut ZscModel,
+    features: &Matrix,
+    labels: &[usize],
+    class_attributes: &Matrix,
+) -> (ZscReport, ConfusionMatrix) {
+    let report = evaluate_zsc(model, features, labels, class_attributes);
+    let predictions = model.predict(features, class_attributes);
+    let mut confusion = ConfusionMatrix::new(class_attributes.rows());
+    confusion.record_batch(labels, &predictions);
+    (report, confusion)
+}
+
+/// Evaluates attribute extraction: predicts attribute scores for every
+/// feature row and computes WMAP and top-1 accuracy per attribute group.
+///
+/// # Panics
+///
+/// Panics if `attribute_targets.rows() != features.rows()`.
+pub fn evaluate_attribute_extraction(
+    model: &mut ZscModel,
+    features: &Matrix,
+    attribute_targets: &Matrix,
+    schema: &AttributeSchema,
+) -> AttributeExtractionReport {
+    assert_eq!(
+        features.rows(),
+        attribute_targets.rows(),
+        "one attribute-target row per feature row required"
+    );
+    let scores = model.attribute_logits(features, false);
+    let layout = schema.group_layout();
+    let per_group = evaluate_groups(&scores, attribute_targets, &layout, 0.5);
+    let mean_wmap = mean_over_groups(&per_group, |g| g.wmap);
+    let mean_top1 = mean_over_groups(&per_group, |g| g.top1);
+    AttributeExtractionReport {
+        per_group,
+        mean_wmap,
+        mean_top1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, TrainConfig};
+    use crate::train::AttributeExtractionTrainer;
+    use dataset::{CubLikeDataset, DatasetConfig, SplitKind};
+
+    fn fixture() -> (CubLikeDataset, AttributeSchema, ZscModel) {
+        let data = CubLikeDataset::generate(&DatasetConfig::tiny(11));
+        let schema = data.schema().clone();
+        let model = ZscModel::new(&ModelConfig::tiny(), &schema, data.config().feature_dim);
+        (data, schema, model)
+    }
+
+    #[test]
+    fn zsc_report_fields_and_display() {
+        let (data, _schema, mut model) = fixture();
+        let split = data.split(SplitKind::Zs);
+        let (features, labels) = data.features_and_labels(split.eval_classes());
+        let local = CubLikeDataset::to_local_labels(&labels, split.eval_classes());
+        let attrs = data.class_attribute_matrix(split.eval_classes());
+        let report = evaluate_zsc(&mut model, &features, &local, &attrs);
+        assert_eq!(report.num_classes, split.eval_classes().len());
+        assert_eq!(report.num_samples, features.rows());
+        assert!(report.top5 >= report.top1);
+        assert!((0.0..=1.0).contains(&report.top1));
+        assert!(report.to_string().contains("top-1"));
+    }
+
+    #[test]
+    fn confusion_matrix_totals_match_sample_count() {
+        let (data, _schema, mut model) = fixture();
+        let split = data.split(SplitKind::Zs);
+        let (features, labels) = data.features_and_labels(split.eval_classes());
+        let local = CubLikeDataset::to_local_labels(&labels, split.eval_classes());
+        let attrs = data.class_attribute_matrix(split.eval_classes());
+        let (report, confusion) = evaluate_zsc_with_confusion(&mut model, &features, &local, &attrs);
+        assert_eq!(confusion.total() as usize, report.num_samples);
+        assert!((confusion.accuracy() - report.top1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn attribute_report_covers_all_groups() {
+        let (data, schema, mut model) = fixture();
+        let split = data.split(SplitKind::NoZs);
+        let (features, targets) = data.features_and_attributes(split.train_classes());
+        let report = evaluate_attribute_extraction(&mut model, &features, &targets, &schema);
+        assert_eq!(report.per_group.len(), 28);
+        assert!((0.0..=100.0).contains(&report.mean_wmap));
+        assert!((0.0..=100.0).contains(&report.mean_top1));
+    }
+
+    #[test]
+    fn attribute_extraction_training_improves_the_report() {
+        let (data, schema, mut model) = fixture();
+        let split = data.split(SplitKind::NoZs);
+        let (features, targets) = data.features_and_attributes(split.train_classes());
+        let before = evaluate_attribute_extraction(&mut model, &features, &targets, &schema);
+        let trainer = AttributeExtractionTrainer::new(TrainConfig::fast().with_epochs(5));
+        let _ = trainer.train(&mut model, &features, &targets);
+        let after = evaluate_attribute_extraction(&mut model, &features, &targets, &schema);
+        assert!(
+            after.mean_top1 > before.mean_top1,
+            "training should improve group top-1 ({} vs {})",
+            after.mean_top1,
+            before.mean_top1
+        );
+    }
+}

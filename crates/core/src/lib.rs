@@ -1,0 +1,63 @@
+//! **HDC-ZSC** — Zero-shot Classification using Hyperdimensional Computing.
+//!
+//! This crate implements the primary contribution of the DATE 2024 paper
+//! *"Zero-shot Classification using Hyperdimensional Computing"* (Ruffino et
+//! al.): a hybrid zero-shot classifier made of
+//!
+//! 1. a trainable **image encoder** `γ(·)` — a (simulated) pretrained
+//!    backbone followed by an FC projection to the shared embedding
+//!    dimension `d` ([`ImageEncoder`]);
+//! 2. a **stationary HDC attribute encoder** `ϕ(·)` — random bipolar group
+//!    and value codebooks bound on the fly into a 312-row attribute
+//!    dictionary `B`, from which class embeddings are formed as `ϕ = A×B`
+//!    ([`HdcAttributeEncoder`]); a trainable 2-layer MLP variant
+//!    ([`MlpAttributeEncoder`]) is provided as the paper's *Trainable-MLP*
+//!    baseline;
+//! 3. a **cosine similarity kernel** with a learnable temperature relating
+//!    image and class embeddings ([`nn::CosineSimilarity`]).
+//!
+//! Training follows the paper's three phases:
+//!
+//! * **Phase I** — backbone pre-training (absorbed into the simulated
+//!   backbone, see the `dataset` crate);
+//! * **Phase II** — attribute extraction: the FC projection is trained with
+//!   a weighted BCE loss to align image embeddings with the attribute
+//!   dictionary ([`AttributeExtractionTrainer`]);
+//! * **Phase III** — zero-shot classification: the FC projection (and, for
+//!   the MLP variant, the attribute encoder) is fine-tuned with cross
+//!   entropy over class logits ([`ZscTrainer`]), then evaluated on classes
+//!   never seen during training ([`evaluate_zsc`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dataset::{CubLikeDataset, DatasetConfig, SplitKind};
+//! use hdc_zsc::{ModelConfig, Pipeline, TrainConfig};
+//!
+//! let data = CubLikeDataset::generate(&DatasetConfig::tiny(1));
+//! let model_cfg = ModelConfig::tiny();
+//! let train_cfg = TrainConfig::fast();
+//! let outcome = Pipeline::new(model_cfg, train_cfg).run(&data, SplitKind::Zs, 1);
+//! assert!(outcome.zsc.top1 > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod attribute_encoder;
+pub mod config;
+pub mod eval;
+pub mod image_encoder;
+pub mod model;
+pub mod params;
+pub mod pipeline;
+pub mod train;
+
+pub use attribute_encoder::{AttributeEncoder, AttributeEncoderKind, HdcAttributeEncoder, MlpAttributeEncoder};
+pub use config::{ModelConfig, TrainConfig};
+pub use eval::{evaluate_attribute_extraction, evaluate_zsc, AttributeExtractionReport, ZscReport};
+pub use image_encoder::ImageEncoder;
+pub use model::ZscModel;
+pub use params::ParameterBreakdown;
+pub use pipeline::{Pipeline, PipelineOutcome};
+pub use train::{AttributeExtractionTrainer, TrainingHistory, ZscTrainer};

@@ -1,0 +1,378 @@
+//! The assembled HDC-ZSC model: image encoder + attribute encoder +
+//! similarity kernel + temperature.
+
+use crate::attribute_encoder::{AttributeEncoder, AttributeEncoderKind, HdcAttributeEncoder};
+use crate::config::ModelConfig;
+use crate::image_encoder::ImageEncoder;
+use dataset::AttributeSchema;
+use nn::{CosineSimilarity, ParamTensor, TemperatureScale};
+use tensor::Matrix;
+
+/// A complete zero-shot classification model in the architecture of Fig. 1:
+/// `γ(·)` (image encoder), `ϕ(·)` (attribute encoder) and the cosine
+/// similarity kernel with learnable temperature.
+///
+/// The same model object supports both tasks of the paper:
+///
+/// * **attribute extraction** (phase II): [`ZscModel::attribute_logits`]
+///   compares image embeddings against the stationary attribute dictionary
+///   `B` (312 rows);
+/// * **zero-shot classification** (phase III and inference):
+///   [`ZscModel::class_logits`] compares image embeddings against class
+///   embeddings `ϕ(A) = A × B` (or the trainable-MLP encoding of `A`).
+///
+/// # Example
+///
+/// ```
+/// use dataset::AttributeSchema;
+/// use hdc_zsc::{ModelConfig, ZscModel};
+/// use tensor::Matrix;
+///
+/// let schema = AttributeSchema::cub200();
+/// let mut model = ZscModel::new(&ModelConfig::tiny(), &schema, 64);
+/// let features = Matrix::ones(2, 64);
+/// let class_attributes = Matrix::ones(5, 312);
+/// let logits = model.class_logits(&features, &class_attributes, false);
+/// assert_eq!(logits.shape(), (2, 5));
+/// ```
+#[derive(Debug)]
+pub struct ZscModel {
+    config: ModelConfig,
+    image_encoder: ImageEncoder,
+    attribute_encoder: AttributeEncoder,
+    /// Stationary dictionary used by the attribute-extraction task. For the
+    /// HDC encoder this is exactly the encoder's dictionary; the
+    /// trainable-MLP variant still pre-trains against an HDC dictionary in
+    /// phase II (the MLP only replaces the *class* encoder in phase III).
+    phase2_dictionary: Matrix,
+    kernel: CosineSimilarity,
+    temperature: TemperatureScale,
+}
+
+impl ZscModel {
+    /// Builds a model for backbone features of width `feature_dim`.
+    ///
+    /// The embedding dimension is `config.embedding_dim` when the FC
+    /// projection is enabled, otherwise `feature_dim` (Table II rows without
+    /// the FC layer).
+    pub fn new(config: &ModelConfig, schema: &AttributeSchema, feature_dim: usize) -> Self {
+        let embedding_dim = if config.use_projection {
+            config.embedding_dim
+        } else {
+            feature_dim
+        };
+        let image_encoder = ImageEncoder::new(
+            config.backbone,
+            feature_dim,
+            config.use_projection.then_some(embedding_dim),
+            config.seed,
+        );
+        let attribute_encoder = AttributeEncoder::build(
+            config.attribute_encoder,
+            schema,
+            embedding_dim,
+            config.mlp_hidden_dim,
+            config.seed.wrapping_add(1),
+        );
+        let phase2_dictionary = match &attribute_encoder {
+            AttributeEncoder::Hdc(enc) => enc.dictionary().clone(),
+            AttributeEncoder::Mlp(_) => {
+                HdcAttributeEncoder::new(schema, embedding_dim, config.seed.wrapping_add(1))
+                    .dictionary()
+                    .clone()
+            }
+        };
+        let temperature = if config.learnable_temperature {
+            TemperatureScale::new(config.temperature)
+        } else {
+            TemperatureScale::fixed(config.temperature)
+        };
+        Self {
+            config: *config,
+            image_encoder,
+            attribute_encoder,
+            phase2_dictionary,
+            kernel: CosineSimilarity::new(),
+            temperature,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The image encoder `γ(·)`.
+    pub fn image_encoder(&self) -> &ImageEncoder {
+        &self.image_encoder
+    }
+
+    /// The attribute encoder `ϕ(·)`.
+    pub fn attribute_encoder(&self) -> &AttributeEncoder {
+        &self.attribute_encoder
+    }
+
+    /// Mutable access to the attribute encoder (used by the trainers).
+    pub fn attribute_encoder_mut(&mut self) -> &mut AttributeEncoder {
+        &mut self.attribute_encoder
+    }
+
+    /// The attribute-encoder variant in use.
+    pub fn attribute_encoder_kind(&self) -> AttributeEncoderKind {
+        self.attribute_encoder.kind()
+    }
+
+    /// Embedding dimensionality `d`.
+    pub fn embedding_dim(&self) -> usize {
+        self.image_encoder.embedding_dim()
+    }
+
+    /// Current value of the temperature `K`.
+    pub fn temperature(&self) -> f32 {
+        self.temperature_scale().k()
+    }
+
+    fn temperature_scale(&self) -> &TemperatureScale {
+        &self.temperature
+    }
+
+    /// The stationary attribute dictionary used for attribute extraction.
+    pub fn phase2_dictionary(&self) -> &Matrix {
+        &self.phase2_dictionary
+    }
+
+    /// Image embeddings `γ(X)` for a batch of backbone features.
+    pub fn embed_images(&mut self, features: &Matrix, train: bool) -> Matrix {
+        self.image_encoder.forward(features, train)
+    }
+
+    // ------------------------------------------------------------------
+    // Attribute extraction (phase II)
+    // ------------------------------------------------------------------
+
+    /// Attribute logits `q/K` for a batch of backbone features: the cosine
+    /// similarity of every image embedding against every attribute
+    /// codevector, scaled by the temperature so it can be consumed by a
+    /// BCE-with-logits loss.
+    pub fn attribute_logits(&mut self, features: &Matrix, train: bool) -> Matrix {
+        let embeddings = self.image_encoder.forward(features, train);
+        let dictionary = self.phase2_dictionary.clone();
+        let sims = self.kernel.forward(&embeddings, &dictionary, train);
+        self.temperature.forward(&sims, train)
+    }
+
+    /// Back-propagates a gradient with respect to the attribute logits into
+    /// the image encoder (the dictionary is stationary and receives no
+    /// update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the preceding [`ZscModel::attribute_logits`] call did not use
+    /// `train = true`.
+    pub fn backward_attribute(&mut self, grad_logits: &Matrix) {
+        let grad_sims = self.temperature.backward(grad_logits);
+        let (grad_embeddings, _grad_dictionary) = self.kernel.backward(&grad_sims);
+        self.image_encoder.backward(&grad_embeddings);
+    }
+
+    // ------------------------------------------------------------------
+    // Zero-shot classification (phase III / inference)
+    // ------------------------------------------------------------------
+
+    /// Class logits `cossim(γ(X), ϕ(A)) / K` for a batch of backbone features
+    /// and a class-attribute matrix `A ∈ R^{C×α}`.
+    pub fn class_logits(
+        &mut self,
+        features: &Matrix,
+        class_attributes: &Matrix,
+        train: bool,
+    ) -> Matrix {
+        let embeddings = self.image_encoder.forward(features, train);
+        let class_embeddings = self.attribute_encoder.encode_classes(class_attributes, train);
+        let sims = self.kernel.forward(&embeddings, &class_embeddings, train);
+        self.temperature.forward(&sims, train)
+    }
+
+    /// Back-propagates a gradient with respect to the class logits into the
+    /// image encoder, the temperature, and (for the trainable-MLP variant)
+    /// the attribute encoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the preceding [`ZscModel::class_logits`] call did not use
+    /// `train = true`.
+    pub fn backward_class(&mut self, grad_logits: &Matrix) {
+        let grad_sims = self.temperature.backward(grad_logits);
+        let (grad_embeddings, grad_class_embeddings) = self.kernel.backward(&grad_sims);
+        self.image_encoder.backward(&grad_embeddings);
+        self.attribute_encoder.backward(&grad_class_embeddings);
+    }
+
+    /// Predicts the class index (into the rows of `class_attributes`) of
+    /// every feature row — the `argmax` rule of Eq. (2).
+    pub fn predict(&mut self, features: &Matrix, class_attributes: &Matrix) -> Vec<usize> {
+        self.class_logits(features, class_attributes, false)
+            .argmax_rows()
+    }
+
+    // ------------------------------------------------------------------
+    // Parameter plumbing
+    // ------------------------------------------------------------------
+
+    /// Visits every trainable parameter (FC projection, temperature, and the
+    /// MLP attribute encoder when present) in a fixed order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut ParamTensor)) {
+        self.image_encoder.visit_params(f);
+        self.temperature.visit_params(f);
+        self.attribute_encoder.visit_params(f);
+    }
+
+    /// Zeroes every accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.image_encoder.zero_grad();
+        self.temperature.zero_grad();
+        self.attribute_encoder.zero_grad();
+    }
+
+    /// Clamps the temperature after an optimizer step.
+    pub fn post_step(&mut self) {
+        self.temperature.clamp();
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_trainable_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Freezes or re-creates nothing — exposes mutable access to the image
+    /// encoder for the trainers.
+    pub fn image_encoder_mut(&mut self) -> &mut ImageEncoder {
+        &mut self.image_encoder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> AttributeSchema {
+        AttributeSchema::cub200()
+    }
+
+    fn tiny_model() -> ZscModel {
+        ZscModel::new(&ModelConfig::tiny(), &schema(), 48)
+    }
+
+    #[test]
+    fn construction_respects_config() {
+        let mut model = tiny_model();
+        assert_eq!(model.embedding_dim(), 64);
+        assert_eq!(model.attribute_encoder_kind(), AttributeEncoderKind::Hdc);
+        assert!((model.temperature() - 0.07).abs() < 1e-6);
+        assert_eq!(model.phase2_dictionary().shape(), (312, 64));
+        assert!(model.num_trainable_params() > 0);
+        assert_eq!(model.config().embedding_dim, 64);
+        assert!(model.image_encoder().has_projection());
+    }
+
+    #[test]
+    fn no_projection_model_uses_feature_dim() {
+        let cfg = ModelConfig::tiny().with_projection(false);
+        let mut model = ZscModel::new(&cfg, &schema(), 80);
+        assert_eq!(model.embedding_dim(), 80);
+        // Trainable params: only the temperature scalar.
+        assert_eq!(model.num_trainable_params(), 1);
+    }
+
+    #[test]
+    fn mlp_variant_shares_phase2_dictionary_with_hdc() {
+        let s = schema();
+        let hdc_model = ZscModel::new(&ModelConfig::tiny(), &s, 48);
+        let mlp_model = ZscModel::new(&ModelConfig::tiny().with_attribute_encoder(AttributeEncoderKind::TrainableMlp), &s, 48);
+        // Same seed → same stationary dictionary for phase II.
+        assert_eq!(
+            hdc_model.phase2_dictionary(),
+            mlp_model.phase2_dictionary()
+        );
+        assert_eq!(mlp_model.attribute_encoder().kind(), AttributeEncoderKind::TrainableMlp);
+    }
+
+    #[test]
+    fn logit_shapes() {
+        let mut model = tiny_model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let features = Matrix::random_uniform(3, 48, 1.0, &mut rng);
+        let class_attributes = Matrix::random_uniform(7, 312, 0.5, &mut rng).map(f32::abs);
+        assert_eq!(model.attribute_logits(&features, false).shape(), (3, 312));
+        assert_eq!(
+            model.class_logits(&features, &class_attributes, false).shape(),
+            (3, 7)
+        );
+        assert_eq!(model.predict(&features, &class_attributes).len(), 3);
+        assert_eq!(model.embed_images(&features, false).shape(), (3, 64));
+    }
+
+    #[test]
+    fn class_backward_accumulates_projection_gradients() {
+        let mut model = tiny_model();
+        let mut rng = StdRng::seed_from_u64(2);
+        let features = Matrix::random_uniform(4, 48, 1.0, &mut rng);
+        let class_attributes = Matrix::random_uniform(5, 312, 0.5, &mut rng).map(f32::abs);
+        model.zero_grad();
+        let logits = model.class_logits(&features, &class_attributes, true);
+        model.backward_class(&Matrix::ones(logits.rows(), logits.cols()));
+        let mut grad_norm = 0.0;
+        model.visit_params(&mut |p| grad_norm += p.grad_norm());
+        assert!(grad_norm > 0.0);
+        model.zero_grad();
+        let mut after = 0.0;
+        model.visit_params(&mut |p| after += p.grad_norm());
+        assert_eq!(after, 0.0);
+    }
+
+    #[test]
+    fn attribute_backward_touches_only_image_encoder_and_temperature() {
+        let cfg = ModelConfig::tiny().with_attribute_encoder(AttributeEncoderKind::TrainableMlp);
+        let mut model = ZscModel::new(&cfg, &schema(), 48);
+        let mut rng = StdRng::seed_from_u64(3);
+        let features = Matrix::random_uniform(2, 48, 1.0, &mut rng);
+        model.zero_grad();
+        let logits = model.attribute_logits(&features, true);
+        model.backward_attribute(&Matrix::ones(logits.rows(), logits.cols()));
+        // The MLP attribute encoder must have received no gradient.
+        let mut mlp_grad = 0.0;
+        model.attribute_encoder_mut().visit_params(&mut |p| mlp_grad += p.grad_norm());
+        assert_eq!(mlp_grad, 0.0);
+    }
+
+    #[test]
+    fn predictions_are_deterministic() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(4);
+        let features = Matrix::random_uniform(5, 48, 1.0, &mut rng);
+        let class_attributes = Matrix::random_uniform(6, 312, 0.5, &mut rng).map(f32::abs);
+        let mut a = ZscModel::new(&ModelConfig::tiny().with_seed(9), &s, 48);
+        let mut b = ZscModel::new(&ModelConfig::tiny().with_seed(9), &s, 48);
+        assert_eq!(
+            a.predict(&features, &class_attributes),
+            b.predict(&features, &class_attributes)
+        );
+    }
+
+    #[test]
+    fn post_step_keeps_temperature_positive() {
+        let mut model = tiny_model();
+        // Force the temperature negative as an optimizer might, then clamp.
+        model.visit_params(&mut |p| {
+            if p.shape() == (1, 1) {
+                p.values.set(0, 0, -1.0);
+            }
+        });
+        model.post_step();
+        assert!(model.temperature() > 0.0);
+    }
+}

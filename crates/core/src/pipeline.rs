@@ -1,0 +1,300 @@
+//! The full three-phase pipeline: (simulated) phase-I backbone → phase-II
+//! attribute extraction → phase-III zero-shot fine-tuning → evaluation.
+
+use crate::config::{ModelConfig, TrainConfig};
+use crate::eval::{
+    evaluate_attribute_extraction, evaluate_zsc, AttributeExtractionReport, ZscReport,
+};
+use crate::model::ZscModel;
+use crate::params::ParameterBreakdown;
+use crate::train::{AttributeExtractionTrainer, TrainingHistory, ZscTrainer};
+use dataset::{CubLikeDataset, SplitKind};
+use serde::{Deserialize, Serialize};
+use tensor::Matrix;
+
+/// Everything a single training/evaluation run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineOutcome {
+    /// Zero-shot (or noZS) classification results on the evaluation side.
+    pub zsc: ZscReport,
+    /// Attribute-extraction results on the evaluation side.
+    pub attribute_extraction: AttributeExtractionReport,
+    /// Parameter accounting of the trained model.
+    pub params: ParameterBreakdown,
+    /// Phase-II loss curve.
+    pub phase2_history: TrainingHistory,
+    /// Phase-III loss curve.
+    pub phase3_history: TrainingHistory,
+}
+
+/// Orchestrates the paper's training recipe end to end for one seed.
+///
+/// # Example
+///
+/// ```
+/// use dataset::{CubLikeDataset, DatasetConfig, SplitKind};
+/// use hdc_zsc::{ModelConfig, Pipeline, TrainConfig};
+///
+/// let data = CubLikeDataset::generate(&DatasetConfig::tiny(2));
+/// let outcome = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast())
+///     .run(&data, SplitKind::Zs, 0);
+/// assert!(outcome.zsc.top1 >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    model_config: ModelConfig,
+    train_config: TrainConfig,
+    run_phase2: bool,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given model and training configurations.
+    pub fn new(model_config: ModelConfig, train_config: TrainConfig) -> Self {
+        Self {
+            model_config,
+            train_config,
+            run_phase2: true,
+        }
+    }
+
+    /// Disables phase-II pre-training (Table II rows without the FC layer
+    /// skip stage II).
+    #[must_use]
+    pub fn without_phase2(mut self) -> Self {
+        self.run_phase2 = false;
+        self
+    }
+
+    /// The model configuration.
+    pub fn model_config(&self) -> &ModelConfig {
+        &self.model_config
+    }
+
+    /// The training configuration.
+    pub fn train_config(&self) -> &TrainConfig {
+        &self.train_config
+    }
+
+    /// Runs the full pipeline on `data` under the given split protocol and
+    /// seed, returning the evaluation reports.
+    ///
+    /// For the zero-shot splits (`Zs`, `Validation`) the model trains on the
+    /// split's training classes and is evaluated on the *disjoint* evaluation
+    /// classes. For `NoZs` the instances of the (shared) classes are divided
+    /// 75/25 into train and test, matching the supervised protocol used by
+    /// the Table I baselines.
+    pub fn run(&self, data: &CubLikeDataset, split_kind: SplitKind, seed: u64) -> PipelineOutcome {
+        let split = data.split(split_kind);
+        let model_config = self.model_config.with_seed(self.model_config.seed.wrapping_add(seed));
+        let train_config = self.train_config.with_seed(self.train_config.seed.wrapping_add(seed));
+        let mut model = ZscModel::new(&model_config, data.schema(), data.config().feature_dim);
+
+        // Assemble train/eval instance sets.
+        let (train_x, train_labels, train_attr, eval_x, eval_labels, eval_attr) =
+            if split.is_zero_shot() {
+                let (train_x, train_labels) = data.features_and_labels(split.train_classes());
+                let (_, train_attr) = data.features_and_attributes(split.train_classes());
+                let (eval_x, eval_labels) = data.features_and_labels(split.eval_classes());
+                let (_, eval_attr) = data.features_and_attributes(split.eval_classes());
+                (train_x, train_labels, train_attr, eval_x, eval_labels, eval_attr)
+            } else {
+                // noZS: split instances of the shared classes 75/25.
+                let indices = data.instance_indices(split.train_classes());
+                let (train_idx, eval_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .enumerate()
+                    .fold((Vec::new(), Vec::new()), |(mut tr, mut ev), (pos, &idx)| {
+                        if pos % 4 == 3 {
+                            ev.push(idx);
+                        } else {
+                            tr.push(idx);
+                        }
+                        (tr, ev)
+                    });
+                (
+                    data.features().select_rows(&train_idx),
+                    data.instances().labels(&train_idx),
+                    data.instances().attribute_targets(&train_idx),
+                    data.features().select_rows(&eval_idx),
+                    data.instances().labels(&eval_idx),
+                    data.instances().attribute_targets(&eval_idx),
+                )
+            };
+
+        // Phase II: attribute extraction pre-training on the training side.
+        let phase2_history = if self.run_phase2 && model.image_encoder().has_projection() {
+            AttributeExtractionTrainer::new(train_config).train(&mut model, &train_x, &train_attr)
+        } else {
+            TrainingHistory::default()
+        };
+
+        // Phase III: classification fine-tuning against the seen classes.
+        let train_local = CubLikeDataset::to_local_labels(&train_labels, split.train_classes());
+        let train_class_attr = data.class_attribute_matrix(split.train_classes());
+        let phase3_history = ZscTrainer::new(train_config).train(
+            &mut model,
+            &train_x,
+            &train_local,
+            &train_class_attr,
+        );
+
+        // Evaluation on the held-out side (unseen classes for ZS splits).
+        let eval_local = CubLikeDataset::to_local_labels(&eval_labels, split.eval_classes());
+        let eval_class_attr = data.class_attribute_matrix(split.eval_classes());
+        let zsc = evaluate_zsc(&mut model, &eval_x, &eval_local, &eval_class_attr);
+        let attribute_extraction =
+            evaluate_attribute_extraction(&mut model, &eval_x, &eval_attr, data.schema());
+        let params = ParameterBreakdown::of(&mut model);
+        PipelineOutcome {
+            zsc,
+            attribute_extraction,
+            params,
+            phase2_history,
+            phase3_history,
+        }
+    }
+
+    /// Runs the pipeline and additionally returns the trained model (for
+    /// callers that want to run extra analyses).
+    pub fn run_returning_model(
+        &self,
+        data: &CubLikeDataset,
+        split_kind: SplitKind,
+        seed: u64,
+    ) -> (PipelineOutcome, ZscModel) {
+        // A thin wrapper over `run` would retrain; instead rebuild the exact
+        // same computation while keeping the model.
+        let outcome = self.run(data, split_kind, seed);
+        let split = data.split(split_kind);
+        let model_config = self.model_config.with_seed(self.model_config.seed.wrapping_add(seed));
+        let train_config = self.train_config.with_seed(self.train_config.seed.wrapping_add(seed));
+        let mut model = ZscModel::new(&model_config, data.schema(), data.config().feature_dim);
+        let (train_x, train_labels) = data.features_and_labels(split.train_classes());
+        let (_, train_attr) = data.features_and_attributes(split.train_classes());
+        if self.run_phase2 && model.image_encoder().has_projection() {
+            let _ = AttributeExtractionTrainer::new(train_config).train(&mut model, &train_x, &train_attr);
+        }
+        let train_local = CubLikeDataset::to_local_labels(&train_labels, split.train_classes());
+        let train_class_attr = data.class_attribute_matrix(split.train_classes());
+        let _ = ZscTrainer::new(train_config).train(&mut model, &train_x, &train_local, &train_class_attr);
+        (outcome, model)
+    }
+
+    /// Runs the pipeline over several seeds, returning one outcome per seed
+    /// (the five-trial µ ± σ protocol of §IV-A).
+    pub fn run_seeds(
+        &self,
+        data: &CubLikeDataset,
+        split_kind: SplitKind,
+        seeds: &[u64],
+    ) -> Vec<PipelineOutcome> {
+        seeds.iter().map(|&s| self.run(data, split_kind, s)).collect()
+    }
+
+    /// Convenience: mean top-1 accuracy over a set of outcomes.
+    pub fn mean_top1(outcomes: &[PipelineOutcome]) -> f32 {
+        if outcomes.is_empty() {
+            return 0.0;
+        }
+        outcomes.iter().map(|o| o.zsc.top1).sum::<f32>() / outcomes.len() as f32
+    }
+}
+
+/// Splits a feature/label set into the matrices needed to call the trainers
+/// directly (exposed for the benches and examples that bypass [`Pipeline`]).
+pub fn localise_labels(labels: &[usize], classes: &[usize]) -> (Vec<usize>, usize) {
+    (
+        CubLikeDataset::to_local_labels(labels, classes),
+        classes.len(),
+    )
+}
+
+/// Convenience for harnesses: stack outcomes' top-1 accuracies as a vector.
+pub fn top1_samples(outcomes: &[PipelineOutcome]) -> Vec<f32> {
+    outcomes.iter().map(|o| o.zsc.top1 * 100.0).collect()
+}
+
+/// Re-export of the class-attribute selection used by examples.
+pub fn class_attribute_matrix(data: &CubLikeDataset, classes: &[usize]) -> Matrix {
+    data.class_attribute_matrix(classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::DatasetConfig;
+
+    #[test]
+    fn zero_shot_pipeline_beats_chance() {
+        // Slightly larger than the default tiny fixture: zero-shot transfer
+        // needs a little more data/dimensionality than the unit-test minimum.
+        let mut config = DatasetConfig::tiny(21);
+        config.images_per_class = 10;
+        config.feature_dim = 96;
+        let data = CubLikeDataset::generate(&config);
+        let pipeline = Pipeline::new(
+            ModelConfig::tiny().with_embedding_dim(96),
+            TrainConfig::fast().with_epochs(12),
+        );
+        let outcome = pipeline.run(&data, SplitKind::Zs, 0);
+        let split = data.split(SplitKind::Zs);
+        let chance = 1.0 / split.eval_classes().len() as f32;
+        assert!(
+            outcome.zsc.top1 > 1.4 * chance,
+            "zero-shot top-1 {} vs chance {}",
+            outcome.zsc.top1,
+            chance
+        );
+        assert!(outcome.phase2_history.epochs() > 0);
+        assert!(outcome.phase3_history.epochs() > 0);
+        assert_eq!(outcome.attribute_extraction.per_group.len(), 28);
+        assert!(outcome.params.total() > 0);
+    }
+
+    #[test]
+    fn nozs_pipeline_splits_instances() {
+        let data = CubLikeDataset::generate(&DatasetConfig::tiny(22));
+        let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(2));
+        let outcome = pipeline.run(&data, SplitKind::NoZs, 0);
+        let split = data.split(SplitKind::NoZs);
+        // A quarter of the shared-class instances are held out.
+        let total = data.instance_indices(split.train_classes()).len();
+        assert_eq!(outcome.zsc.num_samples, total / 4);
+        assert!(outcome.zsc.top1 > 0.0);
+    }
+
+    #[test]
+    fn without_phase2_skips_pretraining() {
+        let data = CubLikeDataset::generate(&DatasetConfig::tiny(23));
+        let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(2)).without_phase2();
+        assert!(pipeline.model_config().use_projection);
+        assert_eq!(pipeline.train_config().epochs, 2);
+        let outcome = pipeline.run(&data, SplitKind::Zs, 0);
+        assert_eq!(outcome.phase2_history.epochs(), 0);
+        assert!(outcome.phase3_history.epochs() > 0);
+    }
+
+    #[test]
+    fn run_seeds_produces_one_outcome_per_seed() {
+        let data = CubLikeDataset::generate(&DatasetConfig::tiny(24));
+        let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(2));
+        let outcomes = pipeline.run_seeds(&data, SplitKind::Zs, &[0, 1, 2]);
+        assert_eq!(outcomes.len(), 3);
+        let mean = Pipeline::mean_top1(&outcomes);
+        assert!(mean > 0.0);
+        assert_eq!(top1_samples(&outcomes).len(), 3);
+        assert_eq!(Pipeline::mean_top1(&[]), 0.0);
+    }
+
+    #[test]
+    fn helper_functions() {
+        let data = CubLikeDataset::generate(&DatasetConfig::tiny(25));
+        let split = data.split(SplitKind::Zs);
+        let (_, labels) = data.features_and_labels(split.eval_classes());
+        let (local, count) = localise_labels(&labels, split.eval_classes());
+        assert_eq!(count, split.eval_classes().len());
+        assert!(local.iter().all(|&l| l < count));
+        let attr = class_attribute_matrix(&data, split.eval_classes());
+        assert_eq!(attr.rows(), count);
+    }
+}

@@ -1,0 +1,283 @@
+//! Training loops for phase II (attribute extraction) and phase III
+//! (zero-shot classification fine-tuning).
+
+use crate::config::TrainConfig;
+use crate::model::ZscModel;
+use dataset::BatchIterator;
+use nn::loss::{cross_entropy, positive_weights_from_targets, weighted_bce_with_logits};
+use nn::{AdamW, CosineAnnealingLr, LrSchedule, Optimizer};
+use serde::{Deserialize, Serialize};
+use tensor::Matrix;
+
+/// Per-epoch record of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TrainingHistory {
+    /// Mean loss per epoch.
+    pub epoch_loss: Vec<f32>,
+    /// Learning rate used in each epoch.
+    pub epoch_lr: Vec<f32>,
+}
+
+impl TrainingHistory {
+    /// Loss of the final epoch (`None` if no epochs were run).
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epoch_loss.last().copied()
+    }
+
+    /// Number of completed epochs.
+    pub fn epochs(&self) -> usize {
+        self.epoch_loss.len()
+    }
+
+    /// Whether the loss decreased from the first to the last epoch.
+    pub fn improved(&self) -> bool {
+        match (self.epoch_loss.first(), self.epoch_loss.last()) {
+            (Some(first), Some(last)) => last < first,
+            _ => false,
+        }
+    }
+}
+
+/// Phase II: trains the FC projection (and temperature) so that image
+/// embeddings align with the stationary attribute dictionary, using the
+/// class-imbalance-weighted BCE loss of §III-A.
+#[derive(Debug, Clone)]
+pub struct AttributeExtractionTrainer {
+    config: TrainConfig,
+}
+
+impl AttributeExtractionTrainer {
+    /// Creates a trainer with the given hyper-parameters.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// The training hyper-parameters.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Runs phase II on `(features, attribute_targets)` pairs
+    /// (`N×d'` and `N×α`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ or no samples are provided.
+    pub fn train(
+        &self,
+        model: &mut ZscModel,
+        features: &Matrix,
+        attribute_targets: &Matrix,
+    ) -> TrainingHistory {
+        assert_eq!(
+            features.rows(),
+            attribute_targets.rows(),
+            "one attribute-target row per feature row required"
+        );
+        assert!(features.rows() > 0, "cannot train on an empty set");
+        let pos_weights =
+            positive_weights_from_targets(attribute_targets, self.config.max_pos_weight);
+        let mut optimizer = AdamW::with_weight_decay(self.config.weight_decay);
+        let schedule = CosineAnnealingLr::new(self.config.learning_rate, self.config.learning_rate * 1e-2);
+        let mut history = TrainingHistory::default();
+        for epoch in 0..self.config.epochs {
+            let lr = schedule.lr_at(epoch, self.config.epochs);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for batch in BatchIterator::new(
+                features.rows(),
+                self.config.batch_size,
+                epoch,
+                self.config.seed,
+            ) {
+                let x = features.select_rows(&batch);
+                let t = attribute_targets.select_rows(&batch);
+                model.zero_grad();
+                let logits = model.attribute_logits(&x, true);
+                let loss = weighted_bce_with_logits(&logits, &t, &pos_weights);
+                model.backward_attribute(&loss.grad);
+                optimizer.step(lr, &mut |f| model.visit_params(f));
+                model.post_step();
+                epoch_loss += loss.loss;
+                batches += 1;
+            }
+            history.epoch_loss.push(epoch_loss / batches.max(1) as f32);
+            history.epoch_lr.push(lr);
+        }
+        history
+    }
+}
+
+/// Phase III: fine-tunes the FC projection (plus, for the trainable-MLP
+/// variant, the attribute encoder) with cross entropy over class logits.
+#[derive(Debug, Clone)]
+pub struct ZscTrainer {
+    config: TrainConfig,
+}
+
+impl ZscTrainer {
+    /// Creates a trainer with the given hyper-parameters.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// The training hyper-parameters.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Runs phase III.
+    ///
+    /// * `features` — backbone features of the training images (`N×d'`);
+    /// * `labels` — *local* class indices (row indices into
+    ///   `class_attributes`), one per feature row;
+    /// * `class_attributes` — the `C_train×α` class-attribute matrix of the
+    ///   *seen* classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts disagree, a label is out of range, or no
+    /// samples are provided.
+    pub fn train(
+        &self,
+        model: &mut ZscModel,
+        features: &Matrix,
+        labels: &[usize],
+        class_attributes: &Matrix,
+    ) -> TrainingHistory {
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "one label per feature row required"
+        );
+        assert!(features.rows() > 0, "cannot train on an empty set");
+        assert!(
+            labels.iter().all(|&l| l < class_attributes.rows()),
+            "labels must index rows of the class attribute matrix"
+        );
+        let mut optimizer = AdamW::with_weight_decay(self.config.weight_decay);
+        let schedule = CosineAnnealingLr::new(self.config.learning_rate, self.config.learning_rate * 1e-2);
+        let mut history = TrainingHistory::default();
+        for epoch in 0..self.config.epochs {
+            let lr = schedule.lr_at(epoch, self.config.epochs);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for batch in BatchIterator::new(
+                features.rows(),
+                self.config.batch_size,
+                epoch,
+                self.config.seed,
+            ) {
+                let x = features.select_rows(&batch);
+                let y: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
+                model.zero_grad();
+                let logits = model.class_logits(&x, class_attributes, true);
+                let loss = cross_entropy(&logits, &y);
+                model.backward_class(&loss.grad);
+                optimizer.step(lr, &mut |f| model.visit_params(f));
+                model.post_step();
+                epoch_loss += loss.loss;
+                batches += 1;
+            }
+            history.epoch_loss.push(epoch_loss / batches.max(1) as f32);
+            history.epoch_lr.push(lr);
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::eval::evaluate_zsc;
+    use dataset::{AttributeSchema, CubLikeDataset, DatasetConfig, SplitKind};
+
+    fn fixture() -> (CubLikeDataset, AttributeSchema) {
+        let data = CubLikeDataset::generate(&DatasetConfig::tiny(5));
+        let schema = data.schema().clone();
+        (data, schema)
+    }
+
+    #[test]
+    fn history_helpers() {
+        let empty = TrainingHistory::default();
+        assert_eq!(empty.final_loss(), None);
+        assert!(!empty.improved());
+        let h = TrainingHistory {
+            epoch_loss: vec![1.0, 0.5],
+            epoch_lr: vec![0.01, 0.005],
+        };
+        assert_eq!(h.final_loss(), Some(0.5));
+        assert_eq!(h.epochs(), 2);
+        assert!(h.improved());
+    }
+
+    #[test]
+    fn attribute_extraction_reduces_loss() {
+        let (data, schema) = fixture();
+        let split = data.split(SplitKind::NoZs);
+        let (features, targets) = data.features_and_attributes(split.train_classes());
+        let mut model = ZscModel::new(&ModelConfig::tiny(), &schema, data.config().feature_dim);
+        let trainer = AttributeExtractionTrainer::new(TrainConfig::fast().with_epochs(5));
+        assert_eq!(trainer.config().epochs, 5);
+        let history = trainer.train(&mut model, &features, &targets);
+        assert_eq!(history.epochs(), 5);
+        assert!(
+            history.improved(),
+            "phase II loss did not improve: {:?}",
+            history.epoch_loss
+        );
+    }
+
+    #[test]
+    fn zsc_training_reduces_loss_and_beats_chance() {
+        let (data, schema) = fixture();
+        let split = data.split(SplitKind::Zs);
+        let (features, labels) = data.features_and_labels(split.train_classes());
+        let local = CubLikeDataset::to_local_labels(&labels, split.train_classes());
+        let class_attributes = data.class_attribute_matrix(split.train_classes());
+        let mut model = ZscModel::new(&ModelConfig::tiny(), &schema, data.config().feature_dim);
+        let trainer = ZscTrainer::new(TrainConfig::fast().with_epochs(12));
+        let history = trainer.train(&mut model, &features, &local, &class_attributes);
+        assert!(history.improved(), "phase III loss did not improve");
+        // Evaluate zero-shot on the unseen classes. The tiny fixture is far
+        // below the paper's scale, so we only require a clear margin over
+        // chance (the full-scale shape is checked by the bench harnesses).
+        let (eval_features, eval_labels) = data.features_and_labels(split.eval_classes());
+        let eval_local = CubLikeDataset::to_local_labels(&eval_labels, split.eval_classes());
+        let eval_attributes = data.class_attribute_matrix(split.eval_classes());
+        let report = evaluate_zsc(&mut model, &eval_features, &eval_local, &eval_attributes);
+        let chance = 1.0 / split.eval_classes().len() as f32;
+        assert!(
+            report.top1 > chance * 1.4,
+            "zero-shot accuracy {} did not beat chance {}",
+            report.top1,
+            chance
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per feature row")]
+    fn zsc_trainer_validates_label_count() {
+        let (data, schema) = fixture();
+        let mut model = ZscModel::new(&ModelConfig::tiny(), &schema, data.config().feature_dim);
+        let trainer = ZscTrainer::new(TrainConfig::fast());
+        let features = Matrix::ones(3, data.config().feature_dim);
+        let class_attributes = Matrix::ones(2, 312);
+        let _ = trainer.train(&mut model, &features, &[0], &class_attributes);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot train on an empty set")]
+    fn attribute_trainer_rejects_empty_input() {
+        let (data, schema) = fixture();
+        let mut model = ZscModel::new(&ModelConfig::tiny(), &schema, data.config().feature_dim);
+        let trainer = AttributeExtractionTrainer::new(TrainConfig::fast());
+        let _ = trainer.train(
+            &mut model,
+            &Matrix::zeros(0, data.config().feature_dim),
+            &Matrix::zeros(0, 312),
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! The assembled synthetic dataset: schema + classes + instances + features.
+
+use crate::backbone::SyntheticBackbone;
+use crate::classes::ClassAttributes;
+use crate::config::DatasetConfig;
+use crate::instances::InstanceSet;
+use crate::schema::AttributeSchema;
+use crate::splits::{ClassSplit, SplitKind};
+use tensor::Matrix;
+
+/// A fully materialised synthetic CUB-200-like dataset.
+///
+/// Holds the attribute schema, the class-attribute matrix, the sampled
+/// instances, and the pre-extracted backbone features for every instance —
+/// i.e. everything the training phases consume. Generation is deterministic
+/// in the configuration's seed.
+///
+/// # Example
+///
+/// ```
+/// use dataset::{CubLikeDataset, DatasetConfig, SplitKind};
+///
+/// let data = CubLikeDataset::generate(&DatasetConfig::tiny(3));
+/// let split = data.split(SplitKind::Zs);
+/// assert!(split.is_zero_shot());
+/// let (features, labels) = data.features_and_labels(split.eval_classes());
+/// assert_eq!(features.rows(), labels.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CubLikeDataset {
+    config: DatasetConfig,
+    schema: AttributeSchema,
+    classes: ClassAttributes,
+    instances: InstanceSet,
+    backbone: SyntheticBackbone,
+    features: Matrix,
+}
+
+impl CubLikeDataset {
+    /// Generates a dataset from the configuration (schema, class attributes,
+    /// instances and backbone features), deterministically from
+    /// `config.seed`.
+    pub fn generate(config: &DatasetConfig) -> Self {
+        let schema = AttributeSchema::cub200();
+        let classes = ClassAttributes::generate_structured(
+            &schema,
+            config.num_classes,
+            config.num_families,
+            config.family_distinct_groups,
+            config.seed,
+        );
+        let instances = InstanceSet::sample(
+            &schema,
+            &classes,
+            config.images_per_class,
+            config.noise,
+            config.seed.wrapping_add(1),
+        );
+        let backbone = SyntheticBackbone::pretrain_with_dim(
+            config.backbone,
+            schema.num_attributes(),
+            config.feature_dim,
+            config.seed.wrapping_add(2),
+        )
+        .with_noise_scale(config.feature_noise_scale);
+        let all_indices: Vec<usize> = (0..instances.len()).collect();
+        let targets = instances.attribute_targets(&all_indices);
+        let features = backbone.features_batch(&targets, config.seed.wrapping_add(3));
+        Self {
+            config: *config,
+            schema,
+            classes,
+            instances,
+            backbone,
+            features,
+        }
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// The attribute schema (28 groups, 61 values, 312 attributes).
+    pub fn schema(&self) -> &AttributeSchema {
+        &self.schema
+    }
+
+    /// The class-attribute matrix and class names.
+    pub fn classes(&self) -> &ClassAttributes {
+        &self.classes
+    }
+
+    /// The sampled instances.
+    pub fn instances(&self) -> &InstanceSet {
+        &self.instances
+    }
+
+    /// The simulated pretrained backbone.
+    pub fn backbone(&self) -> &SyntheticBackbone {
+        &self.backbone
+    }
+
+    /// Backbone features of every instance (`N×d'`), in instance order.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Builds the canonical split of the configured class count, falling back
+    /// to the proportionally scaled split when the dataset has fewer than 200
+    /// classes.
+    pub fn split(&self, kind: SplitKind) -> ClassSplit {
+        if self.config.num_classes >= 200 {
+            ClassSplit::new(kind, self.config.num_classes)
+        } else {
+            ClassSplit::scaled(kind, self.config.num_classes)
+        }
+    }
+
+    /// Instance indices belonging to the given classes.
+    pub fn instance_indices(&self, classes: &[usize]) -> Vec<usize> {
+        self.instances.indices_of_classes(classes)
+    }
+
+    /// Backbone features and class labels of all instances of the given
+    /// classes, in instance order.
+    pub fn features_and_labels(&self, classes: &[usize]) -> (Matrix, Vec<usize>) {
+        let indices = self.instance_indices(classes);
+        (
+            self.features.select_rows(&indices),
+            self.instances.labels(&indices),
+        )
+    }
+
+    /// Backbone features and binary attribute targets of all instances of the
+    /// given classes (the phase-II training pairs).
+    pub fn features_and_attributes(&self, classes: &[usize]) -> (Matrix, Matrix) {
+        let indices = self.instance_indices(classes);
+        (
+            self.features.select_rows(&indices),
+            self.instances.attribute_targets(&indices),
+        )
+    }
+
+    /// Remaps absolute class labels to *local* indices within `classes`
+    /// (e.g. test class 157 → index 7 of the 50-class evaluation set), the
+    /// label space the similarity kernel's logits are expressed in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label does not appear in `classes`.
+    pub fn to_local_labels(labels: &[usize], classes: &[usize]) -> Vec<usize> {
+        labels
+            .iter()
+            .map(|l| {
+                classes
+                    .iter()
+                    .position(|c| c == l)
+                    .unwrap_or_else(|| panic!("label {l} not in the provided class list"))
+            })
+            .collect()
+    }
+
+    /// The class-attribute sub-matrix for the given classes (rows ordered as
+    /// in `classes`) — the `A` matrix handed to the attribute encoder.
+    pub fn class_attribute_matrix(&self, classes: &[usize]) -> Matrix {
+        self.classes.select(classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> CubLikeDataset {
+        CubLikeDataset::generate(&DatasetConfig::tiny(42))
+    }
+
+    #[test]
+    fn generation_shapes_are_consistent() {
+        let data = dataset();
+        let cfg = DatasetConfig::tiny(42);
+        assert_eq!(data.instances().len(), cfg.total_images());
+        assert_eq!(data.features().rows(), cfg.total_images());
+        assert_eq!(data.features().cols(), cfg.feature_dim);
+        assert_eq!(data.classes().num_classes(), cfg.num_classes);
+        assert_eq!(data.schema().num_attributes(), 312);
+        assert_eq!(data.config(), &cfg);
+        assert_eq!(data.backbone().feature_dim(), cfg.feature_dim);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CubLikeDataset::generate(&DatasetConfig::tiny(7));
+        let b = CubLikeDataset::generate(&DatasetConfig::tiny(7));
+        assert_eq!(a.features().max_abs_diff(b.features()), 0.0);
+        let c = CubLikeDataset::generate(&DatasetConfig::tiny(8));
+        assert!(a.features().max_abs_diff(c.features()) > 0.0);
+    }
+
+    #[test]
+    fn split_selection_and_labels() {
+        let data = dataset();
+        let split = data.split(SplitKind::Zs);
+        assert!(split.is_zero_shot());
+        let (features, labels) = data.features_and_labels(split.eval_classes());
+        assert_eq!(features.rows(), labels.len());
+        assert!(labels.iter().all(|l| split.eval_classes().contains(l)));
+        let local = CubLikeDataset::to_local_labels(&labels, split.eval_classes());
+        assert!(local.iter().all(|&l| l < split.eval_classes().len()));
+    }
+
+    #[test]
+    fn attribute_targets_align_with_features() {
+        let data = dataset();
+        let split = data.split(SplitKind::NoZs);
+        let (features, targets) = data.features_and_attributes(split.train_classes());
+        assert_eq!(features.rows(), targets.rows());
+        assert_eq!(targets.cols(), 312);
+    }
+
+    #[test]
+    fn class_attribute_matrix_rows_follow_request_order() {
+        let data = dataset();
+        let m = data.class_attribute_matrix(&[5, 1]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(0), data.classes().matrix().row(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the provided class list")]
+    fn local_label_mapping_rejects_unknown_class() {
+        let _ = CubLikeDataset::to_local_labels(&[9], &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,442 @@
+//! Attribute schema: groups, value vocabulary, and the flattened attribute
+//! index used throughout the reproduction.
+//!
+//! The CUB-200-2011 annotations define `α = 312` binary attributes, each of
+//! which is a *(group, value)* pair — e.g. *(crown color, blue)*. There are
+//! `G = 28` groups and only `V = 61` unique values because the colour and
+//! pattern vocabularies are shared across many groups. The paper's HDC
+//! attribute encoder exploits exactly this factorisation: it stores one
+//! atomic hypervector per group and per value (89 vectors) instead of one per
+//! attribute (312 vectors), a ~71% memory reduction.
+
+use serde::{Deserialize, Serialize};
+
+/// One attribute group (e.g. *crown color*) and the value vocabulary indices
+/// it draws from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeGroup {
+    /// Human-readable group name.
+    pub name: String,
+    /// Indices into the schema's value vocabulary, one per attribute in this
+    /// group, in attribute order.
+    pub value_ids: Vec<usize>,
+}
+
+impl AttributeGroup {
+    /// Number of attributes (group/value combinations) in this group.
+    pub fn len(&self) -> usize {
+        self.value_ids.len()
+    }
+
+    /// Returns `true` if the group has no attributes (never the case for
+    /// schema-constructed groups).
+    pub fn is_empty(&self) -> bool {
+        self.value_ids.is_empty()
+    }
+}
+
+/// The full attribute schema: group definitions, the value vocabulary, and
+/// the flattened attribute index.
+///
+/// Attribute `x ∈ {0, …, α−1}` corresponds to the pair
+/// `(group_of(x), value_of(x))`; attributes are numbered group by group in
+/// declaration order, which matches how the class-attribute matrix columns
+/// are laid out.
+///
+/// # Example
+///
+/// ```
+/// use dataset::AttributeSchema;
+///
+/// let schema = AttributeSchema::cub200();
+/// assert_eq!(schema.num_groups(), 28);
+/// assert_eq!(schema.num_values(), 61);
+/// assert_eq!(schema.num_attributes(), 312);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeSchema {
+    groups: Vec<AttributeGroup>,
+    values: Vec<String>,
+    /// attribute index -> (group index, value index)
+    pairs: Vec<(usize, usize)>,
+}
+
+impl AttributeSchema {
+    /// Builds a schema from explicit groups and a value vocabulary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any group is empty, any value id is out of range, or the
+    /// vocabulary or group list is empty.
+    pub fn new(groups: Vec<AttributeGroup>, values: Vec<String>) -> Self {
+        assert!(!groups.is_empty(), "schema needs at least one group");
+        assert!(!values.is_empty(), "schema needs at least one value");
+        let mut pairs = Vec::new();
+        for (g, group) in groups.iter().enumerate() {
+            assert!(!group.is_empty(), "group '{}' has no attributes", group.name);
+            for &v in &group.value_ids {
+                assert!(
+                    v < values.len(),
+                    "group '{}' references value id {v} outside the vocabulary",
+                    group.name
+                );
+                pairs.push((g, v));
+            }
+        }
+        Self {
+            groups,
+            values,
+            pairs,
+        }
+    }
+
+    /// The CUB-200-2011 schema: 28 groups, 61 unique values, 312 attributes.
+    ///
+    /// Group sizes follow the real dataset (15-value colour groups, 4-value
+    /// pattern groups, and the morphological groups); the value vocabulary is
+    /// synthetic but shares colours and patterns across groups the same way
+    /// the real annotations do, so the factored codebook has the same memory
+    /// profile as in the paper.
+    pub fn cub200() -> Self {
+        let mut builder = SchemaBuilder::new();
+        // Shared vocabularies.
+        let colors = [
+            "blue", "brown", "iridescent", "purple", "rufous", "grey", "yellow", "olive",
+            "green", "pink", "orange", "black", "white", "red", "buff",
+        ];
+        let patterns = ["solid", "spotted", "striped", "multi-colored"];
+        let color_ids = builder.intern_all(&colors);
+        let pattern_ids = builder.intern_all(&patterns);
+        // 15 colour groups using the full colour vocabulary.
+        for group in [
+            "wing color",
+            "upperparts color",
+            "underparts color",
+            "back color",
+            "upper tail color",
+            "breast color",
+            "throat color",
+            "forehead color",
+            "under tail color",
+            "nape color",
+            "belly color",
+            "primary color",
+            "leg color",
+            "bill color",
+            "crown color",
+        ] {
+            builder.push_group(group, color_ids.clone());
+        }
+        // Eye colour uses 14 of the 15 colours (no "buff"), as in CUB.
+        builder.push_group("eye color", color_ids[..14].to_vec());
+        // 5 pattern groups.
+        for group in [
+            "breast pattern",
+            "back pattern",
+            "tail pattern",
+            "belly pattern",
+            "wing pattern",
+        ] {
+            builder.push_group(group, pattern_ids.clone());
+        }
+        // Morphological groups with their own (partially shared) vocabularies.
+        let bill_shape = builder.intern_all(&[
+            "curved", "dagger", "hooked", "needle", "hooked seabird", "spatulate",
+            "all-purpose", "cone", "specialized",
+        ]);
+        builder.push_group("bill shape", bill_shape);
+        let tail_shape = builder.intern_all(&[
+            "forked", "rounded", "notched", "fan-shaped", "pointed", "squared",
+        ]);
+        builder.push_group("tail shape", tail_shape);
+        // Head pattern shares "spotted"/"striped" with the pattern vocabulary.
+        let head_pattern = builder.intern_all(&[
+            "spotted", "malar", "crested", "masked", "unique pattern", "eyebrow", "eyering",
+            "plain", "eyeline", "striped", "capped",
+        ]);
+        builder.push_group("head pattern", head_pattern);
+        let bill_length = builder.intern_all(&["same as head", "longer than head", "shorter than head"]);
+        builder.push_group("bill length", bill_length);
+        // Wing shape shares "rounded"/"pointed" with tail shape.
+        let wing_shape = builder.intern_all(&["rounded", "pointed", "broad", "tapered", "long"]);
+        builder.push_group("wing shape", wing_shape);
+        let size = builder.intern_all(&["large", "small", "very large", "medium", "very small"]);
+        builder.push_group("size", size);
+        // Shape: 7 novel silhouettes plus 7 descriptors shared with earlier
+        // vocabularies, mirroring how CUB reaches 61 unique values overall.
+        let shape = builder.intern_all(&[
+            "perching-like", "chicken-like", "long-legged", "duck-like", "owl-like",
+            "gull-like", "hummingbird-like", "crested", "masked", "plain", "capped",
+            "broad", "tapered", "long",
+        ]);
+        builder.push_group("shape", shape);
+        builder.build()
+    }
+
+    /// A small synthetic schema for tests: `groups` groups of
+    /// `values_per_group` attributes each, with a private value vocabulary
+    /// per group (no sharing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn synthetic(groups: usize, values_per_group: usize) -> Self {
+        assert!(groups > 0 && values_per_group > 0, "schema dims must be positive");
+        let mut builder = SchemaBuilder::new();
+        for g in 0..groups {
+            let names: Vec<String> = (0..values_per_group)
+                .map(|v| format!("g{g}-v{v}"))
+                .collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let ids = builder.intern_all(&refs);
+            builder.push_group(format!("group{g}"), ids);
+        }
+        builder.build()
+    }
+
+    /// Number of attribute groups (`G`).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of unique attribute values (`V`).
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of attributes / group-value combinations (`α`).
+    pub fn num_attributes(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The attribute groups in declaration order.
+    pub fn groups(&self) -> &[AttributeGroup] {
+        &self.groups
+    }
+
+    /// The value vocabulary.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// The `(group, value)` pair of attribute `attribute`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attribute >= self.num_attributes()`.
+    pub fn pair_of(&self, attribute: usize) -> (usize, usize) {
+        self.pairs[attribute]
+    }
+
+    /// The group index of attribute `attribute`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attribute >= self.num_attributes()`.
+    pub fn group_of(&self, attribute: usize) -> usize {
+        self.pairs[attribute].0
+    }
+
+    /// The value index of attribute `attribute`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attribute >= self.num_attributes()`.
+    pub fn value_of(&self, attribute: usize) -> usize {
+        self.pairs[attribute].1
+    }
+
+    /// All `(group, value)` pairs in attribute order.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// The attribute (column) indices belonging to group `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group >= self.num_groups()`.
+    pub fn group_columns(&self, group: usize) -> Vec<usize> {
+        assert!(group < self.groups.len(), "group index out of range");
+        self.pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, &(g, _))| g == group)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// `(name, columns)` pairs for every group, in declaration order — the
+    /// layout consumed by [`metrics::wmap::evaluate_groups`].
+    ///
+    /// [`metrics::wmap::evaluate_groups`]: https://docs.rs/metrics
+    pub fn group_layout(&self) -> Vec<(String, Vec<usize>)> {
+        (0..self.num_groups())
+            .map(|g| (self.groups[g].name.clone(), self.group_columns(g)))
+            .collect()
+    }
+
+    /// Human-readable name of attribute `attribute`, e.g.
+    /// `"crown color::blue"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attribute >= self.num_attributes()`.
+    pub fn attribute_name(&self, attribute: usize) -> String {
+        let (g, v) = self.pairs[attribute];
+        format!("{}::{}", self.groups[g].name, self.values[v])
+    }
+}
+
+/// Incremental builder used by the schema constructors.
+struct SchemaBuilder {
+    groups: Vec<AttributeGroup>,
+    values: Vec<String>,
+}
+
+impl SchemaBuilder {
+    fn new() -> Self {
+        Self {
+            groups: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Interns a value name, returning its vocabulary index (reusing the
+    /// existing index if the name was seen before).
+    fn intern(&mut self, name: &str) -> usize {
+        if let Some(pos) = self.values.iter().position(|v| v == name) {
+            pos
+        } else {
+            self.values.push(name.to_string());
+            self.values.len() - 1
+        }
+    }
+
+    fn intern_all(&mut self, names: &[&str]) -> Vec<usize> {
+        names.iter().map(|n| self.intern(n)).collect()
+    }
+
+    fn push_group(&mut self, name: impl Into<String>, value_ids: Vec<usize>) {
+        self.groups.push(AttributeGroup {
+            name: name.into(),
+            value_ids,
+        });
+    }
+
+    fn build(self) -> AttributeSchema {
+        AttributeSchema::new(self.groups, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cub200_matches_paper_counts() {
+        let schema = AttributeSchema::cub200();
+        assert_eq!(schema.num_groups(), 28, "paper: G = 28 groups");
+        assert_eq!(schema.num_values(), 61, "paper: V = 61 unique values");
+        assert_eq!(schema.num_attributes(), 312, "paper: α = 312 attributes");
+    }
+
+    #[test]
+    fn cub200_group_sizes_sum_to_attribute_count() {
+        let schema = AttributeSchema::cub200();
+        let total: usize = schema.groups().iter().map(AttributeGroup::len).sum();
+        assert_eq!(total, schema.num_attributes());
+        // Colour groups have 15 values, pattern groups 4.
+        let crown = schema
+            .groups()
+            .iter()
+            .find(|g| g.name == "crown color")
+            .expect("crown color group exists");
+        assert_eq!(crown.len(), 15);
+        let wing_pattern = schema
+            .groups()
+            .iter()
+            .find(|g| g.name == "wing pattern")
+            .expect("wing pattern group exists");
+        assert_eq!(wing_pattern.len(), 4);
+    }
+
+    #[test]
+    fn colours_are_shared_across_groups() {
+        let schema = AttributeSchema::cub200();
+        // Find the value id of "blue" in two different colour groups: it must
+        // be the same vocabulary entry.
+        let crown_idx = schema
+            .groups()
+            .iter()
+            .position(|g| g.name == "crown color")
+            .expect("exists");
+        let wing_idx = schema
+            .groups()
+            .iter()
+            .position(|g| g.name == "wing color")
+            .expect("exists");
+        let crown_cols = schema.group_columns(crown_idx);
+        let wing_cols = schema.group_columns(wing_idx);
+        assert_eq!(schema.value_of(crown_cols[0]), schema.value_of(wing_cols[0]));
+    }
+
+    #[test]
+    fn pair_and_column_round_trip() {
+        let schema = AttributeSchema::cub200();
+        for attr in 0..schema.num_attributes() {
+            let (g, v) = schema.pair_of(attr);
+            assert_eq!(schema.group_of(attr), g);
+            assert_eq!(schema.value_of(attr), v);
+            assert!(schema.group_columns(g).contains(&attr));
+            assert!(v < schema.num_values());
+        }
+    }
+
+    #[test]
+    fn group_layout_covers_every_attribute_once() {
+        let schema = AttributeSchema::cub200();
+        let layout = schema.group_layout();
+        assert_eq!(layout.len(), 28);
+        let mut seen = vec![false; schema.num_attributes()];
+        for (_, cols) in &layout {
+            for &c in cols {
+                assert!(!seen[c], "attribute {c} appears in two groups");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn attribute_names_are_descriptive() {
+        let schema = AttributeSchema::cub200();
+        let name = schema.attribute_name(0);
+        assert!(name.contains("::"));
+        assert!(name.starts_with("wing color"));
+    }
+
+    #[test]
+    fn synthetic_schema_counts() {
+        let schema = AttributeSchema::synthetic(4, 5);
+        assert_eq!(schema.num_groups(), 4);
+        assert_eq!(schema.num_values(), 20);
+        assert_eq!(schema.num_attributes(), 20);
+        assert_eq!(schema.group_columns(2).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn synthetic_rejects_zero_groups() {
+        let _ = AttributeSchema::synthetic(0, 3);
+    }
+
+    #[test]
+    fn memory_reduction_matches_paper() {
+        // The whole point of the factored schema: G + V entries instead of α.
+        let schema = AttributeSchema::cub200();
+        let factored = schema.num_groups() + schema.num_values();
+        let reduction = 1.0 - factored as f32 / schema.num_attributes() as f32;
+        assert!((reduction - 0.71).abs() < 0.01, "reduction was {reduction}");
+    }
+}

@@ -1,0 +1,240 @@
+//! Train/test class splits: the noZS, ZS and validation protocols of §IV-A.
+
+use serde::{Deserialize, Serialize};
+
+/// The split protocols evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SplitKind {
+    /// `noZS`: 100 classes, whose *samples* are divided between train and
+    /// test (the same classes appear on both sides). Used for the
+    /// attribute-extraction comparison (Table I), matching Finetag / A3M.
+    NoZs,
+    /// `ZS`: 150 training classes and 50 *disjoint* test classes — the
+    /// zero-shot protocol of Fig. 4 and Table II.
+    Zs,
+    /// Validation: 50 classes disjoint from both the ZS training and test
+    /// classes, used for the hyper-parameter exploration of Fig. 5.
+    Validation,
+}
+
+impl std::fmt::Display for SplitKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SplitKind::NoZs => "noZS",
+            SplitKind::Zs => "ZS",
+            SplitKind::Validation => "validation",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A concrete assignment of class indices to the train and evaluation sides
+/// of a split.
+///
+/// For [`SplitKind::Zs`] and [`SplitKind::Validation`] the two sides are
+/// disjoint (zero-shot); for [`SplitKind::NoZs`] they are identical and the
+/// *instance*-level split is handled downstream.
+///
+/// # Example
+///
+/// ```
+/// use dataset::{ClassSplit, SplitKind};
+///
+/// let split = ClassSplit::new(SplitKind::Zs, 200);
+/// assert_eq!(split.train_classes().len(), 150);
+/// assert_eq!(split.eval_classes().len(), 50);
+/// assert!(split.is_zero_shot());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassSplit {
+    kind: SplitKind,
+    train: Vec<usize>,
+    eval: Vec<usize>,
+}
+
+impl ClassSplit {
+    /// Builds the canonical split of `num_classes` classes for the given
+    /// protocol.
+    ///
+    /// Classes are assigned deterministically by index (the CUB splits in the
+    /// literature are likewise fixed lists):
+    ///
+    /// * `noZS` — the first 100 classes on both sides;
+    /// * `ZS` — classes `0..150` for training, `150..200` for evaluation;
+    /// * `validation` — classes `0..100` for training, `100..150` for
+    ///   evaluation (disjoint from the ZS test classes `150..200`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes < 200` for the canonical protocols; use
+    /// [`ClassSplit::custom`] for smaller synthetic datasets.
+    pub fn new(kind: SplitKind, num_classes: usize) -> Self {
+        assert!(
+            num_classes >= 200,
+            "canonical CUB splits need 200 classes; use ClassSplit::custom for smaller datasets"
+        );
+        match kind {
+            SplitKind::NoZs => {
+                let classes: Vec<usize> = (0..100).collect();
+                Self {
+                    kind,
+                    train: classes.clone(),
+                    eval: classes,
+                }
+            }
+            SplitKind::Zs => Self {
+                kind,
+                train: (0..150).collect(),
+                eval: (150..200).collect(),
+            },
+            SplitKind::Validation => Self {
+                kind,
+                train: (0..100).collect(),
+                eval: (100..150).collect(),
+            },
+        }
+    }
+
+    /// Builds a split with the same proportions as the canonical protocol but
+    /// scaled to `num_classes` classes (for fast tests and examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes < 4`.
+    pub fn scaled(kind: SplitKind, num_classes: usize) -> Self {
+        assert!(num_classes >= 4, "need at least four classes");
+        match kind {
+            SplitKind::NoZs => {
+                let classes: Vec<usize> = (0..num_classes / 2).collect();
+                Self {
+                    kind,
+                    train: classes.clone(),
+                    eval: classes,
+                }
+            }
+            SplitKind::Zs => {
+                let train_count = num_classes * 3 / 4;
+                Self {
+                    kind,
+                    train: (0..train_count).collect(),
+                    eval: (train_count..num_classes).collect(),
+                }
+            }
+            SplitKind::Validation => {
+                let train_count = num_classes / 2;
+                let eval_count = num_classes / 4;
+                Self {
+                    kind,
+                    train: (0..train_count).collect(),
+                    eval: (train_count..train_count + eval_count).collect(),
+                }
+            }
+        }
+    }
+
+    /// Builds an arbitrary split from explicit class lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side is empty.
+    pub fn custom(kind: SplitKind, train: Vec<usize>, eval: Vec<usize>) -> Self {
+        assert!(!train.is_empty() && !eval.is_empty(), "both sides must be non-empty");
+        Self { kind, train, eval }
+    }
+
+    /// The protocol this split instantiates.
+    pub fn kind(&self) -> SplitKind {
+        self.kind
+    }
+
+    /// Class indices available during training.
+    pub fn train_classes(&self) -> &[usize] {
+        &self.train
+    }
+
+    /// Class indices used for evaluation.
+    pub fn eval_classes(&self) -> &[usize] {
+        &self.eval
+    }
+
+    /// Returns `true` if the train and evaluation classes are disjoint (the
+    /// zero-shot setting).
+    pub fn is_zero_shot(&self) -> bool {
+        !self.train.iter().any(|c| self.eval.contains(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_zs_split_matches_paper() {
+        let split = ClassSplit::new(SplitKind::Zs, 200);
+        assert_eq!(split.train_classes().len(), 150);
+        assert_eq!(split.eval_classes().len(), 50);
+        assert!(split.is_zero_shot());
+        assert_eq!(split.kind(), SplitKind::Zs);
+    }
+
+    #[test]
+    fn canonical_nozs_split_shares_classes() {
+        let split = ClassSplit::new(SplitKind::NoZs, 200);
+        assert_eq!(split.train_classes().len(), 100);
+        assert_eq!(split.eval_classes().len(), 100);
+        assert!(!split.is_zero_shot());
+    }
+
+    #[test]
+    fn validation_split_is_disjoint_from_zs_test() {
+        let val = ClassSplit::new(SplitKind::Validation, 200);
+        let zs = ClassSplit::new(SplitKind::Zs, 200);
+        assert_eq!(val.eval_classes().len(), 50);
+        assert!(val.is_zero_shot());
+        // Fig. 5 requires the validation classes to be disjoint from the ZS
+        // test classes so that hyper-parameters are not tuned on test data.
+        for c in val.eval_classes() {
+            assert!(!zs.eval_classes().contains(c));
+        }
+    }
+
+    #[test]
+    fn scaled_splits_preserve_proportions() {
+        let zs = ClassSplit::scaled(SplitKind::Zs, 40);
+        assert_eq!(zs.train_classes().len(), 30);
+        assert_eq!(zs.eval_classes().len(), 10);
+        assert!(zs.is_zero_shot());
+        let nozs = ClassSplit::scaled(SplitKind::NoZs, 40);
+        assert_eq!(nozs.train_classes().len(), 20);
+        assert!(!nozs.is_zero_shot());
+        let val = ClassSplit::scaled(SplitKind::Validation, 40);
+        assert!(val.is_zero_shot());
+    }
+
+    #[test]
+    fn custom_split() {
+        let split = ClassSplit::custom(SplitKind::Zs, vec![0, 1, 2], vec![3, 4]);
+        assert!(split.is_zero_shot());
+        let overlapping = ClassSplit::custom(SplitKind::Zs, vec![0, 1], vec![1, 2]);
+        assert!(!overlapping.is_zero_shot());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SplitKind::NoZs.to_string(), "noZS");
+        assert_eq!(SplitKind::Zs.to_string(), "ZS");
+        assert_eq!(SplitKind::Validation.to_string(), "validation");
+    }
+
+    #[test]
+    #[should_panic(expected = "200 classes")]
+    fn canonical_split_requires_full_dataset() {
+        let _ = ClassSplit::new(SplitKind::Zs, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn custom_split_rejects_empty_sides()  {
+        let _ = ClassSplit::custom(SplitKind::Zs, vec![], vec![1]);
+    }
+}

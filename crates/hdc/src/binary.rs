@@ -1,0 +1,394 @@
+//! Bit-packed dense binary hypervectors.
+//!
+//! Bits are stored in `u64` words; bit `i` of the hypervector lives at word
+//! `i / 64`, bit position `i % 64`. Unused bits in the final word are kept at
+//! zero so popcount-based operations stay exact.
+
+use crate::{BipolarHypervector, HdcError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense binary hypervector packed into `u64` words.
+///
+/// Binding is elementwise XOR, bundling is bitwise majority, and similarity is
+/// the normalised Hamming similarity `1 − 2·hamming/d ∈ [-1, 1]` (so that it
+/// matches the cosine of the equivalent bipolar vector).
+///
+/// # Example
+///
+/// ```
+/// use hdc::BinaryHypervector;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let a = BinaryHypervector::random(4096, &mut rng);
+/// let b = BinaryHypervector::random(4096, &mut rng);
+/// // Random hypervectors are quasi-orthogonal: similarity near 0.
+/// assert!(a.similarity(&b).abs() < 0.1);
+/// // Binding is invertible: (a ⊕ b) ⊕ b = a.
+/// assert_eq!(a.bind(&b).bind(&b), a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BinaryHypervector {
+    dim: usize,
+    words: Vec<u64>,
+}
+
+impl BinaryHypervector {
+    /// Creates an all-zeros hypervector of the given dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn zeros(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self {
+            dim,
+            words: vec![0u64; dim.div_ceil(64)],
+        }
+    }
+
+    /// Creates a hypervector with uniformly random bits (each bit is 1 with
+    /// probability 1/2), i.e. a sample from the dense binary Rademacher-like
+    /// distribution used for atomic hypervectors in the paper.
+    pub fn random<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Self {
+        let mut hv = Self::zeros(dim);
+        for w in &mut hv.words {
+            *w = rng.gen();
+        }
+        hv.mask_tail();
+        hv
+    }
+
+    /// Builds a hypervector from a slice of bools.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        assert!(!bits.is_empty(), "dimensionality must be positive");
+        let mut hv = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                hv.set_bit(i, true);
+            }
+        }
+        hv
+    }
+
+    /// Dimensionality of the hypervector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow of the packed words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Returns the bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.dim, "bit index out of range");
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    #[inline]
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        assert!(i < self.dim, "bit index out of range");
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Binds two hypervectors with elementwise XOR.
+    ///
+    /// Binding produces a vector quasi-orthogonal to both operands and is its
+    /// own inverse (`a.bind(b).bind(b) == a`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ; use [`BinaryHypervector::try_bind`]
+    /// for a checked variant.
+    pub fn bind(&self, other: &BinaryHypervector) -> BinaryHypervector {
+        self.try_bind(other).expect("bind dimensionality mismatch")
+    }
+
+    /// Checked variant of [`BinaryHypervector::bind`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensionalities differ.
+    pub fn try_bind(&self, other: &BinaryHypervector) -> Result<BinaryHypervector, HdcError> {
+        if self.dim != other.dim {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim,
+                right: other.dim,
+            });
+        }
+        let words = self
+            .words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| a ^ b)
+            .collect();
+        Ok(BinaryHypervector {
+            dim: self.dim,
+            words,
+        })
+    }
+
+    /// Hamming distance (number of differing bits) to another hypervector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn hamming(&self, other: &BinaryHypervector) -> usize {
+        assert_eq!(
+            self.dim, other.dim,
+            "hamming distance requires equal dimensionality"
+        );
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Normalised Hamming similarity in `[-1, 1]`:
+    /// `1 − 2·hamming(a,b)/d`, which equals the cosine of the corresponding
+    /// bipolar hypervectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn similarity(&self, other: &BinaryHypervector) -> f32 {
+        1.0 - 2.0 * self.hamming(other) as f32 / self.dim as f32
+    }
+
+    /// Cyclic permutation (rotation) of the bits by `shift` positions.
+    ///
+    /// Permutation preserves pairwise distances and is used to encode
+    /// sequence/role information in HDC.
+    pub fn permute(&self, shift: usize) -> BinaryHypervector {
+        let shift = shift % self.dim;
+        if shift == 0 {
+            return self.clone();
+        }
+        let mut out = BinaryHypervector::zeros(self.dim);
+        for i in 0..self.dim {
+            if self.bit(i) {
+                out.set_bit((i + shift) % self.dim, true);
+            }
+        }
+        out
+    }
+
+    /// Converts to the equivalent bipolar hypervector (`bit 0 → +1`,
+    /// `bit 1 → -1`).
+    pub fn to_bipolar(&self) -> BipolarHypervector {
+        let values: Vec<i8> = (0..self.dim)
+            .map(|i| if self.bit(i) { -1 } else { 1 })
+            .collect();
+        BipolarHypervector::from_signs(&values)
+    }
+
+    /// Memory footprint of the packed representation in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Flips each bit independently with probability `p` (noise injection, as
+    /// used in robustness experiments).
+    pub fn flip_noise<R: Rng + ?Sized>(&self, p: f64, rng: &mut R) -> BinaryHypervector {
+        let mut out = self.clone();
+        for i in 0..self.dim {
+            if rng.gen_bool(p) {
+                out.set_bit(i, !out.bit(i));
+            }
+        }
+        out
+    }
+
+    /// Clears any bits beyond `dim` in the last word.
+    fn mask_tail(&mut self) {
+        let rem = self.dim % 64;
+        if rem != 0 {
+            let mask = (1u64 << rem) - 1;
+            if let Some(last) = self.words.last_mut() {
+                *last &= mask;
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BinaryHypervector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let shown: String = (0..self.dim.min(32))
+            .map(|i| if self.bit(i) { '1' } else { '0' })
+            .collect();
+        let ellipsis = if self.dim > 32 { "…" } else { "" };
+        write!(f, "BinaryHV<{}>[{}{}]", self.dim, shown, ellipsis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_has_no_set_bits() {
+        let hv = BinaryHypervector::zeros(100);
+        assert_eq!(hv.count_ones(), 0);
+        assert_eq!(hv.dim(), 100);
+        assert_eq!(hv.memory_bytes(), 16);
+    }
+
+    #[test]
+    fn random_is_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let hv = BinaryHypervector::random(8192, &mut rng);
+        let ones = hv.count_ones() as f32;
+        assert!((ones / 8192.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn tail_bits_are_masked() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let hv = BinaryHypervector::random(70, &mut rng);
+        // Bits 70..128 must be zero.
+        assert_eq!(hv.words()[1] >> 6, 0);
+        assert!(hv.count_ones() <= 70);
+    }
+
+    #[test]
+    fn set_and_get_bits() {
+        let mut hv = BinaryHypervector::zeros(130);
+        hv.set_bit(0, true);
+        hv.set_bit(64, true);
+        hv.set_bit(129, true);
+        assert!(hv.bit(0) && hv.bit(64) && hv.bit(129));
+        assert!(!hv.bit(1));
+        hv.set_bit(64, false);
+        assert!(!hv.bit(64));
+        assert_eq!(hv.count_ones(), 2);
+    }
+
+    #[test]
+    fn from_bits_roundtrip() {
+        let bits = vec![true, false, true, true, false];
+        let hv = BinaryHypervector::from_bits(&bits);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(hv.bit(i), b);
+        }
+    }
+
+    #[test]
+    fn bind_is_self_inverse_and_commutative() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let a = BinaryHypervector::random(2048, &mut rng);
+        let b = BinaryHypervector::random(2048, &mut rng);
+        assert_eq!(a.bind(&b), b.bind(&a));
+        assert_eq!(a.bind(&b).bind(&b), a);
+    }
+
+    #[test]
+    fn bind_produces_quasi_orthogonal_output() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let a = BinaryHypervector::random(8192, &mut rng);
+        let b = BinaryHypervector::random(8192, &mut rng);
+        let bound = a.bind(&b);
+        assert!(bound.similarity(&a).abs() < 0.08);
+        assert!(bound.similarity(&b).abs() < 0.08);
+    }
+
+    #[test]
+    fn try_bind_rejects_mismatched_dims() {
+        let a = BinaryHypervector::zeros(64);
+        let b = BinaryHypervector::zeros(128);
+        assert!(matches!(
+            a.try_bind(&b),
+            Err(HdcError::DimensionMismatch { left: 64, right: 128 })
+        ));
+    }
+
+    #[test]
+    fn hamming_and_similarity() {
+        let a = BinaryHypervector::from_bits(&[true, true, false, false]);
+        let b = BinaryHypervector::from_bits(&[true, false, true, false]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.similarity(&b), 0.0);
+        assert_eq!(a.similarity(&a), 1.0);
+        let complement = BinaryHypervector::from_bits(&[false, false, true, true]);
+        assert_eq!(a.similarity(&complement), -1.0);
+    }
+
+    #[test]
+    fn permute_preserves_popcount_and_distance() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let a = BinaryHypervector::random(1024, &mut rng);
+        let b = BinaryHypervector::random(1024, &mut rng);
+        let pa = a.permute(37);
+        let pb = b.permute(37);
+        assert_eq!(pa.count_ones(), a.count_ones());
+        assert_eq!(a.hamming(&b), pa.hamming(&pb));
+        // Permuted vector is dissimilar to the original.
+        assert!(a.similarity(&pa).abs() < 0.1);
+        // Full rotation is identity.
+        assert_eq!(a.permute(1024), a);
+        assert_eq!(a.permute(0), a);
+    }
+
+    #[test]
+    fn to_bipolar_preserves_similarity() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let a = BinaryHypervector::random(4096, &mut rng);
+        let b = BinaryHypervector::random(4096, &mut rng);
+        let sim_binary = a.similarity(&b);
+        let sim_bipolar = a.to_bipolar().cosine(&b.to_bipolar());
+        assert!((sim_binary - sim_bipolar).abs() < 1e-5);
+    }
+
+    #[test]
+    fn flip_noise_changes_expected_fraction() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let a = BinaryHypervector::random(8192, &mut rng);
+        let noisy = a.flip_noise(0.1, &mut rng);
+        let frac = a.hamming(&noisy) as f64 / 8192.0;
+        assert!((frac - 0.1).abs() < 0.02, "flip fraction {frac}");
+        let clean = a.flip_noise(0.0, &mut rng);
+        assert_eq!(clean, a);
+    }
+
+    #[test]
+    fn display_contains_dim() {
+        let hv = BinaryHypervector::zeros(64);
+        assert!(format!("{hv}").contains("BinaryHV<64>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bit index out of range")]
+    fn bit_out_of_range_panics() {
+        let hv = BinaryHypervector::zeros(8);
+        let _ = hv.bit(8);
+    }
+}

@@ -1,0 +1,188 @@
+//! Scalar-to-hypervector encodings.
+//!
+//! The paper's class-attribute matrix `A` contains *continuous* per-class
+//! attribute strengths (the fraction of annotators that marked an attribute).
+//! While HDC-ZSC consumes those continuous values directly via the product
+//! `A × B`, a purely symbolic HDC pipeline needs a way to encode scalars into
+//! hypervectors. [`LevelEncoder`] implements the standard level (thermometer)
+//! encoding in which nearby scalar values map to similar hypervectors; it is
+//! used by the auxiliary examples and by the binding-ablation bench.
+
+use crate::{BipolarHypervector, HdcConfig};
+use rand::Rng;
+
+/// Level (thermometer) encoder mapping scalars in `[lo, hi]` to bipolar
+/// hypervectors such that the cosine similarity between two encoded values
+/// decreases linearly with their scalar distance.
+///
+/// The encoder interpolates between a `lo` anchor hypervector and a `hi`
+/// anchor hypervector by flipping a progressively larger prefix of a fixed
+/// random permutation of component indices.
+///
+/// # Example
+///
+/// ```
+/// use hdc::{HdcConfig, LevelEncoder};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let enc = LevelEncoder::new(0.0, 1.0, 16, &HdcConfig::new(4096), &mut rng);
+/// let near = enc.encode(0.50).cosine(&enc.encode(0.55));
+/// let far = enc.encode(0.10).cosine(&enc.encode(0.90));
+/// assert!(near > far);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LevelEncoder {
+    lo: f32,
+    hi: f32,
+    levels: Vec<BipolarHypervector>,
+}
+
+impl LevelEncoder {
+    /// Creates a level encoder covering `[lo, hi]` with `levels` discrete
+    /// steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2` or `hi <= lo`.
+    pub fn new<R: Rng + ?Sized>(
+        lo: f32,
+        hi: f32,
+        levels: usize,
+        config: &HdcConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(levels >= 2, "need at least two levels");
+        assert!(hi > lo, "hi must exceed lo");
+        let dim = config.dim();
+        let base = BipolarHypervector::random(dim, rng);
+        // A fixed random order in which components flip as the level rises.
+        let mut order: Vec<usize> = (0..dim).collect();
+        for i in (1..dim).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut level_vectors = Vec::with_capacity(levels);
+        let mut current = base.as_slice().to_vec();
+        level_vectors.push(BipolarHypervector::from_signs(&current));
+        let flips_per_level = dim / (levels - 1);
+        let mut cursor = 0usize;
+        for _ in 1..levels {
+            for _ in 0..flips_per_level {
+                if cursor < dim {
+                    current[order[cursor]] = -current[order[cursor]];
+                    cursor += 1;
+                }
+            }
+            level_vectors.push(BipolarHypervector::from_signs(&current));
+        }
+        Self {
+            lo,
+            hi,
+            levels: level_vectors,
+        }
+    }
+
+    /// Number of discrete levels.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Dimensionality of the emitted hypervectors.
+    pub fn dim(&self) -> usize {
+        self.levels[0].dim()
+    }
+
+    /// Lower bound of the encoded range.
+    pub fn lo(&self) -> f32 {
+        self.lo
+    }
+
+    /// Upper bound of the encoded range.
+    pub fn hi(&self) -> f32 {
+        self.hi
+    }
+
+    /// Encodes a scalar, clamping it into `[lo, hi]` first.
+    pub fn encode(&self, value: f32) -> BipolarHypervector {
+        let clamped = value.clamp(self.lo, self.hi);
+        let t = (clamped - self.lo) / (self.hi - self.lo);
+        let idx = (t * (self.levels.len() - 1) as f32).round() as usize;
+        self.levels[idx.min(self.levels.len() - 1)].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn encoder(dim: usize, levels: usize) -> LevelEncoder {
+        let mut rng = StdRng::seed_from_u64(21);
+        LevelEncoder::new(0.0, 1.0, levels, &HdcConfig::new(dim), &mut rng)
+    }
+
+    #[test]
+    fn construction_parameters() {
+        let enc = encoder(2048, 8);
+        assert_eq!(enc.levels(), 8);
+        assert_eq!(enc.dim(), 2048);
+        assert_eq!(enc.lo(), 0.0);
+        assert_eq!(enc.hi(), 1.0);
+    }
+
+    #[test]
+    fn identical_values_encode_identically() {
+        let enc = encoder(1024, 16);
+        assert_eq!(enc.encode(0.37), enc.encode(0.37));
+    }
+
+    #[test]
+    fn similarity_decreases_with_distance() {
+        let enc = encoder(8192, 32);
+        let s_near = enc.encode(0.5).cosine(&enc.encode(0.53));
+        let s_mid = enc.encode(0.5).cosine(&enc.encode(0.7));
+        let s_far = enc.encode(0.0).cosine(&enc.encode(1.0));
+        assert!(s_near > s_mid);
+        assert!(s_mid > s_far);
+        // Extremes are approximately anti-correlated (all components flipped).
+        assert!(s_far < -0.8);
+    }
+
+    #[test]
+    fn values_are_clamped_to_range() {
+        let enc = encoder(512, 4);
+        assert_eq!(enc.encode(-5.0), enc.encode(0.0));
+        assert_eq!(enc.encode(7.0), enc.encode(1.0));
+    }
+
+    #[test]
+    fn endpoint_similarity_is_roughly_linear() {
+        let enc = encoder(8192, 64);
+        let zero = enc.encode(0.0);
+        // cos(encode(0), encode(t)) ≈ 1 - 2t for the flip construction.
+        for &t in &[0.25f32, 0.5, 0.75] {
+            let cos = zero.cosine(&enc.encode(t));
+            assert!(
+                (cos - (1.0 - 2.0 * t)).abs() < 0.1,
+                "t={t}: cos {cos} should be near {}",
+                1.0 - 2.0 * t
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two levels")]
+    fn rejects_single_level() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let _ = LevelEncoder::new(0.0, 1.0, 1, &HdcConfig::new(64), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "hi must exceed lo")]
+    fn rejects_empty_range() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let _ = LevelEncoder::new(1.0, 1.0, 4, &HdcConfig::new(64), &mut rng);
+    }
+}

@@ -1,0 +1,281 @@
+//! Associative item memory (cleanup memory).
+//!
+//! An item memory stores labelled prototype hypervectors and answers
+//! nearest-neighbour queries under cosine / Hamming similarity. It is the
+//! standard HDC classifier head and is used here for auxiliary experiments
+//! (e.g. checking that bound attribute codevectors can be decoded back to
+//! their group/value constituents) and as a building block for the DAP-style
+//! baseline.
+
+use crate::{BipolarHypervector, HdcError};
+use serde::{Deserialize, Serialize};
+
+/// A labelled associative memory of bipolar prototype hypervectors.
+///
+/// # Example
+///
+/// ```
+/// use hdc::{BipolarHypervector, ItemMemory};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let mut memory = ItemMemory::new(1024);
+/// let duck = BipolarHypervector::random(1024, &mut rng);
+/// memory.insert("duck", duck.clone());
+/// let (label, sim) = memory.nearest(&duck).expect("memory is non-empty");
+/// assert_eq!(label, "duck");
+/// assert!((sim - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ItemMemory {
+    dim: usize,
+    labels: Vec<String>,
+    prototypes: Vec<BipolarHypervector>,
+}
+
+impl ItemMemory {
+    /// Creates an empty item memory for hypervectors of dimensionality `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self {
+            dim,
+            labels: Vec::new(),
+            prototypes: Vec::new(),
+        }
+    }
+
+    /// Number of stored prototypes.
+    pub fn len(&self) -> usize {
+        self.prototypes.len()
+    }
+
+    /// Returns `true` if no prototypes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.prototypes.is_empty()
+    }
+
+    /// Dimensionality of the stored prototypes.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Inserts a labelled prototype, replacing any existing prototype with
+    /// the same label and returning the replaced hypervector if there was one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hypervector dimensionality differs from the memory's;
+    /// use [`ItemMemory::try_insert`] for a checked variant.
+    pub fn insert(&mut self, label: impl Into<String>, hv: BipolarHypervector) -> Option<BipolarHypervector> {
+        self.try_insert(label, hv)
+            .expect("item memory dimensionality mismatch")
+    }
+
+    /// Checked variant of [`ItemMemory::insert`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensionality differs.
+    pub fn try_insert(
+        &mut self,
+        label: impl Into<String>,
+        hv: BipolarHypervector,
+    ) -> Result<Option<BipolarHypervector>, HdcError> {
+        if hv.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim,
+                right: hv.dim(),
+            });
+        }
+        let label = label.into();
+        if let Some(pos) = self.labels.iter().position(|l| *l == label) {
+            let old = std::mem::replace(&mut self.prototypes[pos], hv);
+            Ok(Some(old))
+        } else {
+            self.labels.push(label);
+            self.prototypes.push(hv);
+            Ok(None)
+        }
+    }
+
+    /// Returns the prototype stored under `label`, if any.
+    pub fn get(&self, label: &str) -> Option<&BipolarHypervector> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| &self.prototypes[i])
+    }
+
+    /// Iterates over `(label, prototype)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &BipolarHypervector)> {
+        self.labels
+            .iter()
+            .map(String::as_str)
+            .zip(self.prototypes.iter())
+    }
+
+    /// Returns the stored labels in insertion order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.labels.iter().map(String::as_str)
+    }
+
+    /// Finds the stored prototype most similar to `query` under cosine
+    /// similarity.
+    ///
+    /// Returns `None` if the memory is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimensionality differs from the memory's.
+    pub fn nearest(&self, query: &BipolarHypervector) -> Option<(&str, f32)> {
+        assert_eq!(
+            query.dim(),
+            self.dim,
+            "query dimensionality must match the item memory"
+        );
+        let mut best: Option<(usize, f32)> = None;
+        for (i, proto) in self.prototypes.iter().enumerate() {
+            let sim = query.cosine(proto);
+            if best.map_or(true, |(_, b)| sim > b) {
+                best = Some((i, sim));
+            }
+        }
+        best.map(|(i, sim)| (self.labels[i].as_str(), sim))
+    }
+
+    /// Returns the `k` most similar prototypes, most similar first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimensionality differs from the memory's.
+    pub fn top_k(&self, query: &BipolarHypervector, k: usize) -> Vec<(&str, f32)> {
+        assert_eq!(
+            query.dim(),
+            self.dim,
+            "query dimensionality must match the item memory"
+        );
+        let mut scored: Vec<(usize, f32)> = self
+            .prototypes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, query.cosine(p)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, s)| (self.labels[i].as_str(), s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_memory_behaviour() {
+        let mem = ItemMemory::new(128);
+        assert!(mem.is_empty());
+        assert_eq!(mem.len(), 0);
+        assert_eq!(mem.dim(), 128);
+        let query = BipolarHypervector::ones(128);
+        assert!(mem.nearest(&query).is_none());
+        assert!(mem.top_k(&query, 3).is_empty());
+        assert!(mem.get("anything").is_none());
+    }
+
+    #[test]
+    fn insert_get_and_replace() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mem = ItemMemory::new(256);
+        let a = BipolarHypervector::random(256, &mut rng);
+        let b = BipolarHypervector::random(256, &mut rng);
+        assert!(mem.insert("a", a.clone()).is_none());
+        assert_eq!(mem.get("a"), Some(&a));
+        let replaced = mem.insert("a", b.clone());
+        assert_eq!(replaced, Some(a));
+        assert_eq!(mem.get("a"), Some(&b));
+        assert_eq!(mem.len(), 1);
+    }
+
+    #[test]
+    fn try_insert_rejects_wrong_dim() {
+        let mut mem = ItemMemory::new(64);
+        let wrong = BipolarHypervector::ones(32);
+        assert!(mem.try_insert("x", wrong).is_err());
+    }
+
+    #[test]
+    fn nearest_recovers_noisy_prototype() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mem = ItemMemory::new(4096);
+        let protos: Vec<_> = (0..30)
+            .map(|i| {
+                let hv = BipolarHypervector::random(4096, &mut rng);
+                mem.insert(format!("class{i}"), hv.clone());
+                hv
+            })
+            .collect();
+        // Query with 15% of components flipped must still resolve correctly.
+        let noisy = protos[17].flip_noise(0.15, &mut rng);
+        let (label, sim) = mem.nearest(&noisy).expect("non-empty");
+        assert_eq!(label, "class17");
+        assert!(sim > 0.5);
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mem = ItemMemory::new(1024);
+        for i in 0..10 {
+            mem.insert(format!("c{i}"), BipolarHypervector::random(1024, &mut rng));
+        }
+        let query = mem.get("c4").expect("exists").clone();
+        let top = mem.top_k(&query, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, "c4");
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+        // Asking for more than stored returns everything.
+        assert_eq!(mem.top_k(&query, 100).len(), 10);
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_order() {
+        let mut mem = ItemMemory::new(8);
+        mem.insert("first", BipolarHypervector::ones(8));
+        mem.insert("second", BipolarHypervector::ones(8).negate());
+        let labels: Vec<&str> = mem.labels().collect();
+        assert_eq!(labels, vec!["first", "second"]);
+        assert_eq!(mem.iter().count(), 2);
+    }
+
+    #[test]
+    fn unbinding_recovers_value_via_item_memory() {
+        // The classic HDC decode test: given a bound pair g ⊙ v and the group
+        // hypervector g, unbinding (binding again with g) followed by cleanup
+        // in an item memory of value hypervectors recovers v.
+        let mut rng = StdRng::seed_from_u64(4);
+        let dim = 4096;
+        let mut values_mem = ItemMemory::new(dim);
+        let values: Vec<_> = (0..61)
+            .map(|i| {
+                let hv = BipolarHypervector::random(dim, &mut rng);
+                values_mem.insert(format!("v{i}"), hv.clone());
+                hv
+            })
+            .collect();
+        let group = BipolarHypervector::random(dim, &mut rng);
+        let bound = group.bind(&values[42]);
+        let unbound = bound.bind(&group);
+        let (label, sim) = values_mem.nearest(&unbound).expect("non-empty");
+        assert_eq!(label, "v42");
+        assert!((sim - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,189 @@
+//! Similarity measures between hypervectors and between float embeddings and
+//! hypervector dictionaries.
+
+use crate::{BinaryHypervector, BipolarHypervector};
+use tensor::Matrix;
+
+/// Hamming distance between two binary hypervectors.
+///
+/// Convenience free function mirroring
+/// [`BinaryHypervector::hamming`].
+///
+/// # Panics
+///
+/// Panics if the dimensionalities differ.
+pub fn hamming_distance(a: &BinaryHypervector, b: &BinaryHypervector) -> usize {
+    a.hamming(b)
+}
+
+/// Normalised Hamming similarity in `[-1, 1]` between two binary
+/// hypervectors; equals the cosine of the corresponding bipolar vectors.
+///
+/// # Panics
+///
+/// Panics if the dimensionalities differ.
+pub fn normalized_hamming_similarity(a: &BinaryHypervector, b: &BinaryHypervector) -> f32 {
+    a.similarity(b)
+}
+
+/// Cosine similarity between two bipolar hypervectors.
+///
+/// # Panics
+///
+/// Panics if the dimensionalities differ.
+pub fn cosine(a: &BipolarHypervector, b: &BipolarHypervector) -> f32 {
+    a.cosine(b)
+}
+
+/// Cosine similarity between a dense `f32` embedding and every row of a ±1
+/// dictionary matrix, returning one similarity per row.
+///
+/// This is the attribute-prediction head of the paper
+/// (`q = cossim(γ(x), B)`): the image embedding is compared against all
+/// `α = 312` attribute codevectors.
+///
+/// # Panics
+///
+/// Panics if `embedding.len() != dictionary.cols()`.
+pub fn cosine_to_dictionary(embedding: &[f32], dictionary: &Matrix) -> Vec<f32> {
+    assert_eq!(
+        embedding.len(),
+        dictionary.cols(),
+        "embedding dim {} does not match dictionary width {}",
+        embedding.len(),
+        dictionary.cols()
+    );
+    let emb_norm = embedding.iter().map(|x| x * x).sum::<f32>().sqrt();
+    (0..dictionary.rows())
+        .map(|r| {
+            let row = dictionary.row(r);
+            let dot: f32 = row.iter().zip(embedding).map(|(a, b)| a * b).sum();
+            let row_norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let denom = emb_norm * row_norm;
+            if denom < 1e-12 {
+                0.0
+            } else {
+                dot / denom
+            }
+        })
+        .collect()
+}
+
+/// Finds the index of the most similar row of `dictionary` to `embedding`
+/// under cosine similarity, together with that similarity.
+///
+/// Returns `None` for an empty dictionary.
+///
+/// # Panics
+///
+/// Panics if `embedding.len() != dictionary.cols()`.
+pub fn nearest_row(embedding: &[f32], dictionary: &Matrix) -> Option<(usize, f32)> {
+    if dictionary.rows() == 0 {
+        return None;
+    }
+    let sims = cosine_to_dictionary(embedding, dictionary);
+    sims.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, &s)| (i, s))
+}
+
+/// Expected absolute cosine similarity between two independent random
+/// d-dimensional bipolar hypervectors (≈ `sqrt(2/(π d))`), useful for
+/// calibrating quasi-orthogonality thresholds in tests and benches.
+pub fn expected_random_cosine(dim: usize) -> f32 {
+    (2.0 / (std::f32::consts::PI * dim as f32)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn free_functions_match_methods() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = BipolarHypervector::random(1024, &mut rng);
+        let b = BipolarHypervector::random(1024, &mut rng);
+        assert_eq!(cosine(&a, &b), a.cosine(&b));
+        let ab = a.to_binary();
+        let bb = b.to_binary();
+        assert_eq!(hamming_distance(&ab, &bb), ab.hamming(&bb));
+        assert_eq!(normalized_hamming_similarity(&ab, &bb), ab.similarity(&bb));
+    }
+
+    #[test]
+    fn cosine_to_dictionary_identifies_self() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hvs: Vec<_> = (0..10)
+            .map(|_| BipolarHypervector::random(2048, &mut rng))
+            .collect();
+        let dict = BipolarHypervector::stack_to_matrix(&hvs);
+        let query = hvs[3].to_f32();
+        let sims = cosine_to_dictionary(&query, &dict);
+        assert_eq!(sims.len(), 10);
+        assert!((sims[3] - 1.0).abs() < 1e-5);
+        for (i, s) in sims.iter().enumerate() {
+            if i != 3 {
+                assert!(s.abs() < 0.1);
+            }
+        }
+        let (best, best_sim) = nearest_row(&query, &dict).expect("non-empty dict");
+        assert_eq!(best, 3);
+        assert!((best_sim - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_to_dictionary_handles_noisy_query() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hvs: Vec<_> = (0..20)
+            .map(|_| BipolarHypervector::random(4096, &mut rng))
+            .collect();
+        let dict = BipolarHypervector::stack_to_matrix(&hvs);
+        // Noisy float version of entry 7.
+        let query: Vec<f32> = hvs[7]
+            .to_f32()
+            .iter()
+            .map(|v| v + 0.3 * (rng.gen::<f32>() - 0.5))
+            .collect();
+        let (best, _) = nearest_row(&query, &dict).expect("non-empty dict");
+        assert_eq!(best, 7);
+    }
+
+    #[test]
+    fn zero_embedding_gives_zero_similarity() {
+        let dict = Matrix::from_rows(&[vec![1.0, -1.0]]);
+        let sims = cosine_to_dictionary(&[0.0, 0.0], &dict);
+        assert_eq!(sims, vec![0.0]);
+    }
+
+    #[test]
+    fn nearest_row_empty_dictionary() {
+        let dict = Matrix::zeros(0, 4);
+        assert!(nearest_row(&[1.0, 0.0, 0.0, 0.0], &dict).is_none());
+    }
+
+    #[test]
+    fn expected_random_cosine_shrinks_with_dim() {
+        assert!(expected_random_cosine(1024) > expected_random_cosine(8192));
+        let mut rng = StdRng::seed_from_u64(4);
+        // Empirical mean |cos| over pairs should be close to the formula.
+        let d = 2048;
+        let n = 50;
+        let hvs: Vec<_> = (0..n).map(|_| BipolarHypervector::random(d, &mut rng)).collect();
+        let mut acc = 0.0f32;
+        let mut count = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                acc += hvs[i].cosine(&hvs[j]).abs();
+                count += 1;
+            }
+        }
+        let empirical = acc / count as f32;
+        let expected = expected_random_cosine(d);
+        assert!((empirical - expected).abs() < expected * 0.3);
+    }
+
+    use rand::Rng;
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the HDC substrate: algebraic laws of binding,
+//! bundling and permutation, and consistency between the binary and bipolar
+//! representations.
+
+use hdc::{bundler::bundle_bipolar, BinaryHypervector, BipolarHypervector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy producing a pair of independent random bipolar hypervectors of a
+/// shared (moderate) dimensionality plus the RNG seed used to build them.
+fn hv_pair() -> impl Strategy<Value = (BipolarHypervector, BipolarHypervector)> {
+    (64usize..1024, any::<u64>()).prop_map(|(dim, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            BipolarHypervector::random(dim, &mut rng),
+            BipolarHypervector::random(dim, &mut rng),
+        )
+    })
+}
+
+fn hv_triple() -> impl Strategy<Value = (BipolarHypervector, BipolarHypervector, BipolarHypervector)>
+{
+    (64usize..512, any::<u64>()).prop_map(|(dim, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            BipolarHypervector::random(dim, &mut rng),
+            BipolarHypervector::random(dim, &mut rng),
+            BipolarHypervector::random(dim, &mut rng),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn binding_is_commutative((a, b) in hv_pair()) {
+        prop_assert_eq!(a.bind(&b), b.bind(&a));
+    }
+
+    #[test]
+    fn binding_is_self_inverse((a, b) in hv_pair()) {
+        prop_assert_eq!(a.bind(&b).bind(&b), a);
+    }
+
+    #[test]
+    fn binding_is_associative((a, b, c) in hv_triple()) {
+        prop_assert_eq!(a.bind(&b).bind(&c), a.bind(&b.bind(&c)));
+    }
+
+    #[test]
+    fn binding_preserves_similarity((a, b, c) in hv_triple()) {
+        let before = a.cosine(&b);
+        let after = a.bind(&c).cosine(&b.bind(&c));
+        prop_assert!((before - after).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_is_symmetric_and_bounded((a, b) in hv_pair()) {
+        let ab = a.cosine(&b);
+        let ba = b.cosine(&a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+        prop_assert!((a.cosine(&a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binary_bipolar_roundtrip((a, _b) in hv_pair()) {
+        prop_assert_eq!(a.to_binary().to_bipolar(), a);
+    }
+
+    #[test]
+    fn binary_similarity_equals_bipolar_cosine((a, b) in hv_pair()) {
+        let binary_sim = a.to_binary().similarity(&b.to_binary());
+        prop_assert!((binary_sim - a.cosine(&b)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn xor_binding_commutes_with_conversion((a, b) in hv_pair()) {
+        let via_binary = a.to_binary().bind(&b.to_binary()).to_bipolar();
+        prop_assert_eq!(via_binary, a.bind(&b));
+    }
+
+    #[test]
+    fn permutation_is_invertible((a, _b) in hv_pair(), shift in 0usize..2048) {
+        let d = a.dim();
+        let permuted = a.permute(shift);
+        let back = permuted.permute(d - (shift % d));
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn permutation_preserves_pairwise_similarity((a, b) in hv_pair(), shift in 0usize..2048) {
+        let before = a.cosine(&b);
+        let after = a.permute(shift).cosine(&b.permute(shift));
+        prop_assert!((before - after).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bundle_contains_every_item(seed in any::<u64>(), n in 1usize..9) {
+        let dim = 2048;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items: Vec<_> = (0..n).map(|_| BipolarHypervector::random(dim, &mut rng)).collect();
+        let bundle = bundle_bipolar(&items).expect("non-empty");
+        // Each constituent must be markedly more similar to the bundle than
+        // an unrelated random hypervector would be (|cos| ≈ 0.02 at d=2048).
+        for item in &items {
+            prop_assert!(bundle.cosine(item) > 0.15, "cos = {}", bundle.cosine(item));
+        }
+    }
+
+    #[test]
+    fn binary_hamming_triangle_inequality(seed in any::<u64>(), dim in 64usize..512) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = BinaryHypervector::random(dim, &mut rng);
+        let b = BinaryHypervector::random(dim, &mut rng);
+        let c = BinaryHypervector::random(dim, &mut rng);
+        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+    }
+
+    #[test]
+    fn binary_popcount_bounds(seed in any::<u64>(), dim in 1usize..512) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = BinaryHypervector::random(dim, &mut rng);
+        prop_assert!(a.count_ones() <= dim);
+    }
+}

@@ -1,0 +1,167 @@
+//! Confusion matrices for multi-class classification.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense confusion matrix: `counts[target][predicted]`.
+///
+/// # Example
+///
+/// ```
+/// use metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(3);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// assert_eq!(cm.total(), 2);
+/// assert!((cm.accuracy() - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty confusion matrix over `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(target, predicted)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, target: usize, predicted: usize) {
+        assert!(target < self.classes && predicted < self.classes, "class index out of range");
+        self.counts[target * self.classes + predicted] += 1;
+    }
+
+    /// Records a batch of predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or any index is out of range.
+    pub fn record_batch(&mut self, targets: &[usize], predictions: &[usize]) {
+        assert_eq!(targets.len(), predictions.len(), "batch length mismatch");
+        for (&t, &p) in targets.iter().zip(predictions) {
+            self.record(t, p);
+        }
+    }
+
+    /// Count of observations with the given target and prediction.
+    pub fn count(&self, target: usize, predicted: usize) -> u64 {
+        self.counts[target * self.classes + predicted]
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when nothing has been recorded).
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f32 / total as f32
+    }
+
+    /// Per-class recall (`None` for classes with no samples).
+    pub fn recall(&self, class: usize) -> Option<f32> {
+        let row_total: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row_total == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f32 / row_total as f32)
+        }
+    }
+
+    /// Per-class precision (`None` for classes never predicted).
+    pub fn precision(&self, class: usize) -> Option<f32> {
+        let col_total: u64 = (0..self.classes).map(|t| self.count(t, class)).sum();
+        if col_total == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f32 / col_total as f32)
+        }
+    }
+
+    /// The most confused (off-diagonal) pair `(target, predicted, count)`, if
+    /// any misclassification has been recorded.
+    pub fn most_confused_pair(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                if t == p {
+                    continue;
+                }
+                let c = self.count(t, p);
+                if c > 0 && best.map_or(true, |(_, _, bc)| c > bc) {
+                    best = Some((t, p, c));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.classes(), 4);
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.recall(0), None);
+        assert_eq!(cm.precision(0), None);
+        assert_eq!(cm.most_confused_pair(), None);
+    }
+
+    #[test]
+    fn record_and_accuracy() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record_batch(&[0, 0, 1, 2, 2], &[0, 1, 1, 2, 0]);
+        assert_eq!(cm.total(), 5);
+        assert_eq!(cm.count(0, 1), 1);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-6);
+        assert_eq!(cm.recall(0), Some(0.5));
+        assert_eq!(cm.recall(1), Some(1.0));
+        assert_eq!(cm.precision(0), Some(0.5));
+        // Most confused pair is either (0,1) or (2,0), both with count 1.
+        let (_, _, count) = cm.most_confused_pair().expect("has confusion");
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "class index out of range")]
+    fn out_of_range_record_panics() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch length mismatch")]
+    fn mismatched_batch_panics() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record_batch(&[0], &[0, 1]);
+    }
+}

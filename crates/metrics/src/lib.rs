@@ -1,0 +1,36 @@
+//! Evaluation metrics for the HDC-ZSC reproduction.
+//!
+//! The paper reports three families of metrics:
+//!
+//! * **top-1 / top-5 accuracy** for zero-shot classification (Fig. 4,
+//!   Table II) — [`topk`];
+//! * **Weighted Mean Average Precision (WMAP)** and per-group top-1 accuracy
+//!   for attribute extraction (Table I) — [`average_precision`] and
+//!   [`wmap`]; the weighting compensates for attributes that are rare in the
+//!   dataset;
+//! * **µ ± σ across seeds** (§IV-A) — [`aggregate`].
+//!
+//! # Example
+//!
+//! ```
+//! use metrics::topk::top1_accuracy;
+//! use tensor::Matrix;
+//!
+//! let logits = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]);
+//! assert_eq!(top1_accuracy(&logits, &[0, 1]), 1.0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod aggregate;
+pub mod average_precision;
+pub mod confusion;
+pub mod topk;
+pub mod wmap;
+
+pub use aggregate::SeedAggregate;
+pub use average_precision::{average_precision, mean_average_precision};
+pub use confusion::ConfusionMatrix;
+pub use topk::{top1_accuracy, topk_accuracy};
+pub use wmap::{weighted_average_precision, GroupMetrics};

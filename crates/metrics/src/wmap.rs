@@ -1,0 +1,260 @@
+//! Weighted Mean Average Precision (WMAP) and per-attribute-group metrics
+//! for the attribute-extraction task (Table I of the paper).
+//!
+//! The paper evaluates attribute extraction with two metrics:
+//!
+//! * **WMAP** — a frequency-weighted mean of per-attribute average
+//!   precisions "designed to compensate for attributes that are less
+//!   frequent in the dataset" (§IV-A). We implement this as a weighted mean
+//!   of per-attribute APs inside each group, with weights inversely
+//!   proportional to the attribute's positive frequency, so rare attributes
+//!   contribute as much as common ones.
+//! * **Per-group top-1 accuracy** — within each attribute group (crown
+//!   color, bill shape, …) the predicted value is the attribute with the
+//!   highest predicted score; it is compared against the ground-truth value
+//!   (the attribute with the highest target strength).
+
+use crate::average_precision::average_precision;
+use serde::{Deserialize, Serialize};
+use tensor::Matrix;
+
+/// Per-attribute-group evaluation results for the attribute-extraction task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupMetrics {
+    /// Group name (e.g. `"crown color"`).
+    pub group: String,
+    /// Indices of the attributes (columns) belonging to this group.
+    pub attribute_indices: Vec<usize>,
+    /// Frequency-weighted mean average precision over the group's attributes,
+    /// in percent.
+    pub wmap: f32,
+    /// Top-1 accuracy of predicting the group's active value, in percent.
+    pub top1: f32,
+}
+
+/// Computes the weighted average precision over a set of attribute columns.
+///
+/// `scores` and `targets` are `N×α` (predicted confidences and ground-truth
+/// strengths); `columns` selects the attributes to aggregate; a target above
+/// `threshold` counts as a positive. Attribute columns with no positives are
+/// skipped. Weights are `1 / positive_frequency` so that rare attributes are
+/// not drowned out by frequent ones.
+///
+/// Returns a fraction in `[0, 1]` (0 when every column is skipped).
+///
+/// # Panics
+///
+/// Panics if the shapes disagree or a column index is out of range.
+pub fn weighted_average_precision(
+    scores: &Matrix,
+    targets: &Matrix,
+    columns: &[usize],
+    threshold: f32,
+) -> f32 {
+    assert_eq!(scores.shape(), targets.shape(), "scores/targets shape mismatch");
+    let n = scores.rows();
+    let mut weighted_sum = 0.0f64;
+    let mut weight_total = 0.0f64;
+    for &c in columns {
+        assert!(c < scores.cols(), "attribute column {c} out of range");
+        let col_scores: Vec<f32> = (0..n).map(|r| scores.get(r, c)).collect();
+        let col_labels: Vec<bool> = (0..n).map(|r| targets.get(r, c) > threshold).collect();
+        let positives = col_labels.iter().filter(|&&l| l).count();
+        if positives == 0 {
+            continue;
+        }
+        if let Some(ap) = average_precision(&col_scores, &col_labels) {
+            let frequency = positives as f64 / n as f64;
+            let weight = 1.0 / frequency.max(1e-9);
+            weighted_sum += weight * ap as f64;
+            weight_total += weight;
+        }
+    }
+    if weight_total == 0.0 {
+        0.0
+    } else {
+        (weighted_sum / weight_total) as f32
+    }
+}
+
+/// Top-1 accuracy of value prediction within a single attribute group.
+///
+/// For each sample, the predicted value is the column (among `columns`) with
+/// the highest score and the ground-truth value is the column with the
+/// highest target strength; samples whose strongest target is below
+/// `threshold` (no annotated value for this group) are skipped.
+///
+/// Returns a fraction in `[0, 1]` (0 when every sample is skipped).
+///
+/// # Panics
+///
+/// Panics if the shapes disagree, `columns` is empty, or an index is out of
+/// range.
+pub fn group_top1_accuracy(
+    scores: &Matrix,
+    targets: &Matrix,
+    columns: &[usize],
+    threshold: f32,
+) -> f32 {
+    assert_eq!(scores.shape(), targets.shape(), "scores/targets shape mismatch");
+    assert!(!columns.is_empty(), "a group needs at least one attribute");
+    let mut correct = 0usize;
+    let mut counted = 0usize;
+    for r in 0..scores.rows() {
+        let (mut best_score_col, mut best_score) = (columns[0], f32::NEG_INFINITY);
+        let (mut best_target_col, mut best_target) = (columns[0], f32::NEG_INFINITY);
+        for &c in columns {
+            assert!(c < scores.cols(), "attribute column {c} out of range");
+            if scores.get(r, c) > best_score {
+                best_score = scores.get(r, c);
+                best_score_col = c;
+            }
+            if targets.get(r, c) > best_target {
+                best_target = targets.get(r, c);
+                best_target_col = c;
+            }
+        }
+        if best_target <= threshold {
+            continue;
+        }
+        counted += 1;
+        if best_score_col == best_target_col {
+            correct += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        correct as f32 / counted as f32
+    }
+}
+
+/// Evaluates WMAP and top-1 accuracy for every attribute group, in the order
+/// the groups are given. Results are expressed in percent, matching Table I.
+///
+/// `groups` maps group names to the attribute column indices they own.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any column index is out of range.
+pub fn evaluate_groups(
+    scores: &Matrix,
+    targets: &Matrix,
+    groups: &[(String, Vec<usize>)],
+    threshold: f32,
+) -> Vec<GroupMetrics> {
+    groups
+        .iter()
+        .map(|(name, columns)| GroupMetrics {
+            group: name.clone(),
+            attribute_indices: columns.clone(),
+            wmap: 100.0 * weighted_average_precision(scores, targets, columns, threshold),
+            top1: 100.0 * group_top1_accuracy(scores, targets, columns, threshold),
+        })
+        .collect()
+}
+
+/// Mean of a per-group metric (e.g. the "average" row of Table I).
+pub fn mean_over_groups(groups: &[GroupMetrics], f: impl Fn(&GroupMetrics) -> f32) -> f32 {
+    if groups.is_empty() {
+        0.0
+    } else {
+        groups.iter().map(f).sum::<f32>() / groups.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two attributes in one group; attribute 0 is frequent, attribute 1 rare.
+    fn toy_data() -> (Matrix, Matrix) {
+        // 4 samples × 2 attributes.
+        let targets = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ]);
+        // Predictions rank attribute 0 perfectly but attribute 1 poorly.
+        let scores = Matrix::from_rows(&[
+            vec![0.9, 0.4],
+            vec![0.8, 0.3],
+            vec![0.7, 0.2],
+            vec![0.6, 0.1],
+        ]);
+        (scores, targets)
+    }
+
+    #[test]
+    fn wmap_weights_rare_attributes_more() {
+        let (scores, targets) = toy_data();
+        let wmap = weighted_average_precision(&scores, &targets, &[0, 1], 0.5);
+        // AP(attr 0) = 1.0 (3 positives ranked on top).
+        // AP(attr 1): the single positive (sample 3) ranks last → AP = 1/4.
+        // Weights: attr0 freq 3/4 → w = 4/3; attr1 freq 1/4 → w = 4.
+        // WMAP = (4/3·1 + 4·0.25)/(4/3 + 4) = (4/3 + 1)/(16/3) = 7/16.
+        assert!((wmap - 7.0 / 16.0).abs() < 1e-5);
+        // The unweighted mean would be (1 + 0.25)/2 = 0.625 — higher, because
+        // the frequent attribute dominates.
+        assert!(wmap < 0.625);
+    }
+
+    #[test]
+    fn wmap_perfect_predictions() {
+        let targets = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let scores = targets.clone();
+        assert!((weighted_average_precision(&scores, &targets, &[0, 1], 0.5) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wmap_skips_empty_columns() {
+        let targets = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 0.0]]);
+        let scores = Matrix::from_rows(&[vec![0.9, 0.5], vec![0.8, 0.5]]);
+        // Column 1 has no positives and is skipped.
+        assert!((weighted_average_precision(&scores, &targets, &[0, 1], 0.5) - 1.0).abs() < 1e-6);
+        // All-empty selection yields 0.
+        assert_eq!(weighted_average_precision(&scores, &targets, &[1], 0.5), 0.0);
+    }
+
+    #[test]
+    fn group_top1_counts_correct_argmax() {
+        let (scores, targets) = toy_data();
+        // Samples 0-2: target value 0, predicted 0 (correct).
+        // Sample 3: target value 1, predicted 0 (wrong).
+        let acc = group_top1_accuracy(&scores, &targets, &[0, 1], 0.5);
+        assert!((acc - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_top1_skips_unannotated_samples() {
+        let targets = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 1.0]]);
+        let scores = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.1, 0.9]]);
+        let acc = group_top1_accuracy(&scores, &targets, &[0, 1], 0.5);
+        assert_eq!(acc, 1.0);
+        // If every sample is unannotated the accuracy is 0 by convention.
+        let empty_targets = Matrix::zeros(2, 2);
+        assert_eq!(group_top1_accuracy(&scores, &empty_targets, &[0, 1], 0.5), 0.0);
+    }
+
+    #[test]
+    fn evaluate_groups_produces_percentages() {
+        let (scores, targets) = toy_data();
+        let groups = vec![("only group".to_string(), vec![0, 1])];
+        let result = evaluate_groups(&scores, &targets, &groups, 0.5);
+        assert_eq!(result.len(), 1);
+        assert_eq!(result[0].group, "only group");
+        assert!((result[0].wmap - 100.0 * 7.0 / 16.0).abs() < 1e-3);
+        assert!((result[0].top1 - 75.0).abs() < 1e-3);
+        let avg = mean_over_groups(&result, |g| g.top1);
+        assert!((avg - 75.0).abs() < 1e-3);
+        assert_eq!(mean_over_groups(&[], |g| g.top1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn empty_group_panics() {
+        let (scores, targets) = toy_data();
+        let _ = group_top1_accuracy(&scores, &targets, &[], 0.5);
+    }
+}

@@ -1,0 +1,74 @@
+//! Weight-initialisation schemes.
+
+use rand::Rng;
+use tensor::Matrix;
+
+/// Initialisation scheme for dense weight matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Kaiming/He uniform: `U(-√(6/fan_in), √(6/fan_in))`; the default for
+    /// layers followed by a ReLU.
+    KaimingUniform,
+    /// Xavier/Glorot uniform: `U(-√(6/(fan_in+fan_out)), …)`; used for linear
+    /// projections without a following non-linearity (the FC layer of the
+    /// image encoder).
+    XavierUniform,
+    /// All zeros (used for bias vectors and for tests).
+    Zeros,
+}
+
+impl Init {
+    /// Builds a `fan_in × fan_out` weight matrix under this scheme.
+    pub fn build<R: Rng + ?Sized>(self, fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+        match self {
+            Init::KaimingUniform => {
+                let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+                Matrix::random_uniform(fan_in, fan_out, bound, rng)
+            }
+            Init::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                Matrix::random_uniform(fan_in, fan_out, bound, rng)
+            }
+            Init::Zeros => Matrix::zeros(fan_in, fan_out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Init::KaimingUniform.build(100, 50, &mut rng);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= bound));
+        // Spread should use most of the range.
+        assert!(w.as_slice().iter().any(|&x| x.abs() > bound * 0.5));
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = Init::XavierUniform.build(30, 70, &mut rng);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn zeros_init() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Init::Zeros.build(4, 4, &mut rng);
+        assert_eq!(w.sum(), 0.0);
+    }
+
+    #[test]
+    fn mean_is_near_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = Init::KaimingUniform.build(200, 200, &mut rng);
+        assert!(w.mean().abs() < 0.01);
+    }
+}

@@ -1,0 +1,148 @@
+//! Trainable parameter tensors: a value matrix paired with its gradient
+//! accumulator.
+
+use serde::{Deserialize, Serialize};
+use tensor::Matrix;
+
+/// A trainable parameter: a dense value matrix together with a gradient
+/// accumulator of the same shape.
+///
+/// Layers expose their parameters to optimizers through
+/// [`crate::Layer::visit_params`], which walks the parameters in a fixed,
+/// deterministic order so optimizers can associate per-parameter state (e.g.
+/// Adam moment estimates) with a visitation slot.
+///
+/// # Example
+///
+/// ```
+/// use nn::ParamTensor;
+/// use tensor::Matrix;
+///
+/// let mut p = ParamTensor::new(Matrix::zeros(2, 3));
+/// assert_eq!(p.len(), 6);
+/// p.grad.set(0, 0, 1.0);
+/// p.zero_grad();
+/// assert_eq!(p.grad.get(0, 0), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamTensor {
+    /// Current parameter values.
+    pub values: Matrix,
+    /// Accumulated gradient of the loss with respect to [`ParamTensor::values`].
+    pub grad: Matrix,
+}
+
+impl ParamTensor {
+    /// Wraps a value matrix, initialising the gradient to zeros of the same
+    /// shape.
+    pub fn new(values: Matrix) -> Self {
+        let grad = Matrix::zeros(values.rows(), values.cols());
+        Self { values, grad }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the parameter holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Shape of the parameter.
+    pub fn shape(&self) -> (usize, usize) {
+        self.values.shape()
+    }
+
+    /// Resets the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+
+    /// Accumulates `delta` into the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` has a different shape.
+    pub fn accumulate_grad(&mut self, delta: &Matrix) {
+        self.grad.add_scaled_inplace(delta, 1.0);
+    }
+
+    /// L2 norm of the gradient (used for gradient clipping).
+    pub fn grad_norm(&self) -> f32 {
+        self.grad.frobenius_norm()
+    }
+
+    /// Scales the gradient in place (used for gradient clipping).
+    pub fn scale_grad(&mut self, factor: f32) {
+        self.grad.map_inplace(|g| g * factor);
+    }
+}
+
+/// Clips the global gradient norm of a set of parameters to `max_norm`,
+/// returning the pre-clip global norm.
+///
+/// This mirrors `torch.nn.utils.clip_grad_norm_`: if the joint norm of all
+/// gradients exceeds `max_norm`, every gradient is scaled by
+/// `max_norm / norm`.
+pub fn clip_grad_norm(params: &mut [&mut ParamTensor], max_norm: f32) -> f32 {
+    let total: f32 = params
+        .iter()
+        .map(|p| p.grad_norm().powi(2))
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let factor = max_norm / total;
+        for p in params.iter_mut() {
+            p.scale_grad(factor);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = ParamTensor::new(Matrix::ones(3, 2));
+        assert_eq!(p.shape(), (3, 2));
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = ParamTensor::new(Matrix::zeros(2, 2));
+        p.accumulate_grad(&Matrix::ones(2, 2));
+        p.accumulate_grad(&Matrix::ones(2, 2));
+        assert_eq!(p.grad.sum(), 8.0);
+        assert_eq!(p.grad_norm(), 4.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_when_needed() {
+        let mut a = ParamTensor::new(Matrix::zeros(1, 1));
+        a.grad.set(0, 0, 3.0);
+        let mut b = ParamTensor::new(Matrix::zeros(1, 1));
+        b.grad.set(0, 0, 4.0);
+        let pre = clip_grad_norm(&mut [&mut a, &mut b], 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post = (a.grad.get(0, 0).powi(2) + b.grad.get(0, 0).powi(2)).sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_noop_when_below_threshold() {
+        let mut a = ParamTensor::new(Matrix::zeros(1, 1));
+        a.grad.set(0, 0, 0.5);
+        let pre = clip_grad_norm(&mut [&mut a], 10.0);
+        assert!((pre - 0.5).abs() < 1e-6);
+        assert_eq!(a.grad.get(0, 0), 0.5);
+    }
+}

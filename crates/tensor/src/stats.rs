@@ -1,0 +1,121 @@
+//! Summary statistics used to report `µ ± σ` across seeds, matching the
+//! five-trial protocol in §IV-A of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a set of scalar observations (e.g. top-1 accuracy over five
+/// seeds).
+///
+/// # Example
+///
+/// ```
+/// use tensor::Summary;
+///
+/// let s = Summary::from_samples(&[0.62, 0.64, 0.63]);
+/// assert!((s.mean() - 0.63).abs() < 1e-6);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: usize,
+    mean: f32,
+    std: f32,
+    min: f32,
+    max: f32,
+}
+
+impl Summary {
+    /// Builds a summary from a slice of samples.
+    ///
+    /// An empty slice yields a summary with zero count and zeroed moments.
+    pub fn from_samples(samples: &[f32]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f32>() / count as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / count as f32;
+        let min = samples.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = samples.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        Self {
+            count,
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f32 {
+        self.mean
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f32 {
+        self.std
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> f32 {
+        self.min
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> f32 {
+        self.max
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::from_samples(&[])
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2} (n={})", self.mean, self.std, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::from_samples(&[]);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+        assert_eq!(Summary::default(), s);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::from_samples(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 4.0).abs() < 1e-6);
+        assert!((s.std() - (8.0f32 / 3.0).sqrt()).abs() < 1e-6);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 6.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Summary::from_samples(&[63.8, 63.8]);
+        assert_eq!(format!("{s}"), "63.80 ± 0.00 (n=2)");
+    }
+}

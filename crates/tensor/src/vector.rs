@@ -1,0 +1,296 @@
+//! Dense `f32` vector helpers.
+
+use crate::ShapeError;
+use serde::{Deserialize, Serialize};
+
+/// A dense vector of `f32` values.
+///
+/// Used for per-sample embeddings, per-attribute targets, and metric
+/// accumulators throughout the workspace.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Vector;
+///
+/// let v = Vector::from_vec(vec![3.0, 4.0]);
+/// assert_eq!(v.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vector {
+    data: Vec<f32>,
+}
+
+impl Vector {
+    /// Creates a vector of `n` zeros.
+    pub fn zeros(n: usize) -> Self {
+        Self { data: vec![0.0; n] }
+    }
+
+    /// Creates a vector of `n` ones.
+    pub fn ones(n: usize) -> Self {
+        Self { data: vec![1.0; n] }
+    }
+
+    /// Wraps an existing buffer.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        Self { data }
+    }
+
+    /// Length of the vector.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the entry at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> f32 {
+        self.data[i]
+    }
+
+    /// Sets the entry at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: f32) {
+        self.data[i] = value;
+    }
+
+    /// Borrows the underlying buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &Vector) -> f32 {
+        self.try_dot(other).expect("dot product length mismatch")
+    }
+
+    /// Checked dot product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the lengths differ.
+    pub fn try_dot(&self, other: &Vector) -> Result<f32, ShapeError> {
+        if self.len() != other.len() {
+            return Err(ShapeError::new(format!(
+                "dot of lengths {} and {}",
+                self.len(),
+                other.len()
+            )));
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Cosine similarity with another vector (0 when either norm is ~0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn cosine(&self, other: &Vector) -> f32 {
+        let denom = self.norm() * other.norm();
+        if denom < 1e-12 {
+            0.0
+        } else {
+            self.dot(other) / denom
+        }
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all entries (0 for an empty vector).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Applies `f` to every entry, returning a new vector.
+    pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Vector {
+        Vector {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Index of the maximum entry (first maximal index on ties).
+    ///
+    /// Returns `None` for an empty vector.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Indices of the `k` largest entries, largest first.
+    pub fn topk(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.data.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.data[b]
+                .partial_cmp(&self.data[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    /// Returns an iterator over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, f32> {
+        self.data.iter()
+    }
+}
+
+impl FromIterator<f32> for Vector {
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        Vector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f32> for Vector {
+    fn extend<I: IntoIterator<Item = f32>>(&mut self, iter: I) {
+        self.data.extend(iter);
+    }
+}
+
+impl From<Vec<f32>> for Vector {
+    fn from(data: Vec<f32>) -> Self {
+        Vector { data }
+    }
+}
+
+impl AsRef<[f32]> for Vector {
+    fn as_ref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl std::fmt::Display for Vector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let shown: Vec<String> = self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
+        let ellipsis = if self.data.len() > 8 { ", …" } else { "" };
+        write!(f, "Vector[{}{}] (len {})", shown.join(", "), ellipsis, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut v = Vector::zeros(3);
+        assert_eq!(v.len(), 3);
+        v.set(1, 5.0);
+        assert_eq!(v.get(1), 5.0);
+        assert!(!v.is_empty());
+        assert!(Vector::from_vec(vec![]).is_empty());
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        let b = Vector::from_vec(vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b), 32.0);
+        assert!((a.norm() - 14.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn try_dot_length_mismatch() {
+        let a = Vector::zeros(2);
+        let b = Vector::zeros(3);
+        assert!(a.try_dot(&b).is_err());
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let a = Vector::from_vec(vec![1.0, 0.0]);
+        let b = Vector::from_vec(vec![0.0, 1.0]);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-6);
+        assert!(a.cosine(&b).abs() < 1e-6);
+        let z = Vector::zeros(2);
+        assert_eq!(a.cosine(&z), 0.0);
+    }
+
+    #[test]
+    fn argmax_and_topk() {
+        let v = Vector::from_vec(vec![0.2, 0.9, 0.5, 0.9]);
+        assert_eq!(v.argmax(), Some(1));
+        assert_eq!(v.topk(2), vec![1, 3]);
+        assert_eq!(Vector::zeros(0).argmax(), None);
+    }
+
+    #[test]
+    fn iterator_traits() {
+        let v: Vector = (0..4).map(|i| i as f32).collect();
+        assert_eq!(v.len(), 4);
+        let mut w = Vector::zeros(0);
+        w.extend(vec![1.0, 2.0]);
+        assert_eq!(w.as_slice(), &[1.0, 2.0]);
+        let from: Vector = vec![3.0].into();
+        assert_eq!(from.as_ref(), &[3.0]);
+    }
+
+    #[test]
+    fn mean_and_map() {
+        let v = Vector::from_vec(vec![1.0, 3.0]);
+        assert_eq!(v.mean(), 2.0);
+        assert_eq!(v.map(|x| x * 2.0).as_slice(), &[2.0, 6.0]);
+        assert_eq!(Vector::zeros(0).mean(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let v = Vector::from_vec(vec![1.0; 20]);
+        assert!(format!("{v}").contains("len 20"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Workspace meta-crate for the HDC-ZSC reproduction.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); it re-exports the workspace
+//! crates so examples can refer to everything through one dependency.
+//!
+//! * [`hdc`] — hyperdimensional-computing substrate (hypervectors, binding,
+//!   bundling, codebooks, item memories);
+//! * [`tensor`] / [`nn`] — dense linear algebra and the trainable-layer
+//!   substrate (losses, AdamW, cosine kernel);
+//! * [`dataset`] — the synthetic CUB-200-2011 stand-in (schema, class
+//!   attributes, instances, simulated backbones, splits);
+//! * [`hdc_zsc`] — the paper's model and training pipeline;
+//! * [`baselines`] — ESZSL, DAP and the literature reference registry;
+//! * [`metrics`] — top-k accuracy, WMAP, seed aggregation.
+//!
+//! See `README.md` for a walkthrough and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the reproduction methodology.
+
+pub use baselines;
+pub use dataset;
+pub use hdc;
+pub use hdc_zsc;
+pub use metrics;
+pub use nn;
+pub use tensor;
