@@ -83,9 +83,11 @@ impl Eszsl {
         // Gram matrices.
         let xxt = features.matmul_tn(features); // d×d  (Xᵀ-free form: Σ xᵢ xᵢᵀ)
         let sst = signatures.matmul_tn(signatures); // α×α
+
         // Middle term X Y Sᵀ in row-major shapes: (d×N)(N×C)(C×α) = d×α.
         let xy = features.matmul_tn(&y); // d×C
         let xys = xy.matmul(signatures); // d×α
+
         // Left solve: (X Xᵀ + γI)⁻¹ · XYS.
         let left = ridge_solve(&xxt, &xys, config.gamma)
             .expect("gamma > 0 keeps the feature Gram matrix positive definite");
@@ -228,7 +230,15 @@ mod tests {
     fn regularisation_controls_overfitting_direction() {
         let (train_x, train_y, train_s, test_x, test_y, test_s) =
             synthetic_problem(5, 15, 6, 8, 48, 30, 0.8);
-        let mild = Eszsl::fit(&train_x, &train_y, &train_s, &EszslConfig { gamma: 1.0, lambda: 1.0 });
+        let mild = Eszsl::fit(
+            &train_x,
+            &train_y,
+            &train_s,
+            &EszslConfig {
+                gamma: 1.0,
+                lambda: 1.0,
+            },
+        );
         let extreme = Eszsl::fit(
             &train_x,
             &train_y,

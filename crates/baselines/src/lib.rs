@@ -41,4 +41,6 @@ pub mod reference;
 pub use dap::DirectAttributePrediction;
 pub use eszsl::{Eszsl, EszslConfig};
 pub use prior::{MajorityClassBaseline, RandomBaseline};
-pub use reference::{attribute_extraction_references, zsc_references, MethodCategory, ReferencePoint};
+pub use reference::{
+    attribute_extraction_references, zsc_references, MethodCategory, ReferencePoint,
+};

@@ -193,13 +193,15 @@ pub fn attribute_extraction_references() -> Vec<AttributeGroupReference> {
         ("wing pattern", 48.0, 50.0, 48.0, 72.0),
     ];
     rows.iter()
-        .map(|&(group, finetag_wmap, paper_wmap, a3m_top1, paper_top1)| AttributeGroupReference {
-            group,
-            finetag_wmap,
-            a3m_top1,
-            paper_wmap,
-            paper_top1,
-        })
+        .map(
+            |&(group, finetag_wmap, paper_wmap, a3m_top1, paper_top1)| AttributeGroupReference {
+                group,
+                finetag_wmap,
+                a3m_top1,
+                paper_wmap,
+                paper_top1,
+            },
+        )
         .collect()
 }
 
@@ -228,7 +230,10 @@ mod tests {
     #[test]
     fn headline_deltas_match_the_abstract() {
         let points = zsc_references();
-        let hdc = points.iter().find(|p| p.name == "HDC-ZSC (paper)").expect("present");
+        let hdc = points
+            .iter()
+            .find(|p| p.name == "HDC-ZSC (paper)")
+            .expect("present");
         let eszsl = points.iter().find(|p| p.name == "ESZSL").expect("present");
         let tcn = points.iter().find(|p| p.name == "TCN").expect("present");
         // +9.9% and 1.72× fewer parameters vs ESZSL.
@@ -238,7 +243,10 @@ mod tests {
         assert!((hdc.top1_percent - tcn.top1_percent - 4.3).abs() < 0.2);
         assert!((tcn.params_millions / hdc.params_millions - 1.85).abs() < 0.05);
         // Generative models: 1.75×–2.58× more parameters, at most +3.9% accuracy.
-        for p in points.iter().filter(|p| p.category == MethodCategory::Generative) {
+        for p in points
+            .iter()
+            .filter(|p| p.category == MethodCategory::Generative)
+        {
             let ratio = p.params_millions / hdc.params_millions;
             assert!(ratio > 1.70 && ratio < 2.60, "{}: ratio {ratio}", p.name);
             assert!(p.top1_percent <= hdc.top1_percent + 3.9 + 0.1);
@@ -250,7 +258,7 @@ mod tests {
         let rows = attribute_extraction_references();
         assert_eq!(rows.len(), 28);
         let mean = |f: &dyn Fn(&AttributeGroupReference) -> f32| {
-            rows.iter().map(|r| f(r)).sum::<f32>() / rows.len() as f32
+            rows.iter().map(f).sum::<f32>() / rows.len() as f32
         };
         // Paper-reported averages: Finetag 48.96, Ours(WMAP) 53.11,
         // A3M 51.11, Ours(top-1) 87.82.
@@ -263,8 +271,7 @@ mod tests {
     #[test]
     fn table1_group_names_match_the_dataset_schema() {
         let schema = dataset::AttributeSchema::cub200();
-        let schema_names: Vec<String> =
-            schema.groups().iter().map(|g| g.name.clone()).collect();
+        let schema_names: Vec<String> = schema.groups().iter().map(|g| g.name.clone()).collect();
         for row in attribute_extraction_references() {
             assert!(
                 schema_names.iter().any(|n| n == row.group),

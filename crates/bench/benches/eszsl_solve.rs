@@ -9,7 +9,13 @@ use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use tensor::Matrix;
 
-fn synthetic(n: usize, d: usize, classes: usize, alpha: usize, seed: u64) -> (Matrix, Vec<usize>, Matrix) {
+fn synthetic(
+    n: usize,
+    d: usize,
+    classes: usize,
+    alpha: usize,
+    seed: u64,
+) -> (Matrix, Vec<usize>, Matrix) {
     let mut rng = StdRng::seed_from_u64(seed);
     let features = Matrix::random_uniform(n, d, 1.0, &mut rng);
     let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..classes)).collect();

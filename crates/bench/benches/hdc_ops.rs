@@ -17,9 +17,11 @@ fn bench_binding(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(1);
         let a = BipolarHypervector::random(dim, &mut rng);
         let b = BipolarHypervector::random(dim, &mut rng);
-        group.bench_with_input(BenchmarkId::new("bipolar_hadamard", dim), &dim, |bench, _| {
-            bench.iter(|| black_box(a.bind(&b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bipolar_hadamard", dim),
+            &dim,
+            |bench, _| bench.iter(|| black_box(a.bind(&b))),
+        );
         let ab = a.to_binary();
         let bb = b.to_binary();
         group.bench_with_input(BenchmarkId::new("binary_xor", dim), &dim, |bench, _| {

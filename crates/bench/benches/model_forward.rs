@@ -55,7 +55,10 @@ fn bench_inference(c: &mut Criterion) {
             |b, _| b.iter(|| black_box(model.class_logits(&features, &class_attributes, false))),
         );
         group.bench_with_input(
-            BenchmarkId::new("attribute_logits", format!("b{batch}_f{feature_dim}_d{dim}")),
+            BenchmarkId::new(
+                "attribute_logits",
+                format!("b{batch}_f{feature_dim}_d{dim}"),
+            ),
             &dim,
             |b, _| b.iter(|| black_box(model.attribute_logits(&features, false))),
         );

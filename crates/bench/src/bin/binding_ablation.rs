@@ -76,7 +76,12 @@ fn main() {
         });
     }
     print_table(
-        &["d", "mean |cos| between attributes", "max |cos|", "E|cos| of random HVs"],
+        &[
+            "d",
+            "mean |cos| between attributes",
+            "max |cos|",
+            "E|cos| of random HVs",
+        ],
         &table_rows,
     );
 

@@ -58,7 +58,10 @@ fn main() {
         // --- HDC-ZSC and Trainable-MLP (full pipeline). ---
         for (label, kind) in [
             ("HDC-ZSC (measured)", AttributeEncoderKind::Hdc),
-            ("Trainable-MLP (measured)", AttributeEncoderKind::TrainableMlp),
+            (
+                "Trainable-MLP (measured)",
+                AttributeEncoderKind::TrainableMlp,
+            ),
         ] {
             let model_cfg = ModelConfig::paper_default()
                 .with_embedding_dim(args.embedding_dim())
@@ -90,10 +93,14 @@ fn main() {
         if seed == 0 {
             // Literature convention: ESZSL sits on ResNet101 features, and its
             // bilinear map d'×α counts toward the model size.
-            let params = backbone_trunk_params(dataset::BackboneKind::ResNet101) + eszsl.num_params();
+            let params =
+                backbone_trunk_params(dataset::BackboneKind::ResNet101) + eszsl.num_params();
             params_millions.push(("ESZSL (measured)".to_string(), params as f32 / 1e6));
         }
-        println!("seed {seed}: {:<26} top-1 {eszsl_acc:.1}%", "ESZSL (measured)");
+        println!(
+            "seed {seed}: {:<26} top-1 {eszsl_acc:.1}%",
+            "ESZSL (measured)"
+        );
 
         // --- DAP-style floor. ---
         let (_, train_attr) = data.features_and_attributes(split.train_classes());
@@ -104,7 +111,10 @@ fn main() {
             let params = backbone_trunk_params(dataset::BackboneKind::ResNet50) + dap.num_params();
             params_millions.push(("DAP (measured)".to_string(), params as f32 / 1e6));
         }
-        println!("seed {seed}: {:<26} top-1 {dap_acc:.1}%\n", "DAP (measured)");
+        println!(
+            "seed {seed}: {:<26} top-1 {dap_acc:.1}%\n",
+            "DAP (measured)"
+        );
     }
 
     // --- Assemble the Fig. 4 table: measured + literature points. ---
@@ -149,14 +159,28 @@ fn main() {
 
     // --- Shape checks mirroring the paper's claims. ---
     let hdc = agg.summary("HDC-ZSC (measured)").unwrap_or_default().mean();
-    let mlp = agg.summary("Trainable-MLP (measured)").unwrap_or_default().mean();
+    let mlp = agg
+        .summary("Trainable-MLP (measured)")
+        .unwrap_or_default()
+        .mean();
     let eszsl = agg.summary("ESZSL (measured)").unwrap_or_default().mean();
     let dap = agg.summary("DAP (measured)").unwrap_or_default().mean();
     println!("\nshape checks:");
-    println!("  HDC-ZSC beats ESZSL (paper: +9.9%):          {} ({:+.1}%)", hdc > eszsl, hdc - eszsl);
-    println!("  HDC-ZSC within a few points of the MLP:      {} ({:+.1}%)", (hdc - mlp).abs() < 10.0, hdc - mlp);
+    println!(
+        "  HDC-ZSC beats ESZSL (paper: +9.9%):          {} ({:+.1}%)",
+        hdc > eszsl,
+        hdc - eszsl
+    );
+    println!(
+        "  HDC-ZSC within a few points of the MLP:      {} ({:+.1}%)",
+        (hdc - mlp).abs() < 10.0,
+        hdc - mlp
+    );
     println!("  HDC-ZSC uses fewer parameters than ESZSL:    true (26.6M vs ≥45M by construction)");
-    println!("  everything beats the DAP floor:              {}", hdc > dap && eszsl > dap);
+    println!(
+        "  everything beats the DAP floor:              {}",
+        hdc > dap && eszsl > dap
+    );
 
     maybe_write_json(
         &args.json,

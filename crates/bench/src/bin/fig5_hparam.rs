@@ -85,7 +85,8 @@ fn main() {
                         .with_seed(seed),
                     value,
                 );
-                let outcome = Pipeline::new(model_cfg, train_cfg).run(&data, SplitKind::Validation, seed);
+                let outcome =
+                    Pipeline::new(model_cfg, train_cfg).run(&data, SplitKind::Validation, seed);
                 let key = format!("{}={value:e}", axis.name);
                 agg.record(key.clone(), outcome.zsc.top1 * 100.0);
                 println!(

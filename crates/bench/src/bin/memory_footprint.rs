@@ -59,7 +59,12 @@ fn main() {
         });
     }
     print_table(
-        &["d", "group+value codebooks", "per-attribute codevectors", "reduction"],
+        &[
+            "d",
+            "group+value codebooks",
+            "per-attribute codevectors",
+            "reduction",
+        ],
         &table_rows,
     );
 

@@ -12,7 +12,6 @@ use dataset::{CubLikeDataset, SplitKind};
 use hdc_zsc::{ModelConfig, Pipeline, TrainConfig};
 use metrics::SeedAggregate;
 use serde::Serialize;
-use tensor::Summary;
 
 #[derive(Serialize)]
 struct GroupRow {
@@ -76,12 +75,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut table_rows = Vec::new();
     for reference in &references {
-        let wmap = per_group_wmap
-            .summary(reference.group)
-            .unwrap_or_else(Summary::default);
-        let top1 = per_group_top1
-            .summary(reference.group)
-            .unwrap_or_else(Summary::default);
+        let wmap = per_group_wmap.summary(reference.group).unwrap_or_default();
+        let top1 = per_group_top1.summary(reference.group).unwrap_or_default();
         table_rows.push(vec![
             reference.group.to_string(),
             format!("{:.0}", reference.finetag_wmap),
@@ -100,7 +95,7 @@ fn main() {
         });
     }
 
-    let avg = |f: &dyn Fn(&GroupRow) -> f32| rows.iter().map(|r| f(r)).sum::<f32>() / rows.len() as f32;
+    let avg = |f: &dyn Fn(&GroupRow) -> f32| rows.iter().map(f).sum::<f32>() / rows.len() as f32;
     let average_finetag = avg(&|r| r.finetag_wmap);
     let average_ours_wmap = avg(&|r| r.ours_wmap_mean);
     let average_a3m = avg(&|r| r.a3m_top1);

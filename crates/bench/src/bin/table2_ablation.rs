@@ -98,7 +98,10 @@ fn main() {
                 .map(|r| ((feature_dim as f32 * r).round() as usize).max(8))
                 .unwrap_or(feature_dim);
             embedding_dims[row_idx] = embedding_dim;
-            for kind in [AttributeEncoderKind::Hdc, AttributeEncoderKind::TrainableMlp] {
+            for kind in [
+                AttributeEncoderKind::Hdc,
+                AttributeEncoderKind::TrainableMlp,
+            ] {
                 let model_cfg = ModelConfig::paper_default()
                     .with_backbone(row.backbone)
                     .with_projection(row.use_projection)
@@ -152,7 +155,13 @@ fn main() {
         });
     }
     print_table(
-        &["image encoder", "pre-train", "d", "HDC-ZSC top-1 (%)", "MLP top-1 (%)"],
+        &[
+            "image encoder",
+            "pre-train",
+            "d",
+            "HDC-ZSC top-1 (%)",
+            "MLP top-1 (%)",
+        ],
         &table_rows,
     );
 

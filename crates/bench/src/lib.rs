@@ -60,7 +60,9 @@ impl ExperimentArgs {
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--seeds" => {
-                    let value = iter.next().unwrap_or_else(|| usage("--seeds needs a value"));
+                    let value = iter
+                        .next()
+                        .unwrap_or_else(|| usage("--seeds needs a value"));
                     parsed.seeds = value
                         .parse()
                         .unwrap_or_else(|_| usage("--seeds expects an integer"));
@@ -71,8 +73,7 @@ impl ExperimentArgs {
                     let value = iter.next().unwrap_or_else(|| usage("--json needs a path"));
                     parsed.json = Some(PathBuf::from(value));
                 }
-                "--help" | "-h" => usage("")
-                ,
+                "--help" | "-h" => usage(""),
                 other => usage(&format!("unrecognised flag '{other}'")),
             }
         }
@@ -176,7 +177,12 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         let padded: Vec<String> = cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{c:<width$}",
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect();
         format!("| {} |", padded.join(" | "))
     };

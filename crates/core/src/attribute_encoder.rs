@@ -361,12 +361,7 @@ mod tests {
     fn encode_classes_matches_manual_product() {
         let s = schema();
         let encoder = HdcAttributeEncoder::new(&s, 64, 7);
-        let a = Matrix::random_uniform(
-            4,
-            312,
-            1.0,
-            &mut StdRng::seed_from_u64(1),
-        );
+        let a = Matrix::random_uniform(4, 312, 1.0, &mut StdRng::seed_from_u64(1));
         let phi = encoder.encode_classes(&a);
         let manual = a.matmul(encoder.dictionary());
         assert!(phi.max_abs_diff(&manual) < 1e-5);
@@ -424,6 +419,9 @@ mod tests {
         hdc_enc.zero_grad();
         mlp_enc.zero_grad();
         assert_eq!(AttributeEncoderKind::Hdc.to_string(), "HDC");
-        assert_eq!(AttributeEncoderKind::TrainableMlp.to_string(), "Trainable-MLP");
+        assert_eq!(
+            AttributeEncoderKind::TrainableMlp.to_string(),
+            "Trainable-MLP"
+        );
     }
 }

@@ -158,7 +158,8 @@ mod tests {
         let (features, labels) = data.features_and_labels(split.eval_classes());
         let local = CubLikeDataset::to_local_labels(&labels, split.eval_classes());
         let attrs = data.class_attribute_matrix(split.eval_classes());
-        let (report, confusion) = evaluate_zsc_with_confusion(&mut model, &features, &local, &attrs);
+        let (report, confusion) =
+            evaluate_zsc_with_confusion(&mut model, &features, &local, &attrs);
         assert_eq!(confusion.total() as usize, report.num_samples);
         assert!((confusion.accuracy() - report.top1).abs() < 1e-5);
     }

@@ -53,7 +53,9 @@ pub mod params;
 pub mod pipeline;
 pub mod train;
 
-pub use attribute_encoder::{AttributeEncoder, AttributeEncoderKind, HdcAttributeEncoder, MlpAttributeEncoder};
+pub use attribute_encoder::{
+    AttributeEncoder, AttributeEncoderKind, HdcAttributeEncoder, MlpAttributeEncoder,
+};
 pub use config::{ModelConfig, TrainConfig};
 pub use eval::{evaluate_attribute_extraction, evaluate_zsc, AttributeExtractionReport, ZscReport};
 pub use image_encoder::ImageEncoder;

@@ -188,7 +188,9 @@ impl ZscModel {
         train: bool,
     ) -> Matrix {
         let embeddings = self.image_encoder.forward(features, train);
-        let class_embeddings = self.attribute_encoder.encode_classes(class_attributes, train);
+        let class_embeddings = self
+            .attribute_encoder
+            .encode_classes(class_attributes, train);
         let sims = self.kernel.forward(&embeddings, &class_embeddings, train);
         self.temperature.forward(&sims, train)
     }
@@ -292,13 +294,17 @@ mod tests {
     fn mlp_variant_shares_phase2_dictionary_with_hdc() {
         let s = schema();
         let hdc_model = ZscModel::new(&ModelConfig::tiny(), &s, 48);
-        let mlp_model = ZscModel::new(&ModelConfig::tiny().with_attribute_encoder(AttributeEncoderKind::TrainableMlp), &s, 48);
-        // Same seed → same stationary dictionary for phase II.
-        assert_eq!(
-            hdc_model.phase2_dictionary(),
-            mlp_model.phase2_dictionary()
+        let mlp_model = ZscModel::new(
+            &ModelConfig::tiny().with_attribute_encoder(AttributeEncoderKind::TrainableMlp),
+            &s,
+            48,
         );
-        assert_eq!(mlp_model.attribute_encoder().kind(), AttributeEncoderKind::TrainableMlp);
+        // Same seed → same stationary dictionary for phase II.
+        assert_eq!(hdc_model.phase2_dictionary(), mlp_model.phase2_dictionary());
+        assert_eq!(
+            mlp_model.attribute_encoder().kind(),
+            AttributeEncoderKind::TrainableMlp
+        );
     }
 
     #[test]
@@ -309,7 +315,9 @@ mod tests {
         let class_attributes = Matrix::random_uniform(7, 312, 0.5, &mut rng).map(f32::abs);
         assert_eq!(model.attribute_logits(&features, false).shape(), (3, 312));
         assert_eq!(
-            model.class_logits(&features, &class_attributes, false).shape(),
+            model
+                .class_logits(&features, &class_attributes, false)
+                .shape(),
             (3, 7)
         );
         assert_eq!(model.predict(&features, &class_attributes).len(), 3);
@@ -345,7 +353,9 @@ mod tests {
         model.backward_attribute(&Matrix::ones(logits.rows(), logits.cols()));
         // The MLP attribute encoder must have received no gradient.
         let mut mlp_grad = 0.0;
-        model.attribute_encoder_mut().visit_params(&mut |p| mlp_grad += p.grad_norm());
+        model
+            .attribute_encoder_mut()
+            .visit_params(&mut |p| mlp_grad += p.grad_norm());
         assert_eq!(mlp_grad, 0.0);
     }
 

@@ -46,7 +46,9 @@ impl ParameterBreakdown {
         // image encoder first, then temperature, then attribute encoder.
         let projection = {
             let mut n = 0;
-            model.image_encoder_mut().visit_params(&mut |p| n += p.len());
+            model
+                .image_encoder_mut()
+                .visit_params(&mut |p| n += p.len());
             n
         };
         let attribute_encoder = model.attribute_encoder_mut().num_trainable_params();
@@ -109,7 +111,10 @@ mod tests {
             backbone_trunk_params(BackboneKind::ResNet50),
             25_557_032 - IMAGENET_HEAD_PARAMS
         );
-        assert!(backbone_trunk_params(BackboneKind::ResNet101) > backbone_trunk_params(BackboneKind::ResNet50));
+        assert!(
+            backbone_trunk_params(BackboneKind::ResNet101)
+                > backbone_trunk_params(BackboneKind::ResNet50)
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use tensor::Matrix;
 
 /// Everything a single training/evaluation run produces.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineOutcome {
     /// Zero-shot (or noZS) classification results on the evaluation side.
     pub zsc: ZscReport,
@@ -85,8 +85,12 @@ impl Pipeline {
     /// the Table I baselines.
     pub fn run(&self, data: &CubLikeDataset, split_kind: SplitKind, seed: u64) -> PipelineOutcome {
         let split = data.split(split_kind);
-        let model_config = self.model_config.with_seed(self.model_config.seed.wrapping_add(seed));
-        let train_config = self.train_config.with_seed(self.train_config.seed.wrapping_add(seed));
+        let model_config = self
+            .model_config
+            .with_seed(self.model_config.seed.wrapping_add(seed));
+        let train_config = self
+            .train_config
+            .with_seed(self.train_config.seed.wrapping_add(seed));
         let mut model = ZscModel::new(&model_config, data.schema(), data.config().feature_dim);
 
         // Assemble train/eval instance sets.
@@ -96,7 +100,14 @@ impl Pipeline {
                 let (_, train_attr) = data.features_and_attributes(split.train_classes());
                 let (eval_x, eval_labels) = data.features_and_labels(split.eval_classes());
                 let (_, eval_attr) = data.features_and_attributes(split.eval_classes());
-                (train_x, train_labels, train_attr, eval_x, eval_labels, eval_attr)
+                (
+                    train_x,
+                    train_labels,
+                    train_attr,
+                    eval_x,
+                    eval_labels,
+                    eval_attr,
+                )
             } else {
                 // noZS: split instances of the shared classes 75/25.
                 let indices = data.instance_indices(split.train_classes());
@@ -166,17 +177,30 @@ impl Pipeline {
         // same computation while keeping the model.
         let outcome = self.run(data, split_kind, seed);
         let split = data.split(split_kind);
-        let model_config = self.model_config.with_seed(self.model_config.seed.wrapping_add(seed));
-        let train_config = self.train_config.with_seed(self.train_config.seed.wrapping_add(seed));
+        let model_config = self
+            .model_config
+            .with_seed(self.model_config.seed.wrapping_add(seed));
+        let train_config = self
+            .train_config
+            .with_seed(self.train_config.seed.wrapping_add(seed));
         let mut model = ZscModel::new(&model_config, data.schema(), data.config().feature_dim);
         let (train_x, train_labels) = data.features_and_labels(split.train_classes());
         let (_, train_attr) = data.features_and_attributes(split.train_classes());
         if self.run_phase2 && model.image_encoder().has_projection() {
-            let _ = AttributeExtractionTrainer::new(train_config).train(&mut model, &train_x, &train_attr);
+            let _ = AttributeExtractionTrainer::new(train_config).train(
+                &mut model,
+                &train_x,
+                &train_attr,
+            );
         }
         let train_local = CubLikeDataset::to_local_labels(&train_labels, split.train_classes());
         let train_class_attr = data.class_attribute_matrix(split.train_classes());
-        let _ = ZscTrainer::new(train_config).train(&mut model, &train_x, &train_local, &train_class_attr);
+        let _ = ZscTrainer::new(train_config).train(
+            &mut model,
+            &train_x,
+            &train_local,
+            &train_class_attr,
+        );
         (outcome, model)
     }
 
@@ -188,7 +212,10 @@ impl Pipeline {
         split_kind: SplitKind,
         seeds: &[u64],
     ) -> Vec<PipelineOutcome> {
-        seeds.iter().map(|&s| self.run(data, split_kind, s)).collect()
+        seeds
+            .iter()
+            .map(|&s| self.run(data, split_kind, s))
+            .collect()
     }
 
     /// Convenience: mean top-1 accuracy over a set of outcomes.
@@ -229,12 +256,13 @@ mod tests {
         // Slightly larger than the default tiny fixture: zero-shot transfer
         // needs a little more data/dimensionality than the unit-test minimum.
         let mut config = DatasetConfig::tiny(21);
-        config.images_per_class = 10;
-        config.feature_dim = 96;
+        config.num_classes = 24;
+        config.images_per_class = 14;
+        config.feature_dim = 128;
         let data = CubLikeDataset::generate(&config);
         let pipeline = Pipeline::new(
-            ModelConfig::tiny().with_embedding_dim(96),
-            TrainConfig::fast().with_epochs(12),
+            ModelConfig::tiny().with_embedding_dim(128),
+            TrainConfig::fast().with_epochs(16),
         );
         let outcome = pipeline.run(&data, SplitKind::Zs, 0);
         let split = data.split(SplitKind::Zs);
@@ -266,7 +294,8 @@ mod tests {
     #[test]
     fn without_phase2_skips_pretraining() {
         let data = CubLikeDataset::generate(&DatasetConfig::tiny(23));
-        let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(2)).without_phase2();
+        let pipeline =
+            Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(2)).without_phase2();
         assert!(pipeline.model_config().use_projection);
         assert_eq!(pipeline.train_config().epochs, 2);
         let outcome = pipeline.run(&data, SplitKind::Zs, 0);

@@ -78,7 +78,8 @@ impl AttributeExtractionTrainer {
         let pos_weights =
             positive_weights_from_targets(attribute_targets, self.config.max_pos_weight);
         let mut optimizer = AdamW::with_weight_decay(self.config.weight_decay);
-        let schedule = CosineAnnealingLr::new(self.config.learning_rate, self.config.learning_rate * 1e-2);
+        let schedule =
+            CosineAnnealingLr::new(self.config.learning_rate, self.config.learning_rate * 1e-2);
         let mut history = TrainingHistory::default();
         for epoch in 0..self.config.epochs {
             let lr = schedule.lr_at(epoch, self.config.epochs);
@@ -156,7 +157,8 @@ impl ZscTrainer {
             "labels must index rows of the class attribute matrix"
         );
         let mut optimizer = AdamW::with_weight_decay(self.config.weight_decay);
-        let schedule = CosineAnnealingLr::new(self.config.learning_rate, self.config.learning_rate * 1e-2);
+        let schedule =
+            CosineAnnealingLr::new(self.config.learning_rate, self.config.learning_rate * 1e-2);
         let mut history = TrainingHistory::default();
         for epoch in 0..self.config.epochs {
             let lr = schedule.lr_at(epoch, self.config.epochs);
@@ -194,7 +196,14 @@ mod tests {
     use dataset::{AttributeSchema, CubLikeDataset, DatasetConfig, SplitKind};
 
     fn fixture() -> (CubLikeDataset, AttributeSchema) {
-        let data = CubLikeDataset::generate(&DatasetConfig::tiny(5));
+        // A little above the tiny() minimum: zero-shot transfer on the ZS
+        // split needs enough classes, images and feature dimensions for the
+        // margin over chance to be stable across RNG streams.
+        let mut config = DatasetConfig::tiny(5);
+        config.num_classes = 24;
+        config.images_per_class = 14;
+        config.feature_dim = 128;
+        let data = CubLikeDataset::generate(&config);
         let schema = data.schema().clone();
         (data, schema)
     }

@@ -125,7 +125,12 @@ impl SyntheticBackbone {
     /// # Panics
     ///
     /// Panics if `alpha == 0` or `feature_dim == 0`.
-    pub fn pretrain_with_dim(kind: BackboneKind, alpha: usize, feature_dim: usize, seed: u64) -> Self {
+    pub fn pretrain_with_dim(
+        kind: BackboneKind,
+        alpha: usize,
+        feature_dim: usize,
+        seed: u64,
+    ) -> Self {
         assert!(alpha > 0, "attribute dimensionality must be positive");
         assert!(feature_dim > 0, "feature dimensionality must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
@@ -140,7 +145,7 @@ impl SyntheticBackbone {
             mixing.set(r, r, 1.0);
             for _ in 0..3 {
                 let c = rng.gen_range(0..d);
-                mixing.set(r, c, mixing.get(r, c) + rng.gen_range(-0.3..0.3));
+                mixing.set(r, c, mixing.get(r, c) + rng.gen_range(-0.3f32..0.3));
             }
         }
         Self {
@@ -204,7 +209,7 @@ impl SyntheticBackbone {
         // Attribute jitter models imperfect visual evidence (occlusion, pose).
         let jittered: Vec<f32> = attributes
             .iter()
-            .map(|&a| a + rng.gen_range(-0.05..0.05))
+            .map(|&a| a + rng.gen_range(-0.05f32..0.05))
             .collect();
         // Linear projection + bias + tanh non-linearity.
         let mut hidden = vec![0.0f32; d];
@@ -284,7 +289,10 @@ mod tests {
         let f2 = backbone.features(&attrs, 10);
         let f3 = backbone.features(&attrs, 11);
         assert_eq!(f1, f2);
-        assert_ne!(f1, f3, "different instance seeds give different augmentations");
+        assert_ne!(
+            f1, f3,
+            "different instance seeds give different augmentations"
+        );
         assert_eq!(f1.len(), 2048);
     }
 
@@ -309,7 +317,9 @@ mod tests {
     fn resnet101_features_are_noisier() {
         let r50 = SyntheticBackbone::pretrain(BackboneKind::ResNet50, 64, 5);
         let r101 = SyntheticBackbone::pretrain(BackboneKind::ResNet101, 64, 5);
-        let attrs: Vec<f32> = (0..64).map(|i| if i % 4 == 0 { 1.0 } else { 0.0 }).collect();
+        let attrs: Vec<f32> = (0..64)
+            .map(|i| if i % 4 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let self_sim = |b: &SyntheticBackbone| {
             let x = tensor::Vector::from_vec(b.features(&attrs, 100));
             let y = tensor::Vector::from_vec(b.features(&attrs, 200));
@@ -324,8 +334,8 @@ mod tests {
         let attrs = Matrix::from_rows(&[vec![1.0; 16], vec![0.0; 16]]);
         let batch = backbone.features_batch(&attrs, 500);
         assert_eq!(batch.shape(), (2, 2048));
-        assert_eq!(batch.row(0), &backbone.features(&vec![1.0; 16], 500)[..]);
-        assert_eq!(batch.row(1), &backbone.features(&vec![0.0; 16], 501)[..]);
+        assert_eq!(batch.row(0), &backbone.features(&[1.0; 16], 500)[..]);
+        assert_eq!(batch.row(1), &backbone.features(&[0.0; 16], 501)[..]);
         assert_eq!(backbone.features_batch(&Matrix::zeros(0, 16), 0).rows(), 0);
     }
 

@@ -86,7 +86,11 @@ impl ClassAttributes {
         let groups = schema.num_groups();
         let structured = num_families > 0 && num_families < num_classes;
         // Family prototypes: one dominant column per group.
-        let prototype_count = if structured { num_families } else { num_classes };
+        let prototype_count = if structured {
+            num_families
+        } else {
+            num_classes
+        };
         let prototypes: Vec<Vec<usize>> = (0..prototype_count)
             .map(|_| {
                 (0..groups)
@@ -149,7 +153,7 @@ impl ClassAttributes {
                             matrix.set(
                                 c,
                                 secondary,
-                                Self::SECONDARY_STRENGTH + rng.gen_range(-0.1..0.1),
+                                Self::SECONDARY_STRENGTH + rng.gen_range(-0.1f32..0.1),
                             );
                             break;
                         }
@@ -158,7 +162,9 @@ impl ClassAttributes {
             }
             dominant.push(class_dominant);
         }
-        let names = (0..num_classes).map(|c| format!("species-{c:03}")).collect();
+        let names = (0..num_classes)
+            .map(|c| format!("species-{c:03}"))
+            .collect();
         Self {
             names,
             matrix,
@@ -256,7 +262,9 @@ mod tests {
         for a in 0..20 {
             for b in (a + 1)..20 {
                 let same = (0..s.num_groups())
-                    .filter(|&g| classes.dominant_attribute(a, g) == classes.dominant_attribute(b, g))
+                    .filter(|&g| {
+                        classes.dominant_attribute(a, g) == classes.dominant_attribute(b, g)
+                    })
                     .count();
                 if same == s.num_groups() {
                     identical_pairs += 1;
@@ -298,7 +306,10 @@ mod tests {
                 .count()
         };
         let same_family = differing(0, families); // classes 0 and 8 share family 0
-        assert!(same_family <= 2 * distinct, "siblings differ in {same_family} groups");
+        assert!(
+            same_family <= 2 * distinct,
+            "siblings differ in {same_family} groups"
+        );
         assert!(same_family >= 1, "siblings must stay distinguishable");
         let cross_family = differing(0, 1);
         assert!(

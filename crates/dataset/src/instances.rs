@@ -263,7 +263,10 @@ mod tests {
             }
         }
         let ratio = dominant_hits as f32 / total as f32;
-        assert!(ratio > 0.7, "dominant value chosen only {ratio} of the time");
+        assert!(
+            ratio > 0.7,
+            "dominant value chosen only {ratio} of the time"
+        );
     }
 
     #[test]

@@ -33,7 +33,8 @@ impl BatchIterator {
     pub fn new(num_samples: usize, batch_size: usize, epoch: usize, seed: u64) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
         let mut order: Vec<usize> = (0..num_samples).collect();
-        let mut rng = StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         // Fisher–Yates shuffle.
         for i in (1..order.len()).rev() {
             let j = rng.gen_range(0..=i);

@@ -73,7 +73,11 @@ impl AttributeSchema {
         assert!(!values.is_empty(), "schema needs at least one value");
         let mut pairs = Vec::new();
         for (g, group) in groups.iter().enumerate() {
-            assert!(!group.is_empty(), "group '{}' has no attributes", group.name);
+            assert!(
+                !group.is_empty(),
+                "group '{}' has no attributes",
+                group.name
+            );
             for &v in &group.value_ids {
                 assert!(
                     v < values.len(),
@@ -101,8 +105,21 @@ impl AttributeSchema {
         let mut builder = SchemaBuilder::new();
         // Shared vocabularies.
         let colors = [
-            "blue", "brown", "iridescent", "purple", "rufous", "grey", "yellow", "olive",
-            "green", "pink", "orange", "black", "white", "red", "buff",
+            "blue",
+            "brown",
+            "iridescent",
+            "purple",
+            "rufous",
+            "grey",
+            "yellow",
+            "olive",
+            "green",
+            "pink",
+            "orange",
+            "black",
+            "white",
+            "red",
+            "buff",
         ];
         let patterns = ["solid", "spotted", "striped", "multi-colored"];
         let color_ids = builder.intern_all(&colors);
@@ -141,21 +158,43 @@ impl AttributeSchema {
         }
         // Morphological groups with their own (partially shared) vocabularies.
         let bill_shape = builder.intern_all(&[
-            "curved", "dagger", "hooked", "needle", "hooked seabird", "spatulate",
-            "all-purpose", "cone", "specialized",
+            "curved",
+            "dagger",
+            "hooked",
+            "needle",
+            "hooked seabird",
+            "spatulate",
+            "all-purpose",
+            "cone",
+            "specialized",
         ]);
         builder.push_group("bill shape", bill_shape);
         let tail_shape = builder.intern_all(&[
-            "forked", "rounded", "notched", "fan-shaped", "pointed", "squared",
+            "forked",
+            "rounded",
+            "notched",
+            "fan-shaped",
+            "pointed",
+            "squared",
         ]);
         builder.push_group("tail shape", tail_shape);
         // Head pattern shares "spotted"/"striped" with the pattern vocabulary.
         let head_pattern = builder.intern_all(&[
-            "spotted", "malar", "crested", "masked", "unique pattern", "eyebrow", "eyering",
-            "plain", "eyeline", "striped", "capped",
+            "spotted",
+            "malar",
+            "crested",
+            "masked",
+            "unique pattern",
+            "eyebrow",
+            "eyering",
+            "plain",
+            "eyeline",
+            "striped",
+            "capped",
         ]);
         builder.push_group("head pattern", head_pattern);
-        let bill_length = builder.intern_all(&["same as head", "longer than head", "shorter than head"]);
+        let bill_length =
+            builder.intern_all(&["same as head", "longer than head", "shorter than head"]);
         builder.push_group("bill length", bill_length);
         // Wing shape shares "rounded"/"pointed" with tail shape.
         let wing_shape = builder.intern_all(&["rounded", "pointed", "broad", "tapered", "long"]);
@@ -165,9 +204,20 @@ impl AttributeSchema {
         // Shape: 7 novel silhouettes plus 7 descriptors shared with earlier
         // vocabularies, mirroring how CUB reaches 61 unique values overall.
         let shape = builder.intern_all(&[
-            "perching-like", "chicken-like", "long-legged", "duck-like", "owl-like",
-            "gull-like", "hummingbird-like", "crested", "masked", "plain", "capped",
-            "broad", "tapered", "long",
+            "perching-like",
+            "chicken-like",
+            "long-legged",
+            "duck-like",
+            "owl-like",
+            "gull-like",
+            "hummingbird-like",
+            "crested",
+            "masked",
+            "plain",
+            "capped",
+            "broad",
+            "tapered",
+            "long",
         ]);
         builder.push_group("shape", shape);
         builder.build()
@@ -181,7 +231,10 @@ impl AttributeSchema {
     ///
     /// Panics if either argument is zero.
     pub fn synthetic(groups: usize, values_per_group: usize) -> Self {
-        assert!(groups > 0 && values_per_group > 0, "schema dims must be positive");
+        assert!(
+            groups > 0 && values_per_group > 0,
+            "schema dims must be positive"
+        );
         let mut builder = SchemaBuilder::new();
         for g in 0..groups {
             let names: Vec<String> = (0..values_per_group)
@@ -378,7 +431,10 @@ mod tests {
             .expect("exists");
         let crown_cols = schema.group_columns(crown_idx);
         let wing_cols = schema.group_columns(wing_idx);
-        assert_eq!(schema.value_of(crown_cols[0]), schema.value_of(wing_cols[0]));
+        assert_eq!(
+            schema.value_of(crown_cols[0]),
+            schema.value_of(wing_cols[0])
+        );
     }
 
     #[test]

@@ -138,7 +138,10 @@ impl ClassSplit {
     ///
     /// Panics if either side is empty.
     pub fn custom(kind: SplitKind, train: Vec<usize>, eval: Vec<usize>) -> Self {
-        assert!(!train.is_empty() && !eval.is_empty(), "both sides must be non-empty");
+        assert!(
+            !train.is_empty() && !eval.is_empty(),
+            "both sides must be non-empty"
+        );
         Self { kind, train, eval }
     }
 
@@ -234,7 +237,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "non-empty")]
-    fn custom_split_rejects_empty_sides()  {
+    fn custom_split_rejects_empty_sides() {
         let _ = ClassSplit::custom(SplitKind::Zs, vec![], vec![1]);
     }
 }

@@ -327,7 +327,10 @@ mod tests {
         let b = BinaryHypervector::zeros(128);
         assert!(matches!(
             a.try_bind(&b),
-            Err(HdcError::DimensionMismatch { left: 64, right: 128 })
+            Err(HdcError::DimensionMismatch {
+                left: 64,
+                right: 128
+            })
         ));
     }
 

@@ -53,7 +53,9 @@ impl BipolarHypervector {
     pub fn random<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
         Self {
-            values: (0..dim).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect(),
+            values: (0..dim)
+                .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+                .collect(),
         }
     }
 
@@ -191,9 +193,7 @@ impl BipolarHypervector {
     /// Converts to the equivalent packed binary hypervector (`+1 → 0`,
     /// `-1 → 1`).
     pub fn to_binary(&self) -> BinaryHypervector {
-        BinaryHypervector::from_bits(
-            &self.values.iter().map(|&v| v == -1).collect::<Vec<bool>>(),
-        )
+        BinaryHypervector::from_bits(&self.values.iter().map(|&v| v == -1).collect::<Vec<bool>>())
     }
 
     /// Converts to a row of `f32` values (for use in dense matrices).
@@ -214,7 +214,11 @@ impl BipolarHypervector {
         let rows: Vec<Vec<f32>> = hvs
             .iter()
             .map(|hv| {
-                assert_eq!(hv.dim(), dim, "stacked hypervectors must share dimensionality");
+                assert_eq!(
+                    hv.dim(),
+                    dim,
+                    "stacked hypervectors must share dimensionality"
+                );
                 hv.to_f32()
             })
             .collect();
@@ -247,7 +251,13 @@ impl std::fmt::Display for BipolarHypervector {
             .map(|v| if *v > 0 { "+".into() } else { "-".to_string() })
             .collect();
         let ellipsis = if self.dim() > 16 { "…" } else { "" };
-        write!(f, "BipolarHV<{}>[{}{}]", self.dim(), shown.join(""), ellipsis)
+        write!(
+            f,
+            "BipolarHV<{}>[{}{}]",
+            self.dim(),
+            shown.join(""),
+            ellipsis
+        )
     }
 }
 

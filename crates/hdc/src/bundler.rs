@@ -117,7 +117,11 @@ impl Bundler {
     /// # Errors
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the dimensionality differs.
-    pub fn try_add_weighted(&mut self, hv: &BipolarHypervector, weight: i32) -> Result<(), HdcError> {
+    pub fn try_add_weighted(
+        &mut self,
+        hv: &BipolarHypervector,
+        weight: i32,
+    ) -> Result<(), HdcError> {
         if hv.dim() != self.dim {
             return Err(HdcError::DimensionMismatch {
                 left: self.dim,

@@ -70,7 +70,11 @@ impl ItemMemory {
     ///
     /// Panics if the hypervector dimensionality differs from the memory's;
     /// use [`ItemMemory::try_insert`] for a checked variant.
-    pub fn insert(&mut self, label: impl Into<String>, hv: BipolarHypervector) -> Option<BipolarHypervector> {
+    pub fn insert(
+        &mut self,
+        label: impl Into<String>,
+        hv: BipolarHypervector,
+    ) -> Option<BipolarHypervector> {
         self.try_insert(label, hv)
             .expect("item memory dimensionality mismatch")
     }
@@ -140,7 +144,7 @@ impl ItemMemory {
         let mut best: Option<(usize, f32)> = None;
         for (i, proto) in self.prototypes.iter().enumerate() {
             let sim = query.cosine(proto);
-            if best.map_or(true, |(_, b)| sim > b) {
+            if best.is_none_or(|(_, b)| sim > b) {
                 best = Some((i, sim));
             }
         }

@@ -171,7 +171,9 @@ mod tests {
         // Empirical mean |cos| over pairs should be close to the formula.
         let d = 2048;
         let n = 50;
-        let hvs: Vec<_> = (0..n).map(|_| BipolarHypervector::random(d, &mut rng)).collect();
+        let hvs: Vec<_> = (0..n)
+            .map(|_| BipolarHypervector::random(d, &mut rng))
+            .collect();
         let mut acc = 0.0f32;
         let mut count = 0;
         for i in 0..n {

@@ -124,3 +124,70 @@ proptest! {
         prop_assert!(a.count_ones() <= dim);
     }
 }
+
+// Round-trip properties of the binary↔bipolar isomorphism (`+1 ↔ 0`,
+// `-1 ↔ 1`): the algebra (bind, bundle, similarity) must commute with the
+// conversion in both directions.
+proptest! {
+    #[test]
+    fn binary_roundtrip_from_binary_side(seed in any::<u64>(), dim in 1usize..1024) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = BinaryHypervector::random(dim, &mut rng);
+        prop_assert_eq!(a.to_bipolar().to_binary(), a);
+    }
+
+    #[test]
+    fn bind_commutes_with_conversion_bipolar_to_binary((a, b) in hv_pair()) {
+        let via_bipolar = a.bind(&b).to_binary();
+        prop_assert_eq!(via_bipolar, a.to_binary().bind(&b.to_binary()));
+    }
+
+    #[test]
+    fn similarity_commutes_with_conversion_binary_to_bipolar(
+        seed in any::<u64>(),
+        dim in 64usize..1024,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = BinaryHypervector::random(dim, &mut rng);
+        let b = BinaryHypervector::random(dim, &mut rng);
+        let binary_sim = a.similarity(&b);
+        let bipolar_sim = a.to_bipolar().cosine(&b.to_bipolar());
+        prop_assert!((binary_sim - bipolar_sim).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bundle_commutes_with_conversion(seed in any::<u64>(), k in 0usize..4) {
+        // Odd operand counts so the majority vote is tie-free and the
+        // property is intrinsic to the algebra, not to tie-break policy.
+        let n = 2 * k + 1;
+        let dim = 1024;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items: Vec<BipolarHypervector> =
+            (0..n).map(|_| BipolarHypervector::random(dim, &mut rng)).collect();
+        let binary_items: Vec<BinaryHypervector> =
+            items.iter().map(BipolarHypervector::to_binary).collect();
+        let via_bipolar = bundle_bipolar(&items).expect("non-empty").to_binary();
+        let via_binary = hdc::bundler::bundle_binary(&binary_items).expect("non-empty");
+        prop_assert_eq!(via_bipolar, via_binary);
+    }
+
+    #[test]
+    fn bundle_similarity_commutes_with_conversion(seed in any::<u64>(), k in 1usize..4) {
+        let n = 2 * k + 1;
+        let dim = 2048;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items: Vec<BipolarHypervector> =
+            (0..n).map(|_| BipolarHypervector::random(dim, &mut rng)).collect();
+        let bundle = bundle_bipolar(&items).expect("non-empty");
+        for item in &items {
+            let bipolar_sim = bundle.cosine(item);
+            let binary_sim = bundle.to_binary().similarity(&item.to_binary());
+            prop_assert!(
+                (bipolar_sim - binary_sim).abs() < 1e-5,
+                "cosine {} vs hamming-derived {}",
+                bipolar_sim,
+                binary_sim
+            );
+        }
+    }
+}

@@ -46,7 +46,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn record(&mut self, target: usize, predicted: usize) {
-        assert!(target < self.classes && predicted < self.classes, "class index out of range");
+        assert!(
+            target < self.classes && predicted < self.classes,
+            "class index out of range"
+        );
         self.counts[target * self.classes + predicted] += 1;
     }
 
@@ -112,7 +115,7 @@ impl ConfusionMatrix {
                     continue;
                 }
                 let c = self.count(t, p);
-                if c > 0 && best.map_or(true, |(_, _, bc)| c > bc) {
+                if c > 0 && best.is_none_or(|(_, _, bc)| c > bc) {
                     best = Some((t, p, c));
                 }
             }

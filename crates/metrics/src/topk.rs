@@ -63,7 +63,13 @@ pub fn per_class_accuracy(scores: &Matrix, targets: &[usize], classes: usize) ->
     correct
         .iter()
         .zip(&total)
-        .map(|(&c, &t)| if t == 0 { None } else { Some(c as f32 / t as f32) })
+        .map(|(&c, &t)| {
+            if t == 0 {
+                None
+            } else {
+                Some(c as f32 / t as f32)
+            }
+        })
         .collect()
 }
 

@@ -51,7 +51,11 @@ pub fn weighted_average_precision(
     columns: &[usize],
     threshold: f32,
 ) -> f32 {
-    assert_eq!(scores.shape(), targets.shape(), "scores/targets shape mismatch");
+    assert_eq!(
+        scores.shape(),
+        targets.shape(),
+        "scores/targets shape mismatch"
+    );
     let n = scores.rows();
     let mut weighted_sum = 0.0f64;
     let mut weight_total = 0.0f64;
@@ -96,7 +100,11 @@ pub fn group_top1_accuracy(
     columns: &[usize],
     threshold: f32,
 ) -> f32 {
-    assert_eq!(scores.shape(), targets.shape(), "scores/targets shape mismatch");
+    assert_eq!(
+        scores.shape(),
+        targets.shape(),
+        "scores/targets shape mismatch"
+    );
     assert!(!columns.is_empty(), "a group needs at least one attribute");
     let mut correct = 0usize;
     let mut counted = 0usize;
@@ -214,7 +222,10 @@ mod tests {
         // Column 1 has no positives and is skipped.
         assert!((weighted_average_precision(&scores, &targets, &[0, 1], 0.5) - 1.0).abs() < 1e-6);
         // All-empty selection yields 0.
-        assert_eq!(weighted_average_precision(&scores, &targets, &[1], 0.5), 0.0);
+        assert_eq!(
+            weighted_average_precision(&scores, &targets, &[1], 0.5),
+            0.0
+        );
     }
 
     #[test]
@@ -234,7 +245,10 @@ mod tests {
         assert_eq!(acc, 1.0);
         // If every sample is unannotated the accuracy is 0 by convention.
         let empty_targets = Matrix::zeros(2, 2);
-        assert_eq!(group_top1_accuracy(&scores, &empty_targets, &[0, 1], 0.5), 0.0);
+        assert_eq!(
+            group_top1_accuracy(&scores, &empty_targets, &[0, 1], 0.5),
+            0.0
+        );
     }
 
     #[test]

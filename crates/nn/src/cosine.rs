@@ -123,8 +123,7 @@ impl CosineSimilarity {
 
     fn normalize_backward(grad_hat: &Matrix, hat: &Matrix, norms: &[f32]) -> Matrix {
         let mut out = Matrix::zeros(grad_hat.rows(), grad_hat.cols());
-        for r in 0..grad_hat.rows() {
-            let norm = norms[r];
+        for (r, &norm) in norms.iter().enumerate().take(grad_hat.rows()) {
             if norm <= EPS {
                 continue;
             }
@@ -301,10 +300,7 @@ mod tests {
         let w = Matrix::random_uniform(3, 4, 1.0, &mut rng);
         let loss = |a: &Matrix, b: &Matrix| -> f32 {
             let mut kernel = CosineSimilarity::new();
-            kernel
-                .forward(a, b, false)
-                .hadamard(&w)
-                .sum()
+            kernel.forward(a, b, false).hadamard(&w).sum()
         };
         let mut kernel = CosineSimilarity::new();
         let _ = kernel.forward(&a, &b, true);

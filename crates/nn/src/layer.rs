@@ -83,7 +83,10 @@ impl Linear {
         init: Init,
         rng: &mut R,
     ) -> Self {
-        assert!(in_features > 0 && out_features > 0, "layer dims must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "layer dims must be positive"
+        );
         Self {
             weight: ParamTensor::new(init.build(in_features, out_features, rng)),
             bias: ParamTensor::new(Matrix::zeros(1, out_features)),
@@ -99,7 +102,11 @@ impl Linear {
     /// Panics if `bias.cols() != weight.cols()` or `bias.rows() != 1`.
     pub fn from_parts(weight: Matrix, bias: Matrix) -> Self {
         assert_eq!(bias.rows(), 1, "bias must be a single row");
-        assert_eq!(bias.cols(), weight.cols(), "bias width must match weight output dim");
+        assert_eq!(
+            bias.cols(),
+            weight.cols(),
+            "bias width must match weight output dim"
+        );
         Self {
             weight: ParamTensor::new(weight),
             bias: ParamTensor::new(bias),
@@ -150,7 +157,11 @@ impl Layer for Linear {
             .input_cache
             .as_ref()
             .expect("backward called before forward(train=true)");
-        assert_eq!(grad_output.rows(), input.rows(), "batch size mismatch in backward");
+        assert_eq!(
+            grad_output.rows(),
+            input.rows(),
+            "batch size mismatch in backward"
+        );
         // dW = Xᵀ · dY, db = Σ_batch dY, dX = dY · Wᵀ
         let grad_w = input.matmul_tn(grad_output);
         self.weight.accumulate_grad(&grad_w);
@@ -330,7 +341,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two widths are given or any width is zero.
     pub fn new<R: Rng + ?Sized>(dims: &[usize], activation: ActivationKind, rng: &mut R) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         assert!(dims.iter().all(|&d| d > 0), "layer widths must be positive");
         let mut inner = Sequential::new();
         for i in 0..dims.len() - 1 {
@@ -447,7 +461,8 @@ mod tests {
             fc.weight.values = saved;
             0.5 * o.as_slice().iter().map(|v| v * v).sum::<f32>()
         };
-        let numeric = (loss_with_weight(&mut fc, eps) - loss_with_weight(&mut fc, -eps)) / (2.0 * eps);
+        let numeric =
+            (loss_with_weight(&mut fc, eps) - loss_with_weight(&mut fc, -eps)) / (2.0 * eps);
         assert!((numeric - analytic.get(wr, wc)).abs() < 1e-2);
     }
 

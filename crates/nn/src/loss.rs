@@ -222,9 +222,9 @@ mod tests {
             plus.set(r, c, plus.get(r, c) + eps);
             let mut minus = logits.clone();
             minus.set(r, c, minus.get(r, c) - eps);
-            let numeric =
-                (cross_entropy(&plus, &targets).loss - cross_entropy(&minus, &targets).loss)
-                    / (2.0 * eps);
+            let numeric = (cross_entropy(&plus, &targets).loss
+                - cross_entropy(&minus, &targets).loss)
+                / (2.0 * eps);
             assert!(
                 (numeric - out.grad.get(r, c)).abs() < 1e-2,
                 "mismatch at ({r},{c})"

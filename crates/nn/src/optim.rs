@@ -11,13 +11,17 @@
 use crate::param::ParamTensor;
 use tensor::Matrix;
 
+/// A parameter walk: calls the inner closure once per [`ParamTensor`], in a
+/// deterministic order, so optimizers can keep per-slot state.
+pub type ParamVisitor<'a> = dyn FnMut(&mut dyn FnMut(&mut ParamTensor)) + 'a;
+
 /// A first-order optimizer updating parameters from their accumulated
 /// gradients.
 pub trait Optimizer {
     /// Applies one update step to every parameter visited by `visit`, using
     /// learning rate `lr`. The `visit` closure must walk the parameters in
     /// the same order on every call.
-    fn step(&mut self, lr: f32, visit: &mut dyn FnMut(&mut dyn FnMut(&mut ParamTensor)));
+    fn step(&mut self, lr: f32, visit: &mut ParamVisitor<'_>);
 
     /// Human-readable optimizer name (for experiment logs).
     fn name(&self) -> &'static str;
@@ -61,7 +65,7 @@ impl Default for Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, lr: f32, visit: &mut dyn FnMut(&mut dyn FnMut(&mut ParamTensor))) {
+    fn step(&mut self, lr: f32, visit: &mut ParamVisitor<'_>) {
         let momentum = self.momentum;
         let weight_decay = self.weight_decay;
         let velocity = &mut self.velocity;
@@ -120,7 +124,7 @@ impl AdamState {
         lr: f32,
         weight_decay: f32,
         decoupled_decay: bool,
-        visit: &mut dyn FnMut(&mut dyn FnMut(&mut ParamTensor)),
+        visit: &mut ParamVisitor<'_>,
     ) {
         self.t += 1;
         let t = self.t as f32;
@@ -144,7 +148,11 @@ impl AdamState {
                 .zip(p.grad.as_slice())
                 .zip(p.values.as_mut_slice())
             {
-                let g = if decoupled_decay { gi } else { gi + weight_decay * *w };
+                let g = if decoupled_decay {
+                    gi
+                } else {
+                    gi + weight_decay * *w
+                };
                 *mi = beta1 * *mi + (1.0 - beta1) * g;
                 *vi = beta2 * *vi + (1.0 - beta2) * g * g;
                 let m_hat = *mi / bias1;
@@ -191,7 +199,7 @@ impl Default for Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, lr: f32, visit: &mut dyn FnMut(&mut dyn FnMut(&mut ParamTensor))) {
+    fn step(&mut self, lr: f32, visit: &mut ParamVisitor<'_>) {
         self.state.step(lr, self.weight_decay, false, visit);
     }
 
@@ -242,7 +250,7 @@ impl Default for AdamW {
 }
 
 impl Optimizer for AdamW {
-    fn step(&mut self, lr: f32, visit: &mut dyn FnMut(&mut dyn FnMut(&mut ParamTensor))) {
+    fn step(&mut self, lr: f32, visit: &mut ParamVisitor<'_>) {
         self.state.step(lr, self.weight_decay, true, visit);
     }
 
@@ -273,7 +281,11 @@ mod tests {
         }
         // Verify convergence toward the target.
         let err = param.values.sub(&target).frobenius_norm();
-        assert!(err < 0.1, "{} did not converge: err {err}", optimizer.name());
+        assert!(
+            err < 0.1,
+            "{} did not converge: err {err}",
+            optimizer.name()
+        );
         param
     }
 

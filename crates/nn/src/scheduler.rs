@@ -62,8 +62,7 @@ impl LrSchedule for CosineAnnealingLr {
             return self.base_lr;
         }
         let t = epoch.min(total_epochs - 1) as f32 / (total_epochs - 1) as f32;
-        self.min_lr
-            + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+        self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
     }
 
     fn name(&self) -> &'static str {

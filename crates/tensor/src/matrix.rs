@@ -351,6 +351,9 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`ShapeError`] if the inner dimensions differ.
+    // Index loops, not iterators: the cache-blocked kernel reads `a_row`
+    // at an offset while writing `out_row`, which iterator zips can't express.
+    #[allow(clippy::needless_range_loop)]
     pub fn try_matmul(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
         if self.cols != other.rows {
             return Err(ShapeError::new(format!(
@@ -391,6 +394,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `self.rows() != other.rows()`.
+    #[allow(clippy::needless_range_loop)]
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,

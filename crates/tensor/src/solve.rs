@@ -74,7 +74,11 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, CholeskyError> {
 ///
 /// Panics if `a` is not square or `a.rows() != b.rows()`.
 pub fn cholesky_solve(a: &Matrix, b: &Matrix) -> Result<Matrix, CholeskyError> {
-    assert_eq!(a.rows(), a.cols(), "cholesky_solve requires a square matrix");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "cholesky_solve requires a square matrix"
+    );
     assert_eq!(
         a.rows(),
         b.rows(),

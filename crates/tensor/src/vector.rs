@@ -216,9 +216,20 @@ impl AsRef<[f32]> for Vector {
 
 impl std::fmt::Display for Vector {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let shown: Vec<String> = self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
+        let shown: Vec<String> = self
+            .data
+            .iter()
+            .take(8)
+            .map(|v| format!("{v:.4}"))
+            .collect();
         let ellipsis = if self.data.len() > 8 { ", …" } else { "" };
-        write!(f, "Vector[{}{}] (len {})", shown.join(", "), ellipsis, self.data.len())
+        write!(
+            f,
+            "Vector[{}{}] (len {})",
+            shown.join(", "),
+            ellipsis,
+            self.data.len()
+        )
     }
 }
 

@@ -25,17 +25,18 @@ fn main() {
 
     // Instance-level train/test split over the shared classes (3:1).
     let indices = data.instance_indices(split.train_classes());
-    let (train_idx, test_idx): (Vec<usize>, Vec<usize>) = indices
-        .iter()
-        .enumerate()
-        .fold((Vec::new(), Vec::new()), |(mut tr, mut te), (pos, &i)| {
-            if pos % 4 == 3 {
-                te.push(i)
-            } else {
-                tr.push(i)
-            }
-            (tr, te)
-        });
+    let (train_idx, test_idx): (Vec<usize>, Vec<usize>) =
+        indices
+            .iter()
+            .enumerate()
+            .fold((Vec::new(), Vec::new()), |(mut tr, mut te), (pos, &i)| {
+                if pos % 4 == 3 {
+                    te.push(i)
+                } else {
+                    tr.push(i)
+                }
+                (tr, te)
+            });
     let train_x = data.features().select_rows(&train_idx);
     let train_t = data.instances().attribute_targets(&train_idx);
     let test_x = data.features().select_rows(&test_idx);

@@ -59,7 +59,11 @@ fn main() {
     let eval_sigs = data.class_attribute_matrix(split.eval_classes());
     let eszsl = Eszsl::fit(&train_x, &train_local, &train_sigs, &EszslConfig::default());
     let eszsl_acc = eszsl.accuracy(&eval_x, &eval_local, &eval_sigs) * 100.0;
-    measured.push(("ESZSL (ours re-impl.)".to_string(), eszsl_acc, 42.5 + eszsl.num_params() as f32 / 1e6));
+    measured.push((
+        "ESZSL (ours re-impl.)".to_string(),
+        eszsl_acc,
+        42.5 + eszsl.num_params() as f32 / 1e6,
+    ));
 
     println!("measured on this synthetic run:");
     for (name, acc, params) in &measured {
@@ -76,6 +80,10 @@ fn main() {
 
     let hdc = measured[0].1;
     let mlp = measured[1].1;
-    println!("\nshape summary: HDC-ZSC vs ESZSL: {:+.1}%; HDC-ZSC vs Trainable-MLP: {:+.1}%", hdc - eszsl_acc, hdc - mlp);
+    println!(
+        "\nshape summary: HDC-ZSC vs ESZSL: {:+.1}%; HDC-ZSC vs Trainable-MLP: {:+.1}%",
+        hdc - eszsl_acc,
+        hdc - mlp
+    );
     println!("(the paper reports +9.9% over ESZSL at 1.72× fewer parameters)");
 }

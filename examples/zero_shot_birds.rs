@@ -80,7 +80,11 @@ fn main() {
     for i in (0..eval_x.rows()).step_by(eval_x.rows() / 5 + 1) {
         let true_class = split.eval_classes()[eval_local[i]];
         let predicted_class = split.eval_classes()[predictions[i]];
-        let status = if true_class == predicted_class { "✓" } else { "✗" };
+        let status = if true_class == predicted_class {
+            "✓"
+        } else {
+            "✗"
+        };
         // Describe the true class by its dominant attribute in 3 groups.
         let describe = |class: usize| {
             (0..3)

@@ -14,8 +14,8 @@
 //! * [`baselines`] — ESZSL, DAP and the literature reference registry;
 //! * [`metrics`] — top-k accuracy, WMAP, seed aggregation.
 //!
-//! See `README.md` for a walkthrough and `DESIGN.md` / `EXPERIMENTS.md` for
-//! the reproduction methodology.
+//! See `README.md` for build/test/bench instructions, the full crate map,
+//! and the experiment-harness walkthrough.
 
 pub use baselines;
 pub use dataset;

@@ -1,0 +1,82 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! range and tuple strategies, [`arbitrary::any`], and the `prop_assert*`
+//! macros. Each property runs for a fixed number of cases (default 64,
+//! override with the `PROPTEST_CASES` environment variable) driven by a
+//! deterministic per-test RNG, so failures are reproducible. Shrinking is
+//! not implemented — a failing case panics with the assertion message.
+
+#![deny(missing_docs)]
+
+pub mod arbitrary;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test module normally imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item expands to a `#[test]`
+/// function that evaluates the strategies and runs the body for
+/// [`test_runner::cases`] iterations.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner_rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..$crate::test_runner::cases() {
+                    let run = || {
+                        $(let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), &mut runner_rng);)+
+                        $body
+                    };
+                    if let Err(message) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    ) {
+                        eprintln!(
+                            "proptest stub: property `{}` failed at case {}/{}",
+                            stringify!($name),
+                            case + 1,
+                            $crate::test_runner::cases()
+                        );
+                        ::std::panic::resume_unwind(message);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a boolean condition inside a property, with optional context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}

@@ -1,0 +1,40 @@
+//! The deterministic RNG and case-count policy driving property tests.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Number of cases each property runs for. Defaults to 64; override with the
+/// `PROPTEST_CASES` environment variable.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-test generator: seeded from the test's name so every
+/// property gets an independent but reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Builds the RNG for the named test (FNV-1a hash of the name as seed).
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(StdRng::seed_from_u64(hash))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

@@ -1,0 +1,123 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal, dependency-free implementation of the
+//! `rand 0.8` API surface the code actually uses:
+//!
+//! * [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`] (a xoshiro256++
+//!   generator seeded through SplitMix64 — deterministic across platforms);
+//! * the [`Rng`] extension trait with `gen`, `gen_bool`, `gen_range` and
+//!   `sample`;
+//! * [`distributions::Distribution`], [`distributions::Standard`] and
+//!   [`distributions::Uniform`].
+//!
+//! The implementation is *not* the upstream crate: stream values differ from
+//! upstream `StdRng`, but all determinism guarantees the workspace relies on
+//! (same seed ⇒ same stream, different seed ⇒ different stream) hold.
+
+#![deny(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+
+use distributions::{Distribution, SampleRange, Standard};
+
+/// Core trait for random number generators: a source of uniformly
+/// distributed `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next uniformly distributed 32-bit word.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next uniformly distributed 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing extension methods for [`RngCore`] implementors.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        let sample: f64 = Standard.sample(self);
+        sample < p
+    }
+
+    /// Samples a value uniformly from the given range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array for `StdRng`).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, expanding it with SplitMix64
+    /// exactly like upstream `rand` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (public domain, Vigna 2015).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}

@@ -1,0 +1,231 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote` — the build environment has no crates.io
+//! access) derive macros for the workspace's [`serde`] stub. Supports exactly
+//! the shapes this workspace uses:
+//!
+//! * structs with named fields → JSON objects;
+//! * enums whose variants are all unit variants → JSON strings;
+//! * unit structs → JSON `null`.
+//!
+//! `#[derive(Deserialize)]` expands to an implementation of the stub's
+//! marker trait (nothing in the workspace deserializes yet).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of type the derive input declares.
+enum Input {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name;`
+    UnitStruct { name: String },
+    /// `enum Name { Variant, ... }` (unit variants only)
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Parses the derive input far enough to recover the type name and its named
+/// fields / unit variants. Panics (= compile error) on unsupported shapes.
+fn parse(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+
+    // Skip visibility, attributes and doc comments until `struct` / `enum`.
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(ident) = &tt {
+            let text = ident.to_string();
+            if text == "struct" || text == "enum" {
+                kind = Some(if text == "struct" { "struct" } else { "enum" });
+                break;
+            }
+        }
+    }
+    let kind = kind.expect("serde stub derive: expected `struct` or `enum`");
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other:?}"),
+    };
+
+    // Generic types are not needed by this workspace; reject loudly rather
+    // than generating broken impls.
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic types are not supported (type `{name}`)");
+        }
+    }
+
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                break group.stream();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Input::UnitStruct { name };
+            }
+            Some(_) => continue,
+            None => {
+                if kind == "struct" {
+                    return Input::UnitStruct { name };
+                }
+                panic!("serde stub derive: enum `{name}` has no body");
+            }
+        }
+    };
+
+    if kind == "struct" {
+        Input::Struct {
+            name,
+            fields: parse_named_fields(body),
+        }
+    } else {
+        Input::Enum {
+            name,
+            variants: parse_unit_variants(body),
+        }
+    }
+}
+
+/// Extracts field names from the contents of a struct's brace group.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes on the field.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next(); // the [...] group
+            } else {
+                break;
+            }
+        }
+        // Skip `pub` / `pub(...)`.
+        if let Some(TokenTree::Ident(ident)) = tokens.peek() {
+            if ident.to_string() == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(ident)) => fields.push(ident.to_string()),
+            Some(other) => panic!("serde stub derive: expected field name, got {other:?}"),
+            None => break,
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            tokens.next();
+        }
+        if tokens.peek().is_none() {
+            break;
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from the contents of an enum's brace group,
+/// panicking on variants that carry data.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(ident)) => variants.push(ident.to_string()),
+            Some(other) => panic!("serde stub derive: expected variant name, got {other:?}"),
+            None => break,
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => {
+                panic!("serde stub derive: only unit enum variants are supported, got {other:?}")
+            }
+            None => break,
+        }
+    }
+    variants
+}
+
+/// Derives the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let generated = match parse(input) {
+        Input::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "object.push((\"{f}\".to_string(), \
+                         serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut object: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Object(object)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n\
+             }}"
+        ),
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::String(\"{v}\".to_string()),\n"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    generated
+        .parse()
+        .expect("serde stub derive: generated invalid Rust")
+}
+
+/// Derives the stub `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse(input) {
+        Input::Struct { name, .. } | Input::UnitStruct { name } | Input::Enum { name, .. } => name,
+    };
+    format!("impl serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated invalid Rust")
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
+//! renders the vendored `serde` stub's [`Value`](serde::Value) tree as JSON
+//! text. Only serialization is implemented; the workspace does not parse
+//! JSON yet.
+
+#![deny(missing_docs)]
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`.
+///
+/// The stub serializer is infallible, so this is never actually produced;
+/// it exists to keep call-site signatures identical to upstream.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as a pretty-printed (2-space indented) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Recursively renders one value. `indent = None` means compact output.
+fn write_value(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_value(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+/// JSON has no NaN/Infinity; callers encode those as `Value::Null` already,
+/// so `n` is always finite here. Integral values print without a decimal
+/// point, like upstream serde_json does for integer types.
+fn write_number(n: f64, out: &mut String) {
+    if n == n.trunc() && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_structures() {
+        let value = Value::Object(vec![
+            ("name".to_string(), Value::String("hdc".to_string())),
+            (
+                "dims".to_string(),
+                Value::Array(vec![Value::Number(1024.0), Value::Number(2048.0)]),
+            ),
+            ("frac".to_string(), Value::Number(0.5)),
+            ("empty".to_string(), Value::Array(vec![])),
+        ]);
+        let text = to_string_pretty(&DirectValue(value)).unwrap();
+        assert_eq!(
+            text,
+            "{\n  \"name\": \"hdc\",\n  \"dims\": [\n    1024,\n    2048\n  ],\n  \"frac\": 0.5,\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let text = to_string(&"a\"b\\c\nd").unwrap();
+        assert_eq!(text, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    /// Test helper: a pre-built `Value` used as its own serialization.
+    struct DirectValue(Value);
+
+    impl Serialize for DirectValue {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}
