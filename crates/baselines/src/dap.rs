@@ -7,8 +7,8 @@
 //! experiments: HDC-ZSC and ESZSL should both beat it because they optimise
 //! the class decision end to end.
 
+use engine::Pool;
 use serde::{Deserialize, Serialize};
-use tensor::ops::cosine_similarity_matrix;
 use tensor::{ridge_solve, Matrix};
 
 /// A fitted DAP-style model: a ridge-regression attribute predictor
@@ -50,23 +50,31 @@ impl DirectAttributePrediction {
         self.weights.len()
     }
 
-    /// Predicted attribute scores for a batch of features (`N×α`).
+    /// Predicted attribute scores for a batch of features (`N×α`), computed
+    /// through the engine's row-parallel dense path (bit-identical to the
+    /// serial matmul).
     ///
     /// # Panics
     ///
     /// Panics if the feature width disagrees with the fitted model.
     pub fn predict_attributes(&self, features: &Matrix) -> Matrix {
-        features.matmul(&self.weights)
+        engine::dense::linear_scores(features, &self.weights, &Pool::auto())
     }
 
     /// Class scores: cosine similarity between predicted attribute vectors
-    /// and the class signatures (`N×C`).
+    /// and the class signatures (`N×C`), computed through the engine's
+    /// row-parallel dense path (bit-identical to
+    /// `tensor::ops::cosine_similarity_matrix`).
     ///
     /// # Panics
     ///
     /// Panics if the widths disagree.
     pub fn class_scores(&self, features: &Matrix, signatures: &Matrix) -> Matrix {
-        cosine_similarity_matrix(&self.predict_attributes(features), signatures)
+        engine::dense::cosine_scores(
+            &self.predict_attributes(features),
+            signatures,
+            &Pool::auto(),
+        )
     }
 
     /// Predicts the class (row of `signatures`) of every feature row.

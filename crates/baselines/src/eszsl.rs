@@ -118,7 +118,8 @@ impl Eszsl {
     }
 
     /// Compatibility scores of each feature row against each signature row
-    /// (`N×C`).
+    /// (`N×C`), computed through the engine's row-parallel dense path
+    /// (bit-identical to the serial `X·V·Sᵀ`).
     ///
     /// # Panics
     ///
@@ -135,7 +136,12 @@ impl Eszsl {
             self.compatibility.cols(),
             "signature dimensionality changed between fit and predict"
         );
-        features.matmul(&self.compatibility).matmul_nt(signatures)
+        engine::dense::bilinear_scores(
+            features,
+            &self.compatibility,
+            signatures,
+            &engine::Pool::auto(),
+        )
     }
 
     /// Predicts the class (row of `signatures`) of every feature row.

@@ -1,0 +1,268 @@
+//! Serving-traffic simulator for the batched inference engine.
+//!
+//! Simulates sustained nearest-class query traffic against an associative
+//! class memory and reports throughput and latency percentiles for three
+//! paths:
+//!
+//! * `scalar` — the pre-engine reference: one query at a time, a scalar
+//!   `i8` cosine scan over every bipolar prototype;
+//! * `batched_1t` — the engine's packed popcount path on a single thread
+//!   (this is what the CI `perf-smoke` floor is asserted against, so the
+//!   gate does not depend on runner core counts);
+//! * `batched` — the same path fanned out over `--threads` threads.
+//!
+//! Output is a single JSON object on stdout (diagnostics go to stderr), so
+//! CI can archive it as an artifact and enforce `--min-speedup`.
+//!
+//! ```text
+//! serve_sim [--dim N] [--classes N] [--batch N] [--batches N]
+//!           [--threads N] [--seed N] [--noise P] [--quick] [--json]
+//!           [--min-speedup X]
+//! ```
+//!
+//! `--quick` selects a small but representative workload (dim 8192,
+//! 200 classes) for CI; `--min-speedup X` exits non-zero if the
+//! single-thread batched throughput is below `X ×` the scalar throughput.
+
+use engine::{BatchScorer, PackedClassMemory, PackedQueryBatch};
+use hdc::BipolarHypervector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Workload and reporting configuration parsed from the command line.
+#[derive(Debug, Clone)]
+struct Config {
+    dim: usize,
+    classes: usize,
+    batch: usize,
+    batches: usize,
+    threads: usize,
+    seed: u64,
+    noise: f64,
+    json: bool,
+    min_speedup: Option<f64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            dim: 8192,
+            classes: 200,
+            batch: 64,
+            batches: 48,
+            threads: engine::Pool::auto().threads(),
+            seed: 42,
+            noise: 0.2,
+            json: false,
+            min_speedup: None,
+        }
+    }
+}
+
+fn parse_args() -> Config {
+    let mut config = Config::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--dim" => config.dim = value("--dim").parse().expect("--dim"),
+            "--classes" => config.classes = value("--classes").parse().expect("--classes"),
+            "--batch" => config.batch = value("--batch").parse().expect("--batch"),
+            "--batches" => config.batches = value("--batches").parse().expect("--batches"),
+            "--threads" => config.threads = value("--threads").parse().expect("--threads"),
+            "--seed" => config.seed = value("--seed").parse().expect("--seed"),
+            "--noise" => config.noise = value("--noise").parse().expect("--noise"),
+            "--quick" => {
+                // Small but representative CI workload: the acceptance shape
+                // (dim 8192 / 200 classes) with fewer batches.
+                config.dim = 8192;
+                config.classes = 200;
+                config.batch = 32;
+                config.batches = 12;
+            }
+            "--json" => config.json = true,
+            "--min-speedup" => {
+                config.min_speedup = Some(value("--min-speedup").parse().expect("--min-speedup"));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: serve_sim [--dim N] [--classes N] [--batch N] [--batches N] \
+                     [--threads N] [--seed N] [--noise P] [--quick] [--json] [--min-speedup X]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(config.dim > 0 && config.classes > 0 && config.batch > 0 && config.batches > 0);
+    config
+}
+
+/// Latency percentiles (µs) plus throughput for one measured path.
+#[derive(Debug, Clone)]
+struct PathStats {
+    queries: usize,
+    elapsed_s: f64,
+    qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+impl PathStats {
+    /// `latencies_us` holds one latency per *unit of work* (a query for the
+    /// scalar path, a batch for the batched paths); `queries` is the total
+    /// query count either way.
+    fn from_latencies(queries: usize, mut latencies_us: Vec<f64>) -> Self {
+        let elapsed_s = latencies_us.iter().sum::<f64>() / 1e6;
+        latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pct = |p: f64| -> f64 {
+            if latencies_us.is_empty() {
+                return 0.0;
+            }
+            let rank = (p * (latencies_us.len() - 1) as f64).round() as usize;
+            latencies_us[rank]
+        };
+        Self {
+            queries,
+            elapsed_s,
+            qps: queries as f64 / elapsed_s.max(1e-12),
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"queries\": {}, \"elapsed_s\": {:.6}, \"qps\": {:.1}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}",
+            self.queries, self.elapsed_s, self.qps, self.p50_us, self.p95_us, self.p99_us
+        )
+    }
+}
+
+fn main() {
+    let config = parse_args();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    eprintln!(
+        "serve_sim: dim={} classes={} batch={} batches={} threads={}",
+        config.dim, config.classes, config.batch, config.batches, config.threads
+    );
+
+    // Class memory: random bipolar prototypes, both as the scalar reference
+    // set and packed into the engine's contiguous word matrix.
+    let prototypes: Vec<BipolarHypervector> = (0..config.classes)
+        .map(|_| BipolarHypervector::random(config.dim, &mut rng))
+        .collect();
+    let mut memory = PackedClassMemory::new(config.dim);
+    for (c, proto) in prototypes.iter().enumerate() {
+        memory.insert_packed(format!("class{c:04}"), proto.to_binary().words());
+    }
+
+    // Query stream: noisy prototype copies, the realistic cleanup workload.
+    let queries: Vec<BipolarHypervector> = (0..config.batches * config.batch)
+        .map(|q| prototypes[q % prototypes.len()].flip_noise(config.noise, &mut rng))
+        .collect();
+    let packed_batches: Vec<PackedQueryBatch> = queries
+        .chunks(config.batch)
+        .map(|chunk| {
+            let mut batch = PackedQueryBatch::with_capacity(config.dim, chunk.len());
+            for q in chunk {
+                batch.push_packed(q.to_binary().words());
+            }
+            batch
+        })
+        .collect();
+
+    // --- scalar reference: one query at a time, i8 cosine scan ------------
+    let mut scalar_best = Vec::with_capacity(queries.len());
+    let mut scalar_latencies = Vec::with_capacity(queries.len());
+    for query in &queries {
+        let start = Instant::now();
+        let mut best = f32::NEG_INFINITY;
+        for proto in &prototypes {
+            let sim = query.cosine(proto);
+            if sim > best {
+                best = sim;
+            }
+        }
+        scalar_latencies.push(start.elapsed().as_secs_f64() * 1e6);
+        scalar_best.push(best);
+    }
+    let scalar = PathStats::from_latencies(queries.len(), scalar_latencies);
+
+    // --- batched engine paths ---------------------------------------------
+    let run_batched = |threads: usize| -> (Vec<f32>, PathStats) {
+        let scorer = BatchScorer::new(&memory).with_threads(threads);
+        let mut best = Vec::with_capacity(queries.len());
+        let mut latencies = Vec::with_capacity(packed_batches.len());
+        for batch in &packed_batches {
+            let start = Instant::now();
+            let nearest = scorer.nearest_batch(batch);
+            latencies.push(start.elapsed().as_secs_f64() * 1e6);
+            best.extend(nearest.into_iter().map(|(_, sim)| sim));
+        }
+        (best, PathStats::from_latencies(queries.len(), latencies))
+    };
+    let (batched_1t_best, batched_1t) = run_batched(1);
+    let (_, batched) = run_batched(config.threads.max(1));
+
+    // Cross-check: the engine's best similarity must be bit-identical to the
+    // scalar scan's (tie-safe: compares scores, not winner labels).
+    for (q, (a, b)) in scalar_best.iter().zip(&batched_1t_best).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "query {q}: scalar best {a} != batched best {b}"
+        );
+    }
+    eprintln!("serve_sim: scalar and batched best-similarities are bit-identical");
+
+    let speedup_1t = batched_1t.qps / scalar.qps.max(1e-12);
+    let speedup = batched.qps / scalar.qps.max(1e-12);
+
+    let json = format!(
+        "{{\n  \"config\": {{\"dim\": {}, \"classes\": {}, \"batch\": {}, \"batches\": {}, \
+         \"threads\": {}, \"seed\": {}, \"noise\": {}}},\n  \"scalar\": {},\n  \
+         \"batched_1t\": {},\n  \"batched\": {},\n  \"speedup_1t\": {:.2},\n  \
+         \"speedup\": {:.2}\n}}",
+        config.dim,
+        config.classes,
+        config.batch,
+        config.batches,
+        config.threads,
+        config.seed,
+        config.noise,
+        scalar.to_json(),
+        batched_1t.to_json(),
+        batched.to_json(),
+        speedup_1t,
+        speedup
+    );
+    if config.json {
+        println!("{json}");
+    } else {
+        eprintln!("{json}");
+        eprintln!(
+            "scalar {:.0} q/s | batched(1t) {:.0} q/s ({:.1}x) | batched({}t) {:.0} q/s ({:.1}x)",
+            scalar.qps, batched_1t.qps, speedup_1t, config.threads, batched.qps, speedup
+        );
+    }
+
+    if let Some(floor) = config.min_speedup {
+        if speedup_1t < floor {
+            eprintln!(
+                "PERF REGRESSION: single-thread batched speedup {speedup_1t:.2}x \
+                 is below the floor {floor:.2}x"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("perf floor ok: {speedup_1t:.2}x >= {floor:.2}x");
+    }
+}

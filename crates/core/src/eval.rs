@@ -49,6 +49,11 @@ pub struct AttributeExtractionReport {
 /// feature row against the evaluation classes' attribute matrix and measures
 /// top-1/top-5 accuracy against the local labels.
 ///
+/// The logits flow through the batched inference engine
+/// ([`ZscModel::class_logits`] with `train = false`), which chunks the
+/// feature batch across threads; reported accuracies are bit-identical to
+/// the serial kernel for every thread count.
+///
 /// # Panics
 ///
 /// Panics if `labels.len() != features.rows()` or a label is out of range.

@@ -5,6 +5,7 @@ use crate::attribute_encoder::{AttributeEncoder, AttributeEncoderKind, HdcAttrib
 use crate::config::ModelConfig;
 use crate::image_encoder::ImageEncoder;
 use dataset::AttributeSchema;
+use engine::{PackedClassMemory, Pool};
 use nn::{CosineSimilarity, ParamTensor, TemperatureScale};
 use tensor::Matrix;
 
@@ -47,6 +48,9 @@ pub struct ZscModel {
     phase2_dictionary: Matrix,
     kernel: CosineSimilarity,
     temperature: TemperatureScale,
+    /// Thread pool used by the batched inference (`train = false`) scoring
+    /// paths; similarities are bit-identical for every pool width.
+    inference_pool: Pool,
 }
 
 impl ZscModel {
@@ -94,6 +98,7 @@ impl ZscModel {
             phase2_dictionary,
             kernel: CosineSimilarity::new(),
             temperature,
+            inference_pool: Pool::auto(),
         }
     }
 
@@ -154,10 +159,18 @@ impl ZscModel {
     /// similarity of every image embedding against every attribute
     /// codevector, scaled by the temperature so it can be consumed by a
     /// BCE-with-logits loss.
+    ///
+    /// Inference calls (`train = false`) are scored by the batched engine
+    /// (`engine::dense`), which chunks the batch across threads and is
+    /// bit-identical to the serial kernel.
     pub fn attribute_logits(&mut self, features: &Matrix, train: bool) -> Matrix {
         let embeddings = self.image_encoder.forward(features, train);
-        let dictionary = self.phase2_dictionary.clone();
-        let sims = self.kernel.forward(&embeddings, &dictionary, train);
+        let sims = if train {
+            self.kernel
+                .forward(&embeddings, &self.phase2_dictionary, true)
+        } else {
+            engine::dense::cosine_scores(&embeddings, &self.phase2_dictionary, &self.inference_pool)
+        };
         self.temperature.forward(&sims, train)
     }
 
@@ -181,6 +194,12 @@ impl ZscModel {
 
     /// Class logits `cossim(γ(X), ϕ(A)) / K` for a batch of backbone features
     /// and a class-attribute matrix `A ∈ R^{C×α}`.
+    ///
+    /// Inference calls (`train = false`) are scored by the batched engine
+    /// (`engine::dense`), which chunks the batch across
+    /// [`ZscModel::inference_threads`] threads and is bit-identical to the
+    /// serial kernel; the training path keeps the differentiable
+    /// [`CosineSimilarity`] kernel so gradients are unchanged.
     pub fn class_logits(
         &mut self,
         features: &Matrix,
@@ -191,8 +210,48 @@ impl ZscModel {
         let class_embeddings = self
             .attribute_encoder
             .encode_classes(class_attributes, train);
-        let sims = self.kernel.forward(&embeddings, &class_embeddings, train);
+        let sims = if train {
+            self.kernel.forward(&embeddings, &class_embeddings, true)
+        } else {
+            engine::dense::cosine_scores(&embeddings, &class_embeddings, &self.inference_pool)
+        };
         self.temperature.forward(&sims, train)
+    }
+
+    /// Number of threads the batched inference path fans out over.
+    pub fn inference_threads(&self) -> usize {
+        self.inference_pool.threads()
+    }
+
+    /// Caps the batched inference path at `threads` threads (clamped to at
+    /// least 1). Results are bit-identical for every setting; this only
+    /// trades latency against CPU usage.
+    pub fn set_inference_threads(&mut self, threads: usize) {
+        self.inference_pool = Pool::new(threads);
+    }
+
+    /// Packs the sign-binarized class signatures `sign(ϕ(A))` into an
+    /// [`engine::PackedClassMemory`], one row per class-attribute row, so
+    /// trained models can serve nearest-class queries through the engine's
+    /// popcount path. The conversion is lossless with respect to the
+    /// binarized signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count differs from `class_attributes.rows()`.
+    pub fn packed_class_memory<L, S>(
+        &mut self,
+        labels: L,
+        class_attributes: &Matrix,
+    ) -> PackedClassMemory
+    where
+        L: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let class_embeddings = self
+            .attribute_encoder
+            .encode_classes(class_attributes, false);
+        PackedClassMemory::from_sign_matrix(labels, &class_embeddings)
     }
 
     /// Back-propagates a gradient with respect to the class logits into the
@@ -371,6 +430,51 @@ mod tests {
             a.predict(&features, &class_attributes),
             b.predict(&features, &class_attributes)
         );
+    }
+
+    #[test]
+    fn engine_inference_logits_bit_identical_to_training_kernel() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let features = Matrix::random_uniform(6, 48, 1.0, &mut rng);
+        let class_attributes = Matrix::random_uniform(9, 312, 0.5, &mut rng).map(f32::abs);
+        let mut model = tiny_model();
+        // The training path uses the differentiable serial kernel; the
+        // inference path goes through the batched engine. Both must produce
+        // the same bits for any thread count.
+        let train_logits = model.class_logits(&features, &class_attributes, true);
+        for threads in [1usize, 2, 7] {
+            model.set_inference_threads(threads);
+            assert_eq!(model.inference_threads(), threads);
+            let infer_logits = model.class_logits(&features, &class_attributes, false);
+            assert_eq!(
+                infer_logits.as_slice(),
+                train_logits.as_slice(),
+                "threads={threads}"
+            );
+            let train_attr = model.attribute_logits(&features, true);
+            let infer_attr = model.attribute_logits(&features, false);
+            assert_eq!(infer_attr.as_slice(), train_attr.as_slice());
+        }
+    }
+
+    #[test]
+    fn packed_class_memory_serves_signature_lookups() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut model = tiny_model();
+        let class_attributes = Matrix::random_uniform(7, 312, 0.5, &mut rng).map(f32::abs);
+        let labels: Vec<String> = (0..7).map(|c| format!("bird{c}")).collect();
+        let memory = model.packed_class_memory(labels.clone(), &class_attributes);
+        assert_eq!(memory.len(), 7);
+        assert_eq!(memory.dim(), model.embedding_dim());
+        // Each class's own binarized signature must resolve to that class.
+        let class_embeddings = model
+            .attribute_encoder_mut()
+            .encode_classes(&class_attributes, false);
+        for (c, label) in labels.iter().enumerate() {
+            let query = engine::pack_float_signs(class_embeddings.row(c));
+            let (index, _sim) = memory.nearest(&query).expect("non-empty");
+            assert_eq!(memory.label(index), label);
+        }
     }
 
     #[test]

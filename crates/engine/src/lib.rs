@@ -1,0 +1,62 @@
+//! Batched, multi-threaded inference engine for HDC associative lookup and
+//! zero-shot-classification scoring.
+//!
+//! The classic efficient-HDC-inference observation is that one-vs-all
+//! associative lookup over binary hypervectors reduces to a dense
+//! XOR-popcount sweep that vectorises and parallelises almost perfectly.
+//! This crate is the single implementation of that hot path for the whole
+//! workspace:
+//!
+//! * [`PackedClassMemory`] — every class/prototype hypervector packed into
+//!   one contiguous `u64` word-matrix; one-vs-all Hamming similarity is a
+//!   word-tiled, blocked popcount sweep. `hdc::ItemMemory` keeps one of
+//!   these in sync and delegates `nearest`/`top_k` to it.
+//! * [`PackedQueryBatch`] + [`BatchScorer`] — batched `score_batch` /
+//!   `nearest_batch` / `topk_batch`, chunked across a vendored
+//!   work-stealing-free scoped-thread pool ([`minipool::Pool`]).
+//! * [`dense`] — row-parallel float scoring (cosine logits, bilinear
+//!   compatibility) used by the `hdc_zsc` model's inference path and the
+//!   `baselines` predictors.
+//!
+//! # Exactness contract
+//!
+//! Every path promises **bit-identical** results to the scalar code it
+//! replaces, for every thread count: packed similarities are computed from
+//! integer Hamming distances exactly as `dot / dim`, ties resolve on
+//! integers plus a deterministic label order, and the dense helpers apply
+//! the unmodified serial kernels to independent row chunks. The crate's
+//! `tests/parity.rs` property tests enforce this across ragged (non-64
+//! multiple) dimensions, batch sizes and thread counts.
+//!
+//! # Example
+//!
+//! ```
+//! use engine::{BatchScorer, PackedClassMemory, PackedQueryBatch};
+//!
+//! let mut memory = PackedClassMemory::new(6);
+//! memory.insert_signs("left", &[-1, -1, -1, 1, 1, 1]);
+//! memory.insert_signs("right", &[1, 1, 1, -1, -1, -1]);
+//!
+//! let mut batch = PackedQueryBatch::new(6);
+//! batch.push_signs(&[-1, -1, -1, 1, 1, -1]);
+//! batch.push_signs(&[1, 1, 1, 1, -1, -1]);
+//!
+//! let scorer = BatchScorer::new(&memory).with_threads(2);
+//! let nearest = scorer.nearest_batch(&batch);
+//! assert_eq!(memory.label(nearest[0].0), "left");
+//! assert_eq!(memory.label(nearest[1].0), "right");
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod batch;
+pub mod dense;
+pub mod packed;
+
+pub use batch::{BatchScorer, PackedQueryBatch};
+pub use minipool::Pool;
+pub use packed::{
+    mask_tail_word, pack_float_signs, pack_signs, pack_signs_into, similarity_from_hamming,
+    words_per_row, PackedClassMemory,
+};

@@ -1,0 +1,565 @@
+//! Packed class memory: all prototype hypervectors in one contiguous `u64`
+//! word-matrix, scored with a word-tiled popcount sweep.
+//!
+//! # Layout and sign convention
+//!
+//! Row `r` of the memory occupies `words[r*wpr .. (r+1)*wpr]` where
+//! `wpr = dim.div_ceil(64)`; bit `i` of a row lives at word `i / 64`, bit
+//! position `i % 64`, and unused tail bits are kept at zero. A set bit
+//! encodes a bipolar `-1`, a clear bit a `+1` — the same isomorphism the
+//! `hdc` crate uses between its binary and bipolar hypervectors, so packing
+//! is lossless for ±1 data.
+//!
+//! # Exactness
+//!
+//! For bipolar vectors the cosine is `dot / dim` with
+//! `dot = dim − 2·hamming`, an integer of magnitude ≤ `dim`. The engine
+//! computes exactly that expression, so its `f32` similarities are
+//! **bit-identical** to the scalar `i8` dot-product path for every
+//! `dim < 2^24`, and ties can be resolved on the integer Hamming distance
+//! with no float comparisons.
+
+use serde::{Deserialize, Serialize};
+use tensor::Matrix;
+
+/// Number of `u64` words needed for one `dim`-bit row.
+#[inline]
+pub fn words_per_row(dim: usize) -> usize {
+    dim.div_ceil(64)
+}
+
+/// Packs bipolar signs (`-1` → set bit, `+1` → clear bit) into `words`.
+///
+/// # Panics
+///
+/// Panics if `words.len() != words_per_row(signs.len())` or a sign is not
+/// `±1`.
+pub fn pack_signs_into(signs: &[i8], words: &mut [u64]) {
+    assert_eq!(
+        words.len(),
+        words_per_row(signs.len()),
+        "word buffer does not match the sign count"
+    );
+    words.fill(0);
+    for (i, &s) in signs.iter().enumerate() {
+        assert!(s == 1 || s == -1, "bipolar signs must be +1 or -1");
+        if s < 0 {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+}
+
+/// Packs bipolar signs into a fresh word row; see [`pack_signs_into`].
+///
+/// # Panics
+///
+/// Panics if `signs` is empty.
+pub fn pack_signs(signs: &[i8]) -> Vec<u64> {
+    assert!(!signs.is_empty(), "cannot pack an empty sign row");
+    let mut words = vec![0u64; words_per_row(signs.len())];
+    pack_signs_into(signs, &mut words);
+    words
+}
+
+/// Packs the *signs* of a float row (`x < 0` → set bit) into a fresh word
+/// row, matching `BipolarHypervector::from_sign_of` followed by the
+/// binary conversion (ties at exactly zero resolve to `+1`, i.e. clear).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn pack_float_signs(xs: &[f32]) -> Vec<u64> {
+    assert!(!xs.is_empty(), "cannot pack an empty float row");
+    let mut words = vec![0u64; words_per_row(xs.len())];
+    for (i, &x) in xs.iter().enumerate() {
+        if x < 0.0 {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    words
+}
+
+/// Clears any bits beyond `dim` in the final word of a packed row, so
+/// popcount-based scores stay exact no matter where the row came from.
+pub fn mask_tail_word(dim: usize, words: &mut [u64]) {
+    let rem = dim % 64;
+    if rem != 0 {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << rem) - 1;
+        }
+    }
+}
+
+/// The exact bipolar cosine for a `dim`-bit pair at Hamming distance
+/// `hamming`: `(dim − 2·hamming) / dim`, evaluated so it is bit-identical to
+/// the scalar `dot as f32 / dim as f32` path.
+#[inline]
+pub fn similarity_from_hamming(dim: usize, hamming: u64) -> f32 {
+    (dim as i64 - 2 * hamming as i64) as f32 / dim as f32
+}
+
+/// Queries are processed in tiles of this many rows so each streamed class
+/// row is reused from L1 across the whole tile.
+pub(crate) const QUERY_TILE: usize = 8;
+
+/// Word-strip width (2 KiB) of the innermost sweep; keeps one class strip
+/// plus a full query tile strip resident in L1 for very large `dim`.
+const WORD_STRIP: usize = 256;
+
+/// A labelled associative class memory stored as one contiguous packed word
+/// matrix, scored one-vs-all with a blocked popcount sweep.
+///
+/// This is the single hot path behind `hdc::ItemMemory` lookups, the
+/// [`BatchScorer`](crate::BatchScorer) and the serving benchmark.
+///
+/// # Example
+///
+/// ```
+/// use engine::{pack_signs, PackedClassMemory};
+///
+/// let mut memory = PackedClassMemory::new(4);
+/// memory.insert_signs("up", &[1, 1, 1, 1]);
+/// memory.insert_signs("down", &[-1, -1, -1, -1]);
+/// let query = pack_signs(&[1, 1, 1, -1]);
+/// let (index, sim) = memory.nearest(&query).expect("non-empty");
+/// assert_eq!(memory.label(index), "up");
+/// assert_eq!(sim, 0.5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PackedClassMemory {
+    dim: usize,
+    words_per_row: usize,
+    labels: Vec<String>,
+    words: Vec<u64>,
+}
+
+impl PackedClassMemory {
+    /// Creates an empty memory for `dim`-bit prototypes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self {
+            dim,
+            words_per_row: words_per_row(dim),
+            labels: Vec::new(),
+            words: Vec::new(),
+        }
+    }
+
+    /// Builds a memory from one float row per class by taking signs
+    /// (`x < 0` → `-1`); lossless for ±1 matrices such as HDC class
+    /// signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count differs from the row count or the matrix
+    /// has zero columns.
+    pub fn from_sign_matrix<L, S>(labels: L, matrix: &Matrix) -> Self
+    where
+        L: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut memory = Self::new(matrix.cols());
+        let mut count = 0;
+        for (r, label) in labels.into_iter().enumerate() {
+            assert!(r < matrix.rows(), "more labels than matrix rows");
+            let words = pack_float_signs(matrix.row(r));
+            memory.insert_packed(label, &words);
+            count += 1;
+        }
+        assert_eq!(count, matrix.rows(), "fewer labels than matrix rows");
+        memory
+    }
+
+    /// Number of stored prototypes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if no prototypes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Dimensionality of the stored prototypes.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Packed words per prototype row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The stored labels in insertion order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.labels.iter().map(String::as_str)
+    }
+
+    /// The label of row `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn label(&self, index: usize) -> &str {
+        &self.labels[index]
+    }
+
+    /// Position of `label`, if stored.
+    pub fn position(&self, label: &str) -> Option<usize> {
+        self.labels.iter().position(|l| l == label)
+    }
+
+    /// The packed words of row `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn row_words(&self, index: usize) -> &[u64] {
+        assert!(index < self.len(), "row index out of range");
+        &self.words[index * self.words_per_row..(index + 1) * self.words_per_row]
+    }
+
+    /// Inserts a bipolar prototype given as ±1 signs, replacing any existing
+    /// prototype with the same label. Returns the row index and whether a
+    /// row was replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signs.len() != self.dim()`.
+    pub fn insert_signs(&mut self, label: impl Into<String>, signs: &[i8]) -> (usize, bool) {
+        assert_eq!(
+            signs.len(),
+            self.dim,
+            "prototype dimensionality must match the memory"
+        );
+        let words = pack_signs(signs);
+        self.insert_packed(label, &words)
+    }
+
+    /// Inserts an already-packed prototype row; see
+    /// [`PackedClassMemory::insert_signs`]. Bits beyond `dim` in the final
+    /// word are cleared on insertion, so rows packed elsewhere cannot smuggle
+    /// tail bits into the popcount (which would push similarities outside
+    /// `[-1, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != self.words_per_row()` or the memory was
+    /// `Default`-constructed (zero-dimensional).
+    pub fn insert_packed(&mut self, label: impl Into<String>, words: &[u64]) -> (usize, bool) {
+        assert!(
+            self.dim > 0,
+            "use PackedClassMemory::new to construct a usable memory"
+        );
+        assert_eq!(
+            words.len(),
+            self.words_per_row,
+            "packed row width must match the memory"
+        );
+        let label = label.into();
+        let row_range = if let Some(pos) = self.position(&label) {
+            self.words[pos * self.words_per_row..(pos + 1) * self.words_per_row]
+                .copy_from_slice(words);
+            (pos, true)
+        } else {
+            self.labels.push(label);
+            self.words.extend_from_slice(words);
+            (self.labels.len() - 1, false)
+        };
+        let (pos, _) = row_range;
+        mask_tail_word(
+            self.dim,
+            &mut self.words[pos * self.words_per_row..(pos + 1) * self.words_per_row],
+        );
+        row_range
+    }
+
+    /// Memory footprint of the packed word matrix in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Hamming distance between a packed query row and stored row `index`.
+    #[inline]
+    fn row_hamming(&self, index: usize, query: &[u64]) -> u64 {
+        self.row_words(index)
+            .iter()
+            .zip(query)
+            .map(|(a, b)| u64::from((a ^ b).count_ones()))
+            .sum()
+    }
+
+    /// One-vs-all similarities of a packed query against every stored
+    /// prototype, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.words_per_row()`.
+    pub fn scores(&self, query: &[u64]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len()];
+        self.scores_block_into(query, 1, &mut out);
+        out
+    }
+
+    /// Scores `n_queries` packed query rows (concatenated in `queries`)
+    /// against every stored prototype, writing a row-major
+    /// `n_queries × len` block into `out`.
+    ///
+    /// The sweep is tiled twice for cache locality: queries in tiles of
+    /// [`QUERY_TILE`] rows so each class row streams from memory once per
+    /// tile, and words in strips of 2 KiB so a strip of every tile row stays
+    /// in L1 even at very large `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths disagree with `n_queries` and the memory
+    /// shape.
+    pub fn scores_block_into(&self, queries: &[u64], n_queries: usize, out: &mut [f32]) {
+        let wpr = self.words_per_row;
+        let classes = self.len();
+        assert_eq!(queries.len(), n_queries * wpr, "query buffer length");
+        assert_eq!(out.len(), n_queries * classes, "output buffer length");
+        if wpr == 0 {
+            // Default-constructed (zero-dimensional) memory: nothing stored,
+            // nothing to score, and `chunks(0)` below would panic.
+            return;
+        }
+        for (tile_index, tile) in queries.chunks(QUERY_TILE * wpr).enumerate() {
+            let tile_rows = tile.len() / wpr;
+            let out_base = tile_index * QUERY_TILE;
+            for class in 0..classes {
+                let class_row = self.row_words(class);
+                let mut acc = [0u64; QUERY_TILE];
+                let mut strip_start = 0;
+                while strip_start < wpr {
+                    let strip_end = (strip_start + WORD_STRIP).min(wpr);
+                    let class_strip = &class_row[strip_start..strip_end];
+                    for (q, acc_q) in acc.iter_mut().enumerate().take(tile_rows) {
+                        let query_strip = &tile[q * wpr + strip_start..q * wpr + strip_end];
+                        let mut hamming = 0u64;
+                        for (a, b) in class_strip.iter().zip(query_strip) {
+                            hamming += u64::from((a ^ b).count_ones());
+                        }
+                        *acc_q += hamming;
+                    }
+                    strip_start = strip_end;
+                }
+                for (q, &hamming) in acc.iter().enumerate().take(tile_rows) {
+                    out[(out_base + q) * classes + class] =
+                        similarity_from_hamming(self.dim, hamming);
+                }
+            }
+        }
+    }
+
+    /// The most similar stored prototype to a packed query, as
+    /// `(row index, similarity)`; ties on similarity resolve to the
+    /// lexicographically smallest label so results are deterministic and
+    /// independent of insertion order.
+    ///
+    /// Returns `None` if the memory is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.words_per_row()`.
+    pub fn nearest(&self, query: &[u64]) -> Option<(usize, f32)> {
+        assert_eq!(query.len(), self.words_per_row, "query width");
+        let mut best: Option<(usize, u64)> = None;
+        for index in 0..self.len() {
+            let hamming = self.row_hamming(index, query);
+            let better = match best {
+                None => true,
+                Some((best_index, best_hamming)) => {
+                    hamming < best_hamming
+                        || (hamming == best_hamming && self.labels[index] < self.labels[best_index])
+                }
+            };
+            if better {
+                best = Some((index, hamming));
+            }
+        }
+        best.map(|(index, hamming)| (index, similarity_from_hamming(self.dim, hamming)))
+    }
+
+    /// The `k` most similar stored prototypes to a packed query, most
+    /// similar first; ties on similarity are ordered by label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.words_per_row()`.
+    pub fn top_k(&self, query: &[u64], k: usize) -> Vec<(usize, f32)> {
+        assert_eq!(query.len(), self.words_per_row, "query width");
+        let mut scored: Vec<(usize, u64)> = (0..self.len())
+            .map(|index| (index, self.row_hamming(index, query)))
+            .collect();
+        scored.sort_by(|a, b| {
+            a.1.cmp(&b.1)
+                .then_with(|| self.labels[a.0].cmp(&self.labels[b.0]))
+        });
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(index, hamming)| (index, similarity_from_hamming(self.dim, hamming)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signs(bits: &[i8]) -> Vec<i8> {
+        bits.to_vec()
+    }
+
+    #[test]
+    fn packing_roundtrip_and_tail_masking() {
+        let s: Vec<i8> = (0..70).map(|i| if i % 3 == 0 { -1 } else { 1 }).collect();
+        let words = pack_signs(&s);
+        assert_eq!(words.len(), 2);
+        // Tail bits beyond 70 stay clear.
+        assert_eq!(words[1] >> 6, 0);
+        let ones: u32 = words.iter().map(|w| w.count_ones()).sum();
+        assert_eq!(ones as usize, s.iter().filter(|&&v| v == -1).count());
+    }
+
+    #[test]
+    fn float_sign_packing_matches_sign_rule() {
+        let words = pack_float_signs(&[0.5, -0.1, 0.0, -7.0]);
+        assert_eq!(words[0] & 0b1111, 0b1010);
+    }
+
+    #[test]
+    fn similarity_is_exact_integer_cosine() {
+        assert_eq!(similarity_from_hamming(4, 0), 1.0);
+        assert_eq!(similarity_from_hamming(4, 2), 0.0);
+        assert_eq!(similarity_from_hamming(4, 4), -1.0);
+        // Matches dot/d for a dim that is not a power of two.
+        let dim = 100usize;
+        let h = 33u64;
+        let dot = dim as i64 - 2 * h as i64;
+        assert_eq!(similarity_from_hamming(dim, h), dot as f32 / dim as f32);
+    }
+
+    #[test]
+    fn insert_replace_and_lookup() {
+        let mut mem = PackedClassMemory::new(4);
+        let (i0, replaced) = mem.insert_signs("a", &signs(&[1, 1, 1, 1]));
+        assert_eq!((i0, replaced), (0, false));
+        let (i1, replaced) = mem.insert_signs("b", &signs(&[-1, -1, -1, -1]));
+        assert_eq!((i1, replaced), (1, false));
+        let (i2, replaced) = mem.insert_signs("a", &signs(&[-1, 1, 1, 1]));
+        assert_eq!((i2, replaced), (0, true));
+        assert_eq!(mem.len(), 2);
+        assert_eq!(mem.position("b"), Some(1));
+        assert_eq!(mem.label(0), "a");
+        assert_eq!(mem.row_words(0), &pack_signs(&[-1, 1, 1, 1])[..]);
+        assert_eq!(mem.memory_bytes(), 16);
+    }
+
+    #[test]
+    fn nearest_breaks_ties_by_label() {
+        let mut mem = PackedClassMemory::new(4);
+        // Two prototypes equidistant from the query, inserted in reverse
+        // label order.
+        mem.insert_signs("zeta", &signs(&[1, 1, -1, -1]));
+        mem.insert_signs("alpha", &signs(&[-1, -1, 1, 1]));
+        let query = pack_signs(&signs(&[1, -1, 1, -1]));
+        let (index, sim) = mem.nearest(&query).expect("non-empty");
+        assert_eq!(mem.label(index), "alpha");
+        assert_eq!(sim, 0.0);
+        let top = mem.top_k(&query, 2);
+        assert_eq!(mem.label(top[0].0), "alpha");
+        assert_eq!(mem.label(top[1].0), "zeta");
+    }
+
+    #[test]
+    fn insert_packed_masks_smuggled_tail_bits() {
+        // A dim-3 row arriving with all 64 bits set must be trimmed to the
+        // 3 live bits, keeping similarities inside [-1, 1].
+        let mut mem = PackedClassMemory::new(3);
+        mem.insert_packed("dirty", &[u64::MAX]);
+        assert_eq!(mem.row_words(0), &[0b111u64][..]);
+        let sims = mem.scores(&[0u64]);
+        assert_eq!(sims, vec![-1.0]);
+        // A properly packed all-negative query matches the masked row
+        // exactly (query-side masking is the packing helpers' job; see
+        // `mask_tail_word` and `PackedQueryBatch::push_packed`).
+        let (_, sim) = mem.nearest(&pack_signs(&[-1, -1, -1])).expect("non-empty");
+        assert_eq!(sim, 1.0);
+        let mut dirty_query = [u64::MAX];
+        mask_tail_word(3, &mut dirty_query);
+        assert_eq!(mem.nearest(&dirty_query).expect("non-empty").1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "use PackedClassMemory::new")]
+    fn default_memory_rejects_inserts() {
+        let mut mem = PackedClassMemory::default();
+        mem.insert_packed("a", &[]);
+    }
+
+    #[test]
+    fn default_memory_lookups_are_empty_not_nan() {
+        let mem = PackedClassMemory::default();
+        assert!(mem.is_empty());
+        assert!(mem.nearest(&[]).is_none());
+        assert!(mem.top_k(&[], 3).is_empty());
+        assert!(mem.scores(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_memory_and_bounded_top_k() {
+        let mem = PackedClassMemory::new(64);
+        let query = vec![0u64; 1];
+        assert!(mem.nearest(&query).is_none());
+        assert!(mem.top_k(&query, 3).is_empty());
+        assert!(mem.is_empty());
+    }
+
+    #[test]
+    fn from_sign_matrix_binarizes_rows() {
+        let matrix = Matrix::from_rows(&[vec![1.0, -2.0, 3.0], vec![-0.5, 0.5, -0.5]]);
+        let mem = PackedClassMemory::from_sign_matrix(["p", "n"], &matrix);
+        assert_eq!(mem.len(), 2);
+        assert_eq!(mem.dim(), 3);
+        assert_eq!(mem.row_words(0), &pack_signs(&[1, -1, 1])[..]);
+        assert_eq!(mem.row_words(1), &pack_signs(&[-1, 1, -1])[..]);
+    }
+
+    #[test]
+    fn block_scores_match_single_query_scores() {
+        let dim = 130; // ragged: 3 words, 6 tail bits
+        let mut mem = PackedClassMemory::new(dim);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next_sign = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if state >> 63 == 0 {
+                1i8
+            } else {
+                -1i8
+            }
+        };
+        for c in 0..17 {
+            let row: Vec<i8> = (0..dim).map(|_| next_sign()).collect();
+            mem.insert_signs(format!("c{c:02}"), &row);
+        }
+        let queries: Vec<Vec<i8>> = (0..11)
+            .map(|_| (0..dim).map(|_| next_sign()).collect())
+            .collect();
+        let mut packed = Vec::new();
+        for q in &queries {
+            packed.extend_from_slice(&pack_signs(q));
+        }
+        let mut block = vec![0.0f32; queries.len() * mem.len()];
+        mem.scores_block_into(&packed, queries.len(), &mut block);
+        for (qi, q) in queries.iter().enumerate() {
+            let single = mem.scores(&pack_signs(q));
+            assert_eq!(&block[qi * mem.len()..(qi + 1) * mem.len()], &single[..]);
+        }
+    }
+}

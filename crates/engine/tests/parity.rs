@@ -1,0 +1,219 @@
+//! Property tests pinning the engine's exactness contract: packed batched
+//! results are bit-identical to a scalar `i8` reference across random
+//! dimensions (including non-multiples of 64), class counts, batch sizes and
+//! thread counts.
+
+use engine::{
+    pack_signs, similarity_from_hamming, BatchScorer, PackedClassMemory, PackedQueryBatch, Pool,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random ±1 sign vector.
+fn random_signs(dim: usize, rng: &mut StdRng) -> Vec<i8> {
+    (0..dim)
+        .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+        .collect()
+}
+
+/// The scalar reference: bipolar cosine as `dot as f32 / dim as f32`, the
+/// exact expression `hdc::BipolarHypervector::cosine` evaluates.
+fn scalar_cosine(a: &[i8], b: &[i8]) -> f32 {
+    let dot: i64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| i64::from(x) * i64::from(y))
+        .sum();
+    dot as f32 / a.len() as f32
+}
+
+/// Scalar reference nearest: max similarity, ties to the smallest label.
+fn scalar_nearest(query: &[i8], labels: &[String], protos: &[Vec<i8>]) -> Option<(usize, f32)> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, p) in protos.iter().enumerate() {
+        let sim = scalar_cosine(query, p);
+        let better = match best {
+            None => true,
+            Some((bi, bs)) => sim > bs || (sim == bs && labels[i] < labels[bi]),
+        };
+        if better {
+            best = Some((i, sim));
+        }
+    }
+    best
+}
+
+/// Scalar reference top-k: sorted by similarity descending, label ascending.
+fn scalar_top_k(
+    query: &[i8],
+    labels: &[String],
+    protos: &[Vec<i8>],
+    k: usize,
+) -> Vec<(usize, f32)> {
+    let mut scored: Vec<(usize, f32)> = protos
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, scalar_cosine(query, p)))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("similarities are finite")
+            .then_with(|| labels[a.0].cmp(&labels[b.0]))
+    });
+    scored.truncate(k);
+    scored
+}
+
+/// A generated problem: `(labels, prototypes, query rows, packed memory,
+/// packed batch)`.
+type Problem = (
+    Vec<String>,
+    Vec<Vec<i8>>,
+    Vec<Vec<i8>>,
+    PackedClassMemory,
+    PackedQueryBatch,
+);
+
+/// Builds a random problem: dims deliberately include values far from
+/// multiples of 64 so the tail-word masking is always exercised.
+fn build_problem(dim: usize, classes: usize, queries: usize, seed: u64) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels: Vec<String> = (0..classes).map(|c| format!("class{c:04}")).collect();
+    let protos: Vec<Vec<i8>> = (0..classes).map(|_| random_signs(dim, &mut rng)).collect();
+    // A mix of noisy prototype copies (realistic queries with near-tie
+    // scores) and fresh random vectors.
+    let query_rows: Vec<Vec<i8>> = (0..queries)
+        .map(|q| {
+            if q % 2 == 0 && !protos.is_empty() {
+                let mut noisy = protos[q % protos.len()].clone();
+                for v in noisy.iter_mut() {
+                    if rng.gen::<f32>() < 0.2 {
+                        *v = -*v;
+                    }
+                }
+                noisy
+            } else {
+                random_signs(dim, &mut rng)
+            }
+        })
+        .collect();
+    let mut memory = PackedClassMemory::new(dim);
+    for (label, proto) in labels.iter().zip(&protos) {
+        memory.insert_signs(label.clone(), proto);
+    }
+    let mut batch = PackedQueryBatch::new(dim);
+    for q in &query_rows {
+        batch.push_signs(q);
+    }
+    (labels, protos, query_rows, memory, batch)
+}
+
+proptest! {
+    #[test]
+    fn packed_scores_bit_identical_to_scalar(
+        dim in 1usize..300,
+        classes in 1usize..24,
+        queries in 1usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        let (_labels, protos, query_rows, memory, batch) =
+            build_problem(dim, classes, queries, seed);
+        let logits = BatchScorer::new(&memory).with_threads(3).score_batch(&batch);
+        prop_assert_eq!(logits.shape(), (queries, classes));
+        for (qi, query) in query_rows.iter().enumerate() {
+            for (ci, proto) in protos.iter().enumerate() {
+                let scalar = scalar_cosine(query, proto);
+                let packed = logits.get(qi, ci);
+                prop_assert_eq!(
+                    scalar.to_bits(), packed.to_bits(),
+                    "dim={} q={} c={}: scalar {} vs packed {}",
+                    dim, qi, ci, scalar, packed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_and_topk_bit_identical_to_scalar(
+        dim in 1usize..300,
+        classes in 1usize..24,
+        queries in 1usize..10,
+        k in 1usize..30,
+        seed in 0u64..1_000_000,
+    ) {
+        let (labels, protos, query_rows, memory, batch) =
+            build_problem(dim, classes, queries, seed);
+        let scorer = BatchScorer::new(&memory).with_threads(2);
+        let nearest = scorer.nearest_batch(&batch);
+        let topk = scorer.topk_batch(&batch, k);
+        for (qi, query) in query_rows.iter().enumerate() {
+            let expected = scalar_nearest(query, &labels, &protos).expect("non-empty");
+            prop_assert_eq!(nearest[qi].0, expected.0, "dim={} q={}", dim, qi);
+            prop_assert_eq!(nearest[qi].1.to_bits(), expected.1.to_bits());
+            let expected_topk = scalar_top_k(query, &labels, &protos, k);
+            prop_assert_eq!(topk[qi].len(), expected_topk.len());
+            for (got, want) in topk[qi].iter().zip(&expected_topk) {
+                prop_assert_eq!(got.0, want.0, "dim={} q={}", dim, qi);
+                prop_assert_eq!(got.1.to_bits(), want.1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_logits(
+        dim in 1usize..400,
+        classes in 1usize..20,
+        queries in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let (_labels, _protos, _query_rows, memory, batch) =
+            build_problem(dim, classes, queries, seed);
+        let reference = BatchScorer::new(&memory).with_threads(1).score_batch(&batch);
+        for threads in [2usize, 3, 8, 19] {
+            let logits = BatchScorer::new(&memory).with_threads(threads).score_batch(&batch);
+            prop_assert_eq!(
+                logits.as_slice(), reference.as_slice(),
+                "threads={} dim={}", threads, dim
+            );
+            let nearest_1 = BatchScorer::new(&memory).with_threads(1).nearest_batch(&batch);
+            let nearest_n = BatchScorer::new(&memory).with_threads(threads).nearest_batch(&batch);
+            prop_assert_eq!(nearest_1, nearest_n, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn dense_cosine_thread_invariant_and_matches_reference(
+        rows in 1usize..20,
+        cols in 1usize..40,
+        protos in 1usize..15,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = tensor::Matrix::random_uniform(rows, cols, 1.0, &mut rng);
+        let b = tensor::Matrix::random_uniform(protos, cols, 1.0, &mut rng);
+        let reference = tensor::ops::cosine_similarity_matrix(&a, &b);
+        for threads in [1usize, 2, 7] {
+            let scores = engine::dense::cosine_scores(&a, &b, &Pool::new(threads));
+            prop_assert_eq!(scores.as_slice(), reference.as_slice(), "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn packed_roundtrip_preserves_similarity_identity(
+        dim in 1usize..600,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let signs = random_signs(dim, &mut rng);
+        let words = pack_signs(&signs);
+        // Self-similarity is exactly 1, and the word row hamming against
+        // itself is 0.
+        let mut memory = PackedClassMemory::new(dim);
+        memory.insert_signs("self", &signs);
+        let (index, sim) = memory.nearest(&words).expect("non-empty");
+        prop_assert_eq!(index, 0);
+        prop_assert_eq!(sim.to_bits(), 1.0f32.to_bits());
+        prop_assert_eq!(similarity_from_hamming(dim, 0).to_bits(), 1.0f32.to_bits());
+    }
+}

@@ -6,8 +6,23 @@
 //! (e.g. checking that bound attribute codevectors can be decoded back to
 //! their group/value constituents) and as a building block for the DAP-style
 //! baseline.
+//!
+//! # Engine-backed hot path
+//!
+//! Alongside the bipolar prototypes the memory keeps an
+//! [`engine::PackedClassMemory`] — all prototypes packed into one contiguous
+//! `u64` word-matrix — in sync on every insert. [`ItemMemory::nearest`] and
+//! [`ItemMemory::top_k`] pack the query once (`O(d)`) and run the engine's
+//! blocked popcount sweep instead of walking `i8` prototypes one label at a
+//! time. Because the bipolar cosine of ±1 vectors equals
+//! `(d − 2·hamming) / d` exactly, the similarities returned are
+//! **bit-identical** to the scalar [`BipolarHypervector::cosine`] path.
+//!
+//! Ties on similarity resolve to the lexicographically smallest label, so
+//! lookup results are deterministic and independent of insertion order.
 
 use crate::{BipolarHypervector, HdcError};
+use engine::{pack_signs, PackedClassMemory};
 use serde::{Deserialize, Serialize};
 
 /// A labelled associative memory of bipolar prototype hypervectors.
@@ -29,8 +44,12 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ItemMemory {
     dim: usize,
-    labels: Vec<String>,
     prototypes: Vec<BipolarHypervector>,
+    // Invariant: `packed` mirrors `prototypes` row-for-row (labels live in
+    // `packed`); every mutation goes through `try_insert`, which updates
+    // both. The packed mirror is derived state — reconstruct it from the
+    // prototypes if a real (non-stub) deserializer is ever wired up.
+    packed: PackedClassMemory,
 }
 
 impl ItemMemory {
@@ -43,8 +62,8 @@ impl ItemMemory {
         assert!(dim > 0, "dimensionality must be positive");
         Self {
             dim,
-            labels: Vec::new(),
             prototypes: Vec::new(),
+            packed: PackedClassMemory::new(dim),
         }
     }
 
@@ -61,6 +80,13 @@ impl ItemMemory {
     /// Dimensionality of the stored prototypes.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// The packed word-matrix mirror of this memory — the lossless engine
+    /// representation used for lookups. Pass it to
+    /// [`engine::BatchScorer`] to score whole query batches across threads.
+    pub fn packed(&self) -> &PackedClassMemory {
+        &self.packed
     }
 
     /// Inserts a labelled prototype, replacing any existing prototype with
@@ -95,12 +121,11 @@ impl ItemMemory {
                 right: hv.dim(),
             });
         }
-        let label = label.into();
-        if let Some(pos) = self.labels.iter().position(|l| *l == label) {
+        let (pos, replaced) = self.packed.insert_signs(label.into(), hv.as_slice());
+        if replaced {
             let old = std::mem::replace(&mut self.prototypes[pos], hv);
             Ok(Some(old))
         } else {
-            self.labels.push(label);
             self.prototypes.push(hv);
             Ok(None)
         }
@@ -108,29 +133,24 @@ impl ItemMemory {
 
     /// Returns the prototype stored under `label`, if any.
     pub fn get(&self, label: &str) -> Option<&BipolarHypervector> {
-        self.labels
-            .iter()
-            .position(|l| l == label)
-            .map(|i| &self.prototypes[i])
+        self.packed.position(label).map(|i| &self.prototypes[i])
     }
 
     /// Iterates over `(label, prototype)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &BipolarHypervector)> {
-        self.labels
-            .iter()
-            .map(String::as_str)
-            .zip(self.prototypes.iter())
+        self.packed.labels().zip(self.prototypes.iter())
     }
 
     /// Returns the stored labels in insertion order.
     pub fn labels(&self) -> impl Iterator<Item = &str> {
-        self.labels.iter().map(String::as_str)
+        self.packed.labels()
     }
 
     /// Finds the stored prototype most similar to `query` under cosine
-    /// similarity.
+    /// similarity, via the engine's packed popcount sweep.
     ///
-    /// Returns `None` if the memory is empty.
+    /// Returns `None` if the memory is empty. Ties on similarity resolve to
+    /// the lexicographically smallest label.
     ///
     /// # Panics
     ///
@@ -141,17 +161,15 @@ impl ItemMemory {
             self.dim,
             "query dimensionality must match the item memory"
         );
-        let mut best: Option<(usize, f32)> = None;
-        for (i, proto) in self.prototypes.iter().enumerate() {
-            let sim = query.cosine(proto);
-            if best.is_none_or(|(_, b)| sim > b) {
-                best = Some((i, sim));
-            }
-        }
-        best.map(|(i, sim)| (self.labels[i].as_str(), sim))
+        let query_words = pack_signs(query.as_slice());
+        self.packed
+            .nearest(&query_words)
+            .map(|(index, sim)| (self.packed.label(index), sim))
     }
 
-    /// Returns the `k` most similar prototypes, most similar first.
+    /// Returns the `k` most similar prototypes, most similar first, via the
+    /// engine's packed popcount sweep. Ties on similarity are ordered by
+    /// label.
     ///
     /// # Panics
     ///
@@ -162,17 +180,11 @@ impl ItemMemory {
             self.dim,
             "query dimensionality must match the item memory"
         );
-        let mut scored: Vec<(usize, f32)> = self
-            .prototypes
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i, query.cosine(p)))
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored
+        let query_words = pack_signs(query.as_slice());
+        self.packed
+            .top_k(&query_words, k)
             .into_iter()
-            .take(k)
-            .map(|(i, s)| (self.labels[i].as_str(), s))
+            .map(|(index, sim)| (self.packed.label(index), sim))
             .collect()
     }
 }
@@ -207,6 +219,7 @@ mod tests {
         assert_eq!(replaced, Some(a));
         assert_eq!(mem.get("a"), Some(&b));
         assert_eq!(mem.len(), 1);
+        assert_eq!(mem.packed().len(), 1);
     }
 
     #[test]
@@ -258,6 +271,68 @@ mod tests {
         let labels: Vec<&str> = mem.labels().collect();
         assert_eq!(labels, vec!["first", "second"]);
         assert_eq!(mem.iter().count(), 2);
+    }
+
+    /// Regression test for the old behaviour where ties between equally
+    /// similar prototypes were resolved by storage iteration order: the
+    /// winner is now always the lexicographically smallest label, no matter
+    /// the insertion order.
+    #[test]
+    fn ties_resolve_to_smallest_label_regardless_of_insertion_order() {
+        let proto = BipolarHypervector::ones(64);
+        let query = proto.clone();
+        for labels in [
+            ["zeta", "alpha", "mid"],
+            ["alpha", "mid", "zeta"],
+            ["mid", "zeta", "alpha"],
+        ] {
+            let mut mem = ItemMemory::new(64);
+            for label in labels {
+                mem.insert(label, proto.clone());
+            }
+            let (label, sim) = mem.nearest(&query).expect("non-empty");
+            assert_eq!(label, "alpha", "insertion order {labels:?}");
+            assert_eq!(sim, 1.0);
+            let top: Vec<&str> = mem.top_k(&query, 3).into_iter().map(|(l, _)| l).collect();
+            assert_eq!(
+                top,
+                vec!["alpha", "mid", "zeta"],
+                "insertion order {labels:?}"
+            );
+        }
+    }
+
+    /// The engine-backed lookup must be bit-identical to the scalar cosine
+    /// scan it replaced, including at ragged (non-multiple-of-64) dims.
+    #[test]
+    fn engine_lookup_bit_identical_to_scalar_scan() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for dim in [63usize, 64, 65, 100, 777, 1024] {
+            let mut mem = ItemMemory::new(dim);
+            let protos: Vec<(String, BipolarHypervector)> = (0..23)
+                .map(|i| {
+                    let hv = BipolarHypervector::random(dim, &mut rng);
+                    let label = format!("p{i:02}");
+                    mem.insert(label.clone(), hv.clone());
+                    (label, hv)
+                })
+                .collect();
+            for _ in 0..5 {
+                let query = BipolarHypervector::random(dim, &mut rng);
+                let top = mem.top_k(&query, protos.len());
+                for (label, sim) in top {
+                    let (_, proto) = protos
+                        .iter()
+                        .find(|(l, _)| l == label)
+                        .expect("label exists");
+                    assert_eq!(
+                        sim.to_bits(),
+                        query.cosine(proto).to_bits(),
+                        "dim={dim} label={label}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

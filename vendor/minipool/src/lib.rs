@@ -1,0 +1,207 @@
+//! Minimal deterministic fork-join parallelism over [`std::thread::scope`].
+//!
+//! The build environment has no crates.io access, so instead of `rayon` the
+//! workspace vendors this tiny, work-stealing-free pool: a [`Pool`] splits an
+//! index range `0..total` into at most `threads` contiguous chunks, runs one
+//! chunk per scoped OS thread, and returns the per-chunk results **in chunk
+//! order**. There are no queues, no stealing and no shared mutable state, so
+//! for any pure chunk function the output is bit-identical for every thread
+//! count — the property the inference engine's parity tests rely on.
+//!
+//! Threads are spawned per call. That costs a few microseconds per fan-out,
+//! which is negligible against the millisecond-scale batched similarity
+//! sweeps it is used for, and keeps the crate free of `unsafe`, statics and
+//! shutdown logic.
+//!
+//! # Example
+//!
+//! ```
+//! use minipool::Pool;
+//!
+//! let pool = Pool::new(4);
+//! // Sum 0..1000 by summing four contiguous chunks.
+//! let partials = pool.map_chunks(1000, |range| range.sum::<usize>());
+//! assert_eq!(partials.iter().sum::<usize>(), 499_500);
+//! ```
+
+#![deny(missing_docs)]
+
+use std::ops::Range;
+
+/// A fixed-width fork-join pool; see the crate docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    /// Equivalent to [`Pool::auto`].
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl Pool {
+    /// Creates a pool that fans work out over at most `threads` OS threads.
+    ///
+    /// `threads` is clamped to at least 1; a one-thread pool runs every chunk
+    /// inline on the calling thread without spawning.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Creates a pool sized to [`available_threads`].
+    pub fn auto() -> Self {
+        Self::new(available_threads())
+    }
+
+    /// Maximum number of OS threads a fan-out may use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits `0..total` into at most `threads` contiguous, near-equal
+    /// chunks, applies `f` to each chunk (in parallel when the pool has more
+    /// than one thread) and returns the results in chunk order.
+    ///
+    /// The chunk boundaries depend only on `total` and the pool width, never
+    /// on scheduling, so `f`'s inputs — and therefore the concatenated
+    /// outputs of a pure `f` — are deterministic.
+    pub fn map_chunks<T, F>(&self, total: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        let chunks = split_chunks(total, self.threads);
+        match chunks.len() {
+            0 => Vec::new(),
+            1 => vec![f(chunks.into_iter().next().expect("one chunk"))],
+            _ => std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(chunks.len());
+                let mut iter = chunks.into_iter();
+                // Keep the first chunk for the calling thread; it would
+                // otherwise idle in `join`.
+                let own = iter.next().expect("at least two chunks");
+                for range in iter {
+                    handles.push(scope.spawn(|| f(range)));
+                }
+                let mut results = vec![f(own)];
+                for handle in handles {
+                    results.push(handle.join().expect("minipool worker panicked"));
+                }
+                results
+            }),
+        }
+    }
+
+    /// Like [`Pool::map_chunks`] but discards the per-chunk results.
+    pub fn for_each_chunk<F>(&self, total: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let _ = self.map_chunks(total, f);
+    }
+}
+
+/// Number of hardware threads reported by the OS (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `0..total` into at most `parts` contiguous near-equal ranges.
+///
+/// Empty ranges are never produced: fewer than `parts` ranges are returned
+/// when `total < parts`, and an empty vector when `total == 0`.
+pub fn split_chunks(total: usize, parts: usize) -> Vec<Range<usize>> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, total);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_everything_in_order() {
+        for total in [0usize, 1, 2, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = split_chunks(total, parts);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..total).collect::<Vec<_>>());
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_are_balanced() {
+        let ranges = split_chunks(10, 4);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        for threads in 1..=8 {
+            let pool = Pool::new(threads);
+            let starts = pool.map_chunks(100, |range| range.start);
+            let mut sorted = starts.clone();
+            sorted.sort_unstable();
+            assert_eq!(starts, sorted, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let work = |range: Range<usize>| range.map(|i| i * i).sum::<usize>();
+        let reference: usize = Pool::new(1).map_chunks(5000, work).iter().sum();
+        for threads in [2usize, 3, 7, 16] {
+            let sum: usize = Pool::new(threads).map_chunks(5000, work).iter().sum();
+            assert_eq!(sum, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_total_runs_nothing() {
+        let pool = Pool::new(8);
+        let results: Vec<usize> = pool.map_chunks(0, |r| r.len());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn pool_clamps_to_one_thread() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert!(available_threads() >= 1);
+        assert!(Pool::auto().threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "minipool worker panicked")]
+    fn worker_panic_propagates() {
+        let pool = Pool::new(2);
+        let _ = pool.map_chunks(2, |range| {
+            if range.start == 1 {
+                panic!("boom");
+            }
+            range.len()
+        });
+    }
+}
