@@ -33,7 +33,8 @@ impl std::fmt::Display for MethodCategory {
 }
 
 /// One point of the Fig. 4 accuracy-vs-parameters plane.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// Serialize only: the `&'static str` name cannot be deserialized.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ReferencePoint {
     /// Method name as used in the paper.
     pub name: &'static str,
@@ -143,7 +144,8 @@ pub fn zsc_references() -> Vec<ReferencePoint> {
 }
 
 /// One row of Table I: published per-group attribute-extraction numbers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// Serialize only: the `&'static str` group name cannot be deserialized.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct AttributeGroupReference {
     /// Attribute-group name matching [`dataset::AttributeSchema::cub200`].
     pub group: &'static str,

@@ -120,13 +120,10 @@ impl PathStats {
     fn from_latencies(queries: usize, mut latencies_us: Vec<f64>) -> Self {
         let elapsed_s = latencies_us.iter().sum::<f64>() / 1e6;
         latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let pct = |p: f64| -> f64 {
-            if latencies_us.is_empty() {
-                return 0.0;
-            }
-            let rank = (p * (latencies_us.len() - 1) as f64).round() as usize;
-            latencies_us[rank]
-        };
+        // Ceiling nearest-rank percentiles; the shared helper replaces an
+        // earlier `round(p·(n−1))` formula that understated small-sample
+        // tails.
+        let pct = |p: f64| -> f64 { metrics::nearest_rank(&latencies_us, p) };
         Self {
             queries,
             elapsed_s,

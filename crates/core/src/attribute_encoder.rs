@@ -6,7 +6,7 @@ use hdc::{Codebook, CodebookMemory, HdcConfig};
 use nn::{ActivationKind, Layer, Mlp, ParamTensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use serde::{de, DeError, Deserialize, Serialize, Value};
 use tensor::Matrix;
 
 /// Which attribute-encoder variant a model uses.
@@ -49,13 +49,62 @@ impl std::fmt::Display for AttributeEncoderKind {
 /// let class_attributes = Matrix::ones(3, 312);
 /// assert_eq!(encoder.encode_classes(&class_attributes).shape(), (3, 1536));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct HdcAttributeEncoder {
     groups: Codebook,
     values: Codebook,
     dictionary: Matrix,
     dim: usize,
     schema_counts: (usize, usize, usize),
+}
+
+/// Hand-written (instead of derived) so the cross-field invariants — the
+/// codebooks, the materialised dictionary and the schema counts must agree —
+/// are validated with typed errors on load.
+impl Deserialize for HdcAttributeEncoder {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = de::expect_object(value, "HdcAttributeEncoder")?;
+        let groups: Codebook = de::field(entries, "groups", "HdcAttributeEncoder")?;
+        let values: Codebook = de::field(entries, "values", "HdcAttributeEncoder")?;
+        let dictionary: Matrix = de::field(entries, "dictionary", "HdcAttributeEncoder")?;
+        let dim: usize = de::field(entries, "dim", "HdcAttributeEncoder")?;
+        let schema_counts: (usize, usize, usize) =
+            de::field(entries, "schema_counts", "HdcAttributeEncoder")?;
+        let type_err = |msg: String| DeError::new(msg).in_field("HdcAttributeEncoder");
+        if groups.dim() != dim || values.dim() != dim {
+            return Err(type_err(format!(
+                "codebook dims ({}, {}) do not match the encoder's {dim}",
+                groups.dim(),
+                values.dim()
+            )));
+        }
+        if groups.len() != schema_counts.0 || values.len() != schema_counts.1 {
+            return Err(type_err(format!(
+                "codebook sizes ({}, {}) do not match the schema counts ({}, {})",
+                groups.len(),
+                values.len(),
+                schema_counts.0,
+                schema_counts.1
+            )));
+        }
+        if dictionary.shape() != (schema_counts.2, dim) {
+            return Err(type_err(format!(
+                "dictionary shape {:?} does not match {} attributes × dim {dim}",
+                dictionary.shape(),
+                schema_counts.2
+            )));
+        }
+        if dictionary.as_slice().iter().any(|&v| v != 1.0 && v != -1.0) {
+            return Err(type_err("dictionary entries must be ±1".to_string()));
+        }
+        Ok(Self {
+            groups,
+            values,
+            dictionary,
+            dim,
+            schema_counts,
+        })
+    }
 }
 
 impl HdcAttributeEncoder {
@@ -144,11 +193,30 @@ impl HdcAttributeEncoder {
 /// The paper's *Trainable-MLP* reference attribute encoder: a 2-layer MLP
 /// mapping the `α`-dimensional class-attribute vector to the shared embedding
 /// space.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize)]
 pub struct MlpAttributeEncoder {
     mlp: Mlp,
     alpha: usize,
     dim: usize,
+}
+
+/// Hand-written (instead of derived) so the MLP's widths are validated
+/// against the declared `α → … → d` signature on load.
+impl Deserialize for MlpAttributeEncoder {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = de::expect_object(value, "MlpAttributeEncoder")?;
+        let mlp: Mlp = de::field(entries, "mlp", "MlpAttributeEncoder")?;
+        let alpha: usize = de::field(entries, "alpha", "MlpAttributeEncoder")?;
+        let dim: usize = de::field(entries, "dim", "MlpAttributeEncoder")?;
+        if mlp.dims().first() != Some(&alpha) || mlp.dims().last() != Some(&dim) {
+            return Err(DeError::new(format!(
+                "MLP widths {:?} do not map α = {alpha} to d = {dim}",
+                mlp.dims()
+            ))
+            .in_field("MlpAttributeEncoder"));
+        }
+        Ok(Self { mlp, alpha, dim })
+    }
 }
 
 impl MlpAttributeEncoder {
@@ -208,12 +276,52 @@ impl MlpAttributeEncoder {
 
 /// An attribute encoder of either kind, presenting the minimal common
 /// interface the trainers need.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum AttributeEncoder {
     /// Stationary HDC encoder.
     Hdc(HdcAttributeEncoder),
     /// Trainable 2-layer MLP encoder.
     Mlp(MlpAttributeEncoder),
+}
+
+/// Checkpoint format: the encoder kind plus exactly one populated payload
+/// field (the derive macro only supports unit enums, so the data-carrying
+/// variant is encoded by hand).
+impl Serialize for AttributeEncoder {
+    fn to_value(&self) -> Value {
+        let (hdc, mlp) = match self {
+            AttributeEncoder::Hdc(e) => (Some(e.to_value()), None),
+            AttributeEncoder::Mlp(e) => (None, Some(e.to_value())),
+        };
+        Value::Object(vec![
+            ("kind".to_string(), self.kind().to_value()),
+            ("hdc".to_string(), hdc.unwrap_or(Value::Null)),
+            ("mlp".to_string(), mlp.unwrap_or(Value::Null)),
+        ])
+    }
+}
+
+impl Deserialize for AttributeEncoder {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = de::expect_object(value, "AttributeEncoder")?;
+        let kind: AttributeEncoderKind = de::field(entries, "kind", "AttributeEncoder")?;
+        match kind {
+            AttributeEncoderKind::Hdc => {
+                let payload: Option<HdcAttributeEncoder> =
+                    de::field(entries, "hdc", "AttributeEncoder")?;
+                payload.map(AttributeEncoder::Hdc).ok_or_else(|| {
+                    DeError::missing_field("hdc", "AttributeEncoder").in_field("AttributeEncoder")
+                })
+            }
+            AttributeEncoderKind::TrainableMlp => {
+                let payload: Option<MlpAttributeEncoder> =
+                    de::field(entries, "mlp", "AttributeEncoder")?;
+                payload.map(AttributeEncoder::Mlp).ok_or_else(|| {
+                    DeError::missing_field("mlp", "AttributeEncoder").in_field("AttributeEncoder")
+                })
+            }
+        }
+    }
 }
 
 impl AttributeEncoder {
@@ -246,6 +354,15 @@ impl AttributeEncoder {
         match self {
             AttributeEncoder::Hdc(e) => e.dim(),
             AttributeEncoder::Mlp(e) => e.dim(),
+        }
+    }
+
+    /// Attribute dimensionality `α` the encoder ingests (the width of the
+    /// class-attribute matrices it accepts).
+    pub fn num_attributes(&self) -> usize {
+        match self {
+            AttributeEncoder::Hdc(e) => e.dictionary().rows(),
+            AttributeEncoder::Mlp(e) => e.alpha(),
         }
     }
 

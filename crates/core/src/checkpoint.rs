@@ -1,0 +1,409 @@
+//! Model checkpointing: a versioned JSON envelope around a trained
+//! [`ZscModel`], so models are trained once and served many times.
+//!
+//! A [`Checkpoint`] pins three things next to the model weights:
+//!
+//! * a **format version**, checked *before* the model payload is decoded so
+//!   future layout changes fail fast with a typed error;
+//! * the **model configuration** the model was built from;
+//! * a **schema fingerprint** (`G`/`V`/`α` counts), so a checkpoint trained
+//!   against one attribute schema cannot be silently served against another.
+//!
+//! Loading validates dimensions and invariants end to end (see the
+//! hand-written `Deserialize` impls on the model parts) and reports every
+//! failure as a [`CheckpointError`] instead of panicking. Derived state —
+//! gradient buffers, similarity-kernel caches, the engine's packed class
+//! memories, thread pools — is intentionally not persisted and is rebuilt on
+//! load.
+//!
+//! # Example
+//!
+//! ```
+//! use dataset::AttributeSchema;
+//! use hdc_zsc::{Checkpoint, ModelConfig, ZscModel};
+//!
+//! let schema = AttributeSchema::cub200();
+//! let model = ZscModel::new(&ModelConfig::tiny(), &schema, 48);
+//! let checkpoint = Checkpoint::capture(&model, &schema);
+//! let json = checkpoint.to_json();
+//! let restored = Checkpoint::from_json_str(&json)
+//!     .and_then(|c| c.into_model(&schema))
+//!     .expect("round trip");
+//! assert_eq!(restored.embedding_dim(), 64);
+//! ```
+
+use crate::config::ModelConfig;
+use crate::model::ZscModel;
+use dataset::AttributeSchema;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Version of the on-disk checkpoint layout produced by this crate.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// The attribute-schema shape a checkpoint was trained against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaFingerprint {
+    /// Number of attribute groups (`G`).
+    pub groups: usize,
+    /// Number of unique attribute values (`V`).
+    pub values: usize,
+    /// Number of attributes (`α`).
+    pub attributes: usize,
+}
+
+impl SchemaFingerprint {
+    /// The fingerprint of a concrete schema.
+    pub fn of(schema: &AttributeSchema) -> Self {
+        Self {
+            groups: schema.num_groups(),
+            values: schema.num_values(),
+            attributes: schema.num_attributes(),
+        }
+    }
+}
+
+impl std::fmt::Display for SchemaFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "G={} V={} α={}",
+            self.groups, self.values, self.attributes
+        )
+    }
+}
+
+/// Why a checkpoint could not be saved or loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The document is not valid JSON or does not decode into a checkpoint.
+    Malformed(String),
+    /// The document declares a layout version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the document.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The checkpoint was trained against a different attribute schema.
+    SchemaMismatch {
+        /// Fingerprint stored in the checkpoint.
+        checkpoint: SchemaFingerprint,
+        /// Fingerprint of the schema the caller wants to serve.
+        requested: SchemaFingerprint,
+    },
+    /// Two parts of the checkpoint disagree about a dimension.
+    DimensionMismatch {
+        /// Which dimension disagrees.
+        what: &'static str,
+        /// Value implied by one part.
+        expected: usize,
+        /// Value found in the other.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+            CheckpointError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint format version {found} (this build reads {supported})"
+            ),
+            CheckpointError::SchemaMismatch {
+                checkpoint,
+                requested,
+            } => write!(
+                f,
+                "schema mismatch: checkpoint was trained against {checkpoint}, \
+                 requested schema is {requested}"
+            ),
+            CheckpointError::DimensionMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "dimension mismatch: {what} should be {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// A versioned, self-describing envelope around a trained [`ZscModel`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Layout version; always [`CHECKPOINT_FORMAT_VERSION`] when written by
+    /// this build.
+    pub format_version: u32,
+    /// The configuration the model was constructed from.
+    pub model_config: ModelConfig,
+    /// Backbone feature width `d'` the model ingests.
+    pub feature_dim: usize,
+    /// Shape of the attribute schema the model was trained against.
+    pub schema: SchemaFingerprint,
+    /// The model weights.
+    pub model: ZscModel,
+}
+
+impl Checkpoint {
+    /// Captures a model (cloning its weights) together with the schema it
+    /// was trained against.
+    pub fn capture(model: &ZscModel, schema: &AttributeSchema) -> Self {
+        Self {
+            format_version: CHECKPOINT_FORMAT_VERSION,
+            model_config: *model.config(),
+            feature_dim: model.image_encoder().feature_dim(),
+            schema: SchemaFingerprint::of(schema),
+            model: model.clone(),
+        }
+    }
+
+    /// Renders the checkpoint as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("checkpoint serialization is infallible")
+    }
+
+    /// Writes the checkpoint as JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] if the file cannot be written.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        std::fs::write(path, self.to_json()).map_err(CheckpointError::from)
+    }
+
+    /// Parses a checkpoint from a JSON string.
+    ///
+    /// The format version is checked *before* the model payload is decoded,
+    /// so documents written by a future layout fail with
+    /// [`CheckpointError::UnsupportedVersion`] rather than a decoding error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] for syntactically or
+    /// structurally invalid documents and
+    /// [`CheckpointError::UnsupportedVersion`] for version mismatches.
+    pub fn from_json_str(json: &str) -> Result<Self, CheckpointError> {
+        let value =
+            serde_json::parse_value(json).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        let version_value = value
+            .get("format_version")
+            .ok_or_else(|| CheckpointError::Malformed("missing `format_version`".to_string()))?;
+        let found = serde_json::from_value::<u32>(version_value)
+            .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        if found != CHECKPOINT_FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found,
+                supported: CHECKPOINT_FORMAT_VERSION,
+            });
+        }
+        let checkpoint: Checkpoint = serde_json::from_value(&value)
+            .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        checkpoint.validate_internal()?;
+        Ok(checkpoint)
+    }
+
+    /// Reads and parses a checkpoint from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on read failures, plus everything
+    /// [`Checkpoint::from_json_str`] reports.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json_str(&json)
+    }
+
+    /// Checks the checkpoint against the schema the caller intends to serve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::SchemaMismatch`] if the fingerprints
+    /// disagree.
+    pub fn validate_schema(&self, schema: &AttributeSchema) -> Result<(), CheckpointError> {
+        let requested = SchemaFingerprint::of(schema);
+        if self.schema != requested {
+            return Err(CheckpointError::SchemaMismatch {
+                checkpoint: self.schema,
+                requested,
+            });
+        }
+        Ok(())
+    }
+
+    /// Consumes the checkpoint and hands back the model, after validating it
+    /// against the serving schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::SchemaMismatch`] if the schema fingerprints
+    /// disagree.
+    pub fn into_model(self, schema: &AttributeSchema) -> Result<ZscModel, CheckpointError> {
+        self.validate_schema(schema)?;
+        Ok(self.model)
+    }
+
+    /// Envelope-level consistency: the fields outside the model payload must
+    /// agree with the payload itself.
+    fn validate_internal(&self) -> Result<(), CheckpointError> {
+        let model_feature_dim = self.model.image_encoder().feature_dim();
+        if self.feature_dim != model_feature_dim {
+            return Err(CheckpointError::DimensionMismatch {
+                what: "backbone feature width",
+                expected: self.feature_dim,
+                found: model_feature_dim,
+            });
+        }
+        if self.schema.attributes != self.model.phase2_dictionary().rows() {
+            return Err(CheckpointError::DimensionMismatch {
+                what: "attribute count α",
+                expected: self.schema.attributes,
+                found: self.model.phase2_dictionary().rows(),
+            });
+        }
+        // The attribute encoder itself must ingest α-wide class-attribute
+        // matrices too; without this check an internally-consistent but
+        // differently-sized encoder would pass load and panic at first
+        // query instead of failing typed.
+        let encoder_alpha = self.model.attribute_encoder().num_attributes();
+        if self.schema.attributes != encoder_alpha {
+            return Err(CheckpointError::DimensionMismatch {
+                what: "attribute encoder α",
+                expected: self.schema.attributes,
+                found: encoder_alpha,
+            });
+        }
+        if self.model_config != *self.model.config() {
+            return Err(CheckpointError::Malformed(
+                "envelope model_config disagrees with the model payload".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute_encoder::AttributeEncoderKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::Matrix;
+
+    fn schema() -> AttributeSchema {
+        AttributeSchema::cub200()
+    }
+
+    fn fixture_model(kind: AttributeEncoderKind) -> ZscModel {
+        ZscModel::new(
+            &ModelConfig::tiny()
+                .with_attribute_encoder(kind)
+                .with_seed(7),
+            &schema(),
+            48,
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_logits_bit_exactly() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(1);
+        let features = Matrix::random_uniform(4, 48, 1.0, &mut rng);
+        let class_attributes = Matrix::random_uniform(6, 312, 0.5, &mut rng).map(f32::abs);
+        for kind in [
+            AttributeEncoderKind::Hdc,
+            AttributeEncoderKind::TrainableMlp,
+        ] {
+            let mut model = fixture_model(kind);
+            let json = Checkpoint::capture(&model, &s).to_json();
+            let mut restored = Checkpoint::from_json_str(&json)
+                .and_then(|c| c.into_model(&s))
+                .expect("round trip");
+            let original = model.class_logits(&features, &class_attributes, false);
+            let loaded = restored.class_logits(&features, &class_attributes, false);
+            assert_eq!(original.as_slice(), loaded.as_slice(), "{kind}");
+            let original_attr = model.attribute_logits(&features, false);
+            let loaded_attr = restored.attribute_logits(&features, false);
+            assert_eq!(original_attr.as_slice(), loaded_attr.as_slice(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected_before_the_payload() {
+        let s = schema();
+        let model = fixture_model(AttributeEncoderKind::Hdc);
+        let json = Checkpoint::capture(&model, &s)
+            .to_json()
+            .replace("\"format_version\": 1", "\"format_version\": 99");
+        match Checkpoint::from_json_str(&json) {
+            Err(CheckpointError::UnsupportedVersion {
+                found: 99,
+                supported,
+            }) => {
+                assert_eq!(supported, CHECKPOINT_FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let s = schema();
+        let model = fixture_model(AttributeEncoderKind::Hdc);
+        let checkpoint = Checkpoint::capture(&model, &s);
+        let other = AttributeSchema::synthetic(4, 5);
+        assert!(matches!(
+            checkpoint.validate_schema(&other),
+            Err(CheckpointError::SchemaMismatch { .. })
+        ));
+        assert!(matches!(
+            checkpoint.into_model(&other),
+            Err(CheckpointError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn io_errors_are_typed() {
+        let missing = Checkpoint::load_json("/nonexistent/dir/ckpt.json");
+        assert!(matches!(missing, Err(CheckpointError::Io(_))));
+        let s = schema();
+        let model = fixture_model(AttributeEncoderKind::Hdc);
+        let bad_path = Checkpoint::capture(&model, &s).save_json("/nonexistent/dir/ckpt.json");
+        assert!(matches!(bad_path, Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = CheckpointError::UnsupportedVersion {
+            found: 2,
+            supported: 1,
+        };
+        assert!(err.to_string().contains("version 2"));
+        let err = CheckpointError::DimensionMismatch {
+            what: "embedding dim",
+            expected: 64,
+            found: 32,
+        };
+        assert!(err.to_string().contains("embedding dim"));
+    }
+}

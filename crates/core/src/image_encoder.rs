@@ -5,6 +5,7 @@ use dataset::BackboneKind;
 use nn::{init::Init, Layer, Linear, ParamTensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{de, DeError, Deserialize, Serialize, Value};
 use tensor::Matrix;
 
 /// The image encoder of the paper: backbone features (already extracted by
@@ -26,11 +27,51 @@ use tensor::Matrix;
 /// let embeddings = encoder.forward(&features, false);
 /// assert_eq!(embeddings.shape(), (4, 1536));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ImageEncoder {
     backbone: BackboneKind,
     feature_dim: usize,
     projection: Option<Linear>,
+}
+
+/// Checkpoint format: backbone kind, feature width and the (optional) FC
+/// projection weights.
+impl Serialize for ImageEncoder {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("backbone".to_string(), self.backbone.to_value()),
+            ("feature_dim".to_string(), self.feature_dim.to_value()),
+            ("projection".to_string(), self.projection.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ImageEncoder {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = de::expect_object(value, "ImageEncoder")?;
+        let backbone: BackboneKind = de::field(entries, "backbone", "ImageEncoder")?;
+        let feature_dim: usize = de::field(entries, "feature_dim", "ImageEncoder")?;
+        let projection: Option<Linear> = de::field(entries, "projection", "ImageEncoder")?;
+        if feature_dim == 0 {
+            return Err(
+                DeError::new("feature dimensionality must be positive").in_field("ImageEncoder")
+            );
+        }
+        if let Some(fc) = &projection {
+            if fc.in_features() != feature_dim {
+                return Err(DeError::new(format!(
+                    "projection expects {}-dimensional features, encoder declares {feature_dim}",
+                    fc.in_features()
+                ))
+                .in_field("ImageEncoder"));
+            }
+        }
+        Ok(Self {
+            backbone,
+            feature_dim,
+            projection,
+        })
+    }
 }
 
 impl ImageEncoder {

@@ -45,6 +45,7 @@
 #![warn(clippy::all)]
 
 pub mod attribute_encoder;
+pub mod checkpoint;
 pub mod config;
 pub mod eval;
 pub mod image_encoder;
@@ -56,10 +57,11 @@ pub mod train;
 pub use attribute_encoder::{
     AttributeEncoder, AttributeEncoderKind, HdcAttributeEncoder, MlpAttributeEncoder,
 };
+pub use checkpoint::{Checkpoint, CheckpointError, SchemaFingerprint, CHECKPOINT_FORMAT_VERSION};
 pub use config::{ModelConfig, TrainConfig};
 pub use eval::{evaluate_attribute_extraction, evaluate_zsc, AttributeExtractionReport, ZscReport};
 pub use image_encoder::ImageEncoder;
 pub use model::ZscModel;
 pub use params::ParameterBreakdown;
-pub use pipeline::{Pipeline, PipelineOutcome};
+pub use pipeline::{stratified_nozs_split, Pipeline, PipelineOutcome};
 pub use train::{AttributeExtractionTrainer, TrainingHistory, ZscTrainer};

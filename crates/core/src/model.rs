@@ -7,6 +7,7 @@ use crate::image_encoder::ImageEncoder;
 use dataset::AttributeSchema;
 use engine::{PackedClassMemory, Pool};
 use nn::{CosineSimilarity, ParamTensor, TemperatureScale};
+use serde::{de, DeError, Deserialize, Serialize, Value};
 use tensor::Matrix;
 
 /// A complete zero-shot classification model in the architecture of Fig. 1:
@@ -36,7 +37,7 @@ use tensor::Matrix;
 /// let logits = model.class_logits(&features, &class_attributes, false);
 /// assert_eq!(logits.shape(), (2, 5));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ZscModel {
     config: ModelConfig,
     image_encoder: ImageEncoder,
@@ -311,6 +312,89 @@ impl ZscModel {
     /// encoder for the trainers.
     pub fn image_encoder_mut(&mut self) -> &mut ImageEncoder {
         &mut self.image_encoder
+    }
+}
+
+/// Checkpoint format: configuration, both encoders, the phase-II dictionary
+/// and the temperature. The similarity kernel's activation cache and the
+/// inference thread pool are transient and are rebuilt on load.
+impl Serialize for ZscModel {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("config".to_string(), self.config.to_value()),
+            ("image_encoder".to_string(), self.image_encoder.to_value()),
+            (
+                "attribute_encoder".to_string(),
+                self.attribute_encoder.to_value(),
+            ),
+            (
+                "phase2_dictionary".to_string(),
+                self.phase2_dictionary.to_value(),
+            ),
+            ("temperature_k".to_string(), self.temperature().to_value()),
+            (
+                "temperature_learnable".to_string(),
+                self.temperature.is_learnable().to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for ZscModel {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = de::expect_object(value, "ZscModel")?;
+        let config: ModelConfig = de::field(entries, "config", "ZscModel")?;
+        let image_encoder: ImageEncoder = de::field(entries, "image_encoder", "ZscModel")?;
+        let attribute_encoder: AttributeEncoder =
+            de::field(entries, "attribute_encoder", "ZscModel")?;
+        let phase2_dictionary: Matrix = de::field(entries, "phase2_dictionary", "ZscModel")?;
+        let temperature_k: f32 = de::field(entries, "temperature_k", "ZscModel")?;
+        let temperature_learnable: bool = de::field(entries, "temperature_learnable", "ZscModel")?;
+        let type_err = |msg: String| DeError::new(msg).in_field("ZscModel");
+        let embedding_dim = image_encoder.embedding_dim();
+        if attribute_encoder.dim() != embedding_dim {
+            return Err(type_err(format!(
+                "attribute encoder dim {} does not match the image encoder's {embedding_dim}",
+                attribute_encoder.dim()
+            )));
+        }
+        if attribute_encoder.kind() != config.attribute_encoder {
+            return Err(type_err(format!(
+                "attribute encoder kind {} disagrees with the configuration's {}",
+                attribute_encoder.kind(),
+                config.attribute_encoder
+            )));
+        }
+        if config.use_projection != image_encoder.has_projection() {
+            return Err(type_err(
+                "projection flag disagrees between configuration and image encoder".to_string(),
+            ));
+        }
+        if phase2_dictionary.cols() != embedding_dim {
+            return Err(type_err(format!(
+                "phase-II dictionary width {} does not match embedding dim {embedding_dim}",
+                phase2_dictionary.cols()
+            )));
+        }
+        if !(temperature_k.is_finite() && temperature_k > 0.0) {
+            return Err(type_err(format!(
+                "temperature must be a positive finite value, got {temperature_k}"
+            )));
+        }
+        let temperature = if temperature_learnable {
+            TemperatureScale::new(temperature_k)
+        } else {
+            TemperatureScale::fixed(temperature_k)
+        };
+        Ok(Self {
+            config,
+            image_encoder,
+            attribute_encoder,
+            phase2_dictionary,
+            kernel: CosineSimilarity::new(),
+            temperature,
+            inference_pool: Pool::auto(),
+        })
     }
 }
 

@@ -81,9 +81,31 @@ impl Pipeline {
     /// For the zero-shot splits (`Zs`, `Validation`) the model trains on the
     /// split's training classes and is evaluated on the *disjoint* evaluation
     /// classes. For `NoZs` the instances of the (shared) classes are divided
-    /// 75/25 into train and test, matching the supervised protocol used by
+    /// 75/25 into train and test — stratified within each class, see
+    /// [`stratified_nozs_split`] — matching the supervised protocol used by
     /// the Table I baselines.
+    ///
+    /// This is a thin wrapper over [`Pipeline::run_returning_model`] that
+    /// drops the trained model.
     pub fn run(&self, data: &CubLikeDataset, split_kind: SplitKind, seed: u64) -> PipelineOutcome {
+        self.run_returning_model(data, split_kind, seed).0
+    }
+
+    /// Runs the pipeline and additionally returns the trained model (for
+    /// checkpointing, serving, or extra analyses).
+    ///
+    /// The returned model is the *exact* object that produced the outcome —
+    /// nothing is retrained, so its logits on the evaluation side reproduce
+    /// `outcome.zsc` bit for bit. (An earlier revision retrained a second
+    /// model here, which on the `NoZs` split trained on all instances of the
+    /// shared classes instead of the 75% partition and therefore returned a
+    /// model that did *not* match the reported outcome.)
+    pub fn run_returning_model(
+        &self,
+        data: &CubLikeDataset,
+        split_kind: SplitKind,
+        seed: u64,
+    ) -> (PipelineOutcome, ZscModel) {
         let split = data.split(split_kind);
         let model_config = self
             .model_config
@@ -109,19 +131,9 @@ impl Pipeline {
                     eval_attr,
                 )
             } else {
-                // noZS: split instances of the shared classes 75/25.
-                let indices = data.instance_indices(split.train_classes());
-                let (train_idx, eval_idx): (Vec<usize>, Vec<usize>) = indices
-                    .iter()
-                    .enumerate()
-                    .fold((Vec::new(), Vec::new()), |(mut tr, mut ev), (pos, &idx)| {
-                        if pos % 4 == 3 {
-                            ev.push(idx);
-                        } else {
-                            tr.push(idx);
-                        }
-                        (tr, ev)
-                    });
+                // noZS: split the instances of the shared classes 75/25,
+                // stratified within each class.
+                let (train_idx, eval_idx) = stratified_nozs_split(data, split.train_classes());
                 (
                     data.features().select_rows(&train_idx),
                     data.instances().labels(&train_idx),
@@ -156,51 +168,13 @@ impl Pipeline {
         let attribute_extraction =
             evaluate_attribute_extraction(&mut model, &eval_x, &eval_attr, data.schema());
         let params = ParameterBreakdown::of(&mut model);
-        PipelineOutcome {
+        let outcome = PipelineOutcome {
             zsc,
             attribute_extraction,
             params,
             phase2_history,
             phase3_history,
-        }
-    }
-
-    /// Runs the pipeline and additionally returns the trained model (for
-    /// callers that want to run extra analyses).
-    pub fn run_returning_model(
-        &self,
-        data: &CubLikeDataset,
-        split_kind: SplitKind,
-        seed: u64,
-    ) -> (PipelineOutcome, ZscModel) {
-        // A thin wrapper over `run` would retrain; instead rebuild the exact
-        // same computation while keeping the model.
-        let outcome = self.run(data, split_kind, seed);
-        let split = data.split(split_kind);
-        let model_config = self
-            .model_config
-            .with_seed(self.model_config.seed.wrapping_add(seed));
-        let train_config = self
-            .train_config
-            .with_seed(self.train_config.seed.wrapping_add(seed));
-        let mut model = ZscModel::new(&model_config, data.schema(), data.config().feature_dim);
-        let (train_x, train_labels) = data.features_and_labels(split.train_classes());
-        let (_, train_attr) = data.features_and_attributes(split.train_classes());
-        if self.run_phase2 && model.image_encoder().has_projection() {
-            let _ = AttributeExtractionTrainer::new(train_config).train(
-                &mut model,
-                &train_x,
-                &train_attr,
-            );
-        }
-        let train_local = CubLikeDataset::to_local_labels(&train_labels, split.train_classes());
-        let train_class_attr = data.class_attribute_matrix(split.train_classes());
-        let _ = ZscTrainer::new(train_config).train(
-            &mut model,
-            &train_x,
-            &train_local,
-            &train_class_attr,
-        );
+        };
         (outcome, model)
     }
 
@@ -225,6 +199,47 @@ impl Pipeline {
         }
         outcomes.iter().map(|o| o.zsc.top1).sum::<f32>() / outcomes.len() as f32
     }
+}
+
+/// The deterministic 75/25 instance split used by the `NoZs` protocol,
+/// stratified **within each class**: every class keeps every 4th of its own
+/// instances (per-class positions `3, 7, 11, …`) for evaluation, and a class
+/// with at least two instances but no such position contributes its last
+/// instance instead, so no class is left without evaluation coverage.
+///
+/// Returns `(train_indices, eval_indices)`, both in global instance order.
+///
+/// (An earlier revision assigned every 4th *globally enumerated* index to
+/// evaluation, which is not stratified: when `images_per_class % 4 != 0` the
+/// holdout drifted across class boundaries, giving classes uneven — possibly
+/// zero — evaluation coverage.)
+pub fn stratified_nozs_split(data: &CubLikeDataset, classes: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let indices = data.instance_indices(classes);
+    let labels = data.instances().labels(&indices);
+    // Count instances per class so the small-class fallback knows each
+    // class's last position up front.
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for &label in &labels {
+        *counts.entry(label).or_insert(0) += 1;
+    }
+    let mut positions: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    let mut train = Vec::with_capacity(indices.len());
+    let mut eval = Vec::with_capacity(indices.len() / 4 + counts.len());
+    for (&idx, &label) in indices.iter().zip(&labels) {
+        let n = counts[&label];
+        let pos = positions.entry(label).or_insert(0);
+        let regular_pick = *pos % 4 == 3;
+        // Classes too small for a regular pick (2 or 3 instances) hold out
+        // their last instance; singleton classes must stay in training.
+        let fallback_pick = (2..4).contains(&n) && *pos == n - 1;
+        if regular_pick || fallback_pick {
+            eval.push(idx);
+        } else {
+            train.push(idx);
+        }
+        *pos += 1;
+    }
+    (train, eval)
 }
 
 /// Splits a feature/label set into the matrices needed to call the trainers
@@ -282,13 +297,79 @@ mod tests {
     #[test]
     fn nozs_pipeline_splits_instances() {
         let data = CubLikeDataset::generate(&DatasetConfig::tiny(22));
-        let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(2));
+        let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(8));
         let outcome = pipeline.run(&data, SplitKind::NoZs, 0);
         let split = data.split(SplitKind::NoZs);
-        // A quarter of the shared-class instances are held out.
+        let (train_idx, eval_idx) = stratified_nozs_split(&data, split.train_classes());
         let total = data.instance_indices(split.train_classes()).len();
-        assert_eq!(outcome.zsc.num_samples, total / 4);
+        assert_eq!(train_idx.len() + eval_idx.len(), total);
+        assert_eq!(outcome.zsc.num_samples, eval_idx.len());
+        // 6 images per class → every class holds out exactly one instance.
+        assert_eq!(eval_idx.len(), split.train_classes().len());
         assert!(outcome.zsc.top1 > 0.0);
+    }
+
+    /// Pins the stratified 75/25 rule: every class is held out proportionally
+    /// (per-class positions `3, 7, 11, …`), and classes with 2–3 instances
+    /// still contribute exactly one evaluation sample instead of zero.
+    #[test]
+    fn nozs_split_is_stratified_per_class() {
+        for (images_per_class, expected_eval_per_class) in
+            [(2usize, 1usize), (3, 1), (5, 1), (8, 2)]
+        {
+            let mut config = DatasetConfig::tiny(26);
+            config.images_per_class = images_per_class;
+            let data = CubLikeDataset::generate(&config);
+            let split = data.split(SplitKind::NoZs);
+            let (train_idx, eval_idx) = stratified_nozs_split(&data, split.train_classes());
+
+            // The two sides partition the class's instances.
+            let mut all: Vec<usize> = train_idx.iter().chain(&eval_idx).copied().collect();
+            all.sort_unstable();
+            let mut expected = data.instance_indices(split.train_classes());
+            expected.sort_unstable();
+            assert_eq!(all, expected, "images_per_class={images_per_class}");
+
+            // Per-class evaluation coverage is uniform and never zero.
+            let eval_labels = data.instances().labels(&eval_idx);
+            for &class in split.train_classes() {
+                let count = eval_labels.iter().filter(|&&l| l == class).count();
+                assert_eq!(
+                    count, expected_eval_per_class,
+                    "class {class} with {images_per_class} images"
+                );
+            }
+        }
+    }
+
+    /// Regression test for the `run_returning_model` bug: the returned model
+    /// must be the exact model that produced the outcome. Re-evaluating it on
+    /// the reconstructed evaluation partition must reproduce `outcome.zsc`
+    /// (top-1 and all) *exactly* — the old implementation retrained from
+    /// scratch and, on `NoZs`, on the wrong (unpartitioned) training set.
+    #[test]
+    fn returned_model_reproduces_outcome_exactly() {
+        let data = CubLikeDataset::generate(&DatasetConfig::tiny(27));
+        let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(2));
+        for split_kind in [SplitKind::NoZs, SplitKind::Zs] {
+            let (outcome, mut model) = pipeline.run_returning_model(&data, split_kind, 3);
+            let split = data.split(split_kind);
+            let (eval_x, eval_labels) = if split.is_zero_shot() {
+                data.features_and_labels(split.eval_classes())
+            } else {
+                let (_, eval_idx) = stratified_nozs_split(&data, split.train_classes());
+                (
+                    data.features().select_rows(&eval_idx),
+                    data.instances().labels(&eval_idx),
+                )
+            };
+            let eval_local = CubLikeDataset::to_local_labels(&eval_labels, split.eval_classes());
+            let eval_class_attr = data.class_attribute_matrix(split.eval_classes());
+            let report =
+                crate::eval::evaluate_zsc(&mut model, &eval_x, &eval_local, &eval_class_attr);
+            assert_eq!(report, outcome.zsc, "{split_kind}");
+            assert_eq!(report.top1.to_bits(), outcome.zsc.top1.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Property tests for the checkpoint subsystem: save → load must be
+//! bit-identical for the model's entire inference surface across tiny
+//! configurations, and malformed documents must be rejected with typed
+//! errors, never panics.
+
+use dataset::{AttributeSchema, CubLikeDataset, DatasetConfig, SplitKind};
+use hdc_zsc::{
+    AttributeEncoderKind, Checkpoint, CheckpointError, ModelConfig, Pipeline, TrainConfig, ZscModel,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::Matrix;
+
+fn schema() -> AttributeSchema {
+    AttributeSchema::cub200()
+}
+
+/// Builds a model across the configuration axes the checkpoint must cover:
+/// both encoder kinds, with/without the FC projection, varying dims.
+fn build_model(
+    embedding_dim: usize,
+    feature_dim: usize,
+    use_projection: bool,
+    mlp_encoder: bool,
+    seed: u64,
+) -> ZscModel {
+    let kind = if mlp_encoder {
+        AttributeEncoderKind::TrainableMlp
+    } else {
+        AttributeEncoderKind::Hdc
+    };
+    let config = ModelConfig::tiny()
+        .with_embedding_dim(embedding_dim)
+        .with_projection(use_projection)
+        .with_attribute_encoder(kind)
+        .with_seed(seed);
+    ZscModel::new(&config, &schema(), feature_dim)
+}
+
+proptest! {
+    /// save → load → `class_logits` / `attribute_logits` bit-identical to
+    /// the original model, across tiny configs.
+    #[test]
+    fn round_trip_is_bit_identical(
+        embedding_dim in 8usize..48,
+        feature_dim in 4usize..32,
+        use_projection in proptest::arbitrary::any::<bool>(),
+        mlp_encoder in proptest::arbitrary::any::<bool>(),
+        seed in 0u64..1_000,
+        batch in 1usize..5,
+    ) {
+        let s = schema();
+        let mut model =
+            build_model(embedding_dim, feature_dim, use_projection, mlp_encoder, seed);
+        let json = Checkpoint::capture(&model, &s).to_json();
+        let mut restored = Checkpoint::from_json_str(&json)
+            .expect("round trip parses")
+            .into_model(&s)
+            .expect("schema matches");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let features = Matrix::random_uniform(batch, feature_dim, 1.0, &mut rng);
+        let class_attributes = Matrix::random_uniform(5, 312, 0.5, &mut rng).map(f32::abs);
+        let original = model.class_logits(&features, &class_attributes, false);
+        let loaded = restored.class_logits(&features, &class_attributes, false);
+        prop_assert_eq!(original.as_slice(), loaded.as_slice());
+        let original_attr = model.attribute_logits(&features, false);
+        let loaded_attr = restored.attribute_logits(&features, false);
+        prop_assert_eq!(original_attr.as_slice(), loaded_attr.as_slice());
+    }
+
+    /// Truncating a checkpoint document anywhere must produce a typed error
+    /// (never a panic, never a silently-accepted document).
+    #[test]
+    fn truncated_documents_are_rejected(
+        cut_per_mille in 0usize..1000,
+        seed in 0u64..100,
+    ) {
+        let s = schema();
+        let model = build_model(12, 6, true, false, seed);
+        let json = Checkpoint::capture(&model, &s).to_json();
+        let cut = json.len() * cut_per_mille / 1000;
+        // Cut on a char boundary.
+        let mut end = cut.min(json.len().saturating_sub(1));
+        while !json.is_char_boundary(end) {
+            end -= 1;
+        }
+        let truncated = &json[..end];
+        match Checkpoint::from_json_str(truncated) {
+            Err(CheckpointError::Malformed(_)) => {}
+            Err(other) => prop_assert!(false, "expected Malformed, got {other:?}"),
+            Ok(_) => prop_assert!(false, "truncated document was accepted"),
+        }
+    }
+}
+
+/// A *trained* model round-trips too: the pipeline's returned model, saved
+/// and reloaded, reproduces the reported zero-shot evaluation exactly.
+#[test]
+fn trained_model_round_trip_reproduces_outcome() {
+    let data = CubLikeDataset::generate(&DatasetConfig::tiny(31));
+    let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(2));
+    let (outcome, model) = pipeline.run_returning_model(&data, SplitKind::Zs, 1);
+    let json = Checkpoint::capture(&model, data.schema()).to_json();
+    drop(model);
+    let mut restored = Checkpoint::from_json_str(&json)
+        .expect("parses")
+        .into_model(data.schema())
+        .expect("schema matches");
+    let split = data.split(SplitKind::Zs);
+    let (eval_x, eval_labels) = data.features_and_labels(split.eval_classes());
+    let eval_local = CubLikeDataset::to_local_labels(&eval_labels, split.eval_classes());
+    let eval_class_attr = data.class_attribute_matrix(split.eval_classes());
+    let report = hdc_zsc::evaluate_zsc(&mut restored, &eval_x, &eval_local, &eval_class_attr);
+    assert_eq!(report, outcome.zsc);
+}
+
+/// Corruptions that keep the JSON well-formed but break an invariant must
+/// surface as typed errors naming the broken part.
+#[test]
+fn structurally_corrupted_documents_are_rejected_with_typed_errors() {
+    let s = schema();
+    let model = build_model(16, 8, true, false, 3);
+    let json = Checkpoint::capture(&model, &s).to_json();
+
+    // Not JSON at all.
+    assert!(matches!(
+        Checkpoint::from_json_str("not json {"),
+        Err(CheckpointError::Malformed(_))
+    ));
+    // Valid JSON, wrong shape entirely.
+    assert!(matches!(
+        Checkpoint::from_json_str("[1, 2, 3]"),
+        Err(CheckpointError::Malformed(_))
+    ));
+    // Missing version field.
+    let no_version = json.replacen("\"format_version\": 1,", "", 1);
+    assert!(matches!(
+        Checkpoint::from_json_str(&no_version),
+        Err(CheckpointError::Malformed(_))
+    ));
+    // Future version: rejected before the payload is even decoded.
+    let future = json.replacen("\"format_version\": 1", "\"format_version\": 7", 1);
+    assert!(matches!(
+        Checkpoint::from_json_str(&future),
+        Err(CheckpointError::UnsupportedVersion { found: 7, .. })
+    ));
+    // A dictionary entry outside ±1 violates the HDC encoder invariant.
+    let bad_dict = json.replacen("\"dictionary\": {", "\"dictionary_gone\": {", 1);
+    let err = Checkpoint::from_json_str(&bad_dict).unwrap_err();
+    let message = err.to_string();
+    assert!(
+        matches!(err, CheckpointError::Malformed(_)) && message.contains("dictionary"),
+        "unexpected error: {message}"
+    );
+    // Envelope/payload disagreement on the feature width.
+    let bad_width = json.replacen("\"feature_dim\": 8", "\"feature_dim\": 9", 1);
+    assert!(matches!(
+        Checkpoint::from_json_str(&bad_width),
+        Err(CheckpointError::DimensionMismatch { .. })
+    ));
+    // Negative temperature.
+    let value_of = |text: &str, key: &str| -> String {
+        let start = text.find(key).expect("key present") + key.len();
+        text[start..]
+            .chars()
+            .take_while(|c| !c.is_whitespace() && *c != ',' && *c != '}')
+            .collect()
+    };
+    let k = value_of(&json, "\"temperature_k\": ");
+    let bad_temp = json.replacen(
+        &format!("\"temperature_k\": {k}"),
+        "\"temperature_k\": -0.5",
+        1,
+    );
+    assert!(matches!(
+        Checkpoint::from_json_str(&bad_temp),
+        Err(CheckpointError::Malformed(_))
+    ));
+
+    // The untouched document still parses (guards against the corruptions
+    // above silently not applying).
+    assert!(Checkpoint::from_json_str(&json).is_ok());
+}
+
+/// An *internally consistent* attribute encoder whose α disagrees with the
+/// envelope must still be rejected with a typed error — not accepted and
+/// left to panic at the first query.
+#[test]
+fn encoder_attribute_count_mismatch_is_rejected() {
+    use serde::Value;
+
+    fn entry_mut<'v>(value: &'v mut Value, key: &str) -> &'v mut Value {
+        let Value::Object(entries) = value else {
+            panic!("expected an object while looking for `{key}`");
+        };
+        &mut entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("missing key `{key}`"))
+            .1
+    }
+
+    let config = ModelConfig::tiny()
+        .with_attribute_encoder(AttributeEncoderKind::TrainableMlp)
+        .with_seed(4);
+    let cub = schema();
+    let full = ZscModel::new(&config, &cub, 8);
+    // Same configuration, but an attribute space of α = 12 instead of 312.
+    let small_schema = AttributeSchema::synthetic(4, 3);
+    let small = ZscModel::new(&config, &small_schema, 8);
+
+    let mut doc = serde_json::parse_value(&Checkpoint::capture(&full, &cub).to_json())
+        .expect("checkpoint JSON parses");
+    let small_doc = serde_json::parse_value(&Checkpoint::capture(&small, &small_schema).to_json())
+        .expect("checkpoint JSON parses");
+    // Splice the α = 12 encoder (valid on its own) into the α = 312
+    // envelope; everything else — fingerprint, phase-II dictionary — still
+    // says 312.
+    let small_encoder = small_doc
+        .get("model")
+        .and_then(|m| m.get("attribute_encoder"))
+        .expect("encoder subtree present")
+        .clone();
+    *entry_mut(entry_mut(&mut doc, "model"), "attribute_encoder") = small_encoder;
+
+    let tampered = serde_json::to_string(&doc).expect("render tampered document");
+    match Checkpoint::from_json_str(&tampered) {
+        Err(CheckpointError::DimensionMismatch {
+            what,
+            expected: 312,
+            found: 12,
+        }) => assert!(what.contains("encoder")),
+        other => panic!("expected an encoder-α DimensionMismatch, got {other:?}"),
+    }
+}

@@ -19,7 +19,7 @@
 //! `dim < 2^24`, and ties can be resolved on the integer Hamming distance
 //! with no float comparisons.
 
-use serde::{Deserialize, Serialize};
+use serde::{de, DeError, Deserialize, Serialize, Value};
 use tensor::Matrix;
 
 /// Number of `u64` words needed for one `dim`-bit row.
@@ -125,12 +125,57 @@ const WORD_STRIP: usize = 256;
 /// assert_eq!(memory.label(index), "up");
 /// assert_eq!(sim, 0.5);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct PackedClassMemory {
     dim: usize,
     words_per_row: usize,
     labels: Vec<String>,
     words: Vec<u64>,
+}
+
+/// Hand-written (instead of derived) so documents whose word matrix
+/// disagrees with the declared shape — or that smuggle set bits past `dim`,
+/// which would skew every popcount — are rejected with a typed error.
+impl Deserialize for PackedClassMemory {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = de::expect_object(value, "PackedClassMemory")?;
+        let dim: usize = de::field(entries, "dim", "PackedClassMemory")?;
+        let wpr: usize = de::field(entries, "words_per_row", "PackedClassMemory")?;
+        let labels: Vec<String> = de::field(entries, "labels", "PackedClassMemory")?;
+        let words: Vec<u64> = de::field(entries, "words", "PackedClassMemory")?;
+        let type_err = |msg: String| DeError::new(msg).in_field("PackedClassMemory");
+        if dim == 0 && !(wpr == 0 && labels.is_empty() && words.is_empty()) {
+            return Err(type_err("non-empty memory with zero dimensionality".into()));
+        }
+        if dim > 0 && wpr != words_per_row(dim) {
+            return Err(type_err(format!(
+                "words_per_row {wpr} does not match dimensionality {dim}"
+            )));
+        }
+        if words.len() != labels.len() * wpr {
+            return Err(type_err(format!(
+                "{} words do not match {} rows of {wpr} words",
+                words.len(),
+                labels.len()
+            )));
+        }
+        let rem = dim % 64;
+        if rem != 0 && wpr > 0 {
+            for (row, chunk) in words.chunks_exact(wpr).enumerate() {
+                if chunk[wpr - 1] >> rem != 0 {
+                    return Err(type_err(format!(
+                        "row {row} has set bits beyond the declared dimensionality"
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            dim,
+            words_per_row: wpr,
+            labels,
+            words,
+        })
+    }
 }
 
 impl PackedClassMemory {

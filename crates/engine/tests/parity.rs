@@ -199,6 +199,40 @@ proptest! {
         }
     }
 
+    /// `Matrix::topk_rows` sits downstream of every engine scoring path
+    /// (`metrics::topk_accuracy` consumes logit matrices through it). Its
+    /// selection-based implementation must match the full-sort reference —
+    /// descending by value, ties to the smaller index — including on logit
+    /// matrices that are full of exact ties (quantised values).
+    #[test]
+    fn topk_rows_matches_full_sort_reference(
+        rows in 1usize..12,
+        cols in 1usize..40,
+        k in 0usize..45,
+        levels in 1u32..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Quantise to a few levels so duplicate values (ties) are common.
+        let m = tensor::Matrix::random_uniform(rows, cols, 1.0, &mut rng)
+            .map(|x| (x * levels as f32).round() / levels as f32);
+        let got = m.topk_rows(k);
+        for (r, got_row) in got.iter().enumerate() {
+            let row = m.row(r);
+            let mut reference: Vec<usize> = (0..cols).collect();
+            // Stable sort on value only: equal values keep ascending index
+            // order, the documented tie rule.
+            reference.sort_by(|&a, &b| {
+                row[b].partial_cmp(&row[a]).expect("finite values")
+            });
+            reference.truncate(k);
+            prop_assert_eq!(
+                got_row, &reference,
+                "rows={} cols={} k={} r={}", rows, cols, k, r
+            );
+        }
+    }
+
     #[test]
     fn packed_roundtrip_preserves_similarity_identity(
         dim in 1usize..600,

@@ -6,7 +6,7 @@
 
 use crate::{BipolarHypervector, HdcError};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{de, DeError, Deserialize, Serialize, Value};
 
 /// A dense binary hypervector packed into `u64` words.
 ///
@@ -28,10 +28,39 @@ use serde::{Deserialize, Serialize};
 /// // Binding is invertible: (a ⊕ b) ⊕ b = a.
 /// assert_eq!(a.bind(&b).bind(&b), a);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
 pub struct BinaryHypervector {
     dim: usize,
     words: Vec<u64>,
+}
+
+/// Hand-written (instead of derived) so documents whose word count disagrees
+/// with the declared dimensionality, or that smuggle set bits past `dim`
+/// (which would corrupt every popcount), are rejected with a typed error.
+impl Deserialize for BinaryHypervector {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = de::expect_object(value, "BinaryHypervector")?;
+        let dim: usize = de::field(entries, "dim", "BinaryHypervector")?;
+        let words: Vec<u64> = de::field(entries, "words", "BinaryHypervector")?;
+        if dim == 0 {
+            return Err(
+                DeError::new("dimensionality must be positive").in_field("BinaryHypervector")
+            );
+        }
+        if words.len() != dim.div_ceil(64) {
+            return Err(DeError::new(format!(
+                "{} words do not match dimensionality {dim}",
+                words.len()
+            ))
+            .in_field("BinaryHypervector"));
+        }
+        let rem = dim % 64;
+        if rem != 0 && words.last().is_some_and(|w| w >> rem != 0) {
+            return Err(DeError::new("set bits beyond the declared dimensionality")
+                .in_field("BinaryHypervector"));
+        }
+        Ok(Self { dim, words })
+    }
 }
 
 impl BinaryHypervector {

@@ -23,7 +23,7 @@
 
 use crate::{BipolarHypervector, HdcError};
 use engine::{pack_signs, PackedClassMemory};
-use serde::{Deserialize, Serialize};
+use serde::{de, DeError, Deserialize, Serialize, Value};
 
 /// A labelled associative memory of bipolar prototype hypervectors.
 ///
@@ -41,15 +41,57 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(label, "duck");
 /// assert!((sim - 1.0).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ItemMemory {
     dim: usize,
     prototypes: Vec<BipolarHypervector>,
     // Invariant: `packed` mirrors `prototypes` row-for-row (labels live in
     // `packed`); every mutation goes through `try_insert`, which updates
-    // both. The packed mirror is derived state — reconstruct it from the
-    // prototypes if a real (non-stub) deserializer is ever wired up.
+    // both. The packed mirror is derived state — the hand-written
+    // `Deserialize` below rebuilds it from the prototypes instead of
+    // persisting it.
     packed: PackedClassMemory,
+}
+
+/// Checkpoint format: dimensionality plus the labelled prototypes. The
+/// engine's [`PackedClassMemory`] mirror is derived state and is rebuilt on
+/// load rather than persisted.
+impl Serialize for ItemMemory {
+    fn to_value(&self) -> Value {
+        let labels: Vec<&str> = self.packed.labels().collect();
+        Value::Object(vec![
+            ("dim".to_string(), self.dim.to_value()),
+            ("labels".to_string(), labels.to_value()),
+            ("prototypes".to_string(), self.prototypes.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ItemMemory {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = de::expect_object(value, "ItemMemory")?;
+        let dim: usize = de::field(entries, "dim", "ItemMemory")?;
+        let labels: Vec<String> = de::field(entries, "labels", "ItemMemory")?;
+        let prototypes: Vec<BipolarHypervector> = de::field(entries, "prototypes", "ItemMemory")?;
+        if dim == 0 {
+            return Err(DeError::new("dimensionality must be positive").in_field("ItemMemory"));
+        }
+        if labels.len() != prototypes.len() {
+            return Err(DeError::new(format!(
+                "{} labels but {} prototypes",
+                labels.len(),
+                prototypes.len()
+            ))
+            .in_field("ItemMemory"));
+        }
+        let mut memory = ItemMemory::new(dim);
+        for (label, hv) in labels.into_iter().zip(prototypes) {
+            memory
+                .try_insert(label, hv)
+                .map_err(|e| DeError::new(e.to_string()).in_field("ItemMemory"))?;
+        }
+        Ok(memory)
+    }
 }
 
 impl ItemMemory {
@@ -333,6 +375,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Serialization must not persist the packed mirror: it is rebuilt on
+    /// load, and lookups through it stay bit-identical after a round trip.
+    #[test]
+    fn serde_round_trip_rebuilds_packed_mirror() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let dim = 130; // ragged on purpose
+        let mut mem = ItemMemory::new(dim);
+        for i in 0..9 {
+            mem.insert(format!("c{i}"), BipolarHypervector::random(dim, &mut rng));
+        }
+        let json = serde_json::to_string(&mem).expect("serialize");
+        assert!(
+            !json.contains("\"packed\""),
+            "packed mirror must not be persisted: {json}"
+        );
+        let restored: ItemMemory = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(restored.len(), mem.len());
+        assert_eq!(restored.dim(), mem.dim());
+        assert_eq!(restored.packed(), mem.packed());
+        for _ in 0..5 {
+            let query = BipolarHypervector::random(dim, &mut rng);
+            assert_eq!(restored.nearest(&query), mem.nearest(&query));
+            assert_eq!(restored.top_k(&query, 4), mem.top_k(&query, 4));
+        }
+    }
+
+    /// Corrupted documents fail with typed errors instead of breaking the
+    /// mirror invariant.
+    #[test]
+    fn serde_rejects_inconsistent_documents() {
+        let mut mem = ItemMemory::new(8);
+        mem.insert("a", BipolarHypervector::ones(8));
+        let json = serde_json::to_string(&mem).expect("serialize");
+        // Label/prototype count mismatch.
+        let bad = json.replace("[\"a\"]", "[\"a\",\"b\"]");
+        assert_ne!(bad, json);
+        assert!(serde_json::from_str::<ItemMemory>(&bad).is_err());
+        // A prototype entry outside ±1.
+        let bad = json.replace("1,1,1,1,1,1,1,1", "1,1,1,1,1,1,1,3");
+        assert_ne!(bad, json);
+        assert!(serde_json::from_str::<ItemMemory>(&bad).is_err());
+        // Zero dimensionality.
+        let bad = json.replace("\"dim\":8", "\"dim\":0");
+        assert_ne!(bad, json);
+        assert!(serde_json::from_str::<ItemMemory>(&bad).is_err());
     }
 
     #[test]

@@ -26,11 +26,13 @@
 pub mod aggregate;
 pub mod average_precision;
 pub mod confusion;
+pub mod percentile;
 pub mod topk;
 pub mod wmap;
 
 pub use aggregate::SeedAggregate;
 pub use average_precision::{average_precision, mean_average_precision};
 pub use confusion::ConfusionMatrix;
+pub use percentile::nearest_rank;
 pub use topk::{top1_accuracy, topk_accuracy};
 pub use wmap::{weighted_average_precision, GroupMetrics};

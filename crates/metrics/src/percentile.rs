@@ -1,0 +1,87 @@
+//! Latency percentiles with the standard (ceiling) nearest-rank definition.
+//!
+//! Shared by the serving harnesses (`serve_sim`, `zsc_serve`): the p-th
+//! percentile of `n` sorted samples is the sample at 1-based rank
+//! `⌈p · n⌉`. An earlier `serve_sim` revision used `round(p · (n − 1))`,
+//! which for small sample counts rounds *down* past the true rank and
+//! understates tail percentiles such as p99.
+
+/// The `p`-th percentile (`0 < p ≤ 1`) of an ascending-sorted sample set,
+/// using the ceiling nearest-rank definition `⌈p · n⌉`.
+///
+/// Returns `0.0` for an empty sample set.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1]` or the samples are not sorted
+/// ascending.
+///
+/// # Example
+///
+/// ```
+/// use metrics::percentile::nearest_rank;
+///
+/// let sorted = [10.0, 20.0, 30.0, 40.0, 50.0];
+/// assert_eq!(nearest_rank(&sorted, 0.50), 30.0); // rank ⌈2.5⌉ = 3
+/// assert_eq!(nearest_rank(&sorted, 0.99), 50.0); // rank ⌈4.95⌉ = 5
+/// ```
+pub fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "percentile must be in (0, 1], got {p}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "samples must be sorted ascending"
+    );
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_computed_ranks() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        // rank(0.2 · 5) = ⌈1⌉ = 1 → first sample.
+        assert_eq!(nearest_rank(&sorted, 0.20), 1.0);
+        // rank(0.5 · 5) = ⌈2.5⌉ = 3 → third sample.
+        assert_eq!(nearest_rank(&sorted, 0.50), 3.0);
+        // rank(0.8 · 5) = ⌈4⌉ = 4 → fourth sample.
+        assert_eq!(nearest_rank(&sorted, 0.80), 4.0);
+        // rank(0.81 · 5) = ⌈4.05⌉ = 5 → fifth sample.
+        assert_eq!(nearest_rank(&sorted, 0.81), 5.0);
+        assert_eq!(nearest_rank(&sorted, 1.0), 5.0);
+    }
+
+    /// The case the old `round(p · (n − 1))` formula got wrong: with 10
+    /// samples, p99 must be the maximum (rank ⌈9.9⌉ = 10), and p50 must be
+    /// the 5th sample (rank ⌈5⌉ = 5), not the 6th that midpoint
+    /// interpolation-style indices produce.
+    #[test]
+    fn small_sample_tails_are_not_understated() {
+        let sorted: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(nearest_rank(&sorted, 0.99), 10.0);
+        assert_eq!(nearest_rank(&sorted, 0.95), 10.0);
+        assert_eq!(nearest_rank(&sorted, 0.50), 5.0);
+        // Four samples: the old formula put p50 at round(1.5) = index 2
+        // (third sample); the nearest-rank definition takes rank 2.
+        let four = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(nearest_rank(&four, 0.50), 2.0);
+    }
+
+    #[test]
+    fn single_sample_and_empty() {
+        assert_eq!(nearest_rank(&[7.5], 0.01), 7.5);
+        assert_eq!(nearest_rank(&[7.5], 1.0), 7.5);
+        assert_eq!(nearest_rank(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in (0, 1]")]
+    fn rejects_out_of_range_percentile() {
+        let _ = nearest_rank(&[1.0], 0.0);
+    }
+}

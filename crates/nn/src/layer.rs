@@ -3,6 +3,7 @@
 use crate::init::Init;
 use crate::param::ParamTensor;
 use rand::Rng;
+use serde::{de, DeError, Deserialize, Serialize, Value};
 use tensor::Matrix;
 
 /// A differentiable layer operating on batched row-major inputs
@@ -135,6 +136,38 @@ impl Linear {
     }
 }
 
+/// Checkpoint format: only the weight and bias *values* are persisted.
+/// Gradient accumulators and the forward activation cache are transient
+/// training state and are rebuilt (zeroed / empty) on load.
+impl Serialize for Linear {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("weight".to_string(), self.weight.values.to_value()),
+            ("bias".to_string(), self.bias.values.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Linear {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = de::expect_object(value, "Linear")?;
+        let weight: Matrix = de::field(entries, "weight", "Linear")?;
+        let bias: Matrix = de::field(entries, "bias", "Linear")?;
+        if bias.rows() != 1 || bias.cols() != weight.cols() {
+            return Err(DeError::new(format!(
+                "bias shape {:?} does not match weight shape {:?}",
+                bias.shape(),
+                weight.shape()
+            ))
+            .in_field("Linear"));
+        }
+        if weight.rows() == 0 || weight.cols() == 0 {
+            return Err(DeError::new("layer dimensions must be positive").in_field("Linear"));
+        }
+        Ok(Self::from_parts(weight, bias))
+    }
+}
+
 impl Layer for Linear {
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
         assert_eq!(
@@ -177,7 +210,7 @@ impl Layer for Linear {
 }
 
 /// Supported pointwise non-linearities.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ActivationKind {
     /// Rectified linear unit `max(0, x)`.
     Relu,
@@ -326,9 +359,16 @@ impl Layer for Sequential {
 /// let out = mlp.forward(&Matrix::ones(3, 312), false);
 /// assert_eq!(out.shape(), (3, 1536));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Mlp {
-    inner: Sequential,
+    /// The linear layers, one per consecutive `dims` pair. Stored concretely
+    /// (not behind `dyn Layer`) so checkpointing can reach the weights
+    /// through `&self`.
+    layers: Vec<Linear>,
+    /// One activation between each pair of consecutive linear layers
+    /// (`layers.len() - 1` of them); the output layer is purely linear.
+    hidden_activations: Vec<Activation>,
+    activation: ActivationKind,
     dims: Vec<usize>,
 }
 
@@ -346,20 +386,23 @@ impl Mlp {
             "an MLP needs at least input and output widths"
         );
         assert!(dims.iter().all(|&d| d > 0), "layer widths must be positive");
-        let mut inner = Sequential::new();
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        let mut hidden_activations = Vec::with_capacity(dims.len() - 2);
         for i in 0..dims.len() - 1 {
             let init = if i + 2 == dims.len() {
                 Init::XavierUniform
             } else {
                 Init::KaimingUniform
             };
-            inner = inner.push(Linear::new(dims[i], dims[i + 1], init, rng));
+            layers.push(Linear::new(dims[i], dims[i + 1], init, rng));
             if i + 2 != dims.len() {
-                inner = inner.push(Activation::new(activation));
+                hidden_activations.push(Activation::new(activation));
             }
         }
         Self {
-            inner,
+            layers,
+            hidden_activations,
+            activation,
             dims: dims.to_vec(),
         }
     }
@@ -368,19 +411,100 @@ impl Mlp {
     pub fn dims(&self) -> &[usize] {
         &self.dims
     }
+
+    /// The shared hidden activation kind.
+    pub fn activation(&self) -> ActivationKind {
+        self.activation
+    }
+
+    /// The linear layers in forward order (used by checkpointing).
+    pub fn linear_layers(&self) -> &[Linear] {
+        &self.layers
+    }
 }
 
 impl Layer for Mlp {
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
-        self.inner.forward(input, train)
+        let mut current = input.clone();
+        for i in 0..self.layers.len() {
+            current = self.layers[i].forward(&current, train);
+            if let Some(act) = self.hidden_activations.get_mut(i) {
+                current = act.forward(&current, train);
+            }
+        }
+        current
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        self.inner.backward(grad_output)
+        let mut grad = grad_output.clone();
+        for i in (0..self.layers.len()).rev() {
+            if let Some(act) = self.hidden_activations.get_mut(i) {
+                grad = act.backward(&grad);
+            }
+            grad = self.layers[i].backward(&grad);
+        }
+        grad
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut ParamTensor)) {
-        self.inner.visit_params(f);
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+/// Checkpoint format: widths, activation kind and the per-layer weights.
+impl Serialize for Mlp {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("dims".to_string(), self.dims.to_value()),
+            ("activation".to_string(), self.activation.to_value()),
+            ("layers".to_string(), self.layers.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Mlp {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = de::expect_object(value, "Mlp")?;
+        let dims: Vec<usize> = de::field(entries, "dims", "Mlp")?;
+        let activation: ActivationKind = de::field(entries, "activation", "Mlp")?;
+        let layers: Vec<Linear> = de::field(entries, "layers", "Mlp")?;
+        if dims.len() < 2 || dims.contains(&0) {
+            return Err(
+                DeError::new("MLP widths must be at least two positive dims").in_field("Mlp"),
+            );
+        }
+        if layers.len() != dims.len() - 1 {
+            return Err(DeError::new(format!(
+                "expected {} layers for {} widths, got {}",
+                dims.len() - 1,
+                dims.len(),
+                layers.len()
+            ))
+            .in_field("Mlp"));
+        }
+        for (i, layer) in layers.iter().enumerate() {
+            if layer.in_features() != dims[i] || layer.out_features() != dims[i + 1] {
+                return Err(DeError::new(format!(
+                    "layer {i} maps {}→{}, expected {}→{}",
+                    layer.in_features(),
+                    layer.out_features(),
+                    dims[i],
+                    dims[i + 1]
+                ))
+                .in_field("Mlp"));
+            }
+        }
+        let hidden_activations = (0..layers.len().saturating_sub(1))
+            .map(|_| Activation::new(activation))
+            .collect();
+        Ok(Self {
+            layers,
+            hidden_activations,
+            activation,
+            dims,
+        })
     }
 }
 

@@ -1,0 +1,355 @@
+//! End-to-end train-once / serve-many driver.
+//!
+//! Exercises the full deployment lifecycle on a synthetic CUB-like dataset:
+//!
+//! 1. **train** — `Pipeline::run_returning_model` (the returned model is the
+//!    exact model behind the reported outcome);
+//! 2. **save** — `Checkpoint::save_json`;
+//! 3. **load** — `Checkpoint::load_json` into a fresh model object;
+//! 4. **serve** — a [`serve::QueryServer`] answers a simulated traffic mix
+//!    (several caller threads, mixed single queries and small batches).
+//!
+//! Every served top-1 is cross-checked against direct in-process scoring of
+//! the loaded model — they must be identical — and the output is a single
+//! JSON object on stdout with the same per-path stats shape as `serve_sim`
+//! (queries / elapsed_s / qps / p50_us / p95_us / p99_us, via the shared
+//! ceiling nearest-rank percentile helper).
+//!
+//! ```text
+//! zsc_serve [--classes N] [--images N] [--feature-dim N] [--epochs N]
+//!           [--queries N] [--callers N] [--max-batch N] [--max-wait-us N]
+//!           [--threads N] [--top-k K] [--seed N] [--checkpoint PATH]
+//!           [--quick] [--json]
+//! ```
+
+use dataset::{CubLikeDataset, DatasetConfig, SplitKind};
+use engine::pack_float_signs;
+use hdc_zsc::{Checkpoint, ModelConfig, Pipeline, TrainConfig};
+use serve::{QueryServer, ScoredLabel, ServerConfig};
+use std::sync::Mutex;
+use std::time::Instant;
+use tensor::Matrix;
+
+/// Workload configuration parsed from the command line.
+#[derive(Debug, Clone)]
+struct Config {
+    classes: usize,
+    images: usize,
+    feature_dim: usize,
+    epochs: usize,
+    queries: usize,
+    callers: usize,
+    max_batch: usize,
+    max_wait_us: u64,
+    threads: usize,
+    top_k: usize,
+    seed: u64,
+    checkpoint: std::path::PathBuf,
+    json: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            classes: 20,
+            images: 8,
+            feature_dim: 64,
+            epochs: 4,
+            queries: 2048,
+            callers: 4,
+            max_batch: 64,
+            max_wait_us: 200,
+            threads: engine::Pool::auto().threads(),
+            top_k: 5,
+            seed: 42,
+            checkpoint: std::env::temp_dir().join("zsc_serve_checkpoint.json"),
+            json: false,
+        }
+    }
+}
+
+fn parse_args() -> Config {
+    let mut config = Config::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--classes" => config.classes = value("--classes").parse().expect("--classes"),
+            "--images" => config.images = value("--images").parse().expect("--images"),
+            "--feature-dim" => {
+                config.feature_dim = value("--feature-dim").parse().expect("--feature-dim");
+            }
+            "--epochs" => config.epochs = value("--epochs").parse().expect("--epochs"),
+            "--queries" => config.queries = value("--queries").parse().expect("--queries"),
+            "--callers" => config.callers = value("--callers").parse().expect("--callers"),
+            "--max-batch" => config.max_batch = value("--max-batch").parse().expect("--max-batch"),
+            "--max-wait-us" => {
+                config.max_wait_us = value("--max-wait-us").parse().expect("--max-wait-us");
+            }
+            "--threads" => config.threads = value("--threads").parse().expect("--threads"),
+            "--top-k" => config.top_k = value("--top-k").parse().expect("--top-k"),
+            "--seed" => config.seed = value("--seed").parse().expect("--seed"),
+            "--checkpoint" => config.checkpoint = value("--checkpoint").into(),
+            "--quick" => {
+                // Small CI smoke: train → save → load → serve one batch's
+                // worth of traffic in a few seconds.
+                config.classes = 12;
+                config.images = 6;
+                config.feature_dim = 48;
+                config.epochs = 2;
+                config.queries = 256;
+                config.callers = 2;
+            }
+            "--json" => config.json = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: zsc_serve [--classes N] [--images N] [--feature-dim N] [--epochs N] \
+                     [--queries N] [--callers N] [--max-batch N] [--max-wait-us N] [--threads N] \
+                     [--top-k K] [--seed N] [--checkpoint PATH] [--quick] [--json]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(config.classes > 1 && config.images > 0 && config.queries > 0 && config.callers > 0);
+    config
+}
+
+/// Per-path stats in the same shape as `serve_sim`'s output, with the shared
+/// ceiling nearest-rank percentile helper.
+#[derive(Debug, Clone)]
+struct PathStats {
+    queries: usize,
+    elapsed_s: f64,
+    qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+impl PathStats {
+    /// `latencies_us` holds one latency per query; `elapsed_s` is the
+    /// wall-clock window the queries were answered in (callers run
+    /// concurrently, so it is not the latency sum).
+    fn new(mut latencies_us: Vec<f64>, elapsed_s: f64) -> Self {
+        let queries = latencies_us.len();
+        latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        Self {
+            queries,
+            elapsed_s,
+            qps: queries as f64 / elapsed_s.max(1e-12),
+            p50_us: metrics::nearest_rank(&latencies_us, 0.50),
+            p95_us: metrics::nearest_rank(&latencies_us, 0.95),
+            p99_us: metrics::nearest_rank(&latencies_us, 0.99),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"queries\": {}, \"elapsed_s\": {:.6}, \"qps\": {:.1}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}",
+            self.queries, self.elapsed_s, self.qps, self.p50_us, self.p95_us, self.p99_us
+        )
+    }
+}
+
+fn main() {
+    let config = parse_args();
+    eprintln!(
+        "zsc_serve: classes={} images={} feature_dim={} epochs={} queries={} callers={}",
+        config.classes,
+        config.images,
+        config.feature_dim,
+        config.epochs,
+        config.queries,
+        config.callers
+    );
+
+    // --- train ------------------------------------------------------------
+    let mut dataset_config = DatasetConfig::tiny(config.seed);
+    dataset_config.num_classes = config.classes;
+    dataset_config.images_per_class = config.images;
+    dataset_config.feature_dim = config.feature_dim;
+    let data = CubLikeDataset::generate(&dataset_config);
+    let pipeline = Pipeline::new(
+        ModelConfig::tiny(),
+        TrainConfig::fast().with_epochs(config.epochs),
+    );
+    let train_start = Instant::now();
+    let (outcome, model) = pipeline.run_returning_model(&data, SplitKind::Zs, config.seed);
+    let train_s = train_start.elapsed().as_secs_f64();
+    eprintln!("zsc_serve: trained in {train_s:.2}s, eval {}", outcome.zsc);
+
+    // --- save → load ------------------------------------------------------
+    let schema = data.schema();
+    Checkpoint::capture(&model, schema)
+        .save_json(&config.checkpoint)
+        .expect("write checkpoint");
+    let checkpoint_bytes = std::fs::metadata(&config.checkpoint)
+        .map(|m| m.len())
+        .unwrap_or(0);
+    drop(model); // from here on, only the reloaded model exists
+    let loaded = Checkpoint::load_json(&config.checkpoint).expect("reload checkpoint");
+    eprintln!(
+        "zsc_serve: checkpoint {} ({checkpoint_bytes} bytes) reloaded, format v{}",
+        config.checkpoint.display(),
+        loaded.format_version
+    );
+
+    // --- serve ------------------------------------------------------------
+    let split = data.split(SplitKind::Zs);
+    let eval_class_attr = data.class_attribute_matrix(split.eval_classes());
+    let labels: Vec<String> = split
+        .eval_classes()
+        .iter()
+        .map(|c| format!("class{c:03}"))
+        .collect();
+    let mut reference_model = loaded
+        .clone()
+        .into_model(schema)
+        .expect("checkpoint matches the schema");
+    let reference_memory = reference_model.packed_class_memory(labels.clone(), &eval_class_attr);
+    let server = QueryServer::from_checkpoint(
+        loaded,
+        schema,
+        labels,
+        &eval_class_attr,
+        ServerConfig {
+            max_batch: config.max_batch,
+            max_wait_us: config.max_wait_us,
+            threads: config.threads,
+            top_k: config.top_k,
+        },
+    )
+    .expect("server starts from checkpoint");
+
+    // Traffic: evaluation-side features, cycled up to the requested query
+    // count and spread over caller threads; a third of each caller's
+    // traffic goes through small `query_batch` submissions.
+    let (eval_x, _) = data.features_and_labels(split.eval_classes());
+    let queries: Vec<Vec<f32>> = (0..config.queries)
+        .map(|q| eval_x.row(q % eval_x.rows()).to_vec())
+        .collect();
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(config.queries));
+    let served: Mutex<Vec<(usize, ScoredLabel)>> = Mutex::new(Vec::with_capacity(config.queries));
+    let serve_start = Instant::now();
+    std::thread::scope(|scope| {
+        for (caller, chunk) in queries
+            .chunks(queries.len().div_ceil(config.callers))
+            .enumerate()
+        {
+            let server = &server;
+            let latencies = &latencies;
+            let served = &served;
+            let base = caller * queries.len().div_ceil(config.callers);
+            scope.spawn(move || {
+                let mut index = 0usize;
+                while index < chunk.len() {
+                    // Mixed traffic: mostly single queries, every third
+                    // submission a small batch of up to 4 rows.
+                    let batch = if index % 3 == 2 {
+                        (chunk.len() - index).min(4)
+                    } else {
+                        1
+                    };
+                    let rows = &chunk[index..index + batch];
+                    let start = Instant::now();
+                    let results = server.query_batch(rows).expect("query served");
+                    // Every query in a batched submission blocks from
+                    // submission until the shared result returns, so each
+                    // one experienced the full wall time.
+                    let us = start.elapsed().as_secs_f64() * 1e6;
+                    let mut lats = latencies.lock().expect("latency mutex");
+                    for _ in 0..batch {
+                        lats.push(us);
+                    }
+                    let mut top = served.lock().expect("served mutex");
+                    for (offset, mut result) in results.into_iter().enumerate() {
+                        top.push((base + index + offset, result.remove(0)));
+                    }
+                    index += batch;
+                }
+            });
+        }
+    });
+    let serve_s = serve_start.elapsed().as_secs_f64();
+    let serve_stats = PathStats::new(latencies.into_inner().expect("latency mutex"), serve_s);
+
+    // --- direct reference + cross-check -----------------------------------
+    // Direct path: the same queries scored in-process (no admission queue),
+    // one at a time against the same loaded model.
+    let mut direct_latencies = Vec::with_capacity(queries.len());
+    let mut direct_top: Vec<ScoredLabel> = Vec::with_capacity(queries.len());
+    let direct_start = Instant::now();
+    for q in &queries {
+        let start = Instant::now();
+        let embedding =
+            reference_model.embed_images(&Matrix::from_rows(std::slice::from_ref(q)), false);
+        let packed = pack_float_signs(embedding.row(0));
+        let (index, sim) = reference_memory.nearest(&packed).expect("non-empty memory");
+        direct_latencies.push(start.elapsed().as_secs_f64() * 1e6);
+        direct_top.push((reference_memory.label(index).to_string(), sim));
+    }
+    let direct_s = direct_start.elapsed().as_secs_f64();
+    let direct_stats = PathStats::new(direct_latencies, direct_s);
+
+    let mut served_top = served.into_inner().expect("served mutex");
+    served_top.sort_by_key(|(index, _)| *index);
+    assert_eq!(served_top.len(), queries.len());
+    for ((q, (label, sim)), (direct_label, direct_sim)) in served_top.into_iter().zip(&direct_top) {
+        assert_eq!(&label, direct_label, "query {q}: served wrong label");
+        assert_eq!(
+            sim.to_bits(),
+            direct_sim.to_bits(),
+            "query {q}: served similarity diverges"
+        );
+    }
+    eprintln!("zsc_serve: served top-1 results are bit-identical to direct in-process scoring");
+
+    let batching = server.stats();
+    let json = format!(
+        "{{\n  \"config\": {{\"classes\": {}, \"images\": {}, \"feature_dim\": {}, \
+         \"epochs\": {}, \"queries\": {}, \"callers\": {}, \"max_batch\": {}, \
+         \"max_wait_us\": {}, \"threads\": {}, \"top_k\": {}, \"seed\": {}}},\n  \
+         \"train\": {{\"elapsed_s\": {:.3}, \"zs_top1\": {:.4}}},\n  \
+         \"checkpoint\": {{\"path\": \"{}\", \"bytes\": {}}},\n  \
+         \"serve\": {},\n  \"direct\": {},\n  \
+         \"batching\": {{\"batches\": {}, \"mean_batch\": {:.2}, \"max_batch_observed\": {}}}\n}}",
+        config.classes,
+        config.images,
+        config.feature_dim,
+        config.epochs,
+        config.queries,
+        config.callers,
+        config.max_batch,
+        config.max_wait_us,
+        config.threads,
+        config.top_k,
+        config.seed,
+        train_s,
+        outcome.zsc.top1,
+        config.checkpoint.display(),
+        checkpoint_bytes,
+        serve_stats.to_json(),
+        direct_stats.to_json(),
+        batching.batches,
+        batching.mean_batch(),
+        batching.max_batch_observed,
+    );
+    if config.json {
+        println!("{json}");
+    } else {
+        eprintln!("{json}");
+        eprintln!(
+            "serve {:.0} q/s (p99 {:.0}µs, mean batch {:.1}) | direct {:.0} q/s",
+            serve_stats.qps,
+            serve_stats.p99_us,
+            batching.mean_batch(),
+            direct_stats.qps
+        );
+    }
+}

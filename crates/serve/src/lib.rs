@@ -1,0 +1,284 @@
+//! Online serving subsystem for the HDC-ZSC reproduction.
+//!
+//! This crate is the bridge between the `engine` crate's batched popcount
+//! inference and real sustained-traffic serving, completing the
+//! *train-once / serve-many* lifecycle:
+//!
+//! 1. train a model with `hdc_zsc::Pipeline::run_returning_model`;
+//! 2. persist it with `hdc_zsc::Checkpoint::save_json`;
+//! 3. reload it in the serving process with `hdc_zsc::Checkpoint::load_json`;
+//! 4. put a [`QueryServer`] in front of it.
+//!
+//! The [`QueryServer`] owns the loaded model plus the packed class memory
+//! derived from it, and runs a **micro-batching admission queue**: concurrent
+//! callers each submit one backbone-feature row (or a small batch); the
+//! server coalesces whatever arrives within a short window into one engine
+//! dispatch and hands every caller its own top-k labels. Because each
+//! query's scores are independent rows of the engine's batched sweep,
+//! served results are bit-identical to scoring the same query alone — the
+//! batching changes throughput, never outputs.
+//!
+//! The `zsc_serve` binary drives the whole lifecycle end to end and reports
+//! the same JSON statistics shape as the `serve_sim` benchmark.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod server;
+
+pub use server::{QueryServer, ScoredLabel, ServeError, ServerConfig, ServerStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::AttributeSchema;
+    use engine::{pack_float_signs, PackedClassMemory};
+    use hdc_zsc::{Checkpoint, ModelConfig, ZscModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::Matrix;
+
+    const FEATURE_DIM: usize = 24;
+
+    fn fixture() -> (ZscModel, Vec<String>, Matrix, AttributeSchema) {
+        let schema = AttributeSchema::cub200();
+        let model = ZscModel::new(&ModelConfig::tiny().with_seed(11), &schema, FEATURE_DIM);
+        let mut rng = StdRng::seed_from_u64(5);
+        let class_attributes = Matrix::random_uniform(9, 312, 0.5, &mut rng).map(f32::abs);
+        let labels: Vec<String> = (0..9).map(|c| format!("class{c}")).collect();
+        (model, labels, class_attributes, schema)
+    }
+
+    /// The serving reference: what one query scored alone through the same
+    /// model + packed memory must return.
+    fn reference_topk(
+        model: &mut ZscModel,
+        memory: &PackedClassMemory,
+        features: &[f32],
+        k: usize,
+    ) -> Vec<ScoredLabel> {
+        let embedding = model.embed_images(&Matrix::from_rows(&[features.to_vec()]), false);
+        let packed = pack_float_signs(embedding.row(0));
+        memory
+            .top_k(&packed, k)
+            .into_iter()
+            .map(|(index, sim)| (memory.label(index).to_string(), sim))
+            .collect()
+    }
+
+    #[test]
+    fn served_results_are_bit_identical_to_direct_scoring() {
+        let (model, labels, class_attributes, _) = fixture();
+        let mut reference_model = model.clone();
+        let memory = reference_model.packed_class_memory(labels.clone(), &class_attributes);
+        let mut rng = StdRng::seed_from_u64(6);
+        let queries: Vec<Vec<f32>> = (0..40)
+            .map(|_| {
+                Matrix::random_uniform(1, FEATURE_DIM, 1.0, &mut rng)
+                    .row(0)
+                    .to_vec()
+            })
+            .collect();
+        for (max_batch, threads) in [(1usize, 1usize), (8, 2), (64, 3)] {
+            let server = QueryServer::start(
+                model.clone(),
+                labels.clone(),
+                &class_attributes,
+                ServerConfig {
+                    max_batch,
+                    max_wait_us: 100,
+                    threads,
+                    top_k: 4,
+                },
+            )
+            .expect("server starts");
+            for q in &queries {
+                let served = server.query(q).expect("query served");
+                let expected = reference_topk(&mut reference_model, &memory, q, 4);
+                assert_eq!(served.len(), expected.len());
+                for ((sl, ss), (el, es)) in served.iter().zip(&expected) {
+                    assert_eq!(sl, el, "max_batch={max_batch} threads={threads}");
+                    assert_eq!(ss.to_bits(), es.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_coalesce_into_batches() {
+        let (model, labels, class_attributes, _) = fixture();
+        let mut reference_model = model.clone();
+        let memory = reference_model.packed_class_memory(labels.clone(), &class_attributes);
+        let server = QueryServer::start(
+            model,
+            labels,
+            &class_attributes,
+            ServerConfig {
+                max_batch: 16,
+                max_wait_us: 2_000,
+                threads: 2,
+                top_k: 3,
+            },
+        )
+        .expect("server starts");
+        let mut rng = StdRng::seed_from_u64(7);
+        let queries: Vec<Vec<f32>> = (0..48)
+            .map(|_| {
+                Matrix::random_uniform(1, FEATURE_DIM, 1.0, &mut rng)
+                    .row(0)
+                    .to_vec()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in queries.chunks(6) {
+                let server = &server;
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|q| server.query(q).expect("query served"))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for (handle, chunk) in handles.into_iter().zip(queries.chunks(6)) {
+                for (served, q) in handle.join().expect("caller thread").into_iter().zip(chunk) {
+                    let expected = reference_topk(&mut reference_model, &memory, q, 3);
+                    assert_eq!(served, expected);
+                }
+            }
+        });
+        let stats = server.stats();
+        assert_eq!(stats.queries, 48);
+        assert!(stats.batches >= 1);
+        assert!(stats.max_batch_observed <= 16);
+        assert!(stats.mean_batch() >= 1.0);
+    }
+
+    #[test]
+    fn query_batch_preserves_submission_order() {
+        let (model, labels, class_attributes, _) = fixture();
+        let mut reference_model = model.clone();
+        let memory = reference_model.packed_class_memory(labels.clone(), &class_attributes);
+        let server = QueryServer::start(model, labels, &class_attributes, ServerConfig::default())
+            .expect("server starts");
+        let mut rng = StdRng::seed_from_u64(8);
+        let rows: Vec<Vec<f32>> = (0..10)
+            .map(|_| {
+                Matrix::random_uniform(1, FEATURE_DIM, 1.0, &mut rng)
+                    .row(0)
+                    .to_vec()
+            })
+            .collect();
+        let served = server.query_batch(&rows).expect("batch served");
+        assert_eq!(served.len(), rows.len());
+        for (result, row) in served.iter().zip(&rows) {
+            assert_eq!(
+                result,
+                &reference_topk(&mut reference_model, &memory, row, 5)
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_feature_width_is_rejected_up_front() {
+        let (model, labels, class_attributes, _) = fixture();
+        let server = QueryServer::start(model, labels, &class_attributes, ServerConfig::default())
+            .expect("server starts");
+        assert_eq!(server.feature_dim(), FEATURE_DIM);
+        match server.query(&[0.0; FEATURE_DIM + 1]) {
+            Err(ServeError::FeatureWidth { expected, found }) => {
+                assert_eq!((expected, found), (FEATURE_DIM, FEATURE_DIM + 1));
+            }
+            other => panic!("expected FeatureWidth, got {other:?}"),
+        }
+        // Nothing was enqueued, so the server still serves correct rows.
+        assert!(server.query(&[0.5; FEATURE_DIM]).is_ok());
+        assert_eq!(server.stats().queries, 1);
+    }
+
+    #[test]
+    fn invalid_construction_is_rejected() {
+        let (model, labels, class_attributes, _) = fixture();
+        let mut short_labels = labels.clone();
+        short_labels.pop();
+        assert!(matches!(
+            QueryServer::start(
+                model.clone(),
+                short_labels,
+                &class_attributes,
+                ServerConfig::default()
+            ),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            QueryServer::start(
+                model.clone(),
+                labels.clone(),
+                &class_attributes,
+                ServerConfig {
+                    max_batch: 0,
+                    ..ServerConfig::default()
+                }
+            ),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            QueryServer::start(
+                model,
+                labels,
+                &class_attributes,
+                ServerConfig {
+                    top_k: 0,
+                    ..ServerConfig::default()
+                }
+            ),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+
+    /// The acceptance path: a checkpoint saved and reloaded serves queries
+    /// bit-identical to the in-process model it was captured from.
+    #[test]
+    fn checkpoint_round_trip_serves_bit_identical_results() {
+        let (model, labels, class_attributes, schema) = fixture();
+        let mut reference_model = model.clone();
+        let memory = reference_model.packed_class_memory(labels.clone(), &class_attributes);
+        let json = Checkpoint::capture(&model, &schema).to_json();
+        drop(model);
+        let reloaded = Checkpoint::from_json_str(&json).expect("checkpoint parses");
+        let server = QueryServer::from_checkpoint(
+            reloaded,
+            &schema,
+            labels,
+            &class_attributes,
+            ServerConfig::default(),
+        )
+        .expect("server starts from checkpoint");
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let q = Matrix::random_uniform(1, FEATURE_DIM, 1.0, &mut rng)
+                .row(0)
+                .to_vec();
+            let served = server.query(&q).expect("query served");
+            let expected = reference_topk(&mut reference_model, &memory, &q, 5);
+            assert_eq!(served, expected);
+        }
+    }
+
+    #[test]
+    fn checkpoint_schema_mismatch_is_typed() {
+        let (model, labels, class_attributes, schema) = fixture();
+        let checkpoint = Checkpoint::capture(&model, &schema);
+        let other = AttributeSchema::synthetic(3, 4);
+        assert!(matches!(
+            QueryServer::from_checkpoint(
+                checkpoint,
+                &other,
+                labels,
+                &class_attributes,
+                ServerConfig::default()
+            ),
+            Err(ServeError::Checkpoint(_))
+        ));
+    }
+}

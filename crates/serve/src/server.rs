@@ -1,0 +1,407 @@
+//! The query server: a micro-batching admission queue in front of the
+//! batched inference engine.
+//!
+//! Concurrent callers submit single backbone-feature rows (or small batches)
+//! through [`QueryServer::query`] / [`QueryServer::query_batch`]. A
+//! dedicated dispatcher thread coalesces whatever is queued — up to
+//! [`ServerConfig::max_batch`] requests, waiting at most
+//! [`ServerConfig::max_wait_us`] after the first arrival — embeds the batch
+//! through the model's image encoder, sign-binarizes the embeddings, and
+//! scores them against the packed class memory with an
+//! [`engine::BatchScorer`] fanned out over the `minipool` pool. Each caller
+//! receives its own top-k labels.
+//!
+//! Results are **bit-identical** to scoring the same query alone: per-query
+//! scores are independent rows of the batched popcount sweep (the engine's
+//! exactness contract), so micro-batching trades latency for throughput
+//! without changing a single output bit.
+
+use engine::{BatchScorer, PackedClassMemory, PackedQueryBatch, Pool};
+use hdc_zsc::ZscModel;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tensor::Matrix;
+
+/// Admission-queue and scoring configuration of a [`QueryServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Largest batch the dispatcher hands to the engine at once.
+    pub max_batch: usize,
+    /// How long (µs) the dispatcher waits after the first queued request for
+    /// more requests to coalesce before dispatching a partial batch.
+    pub max_wait_us: u64,
+    /// Thread count of the engine pool the batch is scored across.
+    pub threads: usize,
+    /// How many labels each query gets back, most similar first.
+    pub top_k: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait_us: 200,
+            threads: Pool::auto().threads(),
+            top_k: 5,
+        }
+    }
+}
+
+/// One scored label: `(class label, similarity in [-1, 1])`.
+pub type ScoredLabel = (String, f32);
+
+/// Why a query could not be served.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The server was (or is being) shut down before the query completed.
+    Stopped,
+    /// A submitted feature row has the wrong width.
+    FeatureWidth {
+        /// Width the model's backbone expects.
+        expected: usize,
+        /// Width the caller submitted.
+        found: usize,
+    },
+    /// The server could not be constructed from the given parts.
+    InvalidConfig(String),
+    /// A checkpoint could not be loaded or validated.
+    Checkpoint(hdc_zsc::CheckpointError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Stopped => write!(f, "query server is stopped"),
+            ServeError::FeatureWidth { expected, found } => write!(
+                f,
+                "feature row has width {found}, the model expects {expected}"
+            ),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid server configuration: {msg}"),
+            ServeError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hdc_zsc::CheckpointError> for ServeError {
+    fn from(e: hdc_zsc::CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}
+
+/// Counters describing the batching behaviour observed so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct ServerStats {
+    /// Queries answered.
+    pub queries: u64,
+    /// Engine dispatches (each serving one coalesced batch).
+    pub batches: u64,
+    /// Largest coalesced batch observed.
+    pub max_batch_observed: usize,
+}
+
+impl ServerStats {
+    /// Mean coalesced batch size (0 when nothing was dispatched).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.queries as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One queued query: the feature row plus the channel its result goes back
+/// on.
+#[derive(Debug)]
+struct Request {
+    features: Vec<f32>,
+    responder: mpsc::Sender<Vec<ScoredLabel>>,
+}
+
+/// State shared between callers and the dispatcher thread.
+#[derive(Debug)]
+struct Shared {
+    queue: Mutex<QueueState>,
+    arrivals: Condvar,
+    stats: Mutex<ServerStats>,
+    feature_dim: usize,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    pending: VecDeque<Request>,
+    shutdown: bool,
+}
+
+/// A running query server; see the module docs.
+///
+/// Dropping the server drains every already-queued request, then stops the
+/// dispatcher thread.
+///
+/// # Example
+///
+/// ```
+/// use dataset::AttributeSchema;
+/// use hdc_zsc::{ModelConfig, ZscModel};
+/// use serve::{QueryServer, ServerConfig};
+/// use tensor::Matrix;
+///
+/// let schema = AttributeSchema::cub200();
+/// let model = ZscModel::new(&ModelConfig::tiny(), &schema, 16);
+/// let class_attributes = Matrix::ones(3, 312);
+/// let labels = vec!["a".into(), "b".into(), "c".into()];
+/// let server =
+///     QueryServer::start(model, labels, &class_attributes, ServerConfig::default()).unwrap();
+/// let top = server.query(&[0.25; 16]).unwrap();
+/// assert!(!top.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct QueryServer {
+    shared: Arc<Shared>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl QueryServer {
+    /// Starts a server around a trained model and the class set it serves:
+    /// one label per row of `class_attributes`.
+    ///
+    /// The class-attribute matrix is encoded once into sign-binarized class
+    /// signatures (the engine's packed representation); queries then run
+    /// entirely through the popcount path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when the labels, matrix and
+    /// configuration do not line up.
+    pub fn start(
+        mut model: ZscModel,
+        labels: Vec<String>,
+        class_attributes: &Matrix,
+        config: ServerConfig,
+    ) -> Result<Self, ServeError> {
+        if labels.len() != class_attributes.rows() {
+            return Err(ServeError::InvalidConfig(format!(
+                "{} labels for {} class-attribute rows",
+                labels.len(),
+                class_attributes.rows()
+            )));
+        }
+        if class_attributes.rows() == 0 {
+            return Err(ServeError::InvalidConfig(
+                "cannot serve an empty class set".to_string(),
+            ));
+        }
+        if config.max_batch == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_batch must be at least 1".to_string(),
+            ));
+        }
+        if config.top_k == 0 {
+            return Err(ServeError::InvalidConfig(
+                "top_k must be at least 1".to_string(),
+            ));
+        }
+        let memory = model.packed_class_memory(labels, class_attributes);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                shutdown: false,
+            }),
+            arrivals: Condvar::new(),
+            stats: Mutex::new(ServerStats::default()),
+            feature_dim: model.image_encoder().feature_dim(),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || dispatch_loop(&shared, model, &memory, config))
+        };
+        Ok(Self {
+            shared,
+            dispatcher: Some(dispatcher),
+        })
+    }
+
+    /// Starts a server from a saved [`hdc_zsc::Checkpoint`]: the
+    /// train-once / serve-many entry point. The checkpoint is validated
+    /// against the serving schema before the model is accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Checkpoint`] when the checkpoint does not match
+    /// `schema`, plus everything [`QueryServer::start`] reports.
+    pub fn from_checkpoint(
+        checkpoint: hdc_zsc::Checkpoint,
+        schema: &dataset::AttributeSchema,
+        labels: Vec<String>,
+        class_attributes: &Matrix,
+        config: ServerConfig,
+    ) -> Result<Self, ServeError> {
+        let model = checkpoint.into_model(schema)?;
+        Self::start(model, labels, class_attributes, config)
+    }
+
+    /// Width of the backbone feature rows the server expects.
+    pub fn feature_dim(&self) -> usize {
+        self.shared.feature_dim
+    }
+
+    /// Batching counters observed so far.
+    pub fn stats(&self) -> ServerStats {
+        *self.shared.stats.lock().expect("stats mutex poisoned")
+    }
+
+    /// Submits one backbone-feature row and blocks until its top-k labels
+    /// come back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::FeatureWidth`] for mis-sized rows and
+    /// [`ServeError::Stopped`] when the server shuts down first.
+    pub fn query(&self, features: &[f32]) -> Result<Vec<ScoredLabel>, ServeError> {
+        let mut results = self.enqueue(vec![features.to_vec()])?;
+        Ok(results.pop().expect("one result per submitted row"))
+    }
+
+    /// Submits a small batch of feature rows and blocks until all of their
+    /// top-k results come back (in submission order).
+    ///
+    /// The rows enter the same admission queue as everyone else's, so they
+    /// may be coalesced with other callers' queries or split across engine
+    /// dispatches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::FeatureWidth`] for mis-sized rows (the whole
+    /// batch is rejected before anything is enqueued) and
+    /// [`ServeError::Stopped`] when the server shuts down first.
+    pub fn query_batch(&self, rows: &[Vec<f32>]) -> Result<Vec<Vec<ScoredLabel>>, ServeError> {
+        self.enqueue(rows.to_vec())
+    }
+
+    /// Validates widths, enqueues the owned rows (no further copies — the
+    /// dispatcher moves them out of the queue), and blocks for the results.
+    fn enqueue(&self, rows: Vec<Vec<f32>>) -> Result<Vec<Vec<ScoredLabel>>, ServeError> {
+        for row in &rows {
+            if row.len() != self.shared.feature_dim {
+                return Err(ServeError::FeatureWidth {
+                    expected: self.shared.feature_dim,
+                    found: row.len(),
+                });
+            }
+        }
+        let mut receivers = Vec::with_capacity(rows.len());
+        {
+            let mut queue = self.shared.queue.lock().expect("queue mutex poisoned");
+            if queue.shutdown {
+                return Err(ServeError::Stopped);
+            }
+            for features in rows {
+                let (tx, rx) = mpsc::channel();
+                queue.pending.push_back(Request {
+                    features,
+                    responder: tx,
+                });
+                receivers.push(rx);
+            }
+        }
+        self.shared.arrivals.notify_all();
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().map_err(|_| ServeError::Stopped))
+            .collect()
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue mutex poisoned");
+            queue.shutdown = true;
+        }
+        self.shared.arrivals.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The dispatcher: collect → embed → pack → score → respond, forever.
+fn dispatch_loop(
+    shared: &Shared,
+    mut model: ZscModel,
+    memory: &PackedClassMemory,
+    config: ServerConfig,
+) {
+    let scorer = BatchScorer::new(memory).with_threads(config.threads);
+    while let Some(mut batch) = collect_batch(shared, config.max_batch, config.max_wait_us) {
+        let rows: Vec<Vec<f32>> = batch
+            .iter_mut()
+            .map(|r| std::mem::take(&mut r.features))
+            .collect();
+        let features = Matrix::from_rows(&rows);
+        // Inference-mode embedding (no caches), then sign-binarization into
+        // the engine's packed query layout — the same path
+        // `ZscModel::packed_class_memory` uses for the class side.
+        let embeddings = model.embed_images(&features, false);
+        let queries = PackedQueryBatch::from_sign_matrix(&embeddings);
+        let topk = scorer.topk_batch(&queries, config.top_k);
+        {
+            let mut stats = shared.stats.lock().expect("stats mutex poisoned");
+            stats.queries += batch.len() as u64;
+            stats.batches += 1;
+            stats.max_batch_observed = stats.max_batch_observed.max(batch.len());
+        }
+        for (request, result) in batch.into_iter().zip(topk) {
+            let labelled: Vec<ScoredLabel> = result
+                .into_iter()
+                .map(|(index, sim)| (memory.label(index).to_string(), sim))
+                .collect();
+            // A disconnected receiver just means the caller gave up; drop it.
+            let _ = request.responder.send(labelled);
+        }
+    }
+}
+
+/// Blocks until at least one request is queued, then keeps collecting until
+/// the batch is full, the coalescing window expires, or shutdown is
+/// requested. Returns `None` once the server is shut down *and* drained.
+fn collect_batch(shared: &Shared, max_batch: usize, max_wait_us: u64) -> Option<Vec<Request>> {
+    let mut queue = shared.queue.lock().expect("queue mutex poisoned");
+    loop {
+        if !queue.pending.is_empty() {
+            break;
+        }
+        if queue.shutdown {
+            return None;
+        }
+        queue = shared.arrivals.wait(queue).expect("queue mutex poisoned");
+    }
+    let deadline = Instant::now() + Duration::from_micros(max_wait_us);
+    while queue.pending.len() < max_batch && !queue.shutdown {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, timeout) = shared
+            .arrivals
+            .wait_timeout(queue, deadline - now)
+            .expect("queue mutex poisoned");
+        queue = guard;
+        if timeout.timed_out() {
+            break;
+        }
+    }
+    let take = queue.pending.len().min(max_batch);
+    Some(queue.pending.drain(..take).collect())
+}

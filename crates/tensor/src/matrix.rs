@@ -3,7 +3,7 @@
 use crate::{ShapeError, Vector};
 use rand::distributions::Distribution;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{de, DeError, Deserialize, Serialize, Value};
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -21,11 +21,25 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(x.cols(), 3);
 /// assert_eq!(x.get(1, 2), 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+/// Hand-written (instead of derived) so a corrupted document whose buffer
+/// length disagrees with its declared shape is rejected with a typed error
+/// rather than constructing a matrix that panics on first access.
+impl Deserialize for Matrix {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = de::expect_object(value, "Matrix")?;
+        let rows: usize = de::field(entries, "rows", "Matrix")?;
+        let cols: usize = de::field(entries, "cols", "Matrix")?;
+        let data: Vec<f32> = de::field(entries, "data", "Matrix")?;
+        Self::try_from_vec(rows, cols, data)
+            .map_err(|e| DeError::new(e.to_string()).in_field("Matrix"))
+    }
 }
 
 /// Block edge used by the cache-blocked matrix products.
@@ -663,18 +677,37 @@ impl Matrix {
     }
 
     /// Returns the indices of the `k` largest entries of each row, most
-    /// similar first.
+    /// similar first. Ties on value resolve to the smaller index, so results
+    /// are deterministic.
+    ///
+    /// Runs in `O(C + k log k)` per row via `select_nth_unstable_by` plus a
+    /// sort of the `k`-prefix, instead of fully sorting every row
+    /// (`O(C log C)`) just to keep `k` indices — the win matters on the
+    /// serving path, where `C` is the class count and `k` is small.
     pub fn topk_rows(&self, k: usize) -> Vec<Vec<usize>> {
+        // Descending by value, ascending by index on ties; the explicit
+        // index tie-break keeps the unstable selection deterministic.
+        fn descending(row: &[f32]) -> impl Fn(&usize, &usize) -> std::cmp::Ordering + '_ {
+            move |&a, &b| {
+                row[b]
+                    .partial_cmp(&row[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.cmp(&b))
+            }
+        }
         (0..self.rows)
             .map(|r| {
                 let row = self.row(r);
+                let k = k.min(row.len());
+                if k == 0 {
+                    return Vec::new();
+                }
                 let mut idx: Vec<usize> = (0..row.len()).collect();
-                idx.sort_by(|&a, &b| {
-                    row[b]
-                        .partial_cmp(&row[a])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
-                idx.truncate(k);
+                if k < row.len() {
+                    idx.select_nth_unstable_by(k, descending(row));
+                    idx.truncate(k);
+                }
+                idx.sort_unstable_by(descending(row));
                 idx
             })
             .collect()

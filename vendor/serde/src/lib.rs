@@ -2,13 +2,14 @@
 //!
 //! The build environment has no crates.io access, so the workspace vendors a
 //! minimal serialization facade: a JSON-shaped [`Value`] tree, a [`Serialize`]
-//! trait producing it, derive macros (re-exported from the vendored
-//! `serde_derive`), and a [`Deserialize`] marker trait. The sibling
-//! `serde_json` stub renders [`Value`] to text.
+//! trait producing it, a [`Deserialize`] trait consuming it, and derive
+//! macros (re-exported from the vendored `serde_derive`). The sibling
+//! `serde_json` stub renders [`Value`] to text and parses text back into a
+//! [`Value`].
 //!
 //! This is *not* upstream serde — only the surface this workspace uses
-//! (deriving on plain structs/unit enums and `serde_json::to_string_pretty`)
-//! is implemented.
+//! (deriving on plain structs/unit enums, `serde_json::to_string_pretty`,
+//! and `serde_json::from_str` for checkpoint loading) is implemented.
 
 #![deny(missing_docs)]
 
@@ -16,7 +17,8 @@ pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, HashMap};
 
-/// A JSON-shaped value tree, the target of [`Serialize`].
+/// A JSON-shaped value tree, the target of [`Serialize`] and the source of
+/// [`Deserialize`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// `null`.
@@ -33,6 +35,36 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// A short name of the value's JSON kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Borrows the entry list if the value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object value (`None` for non-objects and
+    /// missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+}
+
 /// Types that can be converted into a [`Value`] tree.
 ///
 /// The derive macro implements this for structs with named fields (as
@@ -42,23 +74,185 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait mirroring upstream serde's `Deserialize`.
+/// Typed error produced when a [`Value`] tree cannot be converted into the
+/// requested type.
 ///
-/// Nothing in the workspace deserializes yet; the derive macro implements
-/// this empty trait so `#[derive(Deserialize)]` keeps compiling.
-pub trait Deserialize {}
+/// Carries a dotted field path (innermost last) so checkpoint loaders can
+/// report *where* a malformed document went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    path: Vec<String>,
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with a free-form message and an empty path.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            path: Vec::new(),
+            message: message.into(),
+        }
+    }
+
+    /// "expected X, got Y" for a mismatched [`Value`] kind.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Self::new(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// A missing object field.
+    pub fn missing_field(field: &str, type_name: &str) -> Self {
+        Self::new(format!("missing field `{field}` of `{type_name}`"))
+    }
+
+    /// An enum string that matches no variant.
+    pub fn unknown_variant(found: &str, type_name: &str) -> Self {
+        Self::new(format!("unknown `{type_name}` variant `{found}`"))
+    }
+
+    /// Returns the error with `segment` prepended to the field path.
+    #[must_use]
+    pub fn in_field(mut self, segment: impl Into<String>) -> Self {
+        self.path.insert(0, segment.into());
+        self
+    }
+
+    /// The underlying message (without the path prefix).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The dotted field path, empty at the document root.
+    pub fn path(&self) -> String {
+        self.path.join(".")
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.path.is_empty() {
+            f.write_str(&self.message)
+        } else {
+            write!(f, "{}: {}", self.path.join("."), self.message)
+        }
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+///
+/// The derive macro implements this for the same shapes as [`Serialize`]:
+/// structs with named fields, unit structs and unit enums. Derived state a
+/// type does not serialize must be rebuilt by a hand-written implementation
+/// (see `hdc::ItemMemory`).
+pub trait Deserialize: Sized {
+    /// Converts a [`Value`] into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first mismatch between the value
+    /// tree and the expected shape.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Helpers used by the generated [`Deserialize`] implementations.
+pub mod de {
+    use super::{DeError, Deserialize, Value};
+
+    /// Requires `value` to be an object, naming `type_name` on failure.
+    pub fn expect_object<'v>(
+        value: &'v Value,
+        type_name: &str,
+    ) -> Result<&'v [(String, Value)], DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", value).in_field(type_name.to_string()))
+    }
+
+    /// Deserializes field `name` out of an object's entry list, adding the
+    /// field name to the error path on failure.
+    pub fn field<T: Deserialize>(
+        entries: &[(String, Value)],
+        name: &str,
+        type_name: &str,
+    ) -> Result<T, DeError> {
+        let value = entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::missing_field(name, type_name))?;
+        T::from_value(value).map_err(|e| e.in_field(name.to_string()))
+    }
+}
+
+/// Largest magnitude an integer can have and still be exactly representable
+/// as an `f64` (2^53).
+const F64_EXACT_INT_BOUND: f64 = 9_007_199_254_740_992.0;
 
 macro_rules! impl_serialize_number {
     ($($ty:ty),*) => {$(
         impl Serialize for $ty {
             fn to_value(&self) -> Value {
-                Value::Number(*self as f64)
+                // Values past the f64 mantissa (e.g. large u64 seeds) would
+                // be silently rounded by the `as f64` cast; emit their exact
+                // decimal form as a string instead so they round-trip.
+                let wide = *self as f64;
+                if wide.abs() >= F64_EXACT_INT_BOUND {
+                    Value::String(self.to_string())
+                } else {
+                    Value::Number(wide)
+                }
             }
         }
     )*};
 }
 
 impl_serialize_number!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_deserialize_integer {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(n) => {
+                        if !n.is_finite() || n.fract() != 0.0 {
+                            return Err(DeError::new(format!(
+                                "expected an integer, got {n}"
+                            )));
+                        }
+                        // Numbers past the f64 mantissa would deserialize to
+                        // a different integer than was saved; the writer
+                        // emits those as strings, so a number here is
+                        // corrupt.
+                        if n.abs() >= F64_EXACT_INT_BOUND {
+                            return Err(DeError::new(format!(
+                                "integer {n} exceeds the exactly-representable range"
+                            )));
+                        }
+                        let wide = *n as i128;
+                        <$ty>::try_from(wide).map_err(|_| {
+                            DeError::new(format!(
+                                "integer {n} out of range for {}",
+                                stringify!($ty)
+                            ))
+                        })
+                    }
+                    // Exact decimal form used by the writer for values past
+                    // the f64 mantissa.
+                    Value::String(s) => s.parse::<$ty>().map_err(|_| {
+                        DeError::new(format!(
+                            "`{s}` is not a valid {}",
+                            stringify!($ty)
+                        ))
+                    }),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_integer!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
@@ -80,9 +274,42 @@ impl Serialize for f64 {
     }
 }
 
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            // `f64::from(x as f32)` is exact and the JSON writer emits a
+            // shortest round-tripping decimal, so this cast restores the
+            // original f32 bits.
+            Value::Number(n) => Ok(*n as f32),
+            // Non-finite floats serialize as `null`.
+            Value::Null => Ok(f32::NAN),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Number(n) => Ok(*n),
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("boolean", other)),
+        }
     }
 }
 
@@ -98,9 +325,36 @@ impl Serialize for String {
     }
 }
 
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
 impl Serialize for std::path::PathBuf {
     fn to_value(&self) -> Value {
         Value::String(self.display().to_string())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        String::from_value(value).map(std::path::PathBuf::from)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
     }
 }
 
@@ -119,9 +373,31 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let Value::Array(items) = value else {
+            return Err(DeError::expected("array", value));
+        };
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_value(item).map_err(|e| e.in_field(format!("[{i}]"))))
+            .collect()
     }
 }
 
@@ -137,6 +413,16 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected an array of length {N}, got {len}")))
+    }
+}
+
 impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
         Value::Object(
@@ -144,6 +430,22 @@ impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
                 .map(|(k, v)| (k.to_string(), v.to_value()))
                 .collect(),
         )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let Value::Object(entries) = value else {
+            return Err(DeError::expected("object", value));
+        };
+        entries
+            .iter()
+            .map(|(k, v)| {
+                V::from_value(v)
+                    .map(|v| (k.clone(), v))
+                    .map_err(|e| e.in_field(k.clone()))
+            })
+            .collect()
     }
 }
 
@@ -158,9 +460,27 @@ impl<K: ToString, V: Serialize> Serialize for HashMap<K, V> {
     }
 }
 
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        BTreeMap::<String, V>::from_value(value).map(|m| m.into_iter().collect())
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) if items.len() == 2 => Ok((
+                A::from_value(&items[0]).map_err(|e| e.in_field("[0]"))?,
+                B::from_value(&items[1]).map_err(|e| e.in_field("[1]"))?,
+            )),
+            other => Err(DeError::expected("2-element array", other)),
+        }
     }
 }
 
@@ -171,5 +491,94 @@ impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
             self.1.to_value(),
             self.2.to_value(),
         ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0]).map_err(|e| e.in_field("[0]"))?,
+                B::from_value(&items[1]).map_err(|e| e.in_field("[1]"))?,
+                C::from_value(&items[2]).map_err(|e| e.in_field("[2]"))?,
+            )),
+            other => Err(DeError::expected("3-element array", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&(-7i32).to_value()), Ok(-7));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_string()));
+        let x = 0.1f32;
+        assert_eq!(f32::from_value(&x.to_value()), Ok(x));
+        assert!(f32::from_value(&f32::NAN.to_value()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn integer_rejects_fractions_and_ranges() {
+        assert!(u8::from_value(&Value::Number(1.5)).is_err());
+        assert!(u8::from_value(&Value::Number(300.0)).is_err());
+        assert!(u64::from_value(&Value::Number(-1.0)).is_err());
+        assert!(usize::from_value(&Value::String("x5".into())).is_err());
+        assert!(i64::from_value(&Value::Number(1e18)).is_err());
+        assert!(u8::from_value(&Value::Bool(true)).is_err());
+    }
+
+    /// Integers past the f64 mantissa round-trip through their exact string
+    /// form instead of being silently rounded (and then rejected on load).
+    #[test]
+    fn huge_integers_round_trip_exactly() {
+        for x in [u64::MAX, u64::MAX - 1, 1u64 << 53, (1u64 << 53) - 1] {
+            let value = x.to_value();
+            assert_eq!(u64::from_value(&value), Ok(x), "{x}");
+        }
+        assert_eq!(u64::MAX.to_value(), Value::String(u64::MAX.to_string()));
+        assert_eq!(
+            ((1u64 << 53) - 1).to_value(),
+            Value::Number(((1u64 << 53) - 1) as f64)
+        );
+        for x in [i64::MIN, -(1i64 << 53)] {
+            assert_eq!(i64::from_value(&x.to_value()), Ok(x), "{x}");
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1usize, 2, 3];
+        assert_eq!(Vec::<usize>::from_value(&v.to_value()), Ok(v));
+        let pair = (3usize, -2i8);
+        assert_eq!(<(usize, i8)>::from_value(&pair.to_value()), Ok(pair));
+        let triple = (1usize, 2usize, 3usize);
+        assert_eq!(
+            <(usize, usize, usize)>::from_value(&triple.to_value()),
+            Ok(triple)
+        );
+        let opt: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_value(&opt.to_value()), Ok(None));
+        let mut map = BTreeMap::new();
+        map.insert("a".to_string(), vec![1.0f32]);
+        assert_eq!(
+            BTreeMap::<String, Vec<f32>>::from_value(&map.to_value()),
+            Ok(map)
+        );
+    }
+
+    #[test]
+    fn errors_carry_paths() {
+        let v = Value::Array(vec![Value::Number(1.0), Value::Bool(true)]);
+        let err = Vec::<usize>::from_value(&v).unwrap_err();
+        assert_eq!(err.path(), "[1]");
+        assert!(err.to_string().contains("expected integer"));
+        let v = Value::Array(vec![Value::String("x".into())]);
+        let err = Vec::<usize>::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("not a valid usize"));
     }
 }

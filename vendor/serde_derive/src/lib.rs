@@ -8,8 +8,10 @@
 //! * enums whose variants are all unit variants → JSON strings;
 //! * unit structs → JSON `null`.
 //!
-//! `#[derive(Deserialize)]` expands to an implementation of the stub's
-//! marker trait (nothing in the workspace deserializes yet).
+//! `#[derive(Deserialize)]` expands to a real implementation of the stub's
+//! `Deserialize` trait: struct fields are read back out of a JSON object
+//! (every field is required), unit enums parse from their variant name
+//! string, and unit structs accept `null`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -219,13 +221,63 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde stub derive: generated invalid Rust")
 }
 
-/// Derives the stub `serde::Deserialize` marker trait.
+/// Derives the stub `serde::Deserialize` trait.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let name = match parse(input) {
-        Input::Struct { name, .. } | Input::UnitStruct { name } | Input::Enum { name, .. } => name,
+    let generated = match parse(input) {
+        Input::Struct { name, fields } => {
+            let reads: String = fields
+                .iter()
+                .map(|f| format!("{f}: serde::de::field(entries, \"{f}\", \"{name}\")?,\n"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &serde::Value) \
+                         -> ::std::result::Result<Self, serde::DeError> {{\n\
+                         let entries = serde::de::expect_object(value, \"{name}\")?;\n\
+                         ::std::result::Result::Ok(Self {{\n{reads}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &serde::Value) \
+                     -> ::std::result::Result<Self, serde::DeError> {{\n\
+                     match value {{\n\
+                         serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                         other => ::std::result::Result::Err(\n\
+                             serde::DeError::expected(\"null\", other)\
+                                 .in_field(\"{name}\")),\n\
+                     }}\n\
+                 }}\n\
+             }}"
+        ),
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &serde::Value) \
+                         -> ::std::result::Result<Self, serde::DeError> {{\n\
+                         match value {{\n\
+                             serde::Value::String(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => ::std::result::Result::Err(\n\
+                                     serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(\n\
+                                 serde::DeError::expected(\"string\", other)\
+                                     .in_field(\"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
     };
-    format!("impl serde::Deserialize for {name} {{}}")
+    generated
         .parse()
         .expect("serde stub derive: generated invalid Rust")
 }

@@ -1,27 +1,57 @@
 //! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
 //! renders the vendored `serde` stub's [`Value`](serde::Value) tree as JSON
-//! text. Only serialization is implemented; the workspace does not parse
-//! JSON yet.
+//! text and parses JSON text back into a [`Value`](serde::Value) (and, via
+//! [`serde::Deserialize`], into workspace types — the checkpoint loading
+//! path).
 
 #![deny(missing_docs)]
 
-use serde::{Serialize, Value};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 
+/// Maximum nesting depth the parser accepts; corrupted or adversarial input
+/// fails with a typed error instead of overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
 /// Error type mirroring `serde_json::Error`.
-///
-/// The stub serializer is infallible, so this is never actually produced;
-/// it exists to keep call-site signatures identical to upstream.
 #[derive(Debug)]
-pub struct Error(String);
+pub enum Error {
+    /// The input is not syntactically valid JSON.
+    Syntax {
+        /// 1-based line of the first offending byte.
+        line: usize,
+        /// 1-based column of the first offending byte.
+        column: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The input is valid JSON but does not match the requested type.
+    Data(DeError),
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        match self {
+            Error::Syntax {
+                line,
+                column,
+                message,
+            } => write!(
+                f,
+                "JSON syntax error at line {line} column {column}: {message}"
+            ),
+            Error::Data(e) => write!(f, "JSON data error: {e}"),
+        }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::Data(e)
+    }
+}
 
 /// Serializes `value` as a compact JSON string.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -35,6 +65,311 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&value.to_value(), Some(2), 0, &mut out);
     Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Parses a JSON document into a `T`.
+///
+/// # Errors
+///
+/// Returns [`Error::Syntax`] for malformed JSON and [`Error::Data`] when the
+/// document does not match `T`'s shape.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse_value(input)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Converts a [`Value`] tree into a `T`.
+///
+/// # Errors
+///
+/// Returns [`Error::Data`] when the tree does not match `T`'s shape.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error::Syntax`] (with line/column) for malformed input,
+/// trailing garbage, or nesting deeper than an internal safety limit.
+pub fn parse_value(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+/// Recursive-descent JSON parser over raw bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> Error {
+        let consumed = &self.bytes[..self.pos.min(self.bytes.len())];
+        let line = consumed.iter().filter(|&&b| b == b'\n').count() + 1;
+        let column = consumed.iter().rev().take_while(|&&b| b != b'\n').count() + 1;
+        Error::Syntax {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("document nests too deeply"));
+        }
+        self.skip_whitespace();
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.error(format!("unexpected byte `{}`", other as char))),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect_byte(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            if self.peek() != Some(b'"') {
+                return Err(self.error("expected a string object key"));
+            }
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect_byte(b':')?;
+            let value = self.parse(depth + 1)?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let first = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: a `\uXXXX` low surrogate
+                                // must follow.
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let second = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            } else {
+                                first
+                            };
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.error("invalid unicode escape"))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(self.error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 character (input is a &str, so the byte
+                    // stream is valid UTF-8 outside escapes).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    if (c as u32) < 0x20 {
+                        return Err(self.error("unescaped control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.error("expected a digit"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.error("expected a digit after the decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.error("expected a digit in the exponent"));
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.error(format!("invalid number `{text}`")))
+    }
 }
 
 /// Recursively renders one value. `indent = None` means compact output.
@@ -93,9 +428,12 @@ fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
 
 /// JSON has no NaN/Infinity; callers encode those as `Value::Null` already,
 /// so `n` is always finite here. Integral values print without a decimal
-/// point, like upstream serde_json does for integer types.
+/// point, like upstream serde_json does for integer types — except `-0.0`,
+/// which keeps its sign so float payloads round-trip bit-exactly.
 fn write_number(n: f64, out: &mut String) {
-    if n == n.trunc() && n.abs() < 1e15 {
+    if n == 0.0 && n.is_sign_negative() {
+        out.push_str("-0.0");
+    } else if n == n.trunc() && n.abs() < 1e15 {
         out.push_str(&format!("{}", n as i64));
     } else {
         out.push_str(&format!("{n}"));
@@ -133,7 +471,7 @@ mod tests {
             ("frac".to_string(), Value::Number(0.5)),
             ("empty".to_string(), Value::Array(vec![])),
         ]);
-        let text = to_string_pretty(&DirectValue(value)).unwrap();
+        let text = to_string_pretty(&value).unwrap();
         assert_eq!(
             text,
             "{\n  \"name\": \"hdc\",\n  \"dims\": [\n    1024,\n    2048\n  ],\n  \"frac\": 0.5,\n  \"empty\": []\n}"
@@ -146,12 +484,85 @@ mod tests {
         assert_eq!(text, "\"a\\\"b\\\\c\\nd\"");
     }
 
-    /// Test helper: a pre-built `Value` used as its own serialization.
-    struct DirectValue(Value);
-
-    impl Serialize for DirectValue {
-        fn to_value(&self) -> Value {
-            self.0.clone()
+    #[test]
+    fn parses_what_it_prints() {
+        let value = Value::Object(vec![
+            ("nested".to_string(), Value::Array(vec![Value::Null])),
+            ("t".to_string(), Value::Bool(true)),
+            ("f".to_string(), Value::Bool(false)),
+            ("n".to_string(), Value::Number(-12.75)),
+            ("big".to_string(), Value::Number(3.0e20)),
+            ("s".to_string(), Value::String("uni ✓ \"q\"\n".to_string())),
+            ("empty_obj".to_string(), Value::Object(vec![])),
+        ]);
+        for text in [
+            to_string(&value).unwrap(),
+            to_string_pretty(&value).unwrap(),
+        ] {
+            assert_eq!(parse_value(&text).unwrap(), value);
         }
+    }
+
+    #[test]
+    fn float_round_trip_is_bit_exact() {
+        for x in [
+            0.1f32,
+            -0.0,
+            1.0,
+            f32::MIN_POSITIVE,
+            1.5e-40, // subnormal
+            3.4028235e38,
+            -7.239_517e-3,
+        ] {
+            let text = to_string(&x).unwrap();
+            let back: f32 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {text}");
+        }
+    }
+
+    #[test]
+    fn parses_escapes_and_surrogates() {
+        assert_eq!(
+            parse_value(r#""\u0041\u00e9\ud83d\ude00\t""#).unwrap(),
+            Value::String("Aé😀\t".to_string())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "nul",
+            "\"unterminated",
+            "01x",
+            "1 2",
+            "{\"a\":}",
+            "[1 2]",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+        ] {
+            let err = parse_value(bad).unwrap_err();
+            assert!(matches!(err, Error::Syntax { .. }), "{bad:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn syntax_errors_locate_the_offending_line() {
+        let err = parse_value("{\n  \"a\": 1,\n  oops\n}").unwrap_err();
+        let Error::Syntax { line, .. } = err else {
+            panic!("expected a syntax error");
+        };
+        assert_eq!(line, 3);
+    }
+
+    #[test]
+    fn typed_from_str_reports_data_errors() {
+        let ok: Vec<usize> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(ok, vec![1, 2, 3]);
+        let err = from_str::<Vec<usize>>("[1, \"x\"]").unwrap_err();
+        assert!(matches!(err, Error::Data(_)), "{err}");
     }
 }
