@@ -9,22 +9,29 @@
 //! * `batched_1t` — the engine's packed popcount path on a single thread
 //!   (this is what the CI `perf-smoke` floor is asserted against, so the
 //!   gate does not depend on runner core counts);
-//! * `batched` — the same path fanned out over `--threads` threads.
+//! * `batched` — the same path fanned out over `--threads` threads;
+//! * `sharded` (with `--shards N`) — the same workload through an
+//!   [`engine::ShardedClassMemory`] of `N` shards, the online/mutable
+//!   memory the serving layer hot-swaps. Its best similarities are
+//!   cross-checked bit-identical against the scalar scan, pinning the
+//!   sharded merge's exactness at benchmark scale.
 //!
 //! Output is a single JSON object on stdout (diagnostics go to stderr), so
 //! CI can archive it as an artifact and enforce `--min-speedup`.
 //!
 //! ```text
 //! serve_sim [--dim N] [--classes N] [--batch N] [--batches N]
-//!           [--threads N] [--seed N] [--noise P] [--quick] [--json]
-//!           [--min-speedup X]
+//!           [--threads N] [--shards N] [--seed N] [--noise P] [--quick]
+//!           [--json] [--min-speedup X]
 //! ```
 //!
 //! `--quick` selects a small but representative workload (dim 8192,
 //! 200 classes) for CI; `--min-speedup X` exits non-zero if the
 //! single-thread batched throughput is below `X ×` the scalar throughput.
+//! The CI perf-smoke job additionally runs a 2 000-class shape with
+//! `--shards 8` to track sharded-memory throughput.
 
-use engine::{BatchScorer, PackedClassMemory, PackedQueryBatch};
+use engine::{BatchScorer, PackedClassMemory, PackedQueryBatch, ShardedClassMemory};
 use hdc::BipolarHypervector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,6 +45,8 @@ struct Config {
     batch: usize,
     batches: usize,
     threads: usize,
+    /// `0` skips the sharded path.
+    shards: usize,
     seed: u64,
     noise: f64,
     json: bool,
@@ -52,6 +61,7 @@ impl Default for Config {
             batch: 64,
             batches: 48,
             threads: engine::Pool::auto().threads(),
+            shards: 0,
             seed: 42,
             noise: 0.2,
             json: false,
@@ -74,6 +84,7 @@ fn parse_args() -> Config {
             "--batch" => config.batch = value("--batch").parse().expect("--batch"),
             "--batches" => config.batches = value("--batches").parse().expect("--batches"),
             "--threads" => config.threads = value("--threads").parse().expect("--threads"),
+            "--shards" => config.shards = value("--shards").parse().expect("--shards"),
             "--seed" => config.seed = value("--seed").parse().expect("--seed"),
             "--noise" => config.noise = value("--noise").parse().expect("--noise"),
             "--quick" => {
@@ -91,7 +102,8 @@ fn parse_args() -> Config {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: serve_sim [--dim N] [--classes N] [--batch N] [--batches N] \
-                     [--threads N] [--seed N] [--noise P] [--quick] [--json] [--min-speedup X]"
+                     [--threads N] [--shards N] [--seed N] [--noise P] [--quick] [--json] \
+                     [--min-speedup X]"
                 );
                 std::process::exit(0);
             }
@@ -148,8 +160,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     eprintln!(
-        "serve_sim: dim={} classes={} batch={} batches={} threads={}",
-        config.dim, config.classes, config.batch, config.batches, config.threads
+        "serve_sim: dim={} classes={} batch={} batches={} threads={} shards={}",
+        config.dim, config.classes, config.batch, config.batches, config.threads, config.shards
     );
 
     // Class memory: random bipolar prototypes, both as the scalar reference
@@ -221,24 +233,59 @@ fn main() {
     }
     eprintln!("serve_sim: scalar and batched best-similarities are bit-identical");
 
+    // --- sharded online-memory path (opt-in via --shards) -------------------
+    let sharded_section = (config.shards > 0).then(|| {
+        let sharded =
+            ShardedClassMemory::from_packed(&memory, config.shards).with_threads(config.threads);
+        let mut best = Vec::with_capacity(queries.len());
+        let mut latencies = Vec::with_capacity(packed_batches.len());
+        for batch in &packed_batches {
+            let start = Instant::now();
+            let nearest = sharded.nearest_batch(batch);
+            latencies.push(start.elapsed().as_secs_f64() * 1e6);
+            best.extend(nearest.into_iter().map(|(_, sim)| sim));
+        }
+        for (q, (a, b)) in scalar_best.iter().zip(&best).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "query {q}: scalar best {a} != sharded best {b}"
+            );
+        }
+        eprintln!(
+            "serve_sim: sharded({}) best-similarities are bit-identical to scalar",
+            config.shards
+        );
+        PathStats::from_latencies(queries.len(), latencies)
+    });
+
     let speedup_1t = batched_1t.qps / scalar.qps.max(1e-12);
     let speedup = batched.qps / scalar.qps.max(1e-12);
+    let sharded_json = sharded_section.as_ref().map_or(String::new(), |stats| {
+        format!(
+            ",\n  \"sharded\": {},\n  \"sharded_speedup\": {:.2}",
+            stats.to_json(),
+            stats.qps / scalar.qps.max(1e-12)
+        )
+    });
 
     let json = format!(
         "{{\n  \"config\": {{\"dim\": {}, \"classes\": {}, \"batch\": {}, \"batches\": {}, \
-         \"threads\": {}, \"seed\": {}, \"noise\": {}}},\n  \"scalar\": {},\n  \
-         \"batched_1t\": {},\n  \"batched\": {},\n  \"speedup_1t\": {:.2},\n  \
+         \"threads\": {}, \"shards\": {}, \"seed\": {}, \"noise\": {}}},\n  \"scalar\": {},\n  \
+         \"batched_1t\": {},\n  \"batched\": {}{},\n  \"speedup_1t\": {:.2},\n  \
          \"speedup\": {:.2}\n}}",
         config.dim,
         config.classes,
         config.batch,
         config.batches,
         config.threads,
+        config.shards,
         config.seed,
         config.noise,
         scalar.to_json(),
         batched_1t.to_json(),
         batched.to_json(),
+        sharded_json,
         speedup_1t,
         speedup
     );
@@ -247,8 +294,17 @@ fn main() {
     } else {
         eprintln!("{json}");
         eprintln!(
-            "scalar {:.0} q/s | batched(1t) {:.0} q/s ({:.1}x) | batched({}t) {:.0} q/s ({:.1}x)",
-            scalar.qps, batched_1t.qps, speedup_1t, config.threads, batched.qps, speedup
+            "scalar {:.0} q/s | batched(1t) {:.0} q/s ({:.1}x) | batched({}t) {:.0} q/s ({:.1}x){}",
+            scalar.qps,
+            batched_1t.qps,
+            speedup_1t,
+            config.threads,
+            batched.qps,
+            speedup,
+            sharded_section.as_ref().map_or(String::new(), |s| format!(
+                " | sharded({}) {:.0} q/s",
+                config.shards, s.qps
+            ))
         );
     }
 

@@ -5,7 +5,7 @@ use crate::attribute_encoder::{AttributeEncoder, AttributeEncoderKind, HdcAttrib
 use crate::config::ModelConfig;
 use crate::image_encoder::ImageEncoder;
 use dataset::AttributeSchema;
-use engine::{PackedClassMemory, Pool};
+use engine::{PackedClassMemory, Pool, ShardedClassMemory};
 use nn::{CosineSimilarity, ParamTensor, TemperatureScale};
 use serde::{de, DeError, Deserialize, Serialize, Value};
 use tensor::Matrix;
@@ -253,6 +253,49 @@ impl ZscModel {
             .attribute_encoder
             .encode_classes(class_attributes, false);
         PackedClassMemory::from_sign_matrix(labels, &class_embeddings)
+    }
+
+    /// Sharded variant of [`ZscModel::packed_class_memory`]: the same
+    /// sign-binarized class signatures split across `shards`
+    /// [`engine::ShardedClassMemory`] shards, so the serving layer can
+    /// register, update, and remove classes incrementally (repacking only
+    /// the touched shard) while lookups stay bit-identical to the monolithic
+    /// memory for every shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count differs from `class_attributes.rows()` or
+    /// `shards == 0`.
+    pub fn sharded_class_memory<L, S>(
+        &mut self,
+        labels: L,
+        class_attributes: &Matrix,
+        shards: usize,
+    ) -> ShardedClassMemory
+    where
+        L: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let class_embeddings = self
+            .attribute_encoder
+            .encode_classes(class_attributes, false);
+        ShardedClassMemory::from_sign_matrix(labels, &class_embeddings, shards)
+    }
+
+    /// Encodes one class-attribute row into its sign-binarized packed class
+    /// signature — the row [`ZscModel::sharded_class_memory`] would store for
+    /// it. This is the single-class primitive behind serve-time
+    /// `register_class`: encoding one new class costs one attribute-encoder
+    /// forward instead of re-encoding the whole class set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attributes.len()` differs from the attribute encoder's
+    /// expected width.
+    pub fn packed_class_signature(&mut self, attributes: &[f32]) -> Vec<u64> {
+        let row = Matrix::from_rows(&[attributes.to_vec()]);
+        let embedding = self.attribute_encoder.encode_classes(&row, false);
+        engine::pack_float_signs(embedding.row(0))
     }
 
     /// Back-propagates a gradient with respect to the class logits into the
@@ -558,6 +601,32 @@ mod tests {
             let query = engine::pack_float_signs(class_embeddings.row(c));
             let (index, _sim) = memory.nearest(&query).expect("non-empty");
             assert_eq!(memory.label(index), label);
+        }
+    }
+
+    /// The sharded export must hold exactly the monolithic memory's class
+    /// signatures, and the per-class signature primitive must reproduce the
+    /// rows the bulk export stores.
+    #[test]
+    fn sharded_class_memory_matches_monolithic_export() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = tiny_model();
+        let class_attributes = Matrix::random_uniform(9, 312, 0.5, &mut rng).map(f32::abs);
+        let labels: Vec<String> = (0..9).map(|c| format!("bird{c}")).collect();
+        let mono = model.packed_class_memory(labels.clone(), &class_attributes);
+        for shards in [1usize, 2, 3, 7] {
+            let sharded = model.sharded_class_memory(labels.clone(), &class_attributes, shards);
+            assert_eq!(sharded.len(), mono.len());
+            assert_eq!(sharded.num_shards(), shards);
+            for (c, label) in labels.iter().enumerate() {
+                assert_eq!(
+                    sharded.class_words(label).expect("stored"),
+                    mono.row_words(c),
+                    "shards={shards} label={label}"
+                );
+                let signature = model.packed_class_signature(class_attributes.row(c));
+                assert_eq!(signature, mono.row_words(c), "label={label}");
+            }
         }
     }
 

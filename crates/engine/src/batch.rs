@@ -275,7 +275,9 @@ impl<'m> BatchScorer<'m> {
     }
 
     /// The `k` most similar classes of every query, most similar first, with
-    /// the same deterministic tie ordering as [`PackedClassMemory::top_k`].
+    /// the same deterministic tie ordering — and truncation contract
+    /// (`min(k, classes)` entries per query, `k == 0` empty) — as
+    /// [`PackedClassMemory::top_k`].
     ///
     /// # Panics
     ///

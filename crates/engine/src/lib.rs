@@ -9,8 +9,14 @@
 //!
 //! * [`PackedClassMemory`] — every class/prototype hypervector packed into
 //!   one contiguous `u64` word-matrix; one-vs-all Hamming similarity is a
-//!   word-tiled, blocked popcount sweep. `hdc::ItemMemory` keeps one of
-//!   these in sync and delegates `nearest`/`top_k` to it.
+//!   word-tiled, blocked popcount sweep.
+//! * [`ShardedClassMemory`] — class prototypes split across N packed shards
+//!   with copy-on-write `Arc` sharing: incremental `add_class` /
+//!   `update_class` / `remove_class` repack only the touched shard, and the
+//!   cross-shard top-k merge (on integer Hamming distances plus label
+//!   tie-breaks) is bit-identical to the monolithic scorer.
+//!   `hdc::ItemMemory` is built on one and delegates `nearest`/`top_k` to
+//!   it; the `serve` crate hot-swaps snapshots of one under live traffic.
 //! * [`PackedQueryBatch`] + [`BatchScorer`] — batched `score_batch` /
 //!   `nearest_batch` / `topk_batch`, chunked across a vendored
 //!   work-stealing-free scoped-thread pool ([`minipool::Pool`]).
@@ -53,6 +59,7 @@
 pub mod batch;
 pub mod dense;
 pub mod packed;
+pub mod sharded;
 
 pub use batch::{BatchScorer, PackedQueryBatch};
 pub use minipool::Pool;
@@ -60,3 +67,4 @@ pub use packed::{
     mask_tail_word, pack_float_signs, pack_signs, pack_signs_into, similarity_from_hamming,
     words_per_row, PackedClassMemory,
 };
+pub use sharded::ShardedClassMemory;

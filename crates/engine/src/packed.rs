@@ -401,6 +401,21 @@ impl PackedClassMemory {
         }
     }
 
+    /// Removes the prototype stored under `label`, splicing its word row out
+    /// of the packed matrix and shifting later rows down. Returns the removed
+    /// row index, or `None` if the label is not stored.
+    ///
+    /// This repacks only *this* memory — an `O(rows · words_per_row)` move of
+    /// the tail of the word matrix — which is what lets a sharded memory
+    /// repack a single touched shard instead of rebuilding the world.
+    pub fn remove(&mut self, label: &str) -> Option<usize> {
+        let pos = self.position(label)?;
+        self.labels.remove(pos);
+        self.words
+            .drain(pos * self.words_per_row..(pos + 1) * self.words_per_row);
+        Some(pos)
+    }
+
     /// The most similar stored prototype to a packed query, as
     /// `(row index, similarity)`; ties on similarity resolve to the
     /// lexicographically smallest label so results are deterministic and
@@ -412,6 +427,21 @@ impl PackedClassMemory {
     ///
     /// Panics if `query.len() != self.words_per_row()`.
     pub fn nearest(&self, query: &[u64]) -> Option<(usize, f32)> {
+        self.nearest_hamming(query)
+            .map(|(index, hamming)| (index, similarity_from_hamming(self.dim, hamming)))
+    }
+
+    /// Integer-exact variant of [`PackedClassMemory::nearest`]: the winning
+    /// row together with its raw Hamming distance. Downstream mergers (the
+    /// sharded memory) compare candidates on this integer — never on the
+    /// derived `f32` similarity — so cross-shard ordering is exactly the
+    /// monolithic `(hamming, label)` order even when distinct Hamming
+    /// distances would round to the same `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.words_per_row()`.
+    pub fn nearest_hamming(&self, query: &[u64]) -> Option<(usize, u64)> {
         assert_eq!(query.len(), self.words_per_row, "query width");
         let mut best: Option<(usize, u64)> = None;
         for index in 0..self.len() {
@@ -427,16 +457,36 @@ impl PackedClassMemory {
                 best = Some((index, hamming));
             }
         }
-        best.map(|(index, hamming)| (index, similarity_from_hamming(self.dim, hamming)))
+        best
     }
 
     /// The `k` most similar stored prototypes to a packed query, most
     /// similar first; ties on similarity are ordered by label.
     ///
+    /// **Truncation contract:** when `k` exceeds the number of stored
+    /// prototypes the result simply contains every prototype — `min(k,
+    /// self.len())` entries, never an error and never padding. `k == 0`
+    /// returns an empty vector.
+    ///
     /// # Panics
     ///
     /// Panics if `query.len() != self.words_per_row()`.
     pub fn top_k(&self, query: &[u64], k: usize) -> Vec<(usize, f32)> {
+        self.top_k_hamming(query, k)
+            .into_iter()
+            .map(|(index, hamming)| (index, similarity_from_hamming(self.dim, hamming)))
+            .collect()
+    }
+
+    /// Integer-exact variant of [`PackedClassMemory::top_k`]: `(row index,
+    /// Hamming distance)` candidates ordered by `(hamming, label)` ascending,
+    /// truncated to `min(k, self.len())` entries. This is the primitive a
+    /// sharded memory merges across shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.words_per_row()`.
+    pub fn top_k_hamming(&self, query: &[u64], k: usize) -> Vec<(usize, u64)> {
         assert_eq!(query.len(), self.words_per_row, "query width");
         let mut scored: Vec<(usize, u64)> = (0..self.len())
             .map(|index| (index, self.row_hamming(index, query)))
@@ -445,11 +495,8 @@ impl PackedClassMemory {
             a.1.cmp(&b.1)
                 .then_with(|| self.labels[a.0].cmp(&self.labels[b.0]))
         });
+        scored.truncate(k);
         scored
-            .into_iter()
-            .take(k)
-            .map(|(index, hamming)| (index, similarity_from_hamming(self.dim, hamming)))
-            .collect()
     }
 }
 
@@ -564,6 +611,56 @@ mod tests {
         assert!(mem.nearest(&query).is_none());
         assert!(mem.top_k(&query, 3).is_empty());
         assert!(mem.is_empty());
+    }
+
+    /// Pins the truncation contract: `k` past the stored prototype count
+    /// returns everything (no error, no padding), and `k == 0` is empty.
+    #[test]
+    fn top_k_truncates_to_stored_count() {
+        let mut mem = PackedClassMemory::new(8);
+        mem.insert_signs("a", &[1; 8]);
+        mem.insert_signs("b", &[-1; 8]);
+        let query = pack_signs(&[1; 8]);
+        assert_eq!(mem.top_k(&query, 100).len(), 2);
+        assert_eq!(mem.top_k(&query, 2).len(), 2);
+        assert_eq!(mem.top_k(&query, 1).len(), 1);
+        assert!(mem.top_k(&query, 0).is_empty());
+        assert_eq!(mem.top_k_hamming(&query, 100).len(), 2);
+        // The oversized ask returns the same prefix ordering as the exact ask.
+        assert_eq!(mem.top_k(&query, 100), mem.top_k(&query, 2));
+    }
+
+    #[test]
+    fn remove_splices_row_and_keeps_lookups_exact() {
+        // Ragged dim (2 words per row); distinct periods keep every row
+        // unique so no cross-row ties confuse the lookups.
+        let mut mem = PackedClassMemory::new(70);
+        let rows: Vec<Vec<i8>> = (0..4usize)
+            .map(|r| {
+                (0..70)
+                    .map(|i: usize| if (i + r).is_multiple_of(r + 2) { -1 } else { 1 })
+                    .collect()
+            })
+            .collect();
+        for (r, row) in rows.iter().enumerate() {
+            mem.insert_signs(format!("c{r}"), row);
+        }
+        assert_eq!(mem.remove("c1"), Some(1));
+        assert_eq!(mem.remove("c1"), None);
+        assert_eq!(mem.len(), 3);
+        let labels: Vec<&str> = mem.labels().collect();
+        assert_eq!(labels, vec!["c0", "c2", "c3"]);
+        // Later rows shifted down intact: lookups still score exactly.
+        for (r, row) in rows.iter().enumerate() {
+            if r == 1 {
+                continue;
+            }
+            let (index, sim) = mem.nearest(&pack_signs(row)).expect("non-empty");
+            assert_eq!(mem.label(index), format!("c{r}"));
+            assert_eq!(sim, 1.0);
+        }
+        // Word matrix stays dense: 3 rows × 2 words.
+        assert_eq!(mem.memory_bytes(), 3 * 2 * 8);
     }
 
     #[test]

@@ -10,19 +10,21 @@
 //! # Engine-backed hot path
 //!
 //! Alongside the bipolar prototypes the memory keeps an
-//! [`engine::PackedClassMemory`] — all prototypes packed into one contiguous
-//! `u64` word-matrix — in sync on every insert. [`ItemMemory::nearest`] and
-//! [`ItemMemory::top_k`] pack the query once (`O(d)`) and run the engine's
-//! blocked popcount sweep instead of walking `i8` prototypes one label at a
-//! time. Because the bipolar cosine of ±1 vectors equals
-//! `(d − 2·hamming) / d` exactly, the similarities returned are
-//! **bit-identical** to the scalar [`BipolarHypervector::cosine`] path.
+//! [`engine::ShardedClassMemory`] — prototypes packed into one or more
+//! contiguous `u64` word-matrix shards — in sync on every insert.
+//! [`ItemMemory::nearest`] and [`ItemMemory::top_k`] pack the query once
+//! (`O(d)`) and run the engine's blocked popcount sweep instead of walking
+//! `i8` prototypes one label at a time; with [`ItemMemory::with_shards`] the
+//! shards are scored in parallel and merged on integer Hamming distances.
+//! Because the bipolar cosine of ±1 vectors equals `(d − 2·hamming) / d`
+//! exactly, the similarities returned are **bit-identical** to the scalar
+//! [`BipolarHypervector::cosine`] path — for every shard count.
 //!
 //! Ties on similarity resolve to the lexicographically smallest label, so
 //! lookup results are deterministic and independent of insertion order.
 
 use crate::{BipolarHypervector, HdcError};
-use engine::{pack_signs, PackedClassMemory};
+use engine::{PackedClassMemory, ShardedClassMemory};
 use serde::{de, DeError, Deserialize, Serialize, Value};
 
 /// A labelled associative memory of bipolar prototype hypervectors.
@@ -41,27 +43,29 @@ use serde::{de, DeError, Deserialize, Serialize, Value};
 /// assert_eq!(label, "duck");
 /// assert!((sim - 1.0).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ItemMemory {
     dim: usize,
+    // Invariants: `labels` and `prototypes` are parallel vectors in
+    // insertion order, and `sharded` holds exactly the same label set (in
+    // its own shard-major order); every mutation goes through `try_insert`,
+    // which updates all three. The sharded mirror is derived state — the
+    // hand-written `Deserialize` below rebuilds it from the prototypes
+    // instead of persisting it.
+    labels: Vec<String>,
     prototypes: Vec<BipolarHypervector>,
-    // Invariant: `packed` mirrors `prototypes` row-for-row (labels live in
-    // `packed`); every mutation goes through `try_insert`, which updates
-    // both. The packed mirror is derived state — the hand-written
-    // `Deserialize` below rebuilds it from the prototypes instead of
-    // persisting it.
-    packed: PackedClassMemory,
+    sharded: ShardedClassMemory,
 }
 
-/// Checkpoint format: dimensionality plus the labelled prototypes. The
-/// engine's [`PackedClassMemory`] mirror is derived state and is rebuilt on
-/// load rather than persisted.
+/// Checkpoint format: dimensionality, shard count, and the labelled
+/// prototypes. The engine's [`ShardedClassMemory`] mirror is derived state
+/// and is rebuilt on load rather than persisted.
 impl Serialize for ItemMemory {
     fn to_value(&self) -> Value {
-        let labels: Vec<&str> = self.packed.labels().collect();
         Value::Object(vec![
             ("dim".to_string(), self.dim.to_value()),
-            ("labels".to_string(), labels.to_value()),
+            ("shards".to_string(), self.sharded.num_shards().to_value()),
+            ("labels".to_string(), self.labels.to_value()),
             ("prototypes".to_string(), self.prototypes.to_value()),
         ])
     }
@@ -71,10 +75,20 @@ impl Deserialize for ItemMemory {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         let entries = de::expect_object(value, "ItemMemory")?;
         let dim: usize = de::field(entries, "dim", "ItemMemory")?;
+        // Documents written before the sharded engine mirror carry no
+        // "shards" field; they were single-shard by construction, so default
+        // to 1 and keep them loadable.
+        let shards: usize = match entries.iter().find(|(k, _)| k == "shards") {
+            Some(_) => de::field(entries, "shards", "ItemMemory")?,
+            None => 1,
+        };
         let labels: Vec<String> = de::field(entries, "labels", "ItemMemory")?;
         let prototypes: Vec<BipolarHypervector> = de::field(entries, "prototypes", "ItemMemory")?;
         if dim == 0 {
             return Err(DeError::new("dimensionality must be positive").in_field("ItemMemory"));
+        }
+        if shards == 0 {
+            return Err(DeError::new("shard count must be positive").in_field("ItemMemory"));
         }
         if labels.len() != prototypes.len() {
             return Err(DeError::new(format!(
@@ -84,7 +98,7 @@ impl Deserialize for ItemMemory {
             ))
             .in_field("ItemMemory"));
         }
-        let mut memory = ItemMemory::new(dim);
+        let mut memory = ItemMemory::with_shards(dim, shards);
         for (label, hv) in labels.into_iter().zip(prototypes) {
             memory
                 .try_insert(label, hv)
@@ -95,17 +109,31 @@ impl Deserialize for ItemMemory {
 }
 
 impl ItemMemory {
-    /// Creates an empty item memory for hypervectors of dimensionality `dim`.
+    /// Creates an empty single-shard item memory for hypervectors of
+    /// dimensionality `dim`.
     ///
     /// # Panics
     ///
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
+        Self::with_shards(dim, 1)
+    }
+
+    /// Creates an empty item memory whose engine mirror is split across
+    /// `shards` shards; lookups fan the shards out in parallel and are
+    /// bit-identical to the single-shard (and scalar) path for every shard
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `shards == 0`.
+    pub fn with_shards(dim: usize, shards: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
         Self {
             dim,
+            labels: Vec::new(),
             prototypes: Vec::new(),
-            packed: PackedClassMemory::new(dim),
+            sharded: ShardedClassMemory::new(dim, shards),
         }
     }
 
@@ -124,11 +152,27 @@ impl ItemMemory {
         self.dim
     }
 
-    /// The packed word-matrix mirror of this memory — the lossless engine
-    /// representation used for lookups. Pass it to
-    /// [`engine::BatchScorer`] to score whole query batches across threads.
+    /// The sharded word-matrix mirror of this memory — the lossless engine
+    /// representation lookups run through.
+    pub fn sharded(&self) -> &ShardedClassMemory {
+        &self.sharded
+    }
+
+    /// The single packed shard of a single-shard memory — the representation
+    /// [`engine::BatchScorer`] scores whole query batches against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory was built with [`ItemMemory::with_shards`] and
+    /// more than one shard (there is no single contiguous matrix then; use
+    /// [`ItemMemory::sharded`] and its batch lookups instead).
     pub fn packed(&self) -> &PackedClassMemory {
-        &self.packed
+        assert_eq!(
+            self.sharded.num_shards(),
+            1,
+            "packed() requires a single-shard item memory; use sharded() instead"
+        );
+        self.sharded.shard(0)
     }
 
     /// Inserts a labelled prototype, replacing any existing prototype with
@@ -163,33 +207,51 @@ impl ItemMemory {
                 right: hv.dim(),
             });
         }
-        let (pos, replaced) = self.packed.insert_signs(label.into(), hv.as_slice());
-        if replaced {
+        let label = label.into();
+        self.sharded.add_class(label.clone(), hv.as_slice());
+        if let Some(pos) = self.labels.iter().position(|l| *l == label) {
             let old = std::mem::replace(&mut self.prototypes[pos], hv);
             Ok(Some(old))
         } else {
+            self.labels.push(label);
             self.prototypes.push(hv);
             Ok(None)
         }
     }
 
+    /// Removes the prototype stored under `label`, returning it if present.
+    /// Only the engine shard holding the label is repacked.
+    pub fn remove(&mut self, label: &str) -> Option<BipolarHypervector> {
+        let pos = self.labels.iter().position(|l| l == label)?;
+        self.sharded.remove_class(label);
+        self.labels.remove(pos);
+        Some(self.prototypes.remove(pos))
+    }
+
     /// Returns the prototype stored under `label`, if any.
     pub fn get(&self, label: &str) -> Option<&BipolarHypervector> {
-        self.packed.position(label).map(|i| &self.prototypes[i])
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| &self.prototypes[i])
     }
 
     /// Iterates over `(label, prototype)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &BipolarHypervector)> {
-        self.packed.labels().zip(self.prototypes.iter())
+        self.labels
+            .iter()
+            .map(String::as_str)
+            .zip(self.prototypes.iter())
     }
 
     /// Returns the stored labels in insertion order.
     pub fn labels(&self) -> impl Iterator<Item = &str> {
-        self.packed.labels()
+        self.labels.iter().map(String::as_str)
     }
 
     /// Finds the stored prototype most similar to `query` under cosine
-    /// similarity, via the engine's packed popcount sweep.
+    /// similarity, via the engine's packed popcount sweep (shards scored in
+    /// parallel, winners merged on integer Hamming distance).
     ///
     /// Returns `None` if the memory is empty. Ties on similarity resolve to
     /// the lexicographically smallest label.
@@ -203,15 +265,19 @@ impl ItemMemory {
             self.dim,
             "query dimensionality must match the item memory"
         );
-        let query_words = pack_signs(query.as_slice());
-        self.packed
-            .nearest(&query_words)
-            .map(|(index, sim)| (self.packed.label(index), sim))
+        let query_words = engine::pack_signs(query.as_slice());
+        self.sharded.nearest(&query_words)
     }
 
     /// Returns the `k` most similar prototypes, most similar first, via the
     /// engine's packed popcount sweep. Ties on similarity are ordered by
     /// label.
+    ///
+    /// **Truncation contract:** when `k` exceeds the number of stored
+    /// prototypes the result contains every prototype — `min(k, self.len())`
+    /// entries, never an error and never padding — and `k == 0` returns an
+    /// empty vector. (Same contract as `Matrix::topk_rows` and the engine's
+    /// `top_k` family.)
     ///
     /// # Panics
     ///
@@ -222,12 +288,8 @@ impl ItemMemory {
             self.dim,
             "query dimensionality must match the item memory"
         );
-        let query_words = pack_signs(query.as_slice());
-        self.packed
-            .top_k(&query_words, k)
-            .into_iter()
-            .map(|(index, sim)| (self.packed.label(index), sim))
-            .collect()
+        let query_words = engine::pack_signs(query.as_slice());
+        self.sharded.top_k(&query_words, k)
     }
 }
 
@@ -262,6 +324,31 @@ mod tests {
         assert_eq!(mem.get("a"), Some(&b));
         assert_eq!(mem.len(), 1);
         assert_eq!(mem.packed().len(), 1);
+        assert_eq!(mem.sharded().len(), 1);
+    }
+
+    #[test]
+    fn remove_forgets_label_and_repacks() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut mem = ItemMemory::with_shards(256, 2);
+        let protos: Vec<_> = (0..5)
+            .map(|i| {
+                let hv = BipolarHypervector::random(256, &mut rng);
+                mem.insert(format!("c{i}"), hv.clone());
+                hv
+            })
+            .collect();
+        assert_eq!(mem.remove("c2"), Some(protos[2].clone()));
+        assert_eq!(mem.remove("c2"), None);
+        assert_eq!(mem.len(), 4);
+        assert_eq!(mem.sharded().len(), 4);
+        assert!(mem.get("c2").is_none());
+        // The removed prototype no longer wins its own lookup.
+        let (label, _) = mem.nearest(&protos[2]).expect("non-empty");
+        assert_ne!(label, "c2");
+        // Insertion order of the survivors is preserved.
+        let labels: Vec<&str> = mem.labels().collect();
+        assert_eq!(labels, vec!["c0", "c1", "c3", "c4"]);
     }
 
     #[test]
@@ -305,6 +392,45 @@ mod tests {
         assert_eq!(mem.top_k(&query, 100).len(), 10);
     }
 
+    /// Pins the truncation contract for `k` at and past the stored count:
+    /// `min(k, len)` entries, the oversized ask an exact prefix-extension of
+    /// the smaller one, and `k == 0` empty — for every shard count.
+    #[test]
+    fn top_k_truncation_contract_holds_across_shard_counts() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let protos: Vec<_> = (0..7)
+            .map(|_| BipolarHypervector::random(512, &mut rng))
+            .collect();
+        let query = BipolarHypervector::random(512, &mut rng);
+        let mut reference: Option<Vec<(String, u32)>> = None;
+        for shards in [1usize, 2, 3, 7, 11] {
+            let mut mem = ItemMemory::with_shards(512, shards);
+            for (i, hv) in protos.iter().enumerate() {
+                mem.insert(format!("c{i}"), hv.clone());
+            }
+            assert!(mem.top_k(&query, 0).is_empty(), "shards={shards}");
+            assert_eq!(mem.top_k(&query, 7).len(), 7, "shards={shards}");
+            assert_eq!(mem.top_k(&query, 8).len(), 7, "shards={shards}");
+            assert_eq!(mem.top_k(&query, usize::MAX).len(), 7, "shards={shards}");
+            // Oversized k returns the exact full ordering, shard-invariantly.
+            let full: Vec<(String, u32)> = mem
+                .top_k(&query, 100)
+                .into_iter()
+                .map(|(l, s)| (l.to_string(), s.to_bits()))
+                .collect();
+            let prefix: Vec<(String, u32)> = mem
+                .top_k(&query, 3)
+                .into_iter()
+                .map(|(l, s)| (l.to_string(), s.to_bits()))
+                .collect();
+            assert_eq!(&full[..3], &prefix[..], "shards={shards}");
+            match &reference {
+                None => reference = Some(full),
+                Some(expected) => assert_eq!(&full, expected, "shards={shards}"),
+            }
+        }
+    }
+
     #[test]
     fn iteration_order_is_insertion_order() {
         let mut mem = ItemMemory::new(8);
@@ -318,39 +444,49 @@ mod tests {
     /// Regression test for the old behaviour where ties between equally
     /// similar prototypes were resolved by storage iteration order: the
     /// winner is now always the lexicographically smallest label, no matter
-    /// the insertion order.
+    /// the insertion order — or the shard layout.
     #[test]
     fn ties_resolve_to_smallest_label_regardless_of_insertion_order() {
         let proto = BipolarHypervector::ones(64);
         let query = proto.clone();
-        for labels in [
-            ["zeta", "alpha", "mid"],
-            ["alpha", "mid", "zeta"],
-            ["mid", "zeta", "alpha"],
-        ] {
-            let mut mem = ItemMemory::new(64);
-            for label in labels {
-                mem.insert(label, proto.clone());
+        for shards in [1usize, 2, 3] {
+            for labels in [
+                ["zeta", "alpha", "mid"],
+                ["alpha", "mid", "zeta"],
+                ["mid", "zeta", "alpha"],
+            ] {
+                let mut mem = ItemMemory::with_shards(64, shards);
+                for label in labels {
+                    mem.insert(label, proto.clone());
+                }
+                let (label, sim) = mem.nearest(&query).expect("non-empty");
+                assert_eq!(label, "alpha", "shards {shards} insertion {labels:?}");
+                assert_eq!(sim, 1.0);
+                let top: Vec<&str> = mem.top_k(&query, 3).into_iter().map(|(l, _)| l).collect();
+                assert_eq!(
+                    top,
+                    vec!["alpha", "mid", "zeta"],
+                    "shards {shards} insertion {labels:?}"
+                );
             }
-            let (label, sim) = mem.nearest(&query).expect("non-empty");
-            assert_eq!(label, "alpha", "insertion order {labels:?}");
-            assert_eq!(sim, 1.0);
-            let top: Vec<&str> = mem.top_k(&query, 3).into_iter().map(|(l, _)| l).collect();
-            assert_eq!(
-                top,
-                vec!["alpha", "mid", "zeta"],
-                "insertion order {labels:?}"
-            );
         }
     }
 
     /// The engine-backed lookup must be bit-identical to the scalar cosine
-    /// scan it replaced, including at ragged (non-multiple-of-64) dims.
+    /// scan it replaced, including at ragged (non-multiple-of-64) dims and
+    /// for multi-shard memories.
     #[test]
     fn engine_lookup_bit_identical_to_scalar_scan() {
         let mut rng = StdRng::seed_from_u64(11);
-        for dim in [63usize, 64, 65, 100, 777, 1024] {
-            let mut mem = ItemMemory::new(dim);
+        for (dim, shards) in [
+            (63usize, 1usize),
+            (64, 2),
+            (65, 3),
+            (100, 1),
+            (777, 4),
+            (1024, 2),
+        ] {
+            let mut mem = ItemMemory::with_shards(dim, shards);
             let protos: Vec<(String, BipolarHypervector)> = (0..23)
                 .map(|i| {
                     let hv = BipolarHypervector::random(dim, &mut rng);
@@ -370,37 +506,62 @@ mod tests {
                     assert_eq!(
                         sim.to_bits(),
                         query.cosine(proto).to_bits(),
-                        "dim={dim} label={label}"
+                        "dim={dim} shards={shards} label={label}"
                     );
                 }
             }
         }
     }
 
-    /// Serialization must not persist the packed mirror: it is rebuilt on
-    /// load, and lookups through it stay bit-identical after a round trip.
+    /// Serialization must not persist the sharded mirror: it is rebuilt on
+    /// load (preserving the shard count), and lookups through it stay
+    /// bit-identical after a round trip.
     #[test]
-    fn serde_round_trip_rebuilds_packed_mirror() {
+    fn serde_round_trip_rebuilds_sharded_mirror() {
         let mut rng = StdRng::seed_from_u64(21);
         let dim = 130; // ragged on purpose
-        let mut mem = ItemMemory::new(dim);
-        for i in 0..9 {
-            mem.insert(format!("c{i}"), BipolarHypervector::random(dim, &mut rng));
+        for shards in [1usize, 3] {
+            let mut mem = ItemMemory::with_shards(dim, shards);
+            for i in 0..9 {
+                mem.insert(format!("c{i}"), BipolarHypervector::random(dim, &mut rng));
+            }
+            let json = serde_json::to_string(&mem).expect("serialize");
+            assert!(
+                !json.contains("\"sharded\"") && !json.contains("\"words\""),
+                "engine mirror must not be persisted: {json}"
+            );
+            let restored: ItemMemory = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(restored.len(), mem.len());
+            assert_eq!(restored.dim(), mem.dim());
+            assert_eq!(restored.sharded(), mem.sharded());
+            assert_eq!(restored.sharded().num_shards(), shards);
+            for _ in 0..5 {
+                let query = BipolarHypervector::random(dim, &mut rng);
+                assert_eq!(restored.nearest(&query), mem.nearest(&query));
+                assert_eq!(restored.top_k(&query, 4), mem.top_k(&query, 4));
+            }
+        }
+    }
+
+    /// Documents persisted before the sharded mirror existed carry no
+    /// "shards" field; they must keep loading as single-shard memories with
+    /// bit-identical lookups.
+    #[test]
+    fn serde_accepts_pre_shards_documents_as_single_shard() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut mem = ItemMemory::new(130);
+        for i in 0..5 {
+            mem.insert(format!("c{i}"), BipolarHypervector::random(130, &mut rng));
         }
         let json = serde_json::to_string(&mem).expect("serialize");
-        assert!(
-            !json.contains("\"packed\""),
-            "packed mirror must not be persisted: {json}"
-        );
-        let restored: ItemMemory = serde_json::from_str(&json).expect("deserialize");
-        assert_eq!(restored.len(), mem.len());
-        assert_eq!(restored.dim(), mem.dim());
-        assert_eq!(restored.packed(), mem.packed());
-        for _ in 0..5 {
-            let query = BipolarHypervector::random(dim, &mut rng);
-            assert_eq!(restored.nearest(&query), mem.nearest(&query));
-            assert_eq!(restored.top_k(&query, 4), mem.top_k(&query, 4));
-        }
+        // Reconstruct the pre-sharding format by dropping the new field.
+        let legacy = json.replace("\"shards\":1,", "");
+        assert_ne!(legacy, json);
+        let restored: ItemMemory = serde_json::from_str(&legacy).expect("legacy doc loads");
+        assert_eq!(restored.sharded().num_shards(), 1);
+        assert_eq!(restored.sharded(), mem.sharded());
+        let query = BipolarHypervector::random(130, &mut rng);
+        assert_eq!(restored.nearest(&query), mem.nearest(&query));
     }
 
     /// Corrupted documents fail with typed errors instead of breaking the
@@ -422,6 +583,10 @@ mod tests {
         let bad = json.replace("\"dim\":8", "\"dim\":0");
         assert_ne!(bad, json);
         assert!(serde_json::from_str::<ItemMemory>(&bad).is_err());
+        // Zero shards.
+        let bad = json.replace("\"shards\":1", "\"shards\":0");
+        assert_ne!(bad, json);
+        assert!(serde_json::from_str::<ItemMemory>(&bad).is_err());
     }
 
     #[test]
@@ -431,7 +596,7 @@ mod tests {
         // in an item memory of value hypervectors recovers v.
         let mut rng = StdRng::seed_from_u64(4);
         let dim = 4096;
-        let mut values_mem = ItemMemory::new(dim);
+        let mut values_mem = ItemMemory::with_shards(dim, 4);
         let values: Vec<_> = (0..61)
             .map(|i| {
                 let hv = BipolarHypervector::random(dim, &mut rng);

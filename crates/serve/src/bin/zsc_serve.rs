@@ -1,4 +1,5 @@
-//! End-to-end train-once / serve-many driver.
+//! End-to-end train-once / serve-many driver, including serve-time class
+//! registration.
 //!
 //! Exercises the full deployment lifecycle on a synthetic CUB-like dataset:
 //!
@@ -7,24 +8,31 @@
 //! 2. **save** — `Checkpoint::save_json`;
 //! 3. **load** — `Checkpoint::load_json` into a fresh model object;
 //! 4. **serve** — a [`serve::QueryServer`] answers a simulated traffic mix
-//!    (several caller threads, mixed single queries and small batches).
+//!    (several caller threads, mixed single queries and small batches)
+//!    over the evaluation classes *minus* `--register N` held-out classes;
+//! 5. **register** — the held-out classes are registered through the live
+//!    server (`register_class`; one snapshot swap per class, no restart,
+//!    no queue drain);
+//! 6. **re-serve** — the same traffic mix runs again over *all* evaluation
+//!    classes, now served by the swapped snapshots.
 //!
 //! Every served top-1 is cross-checked against direct in-process scoring of
-//! the loaded model — they must be identical — and the output is a single
-//! JSON object on stdout with the same per-path stats shape as `serve_sim`
-//! (queries / elapsed_s / qps / p50_us / p95_us / p99_us, via the shared
-//! ceiling nearest-rank percentile helper).
+//! the loaded model — phase 4 against the initial class set, phase 6 against
+//! the full post-registration set — they must be bit-identical. The output
+//! is a single JSON object on stdout with the same per-path stats shape as
+//! `serve_sim` (queries / elapsed_s / qps / p50_us / p95_us / p99_us, via
+//! the shared ceiling nearest-rank percentile helper).
 //!
 //! ```text
 //! zsc_serve [--classes N] [--images N] [--feature-dim N] [--epochs N]
 //!           [--queries N] [--callers N] [--max-batch N] [--max-wait-us N]
-//!           [--threads N] [--top-k K] [--seed N] [--checkpoint PATH]
-//!           [--quick] [--json]
+//!           [--threads N] [--top-k K] [--shards N] [--register N]
+//!           [--seed N] [--checkpoint PATH] [--quick] [--json]
 //! ```
 
 use dataset::{CubLikeDataset, DatasetConfig, SplitKind};
-use engine::pack_float_signs;
-use hdc_zsc::{Checkpoint, ModelConfig, Pipeline, TrainConfig};
+use engine::ShardedClassMemory;
+use hdc_zsc::{Checkpoint, ModelConfig, Pipeline, TrainConfig, ZscModel};
 use serve::{QueryServer, ScoredLabel, ServerConfig};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -43,6 +51,8 @@ struct Config {
     max_wait_us: u64,
     threads: usize,
     top_k: usize,
+    shards: usize,
+    register: usize,
     seed: u64,
     checkpoint: std::path::PathBuf,
     json: bool,
@@ -61,6 +71,8 @@ impl Default for Config {
             max_wait_us: 200,
             threads: engine::Pool::auto().threads(),
             top_k: 5,
+            shards: 4,
+            register: 3,
             seed: 42,
             checkpoint: std::env::temp_dir().join("zsc_serve_checkpoint.json"),
             json: false,
@@ -91,24 +103,28 @@ fn parse_args() -> Config {
             }
             "--threads" => config.threads = value("--threads").parse().expect("--threads"),
             "--top-k" => config.top_k = value("--top-k").parse().expect("--top-k"),
+            "--shards" => config.shards = value("--shards").parse().expect("--shards"),
+            "--register" => config.register = value("--register").parse().expect("--register"),
             "--seed" => config.seed = value("--seed").parse().expect("--seed"),
             "--checkpoint" => config.checkpoint = value("--checkpoint").into(),
             "--quick" => {
-                // Small CI smoke: train → save → load → serve one batch's
-                // worth of traffic in a few seconds.
+                // Small CI smoke: train → save → load → serve → register →
+                // re-serve in a few seconds.
                 config.classes = 12;
                 config.images = 6;
                 config.feature_dim = 48;
                 config.epochs = 2;
                 config.queries = 256;
                 config.callers = 2;
+                config.register = 2;
             }
             "--json" => config.json = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: zsc_serve [--classes N] [--images N] [--feature-dim N] [--epochs N] \
                      [--queries N] [--callers N] [--max-batch N] [--max-wait-us N] [--threads N] \
-                     [--top-k K] [--seed N] [--checkpoint PATH] [--quick] [--json]"
+                     [--top-k K] [--shards N] [--register N] [--seed N] [--checkpoint PATH] \
+                     [--quick] [--json]"
                 );
                 std::process::exit(0);
             }
@@ -157,16 +173,105 @@ impl PathStats {
     }
 }
 
+/// Drives one multi-caller traffic phase through the server and returns
+/// `(stats, served top-1 per query index)`.
+fn run_traffic(
+    server: &QueryServer,
+    queries: &[Vec<f32>],
+    callers: usize,
+) -> (PathStats, Vec<ScoredLabel>) {
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(queries.len()));
+    let served: Mutex<Vec<(usize, ScoredLabel)>> = Mutex::new(Vec::with_capacity(queries.len()));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (caller, chunk) in queries.chunks(queries.len().div_ceil(callers)).enumerate() {
+            let latencies = &latencies;
+            let served = &served;
+            let base = caller * queries.len().div_ceil(callers);
+            scope.spawn(move || {
+                let mut index = 0usize;
+                while index < chunk.len() {
+                    // Mixed traffic: mostly single queries, every third
+                    // submission a small batch of up to 4 rows.
+                    let batch = if index % 3 == 2 {
+                        (chunk.len() - index).min(4)
+                    } else {
+                        1
+                    };
+                    let rows = &chunk[index..index + batch];
+                    let submit = Instant::now();
+                    let results = server.query_batch(rows).expect("query served");
+                    // Every query in a batched submission blocks from
+                    // submission until the shared result returns, so each
+                    // one experienced the full wall time.
+                    let us = submit.elapsed().as_secs_f64() * 1e6;
+                    let mut lats = latencies.lock().expect("latency mutex");
+                    for _ in 0..batch {
+                        lats.push(us);
+                    }
+                    let mut top = served.lock().expect("served mutex");
+                    for (offset, mut result) in results.into_iter().enumerate() {
+                        top.push((base + index + offset, result.remove(0)));
+                    }
+                    index += batch;
+                }
+            });
+        }
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let mut served_top = served.into_inner().expect("served mutex");
+    served_top.sort_by_key(|(index, _)| *index);
+    assert_eq!(served_top.len(), queries.len());
+    (
+        PathStats::new(latencies.into_inner().expect("latency mutex"), elapsed_s),
+        served_top.into_iter().map(|(_, top)| top).collect(),
+    )
+}
+
+/// Scores every query solo against the reference model + memory and asserts
+/// the served top-1s are bit-identical; returns the direct-path stats.
+fn cross_check(
+    phase: &str,
+    reference_model: &mut ZscModel,
+    reference_memory: &ShardedClassMemory,
+    queries: &[Vec<f32>],
+    served: &[ScoredLabel],
+) -> PathStats {
+    let mut direct_latencies = Vec::with_capacity(queries.len());
+    let direct_start = Instant::now();
+    for (q, (features, (label, sim))) in queries.iter().zip(served).enumerate() {
+        let start = Instant::now();
+        let embedding =
+            reference_model.embed_images(&Matrix::from_rows(std::slice::from_ref(features)), false);
+        let packed = engine::pack_float_signs(embedding.row(0));
+        let (direct_label, direct_sim) =
+            reference_memory.nearest(&packed).expect("non-empty memory");
+        direct_latencies.push(start.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(label, direct_label, "{phase} query {q}: served wrong label");
+        assert_eq!(
+            sim.to_bits(),
+            direct_sim.to_bits(),
+            "{phase} query {q}: served similarity diverges"
+        );
+    }
+    let direct_s = direct_start.elapsed().as_secs_f64();
+    eprintln!("zsc_serve: {phase} top-1 results are bit-identical to direct in-process scoring");
+    PathStats::new(direct_latencies, direct_s)
+}
+
 fn main() {
     let config = parse_args();
     eprintln!(
-        "zsc_serve: classes={} images={} feature_dim={} epochs={} queries={} callers={}",
+        "zsc_serve: classes={} images={} feature_dim={} epochs={} queries={} callers={} \
+         shards={} register={}",
         config.classes,
         config.images,
         config.feature_dim,
         config.epochs,
         config.queries,
-        config.callers
+        config.callers,
+        config.shards,
+        config.register
     );
 
     // --- train ------------------------------------------------------------
@@ -200,125 +305,113 @@ fn main() {
         loaded.format_version
     );
 
-    // --- serve ------------------------------------------------------------
+    // --- serve over the initial class set ----------------------------------
+    // The last `--register` evaluation classes are held out of the initial
+    // serving set and registered through the live server later.
     let split = data.split(SplitKind::Zs);
-    let eval_class_attr = data.class_attribute_matrix(split.eval_classes());
-    let labels: Vec<String> = split
-        .eval_classes()
+    let eval_classes = split.eval_classes();
+    let eval_class_attr = data.class_attribute_matrix(eval_classes);
+    let labels: Vec<String> = eval_classes
         .iter()
         .map(|c| format!("class{c:03}"))
         .collect();
+    let register = config.register.min(labels.len().saturating_sub(1));
+    let initial = labels.len() - register;
+    let initial_labels: Vec<String> = labels[..initial].to_vec();
+    let initial_attr = eval_class_attr.select_rows(&(0..initial).collect::<Vec<_>>());
+
     let mut reference_model = loaded
         .clone()
         .into_model(schema)
         .expect("checkpoint matches the schema");
-    let reference_memory = reference_model.packed_class_memory(labels.clone(), &eval_class_attr);
+    let reference_initial =
+        reference_model.sharded_class_memory(initial_labels.clone(), &initial_attr, config.shards);
+    let reference_full =
+        reference_model.sharded_class_memory(labels.clone(), &eval_class_attr, config.shards);
     let server = QueryServer::from_checkpoint(
         loaded,
         schema,
-        labels,
-        &eval_class_attr,
+        initial_labels,
+        &initial_attr,
         ServerConfig {
             max_batch: config.max_batch,
             max_wait_us: config.max_wait_us,
             threads: config.threads,
             top_k: config.top_k,
+            shards: config.shards,
         },
     )
     .expect("server starts from checkpoint");
 
     // Traffic: evaluation-side features, cycled up to the requested query
-    // count and spread over caller threads; a third of each caller's
-    // traffic goes through small `query_batch` submissions.
-    let (eval_x, _) = data.features_and_labels(split.eval_classes());
+    // count and spread over caller threads.
+    let (eval_x, _) = data.features_and_labels(eval_classes);
     let queries: Vec<Vec<f32>> = (0..config.queries)
         .map(|q| eval_x.row(q % eval_x.rows()).to_vec())
         .collect();
-    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(config.queries));
-    let served: Mutex<Vec<(usize, ScoredLabel)>> = Mutex::new(Vec::with_capacity(config.queries));
-    let serve_start = Instant::now();
-    std::thread::scope(|scope| {
-        for (caller, chunk) in queries
-            .chunks(queries.len().div_ceil(config.callers))
-            .enumerate()
-        {
-            let server = &server;
-            let latencies = &latencies;
-            let served = &served;
-            let base = caller * queries.len().div_ceil(config.callers);
-            scope.spawn(move || {
-                let mut index = 0usize;
-                while index < chunk.len() {
-                    // Mixed traffic: mostly single queries, every third
-                    // submission a small batch of up to 4 rows.
-                    let batch = if index % 3 == 2 {
-                        (chunk.len() - index).min(4)
-                    } else {
-                        1
-                    };
-                    let rows = &chunk[index..index + batch];
-                    let start = Instant::now();
-                    let results = server.query_batch(rows).expect("query served");
-                    // Every query in a batched submission blocks from
-                    // submission until the shared result returns, so each
-                    // one experienced the full wall time.
-                    let us = start.elapsed().as_secs_f64() * 1e6;
-                    let mut lats = latencies.lock().expect("latency mutex");
-                    for _ in 0..batch {
-                        lats.push(us);
-                    }
-                    let mut top = served.lock().expect("served mutex");
-                    for (offset, mut result) in results.into_iter().enumerate() {
-                        top.push((base + index + offset, result.remove(0)));
-                    }
-                    index += batch;
-                }
-            });
-        }
-    });
-    let serve_s = serve_start.elapsed().as_secs_f64();
-    let serve_stats = PathStats::new(latencies.into_inner().expect("latency mutex"), serve_s);
+    let (serve_stats, served_initial) = run_traffic(&server, &queries, config.callers);
+    let direct_stats = cross_check(
+        "pre-registration",
+        &mut reference_model,
+        &reference_initial,
+        &queries,
+        &served_initial,
+    );
 
-    // --- direct reference + cross-check -----------------------------------
-    // Direct path: the same queries scored in-process (no admission queue),
-    // one at a time against the same loaded model.
-    let mut direct_latencies = Vec::with_capacity(queries.len());
-    let mut direct_top: Vec<ScoredLabel> = Vec::with_capacity(queries.len());
-    let direct_start = Instant::now();
-    for q in &queries {
-        let start = Instant::now();
-        let embedding =
-            reference_model.embed_images(&Matrix::from_rows(std::slice::from_ref(q)), false);
-        let packed = pack_float_signs(embedding.row(0));
-        let (index, sim) = reference_memory.nearest(&packed).expect("non-empty memory");
-        direct_latencies.push(start.elapsed().as_secs_f64() * 1e6);
-        direct_top.push((reference_memory.label(index).to_string(), sim));
-    }
-    let direct_s = direct_start.elapsed().as_secs_f64();
-    let direct_stats = PathStats::new(direct_latencies, direct_s);
-
-    let mut served_top = served.into_inner().expect("served mutex");
-    served_top.sort_by_key(|(index, _)| *index);
-    assert_eq!(served_top.len(), queries.len());
-    for ((q, (label, sim)), (direct_label, direct_sim)) in served_top.into_iter().zip(&direct_top) {
-        assert_eq!(&label, direct_label, "query {q}: served wrong label");
-        assert_eq!(
-            sim.to_bits(),
-            direct_sim.to_bits(),
-            "query {q}: served similarity diverges"
+    // --- register the held-out classes through the live server -------------
+    let register_start = Instant::now();
+    for (r, label) in labels.iter().enumerate().skip(initial) {
+        let snapshot = server
+            .register_class(label.clone(), eval_class_attr.row(r))
+            .expect("class registers");
+        eprintln!(
+            "zsc_serve: registered {label} in snapshot v{} ({} classes live)",
+            snapshot.version(),
+            snapshot.memory().len()
         );
     }
-    eprintln!("zsc_serve: served top-1 results are bit-identical to direct in-process scoring");
+    let register_s = register_start.elapsed().as_secs_f64();
+    let final_snapshot = server.snapshot();
+    assert_eq!(final_snapshot.memory().len(), labels.len());
+    for label in &labels {
+        assert!(
+            final_snapshot.memory().contains(label),
+            "{label} must be servable after registration"
+        );
+    }
+
+    // --- re-serve: the registered classes are live, no restart -------------
+    let (post_stats, served_post) = run_traffic(&server, &queries, config.callers);
+    let _ = cross_check(
+        "post-registration",
+        &mut reference_model,
+        &reference_full,
+        &queries,
+        &served_post,
+    );
+    let newly_served = served_post
+        .iter()
+        .filter(|(label, _)| labels[initial..].contains(label))
+        .count();
+    eprintln!(
+        "zsc_serve: {newly_served}/{} post-registration top-1s resolved to a live-registered class",
+        served_post.len()
+    );
 
     let batching = server.stats();
     let json = format!(
         "{{\n  \"config\": {{\"classes\": {}, \"images\": {}, \"feature_dim\": {}, \
          \"epochs\": {}, \"queries\": {}, \"callers\": {}, \"max_batch\": {}, \
-         \"max_wait_us\": {}, \"threads\": {}, \"top_k\": {}, \"seed\": {}}},\n  \
+         \"max_wait_us\": {}, \"threads\": {}, \"top_k\": {}, \"shards\": {}, \
+         \"register\": {register}, \"seed\": {}}},\n  \
          \"train\": {{\"elapsed_s\": {:.3}, \"zs_top1\": {:.4}}},\n  \
          \"checkpoint\": {{\"path\": \"{}\", \"bytes\": {}}},\n  \
-         \"serve\": {},\n  \"direct\": {},\n  \
-         \"batching\": {{\"batches\": {}, \"mean_batch\": {:.2}, \"max_batch_observed\": {}}}\n}}",
+         \"serve\": {},\n  \
+         \"register_phase\": {{\"classes\": {register}, \"elapsed_s\": {:.6}, \
+         \"final_version\": {}, \"top1_hits_on_registered\": {newly_served}}},\n  \
+         \"serve_post_register\": {},\n  \"direct\": {},\n  \
+         \"batching\": {{\"batches\": {}, \"mean_batch\": {:.2}, \"max_batch_observed\": {}, \
+         \"swaps\": {}}}\n}}",
         config.classes,
         config.images,
         config.feature_dim,
@@ -329,27 +422,35 @@ fn main() {
         config.max_wait_us,
         config.threads,
         config.top_k,
+        config.shards,
         config.seed,
         train_s,
         outcome.zsc.top1,
         config.checkpoint.display(),
         checkpoint_bytes,
         serve_stats.to_json(),
+        register_s,
+        final_snapshot.version(),
+        post_stats.to_json(),
         direct_stats.to_json(),
         batching.batches,
         batching.mean_batch(),
         batching.max_batch_observed,
+        batching.swaps,
     );
     if config.json {
         println!("{json}");
     } else {
         eprintln!("{json}");
         eprintln!(
-            "serve {:.0} q/s (p99 {:.0}µs, mean batch {:.1}) | direct {:.0} q/s",
+            "serve {:.0} q/s (p99 {:.0}µs, mean batch {:.1}) | post-register {:.0} q/s | \
+             direct {:.0} q/s | {} swaps",
             serve_stats.qps,
             serve_stats.p99_us,
             batching.mean_batch(),
-            direct_stats.qps
+            post_stats.qps,
+            direct_stats.qps,
+            batching.swaps
         );
     }
 }

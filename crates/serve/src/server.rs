@@ -1,5 +1,6 @@
 //! The query server: a micro-batching admission queue in front of the
-//! batched inference engine.
+//! batched inference engine, serving an **atomically hot-swappable** model
+//! snapshot.
 //!
 //! Concurrent callers submit single backbone-feature rows (or small batches)
 //! through [`QueryServer::query`] / [`QueryServer::query_batch`]. A
@@ -7,16 +8,40 @@
 //! [`ServerConfig::max_batch`] requests, waiting at most
 //! [`ServerConfig::max_wait_us`] after the first arrival — embeds the batch
 //! through the model's image encoder, sign-binarizes the embeddings, and
-//! scores them against the packed class memory with an
-//! [`engine::BatchScorer`] fanned out over the `minipool` pool. Each caller
-//! receives its own top-k labels.
+//! scores them against a sharded packed class memory
+//! ([`engine::ShardedClassMemory`]). Each caller receives its own top-k
+//! labels.
 //!
-//! Results are **bit-identical** to scoring the same query alone: per-query
-//! scores are independent rows of the batched popcount sweep (the engine's
-//! exactness contract), so micro-batching trades latency for throughput
-//! without changing a single output bit.
+//! # Snapshots and hot swap
+//!
+//! All serving state lives in an immutable [`ModelSnapshot`] behind an
+//! `Arc`: the trained model (shared, parameters never mutate while serving)
+//! plus the sharded class memory. The dispatcher picks up the current
+//! snapshot once per coalesced batch, so every batch is scored against
+//! exactly one snapshot and a swap never tears a batch.
+//!
+//! Mutations — [`QueryServer::register_class`],
+//! [`QueryServer::update_class`], [`QueryServer::remove_class`],
+//! [`QueryServer::swap_model`] — build the next snapshot on the caller's
+//! thread and publish it with one `Arc` store. The sharded memory's
+//! copy-on-write shards make the incremental paths cheap: registering a
+//! class clones `Arc` handles for every shard except the one the class
+//! routes to, which alone is repacked. In-flight queries keep scoring
+//! against the old snapshot until the dispatcher's next pickup; nothing
+//! drains, nothing blocks on the queue.
+//!
+//! # Exactness
+//!
+//! Results are **bit-identical** to scoring the same query alone against the
+//! snapshot that served it: per-query scores are independent rows of the
+//! engine's batched popcount sweep and the sharded top-k merge is
+//! bit-identical to the monolithic scorer (the engine's exactness
+//! contract), so micro-batching and sharding trade latency for throughput
+//! without changing a single output bit. [`QueryServer::query_traced`]
+//! returns the serving snapshot's version alongside the labels so callers
+//! (and the hot-swap stress test) can verify exactly that.
 
-use engine::{BatchScorer, PackedClassMemory, PackedQueryBatch, Pool};
+use engine::{PackedQueryBatch, ShardedClassMemory};
 use hdc_zsc::ZscModel;
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -34,8 +59,16 @@ pub struct ServerConfig {
     pub max_wait_us: u64,
     /// Thread count of the engine pool the batch is scored across.
     pub threads: usize,
-    /// How many labels each query gets back, most similar first.
+    /// How many labels each query gets back, most similar first. When this
+    /// exceeds the number of currently-registered classes, each query gets
+    /// every class — `min(top_k, classes)` labels (the engine's truncation
+    /// contract), never an error.
     pub top_k: usize,
+    /// Number of shards the class memory is split across. Lookup results are
+    /// bit-identical for every shard count; more shards make serve-time
+    /// class registration cheaper (only the touched shard is repacked) at a
+    /// small merge cost per query.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -43,8 +76,9 @@ impl Default for ServerConfig {
         Self {
             max_batch: 64,
             max_wait_us: 200,
-            threads: Pool::auto().threads(),
+            threads: engine::Pool::auto().threads(),
             top_k: 5,
+            shards: 4,
         }
     }
 }
@@ -64,7 +98,17 @@ pub enum ServeError {
         /// Width the caller submitted.
         found: usize,
     },
-    /// The server could not be constructed from the given parts.
+    /// A submitted class-attribute row has the wrong width.
+    AttributeWidth {
+        /// Width the model's attribute encoder expects.
+        expected: usize,
+        /// Width the caller submitted.
+        found: usize,
+    },
+    /// A class label was not found (e.g. removing an unregistered class).
+    UnknownClass(String),
+    /// The server could not be constructed from the given parts, or a
+    /// mutation would leave it unservable (e.g. removing the last class).
     InvalidConfig(String),
     /// A checkpoint could not be loaded or validated.
     Checkpoint(hdc_zsc::CheckpointError),
@@ -78,6 +122,11 @@ impl std::fmt::Display for ServeError {
                 f,
                 "feature row has width {found}, the model expects {expected}"
             ),
+            ServeError::AttributeWidth { expected, found } => write!(
+                f,
+                "class-attribute row has width {found}, the model expects {expected}"
+            ),
+            ServeError::UnknownClass(label) => write!(f, "no class registered as `{label}`"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid server configuration: {msg}"),
             ServeError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
         }
@@ -99,7 +148,7 @@ impl From<hdc_zsc::CheckpointError> for ServeError {
     }
 }
 
-/// Counters describing the batching behaviour observed so far.
+/// Counters describing the batching and hot-swap behaviour observed so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
 pub struct ServerStats {
     /// Queries answered.
@@ -108,6 +157,9 @@ pub struct ServerStats {
     pub batches: u64,
     /// Largest coalesced batch observed.
     pub max_batch_observed: usize,
+    /// Snapshot swaps published (class registrations/updates/removals and
+    /// full model swaps).
+    pub swaps: u64,
 }
 
 impl ServerStats {
@@ -121,12 +173,62 @@ impl ServerStats {
     }
 }
 
+/// One immutable serving state: the trained model plus the sharded class
+/// memory derived from it, tagged with a monotonically increasing version.
+///
+/// Snapshots are cheap to derive from one another — the model is shared
+/// through an `Arc` and the memory's shards are copy-on-write — and are
+/// never mutated after publication, so a reader holding an
+/// `Arc<ModelSnapshot>` can score against it indefinitely, swap or no swap.
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    version: u64,
+    model: Arc<ZscModel>,
+    memory: ShardedClassMemory,
+}
+
+impl ModelSnapshot {
+    /// The snapshot's version: 0 for the server's initial state, +1 per
+    /// published swap.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The sharded class memory queries are scored against.
+    pub fn memory(&self) -> &ShardedClassMemory {
+        &self.memory
+    }
+
+    /// The trained model embedding the queries.
+    pub fn model(&self) -> &Arc<ZscModel> {
+        &self.model
+    }
+
+    /// Scores one feature row against this snapshot exactly as the server
+    /// does, but solo — no admission queue, no batching. The serving
+    /// contract is that a query answered under version `v` is bit-identical
+    /// to `solo_topk` on the version-`v` snapshot.
+    ///
+    /// Clones the model internally (embedding requires mutable activation
+    /// buffers), so this is a verification/debugging tool, not a hot path.
+    pub fn solo_topk(&self, features: &[f32], k: usize) -> Vec<ScoredLabel> {
+        let mut model = (*self.model).clone();
+        let embedding = model.embed_images(&Matrix::from_rows(&[features.to_vec()]), false);
+        let packed = engine::pack_float_signs(embedding.row(0));
+        self.memory
+            .top_k(&packed, k)
+            .into_iter()
+            .map(|(label, sim)| (label.to_string(), sim))
+            .collect()
+    }
+}
+
 /// One queued query: the feature row plus the channel its result goes back
 /// on.
 #[derive(Debug)]
 struct Request {
     features: Vec<f32>,
-    responder: mpsc::Sender<Vec<ScoredLabel>>,
+    responder: mpsc::Sender<(u64, Vec<ScoredLabel>)>,
 }
 
 /// State shared between callers and the dispatcher thread.
@@ -135,6 +237,9 @@ struct Shared {
     queue: Mutex<QueueState>,
     arrivals: Condvar,
     stats: Mutex<ServerStats>,
+    /// The current serving snapshot; the dispatcher clones the `Arc` once
+    /// per coalesced batch, mutators store a new one.
+    snapshot: Mutex<Arc<ModelSnapshot>>,
     feature_dim: usize,
 }
 
@@ -142,6 +247,16 @@ struct Shared {
 struct QueueState {
     pending: VecDeque<Request>,
     shutdown: bool,
+}
+
+/// The control plane guarded by one mutex: a private model clone used to
+/// encode newly registered classes (encoding needs mutable activation
+/// buffers), serialized so concurrent mutations publish strictly ordered
+/// versions.
+#[derive(Debug)]
+struct ControlPlane {
+    model: ZscModel,
+    attribute_dim: usize,
 }
 
 /// A running query server; see the module docs.
@@ -165,10 +280,14 @@ struct QueueState {
 ///     QueryServer::start(model, labels, &class_attributes, ServerConfig::default()).unwrap();
 /// let top = server.query(&[0.25; 16]).unwrap();
 /// assert!(!top.is_empty());
+/// // A class registered mid-flight becomes servable without a restart.
+/// server.register_class("d", &vec![1.0; 312]).unwrap();
+/// assert!(server.snapshot().memory().contains("d"));
 /// ```
 #[derive(Debug)]
 pub struct QueryServer {
     shared: Arc<Shared>,
+    control: Mutex<ControlPlane>,
     dispatcher: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -177,8 +296,8 @@ impl QueryServer {
     /// one label per row of `class_attributes`.
     ///
     /// The class-attribute matrix is encoded once into sign-binarized class
-    /// signatures (the engine's packed representation); queries then run
-    /// entirely through the popcount path.
+    /// signatures split across [`ServerConfig::shards`] shards; queries then
+    /// run entirely through the popcount path.
     ///
     /// # Errors
     ///
@@ -212,7 +331,20 @@ impl QueryServer {
                 "top_k must be at least 1".to_string(),
             ));
         }
-        let memory = model.packed_class_memory(labels, class_attributes);
+        if config.shards == 0 {
+            return Err(ServeError::InvalidConfig(
+                "shards must be at least 1".to_string(),
+            ));
+        }
+        let attribute_dim = class_attributes.cols();
+        let memory = model
+            .sharded_class_memory(labels, class_attributes, config.shards)
+            .with_threads(config.threads);
+        let snapshot = Arc::new(ModelSnapshot {
+            version: 0,
+            model: Arc::new(model.clone()),
+            memory,
+        });
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 pending: VecDeque::new(),
@@ -220,14 +352,19 @@ impl QueryServer {
             }),
             arrivals: Condvar::new(),
             stats: Mutex::new(ServerStats::default()),
+            snapshot: Mutex::new(snapshot),
             feature_dim: model.image_encoder().feature_dim(),
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || dispatch_loop(&shared, model, &memory, config))
+            std::thread::spawn(move || dispatch_loop(&shared, config))
         };
         Ok(Self {
             shared,
+            control: Mutex::new(ControlPlane {
+                model,
+                attribute_dim,
+            }),
             dispatcher: Some(dispatcher),
         })
     }
@@ -256,9 +393,210 @@ impl QueryServer {
         self.shared.feature_dim
     }
 
-    /// Batching counters observed so far.
+    /// Batching and hot-swap counters observed so far.
     pub fn stats(&self) -> ServerStats {
         *self.shared.stats.lock().expect("stats mutex poisoned")
+    }
+
+    /// The snapshot queries are currently being scored against. Batches
+    /// already in flight may still complete against an older snapshot.
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        Arc::clone(
+            &self
+                .shared
+                .snapshot
+                .lock()
+                .expect("snapshot mutex poisoned"),
+        )
+    }
+
+    /// Registers (or replaces) a class under `label` from its
+    /// class-attribute row, atomically publishing a new snapshot. The class
+    /// is servable by the next coalesced batch — no restart, no queue drain;
+    /// only the shard the class routes to is repacked.
+    ///
+    /// Returns the snapshot now serving, so callers can record exactly which
+    /// version their class became visible in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::AttributeWidth`] for a mis-sized attribute row.
+    pub fn register_class(
+        &self,
+        label: impl Into<String>,
+        attributes: &[f32],
+    ) -> Result<Arc<ModelSnapshot>, ServeError> {
+        let mut control = self.control.lock().expect("control mutex poisoned");
+        self.register_locked(&mut control, label.into(), attributes)
+    }
+
+    /// Replaces the attribute row of an *already registered* class; see
+    /// [`QueryServer::register_class`] for the upsert variant. The existence
+    /// check and the publish happen under one control-mutex critical
+    /// section, so a concurrent `remove_class` cannot slip in between (the
+    /// update can never resurrect a just-removed class).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownClass`] when `label` is not registered
+    /// and [`ServeError::AttributeWidth`] for a mis-sized row.
+    pub fn update_class(
+        &self,
+        label: &str,
+        attributes: &[f32],
+    ) -> Result<Arc<ModelSnapshot>, ServeError> {
+        let mut control = self.control.lock().expect("control mutex poisoned");
+        if !self.snapshot().memory.contains(label) {
+            return Err(ServeError::UnknownClass(label.to_string()));
+        }
+        self.register_locked(&mut control, label.to_string(), attributes)
+    }
+
+    /// The shared register/update body; the caller must hold the control
+    /// mutex so existence checks, encoding, and the publish are atomic with
+    /// respect to every other mutation.
+    fn register_locked(
+        &self,
+        control: &mut ControlPlane,
+        label: String,
+        attributes: &[f32],
+    ) -> Result<Arc<ModelSnapshot>, ServeError> {
+        if attributes.len() != control.attribute_dim {
+            return Err(ServeError::AttributeWidth {
+                expected: control.attribute_dim,
+                found: attributes.len(),
+            });
+        }
+        let signature = control.model.packed_class_signature(attributes);
+        Ok(self.publish(|snapshot| {
+            let mut memory = snapshot.memory.clone();
+            memory.add_class_packed(label, &signature);
+            ModelSnapshot {
+                version: snapshot.version + 1,
+                model: Arc::clone(&snapshot.model),
+                memory,
+            }
+        }))
+    }
+
+    /// Unregisters a class, atomically publishing a snapshot without it;
+    /// only the shard that held the class is repacked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownClass`] when `label` is not registered
+    /// and [`ServeError::InvalidConfig`] when removing it would leave the
+    /// server with no classes at all.
+    pub fn remove_class(&self, label: &str) -> Result<Arc<ModelSnapshot>, ServeError> {
+        let _control = self.control.lock().expect("control mutex poisoned");
+        {
+            let current = self.snapshot();
+            if !current.memory.contains(label) {
+                return Err(ServeError::UnknownClass(label.to_string()));
+            }
+            if current.memory.len() == 1 {
+                return Err(ServeError::InvalidConfig(
+                    "cannot remove the last registered class".to_string(),
+                ));
+            }
+        }
+        Ok(self.publish(|snapshot| {
+            let mut memory = snapshot.memory.clone();
+            memory.remove_class(label);
+            ModelSnapshot {
+                version: snapshot.version + 1,
+                model: Arc::clone(&snapshot.model),
+                memory,
+            }
+        }))
+    }
+
+    /// Replaces the entire serving state — model and class set — with one
+    /// atomic snapshot publication (e.g. rolling out a retrained
+    /// checkpoint). Queries already coalesced keep their old snapshot; the
+    /// next batch is scored by the new model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::AttributeWidth`] when the matrix width does not
+    /// match the new model's attribute encoder, and
+    /// [`ServeError::InvalidConfig`] when the labels and matrix do not line
+    /// up, the class set is empty, or the new model expects a different
+    /// backbone feature width than the server was started with (in-flight
+    /// and future callers would be rejected by the width check).
+    pub fn swap_model(
+        &self,
+        mut model: ZscModel,
+        labels: Vec<String>,
+        class_attributes: &Matrix,
+    ) -> Result<Arc<ModelSnapshot>, ServeError> {
+        if labels.len() != class_attributes.rows() {
+            return Err(ServeError::InvalidConfig(format!(
+                "{} labels for {} class-attribute rows",
+                labels.len(),
+                class_attributes.rows()
+            )));
+        }
+        if class_attributes.rows() == 0 {
+            return Err(ServeError::InvalidConfig(
+                "cannot serve an empty class set".to_string(),
+            ));
+        }
+        if model.image_encoder().feature_dim() != self.shared.feature_dim {
+            return Err(ServeError::InvalidConfig(format!(
+                "swapped model expects feature width {}, the server serves {}",
+                model.image_encoder().feature_dim(),
+                self.shared.feature_dim
+            )));
+        }
+        // Validated before the control mutex is taken: the attribute encoder
+        // asserts this width, and a panic while holding the lock would
+        // poison the whole mutation plane.
+        let expected_attributes = model.attribute_encoder().num_attributes();
+        if class_attributes.cols() != expected_attributes {
+            return Err(ServeError::AttributeWidth {
+                expected: expected_attributes,
+                found: class_attributes.cols(),
+            });
+        }
+        let mut control = self.control.lock().expect("control mutex poisoned");
+        let (shards, threads) = {
+            let current = self.snapshot();
+            (current.memory.num_shards(), current.memory.threads())
+        };
+        let memory = model
+            .sharded_class_memory(labels, class_attributes, shards)
+            .with_threads(threads);
+        control.attribute_dim = class_attributes.cols();
+        control.model = model.clone();
+        let model = Arc::new(model);
+        Ok(self.publish(move |snapshot| ModelSnapshot {
+            version: snapshot.version + 1,
+            model,
+            memory,
+        }))
+    }
+
+    /// Builds the next snapshot from the current one and stores it; the
+    /// caller must hold the control mutex so versions are strictly ordered.
+    fn publish<F>(&self, next: F) -> Arc<ModelSnapshot>
+    where
+        F: FnOnce(&ModelSnapshot) -> ModelSnapshot,
+    {
+        let mut slot = self
+            .shared
+            .snapshot
+            .lock()
+            .expect("snapshot mutex poisoned");
+        let swapped = Arc::new(next(&slot));
+        *slot = Arc::clone(&swapped);
+        drop(slot);
+        self.shared
+            .stats
+            .lock()
+            .expect("stats mutex poisoned")
+            .swaps += 1;
+        swapped
     }
 
     /// Submits one backbone-feature row and blocks until its top-k labels
@@ -269,6 +607,17 @@ impl QueryServer {
     /// Returns [`ServeError::FeatureWidth`] for mis-sized rows and
     /// [`ServeError::Stopped`] when the server shuts down first.
     pub fn query(&self, features: &[f32]) -> Result<Vec<ScoredLabel>, ServeError> {
+        self.query_traced(features).map(|(_, top)| top)
+    }
+
+    /// Like [`QueryServer::query`], additionally reporting the version of
+    /// the [`ModelSnapshot`] that served the query — the handle for
+    /// verifying the bit-identity contract under concurrent hot swaps.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QueryServer::query`].
+    pub fn query_traced(&self, features: &[f32]) -> Result<(u64, Vec<ScoredLabel>), ServeError> {
         let mut results = self.enqueue(vec![features.to_vec()])?;
         Ok(results.pop().expect("one result per submitted row"))
     }
@@ -278,7 +627,8 @@ impl QueryServer {
     ///
     /// The rows enter the same admission queue as everyone else's, so they
     /// may be coalesced with other callers' queries or split across engine
-    /// dispatches.
+    /// dispatches (and, across a hot swap, even be served by different
+    /// snapshot versions).
     ///
     /// # Errors
     ///
@@ -286,12 +636,16 @@ impl QueryServer {
     /// batch is rejected before anything is enqueued) and
     /// [`ServeError::Stopped`] when the server shuts down first.
     pub fn query_batch(&self, rows: &[Vec<f32>]) -> Result<Vec<Vec<ScoredLabel>>, ServeError> {
-        self.enqueue(rows.to_vec())
+        Ok(self
+            .enqueue(rows.to_vec())?
+            .into_iter()
+            .map(|(_, top)| top)
+            .collect())
     }
 
     /// Validates widths, enqueues the owned rows (no further copies — the
     /// dispatcher moves them out of the queue), and blocks for the results.
-    fn enqueue(&self, rows: Vec<Vec<f32>>) -> Result<Vec<Vec<ScoredLabel>>, ServeError> {
+    fn enqueue(&self, rows: Vec<Vec<f32>>) -> Result<Vec<(u64, Vec<ScoredLabel>)>, ServeError> {
         for row in &rows {
             if row.len() != self.shared.feature_dim {
                 return Err(ServeError::FeatureWidth {
@@ -336,15 +690,24 @@ impl Drop for QueryServer {
     }
 }
 
-/// The dispatcher: collect → embed → pack → score → respond, forever.
-fn dispatch_loop(
-    shared: &Shared,
-    mut model: ZscModel,
-    memory: &PackedClassMemory,
-    config: ServerConfig,
-) {
-    let scorer = BatchScorer::new(memory).with_threads(config.threads);
+/// The dispatcher: collect → pick up snapshot → embed → pack → score →
+/// respond, forever.
+///
+/// The dispatcher keeps one private model clone for embedding (forward
+/// passes need mutable activation buffers) and re-clones it only when a
+/// snapshot carries a *different* model `Arc` — class registrations share
+/// the model, so the common swap path never copies weights here.
+fn dispatch_loop(shared: &Shared, config: ServerConfig) {
+    let initial = Arc::clone(&shared.snapshot.lock().expect("snapshot mutex poisoned"));
+    let mut model: ZscModel = (*initial.model).clone();
+    let mut model_src: Arc<ZscModel> = Arc::clone(&initial.model);
+    drop(initial);
     while let Some(mut batch) = collect_batch(shared, config.max_batch, config.max_wait_us) {
+        let snapshot = Arc::clone(&shared.snapshot.lock().expect("snapshot mutex poisoned"));
+        if !Arc::ptr_eq(&model_src, &snapshot.model) {
+            model = (*snapshot.model).clone();
+            model_src = Arc::clone(&snapshot.model);
+        }
         let rows: Vec<Vec<f32>> = batch
             .iter_mut()
             .map(|r| std::mem::take(&mut r.features))
@@ -352,10 +715,10 @@ fn dispatch_loop(
         let features = Matrix::from_rows(&rows);
         // Inference-mode embedding (no caches), then sign-binarization into
         // the engine's packed query layout — the same path
-        // `ZscModel::packed_class_memory` uses for the class side.
+        // `ZscModel::sharded_class_memory` uses for the class side.
         let embeddings = model.embed_images(&features, false);
         let queries = PackedQueryBatch::from_sign_matrix(&embeddings);
-        let topk = scorer.topk_batch(&queries, config.top_k);
+        let topk = snapshot.memory.topk_batch(&queries, config.top_k);
         {
             let mut stats = shared.stats.lock().expect("stats mutex poisoned");
             stats.queries += batch.len() as u64;
@@ -365,10 +728,10 @@ fn dispatch_loop(
         for (request, result) in batch.into_iter().zip(topk) {
             let labelled: Vec<ScoredLabel> = result
                 .into_iter()
-                .map(|(index, sim)| (memory.label(index).to_string(), sim))
+                .map(|(label, sim)| (label.to_string(), sim))
                 .collect();
             // A disconnected receiver just means the caller gave up; drop it.
-            let _ = request.responder.send(labelled);
+            let _ = request.responder.send((snapshot.version, labelled));
         }
     }
 }

@@ -1,0 +1,201 @@
+//! Concurrency stress test for the hot-swap path: many client threads
+//! hammer the [`QueryServer`] while the main thread repeatedly registers,
+//! updates, and removes classes (publishing a new snapshot each time).
+//!
+//! Asserts:
+//!
+//! * no deadlock — every query completes and the server shuts down cleanly
+//!   (the test itself finishing is the liveness assertion; CI enforces an
+//!   overall timeout);
+//! * **every** response is bit-identical to solo scoring against the exact
+//!   snapshot version that served it ([`ModelSnapshot::solo_topk`]), i.e. a
+//!   swap never tears a batch and never changes a single output bit of
+//!   queries served under the old version;
+//! * versions observed by each caller are monotonically non-decreasing (the
+//!   snapshot slot is swapped atomically, and the admission queue is FIFO
+//!   per caller).
+
+use dataset::AttributeSchema;
+use hdc_zsc::{ModelConfig, ZscModel};
+use serve::{ModelSnapshot, QueryServer, ServerConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use tensor::Matrix;
+
+const FEATURE_DIM: usize = 32;
+const CALLERS: usize = 6;
+const QUERIES_PER_CALLER: usize = 60;
+const SWAPS: usize = 40;
+
+#[test]
+fn queries_stay_bit_identical_under_repeated_hot_swaps() {
+    let schema = AttributeSchema::cub200();
+    let model = ZscModel::new(&ModelConfig::tiny().with_seed(23), &schema, FEATURE_DIM);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(31);
+    let class_attributes = Matrix::random_uniform(8, 312, 0.5, &mut rng).map(f32::abs);
+    let labels: Vec<String> = (0..8).map(|c| format!("base{c}")).collect();
+    let server = QueryServer::start(
+        model,
+        labels,
+        &class_attributes,
+        ServerConfig {
+            max_batch: 16,
+            max_wait_us: 150,
+            threads: 2,
+            top_k: 3,
+            shards: 3,
+        },
+    )
+    .expect("server starts");
+
+    // Every snapshot version ever published, recorded by the (single)
+    // swapping thread: version → snapshot. Workers verify against this map
+    // after the traffic finishes.
+    let snapshots: Mutex<HashMap<u64, Arc<ModelSnapshot>>> = Mutex::new(HashMap::new());
+    {
+        let initial = server.snapshot();
+        snapshots
+            .lock()
+            .expect("snapshot map")
+            .insert(initial.version(), initial);
+    }
+
+    // Deterministic per-caller query streams.
+    let streams: Vec<Vec<Vec<f32>>> = (0..CALLERS)
+        .map(|_| {
+            (0..QUERIES_PER_CALLER)
+                .map(|_| {
+                    Matrix::random_uniform(1, FEATURE_DIM, 1.0, &mut rng)
+                        .row(0)
+                        .to_vec()
+                })
+                .collect()
+        })
+        .collect();
+    let swap_attrs: Vec<Vec<f32>> = (0..SWAPS)
+        .map(|_| {
+            Matrix::random_uniform(1, 312, 0.5, &mut rng)
+                .map(f32::abs)
+                .row(0)
+                .to_vec()
+        })
+        .collect();
+
+    // (version, query index, caller, served labels+bits) per response.
+    type Observation = (u64, usize, usize, Vec<(String, u32)>);
+    let observations: Mutex<Vec<Observation>> = Mutex::new(Vec::new());
+    // Answered-query counter the swapping thread paces itself against, so
+    // the interleaving does not depend on OS scheduling: swap `s` waits for
+    // ~s/SWAPS of the traffic to be answered first.
+    let answered = AtomicUsize::new(0);
+    let total_queries = CALLERS * QUERIES_PER_CALLER;
+
+    std::thread::scope(|scope| {
+        for (caller, stream) in streams.iter().enumerate() {
+            let server = &server;
+            let observations = &observations;
+            let answered = &answered;
+            scope.spawn(move || {
+                let mut last_version = 0u64;
+                for (q, features) in stream.iter().enumerate() {
+                    let (version, served) = server.query_traced(features).expect("query served");
+                    assert!(
+                        version >= last_version,
+                        "caller {caller}: version went backwards ({last_version} -> {version})"
+                    );
+                    last_version = version;
+                    let served: Vec<(String, u32)> = served
+                        .into_iter()
+                        .map(|(label, sim)| (label, sim.to_bits()))
+                        .collect();
+                    observations
+                        .lock()
+                        .expect("observations")
+                        .push((version, q, caller, served));
+                    answered.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+
+        // The swapping thread: interleave registrations, updates, and
+        // removals while the callers are in flight, recording every
+        // published snapshot. Each swap waits until a proportional slice of
+        // the traffic has been answered, which guarantees the interleaving
+        // on any scheduler: responses answered before swap 1 carry version
+        // 0, and since swap `s` publishes with at least
+        // `total - s·total/SWAPS` queries still unanswered, later responses
+        // observe later versions.
+        for (s, attrs) in swap_attrs.iter().enumerate() {
+            let progress_gate = (s * total_queries / SWAPS).max(1);
+            while answered.load(Ordering::SeqCst) < progress_gate.min(total_queries) {
+                std::thread::yield_now();
+            }
+            let snapshot = match s % 4 {
+                // Register a brand-new class.
+                0 | 1 => server
+                    .register_class(format!("hot{s}"), attrs)
+                    .expect("class registers"),
+                // Re-point an earlier hot class at new attributes (falls
+                // back to registering when it was already removed).
+                2 => server
+                    .register_class(format!("hot{}", s.saturating_sub(2)), attrs)
+                    .expect("class re-registers"),
+                // Remove an earlier hot class when still present.
+                _ => match server.remove_class(&format!("hot{}", s.saturating_sub(3))) {
+                    Ok(snapshot) => snapshot,
+                    Err(_) => server
+                        .register_class(format!("hot{s}-b"), attrs)
+                        .expect("fallback registers"),
+                },
+            };
+            snapshots
+                .lock()
+                .expect("snapshot map")
+                .insert(snapshot.version(), snapshot);
+        }
+    });
+
+    let observations = observations.into_inner().expect("observations");
+    assert_eq!(observations.len(), CALLERS * QUERIES_PER_CALLER);
+    let snapshots = snapshots.into_inner().expect("snapshot map");
+    assert_eq!(
+        snapshots.len(),
+        SWAPS + 1,
+        "every version was recorded once"
+    );
+
+    // The heart of the test: each response must be bit-identical to solo
+    // scoring against precisely the snapshot version that served it.
+    let mut versions_seen: Vec<u64> = Vec::new();
+    for (version, q, caller, served) in observations {
+        let snapshot = snapshots
+            .get(&version)
+            .unwrap_or_else(|| panic!("response carries unknown version {version}"));
+        let expected: Vec<(String, u32)> = snapshot
+            .solo_topk(&streams[caller][q], 3)
+            .into_iter()
+            .map(|(label, sim)| (label, sim.to_bits()))
+            .collect();
+        assert_eq!(
+            served, expected,
+            "caller {caller} query {q} diverged from snapshot v{version}"
+        );
+        versions_seen.push(version);
+    }
+    // Sanity: the stress actually exercised multiple snapshot versions.
+    versions_seen.sort_unstable();
+    versions_seen.dedup();
+    assert!(
+        versions_seen.len() >= 2,
+        "traffic should have been served by at least two snapshot versions \
+         (saw {versions_seen:?}); increase the interleaving if this flakes"
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.queries, (CALLERS * QUERIES_PER_CALLER) as u64);
+    assert_eq!(stats.swaps, SWAPS as u64);
+    // Clean shutdown: dropping the server joins the dispatcher; reaching
+    // this point without hanging is the no-deadlock assertion.
+    drop(server);
+}

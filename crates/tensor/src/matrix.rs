@@ -680,6 +680,13 @@ impl Matrix {
     /// similar first. Ties on value resolve to the smaller index, so results
     /// are deterministic.
     ///
+    /// **Truncation contract:** `k` is clamped to the column count — asking
+    /// for more entries than a row has returns each row's full descending
+    /// ordering (`min(k, cols)` indices, never an error and never padding),
+    /// and `k == 0` returns empty rows. The engine's `top_k` family and
+    /// `hdc::ItemMemory::top_k` follow the same rule, so `k ≥ classes` is a
+    /// safe way to ask for "everything, ranked" anywhere in the workspace.
+    ///
     /// Runs in `O(C + k log k)` per row via `select_nth_unstable_by` plus a
     /// sort of the `k`-prefix, instead of fully sorting every row
     /// (`O(C log C)`) just to keep `k` indices — the win matters on the
@@ -891,6 +898,18 @@ mod tests {
         let topk = a.topk_rows(2);
         assert_eq!(topk[0], vec![1, 2]);
         assert_eq!(topk[1], vec![0, 2]);
+    }
+
+    /// Pins the truncation contract: `k` at, past, and far past the column
+    /// count returns each row's full descending ordering; `k == 0` is empty.
+    #[test]
+    fn topk_rows_truncates_past_column_count() {
+        let a = Matrix::from_rows(&[vec![0.1, 0.9, 0.5], vec![2.0, -1.0, 0.0]]);
+        let full = vec![vec![1usize, 2, 0], vec![0usize, 2, 1]];
+        assert_eq!(a.topk_rows(3), full);
+        assert_eq!(a.topk_rows(4), full);
+        assert_eq!(a.topk_rows(usize::MAX), full);
+        assert_eq!(a.topk_rows(0), vec![Vec::<usize>::new(); 2]);
     }
 
     #[test]

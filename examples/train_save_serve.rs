@@ -90,4 +90,25 @@ fn main() {
         stats.mean_batch(),
         100.0 * correct as f32 / eval_x.rows() as f32
     );
+
+    // 5. Serve-time hot swap: register one of the *training* classes through
+    //    the live server — no restart, no queue drain; only the memory shard
+    //    the class routes to is repacked, and the next batch can serve it.
+    let extra = split.train_classes()[0];
+    let extra_label = format!("class{extra:03}");
+    let extra_attr = data.class_attribute_matrix(&[extra]);
+    let snapshot = server
+        .register_class(extra_label.clone(), extra_attr.row(0))
+        .expect("class registers");
+    println!(
+        "registered {extra_label} live in snapshot v{} ({} classes servable)",
+        snapshot.version(),
+        snapshot.memory().len()
+    );
+    let (train_x, _) = data.features_and_labels(&[extra]);
+    let top = server.query(train_x.row(0)).expect("query served");
+    println!(
+        "first query after the swap answered with top-1 {}",
+        top[0].0
+    );
 }

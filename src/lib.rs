@@ -4,6 +4,9 @@
 //! cross-crate integration tests (`tests/`); it re-exports the workspace
 //! crates so examples can refer to everything through one dependency.
 //!
+//! * [`engine`] — batched inference engine (packed + sharded class
+//!   memories, batch scorer, row-parallel dense scoring);
+//! * [`serve`] — online serving (hot-swappable snapshot `QueryServer`);
 //! * [`hdc`] — hyperdimensional-computing substrate (hypervectors, binding,
 //!   bundling, codebooks, item memories);
 //! * [`tensor`] / [`nn`] — dense linear algebra and the trainable-layer
@@ -19,8 +22,10 @@
 
 pub use baselines;
 pub use dataset;
+pub use engine;
 pub use hdc;
 pub use hdc_zsc;
 pub use metrics;
 pub use nn;
+pub use serve;
 pub use tensor;

@@ -1,0 +1,333 @@
+//! Scenario/golden regression harness.
+//!
+//! Each scenario is a seeded end-to-end script (train → serve → register
+//! classes → re-query, or a pure engine mutation sequence) whose outcome is
+//! rendered to a canonical JSON document and compared **byte-for-byte**
+//! against a committed golden file under `tests/scenarios/golden/`. Because
+//! everything in the workspace is a pure function of `(config, seed)` and
+//! the engine's scoring paths are bit-identical across thread and shard
+//! counts, these documents pin the system's externally visible behaviour —
+//! logits, labels, metrics, snapshot versions — across releases: any future
+//! PR that changes a single output bit turns up as a golden diff instead of
+//! slipping through.
+//!
+//! ## Blessing new goldens
+//!
+//! When a change *intentionally* alters an outcome (or a new scenario is
+//! added), regenerate the goldens with:
+//!
+//! ```bash
+//! SCENARIO_BLESS=1 cargo test --test scenarios
+//! ```
+//!
+//! and commit the rewritten files. Without `SCENARIO_BLESS`, a mismatch
+//! fails the test and writes the actual document to
+//! `target/scenario-diffs/<name>.actual.json` so CI can upload it and the
+//! divergence can be inspected with any JSON diff tool.
+
+use dataset::{CubLikeDataset, DatasetConfig, SplitKind};
+use hdc_zsc::{ModelConfig, Pipeline, TrainConfig};
+use serde::{Serialize, Value};
+use serve::{QueryServer, ServerConfig};
+use std::path::PathBuf;
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/scenarios/golden")
+        .join(format!("{name}.json"))
+}
+
+fn diff_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target/scenario-diffs")
+        .join(format!("{name}.actual.json"))
+}
+
+/// Renders `document` canonically and compares it against the committed
+/// golden; see the module docs for the bless workflow.
+fn check_golden(name: &str, document: &Value) {
+    let actual = serde_json::to_string_pretty(document).expect("scenario document renders") + "\n";
+    let path = golden_path(name);
+    if std::env::var_os("SCENARIO_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&path, &actual).expect("write golden");
+        eprintln!("scenario `{name}`: blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "scenario `{name}`: no golden at {} ({e}); run `SCENARIO_BLESS=1 cargo test \
+             --test scenarios` and commit the result",
+            path.display()
+        )
+    });
+    if actual != expected {
+        let diff = diff_path(name);
+        std::fs::create_dir_all(diff.parent().expect("diff dir")).expect("create diff dir");
+        std::fs::write(&diff, &actual).expect("write actual document");
+        // Point at the first diverging line to make CI logs useful without
+        // downloading the artifact.
+        let line = actual
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, e)| a != e)
+            .map_or(actual.lines().count().min(expected.lines().count()), |l| {
+                l + 1
+            });
+        panic!(
+            "scenario `{name}` diverged from its golden (first difference at line {line}).\n\
+             golden:  {}\nactual:  {}\n\
+             If the change is intentional, re-bless with `SCENARIO_BLESS=1 cargo test --test \
+             scenarios` and commit the new golden.",
+            path.display(),
+            diff.display()
+        );
+    }
+}
+
+fn object(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// `(label, similarity)` pairs as a JSON array; the float similarities
+/// round-trip bit-exactly through the shortest-representation formatter, so
+/// a byte-equal golden pins the exact logit bits.
+fn scored(top: &[(String, f32)]) -> Value {
+    Value::Array(
+        top.iter()
+            .map(|(label, sim)| {
+                object(vec![
+                    ("label", label.to_value()),
+                    ("similarity", sim.to_value()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline golden scenarios
+// ---------------------------------------------------------------------------
+
+/// `Pipeline::run` on the seeded synthetic dataset: the committed golden is
+/// the full serialized `PipelineOutcome` (accuracies, per-group WMAP, loss
+/// curves, parameter accounting), bit-exact.
+fn pipeline_document(split: SplitKind, name: &str) -> Value {
+    let mut config = DatasetConfig::tiny(29);
+    config.num_classes = 12;
+    config.images_per_class = 6;
+    config.feature_dim = 48;
+    let data = CubLikeDataset::generate(&config);
+    let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(3));
+    let outcome = pipeline.run(&data, split, 1);
+    object(vec![
+        ("scenario", name.to_value()),
+        ("dataset_seed", 29u64.to_value()),
+        ("pipeline_seed", 1u64.to_value()),
+        ("split", format!("{split:?}").to_value()),
+        ("outcome", outcome.to_value()),
+    ])
+}
+
+#[test]
+fn scenario_pipeline_zs() {
+    check_golden(
+        "pipeline_zs",
+        &pipeline_document(SplitKind::Zs, "pipeline_zs"),
+    );
+}
+
+#[test]
+fn scenario_pipeline_nozs() {
+    check_golden(
+        "pipeline_nozs",
+        &pipeline_document(SplitKind::NoZs, "pipeline_nozs"),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Sharded memory mutation scenario
+// ---------------------------------------------------------------------------
+
+/// A pure engine script: a deterministic add/update/remove sequence against
+/// a 3-shard memory at a ragged dimension, dumping shard occupancy and
+/// top-k outcomes (including `k = 0` and `k` past the class count) after
+/// every stage.
+#[test]
+fn scenario_sharded_memory_ops() {
+    let dim = 70usize; // ragged: 2 words, 6 live tail bits
+    let mut state = 0x5eed_cafe_f00du64;
+    let mut next_signs = || -> Vec<i8> {
+        (0..dim)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if state >> 63 == 0 {
+                    1
+                } else {
+                    -1
+                }
+            })
+            .collect()
+    };
+    let mut memory = engine::ShardedClassMemory::new(dim, 3);
+    let probe = engine::pack_signs(&next_signs());
+    let mut stages: Vec<Value> = Vec::new();
+    let mut record = |stage: &str, memory: &engine::ShardedClassMemory| {
+        let shard_sizes: Vec<usize> = (0..memory.num_shards())
+            .map(|s| memory.shard(s).len())
+            .collect();
+        let dump = |k: usize| {
+            scored(
+                &memory
+                    .top_k(&probe, k)
+                    .into_iter()
+                    .map(|(label, sim)| (label.to_string(), sim))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        stages.push(object(vec![
+            ("stage", stage.to_value()),
+            ("classes", memory.len().to_value()),
+            ("shard_sizes", shard_sizes.to_value()),
+            ("top_0", dump(0)),
+            ("top_3", dump(3)),
+            ("top_all_plus_5", dump(memory.len() + 5)),
+        ]));
+    };
+    let rows: Vec<Vec<i8>> = (0..10).map(|_| next_signs()).collect();
+    for (c, row) in rows.iter().take(7).enumerate() {
+        memory.add_class(format!("class{c:02}"), row);
+    }
+    record("seed_7_classes", &memory);
+    memory.update_class("class02", &rows[7]);
+    memory.update_class("class05", &rows[8]);
+    record("update_2_classes", &memory);
+    memory.remove_class("class01");
+    memory.remove_class("class04");
+    record("remove_2_classes", &memory);
+    memory.add_class("class07", &rows[9]);
+    memory.add_class("class02", &rows[0]); // upsert an existing label
+    record("add_after_remove", &memory);
+    check_golden(
+        "sharded_memory_ops",
+        &object(vec![
+            ("scenario", "sharded_memory_ops".to_value()),
+            ("dim", dim.to_value()),
+            ("shards", 3usize.to_value()),
+            ("stages", Value::Array(stages)),
+        ]),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Serve-time hot-swap scenario
+// ---------------------------------------------------------------------------
+
+/// The full online lifecycle: train → serve a subset of the evaluation
+/// classes → register the held-out classes through the live server →
+/// re-query → update → remove. Every response is recorded with the snapshot
+/// version that served it; queries are issued sequentially so the version
+/// trace is deterministic.
+#[test]
+fn scenario_serve_hot_swap() {
+    let mut config = DatasetConfig::tiny(37);
+    config.num_classes = 24;
+    config.images_per_class = 6;
+    config.feature_dim = 48;
+    let data = CubLikeDataset::generate(&config);
+    let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(2));
+    let (_, model) = pipeline.run_returning_model(&data, SplitKind::Zs, 2);
+
+    let split = data.split(SplitKind::Zs);
+    let eval_classes = split.eval_classes();
+    let class_attr = data.class_attribute_matrix(eval_classes);
+    let labels: Vec<String> = eval_classes
+        .iter()
+        .map(|c| format!("class{c:03}"))
+        .collect();
+    // Hold the last two evaluation classes out of the initial serving set.
+    let initial = labels.len() - 2;
+    let server = QueryServer::start(
+        model,
+        labels[..initial].to_vec(),
+        &class_attr.select_rows(&(0..initial).collect::<Vec<_>>()),
+        ServerConfig {
+            max_batch: 8,
+            max_wait_us: 50,
+            threads: 2,
+            top_k: 3,
+            shards: 3,
+        },
+    )
+    .expect("server starts");
+
+    let (eval_x, _) = data.features_and_labels(eval_classes);
+    let queries: Vec<Vec<f32>> = (0..5).map(|q| eval_x.row(q * 3).to_vec()).collect();
+    let run_queries = |server: &QueryServer| -> Value {
+        Value::Array(
+            queries
+                .iter()
+                .map(|q| {
+                    let (version, top) = server.query_traced(q).expect("query served");
+                    object(vec![("version", version.to_value()), ("top", scored(&top))])
+                })
+                .collect(),
+        )
+    };
+
+    let before = run_queries(&server);
+
+    // Register the held-out classes through the live server.
+    let mut registrations: Vec<Value> = Vec::new();
+    for (r, label) in labels.iter().enumerate().skip(initial) {
+        let snapshot = server
+            .register_class(label.clone(), class_attr.row(r))
+            .expect("class registers");
+        registrations.push(object(vec![
+            ("label", label.to_value()),
+            ("version", snapshot.version().to_value()),
+            ("classes_live", snapshot.memory().len().to_value()),
+        ]));
+    }
+    let after_register = run_queries(&server);
+
+    // Re-point one registered class at different attributes, then drop one
+    // of the original classes.
+    let updated = server
+        .update_class(&labels[initial], class_attr.row(0))
+        .expect("class updates");
+    let removed = server.remove_class(&labels[0]).expect("class removes");
+    let after_mutations = run_queries(&server);
+
+    let stats = server.stats();
+    check_golden(
+        "serve_hot_swap",
+        &object(vec![
+            ("scenario", "serve_hot_swap".to_value()),
+            ("dataset_seed", 37u64.to_value()),
+            ("pipeline_seed", 2u64.to_value()),
+            ("initial_classes", initial.to_value()),
+            ("queries_before_register", before),
+            ("registrations", Value::Array(registrations)),
+            ("queries_after_register", after_register),
+            ("update_version", updated.version().to_value()),
+            ("remove_version", removed.version().to_value()),
+            ("queries_after_mutations", after_mutations),
+            // Only deterministic counters belong in a golden: batch counts
+            // depend on coalescing timing, swap counts do not.
+            ("swaps", stats.swaps.to_value()),
+            ("queries_served", stats.queries.to_value()),
+        ]),
+    );
+}
