@@ -9,7 +9,7 @@
 //!   the same synthetic features as HDC-ZSC.
 //! * **DAP-style direct attribute prediction** ([`dap`]) — a classical
 //!   attribute-classifier baseline useful as a sanity floor.
-//! * **Literature reference points** ([`reference`]) — the published
+//! * **Literature reference points** ([`reference`](mod@reference)) — the published
 //!   (accuracy, parameter count) pairs of the generative and non-generative
 //!   models plotted in Fig. 4, and the published per-group Finetag / A3M
 //!   numbers of Table I. The paper itself compares against these published

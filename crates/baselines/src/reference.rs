@@ -147,7 +147,7 @@ pub fn zsc_references() -> Vec<ReferencePoint> {
 // Serialize only: the `&'static str` group name cannot be deserialized.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct AttributeGroupReference {
-    /// Attribute-group name matching [`dataset::AttributeSchema::cub200`].
+    /// Attribute-group name matching `dataset::AttributeSchema::cub200`.
     pub group: &'static str,
     /// Finetag WMAP, in percent.
     pub finetag_wmap: f32,

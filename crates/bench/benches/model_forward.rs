@@ -46,13 +46,13 @@ fn bench_inference(c: &mut Criterion) {
     group.sample_size(10);
     for &(batch, feature_dim, dim) in &[(16usize, 512usize, 384usize), (16, 2048, 1536)] {
         let config = ModelConfig::paper_default().with_embedding_dim(dim);
-        let mut model = ZscModel::new(&config, &schema, feature_dim);
+        let model = ZscModel::new(&config, &schema, feature_dim);
         let features = Matrix::random_uniform(batch, feature_dim, 1.0, &mut rng);
         let class_attributes = Matrix::random_uniform(50, 312, 0.5, &mut rng).map(f32::abs);
         group.bench_with_input(
             BenchmarkId::new("class_logits", format!("b{batch}_f{feature_dim}_d{dim}")),
             &dim,
-            |b, _| b.iter(|| black_box(model.class_logits(&features, &class_attributes, false))),
+            |b, _| b.iter(|| black_box(model.class_logits(&features, &class_attributes))),
         );
         group.bench_with_input(
             BenchmarkId::new(
@@ -60,7 +60,7 @@ fn bench_inference(c: &mut Criterion) {
                 format!("b{batch}_f{feature_dim}_d{dim}"),
             ),
             &dim,
-            |b, _| b.iter(|| black_box(model.attribute_logits(&features, false))),
+            |b, _| b.iter(|| black_box(model.attribute_logits(&features))),
         );
     }
     group.finish();

@@ -242,6 +242,18 @@ impl MlpAttributeEncoder {
         self.alpha
     }
 
+    /// Immutable inference encoding: maps class attributes to embeddings
+    /// through `&self`, caching nothing. Bit-identical to the training
+    /// forward; this is the path a shared
+    /// [`FrozenModel`](crate::FrozenModel) encodes classes through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_attributes.cols() != self.alpha()`.
+    pub fn infer_classes(&self, class_attributes: &Matrix) -> Matrix {
+        self.mlp.infer(class_attributes)
+    }
+
     /// Encodes class attributes into embeddings, caching activations when
     /// `train` is `true` so that [`MlpAttributeEncoder::backward`] can run.
     ///
@@ -259,13 +271,19 @@ impl MlpAttributeEncoder {
     }
 
     /// Number of trainable parameters.
-    pub fn num_trainable_params(&mut self) -> usize {
+    pub fn num_trainable_params(&self) -> usize {
         self.mlp.num_params()
     }
 
     /// Visits the MLP parameters (for the optimizer).
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut ParamTensor)) {
         self.mlp.visit_params(f);
+    }
+
+    /// Read-only visitation of the MLP parameters, in the same order as
+    /// [`MlpAttributeEncoder::visit_params`].
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&ParamTensor)) {
+        self.mlp.visit_params_ref(f);
     }
 
     /// Zeroes accumulated gradients.
@@ -366,7 +384,19 @@ impl AttributeEncoder {
         }
     }
 
-    /// Encodes a class-attribute matrix into class embeddings.
+    /// Immutable inference encoding of a class-attribute matrix into class
+    /// embeddings through `&self`; bit-identical to
+    /// [`AttributeEncoder::encode_classes`]. The HDC encoder is stationary
+    /// either way; the MLP variant skips its activation caches.
+    pub fn infer_classes(&self, class_attributes: &Matrix) -> Matrix {
+        match self {
+            AttributeEncoder::Hdc(e) => e.encode_classes(class_attributes),
+            AttributeEncoder::Mlp(e) => e.infer_classes(class_attributes),
+        }
+    }
+
+    /// Encodes a class-attribute matrix into class embeddings, caching
+    /// activations for the backward pass when `train` is set.
     pub fn encode_classes(&mut self, class_attributes: &Matrix, train: bool) -> Matrix {
         match self {
             AttributeEncoder::Hdc(e) => e.encode_classes(class_attributes),
@@ -388,7 +418,7 @@ impl AttributeEncoder {
     }
 
     /// Number of trainable parameters.
-    pub fn num_trainable_params(&mut self) -> usize {
+    pub fn num_trainable_params(&self) -> usize {
         match self {
             AttributeEncoder::Hdc(e) => e.num_trainable_params(),
             AttributeEncoder::Mlp(e) => e.num_trainable_params(),
@@ -399,6 +429,14 @@ impl AttributeEncoder {
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut ParamTensor)) {
         if let AttributeEncoder::Mlp(e) = self {
             e.visit_params(f);
+        }
+    }
+
+    /// Read-only visitation of the trainable parameters (none for HDC), in
+    /// the same order as [`AttributeEncoder::visit_params`].
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&ParamTensor)) {
+        if let AttributeEncoder::Mlp(e) = self {
+            e.visit_params_ref(f);
         }
     }
 

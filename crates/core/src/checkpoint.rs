@@ -74,7 +74,12 @@ impl std::fmt::Display for SchemaFingerprint {
 }
 
 /// Why a checkpoint could not be saved or loaded.
+///
+/// Marked `#[non_exhaustive]`: future layouts may add failure modes, so
+/// downstream matches must keep a wildcard arm.
 #[derive(Debug)]
+#[must_use = "a checkpoint error describes why the model cannot be served and should be handled"]
+#[non_exhaustive]
 pub enum CheckpointError {
     /// Reading or writing the file failed.
     Io(std::io::Error),
@@ -263,6 +268,22 @@ impl Checkpoint {
         Ok(self.model)
     }
 
+    /// Consumes the checkpoint straight into an immutable
+    /// [`FrozenModel`](crate::FrozenModel), after validating it against the
+    /// serving schema — the load path of the serving layer: no intermediate
+    /// mutable model, no extra copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::SchemaMismatch`] if the schema fingerprints
+    /// disagree.
+    pub fn into_frozen(
+        self,
+        schema: &AttributeSchema,
+    ) -> Result<crate::FrozenModel, CheckpointError> {
+        self.into_model(schema).map(crate::FrozenModel::new)
+    }
+
     /// Envelope-level consistency: the fields outside the model payload must
     /// agree with the payload itself.
     fn validate_internal(&self) -> Result<(), CheckpointError> {
@@ -334,16 +355,16 @@ mod tests {
             AttributeEncoderKind::Hdc,
             AttributeEncoderKind::TrainableMlp,
         ] {
-            let mut model = fixture_model(kind);
+            let model = fixture_model(kind);
             let json = Checkpoint::capture(&model, &s).to_json();
-            let mut restored = Checkpoint::from_json_str(&json)
-                .and_then(|c| c.into_model(&s))
+            let restored = Checkpoint::from_json_str(&json)
+                .and_then(|c| c.into_frozen(&s))
                 .expect("round trip");
-            let original = model.class_logits(&features, &class_attributes, false);
-            let loaded = restored.class_logits(&features, &class_attributes, false);
+            let original = model.class_logits(&features, &class_attributes);
+            let loaded = restored.class_logits(&features, &class_attributes);
             assert_eq!(original.as_slice(), loaded.as_slice(), "{kind}");
-            let original_attr = model.attribute_logits(&features, false);
-            let loaded_attr = restored.attribute_logits(&features, false);
+            let original_attr = model.attribute_logits(&features);
+            let loaded_attr = restored.attribute_logits(&features);
             assert_eq!(original_attr.as_slice(), loaded_attr.as_slice(), "{kind}");
         }
     }

@@ -50,15 +50,17 @@ pub struct AttributeExtractionReport {
 /// top-1/top-5 accuracy against the local labels.
 ///
 /// The logits flow through the batched inference engine
-/// ([`ZscModel::class_logits`] with `train = false`), which chunks the
-/// feature batch across threads; reported accuracies are bit-identical to
-/// the serial kernel for every thread count.
+/// ([`ZscModel::class_logits`], which takes `&self` — evaluation never needs
+/// a mutable model and works just as well through a shared
+/// [`FrozenModel`](crate::FrozenModel)); the feature batch is chunked across
+/// threads and reported accuracies are bit-identical to the serial kernel
+/// for every thread count.
 ///
 /// # Panics
 ///
 /// Panics if `labels.len() != features.rows()` or a label is out of range.
 pub fn evaluate_zsc(
-    model: &mut ZscModel,
+    model: &ZscModel,
     features: &Matrix,
     labels: &[usize],
     class_attributes: &Matrix,
@@ -68,7 +70,7 @@ pub fn evaluate_zsc(
         labels.len(),
         "one label per feature row required"
     );
-    let logits = model.class_logits(features, class_attributes, false);
+    let logits = model.class_logits(features, class_attributes);
     let top1 = topk_accuracy(&logits, labels, 1);
     let top5 = topk_accuracy(&logits, labels, 5.min(class_attributes.rows()));
     ZscReport {
@@ -86,7 +88,7 @@ pub fn evaluate_zsc(
 ///
 /// Panics if `labels.len() != features.rows()` or a label is out of range.
 pub fn evaluate_zsc_with_confusion(
-    model: &mut ZscModel,
+    model: &ZscModel,
     features: &Matrix,
     labels: &[usize],
     class_attributes: &Matrix,
@@ -105,7 +107,7 @@ pub fn evaluate_zsc_with_confusion(
 ///
 /// Panics if `attribute_targets.rows() != features.rows()`.
 pub fn evaluate_attribute_extraction(
-    model: &mut ZscModel,
+    model: &ZscModel,
     features: &Matrix,
     attribute_targets: &Matrix,
     schema: &AttributeSchema,
@@ -115,7 +117,7 @@ pub fn evaluate_attribute_extraction(
         attribute_targets.rows(),
         "one attribute-target row per feature row required"
     );
-    let scores = model.attribute_logits(features, false);
+    let scores = model.attribute_logits(features);
     let layout = schema.group_layout();
     let per_group = evaluate_groups(&scores, attribute_targets, &layout, 0.5);
     let mean_wmap = mean_over_groups(&per_group, |g| g.wmap);
@@ -143,12 +145,12 @@ mod tests {
 
     #[test]
     fn zsc_report_fields_and_display() {
-        let (data, _schema, mut model) = fixture();
+        let (data, _schema, model) = fixture();
         let split = data.split(SplitKind::Zs);
         let (features, labels) = data.features_and_labels(split.eval_classes());
         let local = CubLikeDataset::to_local_labels(&labels, split.eval_classes());
         let attrs = data.class_attribute_matrix(split.eval_classes());
-        let report = evaluate_zsc(&mut model, &features, &local, &attrs);
+        let report = evaluate_zsc(&model, &features, &local, &attrs);
         assert_eq!(report.num_classes, split.eval_classes().len());
         assert_eq!(report.num_samples, features.rows());
         assert!(report.top5 >= report.top1);
@@ -158,23 +160,22 @@ mod tests {
 
     #[test]
     fn confusion_matrix_totals_match_sample_count() {
-        let (data, _schema, mut model) = fixture();
+        let (data, _schema, model) = fixture();
         let split = data.split(SplitKind::Zs);
         let (features, labels) = data.features_and_labels(split.eval_classes());
         let local = CubLikeDataset::to_local_labels(&labels, split.eval_classes());
         let attrs = data.class_attribute_matrix(split.eval_classes());
-        let (report, confusion) =
-            evaluate_zsc_with_confusion(&mut model, &features, &local, &attrs);
+        let (report, confusion) = evaluate_zsc_with_confusion(&model, &features, &local, &attrs);
         assert_eq!(confusion.total() as usize, report.num_samples);
         assert!((confusion.accuracy() - report.top1).abs() < 1e-5);
     }
 
     #[test]
     fn attribute_report_covers_all_groups() {
-        let (data, schema, mut model) = fixture();
+        let (data, schema, model) = fixture();
         let split = data.split(SplitKind::NoZs);
         let (features, targets) = data.features_and_attributes(split.train_classes());
-        let report = evaluate_attribute_extraction(&mut model, &features, &targets, &schema);
+        let report = evaluate_attribute_extraction(&model, &features, &targets, &schema);
         assert_eq!(report.per_group.len(), 28);
         assert!((0.0..=100.0).contains(&report.mean_wmap));
         assert!((0.0..=100.0).contains(&report.mean_top1));
@@ -185,10 +186,10 @@ mod tests {
         let (data, schema, mut model) = fixture();
         let split = data.split(SplitKind::NoZs);
         let (features, targets) = data.features_and_attributes(split.train_classes());
-        let before = evaluate_attribute_extraction(&mut model, &features, &targets, &schema);
+        let before = evaluate_attribute_extraction(&model, &features, &targets, &schema);
         let trainer = AttributeExtractionTrainer::new(TrainConfig::fast().with_epochs(5));
         let _ = trainer.train(&mut model, &features, &targets);
-        let after = evaluate_attribute_extraction(&mut model, &features, &targets, &schema);
+        let after = evaluate_attribute_extraction(&model, &features, &targets, &schema);
         assert!(
             after.mean_top1 > before.mean_top1,
             "training should improve group top-1 ({} vs {})",

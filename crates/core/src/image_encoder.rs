@@ -125,13 +125,39 @@ impl ImageEncoder {
         self.projection.is_some()
     }
 
+    /// Immutable inference forward: maps backbone features (`B×d'`) to
+    /// embeddings (`B×d`) through `&self`, caching nothing. Bit-identical to
+    /// [`ImageEncoder::forward`]; this is the path a shared
+    /// [`FrozenModel`](crate::FrozenModel) serves queries through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.cols() != self.feature_dim()`.
+    pub fn infer(&self, features: &Matrix) -> Matrix {
+        assert_eq!(
+            features.cols(),
+            self.feature_dim,
+            "expected {}-dimensional backbone features, got {}",
+            self.feature_dim,
+            features.cols()
+        );
+        match &self.projection {
+            Some(fc) => fc.infer(features),
+            None => features.clone(),
+        }
+    }
+
     /// Maps backbone features (`B×d'`) to embeddings (`B×d`). With `train`
-    /// set, activations are cached for [`ImageEncoder::backward`].
+    /// set, activations are cached for [`ImageEncoder::backward`];
+    /// inference calls delegate to [`ImageEncoder::infer`].
     ///
     /// # Panics
     ///
     /// Panics if `features.cols() != self.feature_dim()`.
     pub fn forward(&mut self, features: &Matrix, train: bool) -> Matrix {
+        if !train {
+            return self.infer(features);
+        }
         assert_eq!(
             features.cols(),
             self.feature_dim,
@@ -140,7 +166,7 @@ impl ImageEncoder {
             features.cols()
         );
         match &mut self.projection {
-            Some(fc) => fc.forward(features, train),
+            Some(fc) => fc.forward_train(features),
             None => features.clone(),
         }
     }
@@ -155,14 +181,22 @@ impl ImageEncoder {
     }
 
     /// Number of trainable parameters (the FC projection only).
-    pub fn num_trainable_params(&mut self) -> usize {
-        self.projection.as_mut().map_or(0, Layer::num_params)
+    pub fn num_trainable_params(&self) -> usize {
+        self.projection.as_ref().map_or(0, Layer::num_params)
     }
 
     /// Visits the trainable parameters.
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut ParamTensor)) {
         if let Some(fc) = &mut self.projection {
             fc.visit_params(f);
+        }
+    }
+
+    /// Read-only visitation of the trainable parameters, in the same order
+    /// as [`ImageEncoder::visit_params`].
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&ParamTensor)) {
+        if let Some(fc) = &self.projection {
+            fc.visit_params_ref(f);
         }
     }
 

@@ -48,6 +48,7 @@ pub mod attribute_encoder;
 pub mod checkpoint;
 pub mod config;
 pub mod eval;
+pub mod frozen;
 pub mod image_encoder;
 pub mod model;
 pub mod params;
@@ -60,6 +61,7 @@ pub use attribute_encoder::{
 pub use checkpoint::{Checkpoint, CheckpointError, SchemaFingerprint, CHECKPOINT_FORMAT_VERSION};
 pub use config::{ModelConfig, TrainConfig};
 pub use eval::{evaluate_attribute_extraction, evaluate_zsc, AttributeExtractionReport, ZscReport};
+pub use frozen::FrozenModel;
 pub use image_encoder::ImageEncoder;
 pub use model::ZscModel;
 pub use params::ParameterBreakdown;

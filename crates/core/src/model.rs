@@ -23,6 +23,18 @@ use tensor::Matrix;
 ///   [`ZscModel::class_logits`] compares image embeddings against class
 ///   embeddings `ϕ(A) = A × B` (or the trainable-MLP encoding of `A`).
 ///
+/// # Inference vs. training receivers
+///
+/// Every inference entry point — [`ZscModel::embed_images`],
+/// [`ZscModel::attribute_logits`], [`ZscModel::class_logits`],
+/// [`ZscModel::predict`], the packed/sharded class-memory exports — takes
+/// `&self`: the forward passes cache nothing, so a model wrapped in a
+/// [`FrozenModel`](crate::FrozenModel) can serve any number of concurrent
+/// readers without a single deep copy. The `&mut self` training handles
+/// ([`ZscModel::attribute_logits_train`], [`ZscModel::class_logits_train`],
+/// the `backward_*` pair, `visit_params`) stay with the trainers and produce
+/// bit-identical forward values.
+///
 /// # Example
 ///
 /// ```
@@ -31,10 +43,11 @@ use tensor::Matrix;
 /// use tensor::Matrix;
 ///
 /// let schema = AttributeSchema::cub200();
-/// let mut model = ZscModel::new(&ModelConfig::tiny(), &schema, 64);
+/// let model = ZscModel::new(&ModelConfig::tiny(), &schema, 64);
 /// let features = Matrix::ones(2, 64);
 /// let class_attributes = Matrix::ones(5, 312);
-/// let logits = model.class_logits(&features, &class_attributes, false);
+/// // Inference needs only `&self` — the model can be shared as-is.
+/// let logits = model.class_logits(&features, &class_attributes);
 /// assert_eq!(logits.shape(), (2, 5));
 /// ```
 #[derive(Debug, Clone)]
@@ -147,9 +160,10 @@ impl ZscModel {
         &self.phase2_dictionary
     }
 
-    /// Image embeddings `γ(X)` for a batch of backbone features.
-    pub fn embed_images(&mut self, features: &Matrix, train: bool) -> Matrix {
-        self.image_encoder.forward(features, train)
+    /// Image embeddings `γ(X)` for a batch of backbone features, through the
+    /// immutable inference forward (`&self`, no caches).
+    pub fn embed_images(&self, features: &Matrix) -> Matrix {
+        self.image_encoder.infer(features)
     }
 
     // ------------------------------------------------------------------
@@ -161,18 +175,29 @@ impl ZscModel {
     /// codevector, scaled by the temperature so it can be consumed by a
     /// BCE-with-logits loss.
     ///
-    /// Inference calls (`train = false`) are scored by the batched engine
-    /// (`engine::dense`), which chunks the batch across threads and is
-    /// bit-identical to the serial kernel.
-    pub fn attribute_logits(&mut self, features: &Matrix, train: bool) -> Matrix {
-        let embeddings = self.image_encoder.forward(features, train);
-        let sims = if train {
-            self.kernel
-                .forward(&embeddings, &self.phase2_dictionary, true)
-        } else {
-            engine::dense::cosine_scores(&embeddings, &self.phase2_dictionary, &self.inference_pool)
-        };
-        self.temperature.forward(&sims, train)
+    /// Scored by the batched engine (`engine::dense`), which chunks the
+    /// batch across threads and is bit-identical to the serial training
+    /// kernel — and to [`ZscModel::attribute_logits_train`].
+    pub fn attribute_logits(&self, features: &Matrix) -> Matrix {
+        let embeddings = self.image_encoder.infer(features);
+        let sims = engine::dense::cosine_scores(
+            &embeddings,
+            &self.phase2_dictionary,
+            &self.inference_pool,
+        );
+        self.temperature.infer(&sims)
+    }
+
+    /// Training-mode variant of [`ZscModel::attribute_logits`]: runs the
+    /// differentiable serial kernel and caches activations so
+    /// [`ZscModel::backward_attribute`] can follow. Forward values are
+    /// bit-identical to the inference path.
+    pub fn attribute_logits_train(&mut self, features: &Matrix) -> Matrix {
+        let embeddings = self.image_encoder.forward(features, true);
+        let sims = self
+            .kernel
+            .forward(&embeddings, &self.phase2_dictionary, true);
+        self.temperature.forward(&sims, true)
     }
 
     /// Back-propagates a gradient with respect to the attribute logits into
@@ -181,8 +206,7 @@ impl ZscModel {
     ///
     /// # Panics
     ///
-    /// Panics if the preceding [`ZscModel::attribute_logits`] call did not use
-    /// `train = true`.
+    /// Panics if [`ZscModel::attribute_logits_train`] did not run first.
     pub fn backward_attribute(&mut self, grad_logits: &Matrix) {
         let grad_sims = self.temperature.backward(grad_logits);
         let (grad_embeddings, _grad_dictionary) = self.kernel.backward(&grad_sims);
@@ -196,27 +220,29 @@ impl ZscModel {
     /// Class logits `cossim(γ(X), ϕ(A)) / K` for a batch of backbone features
     /// and a class-attribute matrix `A ∈ R^{C×α}`.
     ///
-    /// Inference calls (`train = false`) are scored by the batched engine
-    /// (`engine::dense`), which chunks the batch across
-    /// [`ZscModel::inference_threads`] threads and is bit-identical to the
-    /// serial kernel; the training path keeps the differentiable
-    /// [`CosineSimilarity`] kernel so gradients are unchanged.
-    pub fn class_logits(
-        &mut self,
-        features: &Matrix,
-        class_attributes: &Matrix,
-        train: bool,
-    ) -> Matrix {
-        let embeddings = self.image_encoder.forward(features, train);
+    /// Scored by the batched engine (`engine::dense`), which chunks the
+    /// batch across [`ZscModel::inference_threads`] threads and is
+    /// bit-identical to the serial kernel — and to
+    /// [`ZscModel::class_logits_train`].
+    pub fn class_logits(&self, features: &Matrix, class_attributes: &Matrix) -> Matrix {
+        let embeddings = self.image_encoder.infer(features);
+        let class_embeddings = self.attribute_encoder.infer_classes(class_attributes);
+        let sims =
+            engine::dense::cosine_scores(&embeddings, &class_embeddings, &self.inference_pool);
+        self.temperature.infer(&sims)
+    }
+
+    /// Training-mode variant of [`ZscModel::class_logits`]: runs the
+    /// differentiable [`CosineSimilarity`] kernel and caches activations so
+    /// [`ZscModel::backward_class`] can follow. Forward values are
+    /// bit-identical to the inference path.
+    pub fn class_logits_train(&mut self, features: &Matrix, class_attributes: &Matrix) -> Matrix {
+        let embeddings = self.image_encoder.forward(features, true);
         let class_embeddings = self
             .attribute_encoder
-            .encode_classes(class_attributes, train);
-        let sims = if train {
-            self.kernel.forward(&embeddings, &class_embeddings, true)
-        } else {
-            engine::dense::cosine_scores(&embeddings, &class_embeddings, &self.inference_pool)
-        };
-        self.temperature.forward(&sims, train)
+            .encode_classes(class_attributes, true);
+        let sims = self.kernel.forward(&embeddings, &class_embeddings, true);
+        self.temperature.forward(&sims, true)
     }
 
     /// Number of threads the batched inference path fans out over.
@@ -241,7 +267,7 @@ impl ZscModel {
     ///
     /// Panics if the label count differs from `class_attributes.rows()`.
     pub fn packed_class_memory<L, S>(
-        &mut self,
+        &self,
         labels: L,
         class_attributes: &Matrix,
     ) -> PackedClassMemory
@@ -249,9 +275,7 @@ impl ZscModel {
         L: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let class_embeddings = self
-            .attribute_encoder
-            .encode_classes(class_attributes, false);
+        let class_embeddings = self.attribute_encoder.infer_classes(class_attributes);
         PackedClassMemory::from_sign_matrix(labels, &class_embeddings)
     }
 
@@ -267,7 +291,7 @@ impl ZscModel {
     /// Panics if the label count differs from `class_attributes.rows()` or
     /// `shards == 0`.
     pub fn sharded_class_memory<L, S>(
-        &mut self,
+        &self,
         labels: L,
         class_attributes: &Matrix,
         shards: usize,
@@ -276,9 +300,7 @@ impl ZscModel {
         L: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let class_embeddings = self
-            .attribute_encoder
-            .encode_classes(class_attributes, false);
+        let class_embeddings = self.attribute_encoder.infer_classes(class_attributes);
         ShardedClassMemory::from_sign_matrix(labels, &class_embeddings, shards)
     }
 
@@ -292,9 +314,9 @@ impl ZscModel {
     ///
     /// Panics if `attributes.len()` differs from the attribute encoder's
     /// expected width.
-    pub fn packed_class_signature(&mut self, attributes: &[f32]) -> Vec<u64> {
+    pub fn packed_class_signature(&self, attributes: &[f32]) -> Vec<u64> {
         let row = Matrix::from_rows(&[attributes.to_vec()]);
-        let embedding = self.attribute_encoder.encode_classes(&row, false);
+        let embedding = self.attribute_encoder.infer_classes(&row);
         engine::pack_float_signs(embedding.row(0))
     }
 
@@ -304,8 +326,7 @@ impl ZscModel {
     ///
     /// # Panics
     ///
-    /// Panics if the preceding [`ZscModel::class_logits`] call did not use
-    /// `train = true`.
+    /// Panics if [`ZscModel::class_logits_train`] did not run first.
     pub fn backward_class(&mut self, grad_logits: &Matrix) {
         let grad_sims = self.temperature.backward(grad_logits);
         let (grad_embeddings, grad_class_embeddings) = self.kernel.backward(&grad_sims);
@@ -315,9 +336,8 @@ impl ZscModel {
 
     /// Predicts the class index (into the rows of `class_attributes`) of
     /// every feature row — the `argmax` rule of Eq. (2).
-    pub fn predict(&mut self, features: &Matrix, class_attributes: &Matrix) -> Vec<usize> {
-        self.class_logits(features, class_attributes, false)
-            .argmax_rows()
+    pub fn predict(&self, features: &Matrix, class_attributes: &Matrix) -> Vec<usize> {
+        self.class_logits(features, class_attributes).argmax_rows()
     }
 
     // ------------------------------------------------------------------
@@ -332,6 +352,15 @@ impl ZscModel {
         self.attribute_encoder.visit_params(f);
     }
 
+    /// Read-only visitation of every trainable parameter, in the same fixed
+    /// order as [`ZscModel::visit_params`] — parameter accounting through a
+    /// shared frozen model.
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&ParamTensor)) {
+        self.image_encoder.visit_params_ref(f);
+        self.temperature.visit_params_ref(f);
+        self.attribute_encoder.visit_params_ref(f);
+    }
+
     /// Zeroes every accumulated gradient.
     pub fn zero_grad(&mut self) {
         self.image_encoder.zero_grad();
@@ -344,17 +373,24 @@ impl ZscModel {
         self.temperature.clamp();
     }
 
-    /// Number of trainable parameters.
-    pub fn num_trainable_params(&mut self) -> usize {
+    /// Number of trainable parameters, counted through the read-only
+    /// visitation (no `&mut` needed).
+    pub fn num_trainable_params(&self) -> usize {
         let mut n = 0;
-        self.visit_params(&mut |p| n += p.len());
+        self.visit_params_ref(&mut |p| n += p.len());
         n
     }
 
-    /// Freezes or re-creates nothing — exposes mutable access to the image
-    /// encoder for the trainers.
+    /// Exposes mutable access to the image encoder for the trainers.
     pub fn image_encoder_mut(&mut self) -> &mut ImageEncoder {
         &mut self.image_encoder
+    }
+
+    /// Consumes the model into an immutable, cheaply clonable
+    /// [`FrozenModel`](crate::FrozenModel) — the `Send + Sync` handle the
+    /// serving layer shares across threads without deep-copying weights.
+    pub fn freeze(self) -> crate::FrozenModel {
+        crate::FrozenModel::new(self)
     }
 }
 
@@ -457,7 +493,7 @@ mod tests {
 
     #[test]
     fn construction_respects_config() {
-        let mut model = tiny_model();
+        let model = tiny_model();
         assert_eq!(model.embedding_dim(), 64);
         assert_eq!(model.attribute_encoder_kind(), AttributeEncoderKind::Hdc);
         assert!((model.temperature() - 0.07).abs() < 1e-6);
@@ -470,7 +506,7 @@ mod tests {
     #[test]
     fn no_projection_model_uses_feature_dim() {
         let cfg = ModelConfig::tiny().with_projection(false);
-        let mut model = ZscModel::new(&cfg, &schema(), 80);
+        let model = ZscModel::new(&cfg, &schema(), 80);
         assert_eq!(model.embedding_dim(), 80);
         // Trainable params: only the temperature scalar.
         assert_eq!(model.num_trainable_params(), 1);
@@ -495,19 +531,17 @@ mod tests {
 
     #[test]
     fn logit_shapes() {
-        let mut model = tiny_model();
+        let model = tiny_model();
         let mut rng = StdRng::seed_from_u64(1);
         let features = Matrix::random_uniform(3, 48, 1.0, &mut rng);
         let class_attributes = Matrix::random_uniform(7, 312, 0.5, &mut rng).map(f32::abs);
-        assert_eq!(model.attribute_logits(&features, false).shape(), (3, 312));
+        assert_eq!(model.attribute_logits(&features).shape(), (3, 312));
         assert_eq!(
-            model
-                .class_logits(&features, &class_attributes, false)
-                .shape(),
+            model.class_logits(&features, &class_attributes).shape(),
             (3, 7)
         );
         assert_eq!(model.predict(&features, &class_attributes).len(), 3);
-        assert_eq!(model.embed_images(&features, false).shape(), (3, 64));
+        assert_eq!(model.embed_images(&features).shape(), (3, 64));
     }
 
     #[test]
@@ -517,7 +551,7 @@ mod tests {
         let features = Matrix::random_uniform(4, 48, 1.0, &mut rng);
         let class_attributes = Matrix::random_uniform(5, 312, 0.5, &mut rng).map(f32::abs);
         model.zero_grad();
-        let logits = model.class_logits(&features, &class_attributes, true);
+        let logits = model.class_logits_train(&features, &class_attributes);
         model.backward_class(&Matrix::ones(logits.rows(), logits.cols()));
         let mut grad_norm = 0.0;
         model.visit_params(&mut |p| grad_norm += p.grad_norm());
@@ -535,13 +569,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let features = Matrix::random_uniform(2, 48, 1.0, &mut rng);
         model.zero_grad();
-        let logits = model.attribute_logits(&features, true);
+        let logits = model.attribute_logits_train(&features);
         model.backward_attribute(&Matrix::ones(logits.rows(), logits.cols()));
         // The MLP attribute encoder must have received no gradient.
         let mut mlp_grad = 0.0;
         model
-            .attribute_encoder_mut()
-            .visit_params(&mut |p| mlp_grad += p.grad_norm());
+            .attribute_encoder()
+            .visit_params_ref(&mut |p| mlp_grad += p.grad_norm());
         assert_eq!(mlp_grad, 0.0);
     }
 
@@ -551,8 +585,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let features = Matrix::random_uniform(5, 48, 1.0, &mut rng);
         let class_attributes = Matrix::random_uniform(6, 312, 0.5, &mut rng).map(f32::abs);
-        let mut a = ZscModel::new(&ModelConfig::tiny().with_seed(9), &s, 48);
-        let mut b = ZscModel::new(&ModelConfig::tiny().with_seed(9), &s, 48);
+        let a = ZscModel::new(&ModelConfig::tiny().with_seed(9), &s, 48);
+        let b = ZscModel::new(&ModelConfig::tiny().with_seed(9), &s, 48);
         assert_eq!(
             a.predict(&features, &class_attributes),
             b.predict(&features, &class_attributes)
@@ -568,18 +602,18 @@ mod tests {
         // The training path uses the differentiable serial kernel; the
         // inference path goes through the batched engine. Both must produce
         // the same bits for any thread count.
-        let train_logits = model.class_logits(&features, &class_attributes, true);
+        let train_logits = model.class_logits_train(&features, &class_attributes);
         for threads in [1usize, 2, 7] {
             model.set_inference_threads(threads);
             assert_eq!(model.inference_threads(), threads);
-            let infer_logits = model.class_logits(&features, &class_attributes, false);
+            let infer_logits = model.class_logits(&features, &class_attributes);
             assert_eq!(
                 infer_logits.as_slice(),
                 train_logits.as_slice(),
                 "threads={threads}"
             );
-            let train_attr = model.attribute_logits(&features, true);
-            let infer_attr = model.attribute_logits(&features, false);
+            let train_attr = model.attribute_logits_train(&features);
+            let infer_attr = model.attribute_logits(&features);
             assert_eq!(infer_attr.as_slice(), train_attr.as_slice());
         }
     }
@@ -587,16 +621,14 @@ mod tests {
     #[test]
     fn packed_class_memory_serves_signature_lookups() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mut model = tiny_model();
+        let model = tiny_model();
         let class_attributes = Matrix::random_uniform(7, 312, 0.5, &mut rng).map(f32::abs);
         let labels: Vec<String> = (0..7).map(|c| format!("bird{c}")).collect();
         let memory = model.packed_class_memory(labels.clone(), &class_attributes);
         assert_eq!(memory.len(), 7);
         assert_eq!(memory.dim(), model.embedding_dim());
         // Each class's own binarized signature must resolve to that class.
-        let class_embeddings = model
-            .attribute_encoder_mut()
-            .encode_classes(&class_attributes, false);
+        let class_embeddings = model.attribute_encoder().infer_classes(&class_attributes);
         for (c, label) in labels.iter().enumerate() {
             let query = engine::pack_float_signs(class_embeddings.row(c));
             let (index, _sim) = memory.nearest(&query).expect("non-empty");
@@ -610,7 +642,7 @@ mod tests {
     #[test]
     fn sharded_class_memory_matches_monolithic_export() {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut model = tiny_model();
+        let model = tiny_model();
         let class_attributes = Matrix::random_uniform(9, 312, 0.5, &mut rng).map(f32::abs);
         let labels: Vec<String> = (0..9).map(|c| format!("bird{c}")).collect();
         let mono = model.packed_class_memory(labels.clone(), &class_attributes);

@@ -39,19 +39,15 @@ pub struct ParameterBreakdown {
 impl ParameterBreakdown {
     /// Computes the breakdown of a model, combining the simulated backbone's
     /// *real-architecture* parameter count with the actual trainable
-    /// parameter counts of the Rust components.
-    pub fn of(model: &mut ZscModel) -> Self {
+    /// parameter counts of the Rust components. Accounting is read-only
+    /// (`&self` everywhere), so it also runs against a shared
+    /// [`FrozenModel`](crate::FrozenModel).
+    pub fn of(model: &ZscModel) -> Self {
         let backbone = backbone_trunk_params(model.image_encoder().backbone());
         // Count the components separately through the visitation order:
         // image encoder first, then temperature, then attribute encoder.
-        let projection = {
-            let mut n = 0;
-            model
-                .image_encoder_mut()
-                .visit_params(&mut |p| n += p.len());
-            n
-        };
-        let attribute_encoder = model.attribute_encoder_mut().num_trainable_params();
+        let projection = model.image_encoder().num_trainable_params();
+        let attribute_encoder = model.attribute_encoder().num_trainable_params();
         let temperature = model.num_trainable_params() - projection - attribute_encoder;
         Self {
             backbone,
@@ -129,8 +125,8 @@ mod tests {
     #[test]
     fn breakdown_of_full_scale_model_matches_paper() {
         let schema = AttributeSchema::cub200();
-        let mut model = ZscModel::new(&ModelConfig::paper_default(), &schema, 2048);
-        let breakdown = ParameterBreakdown::of(&mut model);
+        let model = ZscModel::new(&ModelConfig::paper_default(), &schema, 2048);
+        let breakdown = ParameterBreakdown::of(&model);
         assert_eq!(breakdown.attribute_encoder, 0, "HDC encoder is stationary");
         assert_eq!(breakdown.projection, 2048 * 1536 + 1536);
         assert_eq!(breakdown.temperature, 1);
@@ -142,14 +138,14 @@ mod tests {
     #[test]
     fn mlp_variant_has_more_trainable_params() {
         let schema = AttributeSchema::cub200();
-        let mut hdc_model = ZscModel::new(&ModelConfig::tiny(), &schema, 48);
-        let mut mlp_model = ZscModel::new(
+        let hdc_model = ZscModel::new(&ModelConfig::tiny(), &schema, 48);
+        let mlp_model = ZscModel::new(
             &ModelConfig::tiny().with_attribute_encoder(AttributeEncoderKind::TrainableMlp),
             &schema,
             48,
         );
-        let hdc = ParameterBreakdown::of(&mut hdc_model);
-        let mlp = ParameterBreakdown::of(&mut mlp_model);
+        let hdc = ParameterBreakdown::of(&hdc_model);
+        let mlp = ParameterBreakdown::of(&mlp_model);
         assert!(mlp.attribute_encoder > 0);
         assert!(mlp.total() > hdc.total());
         assert_eq!(hdc.backbone, mlp.backbone);

@@ -164,10 +164,10 @@ impl Pipeline {
         // Evaluation on the held-out side (unseen classes for ZS splits).
         let eval_local = CubLikeDataset::to_local_labels(&eval_labels, split.eval_classes());
         let eval_class_attr = data.class_attribute_matrix(split.eval_classes());
-        let zsc = evaluate_zsc(&mut model, &eval_x, &eval_local, &eval_class_attr);
+        let zsc = evaluate_zsc(&model, &eval_x, &eval_local, &eval_class_attr);
         let attribute_extraction =
-            evaluate_attribute_extraction(&mut model, &eval_x, &eval_attr, data.schema());
-        let params = ParameterBreakdown::of(&mut model);
+            evaluate_attribute_extraction(&model, &eval_x, &eval_attr, data.schema());
+        let params = ParameterBreakdown::of(&model);
         let outcome = PipelineOutcome {
             zsc,
             attribute_extraction,
@@ -352,7 +352,7 @@ mod tests {
         let data = CubLikeDataset::generate(&DatasetConfig::tiny(27));
         let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(2));
         for split_kind in [SplitKind::NoZs, SplitKind::Zs] {
-            let (outcome, mut model) = pipeline.run_returning_model(&data, split_kind, 3);
+            let (outcome, model) = pipeline.run_returning_model(&data, split_kind, 3);
             let split = data.split(split_kind);
             let (eval_x, eval_labels) = if split.is_zero_shot() {
                 data.features_and_labels(split.eval_classes())
@@ -365,8 +365,7 @@ mod tests {
             };
             let eval_local = CubLikeDataset::to_local_labels(&eval_labels, split.eval_classes());
             let eval_class_attr = data.class_attribute_matrix(split.eval_classes());
-            let report =
-                crate::eval::evaluate_zsc(&mut model, &eval_x, &eval_local, &eval_class_attr);
+            let report = crate::eval::evaluate_zsc(&model, &eval_x, &eval_local, &eval_class_attr);
             assert_eq!(report, outcome.zsc, "{split_kind}");
             assert_eq!(report.top1.to_bits(), outcome.zsc.top1.to_bits());
         }

@@ -94,7 +94,7 @@ impl AttributeExtractionTrainer {
                 let x = features.select_rows(&batch);
                 let t = attribute_targets.select_rows(&batch);
                 model.zero_grad();
-                let logits = model.attribute_logits(&x, true);
+                let logits = model.attribute_logits_train(&x);
                 let loss = weighted_bce_with_logits(&logits, &t, &pos_weights);
                 model.backward_attribute(&loss.grad);
                 optimizer.step(lr, &mut |f| model.visit_params(f));
@@ -173,7 +173,7 @@ impl ZscTrainer {
                 let x = features.select_rows(&batch);
                 let y: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
                 model.zero_grad();
-                let logits = model.class_logits(&x, class_attributes, true);
+                let logits = model.class_logits_train(&x, class_attributes);
                 let loss = cross_entropy(&logits, &y);
                 model.backward_class(&loss.grad);
                 optimizer.step(lr, &mut |f| model.visit_params(f));
@@ -256,7 +256,7 @@ mod tests {
         let (eval_features, eval_labels) = data.features_and_labels(split.eval_classes());
         let eval_local = CubLikeDataset::to_local_labels(&eval_labels, split.eval_classes());
         let eval_attributes = data.class_attribute_matrix(split.eval_classes());
-        let report = evaluate_zsc(&mut model, &eval_features, &eval_local, &eval_attributes);
+        let report = evaluate_zsc(&model, &eval_features, &eval_local, &eval_attributes);
         let chance = 1.0 / split.eval_classes().len() as f32;
         assert!(
             report.top1 > chance * 1.4,

@@ -51,21 +51,22 @@ proptest! {
         batch in 1usize..5,
     ) {
         let s = schema();
-        let mut model =
+        let model =
             build_model(embedding_dim, feature_dim, use_projection, mlp_encoder, seed);
         let json = Checkpoint::capture(&model, &s).to_json();
-        let mut restored = Checkpoint::from_json_str(&json)
+        // The serving load path: straight into the immutable frozen view.
+        let restored = Checkpoint::from_json_str(&json)
             .expect("round trip parses")
-            .into_model(&s)
+            .into_frozen(&s)
             .expect("schema matches");
         let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
         let features = Matrix::random_uniform(batch, feature_dim, 1.0, &mut rng);
         let class_attributes = Matrix::random_uniform(5, 312, 0.5, &mut rng).map(f32::abs);
-        let original = model.class_logits(&features, &class_attributes, false);
-        let loaded = restored.class_logits(&features, &class_attributes, false);
+        let original = model.class_logits(&features, &class_attributes);
+        let loaded = restored.class_logits(&features, &class_attributes);
         prop_assert_eq!(original.as_slice(), loaded.as_slice());
-        let original_attr = model.attribute_logits(&features, false);
-        let loaded_attr = restored.attribute_logits(&features, false);
+        let original_attr = model.attribute_logits(&features);
+        let loaded_attr = restored.attribute_logits(&features);
         prop_assert_eq!(original_attr.as_slice(), loaded_attr.as_slice());
     }
 
@@ -103,15 +104,15 @@ fn trained_model_round_trip_reproduces_outcome() {
     let (outcome, model) = pipeline.run_returning_model(&data, SplitKind::Zs, 1);
     let json = Checkpoint::capture(&model, data.schema()).to_json();
     drop(model);
-    let mut restored = Checkpoint::from_json_str(&json)
+    let restored = Checkpoint::from_json_str(&json)
         .expect("parses")
-        .into_model(data.schema())
+        .into_frozen(data.schema())
         .expect("schema matches");
     let split = data.split(SplitKind::Zs);
     let (eval_x, eval_labels) = data.features_and_labels(split.eval_classes());
     let eval_local = CubLikeDataset::to_local_labels(&eval_labels, split.eval_classes());
     let eval_class_attr = data.class_attribute_matrix(split.eval_classes());
-    let report = hdc_zsc::evaluate_zsc(&mut restored, &eval_x, &eval_local, &eval_class_attr);
+    let report = hdc_zsc::evaluate_zsc(&restored, &eval_x, &eval_local, &eval_class_attr);
     assert_eq!(report, outcome.zsc);
 }
 

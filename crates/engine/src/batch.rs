@@ -132,7 +132,7 @@ impl PackedQueryBatch {
     }
 
     /// The packed words of a contiguous query range.
-    fn rows(&self, range: std::ops::Range<usize>) -> &[u64] {
+    pub(crate) fn rows(&self, range: std::ops::Range<usize>) -> &[u64] {
         &self.words[range.start * self.words_per_row..range.end * self.words_per_row]
     }
 }

@@ -22,7 +22,12 @@
 //!   work-stealing-free scoped-thread pool ([`minipool::Pool`]).
 //! * [`dense`] — row-parallel float scoring (cosine logits, bilinear
 //!   compatibility) used by the `hdc_zsc` model's inference path and the
-//!   `baselines` predictors.
+//!   `baselines` predictors, plus [`DenseClassMemory`], the float-backed
+//!   class memory.
+//! * [`Scorer`] — the one trait unifying all three class-memory backends
+//!   (dense, packed, sharded): `score_batch` / `nearest` / `top_k` with a
+//!   pinned similarity-descending, label-ascending tie-break and the
+//!   `min(k, stored)` truncation contract.
 //!
 //! # Exactness contract
 //!
@@ -59,12 +64,15 @@
 pub mod batch;
 pub mod dense;
 pub mod packed;
+pub mod scorer;
 pub mod sharded;
 
 pub use batch::{BatchScorer, PackedQueryBatch};
+pub use dense::{DenseClassMemory, DenseMetric};
 pub use minipool::Pool;
 pub use packed::{
     mask_tail_word, pack_float_signs, pack_signs, pack_signs_into, similarity_from_hamming,
     words_per_row, PackedClassMemory,
 };
+pub use scorer::Scorer;
 pub use sharded::ShardedClassMemory;

@@ -355,7 +355,7 @@ impl PackedClassMemory {
     /// `n_queries × len` block into `out`.
     ///
     /// The sweep is tiled twice for cache locality: queries in tiles of
-    /// [`QUERY_TILE`] rows so each class row streams from memory once per
+    /// `QUERY_TILE` rows so each class row streams from memory once per
     /// tile, and words in strips of 2 KiB so a strip of every tile row stays
     /// in L1 even at very large `dim`.
     ///
@@ -497,6 +497,68 @@ impl PackedClassMemory {
         });
         scored.truncate(k);
         scored
+    }
+}
+
+/// The packed backend of the unified [`Scorer`](crate::Scorer) contract:
+/// queries are packed word rows, batches are [`PackedQueryBatch`](crate::PackedQueryBatch)es, and the
+/// trait lookups return `(label, similarity)` by resolving the inherent
+/// index-based lookups through [`PackedClassMemory::label`]. Ordering,
+/// truncation and tie-break follow the inherent methods exactly.
+impl crate::Scorer for PackedClassMemory {
+    type Query = [u64];
+    type Batch = crate::PackedQueryBatch;
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_classes(&self) -> usize {
+        self.len()
+    }
+
+    fn score_batch(&self, batch: &Self::Batch) -> Matrix {
+        assert_eq!(
+            batch.dim(),
+            self.dim,
+            "query batch dimensionality must match the class memory"
+        );
+        let classes = self.len();
+        if batch.is_empty() {
+            return Matrix::zeros(0, classes);
+        }
+        let mut out = vec![0.0f32; batch.len() * classes];
+        self.scores_block_into(batch.rows(0..batch.len()), batch.len(), &mut out);
+        Matrix::from_vec(batch.len(), classes, out)
+    }
+
+    fn nearest(&self, query: &Self::Query) -> Option<(&str, f32)> {
+        PackedClassMemory::nearest(self, query).map(|(index, sim)| (self.label(index), sim))
+    }
+
+    fn top_k(&self, query: &Self::Query, k: usize) -> Vec<(&str, f32)> {
+        PackedClassMemory::top_k(self, query, k)
+            .into_iter()
+            .map(|(index, sim)| (self.label(index), sim))
+            .collect()
+    }
+
+    fn nearest_batch(&self, batch: &Self::Batch) -> Vec<(&str, f32)> {
+        assert!(
+            batch.is_empty() || !self.is_empty(),
+            "nearest_batch requires a non-empty class memory"
+        );
+        (0..batch.len())
+            .map(|q| {
+                crate::Scorer::nearest(self, batch.row(q)).expect("non-empty memory checked above")
+            })
+            .collect()
+    }
+
+    fn topk_batch(&self, batch: &Self::Batch, k: usize) -> Vec<Vec<(&str, f32)>> {
+        (0..batch.len())
+            .map(|q| crate::Scorer::top_k(self, batch.row(q), k))
+            .collect()
     }
 }
 

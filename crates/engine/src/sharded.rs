@@ -496,6 +496,68 @@ impl ShardedClassMemory {
     }
 }
 
+/// The sharded backend of the unified [`Scorer`](crate::Scorer) contract.
+/// Lookups delegate to the inherent methods (parallel shard fan-out, merged
+/// on `(hamming, label)` — bit-identical to the monolithic scorer);
+/// [`Scorer::score_batch`](crate::Scorer::score_batch) reports similarities
+/// in **shard-major** stored order (the order of
+/// [`ShardedClassMemory::labels`]), stitched from the per-shard popcount
+/// sweeps and parallelised across queries.
+impl crate::Scorer for ShardedClassMemory {
+    type Query = [u64];
+    type Batch = PackedQueryBatch;
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_classes(&self) -> usize {
+        self.len()
+    }
+
+    fn score_batch(&self, batch: &PackedQueryBatch) -> tensor::Matrix {
+        assert_eq!(
+            batch.dim(),
+            self.dim,
+            "query batch dimensionality must match the class memory"
+        );
+        let classes = self.len();
+        if batch.is_empty() {
+            return tensor::Matrix::zeros(0, classes);
+        }
+        let blocks = self.pool.map_chunks(batch.len(), |range| {
+            let mut out = Vec::with_capacity(range.len() * classes);
+            for q in range {
+                for shard in &self.shards {
+                    out.extend_from_slice(&shard.scores(batch.row(q)));
+                }
+            }
+            out
+        });
+        let mut data = Vec::with_capacity(batch.len() * classes);
+        for block in blocks {
+            data.extend_from_slice(&block);
+        }
+        tensor::Matrix::from_vec(batch.len(), classes, data)
+    }
+
+    fn nearest(&self, query: &[u64]) -> Option<(&str, f32)> {
+        ShardedClassMemory::nearest(self, query)
+    }
+
+    fn top_k(&self, query: &[u64], k: usize) -> Vec<(&str, f32)> {
+        ShardedClassMemory::top_k(self, query, k)
+    }
+
+    fn nearest_batch(&self, batch: &PackedQueryBatch) -> Vec<(&str, f32)> {
+        ShardedClassMemory::nearest_batch(self, batch)
+    }
+
+    fn topk_batch(&self, batch: &PackedQueryBatch, k: usize) -> Vec<Vec<(&str, f32)>> {
+        ShardedClassMemory::topk_batch(self, batch, k)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

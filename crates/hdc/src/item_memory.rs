@@ -11,7 +11,9 @@
 //!
 //! Alongside the bipolar prototypes the memory keeps an
 //! [`engine::ShardedClassMemory`] — prototypes packed into one or more
-//! contiguous `u64` word-matrix shards — in sync on every insert.
+//! contiguous `u64` word-matrix shards — in sync on every insert, and routes
+//! every lookup through the unified [`engine::Scorer`] trait (the same
+//! contract the dense and packed backends implement).
 //! [`ItemMemory::nearest`] and [`ItemMemory::top_k`] pack the query once
 //! (`O(d)`) and run the engine's blocked popcount sweep instead of walking
 //! `i8` prototypes one label at a time; with [`ItemMemory::with_shards`] the
@@ -24,7 +26,7 @@
 //! lookup results are deterministic and independent of insertion order.
 
 use crate::{BipolarHypervector, HdcError};
-use engine::{PackedClassMemory, ShardedClassMemory};
+use engine::{PackedClassMemory, Scorer, ShardedClassMemory};
 use serde::{de, DeError, Deserialize, Serialize, Value};
 
 /// A labelled associative memory of bipolar prototype hypervectors.
@@ -266,7 +268,7 @@ impl ItemMemory {
             "query dimensionality must match the item memory"
         );
         let query_words = engine::pack_signs(query.as_slice());
-        self.sharded.nearest(&query_words)
+        Scorer::nearest(&self.sharded, &query_words)
     }
 
     /// Returns the `k` most similar prototypes, most similar first, via the
@@ -289,7 +291,7 @@ impl ItemMemory {
             "query dimensionality must match the item memory"
         );
         let query_words = engine::pack_signs(query.as_slice());
-        self.sharded.top_k(&query_words, k)
+        Scorer::top_k(&self.sharded, &query_words, k)
     }
 }
 

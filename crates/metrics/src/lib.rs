@@ -5,7 +5,7 @@
 //! * **top-1 / top-5 accuracy** for zero-shot classification (Fig. 4,
 //!   Table II) — [`topk`];
 //! * **Weighted Mean Average Precision (WMAP)** and per-group top-1 accuracy
-//!   for attribute extraction (Table I) — [`average_precision`] and
+//!   for attribute extraction (Table I) — [`average_precision`](fn@average_precision) and
 //!   [`wmap`]; the weighting compensates for attributes that are rare in the
 //!   dataset;
 //! * **µ ± σ across seeds** (§IV-A) — [`aggregate`].

@@ -207,12 +207,20 @@ impl TemperatureScale {
         usize::from(self.learnable)
     }
 
-    /// Applies the `1/K` scaling to a similarity matrix.
+    /// Immutable inference scaling: applies `1/K` without caching anything.
+    /// Bit-identical to [`TemperatureScale::forward`]; safe to call through
+    /// a shared (frozen) model from any number of threads.
+    pub fn infer(&self, sims: &Matrix) -> Matrix {
+        sims.scale(1.0 / self.k())
+    }
+
+    /// Applies the `1/K` scaling to a similarity matrix, caching the
+    /// similarities for [`TemperatureScale::backward`] when `train` is set.
     pub fn forward(&mut self, sims: &Matrix, train: bool) -> Matrix {
         if train {
             self.cache = Some(sims.clone());
         }
-        sims.scale(1.0 / self.k())
+        self.infer(sims)
     }
 
     /// Back-propagates through the scaling, accumulating the gradient of `K`
@@ -246,6 +254,14 @@ impl TemperatureScale {
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut ParamTensor)) {
         if self.learnable {
             f(&mut self.k);
+        }
+    }
+
+    /// Read-only visitation of the temperature parameter (when learnable),
+    /// mirroring [`TemperatureScale::visit_params`] for `&self` accounting.
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&ParamTensor)) {
+        if self.learnable {
+            f(&self.k);
         }
     }
 

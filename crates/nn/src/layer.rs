@@ -9,16 +9,41 @@ use tensor::Matrix;
 /// A differentiable layer operating on batched row-major inputs
 /// (`batch × features`).
 ///
-/// Layers cache whatever they need during [`Layer::forward`] so that a
-/// subsequent [`Layer::backward`] can compute gradients; the usual training
-/// step is therefore `forward → loss → backward → optimizer.step`.
+/// The forward pass is split into two receivers so that a *frozen* model can
+/// be shared immutably between threads while training keeps its mutable
+/// handle:
+///
+/// * [`Layer::infer`] takes `&self`, touches no caches, and is safe to call
+///   concurrently from any number of threads;
+/// * [`Layer::forward_train`] takes `&mut self` and caches whatever the
+///   layer needs so a subsequent [`Layer::backward`] can compute gradients;
+///   the usual training step is therefore
+///   `forward_train → loss → backward → optimizer.step`.
+///
+/// Both paths apply the exact same arithmetic in the same order, so their
+/// outputs are bit-identical.
 ///
 /// Parameter visitation order is deterministic, which lets optimizers attach
 /// per-parameter state (moment buffers) to visitation slots.
 pub trait Layer {
-    /// Runs the layer on a batch. `train` selects training-time behaviour
-    /// (e.g. caching activations); inference-only calls may pass `false`.
-    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix;
+    /// Immutable inference forward: runs the layer on a batch without
+    /// caching anything. Bit-identical to [`Layer::forward_train`].
+    fn infer(&self, input: &Matrix) -> Matrix;
+
+    /// Training forward: runs the layer on a batch and caches activations
+    /// for [`Layer::backward`].
+    fn forward_train(&mut self, input: &Matrix) -> Matrix;
+
+    /// Convenience dispatcher retained for training-loop call sites:
+    /// `forward(x, true)` is [`Layer::forward_train`], `forward(x, false)`
+    /// is [`Layer::infer`].
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        if train {
+            self.forward_train(input)
+        } else {
+            self.infer(input)
+        }
+    }
 
     /// Back-propagates `grad_output` (gradient of the loss with respect to
     /// this layer's output) and returns the gradient with respect to the
@@ -27,16 +52,21 @@ pub trait Layer {
     ///
     /// # Panics
     ///
-    /// Implementations may panic if called before `forward(…, true)`.
+    /// Implementations may panic if called before [`Layer::forward_train`].
     fn backward(&mut self, grad_output: &Matrix) -> Matrix;
 
     /// Visits every trainable parameter in a fixed order.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut ParamTensor));
 
+    /// Read-only visitation of every trainable parameter, in the same fixed
+    /// order as [`Layer::visit_params`]; lets accounting run on `&self`
+    /// (e.g. through a shared frozen model).
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&ParamTensor));
+
     /// Number of trainable scalar parameters.
-    fn num_params(&mut self) -> usize {
+    fn num_params(&self) -> usize {
         let mut n = 0;
-        self.visit_params(&mut |p| n += p.len());
+        self.visit_params_ref(&mut |p| n += p.len());
         n
     }
 
@@ -169,7 +199,7 @@ impl Deserialize for Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+    fn infer(&self, input: &Matrix) -> Matrix {
         assert_eq!(
             input.cols(),
             self.in_features(),
@@ -177,12 +207,15 @@ impl Layer for Linear {
             self.in_features(),
             input.cols()
         );
-        if train {
-            self.input_cache = Some(input.clone());
-        }
         input
             .matmul(&self.weight.values)
             .add_row_broadcast(self.bias.values.row(0))
+    }
+
+    fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        let out = self.infer(input);
+        self.input_cache = Some(input.clone());
+        out
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -206,6 +239,11 @@ impl Layer for Linear {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut ParamTensor)) {
         f(&mut self.weight);
         f(&mut self.bias);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&ParamTensor)) {
+        f(&self.weight);
+        f(&self.bias);
     }
 }
 
@@ -244,15 +282,18 @@ impl Activation {
 }
 
 impl Layer for Activation {
-    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
-        if train {
-            self.input_cache = Some(input.clone());
-        }
+    fn infer(&self, input: &Matrix) -> Matrix {
         match self.kind {
             ActivationKind::Relu => input.map(|x| x.max(0.0)),
             ActivationKind::Tanh => input.map(f32::tanh),
             ActivationKind::Identity => input.clone(),
         }
+    }
+
+    fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        let out = self.infer(input);
+        self.input_cache = Some(input.clone());
+        out
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -273,6 +314,8 @@ impl Layer for Activation {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut ParamTensor)) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&ParamTensor)) {}
 }
 
 /// A sequential container applying its child layers in order.
@@ -317,10 +360,18 @@ impl std::fmt::Debug for Sequential {
 }
 
 impl Layer for Sequential {
-    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+    fn infer(&self, input: &Matrix) -> Matrix {
+        let mut current = input.clone();
+        for layer in &self.layers {
+            current = layer.infer(&current);
+        }
+        current
+    }
+
+    fn forward_train(&mut self, input: &Matrix) -> Matrix {
         let mut current = input.clone();
         for layer in &mut self.layers {
-            current = layer.forward(&current, train);
+            current = layer.forward_train(&current);
         }
         current
     }
@@ -336,6 +387,12 @@ impl Layer for Sequential {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut ParamTensor)) {
         for layer in &mut self.layers {
             layer.visit_params(f);
+        }
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&ParamTensor)) {
+        for layer in &self.layers {
+            layer.visit_params_ref(f);
         }
     }
 }
@@ -424,12 +481,23 @@ impl Mlp {
 }
 
 impl Layer for Mlp {
-    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+    fn infer(&self, input: &Matrix) -> Matrix {
         let mut current = input.clone();
         for i in 0..self.layers.len() {
-            current = self.layers[i].forward(&current, train);
+            current = self.layers[i].infer(&current);
+            if let Some(act) = self.hidden_activations.get(i) {
+                current = act.infer(&current);
+            }
+        }
+        current
+    }
+
+    fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        let mut current = input.clone();
+        for i in 0..self.layers.len() {
+            current = self.layers[i].forward_train(&current);
             if let Some(act) = self.hidden_activations.get_mut(i) {
-                current = act.forward(&current, train);
+                current = act.forward_train(&current);
             }
         }
         current
@@ -449,6 +517,12 @@ impl Layer for Mlp {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut ParamTensor)) {
         for layer in &mut self.layers {
             layer.visit_params(f);
+        }
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&ParamTensor)) {
+        for layer in &self.layers {
+            layer.visit_params_ref(f);
         }
     }
 }
@@ -552,7 +626,7 @@ mod tests {
     #[test]
     fn linear_param_count() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut fc = Linear::new(2048, 1536, Init::XavierUniform, &mut rng);
+        let fc = Linear::new(2048, 1536, Init::XavierUniform, &mut rng);
         assert_eq!(fc.num_params(), 2048 * 1536 + 1536);
     }
 
@@ -620,7 +694,7 @@ mod tests {
 
     #[test]
     fn activation_has_no_params() {
-        let mut act = Activation::new(ActivationKind::Relu);
+        let act = Activation::new(ActivationKind::Relu);
         assert_eq!(act.num_params(), 0);
     }
 
@@ -688,5 +762,43 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let mut fc = Linear::new(4, 2, Init::KaimingUniform, &mut rng);
         let _ = fc.forward(&Matrix::ones(1, 5), false);
+    }
+
+    /// The immutable `infer` path must be bit-identical to the training
+    /// forward and leave no cache behind (backward still panics).
+    #[test]
+    fn infer_is_bit_identical_to_forward_train_and_caches_nothing() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut mlp = Mlp::new(&[6, 5, 4], ActivationKind::Tanh, &mut rng);
+        let x = Matrix::random_uniform(3, 6, 1.0, &mut rng);
+        let inferred = mlp.infer(&x);
+        let trained = mlp.forward_train(&x);
+        assert_eq!(inferred.as_slice(), trained.as_slice());
+        // A fresh clone that only ran `infer` has no activation cache.
+        let fresh = {
+            let mut rng = StdRng::seed_from_u64(11);
+            Mlp::new(&[6, 5, 4], ActivationKind::Tanh, &mut rng)
+        };
+        let _ = fresh.infer(&x);
+        let mut fresh = fresh;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fresh.backward(&Matrix::ones(3, 4))
+        }));
+        assert!(result.is_err(), "infer must not populate backward caches");
+    }
+
+    /// Read-only visitation mirrors the mutable order and powers the
+    /// `&self` parameter count.
+    #[test]
+    fn visit_params_ref_matches_mutable_visitation() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut mlp = Mlp::new(&[8, 4, 2], ActivationKind::Relu, &mut rng);
+        let mut mutable_shapes = Vec::new();
+        mlp.visit_params(&mut |p| mutable_shapes.push(p.shape()));
+        let mut ref_shapes = Vec::new();
+        mlp.visit_params_ref(&mut |p| ref_shapes.push(p.shape()));
+        assert_eq!(mutable_shapes, ref_shapes);
+        let immutable = &mlp;
+        assert_eq!(immutable.num_params(), 8 * 4 + 4 + 4 * 2 + 2);
     }
 }

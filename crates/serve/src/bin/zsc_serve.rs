@@ -232,7 +232,7 @@ fn run_traffic(
 /// the served top-1s are bit-identical; returns the direct-path stats.
 fn cross_check(
     phase: &str,
-    reference_model: &mut ZscModel,
+    reference_model: &ZscModel,
     reference_memory: &ShardedClassMemory,
     queries: &[Vec<f32>],
     served: &[ScoredLabel],
@@ -242,7 +242,7 @@ fn cross_check(
     for (q, (features, (label, sim))) in queries.iter().zip(served).enumerate() {
         let start = Instant::now();
         let embedding =
-            reference_model.embed_images(&Matrix::from_rows(std::slice::from_ref(features)), false);
+            reference_model.embed_images(&Matrix::from_rows(std::slice::from_ref(features)));
         let packed = engine::pack_float_signs(embedding.row(0));
         let (direct_label, direct_sim) =
             reference_memory.nearest(&packed).expect("non-empty memory");
@@ -320,7 +320,7 @@ fn main() {
     let initial_labels: Vec<String> = labels[..initial].to_vec();
     let initial_attr = eval_class_attr.select_rows(&(0..initial).collect::<Vec<_>>());
 
-    let mut reference_model = loaded
+    let reference_model = loaded
         .clone()
         .into_model(schema)
         .expect("checkpoint matches the schema");
@@ -352,7 +352,7 @@ fn main() {
     let (serve_stats, served_initial) = run_traffic(&server, &queries, config.callers);
     let direct_stats = cross_check(
         "pre-registration",
-        &mut reference_model,
+        &reference_model,
         &reference_initial,
         &queries,
         &served_initial,
@@ -384,7 +384,7 @@ fn main() {
     let (post_stats, served_post) = run_traffic(&server, &queries, config.callers);
     let _ = cross_check(
         "post-registration",
-        &mut reference_model,
+        &reference_model,
         &reference_full,
         &queries,
         &served_post,

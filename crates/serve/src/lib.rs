@@ -6,15 +6,20 @@
 //!
 //! 1. train a model with `hdc_zsc::Pipeline::run_returning_model`;
 //! 2. persist it with `hdc_zsc::Checkpoint::save_json`;
-//! 3. reload it in the serving process with `hdc_zsc::Checkpoint::load_json`;
+//! 3. reload it straight into an immutable `hdc_zsc::FrozenModel` with
+//!    `hdc_zsc::Checkpoint::load_json` + `into_frozen`;
 //! 4. put a [`QueryServer`] in front of it.
 //!
-//! The [`QueryServer`] serves an immutable [`ModelSnapshot`] — the loaded
-//! model plus an [`engine::ShardedClassMemory`] of class signatures — behind
-//! an atomically swappable `Arc`, and runs a **micro-batching admission
-//! queue**: concurrent callers each submit one backbone-feature row (or a
-//! small batch); the server coalesces whatever arrives within a short window
-//! into one engine dispatch and hands every caller its own top-k labels.
+//! The [`QueryServer`] serves an immutable [`ModelSnapshot`] — a shared
+//! `FrozenModel` plus an [`engine::ShardedClassMemory`] of class signatures
+//! — behind an atomically swappable `Arc`, and runs a **micro-batching
+//! admission queue**: concurrent callers each submit one backbone-feature
+//! row (or a small batch); the server coalesces whatever arrives within a
+//! short window into one engine dispatch and hands every caller its own
+//! top-k labels. Because the model's inference surface takes `&self`, the
+//! whole query/dispatch path performs **zero model deep-copies** — one
+//! weight allocation serves every thread, pinned by the `zero_copy` probe
+//! test.
 //! Because each query's scores are independent rows of the engine's batched
 //! sweep and the sharded top-k merge is bit-identical to the monolithic
 //! scorer, served results are bit-identical to scoring the same query alone
@@ -63,12 +68,12 @@ mod tests {
     /// model + sharded memory must return — i.e.
     /// [`ModelSnapshot::solo_topk`] computed from first principles.
     fn reference_topk(
-        model: &mut ZscModel,
+        model: &ZscModel,
         memory: &engine::ShardedClassMemory,
         features: &[f32],
         k: usize,
     ) -> Vec<ScoredLabel> {
-        let embedding = model.embed_images(&Matrix::from_rows(&[features.to_vec()]), false);
+        let embedding = model.embed_images(&Matrix::from_rows(&[features.to_vec()]));
         let packed = engine::pack_float_signs(embedding.row(0));
         memory
             .top_k(&packed, k)
@@ -80,7 +85,7 @@ mod tests {
     #[test]
     fn served_results_are_bit_identical_to_direct_scoring() {
         let (model, labels, class_attributes, _) = fixture();
-        let mut reference_model = model.clone();
+        let reference_model = model.clone();
         let mut rng = StdRng::seed_from_u64(6);
         let queries: Vec<Vec<f32>> = (0..40)
             .map(|_| {
@@ -108,7 +113,7 @@ mod tests {
             for q in &queries {
                 let (version, served) = server.query_traced(q).expect("query served");
                 assert_eq!(version, 0, "no swaps were published");
-                let expected = reference_topk(&mut reference_model, &memory, q, 4);
+                let expected = reference_topk(&reference_model, &memory, q, 4);
                 assert_eq!(served.len(), expected.len());
                 for ((sl, ss), (el, es)) in served.iter().zip(&expected) {
                     assert_eq!(sl, el, "max_batch={max_batch} threads={threads}");
@@ -123,7 +128,7 @@ mod tests {
     #[test]
     fn concurrent_callers_coalesce_into_batches() {
         let (model, labels, class_attributes, _) = fixture();
-        let mut reference_model = model.clone();
+        let reference_model = model.clone();
         let memory = reference_model.sharded_class_memory(labels.clone(), &class_attributes, 4);
         let server = QueryServer::start(
             model,
@@ -159,7 +164,7 @@ mod tests {
             }
             for (handle, chunk) in handles.into_iter().zip(queries.chunks(6)) {
                 for (served, q) in handle.join().expect("caller thread").into_iter().zip(chunk) {
-                    let expected = reference_topk(&mut reference_model, &memory, q, 3);
+                    let expected = reference_topk(&reference_model, &memory, q, 3);
                     assert_eq!(served, expected);
                 }
             }
@@ -175,7 +180,7 @@ mod tests {
     #[test]
     fn query_batch_preserves_submission_order() {
         let (model, labels, class_attributes, _) = fixture();
-        let mut reference_model = model.clone();
+        let reference_model = model.clone();
         let memory = reference_model.sharded_class_memory(
             labels.clone(),
             &class_attributes,
@@ -194,10 +199,7 @@ mod tests {
         let served = server.query_batch(&rows).expect("batch served");
         assert_eq!(served.len(), rows.len());
         for (result, row) in served.iter().zip(&rows) {
-            assert_eq!(
-                result,
-                &reference_topk(&mut reference_model, &memory, row, 5)
-            );
+            assert_eq!(result, &reference_topk(&reference_model, &memory, row, 5));
         }
     }
 
@@ -414,7 +416,7 @@ mod tests {
     #[test]
     fn checkpoint_round_trip_serves_bit_identical_results() {
         let (model, labels, class_attributes, schema) = fixture();
-        let mut reference_model = model.clone();
+        let reference_model = model.clone();
         let memory = reference_model.sharded_class_memory(
             labels.clone(),
             &class_attributes,
@@ -437,7 +439,7 @@ mod tests {
                 .row(0)
                 .to_vec();
             let served = server.query(&q).expect("query served");
-            let expected = reference_topk(&mut reference_model, &memory, &q, 5);
+            let expected = reference_topk(&reference_model, &memory, &q, 5);
             assert_eq!(served, expected);
         }
     }

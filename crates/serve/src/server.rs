@@ -15,20 +15,32 @@
 //! # Snapshots and hot swap
 //!
 //! All serving state lives in an immutable [`ModelSnapshot`] behind an
-//! `Arc`: the trained model (shared, parameters never mutate while serving)
-//! plus the sharded class memory. The dispatcher picks up the current
-//! snapshot once per coalesced batch, so every batch is scored against
-//! exactly one snapshot and a swap never tears a batch.
+//! `Arc`: a [`FrozenModel`] (shared weights, `&self` inference — parameters
+//! never mutate while serving) plus the sharded class memory. The
+//! dispatcher picks up the current snapshot once per coalesced batch, so
+//! every batch is scored against exactly one snapshot and a swap never
+//! tears a batch.
+//!
+//! **Zero model copies on the query path.** Since the model's entire
+//! inference surface takes `&self`, neither the dispatcher, nor
+//! [`ModelSnapshot::solo_topk`], nor the class-registration control plane
+//! ever deep-copies a `ZscModel`; everything embeds through the one shared
+//! [`FrozenModel`] allocation. (Earlier revisions cloned the full model per
+//! dispatcher hand-off, per `solo_topk` call, and once more into the control
+//! plane — the `zero_copy` stress test pins, via `FrozenModel::ptr_eq` /
+//! `strong_count` probes, that those copies are gone for good.)
 //!
 //! Mutations — [`QueryServer::register_class`],
 //! [`QueryServer::update_class`], [`QueryServer::remove_class`],
-//! [`QueryServer::swap_model`] — build the next snapshot on the caller's
-//! thread and publish it with one `Arc` store. The sharded memory's
-//! copy-on-write shards make the incremental paths cheap: registering a
-//! class clones `Arc` handles for every shard except the one the class
-//! routes to, which alone is repacked. In-flight queries keep scoring
-//! against the old snapshot until the dispatcher's next pickup; nothing
-//! drains, nothing blocks on the queue.
+//! [`QueryServer::swap_model`] — validate their inputs first, then build the
+//! next snapshot on the caller's thread and publish it with one `Arc`
+//! store. The sharded memory's copy-on-write shards make the incremental
+//! paths cheap: registering a class clones `Arc` handles for every shard
+//! except the one the class routes to, which alone is repacked — and a
+//! request that fails validation (wrong width, unknown label) returns its
+//! typed error before any shard is cloned or repacked. In-flight queries
+//! keep scoring against the old snapshot until the dispatcher's next
+//! pickup; nothing drains, nothing blocks on the queue.
 //!
 //! # Exactness
 //!
@@ -42,7 +54,7 @@
 //! (and the hot-swap stress test) can verify exactly that.
 
 use engine::{PackedQueryBatch, ShardedClassMemory};
-use hdc_zsc::ZscModel;
+use hdc_zsc::FrozenModel;
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -87,7 +99,12 @@ impl Default for ServerConfig {
 pub type ScoredLabel = (String, f32);
 
 /// Why a query could not be served.
+///
+/// Marked `#[non_exhaustive]`: the serving surface may grow new failure
+/// modes, so downstream matches must keep a wildcard arm.
 #[derive(Debug)]
+#[must_use = "a serve error says why the request was rejected and should be handled"]
+#[non_exhaustive]
 pub enum ServeError {
     /// The server was (or is being) shut down before the query completed.
     Stopped,
@@ -173,17 +190,18 @@ impl ServerStats {
     }
 }
 
-/// One immutable serving state: the trained model plus the sharded class
+/// One immutable serving state: the frozen model plus the sharded class
 /// memory derived from it, tagged with a monotonically increasing version.
 ///
 /// Snapshots are cheap to derive from one another — the model is shared
-/// through an `Arc` and the memory's shards are copy-on-write — and are
-/// never mutated after publication, so a reader holding an
-/// `Arc<ModelSnapshot>` can score against it indefinitely, swap or no swap.
+/// through the [`FrozenModel`]'s `Arc` and the memory's shards are
+/// copy-on-write — and are never mutated after publication, so a reader
+/// holding an `Arc<ModelSnapshot>` can score against it indefinitely, swap
+/// or no swap.
 #[derive(Debug, Clone)]
 pub struct ModelSnapshot {
     version: u64,
-    model: Arc<ZscModel>,
+    model: FrozenModel,
     memory: ShardedClassMemory,
 }
 
@@ -199,8 +217,9 @@ impl ModelSnapshot {
         &self.memory
     }
 
-    /// The trained model embedding the queries.
-    pub fn model(&self) -> &Arc<ZscModel> {
+    /// The frozen model embedding the queries. Cloning the returned handle
+    /// clones an `Arc`, never the weights.
+    pub fn model(&self) -> &FrozenModel {
         &self.model
     }
 
@@ -209,11 +228,12 @@ impl ModelSnapshot {
     /// contract is that a query answered under version `v` is bit-identical
     /// to `solo_topk` on the version-`v` snapshot.
     ///
-    /// Clones the model internally (embedding requires mutable activation
-    /// buffers), so this is a verification/debugging tool, not a hot path.
+    /// Embeds through the shared [`FrozenModel`] (`&self` inference), so
+    /// this copies nothing and is itself as cheap as one dispatcher row.
     pub fn solo_topk(&self, features: &[f32], k: usize) -> Vec<ScoredLabel> {
-        let mut model = (*self.model).clone();
-        let embedding = model.embed_images(&Matrix::from_rows(&[features.to_vec()]), false);
+        let embedding = self
+            .model
+            .embed_images(&Matrix::from_rows(&[features.to_vec()]));
         let packed = engine::pack_float_signs(embedding.row(0));
         self.memory
             .top_k(&packed, k)
@@ -249,13 +269,13 @@ struct QueueState {
     shutdown: bool,
 }
 
-/// The control plane guarded by one mutex: a private model clone used to
-/// encode newly registered classes (encoding needs mutable activation
-/// buffers), serialized so concurrent mutations publish strictly ordered
-/// versions.
+/// The control plane guarded by one mutex, serializing mutations so
+/// concurrent callers publish strictly ordered versions. It holds no model:
+/// class encoding runs through the *serving snapshot's* shared
+/// [`FrozenModel`] (`&self` inference), so registering a class costs one
+/// attribute-encoder forward and zero weight copies.
 #[derive(Debug)]
 struct ControlPlane {
-    model: ZscModel,
     attribute_dim: usize,
 }
 
@@ -295,20 +315,25 @@ impl QueryServer {
     /// Starts a server around a trained model and the class set it serves:
     /// one label per row of `class_attributes`.
     ///
-    /// The class-attribute matrix is encoded once into sign-binarized class
+    /// Accepts anything convertible into a [`FrozenModel`]: a `ZscModel` by
+    /// value (frozen here — the server takes ownership, no copy), an
+    /// already-frozen handle, or a shared `Arc<ZscModel>`. The
+    /// class-attribute matrix is encoded once into sign-binarized class
     /// signatures split across [`ServerConfig::shards`] shards; queries then
-    /// run entirely through the popcount path.
+    /// run entirely through the popcount path against that one shared
+    /// model allocation.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] when the labels, matrix and
     /// configuration do not line up.
     pub fn start(
-        mut model: ZscModel,
+        model: impl Into<FrozenModel>,
         labels: Vec<String>,
         class_attributes: &Matrix,
         config: ServerConfig,
     ) -> Result<Self, ServeError> {
+        let model: FrozenModel = model.into();
         if labels.len() != class_attributes.rows() {
             return Err(ServeError::InvalidConfig(format!(
                 "{} labels for {} class-attribute rows",
@@ -337,12 +362,13 @@ impl QueryServer {
             ));
         }
         let attribute_dim = class_attributes.cols();
+        let feature_dim = model.image_encoder().feature_dim();
         let memory = model
             .sharded_class_memory(labels, class_attributes, config.shards)
             .with_threads(config.threads);
         let snapshot = Arc::new(ModelSnapshot {
             version: 0,
-            model: Arc::new(model.clone()),
+            model,
             memory,
         });
         let shared = Arc::new(Shared {
@@ -353,7 +379,7 @@ impl QueryServer {
             arrivals: Condvar::new(),
             stats: Mutex::new(ServerStats::default()),
             snapshot: Mutex::new(snapshot),
-            feature_dim: model.image_encoder().feature_dim(),
+            feature_dim,
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -361,17 +387,16 @@ impl QueryServer {
         };
         Ok(Self {
             shared,
-            control: Mutex::new(ControlPlane {
-                model,
-                attribute_dim,
-            }),
+            control: Mutex::new(ControlPlane { attribute_dim }),
             dispatcher: Some(dispatcher),
         })
     }
 
     /// Starts a server from a saved [`hdc_zsc::Checkpoint`]: the
     /// train-once / serve-many entry point. The checkpoint is validated
-    /// against the serving schema before the model is accepted.
+    /// against the serving schema and loaded straight into the immutable
+    /// [`FrozenModel`] view ([`hdc_zsc::Checkpoint::into_frozen`]) — no
+    /// intermediate mutable model, no extra copy.
     ///
     /// # Errors
     ///
@@ -384,7 +409,7 @@ impl QueryServer {
         class_attributes: &Matrix,
         config: ServerConfig,
     ) -> Result<Self, ServeError> {
-        let model = checkpoint.into_model(schema)?;
+        let model = checkpoint.into_frozen(schema)?;
         Self::start(model, labels, class_attributes, config)
     }
 
@@ -455,6 +480,12 @@ impl QueryServer {
     /// The shared register/update body; the caller must hold the control
     /// mutex so existence checks, encoding, and the publish are atomic with
     /// respect to every other mutation.
+    ///
+    /// Validation-before-derivation: the attribute-width check runs before
+    /// the signature is encoded and before any snapshot state is cloned, so
+    /// a rejected request costs nothing but the check. Encoding runs through
+    /// the serving snapshot's shared [`FrozenModel`] — one attribute-encoder
+    /// forward, zero weight copies.
     fn register_locked(
         &self,
         control: &mut ControlPlane,
@@ -467,13 +498,13 @@ impl QueryServer {
                 found: attributes.len(),
             });
         }
-        let signature = control.model.packed_class_signature(attributes);
+        let signature = self.snapshot().model.packed_class_signature(attributes);
         Ok(self.publish(|snapshot| {
             let mut memory = snapshot.memory.clone();
             memory.add_class_packed(label, &signature);
             ModelSnapshot {
                 version: snapshot.version + 1,
-                model: Arc::clone(&snapshot.model),
+                model: snapshot.model.clone(),
                 memory,
             }
         }))
@@ -505,7 +536,7 @@ impl QueryServer {
             memory.remove_class(label);
             ModelSnapshot {
                 version: snapshot.version + 1,
-                model: Arc::clone(&snapshot.model),
+                model: snapshot.model.clone(),
                 memory,
             }
         }))
@@ -526,10 +557,11 @@ impl QueryServer {
     /// and future callers would be rejected by the width check).
     pub fn swap_model(
         &self,
-        mut model: ZscModel,
+        model: impl Into<FrozenModel>,
         labels: Vec<String>,
         class_attributes: &Matrix,
     ) -> Result<Arc<ModelSnapshot>, ServeError> {
+        let model: FrozenModel = model.into();
         if labels.len() != class_attributes.rows() {
             return Err(ServeError::InvalidConfig(format!(
                 "{} labels for {} class-attribute rows",
@@ -568,8 +600,6 @@ impl QueryServer {
             .sharded_class_memory(labels, class_attributes, shards)
             .with_threads(threads);
         control.attribute_dim = class_attributes.cols();
-        control.model = model.clone();
-        let model = Arc::new(model);
         Ok(self.publish(move |snapshot| ModelSnapshot {
             version: snapshot.version + 1,
             model,
@@ -693,21 +723,13 @@ impl Drop for QueryServer {
 /// The dispatcher: collect → pick up snapshot → embed → pack → score →
 /// respond, forever.
 ///
-/// The dispatcher keeps one private model clone for embedding (forward
-/// passes need mutable activation buffers) and re-clones it only when a
-/// snapshot carries a *different* model `Arc` — class registrations share
-/// the model, so the common swap path never copies weights here.
+/// Embedding runs through the snapshot's shared [`FrozenModel`] (`&self`
+/// inference, no activation caches), so the dispatcher holds no model state
+/// of its own and a swap costs it exactly one `Arc` load — never a weight
+/// copy.
 fn dispatch_loop(shared: &Shared, config: ServerConfig) {
-    let initial = Arc::clone(&shared.snapshot.lock().expect("snapshot mutex poisoned"));
-    let mut model: ZscModel = (*initial.model).clone();
-    let mut model_src: Arc<ZscModel> = Arc::clone(&initial.model);
-    drop(initial);
     while let Some(mut batch) = collect_batch(shared, config.max_batch, config.max_wait_us) {
         let snapshot = Arc::clone(&shared.snapshot.lock().expect("snapshot mutex poisoned"));
-        if !Arc::ptr_eq(&model_src, &snapshot.model) {
-            model = (*snapshot.model).clone();
-            model_src = Arc::clone(&snapshot.model);
-        }
         let rows: Vec<Vec<f32>> = batch
             .iter_mut()
             .map(|r| std::mem::take(&mut r.features))
@@ -716,7 +738,7 @@ fn dispatch_loop(shared: &Shared, config: ServerConfig) {
         // Inference-mode embedding (no caches), then sign-binarization into
         // the engine's packed query layout — the same path
         // `ZscModel::sharded_class_memory` uses for the class side.
-        let embeddings = model.embed_images(&features, false);
+        let embeddings = snapshot.model.embed_images(&features);
         let queries = PackedQueryBatch::from_sign_matrix(&embeddings);
         let topk = snapshot.memory.topk_batch(&queries, config.top_k);
         {

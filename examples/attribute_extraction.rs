@@ -55,10 +55,10 @@ fn main() {
         data.schema().num_values()
     );
 
-    let before = evaluate_attribute_extraction(&mut model, &test_x, &test_t, data.schema());
+    let before = evaluate_attribute_extraction(&model, &test_x, &test_t, data.schema());
     let trainer = AttributeExtractionTrainer::new(TrainConfig::paper_default());
     let history = trainer.train(&mut model, &train_x, &train_t);
-    let after = evaluate_attribute_extraction(&mut model, &test_x, &test_t, data.schema());
+    let after = evaluate_attribute_extraction(&model, &test_x, &test_t, data.schema());
 
     println!(
         "\nphase II training: {} epochs, loss {:.3} → {:.3}",

@@ -66,7 +66,7 @@ fn main() {
     let (eval_x, eval_labels) = data.features_and_labels(split.eval_classes());
     let eval_local = CubLikeDataset::to_local_labels(&eval_labels, split.eval_classes());
     let eval_class_attr = data.class_attribute_matrix(split.eval_classes());
-    let report = evaluate_zsc(&mut model, &eval_x, &eval_local, &eval_class_attr);
+    let report = evaluate_zsc(&model, &eval_x, &eval_local, &eval_class_attr);
     println!(
         "\nzero-shot evaluation over {} unseen classes: {}",
         split.eval_classes().len(),

@@ -77,12 +77,12 @@ fn trained_model_beats_untrained_and_random_baselines() {
     let eval_attr = data.class_attribute_matrix(split.eval_classes());
 
     // Untrained model (random FC projection).
-    let mut untrained = ZscModel::new(
+    let untrained = ZscModel::new(
         &ModelConfig::paper_default().with_embedding_dim(192),
         data.schema(),
         data.config().feature_dim,
     );
-    let untrained_report = evaluate_zsc(&mut untrained, &eval_x, &eval_local, &eval_attr);
+    let untrained_report = evaluate_zsc(&untrained, &eval_x, &eval_local, &eval_attr);
 
     // Trained model.
     let outcome = Pipeline::new(
@@ -136,8 +136,8 @@ fn parameter_accounting_matches_paper_at_full_dimensions() {
     // training it, and check the 26.6M figure and the stationary-encoder
     // claim hold in the assembled system.
     let schema = dataset::AttributeSchema::cub200();
-    let mut model = ZscModel::new(&ModelConfig::paper_default(), &schema, 2048);
-    let breakdown = ParameterBreakdown::of(&mut model);
+    let model = ZscModel::new(&ModelConfig::paper_default(), &schema, 2048);
+    let breakdown = ParameterBreakdown::of(&model);
     assert!((breakdown.total_millions() - 26.6).abs() < 0.2);
     assert_eq!(breakdown.attribute_encoder, 0);
     // The trainable part is tiny compared to the deployed model.

@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! Hand-rolled (no `syn`/`quote` — the build environment has no crates.io
-//! access) derive macros for the workspace's [`serde`] stub. Supports exactly
+//! access) derive macros for the workspace's `serde` stub. Supports exactly
 //! the shapes this workspace uses:
 //!
 //! * structs with named fields → JSON objects;

@@ -1,6 +1,6 @@
 //! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
-//! renders the vendored `serde` stub's [`Value`](serde::Value) tree as JSON
-//! text and parses JSON text back into a [`Value`](serde::Value) (and, via
+//! renders the vendored `serde` stub's [`serde::Value`] tree as JSON
+//! text and parses JSON text back into a [`serde::Value`] (and, via
 //! [`serde::Deserialize`], into workspace types — the checkpoint loading
 //! path).
 
