@@ -16,6 +16,22 @@
 //! memories, thread pools — is intentionally not persisted and is rebuilt on
 //! load.
 //!
+//! # Layout versions and kinds
+//!
+//! Version 2 (current) adds a `kind` discriminator to the envelope so the
+//! two on-disk documents this crate writes — a plain model checkpoint
+//! (`"model"`) and a serve-time [`CheckpointDelta`] (`"serve-delta"`, the
+//! compaction base of the serving layer's write-ahead log) — cannot be
+//! confused for one another: loading a delta through the model loader (or
+//! vice versa) fails with [`CheckpointError::WrongKind`] instead of a
+//! confusing payload error. Version-1 documents (no `kind` field) are still
+//! accepted by [`Checkpoint::from_json_str`]; saving always writes the
+//! current layout.
+//!
+//! All saves are atomic: the document is written to a sibling `.tmp` file,
+//! fsynced, and `rename`d over the destination, so a crash mid-save can
+//! never corrupt the only good checkpoint.
+//!
 //! # Example
 //!
 //! ```
@@ -35,11 +51,25 @@
 use crate::config::ModelConfig;
 use crate::model::ZscModel;
 use dataset::AttributeSchema;
-use serde::{Deserialize, Serialize};
+use engine::ShardedClassMemory;
+use serde::{Deserialize, Serialize, Value};
+use std::io::Write;
 use std::path::Path;
 
 /// Version of the on-disk checkpoint layout produced by this crate.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+///
+/// Version 2 added the `kind` discriminator and the [`CheckpointDelta`]
+/// envelope; version-1 model checkpoints are still readable.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
+
+/// The oldest layout version [`Checkpoint::from_json_str`] still reads.
+pub const CHECKPOINT_LEGACY_FORMAT_VERSION: u32 = 1;
+
+/// `kind` discriminator of a plain model checkpoint.
+const KIND_MODEL: &str = "model";
+
+/// `kind` discriminator of a serve-time checkpoint delta.
+const KIND_DELTA: &str = "serve-delta";
 
 /// The attribute-schema shape a checkpoint was trained against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -108,6 +138,14 @@ pub enum CheckpointError {
         /// Value found in the other.
         found: usize,
     },
+    /// The document is a valid envelope of a different kind — e.g. a
+    /// serve-time delta handed to the model loader, or vice versa.
+    WrongKind {
+        /// The `kind` declared by the document.
+        found: String,
+        /// The kind the loader expected.
+        expected: &'static str,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -134,6 +172,10 @@ impl std::fmt::Display for CheckpointError {
             } => write!(
                 f,
                 "dimension mismatch: {what} should be {expected}, found {found}"
+            ),
+            CheckpointError::WrongKind { found, expected } => write!(
+                f,
+                "wrong checkpoint kind: expected `{expected}`, found `{found}`"
             ),
         }
     }
@@ -183,18 +225,35 @@ impl Checkpoint {
         }
     }
 
-    /// Renders the checkpoint as pretty-printed JSON.
+    /// Renders the checkpoint as pretty-printed JSON, always in the current
+    /// layout (version [`CHECKPOINT_FORMAT_VERSION`], kind `"model"`) even
+    /// if the checkpoint was loaded from a legacy document.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("checkpoint serialization is infallible")
+        let mut entries = match Serialize::to_value(self) {
+            Value::Object(entries) => entries,
+            _ => unreachable!("checkpoints serialize as objects"),
+        };
+        for (key, value) in &mut entries {
+            if key == "format_version" {
+                *value = CHECKPOINT_FORMAT_VERSION.to_value();
+            }
+        }
+        entries.insert(1, ("kind".to_string(), KIND_MODEL.to_string().to_value()));
+        serde_json::to_string_pretty(&Value::Object(entries))
+            .expect("checkpoint serialization is infallible")
     }
 
-    /// Writes the checkpoint as JSON to `path`.
+    /// Writes the checkpoint as JSON to `path` **atomically**: the document
+    /// goes to a sibling `<name>.tmp` file first, is fsynced, and is then
+    /// `rename`d over `path`, so a crash mid-save leaves any previous
+    /// checkpoint at `path` intact — a partial temp file can never shadow a
+    /// valid checkpoint.
     ///
     /// # Errors
     ///
     /// Returns [`CheckpointError::Io`] if the file cannot be written.
     pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        std::fs::write(path, self.to_json()).map_err(CheckpointError::from)
+        atomic_write(path.as_ref(), &self.to_json()).map_err(CheckpointError::from)
     }
 
     /// Parses a checkpoint from a JSON string.
@@ -202,25 +261,24 @@ impl Checkpoint {
     /// The format version is checked *before* the model payload is decoded,
     /// so documents written by a future layout fail with
     /// [`CheckpointError::UnsupportedVersion`] rather than a decoding error.
+    /// Both the current layout (version 2, `kind: "model"`) and the legacy
+    /// version-1 layout (no `kind` field) are accepted.
     ///
     /// # Errors
     ///
     /// Returns [`CheckpointError::Malformed`] for syntactically or
-    /// structurally invalid documents and
-    /// [`CheckpointError::UnsupportedVersion`] for version mismatches.
+    /// structurally invalid documents,
+    /// [`CheckpointError::UnsupportedVersion`] for version mismatches, and
+    /// [`CheckpointError::WrongKind`] when the document is a different
+    /// envelope (e.g. a serve-time [`CheckpointDelta`]).
     pub fn from_json_str(json: &str) -> Result<Self, CheckpointError> {
         let value =
             serde_json::parse_value(json).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
-        let version_value = value
-            .get("format_version")
-            .ok_or_else(|| CheckpointError::Malformed("missing `format_version`".to_string()))?;
-        let found = serde_json::from_value::<u32>(version_value)
-            .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
-        if found != CHECKPOINT_FORMAT_VERSION {
-            return Err(CheckpointError::UnsupportedVersion {
-                found,
-                supported: CHECKPOINT_FORMAT_VERSION,
-            });
+        let found = envelope_version(&value)?;
+        // Version 1 predates the `kind` discriminator; every v1 document is
+        // a model checkpoint by construction.
+        if found > CHECKPOINT_LEGACY_FORMAT_VERSION {
+            expect_kind(&value, KIND_MODEL)?;
         }
         let checkpoint: Checkpoint = serde_json::from_value(&value)
             .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
@@ -323,6 +381,189 @@ impl Checkpoint {
     }
 }
 
+/// Reads and validates the `format_version` of an envelope document,
+/// accepting the current and the legacy layout.
+fn envelope_version(value: &Value) -> Result<u32, CheckpointError> {
+    let version_value = value
+        .get("format_version")
+        .ok_or_else(|| CheckpointError::Malformed("missing `format_version`".to_string()))?;
+    let found = serde_json::from_value::<u32>(version_value)
+        .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+    if found != CHECKPOINT_FORMAT_VERSION && found != CHECKPOINT_LEGACY_FORMAT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion {
+            found,
+            supported: CHECKPOINT_FORMAT_VERSION,
+        });
+    }
+    Ok(found)
+}
+
+/// Checks the `kind` discriminator of a current-layout envelope document.
+fn expect_kind(value: &Value, expected: &'static str) -> Result<(), CheckpointError> {
+    let kind_value = value
+        .get("kind")
+        .ok_or_else(|| CheckpointError::Malformed("missing `kind`".to_string()))?;
+    let found = serde_json::from_value::<String>(kind_value)
+        .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+    if found != expected {
+        return Err(CheckpointError::WrongKind { found, expected });
+    }
+    Ok(())
+}
+
+/// Writes `contents` to `path` atomically: sibling `<name>.tmp` file,
+/// fsync, `rename` over the destination, best-effort directory fsync. A
+/// crash at any point leaves either the old file or the new one — never a
+/// torn mix.
+fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Persist the rename itself; failure to fsync the directory only delays
+    // durability, it cannot tear the file, so it is best-effort.
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A serve-time compaction base: a model [`Checkpoint`] plus the exact
+/// sharded class memory at a known snapshot version, with the write-ahead
+/// log sequence number the memory already folds in.
+///
+/// This is the "checkpoint delta" half of the serving layer's durability
+/// contract (`serve::wal`): recovery loads the delta, rebuilds the class
+/// memory bit-identically (shard assignment included, see
+/// [`ShardedClassMemory`]'s serde docs), and replays only WAL records with
+/// `seq >= next_record_seq` on top.
+///
+/// Serialized as a version-2 envelope with `kind: "serve-delta"`, so it can
+/// never be confused with a plain model checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointDelta {
+    /// Snapshot version of the serving memory at capture time; recovery
+    /// resumes version numbering from here.
+    pub snapshot_version: u64,
+    /// The WAL sequence number of the first record *not* folded into
+    /// `memory` — replay applies records with `seq >= next_record_seq`.
+    pub next_record_seq: u64,
+    /// The model that encodes class attributes into prototypes.
+    pub base: Checkpoint,
+    /// The exact sharded class memory at capture time.
+    pub memory: ShardedClassMemory,
+}
+
+impl CheckpointDelta {
+    /// Renders the delta as pretty-printed JSON (version-2 envelope, kind
+    /// `"serve-delta"`).
+    pub fn to_json(&self) -> String {
+        let value = Value::Object(vec![
+            (
+                "format_version".to_string(),
+                CHECKPOINT_FORMAT_VERSION.to_value(),
+            ),
+            ("kind".to_string(), KIND_DELTA.to_string().to_value()),
+            (
+                "snapshot_version".to_string(),
+                self.snapshot_version.to_value(),
+            ),
+            (
+                "next_record_seq".to_string(),
+                self.next_record_seq.to_value(),
+            ),
+            ("base".to_string(), Serialize::to_value(&self.base)),
+            ("memory".to_string(), self.memory.to_value()),
+        ]);
+        serde_json::to_string_pretty(&value).expect("delta serialization is infallible")
+    }
+
+    /// Parses a delta from a JSON string, validating the envelope (version
+    /// checked before the payload, kind must be `"serve-delta"`), the model
+    /// payload, the memory's structural invariants, and that the memory's
+    /// prototype dimensionality matches the model's embedding width.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Checkpoint::from_json_str`] reports, plus
+    /// [`CheckpointError::DimensionMismatch`] when the memory does not fit
+    /// the model.
+    pub fn from_json_str(json: &str) -> Result<Self, CheckpointError> {
+        let value =
+            serde_json::parse_value(json).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        let found = envelope_version(&value)?;
+        if found == CHECKPOINT_LEGACY_FORMAT_VERSION {
+            // Version 1 predates deltas entirely; a v1 document can only be
+            // a model checkpoint.
+            return Err(CheckpointError::WrongKind {
+                found: KIND_MODEL.to_string(),
+                expected: KIND_DELTA,
+            });
+        }
+        expect_kind(&value, KIND_DELTA)?;
+        let field = |name: &'static str| {
+            value
+                .get(name)
+                .ok_or_else(|| CheckpointError::Malformed(format!("missing `{name}`")))
+        };
+        let snapshot_version = serde_json::from_value::<u64>(field("snapshot_version")?)
+            .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        let next_record_seq = serde_json::from_value::<u64>(field("next_record_seq")?)
+            .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        let base = serde_json::from_value::<Checkpoint>(field("base")?)
+            .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        base.validate_internal()?;
+        let memory = serde_json::from_value::<ShardedClassMemory>(field("memory")?)
+            .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        if memory.dim() != base.model.embedding_dim() {
+            return Err(CheckpointError::DimensionMismatch {
+                what: "class prototype dimensionality",
+                expected: base.model.embedding_dim(),
+                found: memory.dim(),
+            });
+        }
+        Ok(Self {
+            snapshot_version,
+            next_record_seq,
+            base,
+            memory,
+        })
+    }
+
+    /// Writes the delta as JSON to `path` atomically (same temp-then-rename
+    /// contract as [`Checkpoint::save_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] if the file cannot be written.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        atomic_write(path.as_ref(), &self.to_json()).map_err(CheckpointError::from)
+    }
+
+    /// Reads and parses a delta from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on read failures, plus everything
+    /// [`CheckpointDelta::from_json_str`] reports.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json_str(&json)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,7 +616,7 @@ mod tests {
         let model = fixture_model(AttributeEncoderKind::Hdc);
         let json = Checkpoint::capture(&model, &s)
             .to_json()
-            .replace("\"format_version\": 1", "\"format_version\": 99");
+            .replace("\"format_version\": 2", "\"format_version\": 99");
         match Checkpoint::from_json_str(&json) {
             Err(CheckpointError::UnsupportedVersion {
                 found: 99,
@@ -385,6 +626,120 @@ mod tests {
             }
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
+    }
+
+    /// A legacy version-1 document — no `kind` field, `format_version: 1` —
+    /// must still load; v1 checkpoints predate the kind discriminator.
+    #[test]
+    fn legacy_version_1_documents_still_load() {
+        let s = schema();
+        let model = fixture_model(AttributeEncoderKind::Hdc);
+        let v2 = Checkpoint::capture(&model, &s).to_json();
+        // Drop only the envelope's own kind line (the model payload nests a
+        // differently-indented `kind` of its own).
+        let v1: String = v2
+            .replace("\"format_version\": 2", "\"format_version\": 1")
+            .lines()
+            .filter(|line| *line != "  \"kind\": \"model\",")
+            .collect::<Vec<_>>()
+            .join("\n");
+        let restored = Checkpoint::from_json_str(&v1).expect("legacy layout loads");
+        assert_eq!(restored.format_version, 1);
+        // Re-saving a legacy checkpoint writes the current layout.
+        assert!(restored.to_json().contains("\"format_version\": 2"));
+        assert!(restored.to_json().contains("\"kind\": \"model\""));
+    }
+
+    /// A current-layout document with the wrong (or a missing) kind is a
+    /// different envelope, not a malformed checkpoint.
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let s = schema();
+        let model = fixture_model(AttributeEncoderKind::Hdc);
+        let json = Checkpoint::capture(&model, &s).to_json();
+        let delta_kind = json.replace("\"kind\": \"model\"", "\"kind\": \"serve-delta\"");
+        match Checkpoint::from_json_str(&delta_kind) {
+            Err(CheckpointError::WrongKind { found, expected }) => {
+                assert_eq!(found, "serve-delta");
+                assert_eq!(expected, "model");
+            }
+            other => panic!("expected WrongKind, got {other:?}"),
+        }
+        let missing_kind: String = json
+            .lines()
+            .filter(|line| *line != "  \"kind\": \"model\",")
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(matches!(
+            Checkpoint::from_json_str(&missing_kind),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    /// The satellite bugfix: saving goes through a temp file + rename, so a
+    /// stale partial `.tmp` (a crashed half-save) never shadows the valid
+    /// checkpoint, and a successful save cleans up after itself.
+    #[test]
+    fn save_is_atomic_and_partial_temp_files_never_shadow_a_checkpoint() {
+        let s = schema();
+        let model = fixture_model(AttributeEncoderKind::Hdc);
+        let checkpoint = Checkpoint::capture(&model, &s);
+        let dir = std::env::temp_dir().join(format!("zsc-ckpt-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("ckpt.json");
+        checkpoint.save_json(&path).expect("first save");
+        assert!(!dir.join("ckpt.json.tmp").exists(), "temp file cleaned up");
+        // Simulate a crash mid-save: a torn temp file next to the good one.
+        std::fs::write(dir.join("ckpt.json.tmp"), "{\"format_version\": 2, \"ki")
+            .expect("write torn temp");
+        let restored = Checkpoint::load_json(&path).expect("good checkpoint untouched");
+        assert_eq!(restored.feature_dim, checkpoint.feature_dim);
+        // A subsequent save replaces both the torn temp and the file.
+        checkpoint.save_json(&path).expect("second save");
+        assert!(!dir.join("ckpt.json.tmp").exists());
+        Checkpoint::load_json(&path).expect("still valid");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Delta round trip: memory (shard assignment included) and sequence
+    /// bookkeeping survive bit-exactly, and the two envelope kinds cannot be
+    /// confused for each other.
+    #[test]
+    fn delta_round_trips_and_kinds_do_not_cross() {
+        let s = schema();
+        let model = fixture_model(AttributeEncoderKind::Hdc);
+        let mut rng = StdRng::seed_from_u64(3);
+        let class_attributes = Matrix::random_uniform(5, 312, 0.5, &mut rng).map(f32::abs);
+        let labels: Vec<String> = (0..5).map(|c| format!("class{c}")).collect();
+        let memory = model.sharded_class_memory(labels, &class_attributes, 3);
+        let delta = CheckpointDelta {
+            snapshot_version: 41,
+            next_record_seq: 17,
+            base: Checkpoint::capture(&model, &s),
+            memory: memory.clone(),
+        };
+        let json = delta.to_json();
+        let restored = CheckpointDelta::from_json_str(&json).expect("delta round trip");
+        assert_eq!(restored.snapshot_version, 41);
+        assert_eq!(restored.next_record_seq, 17);
+        assert_eq!(restored.memory, memory);
+        restored.base.validate_schema(&s).expect("schema preserved");
+        // A delta is not a model checkpoint, and vice versa.
+        assert!(matches!(
+            Checkpoint::from_json_str(&json),
+            Err(CheckpointError::WrongKind { .. })
+        ));
+        let model_json = Checkpoint::capture(&model, &s).to_json();
+        assert!(matches!(
+            CheckpointDelta::from_json_str(&model_json),
+            Err(CheckpointError::WrongKind { .. })
+        ));
+        // A v1 document can only ever be a model checkpoint.
+        let v1 = model_json.replace("\"format_version\": 2", "\"format_version\": 1");
+        assert!(matches!(
+            CheckpointDelta::from_json_str(&v1),
+            Err(CheckpointError::WrongKind { .. })
+        ));
     }
 
     #[test]

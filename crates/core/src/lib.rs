@@ -58,7 +58,10 @@ pub mod train;
 pub use attribute_encoder::{
     AttributeEncoder, AttributeEncoderKind, HdcAttributeEncoder, MlpAttributeEncoder,
 };
-pub use checkpoint::{Checkpoint, CheckpointError, SchemaFingerprint, CHECKPOINT_FORMAT_VERSION};
+pub use checkpoint::{
+    Checkpoint, CheckpointDelta, CheckpointError, SchemaFingerprint, CHECKPOINT_FORMAT_VERSION,
+    CHECKPOINT_LEGACY_FORMAT_VERSION,
+};
 pub use config::{ModelConfig, TrainConfig};
 pub use eval::{evaluate_attribute_extraction, evaluate_zsc, AttributeExtractionReport, ZscReport};
 pub use frozen::FrozenModel;

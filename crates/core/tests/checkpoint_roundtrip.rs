@@ -135,13 +135,13 @@ fn structurally_corrupted_documents_are_rejected_with_typed_errors() {
         Err(CheckpointError::Malformed(_))
     ));
     // Missing version field.
-    let no_version = json.replacen("\"format_version\": 1,", "", 1);
+    let no_version = json.replacen("\"format_version\": 2,", "", 1);
     assert!(matches!(
         Checkpoint::from_json_str(&no_version),
         Err(CheckpointError::Malformed(_))
     ));
     // Future version: rejected before the payload is even decoded.
-    let future = json.replacen("\"format_version\": 1", "\"format_version\": 7", 1);
+    let future = json.replacen("\"format_version\": 2", "\"format_version\": 7", 1);
     assert!(matches!(
         Checkpoint::from_json_str(&future),
         Err(CheckpointError::UnsupportedVersion { found: 7, .. })

@@ -36,6 +36,7 @@
 use crate::batch::PackedQueryBatch;
 use crate::packed::{pack_signs, similarity_from_hamming, words_per_row, PackedClassMemory};
 use minipool::Pool;
+use serde::{de, DeError, Deserialize, Serialize, Value};
 use std::sync::Arc;
 use tensor::Matrix;
 
@@ -496,6 +497,66 @@ impl ShardedClassMemory {
     }
 }
 
+/// Serializes as `{dim, shards: [PackedClassMemory, …]}` — the exact
+/// per-shard contents, in shard order. Because routing of *future* inserts
+/// depends only on shard occupancies (least-loaded, ties to the smallest
+/// index), a round-tripped memory not only scores bit-identically but also
+/// routes every subsequent mutation exactly as the original would — the
+/// property the serve-layer crash-recovery replay relies on.
+impl Serialize for ShardedClassMemory {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("dim".to_string(), self.dim.to_value()),
+            (
+                "shards".to_string(),
+                Value::Array(self.shards.iter().map(|s| s.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+/// Hand-written (instead of derived) so cross-shard invariants — a
+/// non-empty shard list, every shard at the declared dimensionality, no
+/// label stored twice — are enforced with typed errors. Per-shard word
+/// matrix shape and tail-bit cleanliness are validated by
+/// [`PackedClassMemory`]'s own deserializer. The scoring pool is rebuilt
+/// auto-sized (it is a performance knob, not state).
+impl Deserialize for ShardedClassMemory {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = de::expect_object(value, "ShardedClassMemory")?;
+        let dim: usize = de::field(entries, "dim", "ShardedClassMemory")?;
+        let shards: Vec<PackedClassMemory> = de::field(entries, "shards", "ShardedClassMemory")?;
+        let type_err = |msg: String| DeError::new(msg).in_field("ShardedClassMemory");
+        if dim == 0 {
+            return Err(type_err("dimensionality must be positive".into()));
+        }
+        if shards.is_empty() {
+            return Err(type_err("at least one shard is required".into()));
+        }
+        for (s, shard) in shards.iter().enumerate() {
+            if shard.dim() != dim {
+                return Err(type_err(format!(
+                    "shard {s} has dimensionality {} but the memory declares {dim}",
+                    shard.dim()
+                )));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for shard in &shards {
+            for label in shard.labels() {
+                if !seen.insert(label) {
+                    return Err(type_err(format!("label `{label}` stored in two shards")));
+                }
+            }
+        }
+        Ok(Self {
+            dim,
+            shards: shards.into_iter().map(Arc::new).collect(),
+            pool: Pool::auto(),
+        })
+    }
+}
+
 /// The sharded backend of the unified [`Scorer`](crate::Scorer) contract.
 /// Lookups delegate to the inherent methods (parallel shard fan-out, merged
 /// on `(hamming, label)` — bit-identical to the monolithic scorer);
@@ -787,5 +848,78 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardedClassMemory::new(8, 0);
+    }
+
+    /// Export → import round-trips the exact shard assignment: the imported
+    /// memory is structurally equal, scores bit-identically, and — because
+    /// routing depends only on shard occupancies — sends the next insert to
+    /// the same shard the original would.
+    #[test]
+    fn serde_round_trip_preserves_shard_assignment_and_scores() {
+        let dim = 70; // ragged tail on purpose
+        let (mut memory, protos) = fixture(dim, 9, 3);
+        memory.remove_class("class004"); // unbalance the shards
+        let json = serde_json::to_string_pretty(&memory).expect("serializes");
+        let imported: ShardedClassMemory = serde_json::from_str(&json).expect("imports");
+        assert_eq!(imported, memory);
+        assert_eq!(
+            imported.labels().collect::<Vec<_>>(),
+            memory.labels().collect::<Vec<_>>()
+        );
+        let query = pack_signs(&protos[2]);
+        let a: Vec<(&str, u32)> = memory
+            .top_k(&query, 9)
+            .into_iter()
+            .map(|(l, s)| (l, s.to_bits()))
+            .collect();
+        let b: Vec<(&str, u32)> = imported
+            .top_k(&query, 9)
+            .into_iter()
+            .map(|(l, s)| (l, s.to_bits()))
+            .collect();
+        assert_eq!(a, b);
+        let mut imported = imported;
+        let (shard_a, _) = memory.add_class("next", &protos[0]);
+        let (shard_b, _) = imported.add_class("next", &protos[0]);
+        assert_eq!(shard_a, shard_b, "routing must survive the round trip");
+        assert_eq!(memory, imported);
+    }
+
+    #[test]
+    fn serde_import_rejects_malformed_documents() {
+        let (memory, _) = fixture(64, 4, 2);
+        let good = serde_json::to_string_pretty(&memory).expect("serializes");
+
+        // The *declared* dimensionality disagrees with every shard's (the
+        // top-level `dim` serializes first, so only it is rewritten).
+        let bad_dim = good.replacen("\"dim\": 64", "\"dim\": 65", 1);
+        assert!(serde_json::from_str::<ShardedClassMemory>(&bad_dim).is_err());
+
+        // No shards at all.
+        let empty = "{\"dim\": 64, \"shards\": []}";
+        assert!(serde_json::from_str::<ShardedClassMemory>(empty).is_err());
+
+        // Zero dimensionality.
+        let zero = "{\"dim\": 0, \"shards\": []}";
+        assert!(serde_json::from_str::<ShardedClassMemory>(zero).is_err());
+
+        // The same label in two shards: duplicate shard 0 wholesale.
+        let value = serde::Serialize::to_value(&memory);
+        let dup = match value {
+            Value::Object(mut entries) => {
+                for (key, v) in &mut entries {
+                    if key == "shards" {
+                        if let Value::Array(shards) = v {
+                            let first = shards[0].clone();
+                            shards.push(first);
+                        }
+                    }
+                }
+                Value::Object(entries)
+            }
+            _ => unreachable!("memories serialize as objects"),
+        };
+        let err = <ShardedClassMemory as serde::Deserialize>::from_value(&dup);
+        assert!(err.is_err(), "duplicate labels across shards must fail");
     }
 }

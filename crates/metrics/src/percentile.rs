@@ -6,14 +6,16 @@
 //! which for small sample counts rounds *down* past the true rank and
 //! understates tail percentiles such as p99.
 
-/// The `p`-th percentile (`0 < p ≤ 1`) of an ascending-sorted sample set,
+/// The `p`-th percentile (`0 ≤ p ≤ 1`) of an ascending-sorted sample set,
 /// using the ceiling nearest-rank definition `⌈p · n⌉`.
 ///
-/// Returns `0.0` for an empty sample set.
+/// `p = 0.0` (and any `p` small enough that `⌈p · n⌉ = 0`) clamps to rank 1
+/// — the minimum sample — rather than indexing before the slice; `p = 1.0`
+/// is the maximum. Returns `0.0` for an empty sample set.
 ///
 /// # Panics
 ///
-/// Panics if `p` is outside `(0, 1]` or the samples are not sorted
+/// Panics if `p` is outside `[0, 1]` or the samples are not sorted
 /// ascending.
 ///
 /// # Example
@@ -22,11 +24,15 @@
 /// use metrics::percentile::nearest_rank;
 ///
 /// let sorted = [10.0, 20.0, 30.0, 40.0, 50.0];
+/// assert_eq!(nearest_rank(&sorted, 0.0), 10.0); // rank clamps to 1
 /// assert_eq!(nearest_rank(&sorted, 0.50), 30.0); // rank ⌈2.5⌉ = 3
 /// assert_eq!(nearest_rank(&sorted, 0.99), 50.0); // rank ⌈4.95⌉ = 5
 /// ```
 pub fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
-    assert!(p > 0.0 && p <= 1.0, "percentile must be in (0, 1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "percentile must be in [0, 1], got {p}"
+    );
     debug_assert!(
         sorted.windows(2).all(|w| w[0] <= w[1]),
         "samples must be sorted ascending"
@@ -34,6 +40,8 @@ pub fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
+    // ⌈p · n⌉ is 0 for p = 0 (and tiny p); the clamp pins the rank to ≥ 1 so
+    // the subtraction below can never index before the slice.
     let rank = (p * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -79,9 +87,29 @@ mod tests {
         assert_eq!(nearest_rank(&[], 0.5), 0.0);
     }
 
+    /// p = 0 computes rank ⌈0⌉ = 0; the clamp must pin it to rank 1 (the
+    /// minimum) instead of indexing before the slice. Same for any p small
+    /// enough that ⌈p · n⌉ = 0.
     #[test]
-    #[should_panic(expected = "percentile must be in (0, 1]")]
+    fn zero_and_tiny_percentiles_clamp_to_the_minimum() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(nearest_rank(&sorted, 0.0), 1.0);
+        assert_eq!(nearest_rank(&sorted, 1e-12), 1.0);
+        assert_eq!(nearest_rank(&sorted, 1.0), 5.0);
+        assert_eq!(nearest_rank(&[], 0.0), 0.0);
+        assert_eq!(nearest_rank(&[], 1.0), 0.0);
+        assert_eq!(nearest_rank(&[42.0], 0.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 1]")]
     fn rejects_out_of_range_percentile() {
-        let _ = nearest_rank(&[1.0], 0.0);
+        let _ = nearest_rank(&[1.0], -0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 1]")]
+    fn rejects_percentile_above_one() {
+        let _ = nearest_rank(&[1.0], 1.5);
     }
 }

@@ -23,17 +23,27 @@
 //! `serve_sim` (queries / elapsed_s / qps / p50_us / p95_us / p99_us, via
 //! the shared ceiling nearest-rank percentile helper).
 //!
+//! **Durability drill:** with `--wal-dir PATH` the server runs durable —
+//! every live registration is write-ahead-logged before it is published.
+//! Adding `--kill-after-register` hard-exits the process right after the
+//! registration phase (no destructors, simulating a crash), first recording
+//! a probe file of queries and their expected bit-exact answers. A second
+//! invocation with `--wal-dir PATH --recover` then rebuilds the server from
+//! the log alone and asserts every probe answers bit-identically.
+//!
 //! ```text
 //! zsc_serve [--classes N] [--images N] [--feature-dim N] [--epochs N]
 //!           [--queries N] [--callers N] [--max-batch N] [--max-wait-us N]
 //!           [--threads N] [--top-k K] [--shards N] [--register N]
-//!           [--seed N] [--checkpoint PATH] [--quick] [--json]
+//!           [--seed N] [--checkpoint PATH] [--wal-dir PATH] [--recover]
+//!           [--kill-after-register] [--quick] [--json]
 //! ```
 
-use dataset::{CubLikeDataset, DatasetConfig, SplitKind};
+use dataset::{AttributeSchema, CubLikeDataset, DatasetConfig, SplitKind};
 use engine::ShardedClassMemory;
 use hdc_zsc::{Checkpoint, ModelConfig, Pipeline, TrainConfig, ZscModel};
-use serve::{QueryServer, ScoredLabel, ServerConfig};
+use serde::{Serialize, Value};
+use serve::{DurabilityConfig, QueryServer, ScoredLabel, ServerConfig};
 use std::sync::Mutex;
 use std::time::Instant;
 use tensor::Matrix;
@@ -55,6 +65,9 @@ struct Config {
     register: usize,
     seed: u64,
     checkpoint: std::path::PathBuf,
+    wal_dir: Option<std::path::PathBuf>,
+    recover: bool,
+    kill_after_register: bool,
     json: bool,
 }
 
@@ -75,6 +88,9 @@ impl Default for Config {
             register: 3,
             seed: 42,
             checkpoint: std::env::temp_dir().join("zsc_serve_checkpoint.json"),
+            wal_dir: None,
+            recover: false,
+            kill_after_register: false,
             json: false,
         }
     }
@@ -107,6 +123,9 @@ fn parse_args() -> Config {
             "--register" => config.register = value("--register").parse().expect("--register"),
             "--seed" => config.seed = value("--seed").parse().expect("--seed"),
             "--checkpoint" => config.checkpoint = value("--checkpoint").into(),
+            "--wal-dir" => config.wal_dir = Some(value("--wal-dir").into()),
+            "--recover" => config.recover = true,
+            "--kill-after-register" => config.kill_after_register = true,
             "--quick" => {
                 // Small CI smoke: train → save → load → serve → register →
                 // re-serve in a few seconds.
@@ -124,7 +143,7 @@ fn parse_args() -> Config {
                     "usage: zsc_serve [--classes N] [--images N] [--feature-dim N] [--epochs N] \
                      [--queries N] [--callers N] [--max-batch N] [--max-wait-us N] [--threads N] \
                      [--top-k K] [--shards N] [--register N] [--seed N] [--checkpoint PATH] \
-                     [--quick] [--json]"
+                     [--wal-dir PATH] [--recover] [--kill-after-register] [--quick] [--json]"
                 );
                 std::process::exit(0);
             }
@@ -259,8 +278,160 @@ fn cross_check(
     PathStats::new(direct_latencies, direct_s)
 }
 
+/// Where the kill/recover drill records its expected answers, inside the
+/// WAL directory (next to `wal.log` and `base.json`).
+fn probe_path(wal_dir: &std::path::Path) -> std::path::PathBuf {
+    wal_dir.join("probe.json")
+}
+
+/// Snapshots the pre-kill ground truth: the serving schema, the snapshot
+/// version, and a handful of queries with their bit-exact top-k answers.
+fn write_probe_file(
+    wal_dir: &std::path::Path,
+    schema: &AttributeSchema,
+    server: &QueryServer,
+    queries: &[Vec<f32>],
+    top_k: usize,
+) {
+    use std::io::Write;
+    let snapshot = server.snapshot();
+    let probes: Vec<Value> = queries
+        .iter()
+        .take(8)
+        .map(|features| {
+            let top: Vec<Value> = snapshot
+                .solo_topk(features, top_k)
+                .into_iter()
+                .map(|(label, sim)| {
+                    Value::Object(vec![
+                        ("label".to_string(), label.to_value()),
+                        ("sim_bits".to_string(), sim.to_bits().to_value()),
+                    ])
+                })
+                .collect();
+            Value::Object(vec![
+                ("features".to_string(), features.to_value()),
+                ("top".to_string(), Value::Array(top)),
+            ])
+        })
+        .collect();
+    let document = Value::Object(vec![
+        ("schema".to_string(), schema.to_value()),
+        (
+            "snapshot_version".to_string(),
+            snapshot.version().to_value(),
+        ),
+        ("top_k".to_string(), top_k.to_value()),
+        ("probes".to_string(), Value::Array(probes)),
+    ]);
+    let mut file = std::fs::File::create(probe_path(wal_dir)).expect("create probe file");
+    let rendered = serde_json::to_string_pretty(&document).expect("render probe file");
+    file.write_all(rendered.as_bytes())
+        .expect("write probe file");
+    // The probe file must survive the kill that follows immediately.
+    file.sync_all().expect("sync probe file");
+}
+
+/// `--recover`: rebuild the server from the WAL directory alone and assert
+/// every recorded probe answers bit-identically to the pre-kill server.
+fn run_recovery(config: &Config) {
+    let wal_dir = config
+        .wal_dir
+        .as_deref()
+        .expect("--recover requires --wal-dir");
+    let probe_doc = std::fs::read_to_string(probe_path(wal_dir)).expect("read probe file");
+    let probe_doc = serde_json::parse_value(&probe_doc).expect("probe file parses");
+    let schema: AttributeSchema =
+        serde_json::from_value(probe_doc.get("schema").expect("probe schema"))
+            .expect("probe schema decodes");
+    let expected_version: u64 =
+        serde_json::from_value(probe_doc.get("snapshot_version").expect("probe version"))
+            .expect("probe version decodes");
+    let top_k: usize = serde_json::from_value(probe_doc.get("top_k").expect("probe top_k"))
+        .expect("probe top_k decodes");
+
+    let recover_start = Instant::now();
+    let (server, report) = QueryServer::recover(
+        &schema,
+        ServerConfig {
+            max_batch: config.max_batch,
+            max_wait_us: config.max_wait_us,
+            threads: config.threads,
+            top_k,
+            shards: config.shards,
+        },
+        DurabilityConfig::new(wal_dir),
+    )
+    .expect("recovery succeeds");
+    let recover_s = recover_start.elapsed().as_secs_f64();
+    assert_eq!(
+        report.snapshot_version, expected_version,
+        "recovery must resume at the pre-kill snapshot version"
+    );
+
+    let Some(Value::Array(probes)) = probe_doc.get("probes") else {
+        panic!("probe file holds no probes");
+    };
+    for (p, probe) in probes.iter().enumerate() {
+        let features: Vec<f32> =
+            serde_json::from_value(probe.get("features").expect("probe features"))
+                .expect("probe features decode");
+        let Some(Value::Array(expected)) = probe.get("top") else {
+            panic!("probe {p} records no answers");
+        };
+        // Both serving paths must reproduce the pre-kill bits: the live
+        // micro-batched query path and the snapshot's solo scorer.
+        let served = server.query(&features).expect("recovered server serves");
+        let solo = server.snapshot().solo_topk(&features, top_k);
+        assert_eq!(
+            served.len(),
+            expected.len(),
+            "probe {p}: wrong answer count"
+        );
+        for (k, ((slabel, ssim), want)) in served.iter().zip(expected).enumerate() {
+            let wlabel: String =
+                serde_json::from_value(want.get("label").expect("label")).expect("label decodes");
+            let wbits: u32 = serde_json::from_value(want.get("sim_bits").expect("sim_bits"))
+                .expect("sim_bits decode");
+            assert_eq!(slabel, &wlabel, "probe {p} rank {k}: label diverged");
+            assert_eq!(
+                ssim.to_bits(),
+                wbits,
+                "probe {p} rank {k}: similarity bits diverged"
+            );
+            assert_eq!(
+                &solo[k].0, &wlabel,
+                "probe {p} rank {k}: solo label diverged"
+            );
+            assert_eq!(solo[k].1.to_bits(), wbits, "probe {p} rank {k}: solo bits");
+        }
+    }
+    eprintln!(
+        "zsc_serve: recovered {} probes bit-identical to the pre-kill server",
+        probes.len()
+    );
+
+    let json = format!(
+        "{{\"recovered\": true, \"snapshot_version\": {}, \"replayed_records\": {}, \
+         \"torn_tail\": {}, \"probes_checked\": {}, \"recover_s\": {recover_s:.6}}}",
+        report.snapshot_version,
+        report.replayed_records,
+        report.torn_tail,
+        probes.len()
+    );
+    if config.json {
+        println!("{json}");
+    } else {
+        eprintln!("{json}");
+    }
+}
+
 fn main() {
     let config = parse_args();
+    if config.recover {
+        run_recovery(&config);
+        return;
+    }
     eprintln!(
         "zsc_serve: classes={} images={} feature_dim={} epochs={} queries={} callers={} \
          shards={} register={}",
@@ -328,20 +499,39 @@ fn main() {
         reference_model.sharded_class_memory(initial_labels.clone(), &initial_attr, config.shards);
     let reference_full =
         reference_model.sharded_class_memory(labels.clone(), &eval_class_attr, config.shards);
-    let server = QueryServer::from_checkpoint(
-        loaded,
-        schema,
-        initial_labels,
-        &initial_attr,
-        ServerConfig {
-            max_batch: config.max_batch,
-            max_wait_us: config.max_wait_us,
-            threads: config.threads,
-            top_k: config.top_k,
-            shards: config.shards,
-        },
-    )
-    .expect("server starts from checkpoint");
+    let server_config = ServerConfig {
+        max_batch: config.max_batch,
+        max_wait_us: config.max_wait_us,
+        threads: config.threads,
+        top_k: config.top_k,
+        shards: config.shards,
+    };
+    let server = match &config.wal_dir {
+        // Durable serving: class mutations are write-ahead-logged under
+        // `--wal-dir` before they are published (see `serve::wal`).
+        Some(dir) => {
+            let frozen = loaded
+                .into_frozen(schema)
+                .expect("checkpoint matches the schema");
+            QueryServer::start_durable(
+                frozen,
+                initial_labels,
+                &initial_attr,
+                schema,
+                server_config,
+                DurabilityConfig::new(dir.clone()),
+            )
+            .expect("durable server starts from checkpoint")
+        }
+        None => QueryServer::from_checkpoint(
+            loaded,
+            schema,
+            initial_labels,
+            &initial_attr,
+            server_config,
+        )
+        .expect("server starts from checkpoint"),
+    };
 
     // Traffic: evaluation-side features, cycled up to the requested query
     // count and spread over caller threads.
@@ -378,6 +568,22 @@ fn main() {
             final_snapshot.memory().contains(label),
             "{label} must be servable after registration"
         );
+    }
+
+    // --- optional kill: record ground truth, then die without cleanup ------
+    if config.kill_after_register {
+        let dir = config
+            .wal_dir
+            .as_deref()
+            .expect("--kill-after-register requires --wal-dir");
+        write_probe_file(dir, schema, &server, &queries, config.top_k);
+        eprintln!(
+            "zsc_serve: probe file written under {}; exiting hard (no destructors) to \
+             simulate a crash — run again with --recover",
+            dir.display()
+        );
+        // No Drop runs past this point: the WAL alone must carry the state.
+        std::process::exit(0);
     }
 
     // --- re-serve: the registered classes are live, no restart -------------

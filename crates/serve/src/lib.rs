@@ -33,16 +33,29 @@
 //! class registration repacks exactly one shard. New classes are servable by
 //! the next coalesced batch.
 //!
+//! **Durability:** a server started with [`QueryServer::start_durable`]
+//! write-ahead-logs every accepted class mutation (see [`wal`]) before
+//! publishing it and periodically folds the log into a
+//! `hdc_zsc::CheckpointDelta` compaction base, so
+//! [`QueryServer::recover`] rebuilds the exact pre-crash serving state —
+//! bit-identical class memory, same snapshot version — even when the crash
+//! tore the final log record mid-write.
+//!
 //! The `zsc_serve` binary drives the whole lifecycle end to end — including
-//! live class registration — and reports the same JSON statistics shape as
-//! the `serve_sim` benchmark.
+//! live class registration and a kill → recover drill — and reports the
+//! same JSON statistics shape as the `serve_sim` benchmark.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod server;
+pub mod wal;
 
-pub use server::{ModelSnapshot, QueryServer, ScoredLabel, ServeError, ServerConfig, ServerStats};
+pub use server::{
+    DurabilityConfig, ModelSnapshot, QueryServer, RecoveryReport, ScoredLabel, ServeError,
+    ServerConfig, ServerStats,
+};
+pub use wal::{SyncPolicy, WalError};
 
 #[cfg(test)]
 mod tests {

@@ -53,9 +53,12 @@
 //! returns the serving snapshot's version alongside the labels so callers
 //! (and the hot-swap stress test) can verify exactly that.
 
+use crate::wal::{self, SyncPolicy, WalError, WalOp, WriteAheadLog};
+use dataset::AttributeSchema;
 use engine::{PackedQueryBatch, ShardedClassMemory};
-use hdc_zsc::FrozenModel;
+use hdc_zsc::{Checkpoint, CheckpointDelta, FrozenModel};
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -124,11 +127,21 @@ pub enum ServeError {
     },
     /// A class label was not found (e.g. removing an unregistered class).
     UnknownClass(String),
+    /// A class label is already registered. Registration never silently
+    /// overwrites; use [`QueryServer::update_class`] to re-point an existing
+    /// class (this also keeps WAL replay idempotence well-defined — every
+    /// logged register is a genuine insert).
+    DuplicateLabel(String),
+    /// The server is draining: [`QueryServer::stop`] was called, queries
+    /// already admitted are being scored, and no new ones are accepted.
+    Draining,
     /// The server could not be constructed from the given parts, or a
     /// mutation would leave it unservable (e.g. removing the last class).
     InvalidConfig(String),
     /// A checkpoint could not be loaded or validated.
     Checkpoint(hdc_zsc::CheckpointError),
+    /// The write-ahead log could not be written, read, or replayed.
+    Wal(WalError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -144,8 +157,14 @@ impl std::fmt::Display for ServeError {
                 "class-attribute row has width {found}, the model expects {expected}"
             ),
             ServeError::UnknownClass(label) => write!(f, "no class registered as `{label}`"),
+            ServeError::DuplicateLabel(label) => write!(
+                f,
+                "class `{label}` is already registered (use update_class to overwrite)"
+            ),
+            ServeError::Draining => write!(f, "query server is draining and rejects new queries"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid server configuration: {msg}"),
             ServeError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
+            ServeError::Wal(e) => write!(f, "write-ahead log failed: {e}"),
         }
     }
 }
@@ -154,6 +173,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Checkpoint(e) => Some(e),
+            ServeError::Wal(e) => Some(e),
             _ => None,
         }
     }
@@ -163,6 +183,68 @@ impl From<hdc_zsc::CheckpointError> for ServeError {
     fn from(e: hdc_zsc::CheckpointError) -> Self {
         ServeError::Checkpoint(e)
     }
+}
+
+impl From<WalError> for ServeError {
+    fn from(e: WalError) -> Self {
+        ServeError::Wal(e)
+    }
+}
+
+/// How a durable server persists its mutation plane; see
+/// [`QueryServer::start_durable`] and the [`crate::wal`] module docs.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the write-ahead log (`wal.log`) and the
+    /// checkpoint-delta compaction base (`base.json`). Created if missing.
+    pub dir: PathBuf,
+    /// When appended records are fsynced; [`SyncPolicy::Always`] by
+    /// default.
+    pub sync: SyncPolicy,
+    /// Fold the WAL into a fresh compaction base after this many records
+    /// (`0` disables automatic compaction; [`QueryServer::compact`] is
+    /// always available). Defaults to 64.
+    pub compact_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Per-record fsync, compaction every 64 records, logs under `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            sync: SyncPolicy::Always,
+            compact_every: 64,
+        }
+    }
+}
+
+/// What [`QueryServer::recover`] rebuilt from disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a recovery report says how much state was rebuilt and should be checked"]
+pub struct RecoveryReport {
+    /// The snapshot version the recovered server resumes at — the
+    /// compaction base's version plus one per replayed record, i.e. exactly
+    /// the version the pre-crash server last acknowledged.
+    pub snapshot_version: u64,
+    /// WAL records replayed on top of the compaction base.
+    pub replayed_records: u64,
+    /// Whether a torn final record was detected (and cleanly ignored): the
+    /// signature of a crash mid-append.
+    pub torn_tail: bool,
+}
+
+/// The durable half of the control plane: the open WAL plus everything
+/// compaction needs. Lives inside the control mutex, so WAL appends are
+/// ordered exactly like the mutations they log.
+#[derive(Debug)]
+struct DurableState {
+    wal: WriteAheadLog,
+    dir: PathBuf,
+    /// The serving schema, pinned at startup; compaction captures model
+    /// checkpoints against it, and swapped-in models must keep matching it.
+    schema: AttributeSchema,
+    compact_every: u64,
+    since_compact: u64,
 }
 
 /// Counters describing the batching and hot-swap behaviour observed so far.
@@ -277,12 +359,23 @@ struct QueueState {
 #[derive(Debug)]
 struct ControlPlane {
     attribute_dim: usize,
+    /// `Some` for servers started with [`QueryServer::start_durable`] or
+    /// [`QueryServer::recover`]: every mutation is WAL-appended (and
+    /// fsynced per the policy) *before* its snapshot is published.
+    durable: Option<DurableState>,
 }
 
 /// A running query server; see the module docs.
 ///
-/// Dropping the server drains every already-queued request, then stops the
-/// dispatcher thread.
+/// Dropping the server (or calling [`QueryServer::stop`]) drains every
+/// already-queued request — each gets its response — then stops the
+/// dispatcher thread; submissions arriving after the stop are rejected with
+/// [`ServeError::Draining`].
+///
+/// Started through [`QueryServer::start_durable`] (or rebuilt by
+/// [`QueryServer::recover`]), the server additionally write-ahead-logs
+/// every class mutation before publishing it, making the mutation plane
+/// crash-safe; see the [`crate::wal`] module docs for the full contract.
 ///
 /// # Example
 ///
@@ -308,7 +401,9 @@ struct ControlPlane {
 pub struct QueryServer {
     shared: Arc<Shared>,
     control: Mutex<ControlPlane>,
-    dispatcher: Option<std::thread::JoinHandle<()>>,
+    /// Taken (and joined) by whichever of [`QueryServer::stop`] / `Drop`
+    /// runs first; behind its own mutex so `stop` works through `&self`.
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl QueryServer {
@@ -334,40 +429,36 @@ impl QueryServer {
         config: ServerConfig,
     ) -> Result<Self, ServeError> {
         let model: FrozenModel = model.into();
-        if labels.len() != class_attributes.rows() {
-            return Err(ServeError::InvalidConfig(format!(
-                "{} labels for {} class-attribute rows",
-                labels.len(),
-                class_attributes.rows()
-            )));
-        }
-        if class_attributes.rows() == 0 {
-            return Err(ServeError::InvalidConfig(
-                "cannot serve an empty class set".to_string(),
-            ));
-        }
-        if config.max_batch == 0 {
-            return Err(ServeError::InvalidConfig(
-                "max_batch must be at least 1".to_string(),
-            ));
-        }
-        if config.top_k == 0 {
-            return Err(ServeError::InvalidConfig(
-                "top_k must be at least 1".to_string(),
-            ));
-        }
-        if config.shards == 0 {
-            return Err(ServeError::InvalidConfig(
-                "shards must be at least 1".to_string(),
-            ));
-        }
+        validate_class_set(&labels, class_attributes)?;
+        validate_config(&config)?;
         let attribute_dim = class_attributes.cols();
-        let feature_dim = model.image_encoder().feature_dim();
         let memory = model
             .sharded_class_memory(labels, class_attributes, config.shards)
             .with_threads(config.threads);
+        Ok(Self::start_with_parts(
+            model,
+            memory,
+            attribute_dim,
+            config,
+            0,
+            None,
+        ))
+    }
+
+    /// The one spawn point every constructor funnels through: wraps the
+    /// already-validated parts into the initial snapshot and starts the
+    /// dispatcher thread.
+    fn start_with_parts(
+        model: FrozenModel,
+        memory: ShardedClassMemory,
+        attribute_dim: usize,
+        config: ServerConfig,
+        version: u64,
+        durable: Option<DurableState>,
+    ) -> Self {
+        let feature_dim = model.image_encoder().feature_dim();
         let snapshot = Arc::new(ModelSnapshot {
-            version: 0,
+            version,
             model,
             memory,
         });
@@ -385,11 +476,183 @@ impl QueryServer {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || dispatch_loop(&shared, config))
         };
-        Ok(Self {
+        Self {
             shared,
-            control: Mutex::new(ControlPlane { attribute_dim }),
-            dispatcher: Some(dispatcher),
-        })
+            control: Mutex::new(ControlPlane {
+                attribute_dim,
+                durable,
+            }),
+            dispatcher: Mutex::new(Some(dispatcher)),
+        }
+    }
+
+    /// Starts a **durable** server: like [`QueryServer::start`], but every
+    /// accepted class mutation is appended (and fsynced per
+    /// [`DurabilityConfig::sync`]) to a write-ahead log under
+    /// [`DurabilityConfig::dir`] *before* its snapshot is published, and the
+    /// initial state is saved there as a checkpoint-delta compaction base.
+    /// After a crash, [`QueryServer::recover`] on the same directory rebuilds
+    /// the exact pre-crash serving state — bit-identical class memory,
+    /// same snapshot version.
+    ///
+    /// The attribute `schema` is pinned for the server's lifetime: compaction
+    /// captures model checkpoints against it, and [`QueryServer::swap_model`]
+    /// rejects models whose attribute space no longer matches it.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`QueryServer::start`] reports, plus
+    /// [`ServeError::InvalidConfig`] when the model's attribute encoder does
+    /// not match `schema`, and [`ServeError::Wal`] /
+    /// [`ServeError::Checkpoint`] when the WAL directory cannot be
+    /// initialised.
+    pub fn start_durable(
+        model: impl Into<FrozenModel>,
+        labels: Vec<String>,
+        class_attributes: &Matrix,
+        schema: &AttributeSchema,
+        config: ServerConfig,
+        durability: DurabilityConfig,
+    ) -> Result<Self, ServeError> {
+        let model: FrozenModel = model.into();
+        validate_class_set(&labels, class_attributes)?;
+        validate_config(&config)?;
+        if model.attribute_encoder().num_attributes() != schema.num_attributes() {
+            return Err(ServeError::InvalidConfig(format!(
+                "model encodes {} attributes, the serving schema declares {}",
+                model.attribute_encoder().num_attributes(),
+                schema.num_attributes()
+            )));
+        }
+        let attribute_dim = class_attributes.cols();
+        std::fs::create_dir_all(&durability.dir).map_err(|e| ServeError::Wal(WalError::Io(e)))?;
+        let memory = model
+            .sharded_class_memory(labels, class_attributes, config.shards)
+            .with_threads(config.threads);
+        // Base first, then the (empty) log: a crash in between leaves a
+        // directory `recover` rejects loudly (no log) rather than one that
+        // silently replays nothing against a stale base.
+        CheckpointDelta {
+            snapshot_version: 0,
+            next_record_seq: 0,
+            base: Checkpoint::capture(&model, schema),
+            memory: memory.clone(),
+        }
+        .save_json(wal::base_path(&durability.dir))?;
+        let log = WriteAheadLog::create(wal::wal_path(&durability.dir), durability.sync)?;
+        let durable = DurableState {
+            wal: log,
+            dir: durability.dir,
+            schema: schema.clone(),
+            compact_every: durability.compact_every,
+            since_compact: 0,
+        };
+        Ok(Self::start_with_parts(
+            model,
+            memory,
+            attribute_dim,
+            config,
+            0,
+            Some(durable),
+        ))
+    }
+
+    /// Rebuilds a durable server from its WAL directory after a crash (or a
+    /// clean shutdown — recovery cannot tell and does not need to): loads
+    /// the checkpoint-delta compaction base, replays the WAL suffix
+    /// (records with `seq >=` the base's `next_record_seq`), truncates away
+    /// a torn final record if one is found, and resumes serving — and
+    /// logging — exactly where the pre-crash server left off.
+    ///
+    /// The rebuilt class memory is **bit-identical** to the last
+    /// acknowledged pre-crash snapshot: register/update records replay the
+    /// packed prototype words the original server encoded, so no model
+    /// arithmetic is ever re-run.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Checkpoint`] when the base is missing, malformed, or
+    /// does not match `schema`; [`ServeError::Wal`] when the log is
+    /// missing, unreadable, or corrupt *before* its final record;
+    /// [`ServeError::InvalidConfig`] for a bad `config` or a recovered
+    /// state with no classes.
+    pub fn recover(
+        schema: &AttributeSchema,
+        config: ServerConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), ServeError> {
+        validate_config(&config)?;
+        let delta = CheckpointDelta::load_json(wal::base_path(&durability.dir))?;
+        delta.base.validate_schema(schema)?;
+        let (log, replay) = WriteAheadLog::open(wal::wal_path(&durability.dir), durability.sync)?;
+        let CheckpointDelta {
+            snapshot_version,
+            next_record_seq,
+            base,
+            memory,
+        } = delta;
+        let mut model = base.into_frozen(schema)?;
+        let mut memory = memory.with_threads(config.threads);
+        let mut replayed_records = 0u64;
+        for entry in &replay.entries {
+            // Records the base already folds in (a crash can interleave a
+            // fresh base with the not-yet-rotated log; their seqs overlap).
+            if entry.seq < next_record_seq {
+                continue;
+            }
+            match &entry.op {
+                WalOp::Register { label, words } | WalOp::Update { label, words } => {
+                    if words.len() != memory.words_per_row() {
+                        return Err(ServeError::Wal(WalError::Corrupt {
+                            offset: entry.end_offset,
+                            reason: format!(
+                                "record {} carries {} prototype words, the memory packs {}",
+                                entry.seq,
+                                words.len(),
+                                memory.words_per_row()
+                            ),
+                        }));
+                    }
+                    memory.add_class_packed(label.clone(), words);
+                }
+                WalOp::Remove { label } => {
+                    memory.remove_class(label);
+                }
+                WalOp::Swap {
+                    checkpoint_json,
+                    memory: swapped,
+                } => {
+                    let checkpoint = Checkpoint::from_json_str(checkpoint_json)?;
+                    checkpoint.validate_schema(schema)?;
+                    model = checkpoint.into_frozen(schema)?;
+                    memory = swapped.clone().with_threads(config.threads);
+                }
+            }
+            replayed_records += 1;
+        }
+        if memory.is_empty() {
+            return Err(ServeError::InvalidConfig(
+                "recovered state has no registered classes".to_string(),
+            ));
+        }
+        let version = snapshot_version + replayed_records;
+        let attribute_dim = model.attribute_encoder().num_attributes();
+        let report = RecoveryReport {
+            snapshot_version: version,
+            replayed_records,
+            torn_tail: replay.torn_tail.is_some(),
+        };
+        let durable = DurableState {
+            wal: log,
+            dir: durability.dir,
+            schema: schema.clone(),
+            compact_every: durability.compact_every,
+            since_compact: replayed_records,
+        };
+        Ok((
+            Self::start_with_parts(model, memory, attribute_dim, config, version, Some(durable)),
+            report,
+        ))
     }
 
     /// Starts a server from a saved [`hdc_zsc::Checkpoint`]: the
@@ -435,36 +698,50 @@ impl QueryServer {
         )
     }
 
-    /// Registers (or replaces) a class under `label` from its
-    /// class-attribute row, atomically publishing a new snapshot. The class
-    /// is servable by the next coalesced batch — no restart, no queue drain;
-    /// only the shard the class routes to is repacked.
+    /// Registers a **new** class under `label` from its class-attribute
+    /// row, atomically publishing a new snapshot. The class is servable by
+    /// the next coalesced batch — no restart, no queue drain; only the
+    /// shard the class routes to is repacked.
+    ///
+    /// Registration never silently overwrites: re-registering an existing
+    /// label is rejected with [`ServeError::DuplicateLabel`] — use
+    /// [`QueryServer::update_class`] to re-point an existing class. (This
+    /// also keeps the durable log replayable without ambiguity: every
+    /// logged register is a genuine insert.)
     ///
     /// Returns the snapshot now serving, so callers can record exactly which
     /// version their class became visible in.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::AttributeWidth`] for a mis-sized attribute row.
+    /// Returns [`ServeError::DuplicateLabel`] when `label` is already
+    /// registered, [`ServeError::AttributeWidth`] for a mis-sized attribute
+    /// row, and [`ServeError::Wal`] when a durable server cannot log the
+    /// mutation (nothing is published then).
     pub fn register_class(
         &self,
         label: impl Into<String>,
         attributes: &[f32],
     ) -> Result<Arc<ModelSnapshot>, ServeError> {
         let mut control = self.control.lock().expect("control mutex poisoned");
-        self.register_locked(&mut control, label.into(), attributes)
+        let label = label.into();
+        if self.snapshot().memory.contains(&label) {
+            return Err(ServeError::DuplicateLabel(label));
+        }
+        self.register_locked(&mut control, label, attributes, false)
     }
 
     /// Replaces the attribute row of an *already registered* class; see
-    /// [`QueryServer::register_class`] for the upsert variant. The existence
-    /// check and the publish happen under one control-mutex critical
-    /// section, so a concurrent `remove_class` cannot slip in between (the
-    /// update can never resurrect a just-removed class).
+    /// [`QueryServer::register_class`] for inserting a new one. The
+    /// existence check and the publish happen under one control-mutex
+    /// critical section, so a concurrent `remove_class` cannot slip in
+    /// between (the update can never resurrect a just-removed class).
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::UnknownClass`] when `label` is not registered
-    /// and [`ServeError::AttributeWidth`] for a mis-sized row.
+    /// Returns [`ServeError::UnknownClass`] when `label` is not registered,
+    /// [`ServeError::AttributeWidth`] for a mis-sized row, and
+    /// [`ServeError::Wal`] when a durable server cannot log the mutation.
     pub fn update_class(
         &self,
         label: &str,
@@ -474,23 +751,27 @@ impl QueryServer {
         if !self.snapshot().memory.contains(label) {
             return Err(ServeError::UnknownClass(label.to_string()));
         }
-        self.register_locked(&mut control, label.to_string(), attributes)
+        self.register_locked(&mut control, label.to_string(), attributes, true)
     }
 
     /// The shared register/update body; the caller must hold the control
-    /// mutex so existence checks, encoding, and the publish are atomic with
-    /// respect to every other mutation.
+    /// mutex (and have done the existence check for its verb) so checks,
+    /// encoding, the WAL append, and the publish are atomic with respect to
+    /// every other mutation.
     ///
     /// Validation-before-derivation: the attribute-width check runs before
     /// the signature is encoded and before any snapshot state is cloned, so
     /// a rejected request costs nothing but the check. Encoding runs through
     /// the serving snapshot's shared [`FrozenModel`] — one attribute-encoder
-    /// forward, zero weight copies.
+    /// forward, zero weight copies. On a durable server the record is
+    /// appended (and synced per policy) *before* the snapshot is published:
+    /// an append failure rejects the mutation with nothing changed.
     fn register_locked(
         &self,
         control: &mut ControlPlane,
         label: String,
         attributes: &[f32],
+        is_update: bool,
     ) -> Result<Arc<ModelSnapshot>, ServeError> {
         if attributes.len() != control.attribute_dim {
             return Err(ServeError::AttributeWidth {
@@ -499,7 +780,21 @@ impl QueryServer {
             });
         }
         let signature = self.snapshot().model.packed_class_signature(attributes);
-        Ok(self.publish(|snapshot| {
+        if let Some(durable) = control.durable.as_mut() {
+            let op = if is_update {
+                WalOp::Update {
+                    label: label.clone(),
+                    words: signature.clone(),
+                }
+            } else {
+                WalOp::Register {
+                    label: label.clone(),
+                    words: signature.clone(),
+                }
+            };
+            durable.wal.append(&op)?;
+        }
+        let published = self.publish(|snapshot| {
             let mut memory = snapshot.memory.clone();
             memory.add_class_packed(label, &signature);
             ModelSnapshot {
@@ -507,7 +802,9 @@ impl QueryServer {
                 model: snapshot.model.clone(),
                 memory,
             }
-        }))
+        });
+        self.maybe_compact(control, &published)?;
+        Ok(published)
     }
 
     /// Unregisters a class, atomically publishing a snapshot without it;
@@ -515,11 +812,12 @@ impl QueryServer {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::UnknownClass`] when `label` is not registered
-    /// and [`ServeError::InvalidConfig`] when removing it would leave the
-    /// server with no classes at all.
+    /// Returns [`ServeError::UnknownClass`] when `label` is not registered,
+    /// [`ServeError::InvalidConfig`] when removing it would leave the
+    /// server with no classes at all, and [`ServeError::Wal`] when a
+    /// durable server cannot log the removal (nothing is published then).
     pub fn remove_class(&self, label: &str) -> Result<Arc<ModelSnapshot>, ServeError> {
-        let _control = self.control.lock().expect("control mutex poisoned");
+        let mut control = self.control.lock().expect("control mutex poisoned");
         {
             let current = self.snapshot();
             if !current.memory.contains(label) {
@@ -531,7 +829,12 @@ impl QueryServer {
                 ));
             }
         }
-        Ok(self.publish(|snapshot| {
+        if let Some(durable) = control.durable.as_mut() {
+            durable.wal.append(&WalOp::Remove {
+                label: label.to_string(),
+            })?;
+        }
+        let published = self.publish(|snapshot| {
             let mut memory = snapshot.memory.clone();
             memory.remove_class(label);
             ModelSnapshot {
@@ -539,7 +842,9 @@ impl QueryServer {
                 model: snapshot.model.clone(),
                 memory,
             }
-        }))
+        });
+        self.maybe_compact(&mut control, &published)?;
+        Ok(published)
     }
 
     /// Replaces the entire serving state — model and class set — with one
@@ -554,7 +859,11 @@ impl QueryServer {
     /// [`ServeError::InvalidConfig`] when the labels and matrix do not line
     /// up, the class set is empty, or the new model expects a different
     /// backbone feature width than the server was started with (in-flight
-    /// and future callers would be rejected by the width check).
+    /// and future callers would be rejected by the width check). A durable
+    /// server additionally rejects models whose attribute space no longer
+    /// matches the schema pinned at startup, and reports
+    /// [`ServeError::Wal`] when the swap cannot be logged (nothing is
+    /// published then).
     pub fn swap_model(
         &self,
         model: impl Into<FrozenModel>,
@@ -592,6 +901,15 @@ impl QueryServer {
             });
         }
         let mut control = self.control.lock().expect("control mutex poisoned");
+        if let Some(durable) = control.durable.as_ref() {
+            if expected_attributes != durable.schema.num_attributes() {
+                return Err(ServeError::InvalidConfig(format!(
+                    "swapped model encodes {} attributes, the durable schema pins {}",
+                    expected_attributes,
+                    durable.schema.num_attributes()
+                )));
+            }
+        }
         let (shards, threads) = {
             let current = self.snapshot();
             (current.memory.num_shards(), current.memory.threads())
@@ -599,12 +917,76 @@ impl QueryServer {
         let memory = model
             .sharded_class_memory(labels, class_attributes, shards)
             .with_threads(threads);
+        if let Some(durable) = control.durable.as_mut() {
+            durable.wal.append(&WalOp::Swap {
+                checkpoint_json: Checkpoint::capture(&model, &durable.schema).to_json(),
+                memory: memory.clone(),
+            })?;
+        }
         control.attribute_dim = class_attributes.cols();
-        Ok(self.publish(move |snapshot| ModelSnapshot {
+        let published = self.publish(move |snapshot| ModelSnapshot {
             version: snapshot.version + 1,
             model,
             memory,
-        }))
+        });
+        self.maybe_compact(&mut control, &published)?;
+        Ok(published)
+    }
+
+    /// Folds the log into a fresh compaction base right now, regardless of
+    /// the [`DurabilityConfig::compact_every`] policy. Returns `Ok(true)`
+    /// when a base was written, `Ok(false)` on a non-durable server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Checkpoint`] / [`ServeError::Wal`] when the
+    /// base or rotated log cannot be written; the previous base and log
+    /// remain fully replayable in that case.
+    pub fn compact(&self) -> Result<bool, ServeError> {
+        let mut control = self.control.lock().expect("control mutex poisoned");
+        let Some(durable) = control.durable.as_mut() else {
+            return Ok(false);
+        };
+        let snapshot = self.snapshot();
+        Self::compact_locked(durable, &snapshot)?;
+        Ok(true)
+    }
+
+    /// Counts one logged mutation towards the compaction policy and folds
+    /// the log when it is due. Called with the control mutex held, right
+    /// after `published` was stored.
+    fn maybe_compact(
+        &self,
+        control: &mut ControlPlane,
+        published: &ModelSnapshot,
+    ) -> Result<(), ServeError> {
+        let Some(durable) = control.durable.as_mut() else {
+            return Ok(());
+        };
+        durable.since_compact += 1;
+        if durable.compact_every == 0 || durable.since_compact < durable.compact_every {
+            return Ok(());
+        }
+        Self::compact_locked(durable, published)
+    }
+
+    /// Writes `snapshot` as the new checkpoint-delta base, then rotates the
+    /// log — in that order, so a crash between the two leaves a base whose
+    /// `next_record_seq` simply skips the old log's already-folded records.
+    fn compact_locked(
+        durable: &mut DurableState,
+        snapshot: &ModelSnapshot,
+    ) -> Result<(), ServeError> {
+        CheckpointDelta {
+            snapshot_version: snapshot.version,
+            next_record_seq: durable.wal.next_seq(),
+            base: Checkpoint::capture(&snapshot.model, &durable.schema),
+            memory: snapshot.memory.clone(),
+        }
+        .save_json(wal::base_path(&durable.dir))?;
+        durable.wal.rotate()?;
+        durable.since_compact = 0;
+        Ok(())
     }
 
     /// Builds the next snapshot from the current one and stores it; the
@@ -634,8 +1016,9 @@ impl QueryServer {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::FeatureWidth`] for mis-sized rows and
-    /// [`ServeError::Stopped`] when the server shuts down first.
+    /// Returns [`ServeError::FeatureWidth`] for mis-sized rows,
+    /// [`ServeError::Draining`] when the server was already stopping at
+    /// submission, and [`ServeError::Stopped`] when it dies mid-query.
     pub fn query(&self, features: &[f32]) -> Result<Vec<ScoredLabel>, ServeError> {
         self.query_traced(features).map(|(_, top)| top)
     }
@@ -663,8 +1046,9 @@ impl QueryServer {
     /// # Errors
     ///
     /// Returns [`ServeError::FeatureWidth`] for mis-sized rows (the whole
-    /// batch is rejected before anything is enqueued) and
-    /// [`ServeError::Stopped`] when the server shuts down first.
+    /// batch is rejected before anything is enqueued),
+    /// [`ServeError::Draining`] when the server was already stopping at
+    /// submission, and [`ServeError::Stopped`] when it dies mid-query.
     pub fn query_batch(&self, rows: &[Vec<f32>]) -> Result<Vec<Vec<ScoredLabel>>, ServeError> {
         Ok(self
             .enqueue(rows.to_vec())?
@@ -688,7 +1072,7 @@ impl QueryServer {
         {
             let mut queue = self.shared.queue.lock().expect("queue mutex poisoned");
             if queue.shutdown {
-                return Err(ServeError::Stopped);
+                return Err(ServeError::Draining);
             }
             for features in rows {
                 let (tx, rx) = mpsc::channel();
@@ -705,19 +1089,81 @@ impl QueryServer {
             .map(|rx| rx.recv().map_err(|_| ServeError::Stopped))
             .collect()
     }
-}
 
-impl Drop for QueryServer {
-    fn drop(&mut self) {
+    /// Stops the server, draining first: queries already admitted are still
+    /// scored and answered, submissions arriving from now on are rejected
+    /// with [`ServeError::Draining`], and the call blocks until the
+    /// dispatcher has answered the last drained query. A durable server's
+    /// log is fsynced one final time on the way out.
+    ///
+    /// Idempotent and callable from any thread holding `&self`; `Drop` runs
+    /// it too, so an explicit call is only needed to stop a shared server
+    /// while other handles are still alive.
+    pub fn stop(&self) {
         {
             let mut queue = self.shared.queue.lock().expect("queue mutex poisoned");
             queue.shutdown = true;
         }
         self.shared.arrivals.notify_all();
-        if let Some(handle) = self.dispatcher.take() {
+        let handle = self
+            .dispatcher
+            .lock()
+            .expect("dispatcher mutex poisoned")
+            .take();
+        if let Some(handle) = handle {
             let _ = handle.join();
         }
+        // Best-effort: every acknowledged mutation was already synced per
+        // policy; this only tightens a trailing EveryN batch.
+        if let Ok(mut control) = self.control.lock() {
+            if let Some(durable) = control.durable.as_mut() {
+                let _ = durable.wal.sync();
+            }
+        }
     }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The label/matrix agreement checks shared by every constructor.
+fn validate_class_set(labels: &[String], class_attributes: &Matrix) -> Result<(), ServeError> {
+    if labels.len() != class_attributes.rows() {
+        return Err(ServeError::InvalidConfig(format!(
+            "{} labels for {} class-attribute rows",
+            labels.len(),
+            class_attributes.rows()
+        )));
+    }
+    if class_attributes.rows() == 0 {
+        return Err(ServeError::InvalidConfig(
+            "cannot serve an empty class set".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// The [`ServerConfig`] sanity checks shared by every constructor.
+fn validate_config(config: &ServerConfig) -> Result<(), ServeError> {
+    if config.max_batch == 0 {
+        return Err(ServeError::InvalidConfig(
+            "max_batch must be at least 1".to_string(),
+        ));
+    }
+    if config.top_k == 0 {
+        return Err(ServeError::InvalidConfig(
+            "top_k must be at least 1".to_string(),
+        ));
+    }
+    if config.shards == 0 {
+        return Err(ServeError::InvalidConfig(
+            "shards must be at least 1".to_string(),
+        ));
+    }
+    Ok(())
 }
 
 /// The dispatcher: collect → pick up snapshot → embed → pack → score →

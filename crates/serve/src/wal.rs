@@ -1,0 +1,881 @@
+//! Write-ahead log of serve-time class mutations — the durability half of
+//! the serving layer's crash-safety contract.
+//!
+//! Every mutation accepted by a durable
+//! [`QueryServer`](crate::QueryServer) — register / update / remove /
+//! swap — is appended here **before** the new snapshot is published, so the
+//! log plus the latest [`CheckpointDelta`](hdc_zsc::CheckpointDelta)
+//! compaction base always reconstruct the exact pre-crash
+//! [`ShardedClassMemory`]: recovery loads the
+//! base, replays the WAL suffix (`seq >= next_record_seq`), and serves
+//! bit-identical results.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! ┌────────────────────────── file header (20 bytes) ─────────────────────────┐
+//! │ magic "ZSCWAL1\n" (8) │ format u32 LE (=1) │ first_seq u64 LE             │
+//! ├──────────────────────────── record frames ────────────────────────────────┤
+//! │ len u32 LE │ crc32 u32 LE │ payload (len bytes of compact JSON)           │
+//! │ len u32 LE │ crc32 u32 LE │ payload                                       │
+//! │ …                                                                         │
+//! └───────────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The CRC is the IEEE CRC-32 (reflected, polynomial `0xEDB88320`) of the
+//! payload bytes. Payloads are compact JSON objects carrying an explicit
+//! monotonically-increasing `seq`, so replay can detect reordering and the
+//! compaction base can name exactly where its suffix starts. Register and
+//! update records store the **packed prototype words** (not the raw
+//! attributes), making replay independent of the model and bit-identical by
+//! construction; swap records embed a full model checkpoint plus the
+//! post-swap memory.
+//!
+//! # Torn tails
+//!
+//! A crash mid-append leaves a truncated or corrupt **final** frame. That is
+//! expected and harmless: [`replay`] detects it by length or checksum,
+//! reports it as [`WalReplay::torn_tail`], and ignores it — the record was
+//! never acknowledged, so dropping it is correct. Corruption *before* the
+//! final frame is a hard [`WalError::Corrupt`]: it means data an earlier
+//! append acknowledged is gone, which recovery must not paper over.
+//!
+//! # Sync policy
+//!
+//! [`SyncPolicy::Always`] fsyncs after every record — an acknowledged
+//! mutation survives an immediate power cut. [`SyncPolicy::EveryN`] batches
+//! the fsync, trading a bounded window of acknowledged-but-unsynced records
+//! for mutation throughput; a torn tail in that window is still detected
+//! and cleanly ignored on recovery.
+
+use engine::ShardedClassMemory;
+use serde::{Serialize, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every WAL file.
+const WAL_MAGIC: &[u8; 8] = b"ZSCWAL1\n";
+
+/// Version of the on-disk WAL layout written by this build.
+pub const WAL_FORMAT_VERSION: u32 = 1;
+
+/// File-header length: magic + format version + first sequence number.
+const HEADER_LEN: u64 = 8 + 4 + 8;
+
+/// Frame-header length: payload length + payload CRC.
+const FRAME_HEADER_LEN: u64 = 4 + 4;
+
+/// Sanity cap on a single record payload (64 MiB). A length prefix past
+/// this is treated as corruption rather than attempted as an allocation.
+const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+/// File name of the log inside a WAL directory.
+pub const WAL_FILE_NAME: &str = "wal.log";
+
+/// File name of the checkpoint-delta compaction base inside a WAL
+/// directory.
+pub const BASE_FILE_NAME: &str = "base.json";
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+/// 256-entry table for the reflected IEEE polynomial `0xEDB88320`.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`) of `bytes` — the
+/// checksum guarding every record frame.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a WAL could not be written, read, or replayed.
+///
+/// Marked `#[non_exhaustive]`: future layouts may add failure modes, so
+/// downstream matches must keep a wildcard arm.
+#[derive(Debug)]
+#[must_use = "a WAL error describes why durability is compromised and should be handled"]
+#[non_exhaustive]
+pub enum WalError {
+    /// Reading or writing the log file failed.
+    Io(std::io::Error),
+    /// The log is damaged before its final record — acknowledged data is
+    /// missing, which recovery must not silently accept.
+    Corrupt {
+        /// Byte offset of the damaged frame.
+        offset: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The file is not a WAL, or declares a layout this build cannot read.
+    UnsupportedFormat {
+        /// What the file declares (0 when the magic itself is wrong).
+        found: u32,
+        /// The version this build writes and reads.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "WAL I/O failed: {e}"),
+            WalError::Corrupt { offset, reason } => {
+                write!(f, "WAL corrupt at byte {offset}: {reason}")
+            }
+            WalError::UnsupportedFormat { found, supported } => write!(
+                f,
+                "unsupported WAL format {found} (this build reads {supported})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// One logged class mutation.
+///
+/// Register and update carry the packed prototype words the serving model
+/// produced at mutation time, so replay needs no model at all and is
+/// bit-identical by construction. Swap carries everything the post-swap
+/// server state depends on: the new model (as a checkpoint JSON document,
+/// loaded through the fully-validating
+/// [`Checkpoint`](hdc_zsc::Checkpoint) path) and the rebuilt memory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// A brand-new class was registered.
+    Register {
+        /// Class label.
+        label: String,
+        /// Packed ±1 prototype words.
+        words: Vec<u64>,
+    },
+    /// An existing class was re-pointed at a new prototype.
+    Update {
+        /// Class label.
+        label: String,
+        /// Packed ±1 prototype words.
+        words: Vec<u64>,
+    },
+    /// A class was removed.
+    Remove {
+        /// Class label.
+        label: String,
+    },
+    /// The whole model (and with it the class memory) was hot-swapped.
+    Swap {
+        /// The new model as a checkpoint JSON document.
+        checkpoint_json: String,
+        /// The post-swap class memory.
+        memory: ShardedClassMemory,
+    },
+}
+
+/// Lowercase hex, 16 digits per word — a compact, exact `u64` encoding.
+fn words_to_hex(words: &[u64]) -> String {
+    let mut out = String::with_capacity(words.len() * 16);
+    for word in words {
+        out.push_str(&format!("{word:016x}"));
+    }
+    out
+}
+
+fn words_from_hex(hex: &str) -> Result<Vec<u64>, String> {
+    if !hex.len().is_multiple_of(16) {
+        return Err(format!(
+            "hex word row of length {} not a multiple of 16",
+            hex.len()
+        ));
+    }
+    hex.as_bytes()
+        .chunks_exact(16)
+        .map(|chunk| {
+            let digits = std::str::from_utf8(chunk).map_err(|_| "non-ASCII hex".to_string())?;
+            u64::from_str_radix(digits, 16).map_err(|e| format!("bad hex word `{digits}`: {e}"))
+        })
+        .collect()
+}
+
+impl WalOp {
+    /// Renders the record payload (including its sequence number) as a
+    /// JSON value.
+    fn to_value(&self, seq: u64) -> Value {
+        let mut entries: Vec<(String, Value)> = vec![("seq".to_string(), seq.to_value())];
+        match self {
+            WalOp::Register { label, words } => {
+                entries.push(("op".to_string(), "register".to_string().to_value()));
+                entries.push(("label".to_string(), label.to_value()));
+                entries.push(("row".to_string(), words_to_hex(words).to_value()));
+            }
+            WalOp::Update { label, words } => {
+                entries.push(("op".to_string(), "update".to_string().to_value()));
+                entries.push(("label".to_string(), label.to_value()));
+                entries.push(("row".to_string(), words_to_hex(words).to_value()));
+            }
+            WalOp::Remove { label } => {
+                entries.push(("op".to_string(), "remove".to_string().to_value()));
+                entries.push(("label".to_string(), label.to_value()));
+            }
+            WalOp::Swap {
+                checkpoint_json,
+                memory,
+            } => {
+                entries.push(("op".to_string(), "swap".to_string().to_value()));
+                entries.push(("checkpoint".to_string(), checkpoint_json.to_value()));
+                entries.push(("memory".to_string(), memory.to_value()));
+            }
+        }
+        Value::Object(entries)
+    }
+
+    /// Parses a record payload back into `(seq, op)`.
+    fn from_value(value: &Value) -> Result<(u64, Self), String> {
+        let get = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| format!("record missing `{name}`"))
+        };
+        let seq: u64 = serde_json::from_value(get("seq")?).map_err(|e| e.to_string())?;
+        let op: String = serde_json::from_value(get("op")?).map_err(|e| e.to_string())?;
+        let label = || -> Result<String, String> {
+            serde_json::from_value(get("label")?).map_err(|e| e.to_string())
+        };
+        let row = || -> Result<Vec<u64>, String> {
+            let hex: String = serde_json::from_value(get("row")?).map_err(|e| e.to_string())?;
+            words_from_hex(&hex)
+        };
+        let op = match op.as_str() {
+            "register" => WalOp::Register {
+                label: label()?,
+                words: row()?,
+            },
+            "update" => WalOp::Update {
+                label: label()?,
+                words: row()?,
+            },
+            "remove" => WalOp::Remove { label: label()? },
+            "swap" => WalOp::Swap {
+                checkpoint_json: serde_json::from_value(get("checkpoint")?)
+                    .map_err(|e| e.to_string())?,
+                memory: serde_json::from_value(get("memory")?).map_err(|e| e.to_string())?,
+            },
+            other => return Err(format!("unknown op `{other}`")),
+        };
+        Ok((seq, op))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sync policy
+// ---------------------------------------------------------------------------
+
+/// When appended records are fsynced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every record: an acknowledged mutation survives an
+    /// immediate power cut. The default.
+    Always,
+    /// fsync after every `n` appended records (`n = 0` behaves like
+    /// [`SyncPolicy::Always`]). Acknowledged records inside the current
+    /// batch may be lost on a crash; the resulting torn tail is detected
+    /// and cleanly ignored on recovery.
+    EveryN(u32),
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+/// One record recovered from a log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalEntry {
+    /// The record's sequence number.
+    pub seq: u64,
+    /// The mutation it logs.
+    pub op: WalOp,
+    /// Byte offset just past this record's frame — the truncation point
+    /// that keeps every record up to and including this one.
+    pub end_offset: u64,
+}
+
+/// Everything [`replay`] recovered from a log file.
+#[derive(Debug)]
+#[must_use = "a replay carries the recovered records and the torn-tail verdict"]
+pub struct WalReplay {
+    /// Sequence number of the first record this file holds (from the
+    /// header; records before it live in the compaction base).
+    pub first_seq: u64,
+    /// The valid records, in sequence order.
+    pub entries: Vec<WalEntry>,
+    /// Why the final frame was discarded, when a torn tail was detected
+    /// (`None` for a clean log).
+    pub torn_tail: Option<String>,
+    /// Byte offset just past the last valid record — where appending
+    /// resumes after the torn tail (if any) is truncated away.
+    pub end_offset: u64,
+}
+
+impl WalReplay {
+    /// The sequence number the next appended record will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.entries.last().map_or(self.first_seq, |e| e.seq + 1)
+    }
+}
+
+/// Reads and verifies every record of the log at `path`.
+///
+/// A truncated or checksum-corrupt **final** frame is reported as a torn
+/// tail and ignored (see the module docs for why that is the correct
+/// contract); damage before the final frame is a hard
+/// [`WalError::Corrupt`], as is a sequence-number discontinuity.
+///
+/// # Errors
+///
+/// [`WalError::Io`] on read failures, [`WalError::UnsupportedFormat`] for
+/// non-WAL files, [`WalError::Corrupt`] for mid-log damage.
+pub fn replay(path: impl AsRef<Path>) -> Result<WalReplay, WalError> {
+    let bytes = std::fs::read(path.as_ref())?;
+    if bytes.len() < 8 || &bytes[..8] != WAL_MAGIC {
+        return Err(WalError::UnsupportedFormat {
+            found: 0,
+            supported: WAL_FORMAT_VERSION,
+        });
+    }
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(WalError::Corrupt {
+            offset: 8,
+            reason: "file ends inside the header".to_string(),
+        });
+    }
+    let format = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if format != WAL_FORMAT_VERSION {
+        return Err(WalError::UnsupportedFormat {
+            found: format,
+            supported: WAL_FORMAT_VERSION,
+        });
+    }
+    let first_seq = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+
+    let mut entries = Vec::new();
+    let mut torn_tail = None;
+    let mut offset = HEADER_LEN as usize;
+    let mut expected_seq = first_seq;
+    while offset < bytes.len() {
+        let remaining = bytes.len() - offset;
+        // A frame that does not fit in the remaining bytes can only be the
+        // torn final append — everything before it already verified.
+        if remaining < FRAME_HEADER_LEN as usize {
+            torn_tail = Some(format!(
+                "{remaining} trailing bytes are shorter than a frame header"
+            ));
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            return Err(WalError::Corrupt {
+                offset: offset as u64,
+                reason: format!("frame declares an absurd payload of {len} bytes"),
+            });
+        }
+        let body_start = offset + FRAME_HEADER_LEN as usize;
+        let body_end = body_start + len as usize;
+        if body_end > bytes.len() {
+            torn_tail = Some(format!(
+                "final frame declares {len} payload bytes but only {} remain",
+                bytes.len() - body_start
+            ));
+            break;
+        }
+        let payload = &bytes[body_start..body_end];
+        if crc32(payload) != crc {
+            if body_end == bytes.len() {
+                torn_tail = Some("final frame fails its checksum".to_string());
+                break;
+            }
+            return Err(WalError::Corrupt {
+                offset: offset as u64,
+                reason: "frame fails its checksum before the end of the log".to_string(),
+            });
+        }
+        let text = std::str::from_utf8(payload).map_err(|_| WalError::Corrupt {
+            offset: offset as u64,
+            reason: "payload is not UTF-8 despite a valid checksum".to_string(),
+        })?;
+        let value = serde_json::parse_value(text).map_err(|e| WalError::Corrupt {
+            offset: offset as u64,
+            reason: format!("payload is not valid JSON: {e}"),
+        })?;
+        let (seq, op) = WalOp::from_value(&value).map_err(|reason| WalError::Corrupt {
+            offset: offset as u64,
+            reason,
+        })?;
+        if seq != expected_seq {
+            return Err(WalError::Corrupt {
+                offset: offset as u64,
+                reason: format!("record carries seq {seq}, expected {expected_seq}"),
+            });
+        }
+        expected_seq += 1;
+        entries.push(WalEntry {
+            seq,
+            op,
+            end_offset: body_end as u64,
+        });
+        offset = body_end;
+    }
+    let end_offset = entries.last().map_or(HEADER_LEN, |e| e.end_offset);
+    Ok(WalReplay {
+        first_seq,
+        entries,
+        torn_tail,
+        end_offset,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// An append-only writer over one WAL file; see the module docs for the
+/// format and durability contract.
+#[derive(Debug)]
+pub struct WriteAheadLog {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+    policy: SyncPolicy,
+    unsynced: u32,
+}
+
+impl WriteAheadLog {
+    /// Creates a fresh log at `path` (truncating any existing file), with
+    /// records numbered from `0`.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] if the file cannot be created or synced.
+    pub fn create(path: impl AsRef<Path>, policy: SyncPolicy) -> Result<Self, WalError> {
+        Self::create_with_first_seq(path, policy, 0)
+    }
+
+    /// Creates a fresh log whose first record will carry `first_seq` — the
+    /// rotation primitive: after compaction folds records `< first_seq`
+    /// into the base, the new log starts exactly where the base ends.
+    ///
+    /// The new file is written beside `path` and atomically `rename`d over
+    /// it, so a crash mid-rotation leaves the previous (fully replayable)
+    /// log in place.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] if the file cannot be created, synced, or renamed.
+    pub fn create_with_first_seq(
+        path: impl AsRef<Path>,
+        policy: SyncPolicy,
+        first_seq: u64,
+    ) -> Result<Self, WalError> {
+        let path = path.as_ref().to_path_buf();
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| WalError::Io(std::io::Error::other("WAL path has no file name")))?;
+        let mut tmp_name = file_name.to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let mut file = File::create(&tmp)?;
+        file.write_all(WAL_MAGIC)?;
+        file.write_all(&WAL_FORMAT_VERSION.to_le_bytes())?;
+        file.write_all(&first_seq.to_le_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, &path)?;
+        sync_parent_dir(&path);
+        // Reopen through the final name: the handle must refer to the file
+        // the next recovery will read.
+        let mut file = OpenOptions::new().append(true).read(true).open(&path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Self {
+            file,
+            path,
+            next_seq: first_seq,
+            policy,
+            unsynced: 0,
+        })
+    }
+
+    /// Opens an existing log for appending, replaying and verifying it
+    /// first. A detected torn tail is truncated away (the damaged final
+    /// frame was never acknowledged) so appending resumes from the last
+    /// valid record.
+    ///
+    /// Returns the writer positioned at the end together with the replay.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`replay`] reports, plus [`WalError::Io`].
+    pub fn open(path: impl AsRef<Path>, policy: SyncPolicy) -> Result<(Self, WalReplay), WalError> {
+        let path = path.as_ref().to_path_buf();
+        let recovered = replay(&path)?;
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        file.set_len(recovered.end_offset)?;
+        file.sync_all()?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            Self {
+                file,
+                path,
+                next_seq: recovered.next_seq(),
+                policy,
+                unsynced: 0,
+            },
+            recovered,
+        ))
+    }
+
+    /// The sequence number the next appended record will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The file this log writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and applies the sync policy. Returns the sequence
+    /// number the record was written under.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] if the write or sync fails; the record must then be
+    /// treated as not logged (the caller should not publish the mutation).
+    pub fn append(&mut self, op: &WalOp) -> Result<u64, WalError> {
+        let seq = self.next_seq;
+        let payload =
+            serde_json::to_string(&op.to_value(seq)).expect("record serialization is infallible");
+        let payload = payload.as_bytes();
+        debug_assert!(payload.len() <= MAX_RECORD_LEN as usize);
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN as usize + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.next_seq += 1;
+        match self.policy {
+            SyncPolicy::Always => self.sync()?,
+            SyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+        }
+        Ok(seq)
+    }
+
+    /// Forces everything appended so far to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] if the fsync fails.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file.sync_all()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Replaces the log with a fresh one starting at the current
+    /// `next_seq` — called right after a compaction base is written, so
+    /// records the base already folds in stop being replayed. Atomic: a
+    /// crash mid-rotation leaves the old log, whose records the fresh base
+    /// simply skips.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] if the replacement cannot be written.
+    pub fn rotate(&mut self) -> Result<(), WalError> {
+        let fresh = Self::create_with_first_seq(&self.path, self.policy, self.next_seq)?;
+        *self = fresh;
+        Ok(())
+    }
+}
+
+/// Best-effort fsync of a path's parent directory, persisting a rename.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+}
+
+/// The log path inside a WAL directory.
+pub fn wal_path(dir: impl AsRef<Path>) -> PathBuf {
+    dir.as_ref().join(WAL_FILE_NAME)
+}
+
+/// The compaction-base path inside a WAL directory.
+pub fn base_path(dir: impl AsRef<Path>) -> PathBuf {
+    dir.as_ref().join(BASE_FILE_NAME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_wal(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("zsc-wal-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join(name)
+    }
+
+    fn sample_ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Register {
+                label: "alpha".to_string(),
+                words: vec![0x0123_4567_89ab_cdef, u64::MAX],
+            },
+            WalOp::Update {
+                label: "alpha".to_string(),
+                words: vec![0, 1],
+            },
+            WalOp::Remove {
+                label: "alpha".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let path = temp_wal("round_trip.log");
+        let mut wal = WriteAheadLog::create(&path, SyncPolicy::Always).expect("create");
+        for (i, op) in sample_ops().iter().enumerate() {
+            assert_eq!(wal.append(op).expect("append"), i as u64);
+        }
+        assert_eq!(wal.next_seq(), 3);
+        drop(wal);
+        let recovered = replay(&path).expect("replay");
+        assert_eq!(recovered.first_seq, 0);
+        assert!(recovered.torn_tail.is_none());
+        assert_eq!(recovered.next_seq(), 3);
+        let ops: Vec<WalOp> = recovered.entries.iter().map(|e| e.op.clone()).collect();
+        assert_eq!(ops, sample_ops());
+        // Reopen for append: picks up the sequence.
+        let (wal, rec) = WriteAheadLog::open(&path, SyncPolicy::Always).expect("open");
+        assert_eq!(wal.next_seq(), 3);
+        assert_eq!(rec.entries.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_sync_policy_still_replays() {
+        let path = temp_wal("batched.log");
+        let mut wal = WriteAheadLog::create(&path, SyncPolicy::EveryN(2)).expect("create");
+        for op in sample_ops() {
+            wal.append(&op).expect("append");
+        }
+        wal.sync().expect("final sync");
+        let recovered = replay(&path).expect("replay");
+        assert_eq!(recovered.entries.len(), 3);
+        assert!(recovered.torn_tail.is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The tentpole's pinned contract: truncating the log at **every** byte
+    /// offset of the final record must yield a clean torn-tail replay of
+    /// exactly the earlier records — never an error, never a phantom
+    /// record.
+    #[test]
+    fn truncation_at_every_byte_offset_of_the_last_record_is_a_clean_torn_tail() {
+        let path = temp_wal("torn.log");
+        let mut wal = WriteAheadLog::create(&path, SyncPolicy::Always).expect("create");
+        for op in sample_ops() {
+            wal.append(&op).expect("append");
+        }
+        drop(wal);
+        let full = std::fs::read(&path).expect("read log");
+        let clean = replay(&path).expect("replay");
+        assert_eq!(clean.entries.len(), 3);
+        let last_start = clean.entries[1].end_offset as usize;
+        let last_end = clean.entries[2].end_offset as usize;
+        assert_eq!(last_end, full.len());
+        for cut in last_start..last_end {
+            let truncated = temp_wal(&format!("torn_cut_{cut}.log"));
+            std::fs::write(&truncated, &full[..cut]).expect("write truncated log");
+            let recovered = replay(&truncated)
+                .unwrap_or_else(|e| panic!("cut at byte {cut} must replay cleanly, got {e}"));
+            assert_eq!(recovered.entries.len(), 2, "cut at byte {cut}");
+            assert_eq!(
+                recovered.torn_tail.is_some(),
+                cut != last_start,
+                "cut at byte {cut}: a cut exactly at the previous frame's end is a clean log"
+            );
+            assert_eq!(
+                recovered.end_offset as usize, last_start,
+                "cut at byte {cut}"
+            );
+            // Opening for append truncates the tail and resumes at seq 2.
+            let (wal, _) = WriteAheadLog::open(&truncated, SyncPolicy::Always).expect("open");
+            assert_eq!(wal.next_seq(), 2);
+            drop(wal);
+            assert_eq!(
+                std::fs::metadata(&truncated).expect("metadata").len() as usize,
+                last_start
+            );
+            std::fs::remove_file(&truncated).ok();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A bit flip in the final frame is a torn tail; the same flip in an
+    /// earlier frame is hard corruption.
+    #[test]
+    fn checksum_distinguishes_torn_tail_from_mid_log_corruption() {
+        let path = temp_wal("flip.log");
+        let mut wal = WriteAheadLog::create(&path, SyncPolicy::Always).expect("create");
+        for op in sample_ops() {
+            wal.append(&op).expect("append");
+        }
+        drop(wal);
+        let full = std::fs::read(&path).expect("read log");
+        let clean = replay(&path).expect("replay");
+        let flip_at = |offset: usize| {
+            let mut bytes = full.clone();
+            bytes[offset] ^= 0x40;
+            let flipped = temp_wal("flipped.log");
+            std::fs::write(&flipped, &bytes).expect("write flipped log");
+            flipped
+        };
+        // Flip inside the last record's payload.
+        let last_payload = clean.entries[1].end_offset as usize + FRAME_HEADER_LEN as usize + 2;
+        let tail = replay(flip_at(last_payload)).expect("tail flip replays");
+        assert_eq!(tail.entries.len(), 2);
+        assert!(tail.torn_tail.is_some());
+        // Flip inside the first record's payload.
+        let first_payload = HEADER_LEN as usize + FRAME_HEADER_LEN as usize + 2;
+        match replay(flip_at(first_payload)) {
+            Err(WalError::Corrupt { offset, .. }) => {
+                assert_eq!(offset, HEADER_LEN, "damage is located at the first frame")
+            }
+            other => panic!("mid-log flip must be hard corruption, got {other:?}"),
+        }
+        std::fs::remove_file(temp_wal("flipped.log")).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_wal_files_and_future_formats_are_rejected() {
+        let path = temp_wal("not_a_wal.log");
+        std::fs::write(&path, b"definitely not a wal").expect("write");
+        assert!(matches!(
+            replay(&path),
+            Err(WalError::UnsupportedFormat { found: 0, .. })
+        ));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(WAL_MAGIC);
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write");
+        assert!(matches!(
+            replay(&path),
+            Err(WalError::UnsupportedFormat { found: 7, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rotation_renumbers_from_next_seq() {
+        let path = temp_wal("rotate.log");
+        let mut wal = WriteAheadLog::create(&path, SyncPolicy::Always).expect("create");
+        for op in sample_ops() {
+            wal.append(&op).expect("append");
+        }
+        wal.rotate().expect("rotate");
+        assert_eq!(wal.next_seq(), 3);
+        let op = WalOp::Remove {
+            label: "beta".to_string(),
+        };
+        assert_eq!(wal.append(&op).expect("append"), 3);
+        drop(wal);
+        let recovered = replay(&path).expect("replay");
+        assert_eq!(recovered.first_seq, 3);
+        assert_eq!(recovered.entries.len(), 1);
+        assert_eq!(recovered.entries[0].seq, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sequence_discontinuities_are_hard_corruption() {
+        let a = temp_wal("seq_a.log");
+        let mut wal =
+            WriteAheadLog::create_with_first_seq(&a, SyncPolicy::Always, 5).expect("create");
+        wal.append(&WalOp::Remove {
+            label: "x".to_string(),
+        })
+        .expect("append");
+        drop(wal);
+        // Rewrite the header to claim the file starts at seq 0: the record
+        // inside carries seq 5, a discontinuity.
+        let mut bytes = std::fs::read(&a).expect("read");
+        bytes[12..20].copy_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&a, &bytes).expect("write");
+        assert!(matches!(replay(&a), Err(WalError::Corrupt { .. })));
+        std::fs::remove_file(&a).ok();
+    }
+}

@@ -1,0 +1,412 @@
+//! Crash-recovery tests for the durable serving path: a durable
+//! [`QueryServer`]'s WAL directory, cut off at **any** record boundary (with
+//! or without a torn partial record after it), must recover to a server
+//! whose class memory is **bit-identical** to the in-memory snapshot that
+//! was serving after exactly that prefix of mutations — same snapshot
+//! version, same labels, same top-k bits.
+//!
+//! The deterministic test drives a full lifecycle (register / update /
+//! remove / swap, across a compaction boundary) and recovers it; the
+//! property test generates arbitrary mutation interleavings from a seeded
+//! LCG, cuts the log at an arbitrary boundary, and checks the recovered
+//! state against the live snapshot timeline the server itself published.
+
+use dataset::AttributeSchema;
+use hdc_zsc::{ModelConfig, ZscModel};
+use proptest::prelude::*;
+use serve::{
+    wal, DurabilityConfig, ModelSnapshot, QueryServer, ServeError, ServerConfig, SyncPolicy,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use tensor::Matrix;
+
+const FEATURE_DIM: usize = 16;
+
+fn schema() -> AttributeSchema {
+    // A small synthetic attribute space keeps per-case model construction
+    // (and the swap records' embedded checkpoints) cheap.
+    AttributeSchema::synthetic(4, 3)
+}
+
+fn alpha() -> usize {
+    schema().num_attributes()
+}
+
+fn model(seed: u64) -> ZscModel {
+    ZscModel::new(&ModelConfig::tiny().with_seed(seed), &schema(), FEATURE_DIM)
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        max_batch: 4,
+        max_wait_us: 50,
+        threads: 2,
+        top_k: 3,
+        shards: 3,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zsc-crash-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A tiny deterministic generator (an LCG) so the property test's mutation
+/// script is a pure function of its seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn unit_f32(&mut self) -> f32 {
+        (self.next() % 10_000) as f32 / 10_000.0
+    }
+
+    fn attr_row(&mut self, width: usize) -> Vec<f32> {
+        (0..width).map(|_| self.unit_f32()).collect()
+    }
+}
+
+fn probe_rows() -> Vec<Vec<f32>> {
+    (0..4)
+        .map(|p| {
+            (0..FEATURE_DIM)
+                .map(|i| 0.05 * (p * 7 + i) as f32)
+                .collect()
+        })
+        .collect()
+}
+
+/// Bit-exact comparison of a recovered snapshot against the live snapshot
+/// that served the same mutation prefix.
+fn assert_snapshots_match(recovered: &ModelSnapshot, expected: &ModelSnapshot, context: &str) {
+    assert_eq!(
+        recovered.version(),
+        expected.version(),
+        "{context}: version diverged"
+    );
+    assert_eq!(
+        recovered.memory(),
+        expected.memory(),
+        "{context}: class memory diverged"
+    );
+    for (p, row) in probe_rows().iter().enumerate() {
+        let got: Vec<(String, u32)> = recovered
+            .solo_topk(row, 3)
+            .into_iter()
+            .map(|(l, s)| (l, s.to_bits()))
+            .collect();
+        let want: Vec<(String, u32)> = expected
+            .solo_topk(row, 3)
+            .into_iter()
+            .map(|(l, s)| (l, s.to_bits()))
+            .collect();
+        assert_eq!(got, want, "{context}: probe {p} scored differently");
+    }
+}
+
+/// The deterministic acceptance drill: a durable server lives through
+/// registrations, updates, removals, a model swap, and an automatic
+/// compaction; killed (dropped) and recovered, it serves **bit-identical**
+/// results at the same snapshot version — and a torn partial record
+/// appended by a simulated mid-append crash is detected and ignored.
+#[test]
+fn kill_and_recover_restores_the_exact_serving_state() {
+    let dir = temp_dir("lifecycle");
+    let a = alpha();
+    let labels: Vec<String> = (0..5).map(|c| format!("class{c}")).collect();
+    let mut lcg = Lcg(99);
+    let class_attributes = Matrix::from_rows(&(0..5).map(|_| lcg.attr_row(a)).collect::<Vec<_>>());
+    let server = QueryServer::start_durable(
+        model(1),
+        labels.clone(),
+        &class_attributes,
+        &schema(),
+        config(),
+        DurabilityConfig {
+            dir: dir.clone(),
+            sync: SyncPolicy::Always,
+            // Low enough that the mutation script below crosses a
+            // compaction: recovery then spans base + WAL suffix.
+            compact_every: 4,
+        },
+    )
+    .expect("durable server starts");
+
+    server
+        .register_class("hot0", &lcg.attr_row(a))
+        .expect("registers");
+    server
+        .update_class("class2", &lcg.attr_row(a))
+        .expect("updates");
+    server.remove_class("class0").expect("removes");
+    let swap_labels: Vec<String> = (0..4).map(|c| format!("sw{c}")).collect();
+    let swap_attributes = Matrix::from_rows(&(0..4).map(|_| lcg.attr_row(a)).collect::<Vec<_>>());
+    // Mutation 4 of 4: triggers the automatic compaction (base rewritten,
+    // log rotated) right after the swap publishes.
+    server
+        .swap_model(model(2), swap_labels.clone(), &swap_attributes)
+        .expect("swaps");
+    // Two more past the compaction boundary so recovery replays a suffix.
+    server
+        .register_class("hot1", &lcg.attr_row(a))
+        .expect("registers");
+    server.remove_class("sw3").expect("removes");
+
+    let expected = server.snapshot();
+    assert_eq!(expected.version(), 6);
+    drop(server); // the "kill": nothing is written beyond what each mutation already synced
+
+    // Recover and verify bit-identity, then keep living: the recovered
+    // server accepts further mutations and queries.
+    let (recovered, report) =
+        QueryServer::recover(&schema(), config(), DurabilityConfig::new(dir.clone()))
+            .expect("recovers");
+    assert_eq!(report.snapshot_version, 6);
+    assert_eq!(
+        report.replayed_records, 2,
+        "suffix past the compaction base"
+    );
+    assert!(!report.torn_tail);
+    assert_snapshots_match(&recovered.snapshot(), &expected, "clean recovery");
+    recovered
+        .register_class("post-crash", &lcg.attr_row(a))
+        .expect("recovered server accepts mutations");
+    assert!(recovered.query(&probe_rows()[0]).is_ok());
+    let expected = recovered.snapshot();
+    assert_eq!(expected.version(), 7);
+    drop(recovered);
+
+    // Simulate a crash mid-append: garbage shorter than a frame header at
+    // the log's tail. Recovery must flag and ignore it — state unchanged.
+    {
+        use std::io::Write;
+        let mut log = std::fs::OpenOptions::new()
+            .append(true)
+            .open(wal::wal_path(&dir))
+            .expect("open log");
+        log.write_all(&[0x13, 0x37, 0x00]).expect("append garbage");
+    }
+    let (torn, report) =
+        QueryServer::recover(&schema(), config(), DurabilityConfig::new(dir.clone()))
+            .expect("recovers past the torn tail");
+    assert!(report.torn_tail, "the partial record must be detected");
+    assert_eq!(report.snapshot_version, 7);
+    assert_snapshots_match(&torn.snapshot(), &expected, "torn-tail recovery");
+    drop(torn);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Typed duplicate rejection (and that the rejection really publishes and
+/// logs nothing: the version does not move).
+#[test]
+fn duplicate_register_is_a_typed_error_and_publishes_nothing() {
+    let a = alpha();
+    let server = QueryServer::start(
+        model(5),
+        vec!["a".to_string(), "b".to_string()],
+        &Matrix::ones(2, a),
+        config(),
+    )
+    .expect("server starts");
+    match server.register_class("a", &vec![0.5; a]) {
+        Err(ServeError::DuplicateLabel(label)) => assert_eq!(label, "a"),
+        other => panic!("expected DuplicateLabel, got {other:?}"),
+    }
+    assert_eq!(server.snapshot().version(), 0);
+    assert_eq!(server.stats().swaps, 0);
+    // update_class remains the explicit overwrite path.
+    assert_eq!(
+        server
+            .update_class("a", &vec![0.5; a])
+            .expect("updates")
+            .version(),
+        1
+    );
+}
+
+/// `compact` is explicit on durable servers and a typed no-op elsewhere.
+#[test]
+fn explicit_compaction_folds_the_log() {
+    let dir = temp_dir("compact");
+    let a = alpha();
+    let server = QueryServer::start_durable(
+        model(7),
+        vec!["x".to_string(), "y".to_string()],
+        &Matrix::ones(2, a),
+        &schema(),
+        config(),
+        DurabilityConfig {
+            dir: dir.clone(),
+            sync: SyncPolicy::Always,
+            compact_every: 0, // automatic compaction disabled
+        },
+    )
+    .expect("durable server starts");
+    server
+        .register_class("z", &vec![0.25; a])
+        .expect("registers");
+    assert!(server.compact().expect("compacts"));
+    let expected = server.snapshot();
+    drop(server);
+    // The log was rotated: recovery replays nothing, yet lands on the same
+    // state because the base absorbed the mutation.
+    let (recovered, report) =
+        QueryServer::recover(&schema(), config(), DurabilityConfig::new(dir.clone()))
+            .expect("recovers");
+    assert_eq!(report.replayed_records, 0);
+    assert_snapshots_match(&recovered.snapshot(), &expected, "post-compaction recovery");
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let non_durable = QueryServer::start(
+        model(7),
+        vec!["x".to_string()],
+        &Matrix::ones(1, a),
+        config(),
+    )
+    .expect("server starts");
+    assert!(!non_durable.compact().expect("no-op"));
+}
+
+/// One step of the property test's mutation script. Returns the published
+/// snapshot; the script is a pure function of the LCG state, so the same
+/// seed always produces the same server history.
+fn apply_scripted_op(
+    server: &QueryServer,
+    lcg: &mut Lcg,
+    live: &mut Vec<String>,
+    fresh: &mut usize,
+) -> Arc<ModelSnapshot> {
+    let a = alpha();
+    let kind = lcg.next() % 8;
+    match kind {
+        // Half the ops grow the class set.
+        0..=3 => {
+            let label = format!("dyn{}", *fresh);
+            *fresh += 1;
+            let snapshot = server
+                .register_class(label.clone(), &lcg.attr_row(a))
+                .expect("scripted register");
+            live.push(label);
+            snapshot
+        }
+        4 | 5 => {
+            let target = live[(lcg.next() as usize) % live.len()].clone();
+            server
+                .update_class(&target, &lcg.attr_row(a))
+                .expect("scripted update")
+        }
+        6 => {
+            if live.len() > 1 {
+                let victim = live.remove((lcg.next() as usize) % live.len());
+                server.remove_class(&victim).expect("scripted remove")
+            } else {
+                let label = format!("dyn{}", *fresh);
+                *fresh += 1;
+                let snapshot = server
+                    .register_class(label.clone(), &lcg.attr_row(a))
+                    .expect("scripted register (remove fallback)");
+                live.push(label);
+                snapshot
+            }
+        }
+        _ => {
+            let labels: Vec<String> = (0..3).map(|c| format!("sw{}-{c}", *fresh)).collect();
+            *fresh += 1;
+            let attrs = Matrix::from_rows(&(0..3).map(|_| lcg.attr_row(a)).collect::<Vec<_>>());
+            let snapshot = server
+                .swap_model(model(lcg.next()), labels.clone(), &attrs)
+                .expect("scripted swap");
+            *live = labels;
+            snapshot
+        }
+    }
+}
+
+proptest! {
+    /// The tentpole property: for an arbitrary mutation interleaving, the
+    /// WAL cut at an arbitrary record boundary recovers to a server
+    /// bit-identical to the in-memory snapshot that was serving after the
+    /// same prefix of mutations — optionally with a torn partial record
+    /// after the cut, which must be flagged and ignored.
+    #[test]
+    fn recovery_at_any_record_boundary_matches_the_live_prefix(
+        seed in 0u64..100_000,
+        op_count in 1usize..14,
+        cut_sel in 0usize..1_000,
+    ) {
+        let dir = temp_dir(&format!("prop-{seed}-{op_count}-{cut_sel}"));
+        let a = alpha();
+        let mut lcg = Lcg(seed ^ 0x9e3779b97f4a7c15);
+        let mut live: Vec<String> = (0..3).map(|c| format!("class{c}")).collect();
+        let class_attributes = Matrix::from_rows(
+            &(0..3).map(|_| lcg.attr_row(a)).collect::<Vec<_>>(),
+        );
+        let server = QueryServer::start_durable(
+            model(seed),
+            live.clone(),
+            &class_attributes,
+            &schema(),
+            config(),
+            DurabilityConfig {
+                dir: dir.clone(),
+                sync: SyncPolicy::Always,
+                // Compaction off: the log keeps every record, so any prefix
+                // is a reachable cut point.
+                compact_every: 0,
+            },
+        )
+        .expect("durable server starts");
+
+        // The reference timeline: the snapshot the server itself served
+        // after 0, 1, …, op_count mutations.
+        let mut timeline: Vec<Arc<ModelSnapshot>> = vec![server.snapshot()];
+        let mut fresh = 0usize;
+        for _ in 0..op_count {
+            timeline.push(apply_scripted_op(&server, &mut lcg, &mut live, &mut fresh));
+        }
+        drop(server); // the crash
+
+        // Cut the log at an arbitrary record boundary.
+        let log_path = wal::wal_path(&dir);
+        let full = wal::replay(&log_path).expect("full log replays");
+        prop_assert_eq!(full.entries.len(), op_count);
+        let cut = cut_sel % (op_count + 1);
+        let offset = if cut == 0 {
+            20 // the 20-byte file header: magic + format + first_seq
+        } else {
+            full.entries[cut - 1].end_offset
+        };
+        let bytes = std::fs::read(&log_path).expect("read log");
+        let mut kept = bytes[..offset as usize].to_vec();
+        // In a third of the cases, the crash also tore the next append.
+        let torn = cut_sel % 3 == 0 && cut < op_count;
+        if torn {
+            let tail_end = (offset as usize + 5).min(bytes.len());
+            kept.extend_from_slice(&bytes[offset as usize..tail_end]);
+        }
+        std::fs::write(&log_path, &kept).expect("write cut log");
+
+        let (recovered, report) =
+            QueryServer::recover(&schema(), config(), DurabilityConfig::new(dir.clone()))
+                .expect("recovers");
+        prop_assert_eq!(report.replayed_records, cut as u64);
+        prop_assert_eq!(report.torn_tail, torn);
+        assert_snapshots_match(
+            &recovered.snapshot(),
+            &timeline[cut],
+            &format!("seed {seed}, {op_count} ops, cut {cut}"),
+        );
+        drop(recovered);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -137,10 +137,12 @@ fn queries_stay_bit_identical_under_repeated_hot_swaps() {
                     .register_class(format!("hot{s}"), attrs)
                     .expect("class registers"),
                 // Re-point an earlier hot class at new attributes (falls
-                // back to registering when it was already removed).
+                // back to registering a fresh one when it was already
+                // removed — register never overwrites).
                 2 => server
-                    .register_class(format!("hot{}", s.saturating_sub(2)), attrs)
-                    .expect("class re-registers"),
+                    .update_class(&format!("hot{}", s.saturating_sub(2)), attrs)
+                    .or_else(|_| server.register_class(format!("hot{s}-u"), attrs))
+                    .expect("class re-points"),
                 // Remove an earlier hot class when still present.
                 _ => match server.remove_class(&format!("hot{}", s.saturating_sub(3))) {
                     Ok(snapshot) => snapshot,

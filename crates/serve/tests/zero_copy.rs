@@ -125,8 +125,9 @@ fn query_and_dispatch_path_never_deep_copies_the_model() {
                         .register_class(format!("hot{m}"), attrs)
                         .expect("registers"),
                     1 => server
-                        .register_class(format!("hot{}", m.saturating_sub(1)), attrs)
-                        .expect("upserts"),
+                        .update_class(&format!("hot{}", m.saturating_sub(1)), attrs)
+                        .or_else(|_| server.register_class(format!("hot{m}-u"), attrs))
+                        .expect("re-points"),
                     _ => match server.remove_class(&format!("hot{}", m.saturating_sub(2))) {
                         Ok(snapshot) => snapshot,
                         Err(_) => server

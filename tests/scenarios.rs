@@ -28,7 +28,7 @@
 use dataset::{CubLikeDataset, DatasetConfig, SplitKind};
 use hdc_zsc::{ModelConfig, Pipeline, TrainConfig};
 use serde::{Serialize, Value};
-use serve::{QueryServer, ServerConfig};
+use serve::{wal, DurabilityConfig, QueryServer, ServerConfig, SyncPolicy};
 use std::path::PathBuf;
 
 // ---------------------------------------------------------------------------
@@ -328,6 +328,137 @@ fn scenario_serve_hot_swap() {
             // depend on coalescing timing, swap counts do not.
             ("swaps", stats.swaps.to_value()),
             ("queries_served", stats.queries.to_value()),
+        ]),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery scenario
+// ---------------------------------------------------------------------------
+
+/// The durability lifecycle as a golden: a durable server registers,
+/// updates, and removes classes; the process "dies" (the WAL directory is
+/// all that survives, including a torn partial record appended to simulate
+/// a crash mid-append); recovery rebuilds the server and re-runs the same
+/// queries. The golden pins the pre-crash traces, the recovery report, and
+/// the post-recovery traces — which must carry the same snapshot version
+/// and the same similarity bits, or the crash-safety contract broke.
+#[test]
+fn scenario_serve_crash_recovery() {
+    let mut config = DatasetConfig::tiny(41);
+    config.num_classes = 20;
+    config.images_per_class = 6;
+    config.feature_dim = 48;
+    let data = CubLikeDataset::generate(&config);
+    let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(2));
+    let (_, model) = pipeline.run_returning_model(&data, SplitKind::Zs, 3);
+    let schema = data.schema();
+
+    let split = data.split(SplitKind::Zs);
+    let eval_classes = split.eval_classes();
+    let class_attr = data.class_attribute_matrix(eval_classes);
+    let labels: Vec<String> = eval_classes
+        .iter()
+        .map(|c| format!("class{c:03}"))
+        .collect();
+    let initial = labels.len() - 2;
+    let server_config = ServerConfig {
+        max_batch: 8,
+        max_wait_us: 50,
+        threads: 2,
+        top_k: 3,
+        shards: 3,
+    };
+    // The WAL directory is scratch state, not part of the golden.
+    let wal_dir = std::env::temp_dir().join(format!("zsc-scenario-crash-{}", std::process::id()));
+    std::fs::remove_dir_all(&wal_dir).ok();
+    let server = QueryServer::start_durable(
+        model,
+        labels[..initial].to_vec(),
+        &class_attr.select_rows(&(0..initial).collect::<Vec<_>>()),
+        schema,
+        server_config,
+        DurabilityConfig {
+            dir: wal_dir.clone(),
+            sync: SyncPolicy::Always,
+            // Compaction off keeps the replayed-record count (and with it
+            // this golden) a pure function of the mutation script.
+            compact_every: 0,
+        },
+    )
+    .expect("durable server starts");
+
+    let (eval_x, _) = data.features_and_labels(eval_classes);
+    let queries: Vec<Vec<f32>> = (0..5).map(|q| eval_x.row(q * 3).to_vec()).collect();
+    let run_queries = |server: &QueryServer| -> Value {
+        Value::Array(
+            queries
+                .iter()
+                .map(|q| {
+                    let (version, top) = server.query_traced(q).expect("query served");
+                    object(vec![("version", version.to_value()), ("top", scored(&top))])
+                })
+                .collect(),
+        )
+    };
+
+    // The mutation script: register the held-out classes, re-point one,
+    // drop one of the originals. Four WAL records.
+    for (r, label) in labels.iter().enumerate().skip(initial) {
+        server
+            .register_class(label.clone(), class_attr.row(r))
+            .expect("class registers");
+    }
+    server
+        .update_class(&labels[initial], class_attr.row(0))
+        .expect("class updates");
+    server.remove_class(&labels[0]).expect("class removes");
+    let before_crash = run_queries(&server);
+    drop(server); // the crash: only the WAL directory survives
+
+    // A torn partial record after the last acknowledged one — the signature
+    // of dying mid-append. Recovery must flag and ignore it.
+    {
+        use std::io::Write;
+        let mut log = std::fs::OpenOptions::new()
+            .append(true)
+            .open(wal::wal_path(&wal_dir))
+            .expect("open log");
+        log.write_all(&[0x13, 0x37, 0xAB])
+            .expect("append torn bytes");
+    }
+
+    let (recovered, report) = QueryServer::recover(
+        schema,
+        server_config,
+        DurabilityConfig {
+            dir: wal_dir.clone(),
+            sync: SyncPolicy::Always,
+            compact_every: 0,
+        },
+    )
+    .expect("recovers");
+    let after_recovery = run_queries(&recovered);
+    drop(recovered);
+    std::fs::remove_dir_all(&wal_dir).ok();
+
+    check_golden(
+        "serve_crash_recovery",
+        &object(vec![
+            ("scenario", "serve_crash_recovery".to_value()),
+            ("dataset_seed", 41u64.to_value()),
+            ("pipeline_seed", 3u64.to_value()),
+            ("initial_classes", initial.to_value()),
+            ("queries_before_crash", before_crash),
+            (
+                "recovery",
+                object(vec![
+                    ("snapshot_version", report.snapshot_version.to_value()),
+                    ("replayed_records", report.replayed_records.to_value()),
+                    ("torn_tail", report.torn_tail.to_value()),
+                ]),
+            ),
+            ("queries_after_recovery", after_recovery),
         ]),
     );
 }
