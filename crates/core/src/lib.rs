@@ -40,6 +40,40 @@
 //! let outcome = Pipeline::new(model_cfg, train_cfg).run(&data, SplitKind::Zs, 1);
 //! assert!(outcome.zsc.top1 > 0.0);
 //! ```
+//!
+//! # Deployment lifecycle
+//!
+//! Models follow a **train-once / serve-many** lifecycle. Training owns
+//! the one `&mut` [`ZscModel`] handle; everything downstream reads
+//! through `&self`:
+//!
+//! * [`Pipeline::run_returning_model`] returns the exact model behind
+//!   the reported outcome (nothing is retrained);
+//! * [`Checkpoint::capture`] + [`Checkpoint::save_json`](Checkpoint::save_json)
+//!   persist it as a single validated JSON document, and
+//!   [`Checkpoint::load_json`](Checkpoint::load_json) restores it
+//!   bit-identically on the whole inference surface;
+//! * [`ZscModel::freeze`] (or [`Checkpoint::into_frozen`]) produces a
+//!   [`FrozenModel`] — a cheaply clonable, `Send + Sync` immutable view
+//!   that any number of threads score against without copying weights;
+//! * the `serve` crate turns that frozen view into an online service
+//!   (micro-batched query serving, live class registration, crash-safe
+//!   durability, a TCP front-end) — see `docs/architecture.md` at the
+//!   repository root for the full data-flow picture.
+//!
+//! ```
+//! use dataset::{CubLikeDataset, DatasetConfig, SplitKind};
+//! use hdc_zsc::{Checkpoint, ModelConfig, Pipeline, TrainConfig};
+//!
+//! let data = CubLikeDataset::generate(&DatasetConfig::tiny(1));
+//! let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast());
+//! let (_outcome, model) = pipeline.run_returning_model(&data, SplitKind::Zs, 1);
+//! let checkpoint = Checkpoint::capture(&model, data.schema());
+//! // later, in the serving process: load into the immutable view
+//! let frozen = checkpoint.into_frozen(data.schema()).expect("schema matches");
+//! let _embeddings = frozen.embed_images(&data.features_and_labels(
+//!     data.split(SplitKind::Zs).eval_classes()).0);
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

@@ -31,21 +31,34 @@
 //! invocation with `--wal-dir PATH --recover` then rebuilds the server from
 //! the log alone and asserts every probe answers bit-identically.
 //!
+//! **Network load generator:** `--net` switches to an alternative mode that
+//! binds the TCP front-end ([`serve::net::NetServer`]) over a freshly
+//! trained model and drives it with an open-loop load generator, sweeping
+//! the `--net-qps` target levels. Each step reports offered load vs goodput
+//! plus p50/p95/p99 latency; load-shed requests are the typed `overloaded`
+//! rejections of the wire protocol and are dropped, not retried, so goodput
+//! under overload is visible. Every answered query is cross-checked
+//! bit-identically against `ModelSnapshot::solo_topk`. See
+//! `docs/operations.md` for how to read the report.
+//!
 //! ```text
 //! zsc_serve [--classes N] [--images N] [--feature-dim N] [--epochs N]
 //!           [--queries N] [--callers N] [--max-batch N] [--max-wait-us N]
 //!           [--threads N] [--top-k K] [--shards N] [--register N]
 //!           [--seed N] [--checkpoint PATH] [--wal-dir PATH] [--recover]
-//!           [--kill-after-register] [--quick] [--json]
+//!           [--kill-after-register] [--net] [--net-qps A,B,..]
+//!           [--net-clients N] [--net-requests N] [--net-admission N]
+//!           [--quick] [--json]
 //! ```
 
 use dataset::{AttributeSchema, CubLikeDataset, DatasetConfig, SplitKind};
 use engine::ShardedClassMemory;
 use hdc_zsc::{Checkpoint, ModelConfig, Pipeline, TrainConfig, ZscModel};
 use serde::{Serialize, Value};
+use serve::net::{wire, ClientConfig, NetClient, NetConfig, NetServer};
 use serve::{DurabilityConfig, QueryServer, ScoredLabel, ServerConfig};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use tensor::Matrix;
 
 /// Workload configuration parsed from the command line.
@@ -68,6 +81,11 @@ struct Config {
     wal_dir: Option<std::path::PathBuf>,
     recover: bool,
     kill_after_register: bool,
+    net: bool,
+    net_qps: Vec<u64>,
+    net_clients: usize,
+    net_requests: usize,
+    net_admission: usize,
     json: bool,
 }
 
@@ -91,6 +109,11 @@ impl Default for Config {
             wal_dir: None,
             recover: false,
             kill_after_register: false,
+            net: false,
+            net_qps: vec![2_000, 8_000, 32_000],
+            net_clients: 8,
+            net_requests: 2_000,
+            net_admission: 64,
             json: false,
         }
     }
@@ -126,6 +149,26 @@ fn parse_args() -> Config {
             "--wal-dir" => config.wal_dir = Some(value("--wal-dir").into()),
             "--recover" => config.recover = true,
             "--kill-after-register" => config.kill_after_register = true,
+            "--net" => config.net = true,
+            "--net-qps" => {
+                config.net_qps = value("--net-qps")
+                    .split(',')
+                    .map(|level| level.trim().parse().expect("--net-qps"))
+                    .collect();
+                assert!(
+                    !config.net_qps.is_empty(),
+                    "--net-qps needs at least one level"
+                );
+            }
+            "--net-clients" => {
+                config.net_clients = value("--net-clients").parse().expect("--net-clients");
+            }
+            "--net-requests" => {
+                config.net_requests = value("--net-requests").parse().expect("--net-requests");
+            }
+            "--net-admission" => {
+                config.net_admission = value("--net-admission").parse().expect("--net-admission");
+            }
             "--quick" => {
                 // Small CI smoke: train → save → load → serve → register →
                 // re-serve in a few seconds.
@@ -136,6 +179,9 @@ fn parse_args() -> Config {
                 config.queries = 256;
                 config.callers = 2;
                 config.register = 2;
+                config.net_qps = vec![1_000, 4_000];
+                config.net_clients = 4;
+                config.net_requests = 160;
             }
             "--json" => config.json = true,
             "--help" | "-h" => {
@@ -143,7 +189,9 @@ fn parse_args() -> Config {
                     "usage: zsc_serve [--classes N] [--images N] [--feature-dim N] [--epochs N] \
                      [--queries N] [--callers N] [--max-batch N] [--max-wait-us N] [--threads N] \
                      [--top-k K] [--shards N] [--register N] [--seed N] [--checkpoint PATH] \
-                     [--wal-dir PATH] [--recover] [--kill-after-register] [--quick] [--json]"
+                     [--wal-dir PATH] [--recover] [--kill-after-register] \
+                     [--net] [--net-qps A,B,..] [--net-clients N] [--net-requests N] \
+                     [--net-admission N] [--quick] [--json]"
                 );
                 std::process::exit(0);
             }
@@ -426,10 +474,249 @@ fn run_recovery(config: &Config) {
     }
 }
 
+/// `--net`: stand the TCP front-end up over a freshly trained model and
+/// drive it with an open-loop network load generator, sweeping target
+/// qps levels.
+///
+/// Each sweep step schedules sends at the target rate (open loop: the
+/// schedule does not slow down because responses are slow — a sender
+/// that falls behind fires its backlog immediately). Load-shed requests
+/// (typed `overloaded` rejections) are **dropped, not retried**, so the
+/// report separates *offered* load from *goodput*. Every answered query
+/// is cross-checked bit-identically against
+/// [`serve::ModelSnapshot::solo_topk`]; a drained or corrupted answer
+/// aborts the run. After the sweep a short mutation drill registers,
+/// queries, and removes a class over the wire.
+fn run_net_mode(config: &Config) {
+    // --- train + serve ------------------------------------------------------
+    let mut dataset_config = DatasetConfig::tiny(config.seed);
+    dataset_config.num_classes = config.classes;
+    dataset_config.images_per_class = config.images;
+    dataset_config.feature_dim = config.feature_dim;
+    let data = CubLikeDataset::generate(&dataset_config);
+    let pipeline = Pipeline::new(
+        ModelConfig::tiny(),
+        TrainConfig::fast().with_epochs(config.epochs),
+    );
+    let train_start = Instant::now();
+    let (outcome, model) = pipeline.run_returning_model(&data, SplitKind::Zs, config.seed);
+    let train_s = train_start.elapsed().as_secs_f64();
+    eprintln!("zsc_serve: trained in {train_s:.2}s, eval {}", outcome.zsc);
+
+    let schema = data.schema();
+    let split = data.split(SplitKind::Zs);
+    let eval_classes = split.eval_classes();
+    let eval_class_attr = data.class_attribute_matrix(eval_classes);
+    let labels: Vec<String> = eval_classes
+        .iter()
+        .map(|c| format!("class{c:03}"))
+        .collect();
+    let server = Arc::new(
+        QueryServer::start(
+            model,
+            labels,
+            &eval_class_attr,
+            ServerConfig {
+                max_batch: config.max_batch,
+                max_wait_us: config.max_wait_us,
+                threads: config.threads,
+                top_k: config.top_k,
+                shards: config.shards,
+            },
+        )
+        .expect("server starts"),
+    );
+    let net = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&server),
+        schema,
+        NetConfig {
+            admission_capacity: config.net_admission,
+            max_connections: config.net_clients + 4,
+            ..NetConfig::default()
+        },
+    )
+    .expect("front-end binds");
+    let addr = net.local_addr();
+    eprintln!(
+        "zsc_serve: front-end listening on {addr} (admission capacity {})",
+        config.net_admission
+    );
+
+    // The reference answers: version 0 serves the whole sweep (no
+    // mutations run until the drill afterwards), so the expected bits
+    // per pool row are fixed up front.
+    let (eval_x, _) = data.features_and_labels(eval_classes);
+    let pool: Vec<Vec<f32>> = (0..eval_x.rows().min(64))
+        .map(|q| eval_x.row(q).to_vec())
+        .collect();
+    let snapshot = server.snapshot();
+    let sweep_version = snapshot.version();
+    let expected: Vec<Vec<(String, u32)>> = pool
+        .iter()
+        .map(|q| {
+            snapshot
+                .solo_topk(q, config.top_k)
+                .into_iter()
+                .map(|(label, sim)| (label, sim.to_bits()))
+                .collect()
+        })
+        .collect();
+
+    // --- open-loop qps sweep ------------------------------------------------
+    let clients = config.net_clients.max(1);
+    let per_client = (config.net_requests / clients).max(1);
+    let mut steps = Vec::new();
+    for &target in &config.net_qps {
+        let interval = Duration::from_secs_f64(clients as f64 / target.max(1) as f64);
+        let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(clients * per_client));
+        let step_start = Instant::now();
+        let (answered, shed) = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for c in 0..clients {
+                let pool = &pool;
+                let expected = &expected;
+                let latencies = &latencies;
+                handles.push(scope.spawn(move || {
+                    let mut client = NetClient::connect(addr, ClientConfig::default())
+                        .expect("load generator connects");
+                    let (mut answered, mut shed) = (0usize, 0usize);
+                    let start = Instant::now();
+                    for i in 0..per_client {
+                        // Open-loop schedule: request i of this sender is
+                        // due at i * interval; a late sender fires
+                        // immediately instead of stretching the schedule.
+                        let due = interval.mul_f64(i as f64);
+                        let now = start.elapsed();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let pick = (c * per_client + i) % pool.len();
+                        let submit = Instant::now();
+                        match client.query(&pool[pick], None) {
+                            Ok((version, served)) => {
+                                assert_eq!(version, sweep_version, "no mutations during the sweep");
+                                let want = &expected[pick];
+                                assert_eq!(served.len(), want.len());
+                                for ((sl, ss), (el, eb)) in served.iter().zip(want) {
+                                    assert_eq!(sl, el, "served label diverged from solo scoring");
+                                    assert_eq!(
+                                        ss.to_bits(),
+                                        *eb,
+                                        "served similarity diverged from solo scoring"
+                                    );
+                                }
+                                latencies
+                                    .lock()
+                                    .expect("latency mutex")
+                                    .push(submit.elapsed().as_secs_f64() * 1e6);
+                                answered += 1;
+                            }
+                            Err(e) if e.is_rejection(wire::code::OVERLOADED) => shed += 1,
+                            Err(e) => panic!("load generator hit an unexpected failure: {e}"),
+                        }
+                    }
+                    (answered, shed)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sender thread"))
+                .fold((0usize, 0usize), |(a, s), (da, ds)| (a + da, s + ds))
+        });
+        let elapsed_s = step_start.elapsed().as_secs_f64();
+        let sent = clients * per_client;
+        let lats = latencies.into_inner().expect("latency mutex");
+        let stats = if lats.is_empty() {
+            PathStats {
+                queries: 0,
+                elapsed_s,
+                qps: 0.0,
+                p50_us: 0.0,
+                p95_us: 0.0,
+                p99_us: 0.0,
+            }
+        } else {
+            PathStats::new(lats, elapsed_s)
+        };
+        eprintln!(
+            "zsc_serve: net step target {target} q/s → sent {sent}, answered {answered}, \
+             shed {shed}, goodput {:.0} q/s (p50 {:.0}µs, p99 {:.0}µs)",
+            stats.qps, stats.p50_us, stats.p99_us
+        );
+        steps.push(format!(
+            "{{\"target_qps\": {target}, \"sent\": {sent}, \"answered\": {answered}, \
+             \"shed\": {shed}, \"goodput_qps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"elapsed_s\": {:.6}}}",
+            stats.qps, stats.p50_us, stats.p95_us, stats.p99_us, stats.elapsed_s
+        ));
+    }
+    eprintln!("zsc_serve: all answered sweep queries were bit-identical to solo scoring");
+
+    // --- mutation drill over the wire --------------------------------------
+    let mut admin = NetClient::connect(addr, ClientConfig::default()).expect("admin connects");
+    let drill_attributes = eval_class_attr.row(0).to_vec();
+    let registered_version = admin
+        .register_class("net_drill", &drill_attributes)
+        .expect("register over the wire");
+    let (served_version, served) = admin
+        .query(&pool[0], None)
+        .expect("query after registration");
+    assert_eq!(served_version, registered_version);
+    assert!(!served.is_empty());
+    let removed_version = admin
+        .remove_class("net_drill")
+        .expect("remove over the wire");
+    assert_eq!(removed_version, registered_version + 1);
+    eprintln!(
+        "zsc_serve: wire mutation drill registered and removed a class \
+         (v{sweep_version} → v{removed_version})"
+    );
+
+    let front_end = net.stats();
+    net.shutdown();
+    let json = format!(
+        "{{\n  \"config\": {{\"classes\": {}, \"images\": {}, \"feature_dim\": {}, \
+         \"epochs\": {}, \"top_k\": {}, \"shards\": {}, \"seed\": {}, \"net_clients\": {clients}, \
+         \"net_requests_per_client\": {per_client}, \"net_admission\": {}}},\n  \
+         \"train\": {{\"elapsed_s\": {train_s:.3}, \"zs_top1\": {:.4}}},\n  \
+         \"net_sweep\": [{}],\n  \
+         \"front_end\": {{\"connections\": {}, \"refused_connections\": {}, \"requests\": {}, \
+         \"admitted\": {}, \"overloaded\": {}, \"quota_rejections\": {}, \
+         \"draining_rejections\": {}}}\n}}",
+        config.classes,
+        config.images,
+        config.feature_dim,
+        config.epochs,
+        config.top_k,
+        config.shards,
+        config.seed,
+        config.net_admission,
+        outcome.zsc.top1,
+        steps.join(", "),
+        front_end.connections,
+        front_end.refused_connections,
+        front_end.requests,
+        front_end.admitted,
+        front_end.overloaded,
+        front_end.quota_rejections,
+        front_end.draining_rejections,
+    );
+    if config.json {
+        println!("{json}");
+    } else {
+        eprintln!("{json}");
+    }
+}
+
 fn main() {
     let config = parse_args();
     if config.recover {
         run_recovery(&config);
+        return;
+    }
+    if config.net {
+        run_net_mode(&config);
         return;
     }
     eprintln!(

@@ -1,56 +1,12 @@
-//! Online serving subsystem for the HDC-ZSC reproduction.
-//!
-//! This crate is the bridge between the `engine` crate's batched popcount
-//! inference and real sustained-traffic serving, completing the
-//! *train-once / serve-many* lifecycle:
-//!
-//! 1. train a model with `hdc_zsc::Pipeline::run_returning_model`;
-//! 2. persist it with `hdc_zsc::Checkpoint::save_json`;
-//! 3. reload it straight into an immutable `hdc_zsc::FrozenModel` with
-//!    `hdc_zsc::Checkpoint::load_json` + `into_frozen`;
-//! 4. put a [`QueryServer`] in front of it.
-//!
-//! The [`QueryServer`] serves an immutable [`ModelSnapshot`] — a shared
-//! `FrozenModel` plus an [`engine::ShardedClassMemory`] of class signatures
-//! — behind an atomically swappable `Arc`, and runs a **micro-batching
-//! admission queue**: concurrent callers each submit one backbone-feature
-//! row (or a small batch); the server coalesces whatever arrives within a
-//! short window into one engine dispatch and hands every caller its own
-//! top-k labels. Because the model's inference surface takes `&self`, the
-//! whole query/dispatch path performs **zero model deep-copies** — one
-//! weight allocation serves every thread, pinned by the `zero_copy` probe
-//! test.
-//! Because each query's scores are independent rows of the engine's batched
-//! sweep and the sharded top-k merge is bit-identical to the monolithic
-//! scorer, served results are bit-identical to scoring the same query alone
-//! against the snapshot that served it — batching and sharding change
-//! throughput, never outputs.
-//!
-//! **Serve-time hot swap:** [`QueryServer::register_class`],
-//! [`QueryServer::update_class`], [`QueryServer::remove_class`] and
-//! [`QueryServer::swap_model`] publish a new snapshot without draining the
-//! queue or restarting; the sharded memory's copy-on-write shards mean a
-//! class registration repacks exactly one shard. New classes are servable by
-//! the next coalesced batch.
-//!
-//! **Durability:** a server started with [`QueryServer::start_durable`]
-//! write-ahead-logs every accepted class mutation (see [`wal`]) before
-//! publishing it and periodically folds the log into a
-//! `hdc_zsc::CheckpointDelta` compaction base, so
-//! [`QueryServer::recover`] rebuilds the exact pre-crash serving state —
-//! bit-identical class memory, same snapshot version — even when the crash
-//! tore the final log record mid-write.
-//!
-//! The `zsc_serve` binary drives the whole lifecycle end to end — including
-//! live class registration and a kill → recover drill — and reports the
-//! same JSON statistics shape as the `serve_sim` benchmark.
-
+#![doc = include_str!("../README.md")]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod net;
 pub mod server;
 pub mod wal;
 
+pub use net::{NetClient, NetConfig, NetError, NetServer, NetStats};
 pub use server::{
     DurabilityConfig, ModelSnapshot, QueryServer, RecoveryReport, ScoredLabel, ServeError,
     ServerConfig, ServerStats,

@@ -1,0 +1,634 @@
+//! The request/response vocabulary carried inside [`frame`](super::frame)
+//! payloads, plus the handshake version and the typed error codes.
+//!
+//! Every payload is a compact JSON object with a `"type"` discriminator.
+//! The normative byte-level specification lives in `docs/wire-protocol.md`;
+//! this module is its executable form — the `encode`/`decode` pairs here
+//! are what both the server and the bundled client actually speak, and the
+//! round-trip tests at the bottom pin the two to each other.
+//!
+//! Similarities travel as **raw `f32` bit patterns** (`sim_bits`, a `u32`):
+//! the serving contract is bit-identity with
+//! [`ModelSnapshot::solo_topk`](crate::ModelSnapshot::solo_topk), and
+//! shipping the bits directly makes that contract checkable over the wire
+//! without trusting any decimal float formatting.
+
+use crate::server::ServeError;
+use serde::{Serialize, Value};
+
+/// The handshake version this build speaks. A client whose `hello` names a
+/// different version is rejected with an `unsupported_protocol` error
+/// naming this value; `docs/wire-protocol.md` states the compatibility
+/// rule for bumping it.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Typed error codes a [`Response::Error`] can carry; one string per
+/// rejection the protocol distinguishes. Kept as constants so the server,
+/// the client, and the tests name them consistently.
+pub mod code {
+    /// The admission queue was full; back off and retry.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The server is draining for shutdown; the connection closes next.
+    pub const DRAINING: &str = "draining";
+    /// The connection used up its request quota; the connection closes next.
+    pub const QUOTA_EXHAUSTED: &str = "quota_exhausted";
+    /// A feature row had the wrong width.
+    pub const FEATURE_WIDTH: &str = "feature_width";
+    /// A class-attribute row had the wrong width.
+    pub const ATTRIBUTE_WIDTH: &str = "attribute_width";
+    /// The named class is not registered.
+    pub const UNKNOWN_CLASS: &str = "unknown_class";
+    /// The label is already registered (use `update_class`).
+    pub const DUPLICATE_LABEL: &str = "duplicate_label";
+    /// A mutation or swap was structurally invalid.
+    pub const INVALID_CONFIG: &str = "invalid_config";
+    /// A swapped-in checkpoint failed validation.
+    pub const CHECKPOINT: &str = "checkpoint";
+    /// The durable server could not log the mutation.
+    pub const WAL: &str = "wal";
+    /// The server stopped mid-request.
+    pub const STOPPED: &str = "stopped";
+    /// The client's `hello` named a protocol version this build does not
+    /// speak; the message carries the supported version.
+    pub const UNSUPPORTED_PROTOCOL: &str = "unsupported_protocol";
+    /// The frame payload was not a well-formed request (bad JSON, unknown
+    /// `type`, missing fields, or a request sent before `hello`).
+    pub const BAD_REQUEST: &str = "bad_request";
+}
+
+/// Maps a [`ServeError`] onto its wire code. Deliberately total with no
+/// wildcard: adding a `ServeError` variant fails compilation here until
+/// the protocol learns its name (and `docs/wire-protocol.md` documents
+/// it).
+pub fn error_code(error: &ServeError) -> &'static str {
+    match error {
+        ServeError::Stopped => code::STOPPED,
+        ServeError::FeatureWidth { .. } => code::FEATURE_WIDTH,
+        ServeError::AttributeWidth { .. } => code::ATTRIBUTE_WIDTH,
+        ServeError::UnknownClass(_) => code::UNKNOWN_CLASS,
+        ServeError::DuplicateLabel(_) => code::DUPLICATE_LABEL,
+        ServeError::Draining => code::DRAINING,
+        ServeError::Overloaded { .. } => code::OVERLOADED,
+        ServeError::QuotaExhausted { .. } => code::QUOTA_EXHAUSTED,
+        ServeError::InvalidConfig(_) => code::INVALID_CONFIG,
+        ServeError::Checkpoint(_) => code::CHECKPOINT,
+        ServeError::Wal(_) => code::WAL,
+    }
+}
+
+/// One scored label as it travels: the class label plus the raw bit
+/// pattern of its `f32` similarity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireScore {
+    /// Class label.
+    pub label: String,
+    /// `f32::to_bits` of the similarity; decode with [`f32::from_bits`].
+    pub sim_bits: u32,
+}
+
+/// The flattened statistics document the `stats` endpoint returns: the
+/// [`ServerStats`](crate::ServerStats) counters, the network front-end's
+/// own counters, and the serving snapshot's shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WireStats {
+    /// Queries the dispatcher answered (in-process and network).
+    pub queries: u64,
+    /// Engine dispatches.
+    pub batches: u64,
+    /// Largest coalesced batch observed.
+    pub max_batch_observed: u64,
+    /// Snapshot swaps published.
+    pub swaps: u64,
+    /// Version of the snapshot serving when the stats were taken.
+    pub snapshot_version: u64,
+    /// Classes registered in that snapshot.
+    pub classes: u64,
+    /// Whether the network front-end is draining for shutdown.
+    pub draining: bool,
+    /// Connections accepted so far.
+    pub net_connections: u64,
+    /// Connections refused because the connection cap was reached.
+    pub net_refused_connections: u64,
+    /// Requests read off sockets (admitted or not, every verb).
+    pub net_requests: u64,
+    /// Query requests admitted past the admission queue.
+    pub net_admitted: u64,
+    /// Query requests load-shed with `overloaded`.
+    pub net_overloaded: u64,
+    /// Requests rejected with `quota_exhausted`.
+    pub net_quota_rejections: u64,
+    /// Requests rejected with `draining`.
+    pub net_draining_rejections: u64,
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// The handshake opener — must be the first frame on a connection.
+    Hello {
+        /// The protocol version the client speaks.
+        protocol: u32,
+    },
+    /// Score one feature row; answered with [`Response::TopK`].
+    Query {
+        /// Backbone feature row.
+        features: Vec<f32>,
+        /// Result count override; `None` uses the server's configured
+        /// top-k.
+        k: Option<u64>,
+    },
+    /// Register a brand-new class; answered with [`Response::Mutated`].
+    RegisterClass {
+        /// Class label.
+        label: String,
+        /// Class-attribute row.
+        attributes: Vec<f32>,
+    },
+    /// Re-point an existing class; answered with [`Response::Mutated`].
+    UpdateClass {
+        /// Class label.
+        label: String,
+        /// Class-attribute row.
+        attributes: Vec<f32>,
+    },
+    /// Unregister a class; answered with [`Response::Mutated`].
+    RemoveClass {
+        /// Class label.
+        label: String,
+    },
+    /// Replace the whole serving state; answered with
+    /// [`Response::Mutated`].
+    SwapModel {
+        /// The new model as a checkpoint JSON document (the same document
+        /// [`Checkpoint::to_json`](hdc_zsc::Checkpoint::to_json) writes).
+        checkpoint_json: String,
+        /// One label per attribute row.
+        labels: Vec<String>,
+        /// Class-attribute rows of the new class set.
+        attributes: Vec<Vec<f32>>,
+    },
+    /// Fetch counters; answered with [`Response::Stats`].
+    Stats,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The handshake accept, carrying what the client needs to build valid
+    /// requests.
+    Welcome {
+        /// The protocol version the server speaks (== the client's).
+        protocol: u32,
+        /// Width of feature rows [`Request::Query`] must carry.
+        feature_dim: u64,
+        /// Width of attribute rows the mutation verbs must carry.
+        attribute_dim: u64,
+        /// Version of the currently-serving snapshot.
+        snapshot_version: u64,
+        /// Classes registered in that snapshot.
+        classes: u64,
+    },
+    /// A served query: the snapshot version that scored it plus its top-k.
+    TopK {
+        /// Snapshot version the query was scored against — compare with
+        /// [`ModelSnapshot::solo_topk`](crate::ModelSnapshot::solo_topk)
+        /// on that version to check the bit-identity contract.
+        version: u64,
+        /// Scored labels, most similar first.
+        results: Vec<WireScore>,
+    },
+    /// An accepted mutation: the snapshot version it published.
+    Mutated {
+        /// Version of the snapshot now serving.
+        version: u64,
+        /// Classes registered in it.
+        classes: u64,
+    },
+    /// The counters document.
+    Stats(WireStats),
+    /// A typed rejection; `code` is one of the [`code`] constants.
+    Error {
+        /// Machine-readable rejection code.
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn get<'v>(value: &'v Value, name: &str) -> Result<&'v Value, String> {
+    value
+        .get(name)
+        .ok_or_else(|| format!("message missing `{name}`"))
+}
+
+fn field<T: serde::Deserialize>(value: &Value, name: &str) -> Result<T, String> {
+    serde_json::from_value(get(value, name)?).map_err(|e| format!("field `{name}`: {e}"))
+}
+
+fn message_type(value: &Value) -> Result<String, String> {
+    if value.as_object().is_none() {
+        return Err(format!("message is a JSON {}, not an object", value.kind()));
+    }
+    field(value, "type")
+}
+
+impl Request {
+    /// Renders the request as its JSON value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Request::Hello { protocol } => obj(vec![
+                ("type", "hello".to_value()),
+                ("protocol", protocol.to_value()),
+            ]),
+            Request::Query { features, k } => {
+                let mut entries = vec![
+                    ("type", "query".to_value()),
+                    ("features", features.to_value()),
+                ];
+                if let Some(k) = k {
+                    entries.push(("k", k.to_value()));
+                }
+                obj(entries)
+            }
+            Request::RegisterClass { label, attributes } => obj(vec![
+                ("type", "register_class".to_value()),
+                ("label", label.to_value()),
+                ("attributes", attributes.to_value()),
+            ]),
+            Request::UpdateClass { label, attributes } => obj(vec![
+                ("type", "update_class".to_value()),
+                ("label", label.to_value()),
+                ("attributes", attributes.to_value()),
+            ]),
+            Request::RemoveClass { label } => obj(vec![
+                ("type", "remove_class".to_value()),
+                ("label", label.to_value()),
+            ]),
+            Request::SwapModel {
+                checkpoint_json,
+                labels,
+                attributes,
+            } => obj(vec![
+                ("type", "swap_model".to_value()),
+                ("checkpoint", checkpoint_json.to_value()),
+                ("labels", labels.to_value()),
+                ("attributes", attributes.to_value()),
+            ]),
+            Request::Stats => obj(vec![("type", "stats".to_value())]),
+        }
+    }
+
+    /// Parses a request out of its JSON value.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the value is not a well-formed request
+    /// — the server wraps it in a [`code::BAD_REQUEST`] response.
+    pub fn from_value(value: &Value) -> Result<Self, String> {
+        let kind = message_type(value)?;
+        match kind.as_str() {
+            "hello" => Ok(Request::Hello {
+                protocol: field(value, "protocol")?,
+            }),
+            "query" => Ok(Request::Query {
+                features: field(value, "features")?,
+                k: match value.get("k") {
+                    None | Some(Value::Null) => None,
+                    Some(k) => {
+                        Some(serde_json::from_value(k).map_err(|e| format!("field `k`: {e}"))?)
+                    }
+                },
+            }),
+            "register_class" => Ok(Request::RegisterClass {
+                label: field(value, "label")?,
+                attributes: field(value, "attributes")?,
+            }),
+            "update_class" => Ok(Request::UpdateClass {
+                label: field(value, "label")?,
+                attributes: field(value, "attributes")?,
+            }),
+            "remove_class" => Ok(Request::RemoveClass {
+                label: field(value, "label")?,
+            }),
+            "swap_model" => Ok(Request::SwapModel {
+                checkpoint_json: field(value, "checkpoint")?,
+                labels: field(value, "labels")?,
+                attributes: field(value, "attributes")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            other => Err(format!("unknown request type `{other}`")),
+        }
+    }
+
+    /// Encodes the request as a compact-JSON frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_string(&self.to_value())
+            .expect("value rendering is infallible")
+            .into_bytes()
+    }
+
+    /// Decodes a frame payload into a request.
+    ///
+    /// # Errors
+    ///
+    /// See [`Request::from_value`]; also rejects non-UTF-8 and non-JSON
+    /// payloads.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+        let value =
+            serde_json::parse_value(text).map_err(|e| format!("payload is not JSON: {e}"))?;
+        Self::from_value(&value)
+    }
+}
+
+impl Response {
+    /// Renders the response as its JSON value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Response::Welcome {
+                protocol,
+                feature_dim,
+                attribute_dim,
+                snapshot_version,
+                classes,
+            } => obj(vec![
+                ("type", "welcome".to_value()),
+                ("protocol", protocol.to_value()),
+                ("feature_dim", feature_dim.to_value()),
+                ("attribute_dim", attribute_dim.to_value()),
+                ("snapshot_version", snapshot_version.to_value()),
+                ("classes", classes.to_value()),
+            ]),
+            Response::TopK { version, results } => obj(vec![
+                ("type", "topk".to_value()),
+                ("version", version.to_value()),
+                (
+                    "results",
+                    Value::Array(
+                        results
+                            .iter()
+                            .map(|score| {
+                                obj(vec![
+                                    ("label", score.label.to_value()),
+                                    ("sim_bits", score.sim_bits.to_value()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Mutated { version, classes } => obj(vec![
+                ("type", "mutated".to_value()),
+                ("version", version.to_value()),
+                ("classes", classes.to_value()),
+            ]),
+            Response::Stats(stats) => {
+                let Value::Object(mut entries) = stats.to_value() else {
+                    unreachable!("derived struct serialization yields an object")
+                };
+                entries.insert(0, ("type".to_string(), "stats".to_value()));
+                Value::Object(entries)
+            }
+            Response::Error { code, message } => obj(vec![
+                ("type", "error".to_value()),
+                ("code", code.to_value()),
+                ("message", message.to_value()),
+            ]),
+        }
+    }
+
+    /// Parses a response out of its JSON value.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the value is not a well-formed
+    /// response.
+    pub fn from_value(value: &Value) -> Result<Self, String> {
+        let kind = message_type(value)?;
+        match kind.as_str() {
+            "welcome" => Ok(Response::Welcome {
+                protocol: field(value, "protocol")?,
+                feature_dim: field(value, "feature_dim")?,
+                attribute_dim: field(value, "attribute_dim")?,
+                snapshot_version: field(value, "snapshot_version")?,
+                classes: field(value, "classes")?,
+            }),
+            "topk" => {
+                let Some(Value::Array(items)) = value.get("results") else {
+                    return Err("topk response missing `results` array".to_string());
+                };
+                let results = items
+                    .iter()
+                    .map(|item| {
+                        Ok(WireScore {
+                            label: field(item, "label")?,
+                            sim_bits: field(item, "sim_bits")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::TopK {
+                    version: field(value, "version")?,
+                    results,
+                })
+            }
+            "mutated" => Ok(Response::Mutated {
+                version: field(value, "version")?,
+                classes: field(value, "classes")?,
+            }),
+            "stats" => Ok(Response::Stats(
+                serde_json::from_value(value).map_err(|e| format!("stats response: {e}"))?,
+            )),
+            "error" => Ok(Response::Error {
+                code: field(value, "code")?,
+                message: field(value, "message")?,
+            }),
+            other => Err(format!("unknown response type `{other}`")),
+        }
+    }
+
+    /// Encodes the response as a compact-JSON frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_string(&self.to_value())
+            .expect("value rendering is infallible")
+            .into_bytes()
+    }
+
+    /// Decodes a frame payload into a response.
+    ///
+    /// # Errors
+    ///
+    /// See [`Response::from_value`]; also rejects non-UTF-8 and non-JSON
+    /// payloads.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+        let value =
+            serde_json::parse_value(text).map_err(|e| format!("payload is not JSON: {e}"))?;
+        Self::from_value(&value)
+    }
+
+    /// Builds the typed rejection for a [`ServeError`], preserving its
+    /// display message alongside the machine code.
+    pub fn from_serve_error(error: &ServeError) -> Self {
+        Response::Error {
+            code: error_code(error).to_string(),
+            message: error.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(request: Request) {
+        let decoded = Request::decode(&request.encode()).expect("request decodes");
+        assert_eq!(decoded, request);
+    }
+
+    fn round_trip_response(response: Response) {
+        let decoded = Response::decode(&response.encode()).expect("response decodes");
+        assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        round_trip_request(Request::Hello {
+            protocol: PROTOCOL_VERSION,
+        });
+        round_trip_request(Request::Query {
+            features: vec![0.5, -1.0, 0.0, -0.0, 3.25e-6],
+            k: Some(3),
+        });
+        round_trip_request(Request::Query {
+            features: vec![1.0; 8],
+            k: None,
+        });
+        round_trip_request(Request::RegisterClass {
+            label: "owl".to_string(),
+            attributes: vec![0.25; 5],
+        });
+        round_trip_request(Request::UpdateClass {
+            label: "owl".to_string(),
+            attributes: vec![0.75; 5],
+        });
+        round_trip_request(Request::RemoveClass {
+            label: "owl".to_string(),
+        });
+        round_trip_request(Request::SwapModel {
+            checkpoint_json: "{\"fake\":1}".to_string(),
+            labels: vec!["a".to_string(), "b".to_string()],
+            attributes: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+        });
+        round_trip_request(Request::Stats);
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        round_trip_response(Response::Welcome {
+            protocol: PROTOCOL_VERSION,
+            feature_dim: 24,
+            attribute_dim: 312,
+            snapshot_version: 7,
+            classes: 9,
+        });
+        round_trip_response(Response::TopK {
+            version: 3,
+            results: vec![
+                WireScore {
+                    label: "owl".to_string(),
+                    sim_bits: 0.875f32.to_bits(),
+                },
+                WireScore {
+                    label: "wren".to_string(),
+                    sim_bits: (-0.25f32).to_bits(),
+                },
+            ],
+        });
+        round_trip_response(Response::Mutated {
+            version: 4,
+            classes: 10,
+        });
+        round_trip_response(Response::Stats(WireStats {
+            queries: 100,
+            batches: 12,
+            max_batch_observed: 32,
+            swaps: 2,
+            snapshot_version: 2,
+            classes: 11,
+            draining: true,
+            net_connections: 9,
+            net_refused_connections: 1,
+            net_requests: 120,
+            net_admitted: 100,
+            net_overloaded: 15,
+            net_quota_rejections: 3,
+            net_draining_rejections: 2,
+        }));
+        round_trip_response(Response::Error {
+            code: code::OVERLOADED.to_string(),
+            message: "admission queue full".to_string(),
+        });
+    }
+
+    /// Query features round-trip bit-exactly, including negative zero —
+    /// the wire must not perturb what the engine scores.
+    #[test]
+    fn features_round_trip_bit_exactly() {
+        let features = vec![0.1f32, -0.0, f32::MIN_POSITIVE, 1.0e-30, -123.456];
+        let encoded = Request::Query {
+            features: features.clone(),
+            k: None,
+        }
+        .encode();
+        let Request::Query { features: back, .. } =
+            Request::decode(&encoded).expect("query decodes")
+        else {
+            panic!("decoded to a different request type");
+        };
+        for (a, b) in features.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert!(Request::decode(b"\xff\xfe").is_err());
+        assert!(Request::decode(b"[1,2,3]").is_err());
+        assert!(Request::decode(b"{\"type\":\"warp\"}").is_err());
+        assert!(Request::decode(b"{\"type\":\"query\"}").is_err());
+        assert!(Response::decode(b"{\"type\":\"topk\",\"version\":1}").is_err());
+    }
+
+    #[test]
+    fn serve_errors_map_onto_stable_codes() {
+        assert_eq!(
+            error_code(&ServeError::Overloaded { capacity: 4 }),
+            code::OVERLOADED
+        );
+        assert_eq!(
+            error_code(&ServeError::QuotaExhausted { limit: 10 }),
+            code::QUOTA_EXHAUSTED
+        );
+        assert_eq!(error_code(&ServeError::Draining), code::DRAINING);
+        assert_eq!(
+            error_code(&ServeError::DuplicateLabel("x".to_string())),
+            code::DUPLICATE_LABEL
+        );
+        assert_eq!(
+            error_code(&ServeError::FeatureWidth {
+                expected: 2,
+                found: 3
+            }),
+            code::FEATURE_WIDTH
+        );
+    }
+}

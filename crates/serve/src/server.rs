@@ -135,6 +135,20 @@ pub enum ServeError {
     /// The server is draining: [`QueryServer::stop`] was called, queries
     /// already admitted are being scored, and no new ones are accepted.
     Draining,
+    /// The network front-end's bounded admission queue was full, so the
+    /// request was load-shed instead of being queued behind the dispatcher.
+    /// Rejection is immediate and cheap — the caller should back off and
+    /// retry; admitted requests are unaffected (see [`crate::net`]).
+    Overloaded {
+        /// Capacity of the admission queue that was full.
+        capacity: usize,
+    },
+    /// A network connection used up its per-connection request quota and is
+    /// being closed (see [`crate::net::NetConfig::connection_quota`]).
+    QuotaExhausted {
+        /// The quota the connection was admitted under.
+        limit: u64,
+    },
     /// The server could not be constructed from the given parts, or a
     /// mutation would leave it unservable (e.g. removing the last class).
     InvalidConfig(String),
@@ -162,6 +176,13 @@ impl std::fmt::Display for ServeError {
                 "class `{label}` is already registered (use update_class to overwrite)"
             ),
             ServeError::Draining => write!(f, "query server is draining and rejects new queries"),
+            ServeError::Overloaded { capacity } => write!(
+                f,
+                "admission queue full ({capacity} in flight); request load-shed, back off and retry"
+            ),
+            ServeError::QuotaExhausted { limit } => {
+                write!(f, "connection exhausted its request quota of {limit}")
+            }
             ServeError::InvalidConfig(msg) => write!(f, "invalid server configuration: {msg}"),
             ServeError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
             ServeError::Wal(e) => write!(f, "write-ahead log failed: {e}"),
@@ -679,6 +700,17 @@ impl QueryServer {
     /// Width of the backbone feature rows the server expects.
     pub fn feature_dim(&self) -> usize {
         self.shared.feature_dim
+    }
+
+    /// Width of the class-attribute rows the mutation plane currently
+    /// expects ([`QueryServer::register_class`] /
+    /// [`QueryServer::update_class`]). Tracks the serving model across
+    /// [`QueryServer::swap_model`].
+    pub fn attribute_dim(&self) -> usize {
+        self.control
+            .lock()
+            .expect("control mutex poisoned")
+            .attribute_dim
     }
 
     /// Batching and hot-swap counters observed so far.

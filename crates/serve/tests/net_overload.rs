@@ -1,0 +1,259 @@
+//! Overload behaviour of the TCP front-end, pinned under saturation:
+//!
+//! * (a) when the bounded admission queue is full, further queries are
+//!   load-shed with a **typed** `overloaded` rejection (never queued
+//!   without bound, never a silent drop);
+//! * (b) every request that *was* admitted is answered **bit-identically**
+//!   to [`serve::ModelSnapshot::solo_topk`] on the snapshot version the
+//!   response names — overload sheds load, it does not corrupt answers;
+//! * (c) draining the front-end while saturating clients still hold open
+//!   sockets deadlocks nothing: `shutdown()` returns, every client thread
+//!   returns, and late requests get a typed `draining` rejection or a
+//!   closed socket.
+
+use dataset::AttributeSchema;
+use hdc_zsc::{ModelConfig, ZscModel};
+use serve::net::wire;
+use serve::net::{ClientConfig, NetClient, NetConfig, NetError, NetServer};
+use serve::{QueryServer, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tensor::Matrix;
+
+const FEATURE_DIM: usize = 24;
+
+fn start_stack(
+    server_config: ServerConfig,
+    net_config: NetConfig,
+) -> (Arc<QueryServer>, NetServer) {
+    let schema = AttributeSchema::cub200();
+    let model = ZscModel::new(&ModelConfig::tiny().with_seed(11), &schema, FEATURE_DIM);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let class_attributes = Matrix::random_uniform(9, 312, 0.5, &mut rng).map(f32::abs);
+    let labels: Vec<String> = (0..9).map(|c| format!("class{c}")).collect();
+    let server = Arc::new(
+        QueryServer::start(model, labels, &class_attributes, server_config).expect("server starts"),
+    );
+    let net = NetServer::bind("127.0.0.1:0", Arc::clone(&server), &schema, net_config)
+        .expect("front-end binds");
+    (server, net)
+}
+
+fn random_rows(count: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            Matrix::random_uniform(1, FEATURE_DIM, 1.0, &mut rng)
+                .row(0)
+                .to_vec()
+        })
+        .collect()
+}
+
+/// Deterministic single-slot saturation: with `admission_capacity = 1`
+/// and a long coalescing window, the one admitted query *holds* the slot
+/// for the whole window, so a concurrent query must be load-shed with a
+/// typed `overloaded` rejection — and the admitted one still comes back
+/// bit-identical.
+#[test]
+fn a_full_admission_queue_sheds_with_a_typed_rejection() {
+    let (server, net) = start_stack(
+        ServerConfig {
+            max_batch: 64,
+            // The admitted query sits in the dispatcher's coalescing
+            // window for 300ms — plenty for the second query to arrive
+            // and find the single admission slot taken.
+            max_wait_us: 300_000,
+            threads: 1,
+            top_k: 4,
+            shards: 2,
+        },
+        NetConfig {
+            admission_capacity: 1,
+            ..NetConfig::default()
+        },
+    );
+    let addr = net.local_addr();
+    let snapshot = server.snapshot();
+    let q = random_rows(1, 3).pop().expect("one row");
+
+    let holder = {
+        let q = q.clone();
+        std::thread::spawn(move || {
+            let mut client =
+                NetClient::connect(addr, ClientConfig::default()).expect("holder connects");
+            client.query(&q, None).expect("admitted query is answered")
+        })
+    };
+    // Give the holder time to connect, handshake, and occupy the slot.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut shed_client =
+        NetClient::connect(addr, ClientConfig::default()).expect("shed client connects");
+    let err = shed_client
+        .query(&q, None)
+        .expect_err("slot is held, this query must be shed");
+    assert!(err.is_rejection(wire::code::OVERLOADED), "{err}");
+
+    let (version, served) = holder.join().expect("holder thread");
+    assert_eq!(version, 0);
+    let expected = snapshot.solo_topk(&q, 4);
+    assert_eq!(served.len(), expected.len());
+    for ((sl, ss), (el, es)) in served.iter().zip(&expected) {
+        assert_eq!(sl, el);
+        assert_eq!(ss.to_bits(), es.to_bits());
+    }
+    assert!(net.stats().overloaded >= 1);
+    assert_eq!(net.stats().admitted, 1);
+    net.shutdown();
+}
+
+/// Many clients hammering a tiny admission queue: sheds happen (typed),
+/// retried requests all eventually succeed, and **every** success is
+/// bit-identical to the solo reference. No mutations run, so version 0
+/// serves everything and the reference is fixed.
+#[test]
+fn saturating_clients_get_typed_sheds_and_bit_identical_answers() {
+    const CLIENTS: usize = 8;
+    const QUERIES_PER_CLIENT: usize = 40;
+    let (server, net) = start_stack(
+        ServerConfig {
+            max_batch: 4,
+            max_wait_us: 2_000,
+            threads: 1,
+            top_k: 3,
+            shards: 2,
+        },
+        NetConfig {
+            admission_capacity: 2,
+            ..NetConfig::default()
+        },
+    );
+    let addr = net.local_addr();
+    let snapshot = server.snapshot();
+    let pool = random_rows(16, 7);
+    let expected: Vec<_> = pool.iter().map(|q| snapshot.solo_topk(q, 3)).collect();
+
+    let sheds: u64 = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..CLIENTS {
+            let pool = &pool;
+            let expected = &expected;
+            handles.push(scope.spawn(move || {
+                let mut client =
+                    NetClient::connect(addr, ClientConfig::default()).expect("client connects");
+                let mut sheds = 0u64;
+                for i in 0..QUERIES_PER_CLIENT {
+                    let pick = (c * QUERIES_PER_CLIENT + i) % pool.len();
+                    loop {
+                        match client.query(&pool[pick], None) {
+                            Ok((version, served)) => {
+                                assert_eq!(version, 0, "no mutations were published");
+                                assert_eq!(served.len(), expected[pick].len());
+                                for ((sl, ss), (el, es)) in served.iter().zip(&expected[pick]) {
+                                    assert_eq!(sl, el);
+                                    assert_eq!(ss.to_bits(), es.to_bits());
+                                }
+                                break;
+                            }
+                            Err(e) if e.is_rejection(wire::code::OVERLOADED) => {
+                                sheds += 1;
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(e) => panic!("only overloaded rejections are expected: {e}"),
+                        }
+                    }
+                }
+                sheds
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum()
+    });
+
+    let stats = net.stats();
+    assert_eq!(
+        stats.admitted,
+        (CLIENTS * QUERIES_PER_CLIENT) as u64,
+        "every query was eventually admitted and answered"
+    );
+    assert_eq!(stats.overloaded, sheds, "server counted what clients saw");
+    assert!(
+        sheds > 0,
+        "8 clients against a 2-slot queue must shed at least once"
+    );
+    net.shutdown();
+}
+
+/// Drain with open, actively-firing sockets: `shutdown()` must return
+/// (no deadlock with handler threads mid-request), every client thread
+/// must return, and post-drain requests are typed `draining` rejections
+/// or closed sockets — never hangs, never served.
+#[test]
+fn drain_with_open_sockets_does_not_deadlock() {
+    const CLIENTS: usize = 6;
+    let (server, net) = start_stack(
+        ServerConfig {
+            max_batch: 8,
+            max_wait_us: 1_000,
+            threads: 1,
+            top_k: 3,
+            shards: 2,
+        },
+        NetConfig {
+            admission_capacity: 2,
+            ..NetConfig::default()
+        },
+    );
+    let addr = net.local_addr();
+    let snapshot = server.snapshot();
+    let stop = AtomicBool::new(false);
+    let q = random_rows(1, 9).pop().expect("one row");
+    let expected = snapshot.solo_topk(&q, 3);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..CLIENTS {
+            let stop = &stop;
+            let q = &q;
+            let expected = &expected;
+            handles.push(scope.spawn(move || {
+                let mut client =
+                    NetClient::connect(addr, ClientConfig::default()).expect("client connects");
+                let mut saw_draining = false;
+                while !stop.load(Ordering::Acquire) {
+                    match client.query(q, None) {
+                        Ok((version, served)) => {
+                            assert_eq!(version, 0);
+                            for ((sl, ss), (el, es)) in served.iter().zip(expected) {
+                                assert_eq!(sl, el);
+                                assert_eq!(ss.to_bits(), es.to_bits());
+                            }
+                        }
+                        Err(e) if e.is_rejection(wire::code::OVERLOADED) => {}
+                        Err(e) if e.is_rejection(wire::code::DRAINING) => {
+                            saw_draining = true;
+                            break;
+                        }
+                        // The drained server closed the socket under us.
+                        Err(NetError::Io(_) | NetError::Protocol(_) | NetError::Frame(_)) => break,
+                        Err(e) => panic!("unexpected failure: {e}"),
+                    }
+                }
+                saw_draining
+            }));
+        }
+        // Let the clients fire for a moment, then drain under load.
+        std::thread::sleep(Duration::from_millis(300));
+        net.shutdown();
+        stop.store(true, Ordering::Release);
+        // The liveness assertion: every client thread comes back.
+        for handle in handles {
+            let _ = handle.join().expect("client thread returns");
+        }
+    });
+    // The query server itself is untouched by the front-end drain.
+    assert!(server.query(&q).is_ok());
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Fails when a relative markdown link in the documentation points at a
+# file or directory that does not exist.
+#
+#   bash scripts/check-links.sh
+#
+# Checked files: README.md, every crate README, and docs/*.md. Only
+# relative targets are checked — http(s) links would need the network
+# (the build is offline by design) and intra-doc rust links are already
+# covered by `cargo doc` with -D warnings. Anchors (#section) are
+# stripped before the existence check.
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=(README.md docs/*.md crates/*/README.md)
+failures=0
+checked=0
+
+for file in "${files[@]}"; do
+    [ -f "$file" ] || continue
+    dir=$(dirname "$file")
+    # Inline markdown links: [text](target). Reference definitions
+    # ([name]: target) are rare here and intentionally out of scope.
+    while IFS= read -r target; do
+        case "$target" in
+            http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN  $file -> $target" >&2
+            failures=$((failures + 1))
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/.*(\(.*\))/\1/')
+done
+
+if [ "$failures" -gt 0 ]; then
+    echo "check-links: $failures broken relative link(s)" >&2
+    exit 1
+fi
+echo "check-links: $checked relative link(s) OK"
