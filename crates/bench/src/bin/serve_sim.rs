@@ -37,8 +37,27 @@
 //! The CI perf-smoke job additionally runs a 2 000-class shape with
 //! `--shards 8 --snapshot-churn` to track sharded-memory throughput with
 //! and without concurrent registrations in the `serve-sim-perf` artifact.
+//!
+//! # Routed tier (`--index routed`)
+//!
+//! `--index routed` switches to the **large-label-space** tier: a seeded
+//! clustered workload from [`dataset::workload`] (the same generator the
+//! engine's routed-index tests pin their recall numbers on) is scored
+//! through both the exhaustive engine path and an
+//! [`engine::RoutedClassMemory`] probing `--nprobe` of `--clusters`
+//! clusters (defaults: `⌈√classes⌉` clusters, `⌈√clusters⌉` probes). The
+//! report adds the sub-linearity numbers: mean candidate fraction,
+//! recall@1 / recall@10 against the exhaustive scorer, and the
+//! routed-vs-exhaustive speedup. `--max-candidate-fraction X` exits
+//! non-zero if the shortlist is not sub-linear enough — the CI gate at
+//! `--classes 100000`. The scalar reference scan is skipped in this tier
+//! (it would take minutes at 100k classes and pins nothing new).
 
-use engine::{BatchScorer, PackedClassMemory, PackedQueryBatch, ShardedClassMemory};
+use dataset::workload::{SyntheticWorkload, WorkloadConfig};
+use engine::{
+    BatchScorer, PackedClassMemory, PackedQueryBatch, RoutedClassMemory, RoutedConfig,
+    ShardedClassMemory,
+};
 use hdc::BipolarHypervector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,6 +82,16 @@ struct Config {
     noise: f64,
     json: bool,
     min_speedup: Option<f64>,
+    /// `"exhaustive"` (default) or `"routed"` — the large-label-space tier.
+    index: String,
+    /// Routed tier: coarse cluster count (`0` = `⌈√classes⌉`).
+    clusters: usize,
+    /// Routed tier: probed clusters per query (`None` = `⌈√clusters⌉`,
+    /// `Some(0)` = probe all).
+    nprobe: Option<usize>,
+    /// Routed tier: exit non-zero when the mean candidate fraction reaches
+    /// this value.
+    max_candidate_fraction: Option<f64>,
 }
 
 impl Default for Config {
@@ -80,6 +109,10 @@ impl Default for Config {
             noise: 0.2,
             json: false,
             min_speedup: None,
+            index: "exhaustive".to_string(),
+            clusters: 0,
+            nprobe: None,
+            max_candidate_fraction: None,
         }
     }
 }
@@ -115,11 +148,23 @@ fn parse_args() -> Config {
             "--min-speedup" => {
                 config.min_speedup = Some(value("--min-speedup").parse().expect("--min-speedup"));
             }
+            "--index" => config.index = value("--index"),
+            "--clusters" => config.clusters = value("--clusters").parse().expect("--clusters"),
+            "--nprobe" => config.nprobe = Some(value("--nprobe").parse().expect("--nprobe")),
+            "--max-candidate-fraction" => {
+                config.max_candidate_fraction = Some(
+                    value("--max-candidate-fraction")
+                        .parse()
+                        .expect("--max-candidate-fraction"),
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: serve_sim [--dim N] [--classes N] [--batch N] [--batches N] \
                      [--threads N] [--shards N] [--snapshot-churn] [--mutations N] [--seed N] \
-                     [--noise P] [--quick] [--json] [--min-speedup X]"
+                     [--noise P] [--quick] [--json] [--min-speedup X] \
+                     [--index exhaustive|routed] [--clusters K] [--nprobe P] \
+                     [--max-candidate-fraction X]"
                 );
                 std::process::exit(0);
             }
@@ -130,6 +175,10 @@ fn parse_args() -> Config {
     assert!(
         !config.snapshot_churn || config.shards > 0,
         "--snapshot-churn requires --shards N"
+    );
+    assert!(
+        matches!(config.index.as_str(), "exhaustive" | "routed"),
+        "--index must be `exhaustive` or `routed`"
     );
     config
 }
@@ -175,8 +224,171 @@ impl PathStats {
     }
 }
 
+/// The large-label-space tier: clustered workload, exhaustive vs routed,
+/// sub-linearity and recall accounting. Runs instead of the scalar-anchored
+/// tiers when `--index routed` is given.
+fn run_routed_tier(config: &Config) {
+    let clusters = match config.clusters {
+        0 => (config.classes as f64).sqrt().ceil() as usize,
+        c => c,
+    };
+    let nprobe = config
+        .nprobe
+        .unwrap_or_else(|| (clusters as f64).sqrt().ceil() as usize);
+    eprintln!(
+        "serve_sim[routed]: dim={} classes={} clusters={clusters} nprobe={nprobe} \
+         batch={} batches={} threads={}",
+        config.dim, config.classes, config.batch, config.batches, config.threads
+    );
+
+    // The shared clustered workload: same generator, same seed conventions
+    // as the engine's routed-index tests.
+    let workload = SyntheticWorkload::generate(&WorkloadConfig {
+        dim: config.dim,
+        classes: config.classes,
+        clusters: 0, // latent families: auto ⌈√classes⌉
+        class_noise: 0.05,
+        query_noise: config.noise,
+        queries: config.batches * config.batch,
+        seed: config.seed,
+    });
+    let mut memory = PackedClassMemory::new(config.dim);
+    for (label, signs) in workload.labels.iter().zip(&workload.prototypes) {
+        memory.insert_signs(label.clone(), signs);
+    }
+    let build_start = Instant::now();
+    let mut routed = RoutedClassMemory::from_packed(
+        &memory,
+        RoutedConfig {
+            clusters,
+            nprobe,
+            ..RoutedConfig::default()
+        },
+    )
+    .with_threads(config.threads);
+    routed.set_nprobe(nprobe);
+    let build_s = build_start.elapsed().as_secs_f64();
+    eprintln!(
+        "serve_sim[routed]: clustered {} classes into {} clusters in {build_s:.2}s",
+        memory.len(),
+        routed.num_clusters()
+    );
+
+    let packed_batches: Vec<PackedQueryBatch> = workload
+        .queries
+        .chunks(config.batch)
+        .map(|chunk| {
+            let mut batch = PackedQueryBatch::with_capacity(config.dim, chunk.len());
+            for q in chunk {
+                batch.push_signs(q);
+            }
+            batch
+        })
+        .collect();
+    let total_queries = workload.queries.len();
+
+    // Exhaustive baseline: the engine's batched popcount sweep, full matrix.
+    let scorer = BatchScorer::new(&memory).with_threads(config.threads);
+    let mut exhaustive_top: Vec<Vec<(usize, f32)>> = Vec::with_capacity(total_queries);
+    let mut exhaustive_latencies = Vec::with_capacity(packed_batches.len());
+    for batch in &packed_batches {
+        let start = Instant::now();
+        let top = scorer.topk_batch(batch, 10);
+        exhaustive_latencies.push(start.elapsed().as_secs_f64() * 1e6);
+        exhaustive_top.extend(top);
+    }
+    let exhaustive = PathStats::from_latencies(total_queries, exhaustive_latencies);
+
+    // Routed path: probe, shortlist, exact re-rank.
+    let mut routed_top: Vec<Vec<(String, f32)>> = Vec::with_capacity(total_queries);
+    let mut routed_latencies = Vec::with_capacity(packed_batches.len());
+    for batch in &packed_batches {
+        let start = Instant::now();
+        let top = routed.topk_batch(batch, 10);
+        routed_latencies.push(start.elapsed().as_secs_f64() * 1e6);
+        routed_top.extend(
+            top.into_iter()
+                .map(|t| t.into_iter().map(|(l, s)| (l.to_string(), s)).collect()),
+        );
+    }
+    let routed_stats = PathStats::from_latencies(total_queries, routed_latencies);
+
+    // Sub-linearity + recall accounting (outside the timed loops).
+    let mut candidate_total = 0usize;
+    for query in workload.queries.iter() {
+        candidate_total += routed.candidate_classes(&engine::pack_signs(query));
+    }
+    let candidate_fraction =
+        candidate_total as f64 / (total_queries * config.classes).max(1) as f64;
+    let mut hits_at_1 = 0usize;
+    let mut overlap_at_10 = 0usize;
+    let mut overlap_denominator = 0usize;
+    for (ex, ro) in exhaustive_top.iter().zip(&routed_top) {
+        let ex_labels: Vec<&str> = ex.iter().map(|&(c, _)| memory.label(c)).collect();
+        if let (Some(first_ex), Some((first_ro, _))) = (ex_labels.first(), ro.first()) {
+            if first_ex == first_ro {
+                hits_at_1 += 1;
+            }
+        }
+        overlap_denominator += ex_labels.len();
+        overlap_at_10 += ro
+            .iter()
+            .filter(|(l, _)| ex_labels.contains(&l.as_str()))
+            .count();
+    }
+    let recall_at_1 = hits_at_1 as f64 / total_queries.max(1) as f64;
+    let recall_at_10 = overlap_at_10 as f64 / overlap_denominator.max(1) as f64;
+    let routed_speedup = routed_stats.qps / exhaustive.qps.max(1e-12);
+
+    let json = format!(
+        "{{\n  \"config\": {{\"dim\": {}, \"classes\": {}, \"batch\": {}, \"batches\": {}, \
+         \"threads\": {}, \"seed\": {}, \"noise\": {}, \"index\": \"routed\", \
+         \"clusters\": {clusters}, \"nprobe\": {nprobe}}},\n  \
+         \"build_s\": {build_s:.3},\n  \"exhaustive\": {},\n  \"routed\": {},\n  \
+         \"routed_speedup\": {routed_speedup:.2},\n  \
+         \"candidate_fraction\": {candidate_fraction:.4},\n  \
+         \"recall_at_1\": {recall_at_1:.4},\n  \"recall_at_10\": {recall_at_10:.4}\n}}",
+        config.dim,
+        config.classes,
+        config.batch,
+        config.batches,
+        config.threads,
+        config.seed,
+        config.noise,
+        exhaustive.to_json(),
+        routed_stats.to_json(),
+    );
+    if config.json {
+        println!("{json}");
+    } else {
+        eprintln!("{json}");
+    }
+    eprintln!(
+        "exhaustive {:.0} q/s | routed({clusters}c/{nprobe}p) {:.0} q/s ({routed_speedup:.1}x) | \
+         candidates {:.1}% | recall@1 {recall_at_1:.3} | recall@10 {recall_at_10:.3}",
+        exhaustive.qps,
+        routed_stats.qps,
+        candidate_fraction * 100.0
+    );
+
+    if let Some(ceiling) = config.max_candidate_fraction {
+        if candidate_fraction >= ceiling {
+            eprintln!(
+                "SUB-LINEARITY REGRESSION: candidate fraction {candidate_fraction:.4} \
+                 is not below the ceiling {ceiling:.4}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("sub-linearity ok: {candidate_fraction:.4} < {ceiling:.4}");
+    }
+}
+
 fn main() {
     let config = parse_args();
+    if config.index == "routed" {
+        run_routed_tier(&config);
+        return;
+    }
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     eprintln!(

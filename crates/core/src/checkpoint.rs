@@ -51,7 +51,7 @@
 use crate::config::ModelConfig;
 use crate::model::ZscModel;
 use dataset::AttributeSchema;
-use engine::ShardedClassMemory;
+use engine::{RoutedClassMemory, ShardedClassMemory};
 use serde::{Deserialize, Serialize, Value};
 use std::io::Write;
 use std::path::Path;
@@ -464,6 +464,14 @@ pub struct CheckpointDelta {
     pub base: Checkpoint,
     /// The exact sharded class memory at capture time.
     pub memory: ShardedClassMemory,
+    /// The exact routed coarse-to-fine index at capture time, for servers
+    /// running in routed mode. Routing structure evolves *incrementally*
+    /// under class mutations, so it cannot be re-derived from `memory`
+    /// alone — the delta captures it exactly (cluster assignment, centroids,
+    /// drift counter) so recovery resumes the identical index. Absent for
+    /// non-routed servers and in deltas written before routed serving
+    /// existed; both load as `None`.
+    pub routed: Option<RoutedClassMemory>,
 }
 
 impl CheckpointDelta {
@@ -486,6 +494,7 @@ impl CheckpointDelta {
             ),
             ("base".to_string(), Serialize::to_value(&self.base)),
             ("memory".to_string(), self.memory.to_value()),
+            ("routed".to_string(), self.routed.to_value()),
         ]);
         serde_json::to_string_pretty(&value).expect("delta serialization is infallible")
     }
@@ -527,6 +536,22 @@ impl CheckpointDelta {
         base.validate_internal()?;
         let memory = serde_json::from_value::<ShardedClassMemory>(field("memory")?)
             .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        // Deltas written before routed serving carry no `routed` key; treat
+        // a missing key exactly like an explicit null.
+        let routed = match value.get("routed") {
+            None => None,
+            Some(v) => serde_json::from_value::<Option<RoutedClassMemory>>(v)
+                .map_err(|e| CheckpointError::Malformed(e.to_string()))?,
+        };
+        if let Some(routed) = &routed {
+            if routed.dim() != memory.dim() {
+                return Err(CheckpointError::DimensionMismatch {
+                    what: "routed index dimensionality",
+                    expected: memory.dim(),
+                    found: routed.dim(),
+                });
+            }
+        }
         if memory.dim() != base.model.embedding_dim() {
             return Err(CheckpointError::DimensionMismatch {
                 what: "class prototype dimensionality",
@@ -539,6 +564,7 @@ impl CheckpointDelta {
             next_record_seq,
             base,
             memory,
+            routed,
         })
     }
 
@@ -711,18 +737,35 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let class_attributes = Matrix::random_uniform(5, 312, 0.5, &mut rng).map(f32::abs);
         let labels: Vec<String> = (0..5).map(|c| format!("class{c}")).collect();
-        let memory = model.sharded_class_memory(labels, &class_attributes, 3);
+        let memory = model.sharded_class_memory(labels.clone(), &class_attributes, 3);
+        let routed = model.routed_class_memory(
+            labels,
+            &class_attributes,
+            engine::RoutedConfig {
+                clusters: 2,
+                ..engine::RoutedConfig::default()
+            },
+        );
         let delta = CheckpointDelta {
             snapshot_version: 41,
             next_record_seq: 17,
             base: Checkpoint::capture(&model, &s),
             memory: memory.clone(),
+            routed: Some(routed.clone()),
         };
         let json = delta.to_json();
         let restored = CheckpointDelta::from_json_str(&json).expect("delta round trip");
         assert_eq!(restored.snapshot_version, 41);
         assert_eq!(restored.next_record_seq, 17);
         assert_eq!(restored.memory, memory);
+        // The routed index survives exactly — structure, drift and all —
+        // and a delta written without one (or before the field existed)
+        // still loads.
+        assert_eq!(restored.routed.as_ref(), Some(&routed));
+        let legacy = json.replace("  \"routed\":", "  \"ignored\":");
+        assert_ne!(legacy, json);
+        let restored = CheckpointDelta::from_json_str(&legacy).expect("legacy delta loads");
+        assert!(restored.routed.is_none());
         restored.base.validate_schema(&s).expect("schema preserved");
         // A delta is not a model checkpoint, and vice versa.
         assert!(matches!(

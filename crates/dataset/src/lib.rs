@@ -22,6 +22,10 @@
 //!   real architectures so Fig. 4 / Table II report realistic model sizes.
 //! * [`splits`] reproduces the noZS (100/100), ZS (150/50) and validation
 //!   (50 disjoint classes) protocols.
+//! * [`workload`] generates seeded *clustered* ±1 class prototypes and
+//!   query batches at arbitrary dim/class-count/noise — the scalable
+//!   synthetic substrate behind `serve_sim --classes N` and the engine's
+//!   routed-index tests, far beyond the bird-shaped dataset above.
 //!
 //! # Example
 //!
@@ -44,6 +48,7 @@ pub mod instances;
 pub mod loader;
 pub mod schema;
 pub mod splits;
+pub mod workload;
 
 pub use backbone::{BackboneKind, SyntheticBackbone};
 pub use classes::ClassAttributes;
@@ -53,3 +58,4 @@ pub use instances::{Instance, InstanceNoise, InstanceSet};
 pub use loader::BatchIterator;
 pub use schema::{AttributeGroup, AttributeSchema};
 pub use splits::{ClassSplit, SplitKind};
+pub use workload::{SyntheticWorkload, WorkloadConfig};

@@ -1,0 +1,1307 @@
+//! Routed class memory: a two-level coarse-to-fine index over class
+//! prototypes for sub-linear retrieval at very large label spaces.
+//!
+//! # Shape
+//!
+//! A [`RoutedClassMemory`] clusters the stored ±1 prototypes with seeded
+//! k-means (k-means++ initialisation, Lloyd refinement — all in the packed
+//! Hamming domain, where the squared Euclidean distance between ±1 vectors
+//! is `4 · hamming` and the binarised mean of a member set is the
+//! per-bit majority sign). Each cluster keeps its members in its own
+//! [`PackedClassMemory`] shard, and every cluster has one packed *centroid*
+//! row. A lookup scores the query against the centroids first, visits the
+//! `nprobe` nearest clusters, and **exactly re-ranks** the candidates it
+//! finds there on raw integer `(hamming, label)` — the monolithic
+//! comparator — so the only approximation is *which classes are candidates*,
+//! never how candidates are ordered or what similarity bits they carry.
+//!
+//! # Exactness contract
+//!
+//! With full probing (`nprobe = 0`, the default, or `nprobe ≥` the live
+//! cluster count) every lookup is **bit-identical** to the exhaustive
+//! [`PackedClassMemory`] over the same class set: same labels, same
+//! similarity bits, same `(hamming, label)` tie-break, same `min(k, stored)`
+//! truncation. The `routed_parity` property tests pin this across ragged
+//! dims, cluster counts, `k ≥ num_classes`, and arbitrary
+//! add/update/remove interleavings. With partial probing (`0 < nprobe <`
+//! live clusters) the truncation contract weakens to `min(k, candidates)`
+//! and recall becomes a measured quantity — `serve_sim --index routed`
+//! reports candidate-fraction and recall@k per `nprobe`.
+//!
+//! # Determinism
+//!
+//! The clustering is a pure function of `(dimension, config, insertion
+//! order)`: k-means++ draws from a SplitMix64 stream seeded by
+//! [`RoutedConfig::seed`], Lloyd assignment breaks ties to the lowest
+//! cluster index, centroid bits break exact-half ties to `+1` (clear), and
+//! re-clustering triggers on a pure mutation count. Replaying the same
+//! mutation history against the same seed therefore rebuilds the *same*
+//! structure — the property the serve layer's WAL crash recovery relies on
+//! — and a serde round trip preserves the exact cluster assignment.
+
+use crate::batch::PackedQueryBatch;
+use crate::packed::{
+    mask_tail_word, pack_signs, similarity_from_hamming, words_per_row, PackedClassMemory,
+};
+use minipool::Pool;
+use serde::{de, DeError, Deserialize, Serialize, Value};
+use std::sync::Arc;
+use tensor::Matrix;
+
+/// Tuning knobs of a [`RoutedClassMemory`]; every field participates in the
+/// deterministic-structure contract (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutedConfig {
+    /// Number of coarse clusters; `0` sizes automatically to `⌈√n⌉` at each
+    /// (re-)clustering.
+    pub clusters: usize,
+    /// Clusters visited per lookup; `0` probes everything — the exhaustive
+    /// fallback under which lookups are bit-identical to
+    /// [`PackedClassMemory`]. Values past the live cluster count clamp.
+    pub nprobe: usize,
+    /// Seed of the k-means++ initialisation stream.
+    pub seed: u64,
+    /// Maximum Lloyd refinement passes per (re-)clustering (at least one
+    /// assignment pass always runs; refinement stops early on a fixed
+    /// point).
+    pub kmeans_iters: usize,
+    /// Re-cluster when mutations since the last build reach this percentage
+    /// of the stored class count (and at least
+    /// [`RoutedClassMemory::MIN_RECLUSTER_DRIFT`]); `0` disables automatic
+    /// re-clustering.
+    pub recluster_percent: usize,
+}
+
+impl Default for RoutedConfig {
+    fn default() -> Self {
+        Self {
+            clusters: 0,
+            nprobe: 0,
+            seed: 0x5eed_c0a2,
+            kmeans_iters: 6,
+            recluster_percent: 50,
+        }
+    }
+}
+
+/// One step of the SplitMix64 stream — the only randomness in the index,
+/// fully determined by [`RoutedConfig::seed`].
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hamming distance between two packed rows of equal width.
+#[inline]
+fn hamming(a: &[u64], b: &[u64]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| u64::from((x ^ y).count_ones()))
+        .sum()
+}
+
+/// A coarse-to-fine routed class memory; see the module docs for the
+/// design, exactness, and determinism contracts.
+///
+/// Like [`ShardedClassMemory`](crate::ShardedClassMemory), per-cluster
+/// shards sit behind [`Arc`]s with copy-on-write semantics: cloning the
+/// memory shares every shard, and a mutation deep-copies exactly the
+/// touched cluster(s).
+///
+/// # Example
+///
+/// ```
+/// use engine::{pack_signs, RoutedClassMemory, RoutedConfig};
+///
+/// let mut memory = RoutedClassMemory::new(4, RoutedConfig::default());
+/// memory.add_class("up", &[1, 1, 1, 1]);
+/// memory.add_class("down", &[-1, -1, -1, -1]);
+/// let query = pack_signs(&[1, 1, 1, -1]);
+/// // Default config probes everything: bit-identical to the exhaustive scan.
+/// assert_eq!(memory.nearest(&query), Some(("up", 0.5)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutedClassMemory {
+    dim: usize,
+    config: RoutedConfig,
+    /// Packed centroid rows, `clusters.len() × words_per_row` words; tail
+    /// bits are kept clear so centroid scoring is a plain popcount.
+    centroids: Vec<u64>,
+    clusters: Vec<Arc<PackedClassMemory>>,
+    /// Mutations since the clustering was last built; drives re-clustering.
+    drift: usize,
+    pool: Pool,
+}
+
+/// Equality is structural — configuration, centroids, per-cluster contents,
+/// and drift. The scoring pool width is a performance knob (results are
+/// bit-identical for every width) and does not participate.
+impl PartialEq for RoutedClassMemory {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim
+            && self.config == other.config
+            && self.centroids == other.centroids
+            && self.clusters == other.clusters
+            && self.drift == other.drift
+    }
+}
+
+impl RoutedClassMemory {
+    /// Automatic re-clustering never fires below this many mutations, so
+    /// small memories don't thrash rebuilding after every other insert.
+    pub const MIN_RECLUSTER_DRIFT: usize = 8;
+
+    /// Creates an empty routed memory for `dim`-bit prototypes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, config: RoutedConfig) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self {
+            dim,
+            config,
+            centroids: vec![0u64; words_per_row(dim)],
+            clusters: vec![Arc::new(PackedClassMemory::new(dim))],
+            drift: 0,
+            pool: Pool::auto(),
+        }
+    }
+
+    /// Builds a routed memory over the contents of a monolithic memory,
+    /// clustering with the seeded k-means described in the module docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory` is zero-dimensional.
+    pub fn from_packed(memory: &PackedClassMemory, config: RoutedConfig) -> Self {
+        let mut routed = Self::new(memory.dim(), config);
+        let rows: Vec<(String, Vec<u64>)> = (0..memory.len())
+            .map(|r| (memory.label(r).to_string(), memory.row_words(r).to_vec()))
+            .collect();
+        routed.rebuild_from(rows);
+        routed
+    }
+
+    /// Builds a routed memory from one float row per class by taking signs
+    /// (`x < 0` → `-1`) — the routed analogue of
+    /// [`PackedClassMemory::from_sign_matrix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count differs from the row count or the matrix
+    /// has zero columns.
+    pub fn from_sign_matrix<L, S>(labels: L, matrix: &Matrix, config: RoutedConfig) -> Self
+    where
+        L: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut routed = Self::new(matrix.cols(), config);
+        let mut rows: Vec<(String, Vec<u64>)> = Vec::new();
+        for (r, label) in labels.into_iter().enumerate() {
+            assert!(r < matrix.rows(), "more labels than matrix rows");
+            rows.push((label.into(), crate::packed::pack_float_signs(matrix.row(r))));
+        }
+        assert_eq!(rows.len(), matrix.rows(), "fewer labels than matrix rows");
+        routed.rebuild_from(rows);
+        routed
+    }
+
+    /// Caps lookup and clustering fan-out at `threads` threads (clamped to
+    /// at least 1). Results are bit-identical for every setting.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = Pool::new(threads);
+        self
+    }
+
+    /// Number of threads lookups and clustering fan out over.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Dimensionality of the stored prototypes.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Packed words per prototype row.
+    pub fn words_per_row(&self) -> usize {
+        words_per_row(self.dim)
+    }
+
+    /// The configuration the index was built with (`nprobe` reflects
+    /// [`RoutedClassMemory::set_nprobe`] updates).
+    pub fn config(&self) -> RoutedConfig {
+        self.config
+    }
+
+    /// Re-points the probe width; `0` restores exhaustive probing. Purely a
+    /// recall/latency knob — the stored structure is untouched.
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        self.config.nprobe = nprobe;
+    }
+
+    /// Restores exhaustive probing (`nprobe = 0`): every lookup visits all
+    /// clusters and is bit-identical to the monolithic scan.
+    pub fn probe_all(&mut self) {
+        self.config.nprobe = 0;
+    }
+
+    /// `true` when the current probe width visits every live cluster, i.e.
+    /// lookups are provably exhaustive.
+    pub fn probes_exhaustively(&self) -> bool {
+        self.config.nprobe == 0 || self.config.nprobe >= self.live_clusters()
+    }
+
+    /// Number of coarse clusters (including any currently empty ones).
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of clusters currently holding at least one class.
+    pub fn live_clusters(&self) -> usize {
+        self.clusters.iter().filter(|c| !c.is_empty()).count()
+    }
+
+    /// The per-cluster shard at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_clusters()`.
+    pub fn cluster(&self, index: usize) -> &PackedClassMemory {
+        &self.clusters[index]
+    }
+
+    /// The packed centroid row of cluster `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_clusters()`.
+    pub fn centroid_words(&self, index: usize) -> &[u64] {
+        assert!(index < self.clusters.len(), "cluster index out of range");
+        let wpr = self.words_per_row();
+        &self.centroids[index * wpr..(index + 1) * wpr]
+    }
+
+    /// Mutations applied since the clustering was last built.
+    pub fn drift(&self) -> usize {
+        self.drift
+    }
+
+    /// Total number of stored classes across all clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.iter().map(|c| c.len()).sum()
+    }
+
+    /// Returns `true` if no classes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.iter().all(|c| c.is_empty())
+    }
+
+    /// Total packed footprint in bytes (centroids plus member rows).
+    pub fn memory_bytes(&self) -> usize {
+        self.centroids.len() * std::mem::size_of::<u64>()
+            + self
+                .clusters
+                .iter()
+                .map(|c| c.memory_bytes())
+                .sum::<usize>()
+    }
+
+    /// The stored labels in cluster-major order (cluster 0's rows, then
+    /// cluster 1's, …). Deterministic for a given mutation history, but
+    /// labels — not positions — are class identity.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.clusters.iter().flat_map(|c| c.labels())
+    }
+
+    /// The `(cluster, row)` holding `label`, if stored.
+    pub fn locate(&self, label: &str) -> Option<(usize, usize)> {
+        self.clusters
+            .iter()
+            .enumerate()
+            .find_map(|(c, cluster)| cluster.position(label).map(|row| (c, row)))
+    }
+
+    /// Returns `true` if a class is stored under `label`.
+    pub fn contains(&self, label: &str) -> bool {
+        self.locate(label).is_some()
+    }
+
+    /// The packed words of the class stored under `label`, if any.
+    pub fn class_words(&self, label: &str) -> Option<&[u64]> {
+        self.locate(label)
+            .map(|(c, row)| self.clusters[c].row_words(row))
+    }
+
+    // -----------------------------------------------------------------
+    // Mutation
+    // -----------------------------------------------------------------
+
+    /// Inserts or replaces the class stored under `label` from ±1 signs.
+    /// A new label routes to the cluster with the nearest centroid (ties to
+    /// the smallest cluster index); an existing label is re-routed the same
+    /// way (its old cluster is repacked, the destination repacked — every
+    /// other cluster stays `Arc`-shared). Returns
+    /// `(destination cluster, replaced)`.
+    ///
+    /// Each mutation advances the drift counter; once drift reaches
+    /// [`RoutedConfig::recluster_percent`] of the stored class count the
+    /// whole index deterministically re-clusters from the current contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signs.len() != self.dim()` or a sign is not `±1`.
+    pub fn add_class(&mut self, label: impl Into<String>, signs: &[i8]) -> (usize, bool) {
+        assert_eq!(
+            signs.len(),
+            self.dim,
+            "prototype dimensionality must match the memory"
+        );
+        self.add_class_packed(label, &pack_signs(signs))
+    }
+
+    /// Inserts or replaces a class from an already-packed word row; see
+    /// [`RoutedClassMemory::add_class`]. Tail bits beyond `dim` are cleared
+    /// before routing and insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != self.words_per_row()`.
+    pub fn add_class_packed(&mut self, label: impl Into<String>, words: &[u64]) -> (usize, bool) {
+        assert_eq!(
+            words.len(),
+            self.words_per_row(),
+            "packed row width must match the memory"
+        );
+        let label = label.into();
+        let mut clean = words.to_vec();
+        mask_tail_word(self.dim, &mut clean);
+        let replaced = if let Some((old, _)) = self.locate(&label) {
+            Arc::make_mut(&mut self.clusters[old]).remove(&label);
+            true
+        } else {
+            false
+        };
+        let destination = self.route(&clean);
+        Arc::make_mut(&mut self.clusters[destination]).insert_packed(label.clone(), &clean);
+        self.drift += 1;
+        self.maybe_recluster();
+        // A drift reset means re-clustering fired and may have moved the
+        // row; report the cluster it actually lives in now.
+        let destination = if self.drift == 0 {
+            self.locate(&label).map_or(destination, |(c, _)| c)
+        } else {
+            destination
+        };
+        (destination, replaced)
+    }
+
+    /// Replaces the prototype of an *existing* class, returning `false`
+    /// (without inserting) when `label` is not stored. Use
+    /// [`RoutedClassMemory::add_class`] for insert-or-replace semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signs.len() != self.dim()` or a sign is not `±1`.
+    pub fn update_class(&mut self, label: &str, signs: &[i8]) -> bool {
+        if !self.contains(label) {
+            return false;
+        }
+        self.add_class(label, signs);
+        true
+    }
+
+    /// Removes the class stored under `label`, repacking only its cluster.
+    /// Returns `false` if the label is not stored.
+    pub fn remove_class(&mut self, label: &str) -> bool {
+        match self.locate(label) {
+            Some((c, _)) => {
+                Arc::make_mut(&mut self.clusters[c]).remove(label);
+                self.drift += 1;
+                self.maybe_recluster();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Deterministically re-clusters the current contents with the stored
+    /// seed, resetting drift. Called automatically once drift crosses the
+    /// configured threshold; callable directly after a bulk-load phase.
+    pub fn recluster(&mut self) {
+        let rows: Vec<(String, Vec<u64>)> = self
+            .clusters
+            .iter()
+            .flat_map(|cluster| {
+                (0..cluster.len())
+                    .map(|r| (cluster.label(r).to_string(), cluster.row_words(r).to_vec()))
+            })
+            .collect();
+        self.rebuild_from(rows);
+    }
+
+    /// Nearest-centroid routing for one clean (tail-masked) row; ties go to
+    /// the smallest cluster index.
+    fn route(&self, words: &[u64]) -> usize {
+        let wpr = self.words_per_row();
+        let mut best = 0usize;
+        let mut best_h = u64::MAX;
+        for c in 0..self.clusters.len() {
+            let h = hamming(&self.centroids[c * wpr..(c + 1) * wpr], words);
+            if h < best_h {
+                best = c;
+                best_h = h;
+            }
+        }
+        best
+    }
+
+    /// Fires the deterministic re-clustering once drift reaches the
+    /// configured percentage of the stored class count (with the
+    /// [`RoutedClassMemory::MIN_RECLUSTER_DRIFT`] floor).
+    fn maybe_recluster(&mut self) {
+        let percent = self.config.recluster_percent;
+        if percent == 0 || self.drift < Self::MIN_RECLUSTER_DRIFT {
+            return;
+        }
+        if self.drift * 100 >= percent * self.len().max(1) {
+            self.recluster();
+        }
+    }
+
+    /// Rebuilds centroids and per-cluster shards from scratch over
+    /// `rows` (label, clean packed words), in order; resets drift.
+    fn rebuild_from(&mut self, rows: Vec<(String, Vec<u64>)>) {
+        let wpr = self.words_per_row();
+        let n = rows.len();
+        if n == 0 {
+            self.centroids = vec![0u64; wpr];
+            self.clusters = vec![Arc::new(PackedClassMemory::new(self.dim))];
+            self.drift = 0;
+            return;
+        }
+        let k = match self.config.clusters {
+            0 => (n as f64).sqrt().ceil() as usize,
+            k => k,
+        }
+        .clamp(1, n);
+
+        // Flat word matrix for the clustering passes.
+        let mut words = Vec::with_capacity(n * wpr);
+        for (_, row) in &rows {
+            debug_assert_eq!(row.len(), wpr);
+            words.extend_from_slice(row);
+        }
+        let row = |i: usize| &words[i * wpr..(i + 1) * wpr];
+
+        // k-means++ initialisation from the seeded SplitMix64 stream: the
+        // first centroid uniform, each next drawn with probability
+        // proportional to its squared distance to the chosen set.
+        let mut state = self.config.seed;
+        let mut centroids: Vec<u64> = Vec::with_capacity(k * wpr);
+        let first = (splitmix64(&mut state) % n as u64) as usize;
+        centroids.extend_from_slice(row(first));
+        let mut best_d: Vec<u64> = (0..n).map(|i| hamming(row(i), row(first))).collect();
+        for c in 1..k {
+            let total: u128 = best_d.iter().map(|&d| u128::from(d) * u128::from(d)).sum();
+            let pick = if total == 0 {
+                // Every remaining point coincides with a centroid; spread
+                // deterministically instead of dividing by zero.
+                c % n
+            } else {
+                let r = u128::from(splitmix64(&mut state)) % total;
+                let mut acc = 0u128;
+                let mut pick = n - 1;
+                for (i, &d) in best_d.iter().enumerate() {
+                    acc += u128::from(d) * u128::from(d);
+                    if acc > r {
+                        pick = i;
+                        break;
+                    }
+                }
+                pick
+            };
+            centroids.extend_from_slice(row(pick));
+            for (i, d) in best_d.iter_mut().enumerate() {
+                let h = hamming(row(i), row(pick));
+                if h < *d {
+                    *d = h;
+                }
+            }
+        }
+
+        // Lloyd refinement: assign (parallel across rows, ties to the
+        // lowest cluster), re-binarise centroids as per-bit majority signs
+        // (exact-half ties to +1/clear, empty clusters keep their centroid),
+        // stop on a fixed point. The final assignment is always consistent
+        // with the stored centroids.
+        let assign_pass = |centroids: &[u64]| -> Vec<u32> {
+            self.pool
+                .map_chunks(n, |range| {
+                    range
+                        .map(|i| {
+                            let mut best = 0u32;
+                            let mut best_h = u64::MAX;
+                            for c in 0..k {
+                                let h = hamming(&centroids[c * wpr..(c + 1) * wpr], row(i));
+                                if h < best_h {
+                                    best = c as u32;
+                                    best_h = h;
+                                }
+                            }
+                            best
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+        let mut assign = assign_pass(&centroids);
+        for _ in 0..self.config.kmeans_iters.max(1) {
+            let members: Vec<Vec<usize>> = {
+                let mut m = vec![Vec::new(); k];
+                for (i, &a) in assign.iter().enumerate() {
+                    m[a as usize].push(i);
+                }
+                m
+            };
+            let updated: Vec<Vec<u64>> = self
+                .pool
+                .map_chunks(k, |range| {
+                    range
+                        .map(|c| {
+                            if members[c].is_empty() {
+                                return centroids[c * wpr..(c + 1) * wpr].to_vec();
+                            }
+                            let mut counts = vec![0u32; self.dim];
+                            for &i in &members[c] {
+                                for (w, &word) in row(i).iter().enumerate() {
+                                    let mut bits = word;
+                                    while bits != 0 {
+                                        let b = bits.trailing_zeros() as usize;
+                                        counts[w * 64 + b] += 1;
+                                        bits &= bits - 1;
+                                    }
+                                }
+                            }
+                            let half = members[c].len() as u32;
+                            let mut centroid = vec![0u64; wpr];
+                            for (bit, &count) in counts.iter().enumerate() {
+                                // Majority of set bits (-1 signs); an exact
+                                // half resolves to +1, i.e. clear.
+                                if 2 * count > half {
+                                    centroid[bit / 64] |= 1u64 << (bit % 64);
+                                }
+                            }
+                            centroid
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+            let next_centroids: Vec<u64> = updated.into_iter().flatten().collect();
+            let next = assign_pass(&next_centroids);
+            centroids = next_centroids;
+            if next == assign {
+                break;
+            }
+            assign = next;
+        }
+
+        // Materialise the per-cluster shards in original row order.
+        let mut clusters: Vec<PackedClassMemory> =
+            (0..k).map(|_| PackedClassMemory::new(self.dim)).collect();
+        for (i, (label, row_words)) in rows.into_iter().enumerate() {
+            clusters[assign[i] as usize].insert_packed(label, &row_words);
+        }
+        self.centroids = centroids;
+        self.clusters = clusters.into_iter().map(Arc::new).collect();
+        self.drift = 0;
+    }
+
+    // -----------------------------------------------------------------
+    // Lookup
+    // -----------------------------------------------------------------
+
+    /// The clusters a lookup for `query` visits, in probe-rank order
+    /// (`(centroid hamming, cluster index)` ascending). Exhaustive probing
+    /// returns every non-empty cluster; partial probing the `nprobe`
+    /// nearest non-empty ones. Empty clusters are never probed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.words_per_row()`.
+    pub fn probe_clusters(&self, query: &[u64]) -> Vec<usize> {
+        assert_eq!(query.len(), self.words_per_row(), "query width");
+        let wpr = self.words_per_row();
+        let mut ranked: Vec<(u64, usize)> = self
+            .clusters
+            .iter()
+            .enumerate()
+            .filter(|(_, cluster)| !cluster.is_empty())
+            .map(|(c, _)| (hamming(&self.centroids[c * wpr..(c + 1) * wpr], query), c))
+            .collect();
+        ranked.sort_unstable();
+        if self.config.nprobe > 0 {
+            ranked.truncate(self.config.nprobe);
+        }
+        ranked.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// Number of classes a lookup for `query` re-ranks exactly — the
+    /// numerator of the candidate-fraction statistic `serve_sim` reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.words_per_row()`.
+    pub fn candidate_classes(&self, query: &[u64]) -> usize {
+        self.probe_clusters(query)
+            .into_iter()
+            .map(|c| self.clusters[c].len())
+            .sum()
+    }
+
+    /// The most similar stored class among the probed clusters, as
+    /// `(label, similarity)`, merged on `(hamming, label)`. Bit-identical
+    /// to [`PackedClassMemory::nearest`] whenever probing is exhaustive.
+    ///
+    /// Returns `None` if the memory is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.words_per_row()`.
+    pub fn nearest(&self, query: &[u64]) -> Option<(&str, f32)> {
+        let probed = self.probe_clusters(query);
+        probed
+            .into_iter()
+            .filter_map(|c| {
+                self.clusters[c]
+                    .nearest_hamming(query)
+                    .map(|(row, h)| (c, row, h))
+            })
+            .min_by(|&(ca, ra, ha), &(cb, rb, hb)| {
+                ha.cmp(&hb)
+                    .then_with(|| self.clusters[ca].label(ra).cmp(self.clusters[cb].label(rb)))
+            })
+            .map(|(c, row, h)| {
+                (
+                    self.clusters[c].label(row),
+                    similarity_from_hamming(self.dim, h),
+                )
+            })
+    }
+
+    /// The `k` most similar classes among the probed clusters, most similar
+    /// first, exactly re-ranked on `(hamming, label)`. With exhaustive
+    /// probing this is bit-identical to [`PackedClassMemory::top_k`]
+    /// (`min(k, stored)` entries, `k == 0` empty); with partial probing it
+    /// returns `min(k, candidates)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.words_per_row()`.
+    pub fn top_k(&self, query: &[u64], k: usize) -> Vec<(&str, f32)> {
+        let probed = self.probe_clusters(query);
+        let mut merged: Vec<(usize, usize, u64)> = probed
+            .into_iter()
+            .flat_map(|c| {
+                self.clusters[c]
+                    .top_k_hamming(query, k)
+                    .into_iter()
+                    .map(move |(row, h)| (c, row, h))
+            })
+            .collect();
+        merged.sort_by(|&(ca, ra, ha), &(cb, rb, hb)| {
+            ha.cmp(&hb)
+                .then_with(|| self.clusters[ca].label(ra).cmp(self.clusters[cb].label(rb)))
+        });
+        merged.truncate(k);
+        merged
+            .into_iter()
+            .map(|(c, row, h)| {
+                (
+                    self.clusters[c].label(row),
+                    similarity_from_hamming(self.dim, h),
+                )
+            })
+            .collect()
+    }
+
+    /// The nearest class of every query in the batch, parallelised across
+    /// queries (each worker routes and re-ranks its own query range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.dim() != self.dim()` or the memory is empty while
+    /// the batch is not.
+    pub fn nearest_batch(&self, batch: &PackedQueryBatch) -> Vec<(&str, f32)> {
+        assert_eq!(
+            batch.dim(),
+            self.dim,
+            "query batch dimensionality must match the class memory"
+        );
+        assert!(
+            batch.is_empty() || !self.is_empty(),
+            "nearest_batch requires a non-empty class memory"
+        );
+        self.pool
+            .map_chunks(batch.len(), |range| {
+                range
+                    .map(|q| self.nearest(batch.row(q)).expect("non-empty memory"))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// The top-k classes of every query in the batch, parallelised across
+    /// queries; same ordering and truncation behaviour as
+    /// [`RoutedClassMemory::top_k`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.dim() != self.dim()`.
+    pub fn topk_batch(&self, batch: &PackedQueryBatch, k: usize) -> Vec<Vec<(&str, f32)>> {
+        assert_eq!(
+            batch.dim(),
+            self.dim,
+            "query batch dimensionality must match the class memory"
+        );
+        self.pool
+            .map_chunks(batch.len(), |range| {
+                range
+                    .map(|q| self.top_k(batch.row(q), k))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Serializes the full deterministic structure — configuration, centroids,
+/// per-cluster contents, and the drift counter — so an imported memory not
+/// only scores bit-identically but also routes and re-clusters every
+/// subsequent mutation exactly as the original would (the serve-layer
+/// crash-recovery property).
+impl Serialize for RoutedClassMemory {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("dim".to_string(), self.dim.to_value()),
+            (
+                "clusters_config".to_string(),
+                self.config.clusters.to_value(),
+            ),
+            ("nprobe".to_string(), self.config.nprobe.to_value()),
+            ("seed".to_string(), self.config.seed.to_value()),
+            (
+                "kmeans_iters".to_string(),
+                self.config.kmeans_iters.to_value(),
+            ),
+            (
+                "recluster_percent".to_string(),
+                self.config.recluster_percent.to_value(),
+            ),
+            ("drift".to_string(), self.drift.to_value()),
+            ("centroids".to_string(), self.centroids.to_value()),
+            (
+                "clusters".to_string(),
+                Value::Array(self.clusters.iter().map(|c| c.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+/// Hand-written so cross-cluster invariants — a non-empty cluster list,
+/// centroid rows matching the cluster count with clean tail bits, every
+/// cluster at the declared dimensionality, no label stored twice — are
+/// enforced with typed errors. Per-cluster word-matrix shape is validated
+/// by [`PackedClassMemory`]'s own deserializer; the scoring pool is rebuilt
+/// auto-sized.
+impl Deserialize for RoutedClassMemory {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = de::expect_object(value, "RoutedClassMemory")?;
+        let dim: usize = de::field(entries, "dim", "RoutedClassMemory")?;
+        let config = RoutedConfig {
+            clusters: de::field(entries, "clusters_config", "RoutedClassMemory")?,
+            nprobe: de::field(entries, "nprobe", "RoutedClassMemory")?,
+            seed: de::field(entries, "seed", "RoutedClassMemory")?,
+            kmeans_iters: de::field(entries, "kmeans_iters", "RoutedClassMemory")?,
+            recluster_percent: de::field(entries, "recluster_percent", "RoutedClassMemory")?,
+        };
+        let drift: usize = de::field(entries, "drift", "RoutedClassMemory")?;
+        let centroids: Vec<u64> = de::field(entries, "centroids", "RoutedClassMemory")?;
+        let clusters: Vec<PackedClassMemory> = de::field(entries, "clusters", "RoutedClassMemory")?;
+        let type_err = |msg: String| DeError::new(msg).in_field("RoutedClassMemory");
+        if dim == 0 {
+            return Err(type_err("dimensionality must be positive".into()));
+        }
+        if clusters.is_empty() {
+            return Err(type_err("at least one cluster is required".into()));
+        }
+        let wpr = words_per_row(dim);
+        if centroids.len() != clusters.len() * wpr {
+            return Err(type_err(format!(
+                "{} centroid words do not match {} clusters of {wpr} words",
+                centroids.len(),
+                clusters.len()
+            )));
+        }
+        let rem = dim % 64;
+        if rem != 0 {
+            for (c, chunk) in centroids.chunks_exact(wpr).enumerate() {
+                if chunk[wpr - 1] >> rem != 0 {
+                    return Err(type_err(format!(
+                        "centroid {c} has set bits beyond the declared dimensionality"
+                    )));
+                }
+            }
+        }
+        for (c, cluster) in clusters.iter().enumerate() {
+            if cluster.dim() != dim {
+                return Err(type_err(format!(
+                    "cluster {c} has dimensionality {} but the memory declares {dim}",
+                    cluster.dim()
+                )));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for cluster in &clusters {
+            for label in cluster.labels() {
+                if !seen.insert(label) {
+                    return Err(type_err(format!("label `{label}` stored in two clusters")));
+                }
+            }
+        }
+        Ok(Self {
+            dim,
+            config,
+            centroids,
+            clusters: clusters.into_iter().map(Arc::new).collect(),
+            drift,
+            pool: Pool::auto(),
+        })
+    }
+}
+
+/// The routed backend of the unified [`Scorer`](crate::Scorer) contract.
+/// Lookups delegate to the inherent probed methods; with exhaustive probing
+/// (the default) the full contract holds bit-identically to the packed
+/// backend, with partial probing `top_k` truncates to `min(k, candidates)`
+/// (see the module docs). [`Scorer::score_batch`](crate::Scorer::score_batch)
+/// is a full similarity matrix and therefore always exhaustive, reported in
+/// **cluster-major** stored order (the order of
+/// [`RoutedClassMemory::labels`]).
+impl crate::Scorer for RoutedClassMemory {
+    type Query = [u64];
+    type Batch = PackedQueryBatch;
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_classes(&self) -> usize {
+        self.len()
+    }
+
+    fn score_batch(&self, batch: &PackedQueryBatch) -> Matrix {
+        assert_eq!(
+            batch.dim(),
+            self.dim,
+            "query batch dimensionality must match the class memory"
+        );
+        let classes = self.len();
+        if batch.is_empty() {
+            return Matrix::zeros(0, classes);
+        }
+        let blocks = self.pool.map_chunks(batch.len(), |range| {
+            let mut out = Vec::with_capacity(range.len() * classes);
+            for q in range {
+                for cluster in &self.clusters {
+                    out.extend_from_slice(&cluster.scores(batch.row(q)));
+                }
+            }
+            out
+        });
+        let mut data = Vec::with_capacity(batch.len() * classes);
+        for block in blocks {
+            data.extend_from_slice(&block);
+        }
+        Matrix::from_vec(batch.len(), classes, data)
+    }
+
+    fn nearest(&self, query: &[u64]) -> Option<(&str, f32)> {
+        RoutedClassMemory::nearest(self, query)
+    }
+
+    fn top_k(&self, query: &[u64], k: usize) -> Vec<(&str, f32)> {
+        RoutedClassMemory::top_k(self, query, k)
+    }
+
+    fn nearest_batch(&self, batch: &PackedQueryBatch) -> Vec<(&str, f32)> {
+        RoutedClassMemory::nearest_batch(self, batch)
+    }
+
+    fn topk_batch(&self, batch: &PackedQueryBatch, k: usize) -> Vec<Vec<(&str, f32)>> {
+        RoutedClassMemory::topk_batch(self, batch, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_signs(state: &mut u64, dim: usize) -> Vec<i8> {
+        (0..dim)
+            .map(|_| {
+                *state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if *state >> 63 == 0 {
+                    1
+                } else {
+                    -1
+                }
+            })
+            .collect()
+    }
+
+    fn fixture(
+        dim: usize,
+        classes: usize,
+        config: RoutedConfig,
+    ) -> (RoutedClassMemory, PackedClassMemory, Vec<Vec<i8>>) {
+        let mut state = 0xfeed_5eedu64;
+        let mut mono = PackedClassMemory::new(dim);
+        let protos: Vec<Vec<i8>> = (0..classes)
+            .map(|c| {
+                let row = lcg_signs(&mut state, dim);
+                mono.insert_signs(format!("class{c:03}"), &row);
+                row
+            })
+            .collect();
+        let routed = RoutedClassMemory::from_packed(&mono, config);
+        (routed, mono, protos)
+    }
+
+    #[test]
+    fn full_probe_lookups_match_monolithic_bit_for_bit() {
+        let dim = 130; // ragged on purpose
+        let config = RoutedConfig {
+            clusters: 4,
+            ..RoutedConfig::default()
+        };
+        let (routed, mono, _) = fixture(dim, 23, config);
+        assert_eq!(routed.len(), 23);
+        assert!(routed.probes_exhaustively());
+        let mut state = 3u64;
+        for _ in 0..8 {
+            let query = pack_signs(&lcg_signs(&mut state, dim));
+            let (label, sim) = routed.nearest(&query).expect("non-empty");
+            let (mono_index, mono_sim) = mono.nearest(&query).expect("non-empty");
+            assert_eq!(label, mono.label(mono_index));
+            assert_eq!(sim.to_bits(), mono_sim.to_bits());
+            for k in [0usize, 1, 7, 23, 50] {
+                let r: Vec<(&str, u32)> = routed
+                    .top_k(&query, k)
+                    .into_iter()
+                    .map(|(l, s)| (l, s.to_bits()))
+                    .collect();
+                let m: Vec<(&str, u32)> = mono
+                    .top_k(&query, k)
+                    .into_iter()
+                    .map(|(i, s)| (mono.label(i), s.to_bits()))
+                    .collect();
+                assert_eq!(r, m, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_data_routes_to_few_candidates() {
+        // Three well-separated centers with small per-class perturbations:
+        // nprobe=1 should shortlist roughly a third of the classes and
+        // still find the true nearest for unperturbed center queries.
+        let dim = 256;
+        let mut state = 7u64;
+        let centers: Vec<Vec<i8>> = (0..3).map(|_| lcg_signs(&mut state, dim)).collect();
+        let mut mono = PackedClassMemory::new(dim);
+        for c in 0..30usize {
+            let mut row = centers[c % 3].clone();
+            // flip a handful of positions, distinct per class
+            for f in 0..5 {
+                let at = (c * 31 + f * 17) % dim;
+                row[at] = -row[at];
+            }
+            mono.insert_signs(format!("class{c:03}"), &row);
+        }
+        let mut routed = RoutedClassMemory::from_packed(
+            &mono,
+            RoutedConfig {
+                clusters: 3,
+                ..RoutedConfig::default()
+            },
+        );
+        routed.set_nprobe(1);
+        assert!(!routed.probes_exhaustively());
+        for (i, center) in centers.iter().enumerate() {
+            let query = pack_signs(center);
+            let candidates = routed.candidate_classes(&query);
+            assert!(
+                candidates < 30,
+                "center {i}: probing all {candidates} classes is not sub-linear"
+            );
+            let (label, _) = routed.nearest(&query).expect("non-empty");
+            let (mono_index, _) = mono.nearest(&query).expect("non-empty");
+            assert_eq!(label, mono.label(mono_index), "center {i}");
+        }
+    }
+
+    #[test]
+    fn mutations_route_and_drift_deterministically() {
+        let dim = 64;
+        let config = RoutedConfig {
+            clusters: 2,
+            recluster_percent: 0, // isolate routing from re-clustering
+            ..RoutedConfig::default()
+        };
+        let (mut routed, _, protos) = fixture(dim, 10, config);
+        assert_eq!(routed.drift(), 0);
+        let twin = routed.clone();
+        let (cluster_a, replaced) = routed.add_class("newcomer", &protos[0]);
+        assert!(!replaced);
+        assert_eq!(routed.drift(), 1);
+        // COW: only the destination cluster was deep-copied.
+        let mut shared = 0;
+        for c in 0..routed.num_clusters() {
+            if Arc::ptr_eq(&routed.clusters[c], &twin.clusters[c]) {
+                shared += 1;
+            }
+        }
+        assert_eq!(shared, routed.num_clusters() - 1);
+        // The clone routes identically.
+        let mut twin = twin;
+        let (cluster_b, _) = twin.add_class("newcomer", &protos[0]);
+        assert_eq!(cluster_a, cluster_b);
+        assert_eq!(routed, twin);
+        // update re-routes, remove splices.
+        assert!(routed.update_class("newcomer", &protos[5]));
+        assert!(!routed.update_class("ghost", &protos[5]));
+        assert!(routed.remove_class("newcomer"));
+        assert!(!routed.remove_class("newcomer"));
+        assert_eq!(routed.len(), 10);
+    }
+
+    #[test]
+    fn recluster_fires_on_drift_and_preserves_results() {
+        let dim = 96;
+        let config = RoutedConfig {
+            clusters: 3,
+            recluster_percent: 50,
+            ..RoutedConfig::default()
+        };
+        let (mut routed, mut mono, _) = fixture(dim, 20, config);
+        let mut state = 11u64;
+        // Additions grow the class count alongside drift, so cross the 50%
+        // threshold with in-place updates (constant class count).
+        for c in 0..4 {
+            let row = lcg_signs(&mut state, dim);
+            routed.add_class(format!("extra{c:02}"), &row);
+            mono.insert_signs(format!("extra{c:02}"), &row);
+        }
+        for c in 0..12 {
+            let row = lcg_signs(&mut state, dim);
+            routed.update_class(&format!("class{c:03}"), &row);
+            mono.insert_signs(format!("class{c:03}"), &row);
+        }
+        assert!(
+            routed.drift() < 12,
+            "drift must reset when re-clustering fires"
+        );
+        let query = pack_signs(&lcg_signs(&mut state, dim));
+        let r: Vec<(&str, u32)> = routed
+            .top_k(&query, 32)
+            .into_iter()
+            .map(|(l, s)| (l, s.to_bits()))
+            .collect();
+        let m: Vec<(&str, u32)> = mono
+            .top_k(&query, 32)
+            .into_iter()
+            .map(|(i, s)| (mono.label(i), s.to_bits()))
+            .collect();
+        assert_eq!(r, m);
+    }
+
+    #[test]
+    fn batch_lookups_match_single_query_lookups() {
+        let dim = 70;
+        let (routed, _, _) = fixture(
+            dim,
+            9,
+            RoutedConfig {
+                clusters: 2,
+                ..RoutedConfig::default()
+            },
+        );
+        let mut state = 21u64;
+        let mut batch = PackedQueryBatch::new(dim);
+        let queries: Vec<Vec<i8>> = (0..7)
+            .map(|_| {
+                let q = lcg_signs(&mut state, dim);
+                batch.push_signs(&q);
+                q
+            })
+            .collect();
+        let nearest = routed.nearest_batch(&batch);
+        let topk = routed.topk_batch(&batch, 4);
+        for (q, signs) in queries.iter().enumerate() {
+            let packed = pack_signs(signs);
+            assert_eq!(nearest[q], routed.nearest(&packed).expect("non-empty"));
+            assert_eq!(topk[q], routed.top_k(&packed, 4));
+        }
+        let empty = PackedQueryBatch::new(dim);
+        assert!(routed.nearest_batch(&empty).is_empty());
+        assert!(routed.topk_batch(&empty, 3).is_empty());
+    }
+
+    #[test]
+    fn empty_memory_lookups() {
+        let memory = RoutedClassMemory::new(32, RoutedConfig::default());
+        let query = vec![0u64; 1];
+        assert!(memory.is_empty());
+        assert!(memory.nearest(&query).is_none());
+        assert!(memory.top_k(&query, 3).is_empty());
+        assert!(memory.probe_clusters(&query).is_empty());
+        assert_eq!(memory.candidate_classes(&query), 0);
+        assert_eq!(memory.live_clusters(), 0);
+        assert!(memory.locate("nothing").is_none());
+        assert!(memory.class_words("nothing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality must be positive")]
+    fn zero_dim_rejected() {
+        let _ = RoutedClassMemory::new(0, RoutedConfig::default());
+    }
+
+    /// Same seed, same insertion order ⇒ same clustering, even via
+    /// different construction paths of the same rows.
+    #[test]
+    fn clustering_is_seed_deterministic() {
+        let dim = 100;
+        let config = RoutedConfig {
+            clusters: 4,
+            seed: 42,
+            ..RoutedConfig::default()
+        };
+        let (a, mono, _) = fixture(dim, 15, config);
+        let b = RoutedClassMemory::from_packed(&mono, config);
+        assert_eq!(a, b);
+        let different_seed =
+            RoutedClassMemory::from_packed(&mono, RoutedConfig { seed: 43, ..config });
+        // A different seed is allowed to (and here does) produce a
+        // different structure; results at full probe stay identical.
+        let query = pack_signs(&lcg_signs(&mut 9u64, dim));
+        assert_eq!(a.top_k(&query, 15), different_seed.top_k(&query, 15));
+    }
+
+    /// Export → import round-trips the exact structure: equal memories,
+    /// identical lookups, identical routing of the next mutation.
+    #[test]
+    fn serde_round_trip_preserves_structure_and_routing() {
+        let dim = 70; // ragged tail on purpose
+        let config = RoutedConfig {
+            clusters: 3,
+            recluster_percent: 0,
+            ..RoutedConfig::default()
+        };
+        let (mut memory, _, protos) = fixture(dim, 9, config);
+        memory.remove_class("class004");
+        let json = serde_json::to_string_pretty(&memory).expect("serializes");
+        let mut imported: RoutedClassMemory = serde_json::from_str(&json).expect("imports");
+        assert_eq!(imported, memory);
+        assert_eq!(imported.drift(), memory.drift());
+        let query = pack_signs(&protos[2]);
+        assert_eq!(imported.top_k(&query, 9), memory.top_k(&query, 9));
+        let (cluster_a, _) = memory.add_class("next", &protos[0]);
+        let (cluster_b, _) = imported.add_class("next", &protos[0]);
+        assert_eq!(cluster_a, cluster_b, "routing must survive the round trip");
+        assert_eq!(memory, imported);
+    }
+
+    #[test]
+    fn serde_import_rejects_malformed_documents() {
+        let (memory, _, _) = fixture(64, 6, RoutedConfig::default());
+        let good = serde_json::to_string_pretty(&memory).expect("serializes");
+
+        let bad_dim = good.replacen("\"dim\": 64", "\"dim\": 65", 1);
+        assert!(serde_json::from_str::<RoutedClassMemory>(&bad_dim).is_err());
+
+        let no_clusters = "{\"dim\": 64, \"clusters_config\": 0, \"nprobe\": 0, \"seed\": 1, \
+                           \"kmeans_iters\": 4, \"recluster_percent\": 50, \"drift\": 0, \
+                           \"centroids\": [], \"clusters\": []}";
+        assert!(serde_json::from_str::<RoutedClassMemory>(no_clusters).is_err());
+
+        // Duplicate a cluster wholesale: same labels in two clusters, and
+        // (to hit the duplicate check, not the count check) duplicate the
+        // centroid words too.
+        let value = serde::Serialize::to_value(&memory);
+        let dup = match value {
+            Value::Object(mut entries) => {
+                let mut extra_centroid: Option<Value> = None;
+                for (key, v) in &mut entries {
+                    if key == "clusters" {
+                        if let Value::Array(clusters) = v {
+                            let first = clusters[0].clone();
+                            clusters.push(first);
+                        }
+                    }
+                    if key == "centroids" {
+                        if let Value::Array(words) = v {
+                            let wpr = memory.words_per_row();
+                            let mut more = words.clone();
+                            more.extend(words[..wpr].to_vec());
+                            extra_centroid = Some(Value::Array(more));
+                        }
+                    }
+                }
+                for (key, v) in &mut entries {
+                    if key == "centroids" {
+                        *v = extra_centroid.clone().expect("centroids present");
+                    }
+                }
+                Value::Object(entries)
+            }
+            _ => unreachable!("memories serialize as objects"),
+        };
+        let err = <RoutedClassMemory as serde::Deserialize>::from_value(&dup);
+        assert!(err.is_err(), "duplicate labels across clusters must fail");
+
+        // Centroid smuggling tail bits past dim.
+        let ragged = fixture(70, 4, RoutedConfig::default()).0;
+        let value = serde::Serialize::to_value(&ragged);
+        let smuggled = match value {
+            Value::Object(mut entries) => {
+                for (key, v) in &mut entries {
+                    if key == "centroids" {
+                        if let Value::Array(words) = v {
+                            let last = words.len() - 1;
+                            words[last] = u64::MAX.to_value();
+                        }
+                    }
+                }
+                Value::Object(entries)
+            }
+            _ => unreachable!(),
+        };
+        assert!(<RoutedClassMemory as serde::Deserialize>::from_value(&smuggled).is_err());
+    }
+}

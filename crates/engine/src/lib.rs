@@ -17,6 +17,11 @@
 //!   tie-breaks) is bit-identical to the monolithic scorer.
 //!   `hdc::ItemMemory` is built on one and delegates `nearest`/`top_k` to
 //!   it; the `serve` crate hot-swaps snapshots of one under live traffic.
+//! * [`RoutedClassMemory`] — a two-level coarse-to-fine index: seeded
+//!   k-means centroids route each query to its `nprobe` nearest clusters
+//!   (each a per-cluster packed shard), and the candidates are exactly
+//!   re-ranked on `(hamming, label)` — sub-linear candidate generation with
+//!   bit-identical results under full probing.
 //! * [`PackedQueryBatch`] + [`BatchScorer`] — batched `score_batch` /
 //!   `nearest_batch` / `topk_batch`, chunked across a vendored
 //!   work-stealing-free scoped-thread pool ([`minipool::Pool`]).
@@ -63,12 +68,14 @@
 
 pub mod batch;
 pub mod dense;
+pub mod index;
 pub mod packed;
 pub mod scorer;
 pub mod sharded;
 
 pub use batch::{BatchScorer, PackedQueryBatch};
 pub use dense::{DenseClassMemory, DenseMetric};
+pub use index::{RoutedClassMemory, RoutedConfig};
 pub use minipool::Pool;
 pub use packed::{
     mask_tail_word, pack_float_signs, pack_signs, pack_signs_into, similarity_from_hamming,

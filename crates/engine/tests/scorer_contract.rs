@@ -1,6 +1,6 @@
 //! Generic property tests for the unified [`Scorer`] trait: one checker,
-//! run against all three backends (dense, packed, sharded) built from the
-//! *same* labelled ±1 prototype set.
+//! run against all four backends (dense, packed, sharded, routed) built
+//! from the *same* labelled ±1 prototype set.
 //!
 //! Pinned per backend:
 //!
@@ -16,6 +16,8 @@
 //!
 //! * packed ↔ sharded results are **bit-identical** (labels and similarity
 //!   bits) for every shard count — the monolithic-merge contract;
+//! * packed ↔ routed (full probing) results are **bit-identical** for
+//!   every cluster count — the coarse-to-fine exact-re-rank contract;
 //! * the dense backend's cosine scores are bit-identical to the serial
 //!   `tensor::ops::cosine_similarity_matrix` reference.
 //!
@@ -23,7 +25,8 @@
 //! frequent rather than accidental.
 
 use engine::{
-    pack_signs, DenseClassMemory, PackedClassMemory, PackedQueryBatch, Scorer, ShardedClassMemory,
+    pack_signs, DenseClassMemory, PackedClassMemory, PackedQueryBatch, RoutedClassMemory,
+    RoutedConfig, Scorer, ShardedClassMemory,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -187,6 +190,19 @@ proptest! {
         let sharded = sharded.with_threads(threads);
         check_contract(&sharded, &packed_batch, &packed_refs, problem.queries.len(), "sharded");
 
+        // Routed backend over the same class set, fully probing (the mode
+        // whose contract is bit-identical to the exhaustive scan). Reuse
+        // the shard count draw as the cluster count.
+        let mut routed = RoutedClassMemory::new(
+            dim,
+            RoutedConfig { clusters: shards, seed, ..RoutedConfig::default() },
+        );
+        for (label, proto) in problem.labels.iter().zip(&problem.protos) {
+            routed.add_class(label.clone(), proto);
+        }
+        let routed = routed.with_threads(threads);
+        check_contract(&routed, &packed_batch, &packed_refs, problem.queries.len(), "routed");
+
         // Dense backend over the same class set, as floats.
         let float_rows: Vec<Vec<f32>> = problem
             .protos
@@ -207,7 +223,7 @@ proptest! {
         let dense_refs: Vec<&[f32]> = float_queries.iter().map(Vec::as_slice).collect();
         check_contract(&dense, &dense_batch, &dense_refs, problem.queries.len(), "dense");
 
-        // Cross-backend bit-parity: packed ↔ sharded.
+        // Cross-backend bit-parity: packed ↔ sharded ↔ routed.
         for (q, query) in packed_refs.iter().enumerate() {
             for k in [1usize, classes, classes + 4] {
                 let p: Vec<(&str, u32)> = Scorer::top_k(&packed, query, k)
@@ -218,7 +234,12 @@ proptest! {
                     .into_iter()
                     .map(|(l, s)| (l, s.to_bits()))
                     .collect();
-                prop_assert_eq!(p, s, "packed vs sharded q{} k{}", q, k);
+                let r: Vec<(&str, u32)> = Scorer::top_k(&routed, query, k)
+                    .into_iter()
+                    .map(|(l, s)| (l, s.to_bits()))
+                    .collect();
+                prop_assert_eq!(p.clone(), s, "packed vs sharded q{} k{}", q, k);
+                prop_assert_eq!(p, r, "packed vs routed q{} k{}", q, k);
             }
         }
 
@@ -255,17 +276,21 @@ proptest! {
     fn empty_memories_are_consistent(dim in 1usize..100) {
         let packed = PackedClassMemory::new(dim);
         let sharded = ShardedClassMemory::new(dim, 2);
+        let routed = RoutedClassMemory::new(dim, RoutedConfig::default());
         let dense = DenseClassMemory::cosine(Vec::<String>::new(), Matrix::zeros(0, dim));
         let packed_query = vec![0u64; engine::words_per_row(dim)];
         let dense_query = vec![0.0f32; dim];
         prop_assert!(Scorer::is_empty(&packed));
         prop_assert!(Scorer::is_empty(&sharded));
+        prop_assert!(Scorer::is_empty(&routed));
         prop_assert!(Scorer::is_empty(&dense));
         prop_assert!(Scorer::nearest(&packed, &packed_query).is_none());
         prop_assert!(Scorer::nearest(&sharded, &packed_query).is_none());
+        prop_assert!(Scorer::nearest(&routed, &packed_query).is_none());
         prop_assert!(Scorer::nearest(&dense, &dense_query).is_none());
         prop_assert!(Scorer::top_k(&packed, &packed_query, 3).is_empty());
         prop_assert!(Scorer::top_k(&sharded, &packed_query, 3).is_empty());
+        prop_assert!(Scorer::top_k(&routed, &packed_query, 3).is_empty());
         prop_assert!(Scorer::top_k(&dense, &dense_query, 3).is_empty());
     }
 }

@@ -24,9 +24,21 @@
 //!
 //! Ties on similarity resolve to the lexicographically smallest label, so
 //! lookup results are deterministic and independent of insertion order.
+//!
+//! # Indexed mode
+//!
+//! [`ItemMemory::with_routed_index`] (or [`ItemMemory::enable_routed_index`]
+//! on a populated memory) additionally maintains an
+//! [`engine::RoutedClassMemory`] — a coarse-to-fine k-means-routed index —
+//! and runs every lookup through it instead of the exhaustive sharded sweep.
+//! Mutations stay incremental: an insert or remove repacks only the touched
+//! cluster, and the index tracks centroid drift against a deterministic
+//! re-cluster threshold. With full probing (the [`RoutedConfig`] default)
+//! results remain bit-identical to the exhaustive path; dialling
+//! `nprobe` down trades recall for a sub-linear candidate shortlist.
 
 use crate::{BipolarHypervector, HdcError};
-use engine::{PackedClassMemory, Scorer, ShardedClassMemory};
+use engine::{PackedClassMemory, RoutedClassMemory, RoutedConfig, Scorer, ShardedClassMemory};
 use serde::{de, DeError, Deserialize, Serialize, Value};
 
 /// A labelled associative memory of bipolar prototype hypervectors.
@@ -51,25 +63,48 @@ pub struct ItemMemory {
     // Invariants: `labels` and `prototypes` are parallel vectors in
     // insertion order, and `sharded` holds exactly the same label set (in
     // its own shard-major order); every mutation goes through `try_insert`,
-    // which updates all three. The sharded mirror is derived state — the
-    // hand-written `Deserialize` below rebuilds it from the prototypes
-    // instead of persisting it.
+    // which updates all three — plus the optional `routed` index, which when
+    // present holds the same label set again (cluster-major) and takes over
+    // the lookup path. All engine mirrors are derived state — the
+    // hand-written `Deserialize` below rebuilds them from the prototypes
+    // instead of persisting them.
     labels: Vec<String>,
     prototypes: Vec<BipolarHypervector>,
     sharded: ShardedClassMemory,
+    routed: Option<RoutedClassMemory>,
 }
 
-/// Checkpoint format: dimensionality, shard count, and the labelled
-/// prototypes. The engine's [`ShardedClassMemory`] mirror is derived state
-/// and is rebuilt on load rather than persisted.
+/// Checkpoint format: dimensionality, shard count, the labelled prototypes,
+/// and (for indexed memories) the routed-index configuration. The engine's
+/// [`ShardedClassMemory`] and [`RoutedClassMemory`] mirrors are derived
+/// state and are rebuilt on load rather than persisted: loading an indexed
+/// checkpoint re-clusters the final prototype set under the saved seed, so
+/// two loads of the same document always agree bit-for-bit.
 impl Serialize for ItemMemory {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut entries = vec![
             ("dim".to_string(), self.dim.to_value()),
             ("shards".to_string(), self.sharded.num_shards().to_value()),
             ("labels".to_string(), self.labels.to_value()),
             ("prototypes".to_string(), self.prototypes.to_value()),
-        ])
+        ];
+        if let Some(routed) = &self.routed {
+            let config = routed.config();
+            entries.push((
+                "routed".to_string(),
+                Value::Object(vec![
+                    ("clusters".to_string(), config.clusters.to_value()),
+                    ("nprobe".to_string(), config.nprobe.to_value()),
+                    ("seed".to_string(), config.seed.to_value()),
+                    ("kmeans_iters".to_string(), config.kmeans_iters.to_value()),
+                    (
+                        "recluster_percent".to_string(),
+                        config.recluster_percent.to_value(),
+                    ),
+                ]),
+            ));
+        }
+        Value::Object(entries)
     }
 }
 
@@ -100,11 +135,27 @@ impl Deserialize for ItemMemory {
             ))
             .in_field("ItemMemory"));
         }
+        let routed_config = match entries.iter().find(|(k, _)| k == "routed") {
+            Some((_, value)) => {
+                let fields = de::expect_object(value, "ItemMemory.routed")?;
+                Some(RoutedConfig {
+                    clusters: de::field(fields, "clusters", "ItemMemory.routed")?,
+                    nprobe: de::field(fields, "nprobe", "ItemMemory.routed")?,
+                    seed: de::field(fields, "seed", "ItemMemory.routed")?,
+                    kmeans_iters: de::field(fields, "kmeans_iters", "ItemMemory.routed")?,
+                    recluster_percent: de::field(fields, "recluster_percent", "ItemMemory.routed")?,
+                })
+            }
+            None => None,
+        };
         let mut memory = ItemMemory::with_shards(dim, shards);
         for (label, hv) in labels.into_iter().zip(prototypes) {
             memory
                 .try_insert(label, hv)
                 .map_err(|e| DeError::new(e.to_string()).in_field("ItemMemory"))?;
+        }
+        if let Some(config) = routed_config {
+            memory.enable_routed_index(config);
         }
         Ok(memory)
     }
@@ -136,6 +187,57 @@ impl ItemMemory {
             labels: Vec::new(),
             prototypes: Vec::new(),
             sharded: ShardedClassMemory::new(dim, shards),
+            routed: None,
+        }
+    }
+
+    /// Creates an empty *indexed* item memory: alongside the exhaustive
+    /// engine mirror it maintains a coarse-to-fine
+    /// [`engine::RoutedClassMemory`] under `config` and runs every lookup
+    /// through it. With the default full probing (`nprobe = 0`) lookups stay
+    /// bit-identical to the exhaustive path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn with_routed_index(dim: usize, config: RoutedConfig) -> Self {
+        let mut memory = Self::new(dim);
+        memory.enable_routed_index(config);
+        memory
+    }
+
+    /// Switches this memory into indexed mode, (re)building the routed index
+    /// over the current prototypes by a fresh seeded clustering of the final
+    /// class set — a pure function of `config` and the stored prototypes.
+    /// Subsequent mutations keep the index in sync incrementally (only the
+    /// touched cluster is repacked; centroid drift is tracked against the
+    /// config's deterministic re-cluster threshold).
+    pub fn enable_routed_index(&mut self, config: RoutedConfig) {
+        let mut routed = RoutedClassMemory::new(self.dim, config);
+        for (label, hv) in self.labels.iter().zip(&self.prototypes) {
+            routed.add_class(label.clone(), hv.as_slice());
+        }
+        // One deterministic clustering over the final set, rather than
+        // whatever incremental structure the insertion replay left behind.
+        routed.recluster();
+        self.routed = Some(routed);
+    }
+
+    /// The routed coarse-to-fine index, if this memory is in indexed mode.
+    pub fn routed(&self) -> Option<&RoutedClassMemory> {
+        self.routed.as_ref()
+    }
+
+    /// Re-aims the routed index at `nprobe` probed clusters per query
+    /// (`0` = probe all). Returns `false` (and does nothing) if this memory
+    /// is not in indexed mode.
+    pub fn set_nprobe(&mut self, nprobe: usize) -> bool {
+        match &mut self.routed {
+            Some(routed) => {
+                routed.set_nprobe(nprobe);
+                true
+            }
+            None => false,
         }
     }
 
@@ -211,6 +313,9 @@ impl ItemMemory {
         }
         let label = label.into();
         self.sharded.add_class(label.clone(), hv.as_slice());
+        if let Some(routed) = &mut self.routed {
+            routed.add_class(label.clone(), hv.as_slice());
+        }
         if let Some(pos) = self.labels.iter().position(|l| *l == label) {
             let old = std::mem::replace(&mut self.prototypes[pos], hv);
             Ok(Some(old))
@@ -226,6 +331,9 @@ impl ItemMemory {
     pub fn remove(&mut self, label: &str) -> Option<BipolarHypervector> {
         let pos = self.labels.iter().position(|l| l == label)?;
         self.sharded.remove_class(label);
+        if let Some(routed) = &mut self.routed {
+            routed.remove_class(label);
+        }
         self.labels.remove(pos);
         Some(self.prototypes.remove(pos))
     }
@@ -268,7 +376,10 @@ impl ItemMemory {
             "query dimensionality must match the item memory"
         );
         let query_words = engine::pack_signs(query.as_slice());
-        Scorer::nearest(&self.sharded, &query_words)
+        match &self.routed {
+            Some(routed) => routed.nearest(&query_words),
+            None => Scorer::nearest(&self.sharded, &query_words),
+        }
     }
 
     /// Returns the `k` most similar prototypes, most similar first, via the
@@ -291,7 +402,10 @@ impl ItemMemory {
             "query dimensionality must match the item memory"
         );
         let query_words = engine::pack_signs(query.as_slice());
-        Scorer::top_k(&self.sharded, &query_words, k)
+        match &self.routed {
+            Some(routed) => routed.top_k(&query_words, k),
+            None => Scorer::top_k(&self.sharded, &query_words, k),
+        }
     }
 }
 
@@ -589,6 +703,122 @@ mod tests {
         let bad = json.replace("\"shards\":1", "\"shards\":0");
         assert_ne!(bad, json);
         assert!(serde_json::from_str::<ItemMemory>(&bad).is_err());
+    }
+
+    /// Indexed mode with full probing must be a drop-in: across an
+    /// add/replace/remove mutation sequence, nearest and top-k through the
+    /// routed index stay bit-identical to the exhaustive sharded path, and
+    /// the index tracks the live class set incrementally.
+    #[test]
+    fn routed_index_lookups_bit_identical_to_exhaustive() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let dim = 130; // ragged on purpose
+        let mut plain = ItemMemory::new(dim);
+        let mut indexed = ItemMemory::with_routed_index(
+            dim,
+            engine::RoutedConfig {
+                clusters: 3,
+                ..engine::RoutedConfig::default()
+            },
+        );
+        assert!(indexed.routed().expect("indexed").probes_exhaustively());
+        fn check(plain: &ItemMemory, indexed: &ItemMemory, dim: usize, rng: &mut StdRng) {
+            assert_eq!(indexed.routed().expect("indexed").len(), plain.len());
+            for _ in 0..4 {
+                let query = BipolarHypervector::random(dim, rng);
+                assert_eq!(
+                    indexed
+                        .nearest(&query)
+                        .map(|(l, s)| (l.to_string(), s.to_bits())),
+                    plain
+                        .nearest(&query)
+                        .map(|(l, s)| (l.to_string(), s.to_bits()))
+                );
+                let routed_top: Vec<(String, u32)> = indexed
+                    .top_k(&query, 5)
+                    .into_iter()
+                    .map(|(l, s)| (l.to_string(), s.to_bits()))
+                    .collect();
+                let plain_top: Vec<(String, u32)> = plain
+                    .top_k(&query, 5)
+                    .into_iter()
+                    .map(|(l, s)| (l.to_string(), s.to_bits()))
+                    .collect();
+                assert_eq!(routed_top, plain_top);
+            }
+        }
+        for i in 0..20 {
+            let hv = BipolarHypervector::random(dim, &mut rng);
+            plain.insert(format!("c{i:02}"), hv.clone());
+            indexed.insert(format!("c{i:02}"), hv);
+        }
+        check(&plain, &indexed, dim, &mut rng);
+        // Replace some, remove some — only touched clusters repack.
+        for i in [3usize, 7, 11] {
+            let hv = BipolarHypervector::random(dim, &mut rng);
+            plain.insert(format!("c{i:02}"), hv.clone());
+            indexed.insert(format!("c{i:02}"), hv);
+        }
+        for i in [0usize, 14] {
+            assert!(plain.remove(&format!("c{i:02}")).is_some());
+            assert!(indexed.remove(&format!("c{i:02}")).is_some());
+        }
+        check(&plain, &indexed, dim, &mut rng);
+    }
+
+    /// Indexed checkpoints persist only the routed *configuration*; loading
+    /// re-clusters the final prototype set under the saved seed, so restored
+    /// memories agree with the original bit-for-bit under full probing and
+    /// two loads of the same document are structurally identical.
+    #[test]
+    fn serde_round_trip_rebuilds_routed_index() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let dim = 96;
+        let mut mem = ItemMemory::with_routed_index(
+            dim,
+            engine::RoutedConfig {
+                clusters: 4,
+                seed: 99,
+                ..engine::RoutedConfig::default()
+            },
+        );
+        for i in 0..15 {
+            mem.insert(
+                format!("c{i:02}"),
+                BipolarHypervector::random(dim, &mut rng),
+            );
+        }
+        let json = serde_json::to_string(&mem).expect("serialize");
+        assert!(json.contains("\"routed\""));
+        assert!(
+            !json.contains("\"centroids\""),
+            "routed mirror must not be persisted: {json}"
+        );
+        let restored: ItemMemory = serde_json::from_str(&json).expect("deserialize");
+        let restored_again: ItemMemory = serde_json::from_str(&json).expect("deserialize");
+        let routed = restored.routed().expect("indexed mode survives");
+        assert_eq!(routed.config(), mem.routed().expect("indexed").config());
+        assert_eq!(routed, restored_again.routed().expect("indexed"));
+        for _ in 0..5 {
+            let query = BipolarHypervector::random(dim, &mut rng);
+            assert_eq!(
+                restored
+                    .nearest(&query)
+                    .map(|(l, s)| (l.to_string(), s.to_bits())),
+                mem.nearest(&query)
+                    .map(|(l, s)| (l.to_string(), s.to_bits()))
+            );
+        }
+        // Non-indexed memories keep serializing without the field.
+        let plain = ItemMemory::new(dim);
+        assert!(!serde_json::to_string(&plain)
+            .expect("serialize")
+            .contains("\"routed\""));
+        // set_nprobe is a no-op off-index, live on-index.
+        let mut plain = plain;
+        assert!(!plain.set_nprobe(2));
+        assert!(mem.set_nprobe(2));
+        assert!(!mem.routed().expect("indexed").probes_exhaustively());
     }
 
     #[test]

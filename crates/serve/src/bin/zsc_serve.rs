@@ -41,14 +41,22 @@
 //! bit-identically against `ModelSnapshot::solo_topk`. See
 //! `docs/operations.md` for how to read the report.
 //!
+//! `--net-addr host:port` points the same load generator at an
+//! **already-running** front-end instead of standing one up: no model is
+//! trained, the query pool is synthesized in the feature width the remote
+//! `welcome` frame declares, and — with no local model to score against —
+//! the bit-identity cross-check is *skipped and reported as skipped* in
+//! both the log and the JSON (`"bit_identity": "skipped"`). No mutation
+//! drill runs against a remote server.
+//!
 //! ```text
 //! zsc_serve [--classes N] [--images N] [--feature-dim N] [--epochs N]
 //!           [--queries N] [--callers N] [--max-batch N] [--max-wait-us N]
 //!           [--threads N] [--top-k K] [--shards N] [--register N]
 //!           [--seed N] [--checkpoint PATH] [--wal-dir PATH] [--recover]
-//!           [--kill-after-register] [--net] [--net-qps A,B,..]
-//!           [--net-clients N] [--net-requests N] [--net-admission N]
-//!           [--quick] [--json]
+//!           [--kill-after-register] [--net] [--net-addr HOST:PORT]
+//!           [--net-qps A,B,..] [--net-clients N] [--net-requests N]
+//!           [--net-admission N] [--quick] [--json]
 //! ```
 
 use dataset::{AttributeSchema, CubLikeDataset, DatasetConfig, SplitKind};
@@ -82,6 +90,7 @@ struct Config {
     recover: bool,
     kill_after_register: bool,
     net: bool,
+    net_addr: Option<String>,
     net_qps: Vec<u64>,
     net_clients: usize,
     net_requests: usize,
@@ -110,6 +119,7 @@ impl Default for Config {
             recover: false,
             kill_after_register: false,
             net: false,
+            net_addr: None,
             net_qps: vec![2_000, 8_000, 32_000],
             net_clients: 8,
             net_requests: 2_000,
@@ -150,6 +160,10 @@ fn parse_args() -> Config {
             "--recover" => config.recover = true,
             "--kill-after-register" => config.kill_after_register = true,
             "--net" => config.net = true,
+            "--net-addr" => {
+                config.net_addr = Some(value("--net-addr"));
+                config.net = true;
+            }
             "--net-qps" => {
                 config.net_qps = value("--net-qps")
                     .split(',')
@@ -190,8 +204,8 @@ fn parse_args() -> Config {
                      [--queries N] [--callers N] [--max-batch N] [--max-wait-us N] [--threads N] \
                      [--top-k K] [--shards N] [--register N] [--seed N] [--checkpoint PATH] \
                      [--wal-dir PATH] [--recover] [--kill-after-register] \
-                     [--net] [--net-qps A,B,..] [--net-clients N] [--net-requests N] \
-                     [--net-admission N] [--quick] [--json]"
+                     [--net] [--net-addr HOST:PORT] [--net-qps A,B,..] [--net-clients N] \
+                     [--net-requests N] [--net-admission N] [--quick] [--json]"
                 );
                 std::process::exit(0);
             }
@@ -407,6 +421,7 @@ fn run_recovery(config: &Config) {
             threads: config.threads,
             top_k,
             shards: config.shards,
+            routed: None,
         },
         DurabilityConfig::new(wal_dir),
     )
@@ -474,6 +489,203 @@ fn run_recovery(config: &Config) {
     }
 }
 
+/// Reference answers for the sweep's bit-identity cross-check: per pool
+/// row, the `(label, raw f32 bits)` pairs solo scoring produced.
+type ExpectedBits = [Vec<(String, u32)>];
+
+/// The shared open-loop qps sweep behind both `--net` modes. Each step
+/// schedules sends at the target rate (open loop: a sender that falls
+/// behind fires its backlog immediately rather than stretching the
+/// schedule) and load-shed requests are dropped, not retried. When
+/// `expected` carries the reference answers of a local model, every
+/// answered query is cross-checked bit-identically; when it is `None`
+/// (remote server, `--net-addr`) answers are checked for shape only and
+/// the caller reports the cross-check as skipped.
+fn net_sweep(
+    addr: std::net::SocketAddr,
+    pool: &[Vec<f32>],
+    expected: Option<(u64, &ExpectedBits)>,
+    config: &Config,
+) -> Vec<String> {
+    let clients = config.net_clients.max(1);
+    let per_client = (config.net_requests / clients).max(1);
+    let mut steps = Vec::new();
+    for &target in &config.net_qps {
+        let interval = Duration::from_secs_f64(clients as f64 / target.max(1) as f64);
+        let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(clients * per_client));
+        let step_start = Instant::now();
+        let (answered, shed) = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for c in 0..clients {
+                let latencies = &latencies;
+                handles.push(scope.spawn(move || {
+                    let mut client = NetClient::connect(addr, ClientConfig::default())
+                        .expect("load generator connects");
+                    let (mut answered, mut shed) = (0usize, 0usize);
+                    let start = Instant::now();
+                    for i in 0..per_client {
+                        // Open-loop schedule: request i of this sender is
+                        // due at i * interval; a late sender fires
+                        // immediately instead of stretching the schedule.
+                        let due = interval.mul_f64(i as f64);
+                        let now = start.elapsed();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let pick = (c * per_client + i) % pool.len();
+                        let submit = Instant::now();
+                        match client.query(&pool[pick], None) {
+                            Ok((version, served)) => {
+                                if let Some((sweep_version, want_all)) = expected {
+                                    assert_eq!(
+                                        version, sweep_version,
+                                        "no mutations during the sweep"
+                                    );
+                                    let want = &want_all[pick];
+                                    assert_eq!(served.len(), want.len());
+                                    for ((sl, ss), (el, eb)) in served.iter().zip(want) {
+                                        assert_eq!(
+                                            sl, el,
+                                            "served label diverged from solo scoring"
+                                        );
+                                        assert_eq!(
+                                            ss.to_bits(),
+                                            *eb,
+                                            "served similarity diverged from solo scoring"
+                                        );
+                                    }
+                                } else {
+                                    assert!(
+                                        !served.is_empty(),
+                                        "remote server answered an empty top-k"
+                                    );
+                                }
+                                latencies
+                                    .lock()
+                                    .expect("latency mutex")
+                                    .push(submit.elapsed().as_secs_f64() * 1e6);
+                                answered += 1;
+                            }
+                            Err(e) if e.is_rejection(wire::code::OVERLOADED) => shed += 1,
+                            Err(e) => panic!("load generator hit an unexpected failure: {e}"),
+                        }
+                    }
+                    (answered, shed)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sender thread"))
+                .fold((0usize, 0usize), |(a, s), (da, ds)| (a + da, s + ds))
+        });
+        let elapsed_s = step_start.elapsed().as_secs_f64();
+        let sent = clients * per_client;
+        let lats = latencies.into_inner().expect("latency mutex");
+        let stats = if lats.is_empty() {
+            PathStats {
+                queries: 0,
+                elapsed_s,
+                qps: 0.0,
+                p50_us: 0.0,
+                p95_us: 0.0,
+                p99_us: 0.0,
+            }
+        } else {
+            PathStats::new(lats, elapsed_s)
+        };
+        eprintln!(
+            "zsc_serve: net step target {target} q/s \u{2192} sent {sent}, answered {answered}, \
+             shed {shed}, goodput {:.0} q/s (p50 {:.0}\u{b5}s, p99 {:.0}\u{b5}s)",
+            stats.qps, stats.p50_us, stats.p99_us
+        );
+        steps.push(format!(
+            "{{\"target_qps\": {target}, \"sent\": {sent}, \"answered\": {answered}, \
+             \"shed\": {shed}, \"goodput_qps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"elapsed_s\": {:.6}}}",
+            stats.qps, stats.p50_us, stats.p95_us, stats.p99_us, stats.elapsed_s
+        ));
+    }
+    steps
+}
+
+/// `--net --net-addr host:port`: drive the same open-loop load generator
+/// against an **already-running** front-end. No model is trained and no
+/// local server is stood up: the query pool is synthesized in the
+/// feature width the remote `welcome` frame declares. Without a local
+/// model there is no reference scorer, so the bit-identity cross-check
+/// is skipped and *reported* as skipped; the sweep still pins liveness,
+/// typed load-shedding, and latency. The mutation drill does not run —
+/// the remote model is not ours to mutate.
+fn run_net_remote(config: &Config, addr_spec: &str) {
+    use std::net::ToSocketAddrs;
+    let addr = addr_spec
+        .to_socket_addrs()
+        .unwrap_or_else(|e| panic!("--net-addr {addr_spec}: {e}"))
+        .next()
+        .unwrap_or_else(|| panic!("--net-addr {addr_spec} resolved to no address"));
+    let mut probe = NetClient::connect(addr, ClientConfig::default())
+        .expect("remote front-end accepts the handshake");
+    let welcome = probe.welcome();
+    eprintln!(
+        "zsc_serve: remote front-end at {addr}: protocol v{}, feature_dim {}, \
+         {} classes at snapshot v{}",
+        welcome.protocol, welcome.feature_dim, welcome.classes, welcome.snapshot_version
+    );
+
+    let pool = synthetic_pool(64, welcome.feature_dim as usize, config.seed);
+    let steps = net_sweep(addr, &pool, None, config);
+    eprintln!(
+        "zsc_serve: bit-identity cross-check SKIPPED \u{2014} remote server at {addr_spec}, \
+         no local model to score against"
+    );
+
+    let stats = probe
+        .stats()
+        .expect("remote front-end answers a stats request");
+    let clients = config.net_clients.max(1);
+    let per_client = (config.net_requests / clients).max(1);
+    let json = format!(
+        "{{\n  \"config\": {{\"net_addr\": \"{addr_spec}\", \"seed\": {}, \
+         \"net_clients\": {clients}, \"net_requests_per_client\": {per_client}}},\n  \
+         \"bit_identity\": \"skipped\",\n  \
+         \"remote\": {{\"protocol\": {}, \"feature_dim\": {}, \"classes\": {}, \
+         \"snapshot_version\": {}, \"queries\": {}, \"batches\": {}, \
+         \"net_requests\": {}}},\n  \
+         \"net_sweep\": [{}]\n}}",
+        config.seed,
+        welcome.protocol,
+        welcome.feature_dim,
+        stats.classes,
+        stats.snapshot_version,
+        stats.queries,
+        stats.batches,
+        stats.net_requests,
+        steps.join(", "),
+    );
+    if config.json {
+        println!("{json}");
+    } else {
+        eprintln!("{json}");
+    }
+}
+
+/// Seeded synthetic feature rows for driving a remote server we know
+/// only the feature width of: splitmix64 mapped into [0, 1).
+fn synthetic_pool(rows: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 40) as f32 / (1u64 << 24) as f32
+    };
+    (0..rows)
+        .map(|_| (0..dim).map(|_| next()).collect())
+        .collect()
+}
+
 /// `--net`: stand the TCP front-end up over a freshly trained model and
 /// drive it with an open-loop network load generator, sweeping target
 /// qps levels.
@@ -522,6 +734,7 @@ fn run_net_mode(config: &Config) {
                 threads: config.threads,
                 top_k: config.top_k,
                 shards: config.shards,
+                routed: None,
             },
         )
         .expect("server starts"),
@@ -566,91 +779,8 @@ fn run_net_mode(config: &Config) {
     // --- open-loop qps sweep ------------------------------------------------
     let clients = config.net_clients.max(1);
     let per_client = (config.net_requests / clients).max(1);
-    let mut steps = Vec::new();
-    for &target in &config.net_qps {
-        let interval = Duration::from_secs_f64(clients as f64 / target.max(1) as f64);
-        let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(clients * per_client));
-        let step_start = Instant::now();
-        let (answered, shed) = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for c in 0..clients {
-                let pool = &pool;
-                let expected = &expected;
-                let latencies = &latencies;
-                handles.push(scope.spawn(move || {
-                    let mut client = NetClient::connect(addr, ClientConfig::default())
-                        .expect("load generator connects");
-                    let (mut answered, mut shed) = (0usize, 0usize);
-                    let start = Instant::now();
-                    for i in 0..per_client {
-                        // Open-loop schedule: request i of this sender is
-                        // due at i * interval; a late sender fires
-                        // immediately instead of stretching the schedule.
-                        let due = interval.mul_f64(i as f64);
-                        let now = start.elapsed();
-                        if due > now {
-                            std::thread::sleep(due - now);
-                        }
-                        let pick = (c * per_client + i) % pool.len();
-                        let submit = Instant::now();
-                        match client.query(&pool[pick], None) {
-                            Ok((version, served)) => {
-                                assert_eq!(version, sweep_version, "no mutations during the sweep");
-                                let want = &expected[pick];
-                                assert_eq!(served.len(), want.len());
-                                for ((sl, ss), (el, eb)) in served.iter().zip(want) {
-                                    assert_eq!(sl, el, "served label diverged from solo scoring");
-                                    assert_eq!(
-                                        ss.to_bits(),
-                                        *eb,
-                                        "served similarity diverged from solo scoring"
-                                    );
-                                }
-                                latencies
-                                    .lock()
-                                    .expect("latency mutex")
-                                    .push(submit.elapsed().as_secs_f64() * 1e6);
-                                answered += 1;
-                            }
-                            Err(e) if e.is_rejection(wire::code::OVERLOADED) => shed += 1,
-                            Err(e) => panic!("load generator hit an unexpected failure: {e}"),
-                        }
-                    }
-                    (answered, shed)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sender thread"))
-                .fold((0usize, 0usize), |(a, s), (da, ds)| (a + da, s + ds))
-        });
-        let elapsed_s = step_start.elapsed().as_secs_f64();
-        let sent = clients * per_client;
-        let lats = latencies.into_inner().expect("latency mutex");
-        let stats = if lats.is_empty() {
-            PathStats {
-                queries: 0,
-                elapsed_s,
-                qps: 0.0,
-                p50_us: 0.0,
-                p95_us: 0.0,
-                p99_us: 0.0,
-            }
-        } else {
-            PathStats::new(lats, elapsed_s)
-        };
-        eprintln!(
-            "zsc_serve: net step target {target} q/s → sent {sent}, answered {answered}, \
-             shed {shed}, goodput {:.0} q/s (p50 {:.0}µs, p99 {:.0}µs)",
-            stats.qps, stats.p50_us, stats.p99_us
-        );
-        steps.push(format!(
-            "{{\"target_qps\": {target}, \"sent\": {sent}, \"answered\": {answered}, \
-             \"shed\": {shed}, \"goodput_qps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
-             \"p99_us\": {:.1}, \"elapsed_s\": {:.6}}}",
-            stats.qps, stats.p50_us, stats.p95_us, stats.p99_us, stats.elapsed_s
-        ));
-    }
+    let expected_bits: Vec<Vec<(String, u32)>> = expected;
+    let steps = net_sweep(addr, &pool, Some((sweep_version, &expected_bits)), config);
     eprintln!("zsc_serve: all answered sweep queries were bit-identical to solo scoring");
 
     // --- mutation drill over the wire --------------------------------------
@@ -680,6 +810,7 @@ fn run_net_mode(config: &Config) {
          \"epochs\": {}, \"top_k\": {}, \"shards\": {}, \"seed\": {}, \"net_clients\": {clients}, \
          \"net_requests_per_client\": {per_client}, \"net_admission\": {}}},\n  \
          \"train\": {{\"elapsed_s\": {train_s:.3}, \"zs_top1\": {:.4}}},\n  \
+         \"bit_identity\": \"checked\",\n  \
          \"net_sweep\": [{}],\n  \
          \"front_end\": {{\"connections\": {}, \"refused_connections\": {}, \"requests\": {}, \
          \"admitted\": {}, \"overloaded\": {}, \"quota_rejections\": {}, \
@@ -716,7 +847,10 @@ fn main() {
         return;
     }
     if config.net {
-        run_net_mode(&config);
+        match &config.net_addr {
+            Some(addr) => run_net_remote(&config, addr),
+            None => run_net_mode(&config),
+        }
         return;
     }
     eprintln!(
@@ -792,6 +926,7 @@ fn main() {
         threads: config.threads,
         top_k: config.top_k,
         shards: config.shards,
+        routed: None,
     };
     let server = match &config.wal_dir {
         // Durable serving: class mutations are write-ahead-logged under

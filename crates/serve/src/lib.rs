@@ -76,6 +76,7 @@ mod tests {
                     threads,
                     top_k: 4,
                     shards,
+                    routed: None,
                 },
             )
             .expect("server starts");
@@ -109,6 +110,7 @@ mod tests {
                 threads: 2,
                 top_k: 3,
                 shards: 4,
+                routed: None,
             },
         )
         .expect("server starts");

@@ -55,7 +55,7 @@
 
 use crate::wal::{self, SyncPolicy, WalError, WalOp, WriteAheadLog};
 use dataset::AttributeSchema;
-use engine::{PackedQueryBatch, ShardedClassMemory};
+use engine::{PackedQueryBatch, RoutedClassMemory, RoutedConfig, ShardedClassMemory};
 use hdc_zsc::{Checkpoint, CheckpointDelta, FrozenModel};
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -84,6 +84,14 @@ pub struct ServerConfig {
     /// class registration cheaper (only the touched shard is repacked) at a
     /// small merge cost per query.
     pub shards: usize,
+    /// `Some` runs the server in **routed** mode: alongside the sharded
+    /// memory, every snapshot carries a coarse-to-fine
+    /// [`engine::RoutedClassMemory`] under this configuration and queries
+    /// are scored through it. With the config's default full probing
+    /// results stay bit-identical to the exhaustive path; a partial
+    /// `nprobe` shortlists a few clusters per query — the sub-linear mode
+    /// for very large class sets. `None` (the default) serves exhaustively.
+    pub routed: Option<RoutedConfig>,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +102,7 @@ impl Default for ServerConfig {
             threads: engine::Pool::auto().threads(),
             top_k: 5,
             shards: 4,
+            routed: None,
         }
     }
 }
@@ -306,6 +315,11 @@ pub struct ModelSnapshot {
     version: u64,
     model: FrozenModel,
     memory: ShardedClassMemory,
+    /// The coarse-to-fine index of a routed-mode server; evolves
+    /// incrementally with class mutations (only the touched cluster
+    /// repacks) and is rebuilt from scratch — deterministically — on model
+    /// swaps.
+    routed: Option<RoutedClassMemory>,
 }
 
 impl ModelSnapshot {
@@ -315,9 +329,17 @@ impl ModelSnapshot {
         self.version
     }
 
-    /// The sharded class memory queries are scored against.
+    /// The sharded class memory queries are scored against (directly, or —
+    /// in routed mode — as the ground truth the routed index shortlists
+    /// over).
     pub fn memory(&self) -> &ShardedClassMemory {
         &self.memory
+    }
+
+    /// The routed coarse-to-fine index, for snapshots published by a server
+    /// running in routed mode ([`ServerConfig::routed`]).
+    pub fn routed(&self) -> Option<&RoutedClassMemory> {
+        self.routed.as_ref()
     }
 
     /// The frozen model embedding the queries. Cloning the returned handle
@@ -338,9 +360,11 @@ impl ModelSnapshot {
             .model
             .embed_images(&Matrix::from_rows(&[features.to_vec()]));
         let packed = engine::pack_float_signs(embedding.row(0));
-        self.memory
-            .top_k(&packed, k)
-            .into_iter()
+        let top = match &self.routed {
+            Some(routed) => routed.top_k(&packed, k),
+            None => self.memory.top_k(&packed, k),
+        };
+        top.into_iter()
             .map(|(label, sim)| (label.to_string(), sim))
             .collect()
     }
@@ -456,9 +480,13 @@ impl QueryServer {
         let memory = model
             .sharded_class_memory(labels, class_attributes, config.shards)
             .with_threads(config.threads);
+        let routed = config
+            .routed
+            .map(|rc| routed_from_sharded(&memory, rc, config.threads));
         Ok(Self::start_with_parts(
             model,
             memory,
+            routed,
             attribute_dim,
             config,
             0,
@@ -472,6 +500,7 @@ impl QueryServer {
     fn start_with_parts(
         model: FrozenModel,
         memory: ShardedClassMemory,
+        routed: Option<RoutedClassMemory>,
         attribute_dim: usize,
         config: ServerConfig,
         version: u64,
@@ -482,6 +511,7 @@ impl QueryServer {
             version,
             model,
             memory,
+            routed,
         });
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
@@ -550,6 +580,9 @@ impl QueryServer {
         let memory = model
             .sharded_class_memory(labels, class_attributes, config.shards)
             .with_threads(config.threads);
+        let routed = config
+            .routed
+            .map(|rc| routed_from_sharded(&memory, rc, config.threads));
         // Base first, then the (empty) log: a crash in between leaves a
         // directory `recover` rejects loudly (no log) rather than one that
         // silently replays nothing against a stale base.
@@ -558,6 +591,7 @@ impl QueryServer {
             next_record_seq: 0,
             base: Checkpoint::capture(&model, schema),
             memory: memory.clone(),
+            routed: routed.clone(),
         }
         .save_json(wal::base_path(&durability.dir))?;
         let log = WriteAheadLog::create(wal::wal_path(&durability.dir), durability.sync)?;
@@ -571,6 +605,7 @@ impl QueryServer {
         Ok(Self::start_with_parts(
             model,
             memory,
+            routed,
             attribute_dim,
             config,
             0,
@@ -611,9 +646,22 @@ impl QueryServer {
             next_record_seq,
             base,
             memory,
+            routed,
         } = delta;
         let mut model = base.into_frozen(schema)?;
         let mut memory = memory.with_threads(config.threads);
+        // Resume the base's routed index only when it was built under
+        // exactly the requested routed configuration: replaying the same
+        // records into the same structure reproduces the pre-crash index
+        // bit-for-bit. Otherwise (config changed, routing newly requested,
+        // or a pre-routed base) a fresh deterministic build runs after
+        // replay.
+        let mut routed = match (config.routed, routed) {
+            (Some(rc), Some(saved)) if saved.config() == rc => {
+                Some(saved.with_threads(config.threads))
+            }
+            _ => None,
+        };
         let mut replayed_records = 0u64;
         for entry in &replay.entries {
             // Records the base already folds in (a crash can interleave a
@@ -635,9 +683,15 @@ impl QueryServer {
                         }));
                     }
                     memory.add_class_packed(label.clone(), words);
+                    if let Some(routed) = routed.as_mut() {
+                        routed.add_class_packed(label.clone(), words);
+                    }
                 }
                 WalOp::Remove { label } => {
                     memory.remove_class(label);
+                    if let Some(routed) = routed.as_mut() {
+                        routed.remove_class(label);
+                    }
                 }
                 WalOp::Swap {
                     checkpoint_json,
@@ -647,6 +701,12 @@ impl QueryServer {
                     checkpoint.validate_schema(schema)?;
                     model = checkpoint.into_frozen(schema)?;
                     memory = swapped.clone().with_threads(config.threads);
+                    // The live server rebuilds the routed index from the
+                    // swapped memory through the same pure function, so the
+                    // replayed index matches it exactly.
+                    routed = routed
+                        .as_ref()
+                        .map(|r| routed_from_sharded(&memory, r.config(), config.threads));
                 }
             }
             replayed_records += 1;
@@ -655,6 +715,9 @@ impl QueryServer {
             return Err(ServeError::InvalidConfig(
                 "recovered state has no registered classes".to_string(),
             ));
+        }
+        if let (Some(rc), None) = (config.routed, routed.as_ref()) {
+            routed = Some(routed_from_sharded(&memory, rc, config.threads));
         }
         let version = snapshot_version + replayed_records;
         let attribute_dim = model.attribute_encoder().num_attributes();
@@ -671,7 +734,15 @@ impl QueryServer {
             since_compact: replayed_records,
         };
         Ok((
-            Self::start_with_parts(model, memory, attribute_dim, config, version, Some(durable)),
+            Self::start_with_parts(
+                model,
+                memory,
+                routed,
+                attribute_dim,
+                config,
+                version,
+                Some(durable),
+            ),
             report,
         ))
     }
@@ -828,11 +899,16 @@ impl QueryServer {
         }
         let published = self.publish(|snapshot| {
             let mut memory = snapshot.memory.clone();
-            memory.add_class_packed(label, &signature);
+            memory.add_class_packed(label.clone(), &signature);
+            let routed = snapshot.routed.clone().map(|mut routed| {
+                routed.add_class_packed(label, &signature);
+                routed
+            });
             ModelSnapshot {
                 version: snapshot.version + 1,
                 model: snapshot.model.clone(),
                 memory,
+                routed,
             }
         });
         self.maybe_compact(control, &published)?;
@@ -869,10 +945,15 @@ impl QueryServer {
         let published = self.publish(|snapshot| {
             let mut memory = snapshot.memory.clone();
             memory.remove_class(label);
+            let routed = snapshot.routed.clone().map(|mut routed| {
+                routed.remove_class(label);
+                routed
+            });
             ModelSnapshot {
                 version: snapshot.version + 1,
                 model: snapshot.model.clone(),
                 memory,
+                routed,
             }
         });
         self.maybe_compact(&mut control, &published)?;
@@ -942,13 +1023,18 @@ impl QueryServer {
                 )));
             }
         }
-        let (shards, threads) = {
+        let (shards, threads, routed_config) = {
             let current = self.snapshot();
-            (current.memory.num_shards(), current.memory.threads())
+            (
+                current.memory.num_shards(),
+                current.memory.threads(),
+                current.routed.as_ref().map(|r| r.config()),
+            )
         };
         let memory = model
             .sharded_class_memory(labels, class_attributes, shards)
             .with_threads(threads);
+        let routed = routed_config.map(|rc| routed_from_sharded(&memory, rc, threads));
         if let Some(durable) = control.durable.as_mut() {
             durable.wal.append(&WalOp::Swap {
                 checkpoint_json: Checkpoint::capture(&model, &durable.schema).to_json(),
@@ -960,6 +1046,7 @@ impl QueryServer {
             version: snapshot.version + 1,
             model,
             memory,
+            routed,
         });
         self.maybe_compact(&mut control, &published)?;
         Ok(published)
@@ -1014,6 +1101,7 @@ impl QueryServer {
             next_record_seq: durable.wal.next_seq(),
             base: Checkpoint::capture(&snapshot.model, &durable.schema),
             memory: snapshot.memory.clone(),
+            routed: snapshot.routed.clone(),
         }
         .save_json(wal::base_path(&durable.dir))?;
         durable.wal.rotate()?;
@@ -1161,6 +1249,31 @@ impl Drop for QueryServer {
     }
 }
 
+/// The canonical routed-index build for a freshly (re)built sharded memory:
+/// feed the memory's classes in its own deterministic label order, then run
+/// one seeded clustering over the final set. A pure function of the
+/// memory's contents and `config`, shared by the constructors,
+/// [`QueryServer::swap_model`], *and* WAL replay of swap records — which is
+/// what makes a recovered routed index bit-identical to the one the
+/// pre-crash server published.
+fn routed_from_sharded(
+    memory: &ShardedClassMemory,
+    config: RoutedConfig,
+    threads: usize,
+) -> RoutedClassMemory {
+    let mut routed = RoutedClassMemory::new(memory.dim(), config);
+    let labels: Vec<String> = memory.labels().map(str::to_string).collect();
+    for label in labels {
+        let words = memory
+            .class_words(&label)
+            .expect("label just listed")
+            .to_vec();
+        routed.add_class_packed(label, &words);
+    }
+    routed.recluster();
+    routed.with_threads(threads)
+}
+
 /// The label/matrix agreement checks shared by every constructor.
 fn validate_class_set(labels: &[String], class_attributes: &Matrix) -> Result<(), ServeError> {
     if labels.len() != class_attributes.rows() {
@@ -1218,7 +1331,10 @@ fn dispatch_loop(shared: &Shared, config: ServerConfig) {
         // `ZscModel::sharded_class_memory` uses for the class side.
         let embeddings = snapshot.model.embed_images(&features);
         let queries = PackedQueryBatch::from_sign_matrix(&embeddings);
-        let topk = snapshot.memory.topk_batch(&queries, config.top_k);
+        let topk = match &snapshot.routed {
+            Some(routed) => routed.topk_batch(&queries, config.top_k),
+            None => snapshot.memory.topk_batch(&queries, config.top_k),
+        };
         {
             let mut stats = shared.stats.lock().expect("stats mutex poisoned");
             stats.queries += batch.len() as u64;

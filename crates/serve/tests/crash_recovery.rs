@@ -44,6 +44,7 @@ fn config() -> ServerConfig {
         threads: 2,
         top_k: 3,
         shards: 3,
+        routed: None,
     }
 }
 
@@ -202,6 +203,117 @@ fn kill_and_recover_restores_the_exact_serving_state() {
     assert_eq!(report.snapshot_version, 7);
     assert_snapshots_match(&torn.snapshot(), &expected, "torn-tail recovery");
     drop(torn);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The routed-mode drill: a durable server carrying a coarse-to-fine
+/// routed index — probing *partially*, so results genuinely depend on the
+/// clustering structure — lives through registrations, updates, removals, a
+/// model swap, and a compaction; killed and recovered under the same
+/// configuration, the rebuilt index is **structurally identical** (same
+/// cluster assignment, same centroids, same drift counter) and serves
+/// bit-identical results. Recovery under a different routed configuration
+/// falls back to a fresh deterministic clustering; recovery without routing
+/// drops the index.
+#[test]
+fn kill_and_recover_restores_the_exact_routed_index() {
+    let dir = temp_dir("routed");
+    let a = alpha();
+    let routed_config = engine::RoutedConfig {
+        clusters: 3,
+        nprobe: 2, // partial probing: results depend on the structure
+        ..engine::RoutedConfig::default()
+    };
+    let config = ServerConfig {
+        routed: Some(routed_config),
+        ..config()
+    };
+    let labels: Vec<String> = (0..6).map(|c| format!("class{c}")).collect();
+    let mut lcg = Lcg(4242);
+    let class_attributes = Matrix::from_rows(&(0..6).map(|_| lcg.attr_row(a)).collect::<Vec<_>>());
+    let server = QueryServer::start_durable(
+        model(3),
+        labels.clone(),
+        &class_attributes,
+        &schema(),
+        config,
+        DurabilityConfig {
+            dir: dir.clone(),
+            sync: SyncPolicy::Always,
+            compact_every: 4,
+        },
+    )
+    .expect("durable routed server starts");
+    assert!(server.snapshot().routed().is_some());
+
+    server
+        .register_class("hot0", &lcg.attr_row(a))
+        .expect("registers");
+    server
+        .update_class("class1", &lcg.attr_row(a))
+        .expect("updates");
+    server.remove_class("class4").expect("removes");
+    let swap_labels: Vec<String> = (0..5).map(|c| format!("sw{c}")).collect();
+    let swap_attributes = Matrix::from_rows(&(0..5).map(|_| lcg.attr_row(a)).collect::<Vec<_>>());
+    // Mutation 4 of 4 triggers compaction: the base captures the routed
+    // index mid-history, so recovery must resume — not re-derive — it.
+    server
+        .swap_model(model(4), swap_labels, &swap_attributes)
+        .expect("swaps");
+    server
+        .register_class("hot1", &lcg.attr_row(a))
+        .expect("registers past the compaction boundary");
+
+    let expected = server.snapshot();
+    assert_eq!(expected.version(), 5);
+    drop(server);
+
+    let (recovered, report) =
+        QueryServer::recover(&schema(), config, DurabilityConfig::new(dir.clone()))
+            .expect("recovers");
+    assert_eq!(report.snapshot_version, 5);
+    let snapshot = recovered.snapshot();
+    assert_eq!(
+        snapshot.routed(),
+        expected.routed(),
+        "recovered routed index diverged structurally"
+    );
+    assert!(!snapshot.routed().expect("routed").probes_exhaustively());
+    assert_snapshots_match(&snapshot, &expected, "routed recovery");
+    drop(recovered);
+
+    // A different routed configuration cannot resume the saved structure:
+    // recovery re-clusters deterministically, so two such recoveries agree
+    // with each other.
+    let other = ServerConfig {
+        routed: Some(engine::RoutedConfig {
+            clusters: 2,
+            nprobe: 0,
+            ..engine::RoutedConfig::default()
+        }),
+        ..config
+    };
+    let (fresh_a, _) = QueryServer::recover(&schema(), other, DurabilityConfig::new(dir.clone()))
+        .expect("recovers under a new routed config");
+    let (fresh_b, _) = QueryServer::recover(&schema(), other, DurabilityConfig::new(dir.clone()))
+        .expect("recovers again");
+    let a_snap = fresh_a.snapshot();
+    let b_snap = fresh_b.snapshot();
+    assert_eq!(a_snap.routed(), b_snap.routed(), "fresh rebuilds diverged");
+    assert_eq!(a_snap.routed().expect("routed").num_clusters(), 2);
+    drop(fresh_a);
+    drop(fresh_b);
+
+    // Routing off: the index is dropped, the exhaustive state is unchanged.
+    let unrouted = ServerConfig {
+        routed: None,
+        ..config
+    };
+    let (plain, _) = QueryServer::recover(&schema(), unrouted, DurabilityConfig::new(dir.clone()))
+        .expect("recovers unrouted");
+    assert!(plain.snapshot().routed().is_none());
+    assert_eq!(plain.snapshot().memory(), expected.memory());
+    drop(plain);
     std::fs::remove_dir_all(&dir).ok();
 }
 

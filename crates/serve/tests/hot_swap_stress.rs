@@ -45,6 +45,7 @@ fn queries_stay_bit_identical_under_repeated_hot_swaps() {
             threads: 2,
             top_k: 3,
             shards: 3,
+            routed: None,
         },
     )
     .expect("server starts");

@@ -68,6 +68,7 @@ fn a_full_admission_queue_sheds_with_a_typed_rejection() {
             threads: 1,
             top_k: 4,
             shards: 2,
+            routed: None,
         },
         NetConfig {
             admission_capacity: 1,
@@ -123,6 +124,7 @@ fn saturating_clients_get_typed_sheds_and_bit_identical_answers() {
             threads: 1,
             top_k: 3,
             shards: 2,
+            routed: None,
         },
         NetConfig {
             admission_capacity: 2,
@@ -201,6 +203,7 @@ fn drain_with_open_sockets_does_not_deadlock() {
             threads: 1,
             top_k: 3,
             shards: 2,
+            routed: None,
         },
         NetConfig {
             admission_capacity: 2,

@@ -1,0 +1,83 @@
+//! `zsc_serve --net-addr host:port` end-to-end: the load generator runs
+//! against an **already-running** front-end it did not stand up, and —
+//! with no local model to score against — reports the bit-identity
+//! cross-check as skipped instead of silently claiming it passed.
+
+use dataset::AttributeSchema;
+use hdc_zsc::{ModelConfig, ZscModel};
+use serve::net::{NetConfig, NetServer};
+use serve::{QueryServer, ServerConfig};
+use std::process::Command;
+use std::sync::Arc;
+use tensor::Matrix;
+
+const FEATURE_DIM: usize = 24;
+
+#[test]
+fn net_addr_drives_a_remote_server_and_reports_the_skipped_cross_check() {
+    let schema = AttributeSchema::cub200();
+    let model = ZscModel::new(&ModelConfig::tiny().with_seed(11), &schema, FEATURE_DIM);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let class_attributes = Matrix::random_uniform(9, 312, 0.5, &mut rng).map(f32::abs);
+    let labels: Vec<String> = (0..9).map(|c| format!("class{c}")).collect();
+    let server = Arc::new(
+        QueryServer::start(
+            model,
+            labels,
+            &class_attributes,
+            ServerConfig {
+                max_batch: 16,
+                max_wait_us: 500,
+                threads: 1,
+                top_k: 4,
+                shards: 2,
+                routed: None,
+            },
+        )
+        .expect("server starts"),
+    );
+    let net = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&server),
+        &schema,
+        NetConfig::default(),
+    )
+    .expect("front-end binds");
+    let addr = net.local_addr().to_string();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_zsc_serve"))
+        .args([
+            "--net-addr",
+            &addr,
+            "--net-qps",
+            "500",
+            "--net-clients",
+            "2",
+            "--net-requests",
+            "40",
+            "--json",
+        ])
+        .output()
+        .expect("zsc_serve spawns");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "zsc_serve --net-addr failed:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("\"bit_identity\": \"skipped\""),
+        "remote mode must report the skipped cross-check in JSON:\n{stdout}"
+    );
+    assert!(
+        stderr.contains("bit-identity cross-check SKIPPED"),
+        "remote mode must report the skipped cross-check in the log:\n{stderr}"
+    );
+    // The remote block reflects what the welcome frame declared.
+    assert!(stdout.contains("\"classes\": 9"), "{stdout}");
+    // Every generated request was either answered or typed-shed; the
+    // front-end saw real traffic from the external process.
+    assert!(net.stats().requests >= 40, "front-end saw the load");
+
+    net.shutdown();
+}

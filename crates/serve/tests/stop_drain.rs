@@ -32,6 +32,7 @@ fn stop_under_load_answers_or_cleanly_rejects_every_query() {
             threads: 2,
             top_k: 3,
             shards: 3,
+            routed: None,
         },
     )
     .expect("server starts");

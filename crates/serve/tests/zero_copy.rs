@@ -52,6 +52,7 @@ fn query_and_dispatch_path_never_deep_copies_the_model() {
             threads: 2,
             top_k: 3,
             shards: 3,
+            routed: None,
         },
     )
     .expect("server starts");

@@ -231,6 +231,119 @@ fn scenario_sharded_memory_ops() {
 }
 
 // ---------------------------------------------------------------------------
+// Routed index mutation scenario
+// ---------------------------------------------------------------------------
+
+/// The coarse-to-fine routed index under the same kind of deterministic
+/// mutation script: adds, updates, removes, an upsert, and an explicit
+/// re-cluster against a 3-cluster index at a ragged dimension. Every stage
+/// dumps the cluster shape, the candidate count the probe visits under
+/// partial probing (`nprobe = 2`), the partial-probe top-3, and the
+/// full-probe top-3 — the latter must stay bit-identical to the exhaustive
+/// scan forever, and the golden pins both alongside the routing structure
+/// that produced them.
+#[test]
+fn scenario_routed_memory_ops() {
+    let dim = 70usize; // ragged: 2 words, 6 live tail bits
+    let mut state = 0x5eed_cafe_f00du64;
+    let mut next_signs = || -> Vec<i8> {
+        (0..dim)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if state >> 63 == 0 {
+                    1
+                } else {
+                    -1
+                }
+            })
+            .collect()
+    };
+    let mut routed = engine::RoutedClassMemory::new(
+        dim,
+        engine::RoutedConfig {
+            clusters: 3,
+            nprobe: 2,
+            ..engine::RoutedConfig::default()
+        },
+    );
+    let mut exhaustive = engine::PackedClassMemory::new(dim);
+    let probe = engine::pack_signs(&next_signs());
+    let mut stages: Vec<Value> = Vec::new();
+    let mut record = |stage: &str,
+                      routed: &mut engine::RoutedClassMemory,
+                      exhaustive: &engine::PackedClassMemory| {
+        let cluster_sizes: Vec<usize> = (0..routed.num_clusters())
+            .map(|c| routed.cluster(c).len())
+            .collect();
+        let dump = |r: &engine::RoutedClassMemory| {
+            scored(
+                &r.top_k(&probe, 3)
+                    .into_iter()
+                    .map(|(label, sim)| (label.to_string(), sim))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let partial_top = dump(routed);
+        let candidates = routed.candidate_classes(&probe);
+        routed.probe_all();
+        let full_top = dump(routed);
+        // The bit-identity contract, asserted before it is pinned: full
+        // probing must agree exactly with the monolithic scan.
+        let reference = scored(
+            &engine::Scorer::top_k(exhaustive, &probe, 3)
+                .into_iter()
+                .map(|(label, sim)| (label.to_string(), sim))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(full_top, reference, "full probing diverged at `{stage}`");
+        routed.set_nprobe(2);
+        stages.push(object(vec![
+            ("stage", stage.to_value()),
+            ("classes", routed.len().to_value()),
+            ("cluster_sizes", cluster_sizes.to_value()),
+            ("candidates_at_nprobe_2", candidates.to_value()),
+            ("top_3_partial", partial_top),
+            ("top_3_full", full_top),
+        ]));
+    };
+    let rows: Vec<Vec<i8>> = (0..10).map(|_| next_signs()).collect();
+    for (c, row) in rows.iter().take(7).enumerate() {
+        routed.add_class(format!("class{c:02}"), row);
+        exhaustive.insert_signs(format!("class{c:02}"), row);
+    }
+    record("seed_7_classes", &mut routed, &exhaustive);
+    routed.update_class("class02", &rows[7]);
+    exhaustive.insert_signs("class02", &rows[7]);
+    routed.update_class("class05", &rows[8]);
+    exhaustive.insert_signs("class05", &rows[8]);
+    record("update_2_classes", &mut routed, &exhaustive);
+    routed.remove_class("class01");
+    exhaustive.remove("class01");
+    routed.remove_class("class04");
+    exhaustive.remove("class04");
+    record("remove_2_classes", &mut routed, &exhaustive);
+    routed.add_class("class07", &rows[9]);
+    exhaustive.insert_signs("class07", &rows[9]);
+    routed.add_class("class02", &rows[0]); // upsert an existing label
+    exhaustive.insert_signs("class02", &rows[0]);
+    record("add_after_remove", &mut routed, &exhaustive);
+    routed.recluster();
+    record("explicit_recluster", &mut routed, &exhaustive);
+    check_golden(
+        "routed_memory_ops",
+        &object(vec![
+            ("scenario", "routed_memory_ops".to_value()),
+            ("dim", dim.to_value()),
+            ("clusters", 3usize.to_value()),
+            ("nprobe", 2usize.to_value()),
+            ("stages", Value::Array(stages)),
+        ]),
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Serve-time hot-swap scenario
 // ---------------------------------------------------------------------------
 
@@ -268,6 +381,7 @@ fn scenario_serve_hot_swap() {
             threads: 2,
             top_k: 3,
             shards: 3,
+            routed: None,
         },
     )
     .expect("server starts");
@@ -368,6 +482,7 @@ fn scenario_serve_crash_recovery() {
         threads: 2,
         top_k: 3,
         shards: 3,
+        routed: None,
     };
     // The WAL directory is scratch state, not part of the golden.
     let wal_dir = std::env::temp_dir().join(format!("zsc-scenario-crash-{}", std::process::id()));
