@@ -1,0 +1,133 @@
+//! Generalized zero-shot (GZSL) evaluation of the baselines.
+//!
+//! Under the generalized protocol every comparator scores mixed
+//! seen/unseen queries against the *union* class signature set, and is
+//! summarized by the harmonic mean of its per-group accuracies
+//! ([`metrics::harmonic_mean`]). This module adapts the two baseline
+//! shapes to that protocol: score-matrix methods (ESZSL, DAP) go through
+//! [`GzslOutcome::from_scores`], prediction-only floors (the priors) go
+//! through [`GzslOutcome::from_predictions`] — so the scenario harness can
+//! rank HDC-ZSC and every baseline on the same H metric.
+
+use metrics::{partitioned_top1_accuracy, PartitionedAccuracy};
+use tensor::Matrix;
+
+/// One comparator's GZSL result: per-group top-1 accuracy plus the
+/// harmonic-mean summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GzslOutcome {
+    /// Top-1 accuracy over queries whose target class is seen, 0 when the
+    /// batch had none.
+    pub seen: f32,
+    /// Top-1 accuracy over queries whose target class is unseen, 0 when
+    /// the batch had none.
+    pub unseen: f32,
+    /// Harmonic mean of the two — 0 whenever either group collapses.
+    pub harmonic: f32,
+}
+
+impl GzslOutcome {
+    /// Evaluates a score-matrix comparator: `scores` is `B×C` over the
+    /// union class set, `targets` one class index per row, `unseen[c]`
+    /// marks class `c` unseen.
+    ///
+    /// # Panics
+    ///
+    /// See [`metrics::partitioned_top1_accuracy`].
+    pub fn from_scores(scores: &Matrix, targets: &[usize], unseen: &[bool]) -> Self {
+        Self::from_partition(partitioned_top1_accuracy(scores, targets, unseen))
+    }
+
+    /// Evaluates a comparator that only emits class indices (the prior
+    /// floors): one prediction per target, grouped by the target's
+    /// seen/unseen flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predictions.len() != targets.len()` or any target is
+    /// `>= unseen.len()`.
+    pub fn from_predictions(predictions: &[usize], targets: &[usize], unseen: &[bool]) -> Self {
+        assert_eq!(
+            predictions.len(),
+            targets.len(),
+            "one prediction per target required ({} vs {})",
+            predictions.len(),
+            targets.len()
+        );
+        let (mut hits, mut totals) = ([0usize; 2], [0usize; 2]);
+        for (&pred, &target) in predictions.iter().zip(targets) {
+            assert!(target < unseen.len(), "target {target} out of range");
+            let group = usize::from(unseen[target]);
+            totals[group] += 1;
+            if pred == target {
+                hits[group] += 1;
+            }
+        }
+        let accuracy =
+            |group: usize| (totals[group] > 0).then(|| hits[group] as f32 / totals[group] as f32);
+        Self::from_partition(PartitionedAccuracy {
+            seen: accuracy(0),
+            unseen: accuracy(1),
+        })
+    }
+
+    fn from_partition(partition: PartitionedAccuracy) -> Self {
+        Self {
+            seen: partition.seen.unwrap_or(0.0),
+            unseen: partition.unseen.unwrap_or(0.0),
+            harmonic: partition.harmonic(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_matrix_outcome_matches_hand_computation() {
+        // 4 union classes, classes 2/3 unseen. Rows: seen hit, seen miss,
+        // unseen hit, unseen miss.
+        let scores = Matrix::from_rows(&[
+            vec![0.9, 0.0, 0.0, 0.0],
+            vec![0.9, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.8, 0.0],
+            vec![0.0, 0.8, 0.0, 0.1],
+        ]);
+        let outcome = GzslOutcome::from_scores(&scores, &[0, 1, 2, 3], &[false, false, true, true]);
+        assert_eq!(outcome.seen, 0.5);
+        assert_eq!(outcome.unseen, 0.5);
+        assert!((outcome.harmonic - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prediction_outcome_agrees_with_score_argmax() {
+        let scores = Matrix::from_rows(&[
+            vec![0.9, 0.1, 0.0],
+            vec![0.1, 0.9, 0.0],
+            vec![0.0, 0.9, 0.1],
+        ]);
+        let targets = [0, 1, 2];
+        let unseen = [false, false, true];
+        let via_scores = GzslOutcome::from_scores(&scores, &targets, &unseen);
+        let via_predictions =
+            GzslOutcome::from_predictions(&scores.argmax_rows(), &targets, &unseen);
+        assert_eq!(via_scores, via_predictions);
+        assert_eq!(via_predictions.unseen, 0.0);
+        assert_eq!(via_predictions.harmonic, 0.0, "collapsed group zeroes H");
+    }
+
+    #[test]
+    fn empty_group_reports_zero_not_plain_accuracy() {
+        let outcome = GzslOutcome::from_predictions(&[0, 1], &[0, 1], &[false, false]);
+        assert_eq!(outcome.seen, 1.0);
+        assert_eq!(outcome.unseen, 0.0);
+        assert_eq!(outcome.harmonic, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one prediction per target")]
+    fn prediction_length_mismatch_panics() {
+        let _ = GzslOutcome::from_predictions(&[0], &[0, 1], &[false, true]);
+    }
+}

@@ -16,6 +16,11 @@
 //!   numbers rather than re-running the models; we do the same and mark them
 //!   as literature values.
 //!
+//! All score-producing comparators can additionally be ranked under the
+//! generalized zero-shot protocol via [`gzsl::GzslOutcome`], which reports
+//! per-group accuracy over the seen/unseen partition and the harmonic-mean
+//! H summary (see `docs/evaluation.md`).
+//!
 //! # Example
 //!
 //! ```
@@ -35,11 +40,13 @@
 
 pub mod dap;
 pub mod eszsl;
+pub mod gzsl;
 pub mod prior;
 pub mod reference;
 
 pub use dap::DirectAttributePrediction;
 pub use eszsl::{Eszsl, EszslConfig};
+pub use gzsl::GzslOutcome;
 pub use prior::{MajorityClassBaseline, RandomBaseline};
 pub use reference::{
     attribute_extraction_references, zsc_references, MethodCategory, ReferencePoint,

@@ -49,10 +49,11 @@
 //! ```
 
 use crate::config::ModelConfig;
+use crate::eval::SimilarityCalibration;
 use crate::model::ZscModel;
 use dataset::AttributeSchema;
 use engine::{RoutedClassMemory, ShardedClassMemory};
-use serde::{Deserialize, Serialize, Value};
+use serde::{de, DeError, Deserialize, Serialize, Value};
 use std::io::Write;
 use std::path::Path;
 
@@ -197,7 +198,7 @@ impl From<std::io::Error> for CheckpointError {
 }
 
 /// A versioned, self-describing envelope around a trained [`ZscModel`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Checkpoint {
     /// Layout version; always [`CHECKPOINT_FORMAT_VERSION`] when written by
     /// this build.
@@ -208,8 +209,55 @@ pub struct Checkpoint {
     pub feature_dim: usize,
     /// Shape of the attribute schema the model was trained against.
     pub schema: SchemaFingerprint,
+    /// A fitted serve-time rejection threshold, if the model has been
+    /// calibrated ([`SimilarityCalibrator`](crate::SimilarityCalibrator)).
+    /// An *additive* field of the version-2 layout: documents written before
+    /// calibration existed carry no `calibration` key and load as `None`,
+    /// and an uncalibrated checkpoint writes no key, so its bytes are
+    /// unchanged.
+    pub calibration: Option<SimilarityCalibration>,
     /// The model weights.
     pub model: ZscModel,
+}
+
+/// Envelope layout, kept field-by-field so the optional `calibration` key
+/// can stay additive — the derived impl would reject documents missing it.
+impl Serialize for Checkpoint {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("format_version".to_string(), self.format_version.to_value()),
+            ("model_config".to_string(), self.model_config.to_value()),
+            ("feature_dim".to_string(), self.feature_dim.to_value()),
+            ("schema".to_string(), self.schema.to_value()),
+        ];
+        if let Some(calibration) = &self.calibration {
+            entries.push(("calibration".to_string(), calibration.to_value()));
+        }
+        entries.push(("model".to_string(), self.model.to_value()));
+        Value::Object(entries)
+    }
+}
+
+impl Deserialize for Checkpoint {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = de::expect_object(value, "Checkpoint")?;
+        // Checkpoints written before calibration existed carry no
+        // `calibration` key; treat a missing key exactly like an explicit
+        // null.
+        let calibration = match value.get("calibration") {
+            None => None,
+            Some(v) => Option::<SimilarityCalibration>::from_value(v)
+                .map_err(|e| e.in_field("Checkpoint"))?,
+        };
+        Ok(Self {
+            format_version: de::field(entries, "format_version", "Checkpoint")?,
+            model_config: de::field(entries, "model_config", "Checkpoint")?,
+            feature_dim: de::field(entries, "feature_dim", "Checkpoint")?,
+            schema: de::field(entries, "schema", "Checkpoint")?,
+            calibration,
+            model: de::field(entries, "model", "Checkpoint")?,
+        })
+    }
 }
 
 impl Checkpoint {
@@ -221,8 +269,15 @@ impl Checkpoint {
             model_config: *model.config(),
             feature_dim: model.image_encoder().feature_dim(),
             schema: SchemaFingerprint::of(schema),
+            calibration: None,
             model: model.clone(),
         }
+    }
+
+    /// Attaches a fitted rejection calibration to the checkpoint.
+    pub fn with_calibration(mut self, calibration: SimilarityCalibration) -> Self {
+        self.calibration = Some(calibration);
+        self
     }
 
     /// Renders the checkpoint as pretty-printed JSON, always in the current
@@ -377,6 +432,18 @@ impl Checkpoint {
                 "envelope model_config disagrees with the model payload".to_string(),
             ));
         }
+        if let Some(calibration) = &self.calibration {
+            if !calibration.threshold.is_finite() {
+                return Err(CheckpointError::Malformed(
+                    "calibration threshold must be finite".to_string(),
+                ));
+            }
+            if !(0.0..1.0).contains(&calibration.target_false_reject) {
+                return Err(CheckpointError::Malformed(
+                    "calibration target false-reject rate must lie in [0, 1)".to_string(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -472,6 +539,12 @@ pub struct CheckpointDelta {
     /// non-routed servers and in deltas written before routed serving
     /// existed; both load as `None`.
     pub routed: Option<RoutedClassMemory>,
+    /// The serve-time rejection threshold active at capture time, set and
+    /// cleared over the wire mid-traffic (so it can differ from the base
+    /// checkpoint's fitted calibration). Additive like `routed`: deltas
+    /// written before open-set serving existed carry no `threshold` key and
+    /// load as `None`.
+    pub threshold: Option<f32>,
 }
 
 impl CheckpointDelta {
@@ -495,6 +568,7 @@ impl CheckpointDelta {
             ("base".to_string(), Serialize::to_value(&self.base)),
             ("memory".to_string(), self.memory.to_value()),
             ("routed".to_string(), self.routed.to_value()),
+            ("threshold".to_string(), self.threshold.to_value()),
         ]);
         serde_json::to_string_pretty(&value).expect("delta serialization is infallible")
     }
@@ -552,6 +626,20 @@ impl CheckpointDelta {
                 });
             }
         }
+        // Like `routed`, `threshold` is additive: deltas from before open-set
+        // serving carry no key, which loads the same as an explicit null.
+        let threshold = match value.get("threshold") {
+            None => None,
+            Some(v) => serde_json::from_value::<Option<f32>>(v)
+                .map_err(|e| CheckpointError::Malformed(e.to_string()))?,
+        };
+        if let Some(threshold) = threshold {
+            if !threshold.is_finite() {
+                return Err(CheckpointError::Malformed(
+                    "serve threshold must be finite".to_string(),
+                ));
+            }
+        }
         if memory.dim() != base.model.embedding_dim() {
             return Err(CheckpointError::DimensionMismatch {
                 what: "class prototype dimensionality",
@@ -565,6 +653,7 @@ impl CheckpointDelta {
             base,
             memory,
             routed,
+            threshold,
         })
     }
 
@@ -676,6 +765,45 @@ mod tests {
         assert!(restored.to_json().contains("\"kind\": \"model\""));
     }
 
+    /// The additive `calibration` field: present it round-trips bit-exactly,
+    /// absent (every pre-existing checkpoint) it loads as `None`, and an
+    /// uncalibrated checkpoint writes no key at all.
+    #[test]
+    fn calibration_is_additive_and_round_trips_bit_exactly() {
+        let s = schema();
+        let model = fixture_model(AttributeEncoderKind::Hdc);
+        let uncalibrated = Checkpoint::capture(&model, &s);
+        assert!(uncalibrated.calibration.is_none());
+        assert!(!uncalibrated.to_json().contains("\"calibration\""));
+        let restored =
+            Checkpoint::from_json_str(&uncalibrated.to_json()).expect("uncalibrated loads");
+        assert!(restored.calibration.is_none());
+
+        let calibration = crate::SimilarityCalibrator::new(0.1).fit(&[0.2, 0.5, 0.9, 0.7]);
+        let calibrated = Checkpoint::capture(&model, &s).with_calibration(calibration);
+        let json = calibrated.to_json();
+        assert!(json.contains("\"calibration\""));
+        let restored = Checkpoint::from_json_str(&json).expect("calibrated loads");
+        let restored_calibration = restored.calibration.expect("calibration survives");
+        assert_eq!(
+            restored_calibration.threshold.to_bits(),
+            calibration.threshold.to_bits()
+        );
+        assert_eq!(restored_calibration, calibration);
+
+        // A garbage threshold is a typed malformed-checkpoint error, not a
+        // panic at first query.
+        let bad = json.replace(
+            &format!("\"threshold\": {}", calibration.threshold),
+            "\"threshold\": null",
+        );
+        assert_ne!(bad, json);
+        assert!(matches!(
+            Checkpoint::from_json_str(&bad),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
     /// A current-layout document with the wrong (or a missing) kind is a
     /// different envelope, not a malformed checkpoint.
     #[test]
@@ -752,12 +880,24 @@ mod tests {
             base: Checkpoint::capture(&model, &s),
             memory: memory.clone(),
             routed: Some(routed.clone()),
+            threshold: Some(0.314),
         };
         let json = delta.to_json();
         let restored = CheckpointDelta::from_json_str(&json).expect("delta round trip");
         assert_eq!(restored.snapshot_version, 41);
         assert_eq!(restored.next_record_seq, 17);
         assert_eq!(restored.memory, memory);
+        // The serve threshold round-trips bit-exactly, and a delta written
+        // before the field existed still loads.
+        assert_eq!(
+            restored.threshold.map(f32::to_bits),
+            Some(0.314f32.to_bits())
+        );
+        let legacy_threshold = json.replace("  \"threshold\":", "  \"legacy_threshold\":");
+        assert_ne!(legacy_threshold, json);
+        let restored =
+            CheckpointDelta::from_json_str(&legacy_threshold).expect("legacy delta loads");
+        assert!(restored.threshold.is_none());
         // The routed index survives exactly — structure, drift and all —
         // and a delta written without one (or before the field existed)
         // still loads.

@@ -97,7 +97,10 @@ pub use checkpoint::{
     CHECKPOINT_LEGACY_FORMAT_VERSION,
 };
 pub use config::{ModelConfig, TrainConfig};
-pub use eval::{evaluate_attribute_extraction, evaluate_zsc, AttributeExtractionReport, ZscReport};
+pub use eval::{
+    evaluate_attribute_extraction, evaluate_gzsl, evaluate_zsc, AttributeExtractionReport,
+    GzslReport, SimilarityCalibration, SimilarityCalibrator, ZscReport,
+};
 pub use frozen::FrozenModel;
 pub use image_encoder::ImageEncoder;
 pub use model::ZscModel;

@@ -25,7 +25,9 @@
 //! * [`workload`] generates seeded *clustered* ±1 class prototypes and
 //!   query batches at arbitrary dim/class-count/noise — the scalable
 //!   synthetic substrate behind `serve_sim --classes N` and the engine's
-//!   routed-index tests, far beyond the bird-shaped dataset above.
+//!   routed-index tests, far beyond the bird-shaped dataset above. It also
+//!   hosts the attribute-level [`workload::GzslWorkload`] generator for
+//!   generalized zero-shot evaluation with open-set distractors.
 //!
 //! # Example
 //!
@@ -58,4 +60,4 @@ pub use instances::{Instance, InstanceNoise, InstanceSet};
 pub use loader::BatchIterator;
 pub use schema::{AttributeGroup, AttributeSchema};
 pub use splits::{ClassSplit, SplitKind};
-pub use workload::{SyntheticWorkload, WorkloadConfig};
+pub use workload::{GzslWorkload, GzslWorkloadConfig, SyntheticWorkload, WorkloadConfig};

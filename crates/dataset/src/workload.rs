@@ -35,6 +35,7 @@
 //! assert!(workload.query_class.iter().all(|&c| c < 40));
 //! ```
 
+use engine::PackedClassMemory;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,6 +56,11 @@ pub struct WorkloadConfig {
     pub query_noise: f64,
     /// Number of query rows to generate.
     pub queries: usize,
+    /// Number of distractor rows to generate — uniform ±1 rows derived from
+    /// no prototype, the open-set half of a mixed batch. Drawn after every
+    /// other draw, so `distractors: 0` reproduces the historical stream
+    /// bit-for-bit.
+    pub distractors: usize,
     /// Seed of the generation stream.
     pub seed: u64,
 }
@@ -68,6 +74,7 @@ impl Default for WorkloadConfig {
             class_noise: 0.05,
             query_noise: 0.02,
             queries: 64,
+            distractors: 0,
             seed: 0x0c1a_55e5,
         }
     }
@@ -99,6 +106,9 @@ pub struct SyntheticWorkload {
     /// The prototype index each query was perturbed from — the ground-truth
     /// class for recall accounting.
     pub query_class: Vec<usize>,
+    /// Uniform ±1 rows derived from no prototype — open-set distractors
+    /// whose correct answer is "unknown".
+    pub distractor_queries: Vec<Vec<i8>>,
 }
 
 /// Draws a uniform ±1 row.
@@ -146,13 +156,181 @@ impl SyntheticWorkload {
             queries.push(perturb(&mut rng, &prototypes[class], config.query_noise));
             query_class.push(class);
         }
+        // Distractors come last so configs with `distractors: 0` keep the
+        // exact historical rng stream (and therefore every pinned golden).
+        let distractor_queries = (0..config.distractors)
+            .map(|_| random_signs(&mut rng, config.dim))
+            .collect();
         Self {
             labels,
             prototypes,
             prototype_cluster,
             queries,
             query_class,
+            distractor_queries,
         }
+    }
+
+    /// Loads every prototype into a fresh [`PackedClassMemory`] in label
+    /// order — the exhaustive-scorer setup the routed-index tests and
+    /// `serve_sim` previously each rebuilt by hand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload holds no prototypes ([`generate`] always
+    /// produces at least one).
+    ///
+    /// [`generate`]: SyntheticWorkload::generate
+    pub fn packed_memory(&self) -> PackedClassMemory {
+        let dim = self
+            .prototypes
+            .first()
+            .expect("packed_memory needs at least one prototype")
+            .len();
+        let mut memory = PackedClassMemory::new(dim);
+        for (label, row) in self.labels.iter().zip(&self.prototypes) {
+            memory.insert_signs(label.clone(), row);
+        }
+        memory
+    }
+}
+
+/// Shape of a [`GzslWorkload`]: an attribute-level generalized zero-shot
+/// benchmark with a seen/unseen class split and open-set distractors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GzslWorkloadConfig {
+    /// Total class count (seen + unseen).
+    pub classes: usize,
+    /// How many of the classes are *unseen* — the last `unseen` indices.
+    pub unseen: usize,
+    /// Width of the latent class-attribute vectors (α in the paper's
+    /// notation; 312 for the CUB-shaped schema).
+    pub attribute_dim: usize,
+    /// Class-conditioned queries, assigned round-robin over the union class
+    /// set so both partitions are populated.
+    pub queries: usize,
+    /// Open-set distractor queries drawn from no class.
+    pub distractors: usize,
+    /// Amplitude of the uniform per-attribute jitter applied to each
+    /// class-conditioned query (clamped back to `[0, 1]`).
+    pub noise: f64,
+    /// Seed of the generation stream.
+    pub seed: u64,
+}
+
+impl Default for GzslWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            classes: 40,
+            unseen: 10,
+            attribute_dim: 312,
+            queries: 80,
+            distractors: 16,
+            noise: 0.05,
+            seed: 0x675a_1000,
+        }
+    }
+}
+
+/// An attribute-level GZSL workload: continuous class-attribute vectors over
+/// a seen/unseen split, mixed class-conditioned queries, and distractor
+/// queries matching no class — everything a generalized zero-shot evaluation
+/// with open-set rejection needs, as a pure function of its config.
+///
+/// Unlike [`SyntheticWorkload`] (which emits ±1 hypervectors for the engine
+/// layer), this generator works at the *attribute* level: rows are continuous
+/// `[0, 1]` strengths shaped like [`ClassAttributes`](crate::ClassAttributes)
+/// signatures, so a model's attribute encoder can embed both the class set
+/// and the queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GzslWorkload {
+    /// `class000000`-style labels, one per class, in index order.
+    pub labels: Vec<String>,
+    /// One `attribute_dim`-wide `[0, 1]` attribute vector per class.
+    pub class_attributes: Vec<Vec<f32>>,
+    /// Flag per class, `true` for the unseen partition (the last
+    /// `config.unseen` classes).
+    pub unseen: Vec<bool>,
+    /// Mixed query rows at attribute level (class-conditioned first, then
+    /// distractors).
+    pub query_attributes: Vec<Vec<f32>>,
+    /// Ground truth per query row: `Some(class)` for class-conditioned
+    /// queries, `None` for distractors.
+    pub query_class: Vec<Option<usize>>,
+}
+
+/// Draws a uniform `[0, 1)` attribute row.
+fn random_attributes(rng: &mut StdRng, dim: usize) -> Vec<f32> {
+    (0..dim).map(|_| rng.gen_range(0.0f32..1.0)).collect()
+}
+
+impl GzslWorkload {
+    /// Generates the workload described by `config`; pure in `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`, `unseen >= classes`, `attribute_dim == 0`,
+    /// or `noise` is outside `[0, 1]`.
+    pub fn generate(config: &GzslWorkloadConfig) -> Self {
+        assert!(config.classes > 0, "at least one class is required");
+        assert!(
+            config.unseen < config.classes,
+            "unseen classes ({}) must leave at least one seen class of {}",
+            config.unseen,
+            config.classes
+        );
+        assert!(config.attribute_dim > 0, "attribute_dim must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.noise),
+            "noise must lie in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let labels = (0..config.classes)
+            .map(|c| format!("class{c:06}"))
+            .collect();
+        let class_attributes: Vec<Vec<f32>> = (0..config.classes)
+            .map(|_| random_attributes(&mut rng, config.attribute_dim))
+            .collect();
+        let unseen: Vec<bool> = (0..config.classes)
+            .map(|c| c >= config.classes - config.unseen)
+            .collect();
+        let mut query_attributes = Vec::with_capacity(config.queries + config.distractors);
+        let mut query_class = Vec::with_capacity(config.queries + config.distractors);
+        for q in 0..config.queries {
+            let class = q % config.classes;
+            let row = class_attributes[class]
+                .iter()
+                .map(|&a| {
+                    let jitter = rng.gen_range(-config.noise..=config.noise) as f32;
+                    (a + jitter).clamp(0.0, 1.0)
+                })
+                .collect();
+            query_attributes.push(row);
+            query_class.push(Some(class));
+        }
+        for _ in 0..config.distractors {
+            query_attributes.push(random_attributes(&mut rng, config.attribute_dim));
+            query_class.push(None);
+        }
+        Self {
+            labels,
+            class_attributes,
+            unseen,
+            query_attributes,
+            query_class,
+        }
+    }
+
+    /// Indices of the seen classes, ascending.
+    pub fn seen_classes(&self) -> Vec<usize> {
+        (0..self.unseen.len())
+            .filter(|&c| !self.unseen[c])
+            .collect()
+    }
+
+    /// Indices of the unseen classes, ascending.
+    pub fn unseen_classes(&self) -> Vec<usize> {
+        (0..self.unseen.len()).filter(|&c| self.unseen[c]).collect()
     }
 }
 
@@ -211,6 +389,7 @@ mod tests {
             class_noise: 0.0,
             query_noise: 0.0,
             queries: 5,
+            distractors: 0,
             seed: 9,
         });
         for (q, &class) in w.query_class.iter().enumerate() {
@@ -218,6 +397,124 @@ mod tests {
         }
         // With zero class noise, same-cluster prototypes coincide.
         assert_eq!(w.prototypes[0], w.prototypes[2]);
+    }
+
+    #[test]
+    fn distractors_extend_but_do_not_shift_the_stream() {
+        let base = WorkloadConfig {
+            dim: 64,
+            classes: 8,
+            queries: 6,
+            ..WorkloadConfig::default()
+        };
+        let without = SyntheticWorkload::generate(&base);
+        let with = SyntheticWorkload::generate(&WorkloadConfig {
+            distractors: 4,
+            ..base
+        });
+        // Everything before the distractor draws is bit-identical, so
+        // pinned goldens built at `distractors: 0` stay valid.
+        assert_eq!(without.prototypes, with.prototypes);
+        assert_eq!(without.queries, with.queries);
+        assert!(without.distractor_queries.is_empty());
+        assert_eq!(with.distractor_queries.len(), 4);
+        assert!(with
+            .distractor_queries
+            .iter()
+            .all(|row| row.len() == 64 && row.iter().all(|&s| s == 1 || s == -1)));
+    }
+
+    #[test]
+    fn packed_memory_holds_every_prototype_in_label_order() {
+        let w = SyntheticWorkload::generate(&WorkloadConfig {
+            dim: 96,
+            classes: 9,
+            queries: 1,
+            ..WorkloadConfig::default()
+        });
+        let memory = w.packed_memory();
+        assert_eq!(memory.len(), 9);
+        assert_eq!(memory.dim(), 96);
+        for (index, label) in w.labels.iter().enumerate() {
+            assert_eq!(memory.label(index), label);
+        }
+    }
+
+    #[test]
+    fn gzsl_generation_is_seed_deterministic() {
+        let config = GzslWorkloadConfig {
+            classes: 10,
+            unseen: 3,
+            attribute_dim: 24,
+            queries: 12,
+            distractors: 4,
+            ..GzslWorkloadConfig::default()
+        };
+        let a = GzslWorkload::generate(&config);
+        let b = GzslWorkload::generate(&config);
+        assert_eq!(a, b);
+        let c = GzslWorkload::generate(&GzslWorkloadConfig {
+            seed: config.seed + 1,
+            ..config
+        });
+        assert_ne!(a.class_attributes, c.class_attributes);
+    }
+
+    #[test]
+    fn gzsl_split_and_ground_truth_are_consistent() {
+        let w = GzslWorkload::generate(&GzslWorkloadConfig {
+            classes: 10,
+            unseen: 3,
+            attribute_dim: 24,
+            queries: 12,
+            distractors: 4,
+            ..GzslWorkloadConfig::default()
+        });
+        assert_eq!(w.labels.len(), 10);
+        assert_eq!(w.class_attributes.len(), 10);
+        assert_eq!(w.seen_classes(), vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(w.unseen_classes(), vec![7, 8, 9]);
+        assert_eq!(w.query_attributes.len(), 16);
+        assert_eq!(w.query_class.len(), 16);
+        // Round-robin covers both partitions; distractors carry no class.
+        assert!(w.query_class[..12]
+            .iter()
+            .all(|c| matches!(c, Some(class) if *class < 10)));
+        assert!(w.query_class[12..].iter().all(Option::is_none));
+        // Attribute strengths stay in [0, 1].
+        assert!(w
+            .query_attributes
+            .iter()
+            .chain(&w.class_attributes)
+            .flatten()
+            .all(|&a| (0.0..=1.0).contains(&a)));
+    }
+
+    #[test]
+    fn gzsl_noise_free_queries_equal_their_class_attributes() {
+        let w = GzslWorkload::generate(&GzslWorkloadConfig {
+            classes: 5,
+            unseen: 2,
+            attribute_dim: 16,
+            queries: 5,
+            distractors: 0,
+            noise: 0.0,
+            seed: 3,
+        });
+        for (q, class) in w.query_class.iter().enumerate() {
+            let class = class.expect("no distractors configured");
+            assert_eq!(w.query_attributes[q], w.class_attributes[class]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seen class")]
+    fn gzsl_all_unseen_panics() {
+        let _ = GzslWorkload::generate(&GzslWorkloadConfig {
+            classes: 4,
+            unseen: 4,
+            ..GzslWorkloadConfig::default()
+        });
     }
 
     #[test]

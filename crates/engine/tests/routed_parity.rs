@@ -240,13 +240,11 @@ fn partial_probing_is_sublinear_with_high_recall_on_clustered_data() {
         class_noise: 0.05,
         query_noise: 0.02,
         queries: 48,
+        distractors: 0,
         seed: 71,
     };
     let workload = SyntheticWorkload::generate(&config);
-    let mut mono = PackedClassMemory::new(config.dim);
-    for (label, row) in workload.labels.iter().zip(&workload.prototypes) {
-        mono.insert_signs(label.clone(), row);
-    }
+    let mono = workload.packed_memory();
     let mut routed = RoutedClassMemory::from_packed(
         &mono,
         RoutedConfig {

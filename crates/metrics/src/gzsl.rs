@@ -1,0 +1,157 @@
+//! Generalized zero-shot (GZSL) metrics: per-group accuracy over the
+//! seen/unseen class partition and the harmonic-mean (H) summary.
+//!
+//! Under the generalized protocol, queries from *seen* and *unseen* classes
+//! arrive mixed and are scored against the union of both class sets. The
+//! standard summary (Xian et al., "Zero-Shot Learning — the Good, the Bad
+//! and the Ugly") is the harmonic mean of the per-group top-1 accuracies,
+//! which collapses to 0 when either group collapses — a model that ignores
+//! unseen classes entirely cannot hide behind high seen-class accuracy.
+
+use tensor::Matrix;
+
+/// Top-1 accuracy over the seen and unseen query partitions.
+///
+/// A partition with no queries reports `None` rather than a misleading 0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionedAccuracy {
+    /// Top-1 accuracy over queries whose target class is seen.
+    pub seen: Option<f32>,
+    /// Top-1 accuracy over queries whose target class is unseen.
+    pub unseen: Option<f32>,
+}
+
+impl PartitionedAccuracy {
+    /// The harmonic-mean (H) summary of the two partitions; empty partitions
+    /// contribute 0 (a GZSL evaluation without unseen queries scores H = 0,
+    /// it does not silently degrade to plain accuracy).
+    pub fn harmonic(&self) -> f32 {
+        harmonic_mean(self.seen.unwrap_or(0.0), self.unseen.unwrap_or(0.0))
+    }
+}
+
+/// Harmonic mean `2ab / (a + b)`, the GZSL H metric.
+///
+/// Returns 0 whenever either input is 0 (including the 0/0 case) — the
+/// defining property of the metric: both groups must score to score at all.
+///
+/// # Panics
+///
+/// Panics if either input is negative or not finite.
+pub fn harmonic_mean(a: f32, b: f32) -> f32 {
+    assert!(
+        a.is_finite() && b.is_finite() && a >= 0.0 && b >= 0.0,
+        "harmonic mean needs finite non-negative inputs, got ({a}, {b})"
+    );
+    if a == 0.0 || b == 0.0 {
+        return 0.0;
+    }
+    2.0 * a * b / (a + b)
+}
+
+/// Top-1 accuracy split over the seen/unseen partition of a mixed GZSL
+/// query batch.
+///
+/// `scores` is `B×C` over the *union* class set, `targets` holds one class
+/// index per row, and `unseen[c]` marks class `c` as unseen; each query is
+/// assigned to the partition of its target class.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != scores.rows()`, any target is
+/// `>= unseen.len()`, or `unseen.len() != scores.cols()`.
+pub fn partitioned_top1_accuracy(
+    scores: &Matrix,
+    targets: &[usize],
+    unseen: &[bool],
+) -> PartitionedAccuracy {
+    assert_eq!(
+        targets.len(),
+        scores.rows(),
+        "one target per row required ({} vs {})",
+        targets.len(),
+        scores.rows()
+    );
+    assert_eq!(
+        unseen.len(),
+        scores.cols(),
+        "one seen/unseen flag per class required ({} vs {})",
+        unseen.len(),
+        scores.cols()
+    );
+    let predictions = scores.argmax_rows();
+    let (mut hits, mut totals) = ([0usize; 2], [0usize; 2]);
+    for (&pred, &target) in predictions.iter().zip(targets) {
+        assert!(target < unseen.len(), "target {target} out of range");
+        let group = usize::from(unseen[target]);
+        totals[group] += 1;
+        if pred == target {
+            hits[group] += 1;
+        }
+    }
+    let accuracy = |group: usize| -> Option<f32> {
+        (totals[group] > 0).then(|| hits[group] as f32 / totals[group] as f32)
+    };
+    PartitionedAccuracy {
+        seen: accuracy(0),
+        unseen: accuracy(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_matches_hand_computation() {
+        assert_eq!(harmonic_mean(0.5, 0.5), 0.5);
+        assert!((harmonic_mean(0.8, 0.2) - 0.32).abs() < 1e-6);
+        assert_eq!(harmonic_mean(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn harmonic_mean_is_zero_iff_either_input_is_zero() {
+        assert_eq!(harmonic_mean(0.0, 0.9), 0.0);
+        assert_eq!(harmonic_mean(0.9, 0.0), 0.0);
+        assert_eq!(harmonic_mean(0.0, 0.0), 0.0);
+        assert!(harmonic_mean(1e-6, 1e-6) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_input_panics() {
+        let _ = harmonic_mean(-0.1, 0.5);
+    }
+
+    #[test]
+    fn partitioned_accuracy_splits_by_target_class_group() {
+        // 4 classes, classes 2 and 3 unseen. Rows: seen hit, seen miss,
+        // unseen hit, unseen hit.
+        let scores = Matrix::from_rows(&[
+            vec![0.9, 0.0, 0.0, 0.0],
+            vec![0.9, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.8, 0.0],
+            vec![0.0, 0.0, 0.0, 0.7],
+        ]);
+        let report = partitioned_top1_accuracy(&scores, &[0, 1, 2, 3], &[false, false, true, true]);
+        assert_eq!(report.seen, Some(0.5));
+        assert_eq!(report.unseen, Some(1.0));
+        assert!((report.harmonic() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_partition_is_none_and_harmonic_is_zero() {
+        let scores = Matrix::from_rows(&[vec![0.9, 0.1]]);
+        let report = partitioned_top1_accuracy(&scores, &[0], &[false, true]);
+        assert_eq!(report.seen, Some(1.0));
+        assert_eq!(report.unseen, None);
+        assert_eq!(report.harmonic(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one seen/unseen flag per class")]
+    fn flag_width_mismatch_panics() {
+        let scores = Matrix::from_rows(&[vec![0.9, 0.1]]);
+        let _ = partitioned_top1_accuracy(&scores, &[0], &[false]);
+    }
+}

@@ -10,6 +10,13 @@
 //!   dataset;
 //! * **µ ± σ across seeds** (§IV-A) — [`aggregate`].
 //!
+//! Beyond the paper, the serving roadmap adds two metric families:
+//!
+//! * **generalized zero-shot (GZSL)** — per-group accuracy over the
+//!   seen/unseen partition and the harmonic-mean H metric — [`gzsl`];
+//! * **open-set rejection** — rejection precision/recall at a calibrated
+//!   similarity threshold and threshold-free AUROC — [`open_set`].
+//!
 //! # Example
 //!
 //! ```
@@ -26,6 +33,8 @@
 pub mod aggregate;
 pub mod average_precision;
 pub mod confusion;
+pub mod gzsl;
+pub mod open_set;
 pub mod percentile;
 pub mod topk;
 pub mod wmap;
@@ -33,6 +42,8 @@ pub mod wmap;
 pub use aggregate::SeedAggregate;
 pub use average_precision::{average_precision, mean_average_precision};
 pub use confusion::ConfusionMatrix;
+pub use gzsl::{harmonic_mean, partitioned_top1_accuracy, PartitionedAccuracy};
+pub use open_set::{auroc, rejection_report, RejectionReport};
 pub use percentile::nearest_rank;
 pub use topk::{top1_accuracy, topk_accuracy};
 pub use wmap::{weighted_average_precision, GroupMetrics};

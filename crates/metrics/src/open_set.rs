@@ -1,0 +1,224 @@
+//! Open-set rejection metrics: rejection precision/recall at a similarity
+//! threshold and AUROC over the known-vs-distractor score distributions.
+//!
+//! Open-set traffic mixes queries that match a stored class ("known") with
+//! distractors that match none. A calibrated similarity threshold turns the
+//! top-1 similarity into a reject decision (`score < threshold` → reject);
+//! this module scores that decision rule. AUROC summarises the whole score
+//! distribution independently of any particular threshold, using the
+//! Mann–Whitney rank statistic (average ranks over ties), so it is invariant
+//! under strictly monotone transforms of the scores — the same property the
+//! ranking behind [`average_precision`](crate::average_precision) relies on.
+
+/// Rejection quality at one threshold, treating "reject a distractor" as a
+/// true positive of the rejection rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RejectionReport {
+    /// Of everything rejected, the fraction that really was a distractor;
+    /// `None` when nothing was rejected.
+    pub precision: Option<f32>,
+    /// Of all distractors, the fraction that was rejected; `None` when the
+    /// batch held no distractors.
+    pub recall: Option<f32>,
+    /// Known queries wrongly rejected, as a fraction of all known queries;
+    /// `None` when the batch held no known queries. This is the quantity a
+    /// calibrated threshold targets.
+    pub false_reject_rate: Option<f32>,
+    /// Total queries rejected by the rule.
+    pub rejected: usize,
+}
+
+/// Scores the reject rule `score < threshold` over a mixed batch.
+///
+/// `scores[i]` is the top-1 similarity of query `i` and `known[i]` marks the
+/// queries whose true class is stored (distractors are `false`).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn rejection_report(scores: &[f32], known: &[bool], threshold: f32) -> RejectionReport {
+    assert_eq!(
+        scores.len(),
+        known.len(),
+        "scores and known flags must have the same length"
+    );
+    let (mut rejected, mut true_rejects) = (0usize, 0usize);
+    let (mut distractors, mut knowns, mut false_rejects) = (0usize, 0usize, 0usize);
+    for (&score, &is_known) in scores.iter().zip(known) {
+        if is_known {
+            knowns += 1;
+        } else {
+            distractors += 1;
+        }
+        if score < threshold {
+            rejected += 1;
+            if is_known {
+                false_rejects += 1;
+            } else {
+                true_rejects += 1;
+            }
+        }
+    }
+    let ratio = |num: usize, den: usize| (den > 0).then(|| num as f32 / den as f32);
+    RejectionReport {
+        precision: ratio(true_rejects, rejected),
+        recall: ratio(true_rejects, distractors),
+        false_reject_rate: ratio(false_rejects, knowns),
+        rejected,
+    }
+}
+
+/// Area under the ROC curve of separating positives (`labels[i] == true`,
+/// the known queries) from negatives by score, higher scores more positive.
+///
+/// Computed as the normalized Mann–Whitney U statistic with average ranks
+/// over tied scores, so ties contribute ½ and the result is exactly
+/// invariant under strictly monotone score transforms. Returns `None` when
+/// either class is empty (the curve is undefined).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or any score is NaN.
+pub fn auroc(scores: &[f32], labels: &[bool]) -> Option<f32> {
+    assert_eq!(
+        scores.len(),
+        labels.len(),
+        "scores and labels must have the same length"
+    );
+    let positives = labels.iter().filter(|&&l| l).count();
+    let negatives = labels.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("AUROC scores must not be NaN")
+    });
+    // Walk tie groups in ascending score order; every member of a group gets
+    // the group's average rank (1-based).
+    let mut positive_rank_sum = 0.0f64;
+    let mut start = 0usize;
+    while start < order.len() {
+        let mut end = start + 1;
+        while end < order.len() && scores[order[end]] == scores[order[start]] {
+            end += 1;
+        }
+        let average_rank = (start + 1 + end) as f64 / 2.0;
+        for &idx in &order[start..end] {
+            if labels[idx] {
+                positive_rank_sum += average_rank;
+            }
+        }
+        start = end;
+    }
+    let p = positives as f64;
+    let n = negatives as f64;
+    let u = positive_rank_sum - p * (p + 1.0) / 2.0;
+    Some((u / (p * n)) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_separated_scores_have_auroc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(auroc(&scores, &labels), Some(1.0));
+        assert_eq!(
+            auroc(&scores, &[false, false, true, true]),
+            Some(0.0),
+            "inverted separation is 0"
+        );
+    }
+
+    #[test]
+    fn interleaved_scores_match_hand_computation() {
+        // Ascending: 0.1(-), 0.4(+), 0.6(-), 0.9(+) → pairs won: the 0.4
+        // positive beats one negative, the 0.9 positive beats both → U = 3
+        // of 4 → AUROC 0.75.
+        let scores = [0.9, 0.4, 0.6, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(auroc(&scores, &labels), Some(0.75));
+    }
+
+    #[test]
+    fn ties_contribute_half() {
+        // One positive and one negative at the same score: U = 0.5.
+        assert_eq!(auroc(&[0.5, 0.5], &[true, false]), Some(0.5));
+        // All scores identical: AUROC is exactly chance.
+        assert_eq!(
+            auroc(&[0.3, 0.3, 0.3, 0.3], &[true, false, true, false]),
+            Some(0.5)
+        );
+    }
+
+    #[test]
+    fn single_class_batches_are_undefined() {
+        assert_eq!(auroc(&[0.5, 0.6], &[true, true]), None);
+        assert_eq!(auroc(&[0.5, 0.6], &[false, false]), None);
+        assert_eq!(auroc(&[], &[]), None);
+    }
+
+    #[test]
+    fn rejection_report_counts_each_quadrant() {
+        // knowns at 0.8 / 0.1, distractors at 0.3 / 0.05; threshold 0.2
+        // rejects one known (0.1) and one distractor (0.05).
+        let scores = [0.8, 0.1, 0.3, 0.05];
+        let known = [true, true, false, false];
+        let report = rejection_report(&scores, &known, 0.2);
+        assert_eq!(report.rejected, 2);
+        assert_eq!(report.precision, Some(0.5));
+        assert_eq!(report.recall, Some(0.5));
+        assert_eq!(report.false_reject_rate, Some(0.5));
+    }
+
+    #[test]
+    fn all_reject_and_none_reject_edges() {
+        let scores = [0.8, 0.1, 0.3];
+        let known = [true, true, false];
+        // Threshold above every score: everything rejected.
+        let all = rejection_report(&scores, &known, 1.0);
+        assert_eq!(all.rejected, 3);
+        assert_eq!(all.precision, Some(1.0 / 3.0));
+        assert_eq!(all.recall, Some(1.0));
+        assert_eq!(all.false_reject_rate, Some(1.0));
+        // Threshold at/below every score: nothing rejected, precision
+        // undefined. The rule is strict `<`, so a score equal to the
+        // threshold survives.
+        let none = rejection_report(&scores, &known, 0.1);
+        assert_eq!(none.rejected, 0, "strict `<`: the 0.1 known survives");
+        let none = rejection_report(&scores, &known, 0.05);
+        assert_eq!(none.rejected, 0);
+        assert_eq!(none.precision, None);
+        assert_eq!(none.recall, Some(0.0));
+        assert_eq!(none.false_reject_rate, Some(0.0));
+    }
+
+    #[test]
+    fn empty_partitions_report_none() {
+        // No distractors: recall undefined, precision well-defined.
+        let report = rejection_report(&[0.2, 0.9], &[true, true], 0.5);
+        assert_eq!(report.recall, None);
+        assert_eq!(report.precision, Some(0.0));
+        assert_eq!(report.false_reject_rate, Some(0.5));
+        // No knowns: false-reject rate undefined.
+        let report = rejection_report(&[0.2], &[false], 0.5);
+        assert_eq!(report.false_reject_rate, None);
+        assert_eq!(report.recall, Some(1.0));
+        // Empty batch: everything undefined, nothing rejected.
+        let report = rejection_report(&[], &[], 0.5);
+        assert_eq!(
+            report,
+            RejectionReport {
+                precision: None,
+                recall: None,
+                false_reject_rate: None,
+                rejected: 0
+            }
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the GZSL and open-set metric families: the H metric's
+//! bounds and zero law, AUROC's invariance under monotone score transforms,
+//! and rejection precision/recall at the degenerate thresholds.
+
+use metrics::gzsl::harmonic_mean;
+use metrics::open_set::{auroc, rejection_report};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy producing a mixed batch of quantized scores (multiples of 1/8,
+/// so tie groups survive affine transforms exactly) with known/distractor
+/// flags. Quantization makes ties common enough that the average-rank path
+/// in AUROC is genuinely exercised.
+fn mixed_batch(len: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+    (len, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scores = (0..n)
+            .map(|_| rng.gen_range(0u8..=40) as f32 / 8.0)
+            .collect();
+        let labels = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        (scores, labels)
+    })
+}
+
+proptest! {
+    /// H lies between min and max of the two group accuracies whenever both
+    /// are positive (the mean-inequality chain min ≤ H ≤ G ≤ A ≤ max), and
+    /// collapses to 0 as soon as either group is 0.
+    #[test]
+    fn harmonic_mean_is_bounded_by_min_and_max(
+        a in 0.0f32..=1.0,
+        b in 0.0f32..=1.0,
+    ) {
+        let h = harmonic_mean(a, b);
+        let (lo, hi) = (a.min(b), a.max(b));
+        if a == 0.0 || b == 0.0 {
+            prop_assert_eq!(h, 0.0);
+        } else {
+            // Tiny ε absorbs f32 rounding.
+            prop_assert!(h >= lo - 1e-6, "h={h} below min({a},{b})");
+            prop_assert!(h <= hi + 1e-6, "h={h} above max({a},{b})");
+            prop_assert!(h > 0.0, "both groups positive must give H > 0");
+        }
+    }
+
+    /// H = 0 iff either group accuracy is 0.
+    #[test]
+    fn harmonic_mean_zero_law(a in 0.0f32..=1.0, b in 0.0f32..=1.0) {
+        let h = harmonic_mean(a, b);
+        prop_assert_eq!(h == 0.0, a == 0.0 || b == 0.0);
+    }
+
+    /// H treats the two groups symmetrically.
+    #[test]
+    fn harmonic_mean_is_symmetric(a in 0.0f32..=1.0, b in 0.0f32..=1.0) {
+        prop_assert_eq!(harmonic_mean(a, b), harmonic_mean(b, a));
+    }
+
+    /// AUROC depends only on the score *ordering*: any strictly increasing
+    /// affine transform leaves it exactly unchanged (average-rank tie
+    /// handling preserves tie groups under the transform).
+    #[test]
+    fn auroc_is_invariant_under_monotone_transforms(
+        (scores, labels) in mixed_batch(2..40),
+        scale in 1u8..=8,
+        shift in -4i8..=4,
+    ) {
+        let transformed: Vec<f32> = scores
+            .iter()
+            .map(|&s| s * scale as f32 + shift as f32)
+            .collect();
+        prop_assert_eq!(auroc(&scores, &labels), auroc(&transformed, &labels));
+    }
+
+    /// AUROC is defined exactly when both classes are present, and always
+    /// lands in [0, 1].
+    #[test]
+    fn auroc_is_defined_iff_both_classes_present(
+        (scores, labels) in mixed_batch(0..30),
+    ) {
+        let positives = labels.iter().filter(|&&l| l).count();
+        match auroc(&scores, &labels) {
+            None => prop_assert!(positives == 0 || positives == labels.len()),
+            Some(a) => {
+                prop_assert!(positives > 0 && positives < labels.len());
+                prop_assert!((0.0..=1.0).contains(&a), "auroc {a} out of range");
+            }
+        }
+    }
+
+    /// Degenerate thresholds: a threshold above every score rejects
+    /// everything (recall 1 where defined), one at/below every score rejects
+    /// nothing (precision undefined, recall 0 where defined), and an empty
+    /// partition always reports `None` instead of a fabricated rate.
+    #[test]
+    fn rejection_edges_all_and_none(
+        (scores, known) in mixed_batch(0..30),
+    ) {
+        let knowns = known.iter().filter(|&&k| k).count();
+        let distractors = known.len() - knowns;
+
+        let above = scores.iter().fold(0.0f32, |m, &s| m.max(s)) + 1.0;
+        let all = rejection_report(&scores, &known, above);
+        prop_assert_eq!(all.rejected, scores.len());
+        prop_assert_eq!(all.recall, (distractors > 0).then_some(1.0));
+        prop_assert_eq!(all.false_reject_rate, (knowns > 0).then_some(1.0));
+        prop_assert_eq!(
+            all.precision.is_some(),
+            !scores.is_empty(),
+            "everything rejected: precision defined iff the batch is non-empty"
+        );
+
+        let below = scores.iter().fold(0.0f32, |m, &s| m.min(s)) - 1.0;
+        let none = rejection_report(&scores, &known, below);
+        prop_assert_eq!(none.rejected, 0);
+        prop_assert_eq!(none.precision, None);
+        prop_assert_eq!(none.recall, (distractors > 0).then_some(0.0));
+        prop_assert_eq!(none.false_reject_rate, (knowns > 0).then_some(0.0));
+    }
+
+    /// Counting identity: `rejected` matches a direct recount of the strict
+    /// `score < threshold` rule, and defined rates stay in [0, 1].
+    #[test]
+    fn rejection_counts_are_consistent(
+        (scores, known) in mixed_batch(1..40),
+        threshold_q in 0u8..=41,
+    ) {
+        let threshold = threshold_q as f32 / 8.0;
+        let report = rejection_report(&scores, &known, threshold);
+        let manual = scores.iter().filter(|&&s| s < threshold).count();
+        prop_assert_eq!(report.rejected, manual);
+        for rate in [report.precision, report.recall, report.false_reject_rate]
+            .into_iter()
+            .flatten()
+        {
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+}

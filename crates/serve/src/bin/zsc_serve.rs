@@ -49,6 +49,20 @@
 //! both the log and the JSON (`"bit_identity": "skipped"`). No mutation
 //! drill runs against a remote server.
 //!
+//! **Calibration drill:** `--calibrate` switches to a generalized
+//! zero-shot + open-set mode over the attribute-level
+//! [`dataset::GzslWorkload`] generator (see `docs/evaluation.md`). It
+//! evaluates the GZSL H metric over the seen/unseen partition, fits a
+//! rejection threshold on the served known-query similarities
+//! ([`hdc_zsc::SimilarityCalibrator`], 10% target false-reject rate),
+//! installs it on the live server (`set_threshold`, one snapshot swap),
+//! and re-serves the mixed known + distractor traffic asserting every
+//! `unknown` verdict is bit-consistent with
+//! [`serve::ModelSnapshot::solo_topk`] recomputation and the empirical
+//! false-reject rate stays at or under the target. The JSON report
+//! carries the H metric, the fitted threshold (raw `f32` bits), verdict
+//! counts, rejection precision/recall, and AUROC.
+//!
 //! ```text
 //! zsc_serve [--classes N] [--images N] [--feature-dim N] [--epochs N]
 //!           [--queries N] [--callers N] [--max-batch N] [--max-wait-us N]
@@ -56,12 +70,16 @@
 //!           [--seed N] [--checkpoint PATH] [--wal-dir PATH] [--recover]
 //!           [--kill-after-register] [--net] [--net-addr HOST:PORT]
 //!           [--net-qps A,B,..] [--net-clients N] [--net-requests N]
-//!           [--net-admission N] [--quick] [--json]
+//!           [--net-admission N] [--calibrate] [--quick] [--json]
 //! ```
 
-use dataset::{AttributeSchema, CubLikeDataset, DatasetConfig, SplitKind};
+use dataset::{
+    AttributeSchema, CubLikeDataset, DatasetConfig, GzslWorkload, GzslWorkloadConfig, SplitKind,
+};
 use engine::ShardedClassMemory;
-use hdc_zsc::{Checkpoint, ModelConfig, Pipeline, TrainConfig, ZscModel};
+use hdc_zsc::{
+    evaluate_gzsl, Checkpoint, ModelConfig, Pipeline, SimilarityCalibrator, TrainConfig, ZscModel,
+};
 use serde::{Serialize, Value};
 use serve::net::{wire, ClientConfig, NetClient, NetConfig, NetServer};
 use serve::{DurabilityConfig, QueryServer, ScoredLabel, ServerConfig};
@@ -95,6 +113,7 @@ struct Config {
     net_clients: usize,
     net_requests: usize,
     net_admission: usize,
+    calibrate: bool,
     json: bool,
 }
 
@@ -124,6 +143,7 @@ impl Default for Config {
             net_clients: 8,
             net_requests: 2_000,
             net_admission: 64,
+            calibrate: false,
             json: false,
         }
     }
@@ -183,6 +203,7 @@ fn parse_args() -> Config {
             "--net-admission" => {
                 config.net_admission = value("--net-admission").parse().expect("--net-admission");
             }
+            "--calibrate" => config.calibrate = true,
             "--quick" => {
                 // Small CI smoke: train → save → load → serve → register →
                 // re-serve in a few seconds.
@@ -205,7 +226,7 @@ fn parse_args() -> Config {
                      [--top-k K] [--shards N] [--register N] [--seed N] [--checkpoint PATH] \
                      [--wal-dir PATH] [--recover] [--kill-after-register] \
                      [--net] [--net-addr HOST:PORT] [--net-qps A,B,..] [--net-clients N] \
-                     [--net-requests N] [--net-admission N] [--quick] [--json]"
+                     [--net-requests N] [--net-admission N] [--calibrate] [--quick] [--json]"
                 );
                 std::process::exit(0);
             }
@@ -840,10 +861,213 @@ fn run_net_mode(config: &Config) {
     }
 }
 
+/// Renders an `Option<f32>` metric as a JSON number or `null`.
+fn json_opt(value: Option<f32>) -> String {
+    value.map_or_else(|| "null".to_string(), |v| format!("{v:.6}"))
+}
+
+/// `--calibrate`: generalized zero-shot + open-set drill over the
+/// attribute-level [`GzslWorkload`] generator.
+///
+/// The drill model runs without the FC projection (γ = identity), so
+/// query rows are the *attribute-encoder embeddings* of each query's
+/// attribute vector — both sides of the cosine live in the same
+/// hypervector space and the whole run is a pure function of the seed.
+/// Steps: GZSL H-metric evaluation over the seen/unseen union, threshold
+/// fitting on the served known-query similarities, one `set_threshold`
+/// snapshot swap on the live server, and a mixed known + distractor
+/// re-serve whose verdicts are cross-checked against solo recomputation.
+fn run_calibrate(config: &Config) {
+    let schema = AttributeSchema::cub200();
+    let classes = config.classes.max(4);
+    let workload = GzslWorkload::generate(&GzslWorkloadConfig {
+        classes,
+        unseen: config.register.clamp(1, classes - 1),
+        attribute_dim: schema.num_attributes(),
+        queries: config.queries,
+        distractors: (config.queries / 8).max(16),
+        // Heavier jitter than the generator default, so the H metric and
+        // the rejection trade-off are exercised away from the trivial
+        // all-correct / all-separable corner.
+        noise: 0.35,
+        seed: config.seed,
+    });
+    let model = ZscModel::new(
+        &ModelConfig::tiny()
+            .with_projection(false)
+            .with_seed(config.seed),
+        &schema,
+        config.feature_dim,
+    );
+    let class_attr = Matrix::from_rows(&workload.class_attributes);
+    let query_embeddings = model
+        .attribute_encoder()
+        .infer_classes(&Matrix::from_rows(&workload.query_attributes));
+    let known_indices: Vec<usize> = (0..workload.query_class.len())
+        .filter(|&q| workload.query_class[q].is_some())
+        .collect();
+    let known_targets: Vec<usize> = known_indices
+        .iter()
+        .map(|&q| workload.query_class[q].expect("known query"))
+        .collect();
+    let distractors = workload.query_class.len() - known_indices.len();
+    eprintln!(
+        "zsc_serve: calibrate drill over {classes} classes ({} unseen), {} known queries, \
+         {distractors} distractors",
+        workload.unseen_classes().len(),
+        known_indices.len()
+    );
+
+    // --- GZSL H metric over the seen/unseen union ---------------------------
+    let known_features = query_embeddings.select_rows(&known_indices);
+    let gzsl = evaluate_gzsl(
+        &model,
+        &known_features,
+        &known_targets,
+        &class_attr,
+        &workload.unseen,
+    );
+    eprintln!("zsc_serve: gzsl {gzsl}");
+
+    // --- serve, calibrate, install the threshold live -----------------------
+    let server = QueryServer::start(
+        model,
+        workload.labels.clone(),
+        &class_attr,
+        ServerConfig {
+            max_batch: config.max_batch,
+            max_wait_us: config.max_wait_us,
+            threads: config.threads,
+            top_k: config.top_k,
+            shards: config.shards,
+            routed: None,
+        },
+    )
+    .expect("server starts");
+    let rows: Vec<Vec<f32>> = (0..query_embeddings.rows())
+        .map(|q| query_embeddings.row(q).to_vec())
+        .collect();
+    let mut known_sims = Vec::with_capacity(known_indices.len());
+    for &q in &known_indices {
+        let (_, top, verdict) = server.query_with_verdict(&rows[q]).expect("query served");
+        assert_eq!(verdict, None, "no verdicts before calibration");
+        known_sims.push(top.first().expect("non-empty class set").1);
+    }
+    let target_false_reject = 0.1f32;
+    let calibration = SimilarityCalibrator::new(target_false_reject).fit(&known_sims);
+    let calibrated = server
+        .set_threshold(calibration.threshold)
+        .expect("threshold installs");
+    eprintln!(
+        "zsc_serve: fitted threshold {} (bits {:#010x}) on {} known sims, installed in \
+         snapshot v{}",
+        calibration.threshold,
+        calibration.threshold.to_bits(),
+        known_sims.len(),
+        calibrated.version()
+    );
+
+    // --- mixed re-serve: every verdict cross-checked against solo scoring ---
+    let snapshot = server.snapshot();
+    let mut sims = Vec::with_capacity(rows.len());
+    let mut known_flags = Vec::with_capacity(rows.len());
+    let (mut accepted_known, mut rejected_known) = (0usize, 0usize);
+    let (mut accepted_distractor, mut rejected_distractor) = (0usize, 0usize);
+    for (q, row) in rows.iter().enumerate() {
+        let (version, top, verdict) = server.query_with_verdict(row).expect("query served");
+        assert_eq!(version, snapshot.version(), "no mutations during the drill");
+        let solo = snapshot.solo_topk(row, config.top_k);
+        for ((sl, ss), (dl, ds)) in top.iter().zip(&solo) {
+            assert_eq!(sl, dl, "served label diverged from solo scoring");
+            assert_eq!(
+                ss.to_bits(),
+                ds.to_bits(),
+                "served similarity diverged from solo scoring"
+            );
+        }
+        let verdict = verdict.expect("threshold is installed");
+        assert_eq!(
+            Some(verdict),
+            snapshot.verdict(&solo),
+            "served verdict diverged from solo recomputation"
+        );
+        let is_known = workload.query_class[q].is_some();
+        sims.push(top[0].1);
+        known_flags.push(is_known);
+        match (is_known, verdict) {
+            (true, serve::Verdict::Known) => accepted_known += 1,
+            (true, serve::Verdict::Unknown) => rejected_known += 1,
+            (false, serve::Verdict::Known) => accepted_distractor += 1,
+            (false, serve::Verdict::Unknown) => rejected_distractor += 1,
+        }
+    }
+    let rejection = metrics::rejection_report(&sims, &known_flags, calibration.threshold);
+    let auroc = metrics::auroc(&sims, &known_flags);
+    assert_eq!(
+        rejection.rejected,
+        rejected_known + rejected_distractor,
+        "the metrics-layer reject rule and the served verdicts must agree"
+    );
+    let false_reject_rate = rejection.false_reject_rate.unwrap_or(0.0);
+    assert!(
+        false_reject_rate <= target_false_reject + 1e-6,
+        "calibration overshoots its target: {false_reject_rate} > {target_false_reject}"
+    );
+    eprintln!(
+        "zsc_serve: verdicts known {accepted_known}+{rejected_known} / distractor \
+         {accepted_distractor}+{rejected_distractor} (accepted+rejected), false-reject \
+         {false_reject_rate:.4} ≤ target {target_false_reject}, auroc {}",
+        json_opt(auroc)
+    );
+
+    let json = format!(
+        "{{\n  \"config\": {{\"classes\": {classes}, \"unseen\": {}, \"attribute_dim\": {}, \
+         \"embedding_dim\": {}, \"queries\": {}, \"distractors\": {distractors}, \
+         \"top_k\": {}, \"seed\": {}}},\n  \
+         \"gzsl\": {{\"seen\": {}, \"unseen\": {}, \"harmonic\": {:.6}, \
+         \"num_seen_classes\": {}, \"num_unseen_classes\": {}, \"num_samples\": {}}},\n  \
+         \"calibration\": {{\"target_false_reject\": {target_false_reject}, \
+         \"threshold\": {}, \"threshold_bits\": {}, \"fitted_on\": {}}},\n  \
+         \"serve\": {{\"snapshot_version\": {}, \"accepted_known\": {accepted_known}, \
+         \"rejected_known\": {rejected_known}, \"accepted_distractor\": {accepted_distractor}, \
+         \"rejected_distractor\": {rejected_distractor}, \"false_reject_rate\": {:.6}, \
+         \"rejection_precision\": {}, \"rejection_recall\": {}, \"auroc\": {}}}\n}}",
+        workload.unseen_classes().len(),
+        schema.num_attributes(),
+        config.feature_dim,
+        known_indices.len(),
+        config.top_k,
+        config.seed,
+        json_opt(gzsl.seen),
+        json_opt(gzsl.unseen),
+        gzsl.harmonic,
+        gzsl.num_seen_classes,
+        gzsl.num_unseen_classes,
+        gzsl.num_samples,
+        calibration.threshold,
+        calibration.threshold.to_bits(),
+        known_sims.len(),
+        snapshot.version(),
+        false_reject_rate,
+        json_opt(rejection.precision),
+        json_opt(rejection.recall),
+        json_opt(auroc),
+    );
+    if config.json {
+        println!("{json}");
+    } else {
+        eprintln!("{json}");
+    }
+}
+
 fn main() {
     let config = parse_args();
     if config.recover {
         run_recovery(&config);
+        return;
+    }
+    if config.calibrate {
+        run_calibrate(&config);
         return;
     }
     if config.net {

@@ -9,7 +9,7 @@ pub mod wal;
 pub use net::{NetClient, NetConfig, NetError, NetServer, NetStats};
 pub use server::{
     DurabilityConfig, ModelSnapshot, QueryServer, RecoveryReport, ScoredLabel, ServeError,
-    ServerConfig, ServerStats,
+    ServedResult, ServerConfig, ServerStats, Verdict,
 };
 pub use wal::{SyncPolicy, WalError};
 

@@ -12,7 +12,7 @@
 use super::frame::{read_frame, write_frame, FrameError, ReadOutcome};
 use super::wire::{Request, Response, WireStats, PROTOCOL_VERSION};
 use super::NetError;
-use crate::server::ScoredLabel;
+use crate::server::{ScoredLabel, Verdict};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
@@ -137,20 +137,56 @@ impl NetClient {
         features: &[f32],
         k: Option<u64>,
     ) -> Result<(u64, Vec<ScoredLabel>), NetError> {
+        self.query_with_verdict(features, k)
+            .map(|(version, results, _)| (version, results))
+    }
+
+    /// Like [`NetClient::query`], additionally returning the serving
+    /// snapshot's open-set [`Verdict`] — `None` when that snapshot carried
+    /// no rejection threshold (see [`NetClient::set_threshold`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::query`].
+    pub fn query_with_verdict(
+        &mut self,
+        features: &[f32],
+        k: Option<u64>,
+    ) -> Result<(u64, Vec<ScoredLabel>, Option<Verdict>), NetError> {
         let response = self.call(&Request::Query {
             features: features.to_vec(),
             k,
         })?;
         match response {
-            Response::TopK { version, results } => Ok((
+            Response::TopK {
+                version,
+                results,
+                verdict,
+            } => Ok((
                 version,
                 results
                     .into_iter()
                     .map(|score| (score.label, f32::from_bits(score.sim_bits)))
                     .collect(),
+                verdict,
             )),
             other => Err(unexpected(&other, "topk")),
         }
+    }
+
+    /// Sets (`Some`) or clears (`None`) the server's open-set rejection
+    /// threshold; returns the snapshot version the change published. The
+    /// threshold crosses the wire as raw `f32` bits, so the server judges
+    /// queries by exactly the value the caller calibrated.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::query`]; a non-finite threshold comes back as a
+    /// [`NetError::Rejected`] with code `invalid_config`.
+    pub fn set_threshold(&mut self, threshold: Option<f32>) -> Result<u64, NetError> {
+        self.mutate(&Request::SetThreshold {
+            threshold_bits: threshold.map(f32::to_bits),
+        })
     }
 
     /// Registers a new class; returns the snapshot version it published.

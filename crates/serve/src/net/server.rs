@@ -518,13 +518,14 @@ fn respond(shared: &NetShared, request: Request) -> Response {
                 });
             };
             shared.counters.admitted.fetch_add(1, Ordering::AcqRel);
-            let result = shared.server.query_traced(&features);
+            let result = shared.server.query_with_verdict(&features);
             drop(permit);
             match result {
-                Ok((version, mut results)) => {
+                Ok((version, mut results, verdict)) => {
                     // `k` narrows within the server's configured top-k; a
                     // prefix of the full response is still bit-identical
-                    // to the (truncated) solo reference.
+                    // to the (truncated) solo reference — and the verdict
+                    // only depends on the top-1, which truncation keeps.
                     if let Some(k) = k {
                         results.truncate(usize::try_from(k).unwrap_or(usize::MAX));
                     }
@@ -537,6 +538,7 @@ fn respond(shared: &NetShared, request: Request) -> Response {
                                 sim_bits: sim.to_bits(),
                             })
                             .collect(),
+                        verdict,
                     }
                 }
                 Err(e) => Response::from_serve_error(&e),
@@ -549,6 +551,13 @@ fn respond(shared: &NetShared, request: Request) -> Response {
             mutation_response(shared.server.update_class(&label, &attributes))
         }
         Request::RemoveClass { label } => mutation_response(shared.server.remove_class(&label)),
+        Request::SetThreshold { threshold_bits } => mutation_response(match threshold_bits {
+            // Decoded from raw bits, so the server judges queries by the
+            // exact f32 the client calibrated (non-finite bits are rejected
+            // by `set_threshold` with a typed `invalid_config`).
+            Some(bits) => shared.server.set_threshold(f32::from_bits(bits)),
+            None => shared.server.clear_threshold(),
+        }),
         Request::SwapModel {
             checkpoint_json,
             labels,

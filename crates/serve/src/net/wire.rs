@@ -13,7 +13,7 @@
 //! shipping the bits directly makes that contract checkable over the wire
 //! without trusting any decimal float formatting.
 
-use crate::server::ServeError;
+use crate::server::{ServeError, Verdict};
 use serde::{Serialize, Value};
 
 /// The handshake version this build speaks. A client whose `hello` names a
@@ -167,6 +167,15 @@ pub enum Request {
         /// Class-attribute rows of the new class set.
         attributes: Vec<Vec<f32>>,
     },
+    /// Set or clear the open-set rejection threshold; answered with
+    /// [`Response::Mutated`]. Additive in protocol 1: old clients simply
+    /// never send it.
+    SetThreshold {
+        /// `f32::to_bits` of the new threshold — raw bits, like `sim_bits`,
+        /// so the strict-less verdict boundary crosses the wire exactly.
+        /// `None` clears the threshold.
+        threshold_bits: Option<u32>,
+    },
     /// Fetch counters; answered with [`Response::Stats`].
     Stats,
 }
@@ -196,6 +205,12 @@ pub enum Response {
         version: u64,
         /// Scored labels, most similar first.
         results: Vec<WireScore>,
+        /// The serving snapshot's open-set verdict. Additive in protocol
+        /// 1: the field is only present when that snapshot carries a
+        /// rejection threshold, and decoders treat a missing (or `null`)
+        /// field as `None`, so old clients and old servers interoperate
+        /// unchanged.
+        verdict: Option<Verdict>,
     },
     /// An accepted mutation: the snapshot version it published.
     Mutated {
@@ -283,6 +298,10 @@ impl Request {
                 ("labels", labels.to_value()),
                 ("attributes", attributes.to_value()),
             ]),
+            Request::SetThreshold { threshold_bits } => obj(vec![
+                ("type", "set_threshold".to_value()),
+                ("threshold_bits", threshold_bits.to_value()),
+            ]),
             Request::Stats => obj(vec![("type", "stats".to_value())]),
         }
     }
@@ -323,6 +342,15 @@ impl Request {
                 checkpoint_json: field(value, "checkpoint")?,
                 labels: field(value, "labels")?,
                 attributes: field(value, "attributes")?,
+            }),
+            "set_threshold" => Ok(Request::SetThreshold {
+                threshold_bits: match value.get("threshold_bits") {
+                    None | Some(Value::Null) => None,
+                    Some(bits) => Some(
+                        serde_json::from_value(bits)
+                            .map_err(|e| format!("field `threshold_bits`: {e}"))?,
+                    ),
+                },
             }),
             "stats" => Ok(Request::Stats),
             other => Err(format!("unknown request type `{other}`")),
@@ -368,24 +396,37 @@ impl Response {
                 ("snapshot_version", snapshot_version.to_value()),
                 ("classes", classes.to_value()),
             ]),
-            Response::TopK { version, results } => obj(vec![
-                ("type", "topk".to_value()),
-                ("version", version.to_value()),
-                (
-                    "results",
-                    Value::Array(
-                        results
-                            .iter()
-                            .map(|score| {
-                                obj(vec![
-                                    ("label", score.label.to_value()),
-                                    ("sim_bits", score.sim_bits.to_value()),
-                                ])
-                            })
-                            .collect(),
+            Response::TopK {
+                version,
+                results,
+                verdict,
+            } => {
+                let mut entries = vec![
+                    ("type", "topk".to_value()),
+                    ("version", version.to_value()),
+                    (
+                        "results",
+                        Value::Array(
+                            results
+                                .iter()
+                                .map(|score| {
+                                    obj(vec![
+                                        ("label", score.label.to_value()),
+                                        ("sim_bits", score.sim_bits.to_value()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
                     ),
-                ),
-            ]),
+                ];
+                // Additive: written only when a threshold judged the query,
+                // so uncalibrated responses are byte-identical to protocol
+                // 1 before verdicts existed.
+                if let Some(verdict) = verdict {
+                    entries.push(("verdict", verdict.to_string().to_value()));
+                }
+                obj(entries)
+            }
             Response::Mutated { version, classes } => obj(vec![
                 ("type", "mutated".to_value()),
                 ("version", version.to_value()),
@@ -435,9 +476,22 @@ impl Response {
                         })
                     })
                     .collect::<Result<Vec<_>, String>>()?;
+                let verdict = match value.get("verdict") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => {
+                        let name: String = serde_json::from_value(v)
+                            .map_err(|e| format!("field `verdict`: {e}"))?;
+                        Some(match name.as_str() {
+                            "known" => Verdict::Known,
+                            "unknown" => Verdict::Unknown,
+                            other => return Err(format!("unknown verdict `{other}`")),
+                        })
+                    }
+                };
                 Ok(Response::TopK {
                     version: field(value, "version")?,
                     results,
+                    verdict,
                 })
             }
             "mutated" => Ok(Response::Mutated {
@@ -528,6 +582,12 @@ mod tests {
             labels: vec!["a".to_string(), "b".to_string()],
             attributes: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
         });
+        round_trip_request(Request::SetThreshold {
+            threshold_bits: Some(0.314f32.to_bits()),
+        });
+        round_trip_request(Request::SetThreshold {
+            threshold_bits: None,
+        });
         round_trip_request(Request::Stats);
     }
 
@@ -552,7 +612,18 @@ mod tests {
                     sim_bits: (-0.25f32).to_bits(),
                 },
             ],
+            verdict: None,
         });
+        for verdict in [Verdict::Known, Verdict::Unknown] {
+            round_trip_response(Response::TopK {
+                version: 9,
+                results: vec![WireScore {
+                    label: "owl".to_string(),
+                    sim_bits: 0.5f32.to_bits(),
+                }],
+                verdict: Some(verdict),
+            });
+        }
         round_trip_response(Response::Mutated {
             version: 4,
             classes: 10,
@@ -606,6 +677,35 @@ mod tests {
         assert!(Request::decode(b"{\"type\":\"warp\"}").is_err());
         assert!(Request::decode(b"{\"type\":\"query\"}").is_err());
         assert!(Response::decode(b"{\"type\":\"topk\",\"version\":1}").is_err());
+        assert!(Response::decode(
+            b"{\"type\":\"topk\",\"version\":1,\"results\":[],\"verdict\":\"maybe\"}"
+        )
+        .is_err());
+    }
+
+    /// The `verdict` field is additive: a verdict-free response carries no
+    /// key at all (byte-identical to the pre-verdict protocol), and
+    /// decoders accept both a missing key and an explicit `null` as
+    /// "no verdict".
+    #[test]
+    fn verdict_field_is_additive() {
+        let encoded = Response::TopK {
+            version: 1,
+            results: vec![],
+            verdict: None,
+        }
+        .encode();
+        let text = String::from_utf8(encoded).expect("compact JSON is UTF-8");
+        assert!(!text.contains("verdict"), "no key when no verdict: {text}");
+        for legacy in [
+            "{\"type\":\"topk\",\"version\":1,\"results\":[]}",
+            "{\"type\":\"topk\",\"version\":1,\"results\":[],\"verdict\":null}",
+        ] {
+            match Response::decode(legacy.as_bytes()).expect("legacy topk decodes") {
+                Response::TopK { verdict, .. } => assert_eq!(verdict, None, "{legacy}"),
+                other => panic!("expected topk, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -32,7 +32,8 @@
 //!
 //! Mutations — [`QueryServer::register_class`],
 //! [`QueryServer::update_class`], [`QueryServer::remove_class`],
-//! [`QueryServer::swap_model`] — validate their inputs first, then build the
+//! [`QueryServer::swap_model`], [`QueryServer::set_threshold`] /
+//! [`QueryServer::clear_threshold`] — validate their inputs first, then build the
 //! next snapshot on the caller's thread and publish it with one `Arc`
 //! store. The sharded memory's copy-on-write shards make the incremental
 //! paths cheap: registering a class clones `Arc` handles for every shard
@@ -109,6 +110,34 @@ impl Default for ServerConfig {
 
 /// One scored label: `(class label, similarity in [-1, 1])`.
 pub type ScoredLabel = (String, f32);
+
+/// The open-set verdict a calibrated snapshot attaches to a served query.
+///
+/// Only produced when the serving snapshot carries a rejection threshold
+/// ([`QueryServer::set_threshold`], or a checkpoint whose
+/// [`SimilarityCalibration`](hdc_zsc::SimilarityCalibration) seeded one):
+/// the verdict is [`Verdict::Unknown`] exactly when the query's best
+/// similarity falls **strictly below** the threshold — the same strict-less
+/// rule [`hdc_zsc::SimilarityCalibrator`] fits its target false-reject rate
+/// against, so ties with the threshold stay `Known`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The best similarity cleared the threshold; the top-1 label is an
+    /// in-distribution answer.
+    Known,
+    /// The best similarity fell strictly below the threshold; the query
+    /// likely belongs to no registered class.
+    Unknown,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Known => write!(f, "known"),
+            Verdict::Unknown => write!(f, "unknown"),
+        }
+    }
+}
 
 /// Why a query could not be served.
 ///
@@ -320,6 +349,11 @@ pub struct ModelSnapshot {
     /// repacks) and is rebuilt from scratch — deterministically — on model
     /// swaps.
     routed: Option<RoutedClassMemory>,
+    /// The calibrated open-set rejection threshold, when one is set; see
+    /// [`Verdict`]. Carried by the snapshot so a threshold change is one
+    /// more atomic hot swap: every query is judged by exactly the snapshot
+    /// that scored it.
+    threshold: Option<f32>,
 }
 
 impl ModelSnapshot {
@@ -348,6 +382,26 @@ impl ModelSnapshot {
         &self.model
     }
 
+    /// The open-set rejection threshold this snapshot judges queries by,
+    /// when one is set ([`QueryServer::set_threshold`]).
+    pub fn threshold(&self) -> Option<f32> {
+        self.threshold
+    }
+
+    /// The verdict this snapshot assigns to a served top-k: `None` when no
+    /// threshold is set, otherwise [`Verdict::Unknown`] iff the best
+    /// similarity is **strictly below** the threshold (an empty top-k —
+    /// `k = 0` — is `Unknown` under a threshold, since nothing cleared it).
+    ///
+    /// Deterministic in the similarity *bits*, so recomputing over
+    /// [`ModelSnapshot::solo_topk`] reproduces the served verdict exactly.
+    pub fn verdict(&self, top: &[ScoredLabel]) -> Option<Verdict> {
+        self.threshold.map(|threshold| match top.first() {
+            Some(&(_, sim)) if sim >= threshold => Verdict::Known,
+            _ => Verdict::Unknown,
+        })
+    }
+
     /// Scores one feature row against this snapshot exactly as the server
     /// does, but solo — no admission queue, no batching. The serving
     /// contract is that a query answered under version `v` is bit-identical
@@ -370,12 +424,17 @@ impl ModelSnapshot {
     }
 }
 
+/// One served query result: the snapshot version that scored it, the top-k
+/// labels, and the snapshot's open-set verdict (`None` when no threshold
+/// was set).
+pub type ServedResult = (u64, Vec<ScoredLabel>, Option<Verdict>);
+
 /// One queued query: the feature row plus the channel its result goes back
 /// on.
 #[derive(Debug)]
 struct Request {
     features: Vec<f32>,
-    responder: mpsc::Sender<(u64, Vec<ScoredLabel>)>,
+    responder: mpsc::Sender<ServedResult>,
 }
 
 /// State shared between callers and the dispatcher thread.
@@ -473,7 +532,19 @@ impl QueryServer {
         class_attributes: &Matrix,
         config: ServerConfig,
     ) -> Result<Self, ServeError> {
-        let model: FrozenModel = model.into();
+        Self::start_with_threshold(model.into(), labels, class_attributes, config, None)
+    }
+
+    /// The shared non-durable construction body: [`QueryServer::start`]
+    /// seeds no threshold, [`QueryServer::from_checkpoint`] seeds the
+    /// checkpoint's calibrated one.
+    fn start_with_threshold(
+        model: FrozenModel,
+        labels: Vec<String>,
+        class_attributes: &Matrix,
+        config: ServerConfig,
+        threshold: Option<f32>,
+    ) -> Result<Self, ServeError> {
         validate_class_set(&labels, class_attributes)?;
         validate_config(&config)?;
         let attribute_dim = class_attributes.cols();
@@ -487,6 +558,7 @@ impl QueryServer {
             model,
             memory,
             routed,
+            threshold,
             attribute_dim,
             config,
             0,
@@ -497,10 +569,12 @@ impl QueryServer {
     /// The one spawn point every constructor funnels through: wraps the
     /// already-validated parts into the initial snapshot and starts the
     /// dispatcher thread.
+    #[allow(clippy::too_many_arguments)]
     fn start_with_parts(
         model: FrozenModel,
         memory: ShardedClassMemory,
         routed: Option<RoutedClassMemory>,
+        threshold: Option<f32>,
         attribute_dim: usize,
         config: ServerConfig,
         version: u64,
@@ -512,6 +586,7 @@ impl QueryServer {
             model,
             memory,
             routed,
+            threshold,
         });
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
@@ -592,6 +667,7 @@ impl QueryServer {
             base: Checkpoint::capture(&model, schema),
             memory: memory.clone(),
             routed: routed.clone(),
+            threshold: None,
         }
         .save_json(wal::base_path(&durability.dir))?;
         let log = WriteAheadLog::create(wal::wal_path(&durability.dir), durability.sync)?;
@@ -606,6 +682,7 @@ impl QueryServer {
             model,
             memory,
             routed,
+            None,
             attribute_dim,
             config,
             0,
@@ -647,7 +724,9 @@ impl QueryServer {
             base,
             memory,
             routed,
+            threshold,
         } = delta;
+        let mut threshold = threshold;
         let mut model = base.into_frozen(schema)?;
         let mut memory = memory.with_threads(config.threads);
         // Resume the base's routed index only when it was built under
@@ -708,6 +787,19 @@ impl QueryServer {
                         .as_ref()
                         .map(|r| routed_from_sharded(&memory, r.config(), config.threads));
                 }
+                WalOp::SetThreshold { bits } => {
+                    let replayed = bits.map(f32::from_bits);
+                    if replayed.is_some_and(|t| !t.is_finite()) {
+                        return Err(ServeError::Wal(WalError::Corrupt {
+                            offset: entry.end_offset,
+                            reason: format!(
+                                "record {} carries a non-finite rejection threshold",
+                                entry.seq
+                            ),
+                        }));
+                    }
+                    threshold = replayed;
+                }
             }
             replayed_records += 1;
         }
@@ -738,6 +830,7 @@ impl QueryServer {
                 model,
                 memory,
                 routed,
+                threshold,
                 attribute_dim,
                 config,
                 version,
@@ -753,6 +846,13 @@ impl QueryServer {
     /// [`FrozenModel`] view ([`hdc_zsc::Checkpoint::into_frozen`]) — no
     /// intermediate mutable model, no extra copy.
     ///
+    /// A checkpoint carrying a
+    /// [`SimilarityCalibration`](hdc_zsc::SimilarityCalibration) seeds the
+    /// server's open-set rejection threshold, so calibrated verdicts
+    /// survive the save/load cycle without a separate
+    /// [`QueryServer::set_threshold`] call; an uncalibrated checkpoint
+    /// starts with no threshold, exactly as before.
+    ///
     /// # Errors
     ///
     /// Returns [`ServeError::Checkpoint`] when the checkpoint does not match
@@ -764,8 +864,9 @@ impl QueryServer {
         class_attributes: &Matrix,
         config: ServerConfig,
     ) -> Result<Self, ServeError> {
+        let threshold = checkpoint.calibration.as_ref().map(|c| c.threshold);
         let model = checkpoint.into_frozen(schema)?;
-        Self::start(model, labels, class_attributes, config)
+        Self::start_with_threshold(model, labels, class_attributes, config, threshold)
     }
 
     /// Width of the backbone feature rows the server expects.
@@ -909,6 +1010,7 @@ impl QueryServer {
                 model: snapshot.model.clone(),
                 memory,
                 routed,
+                threshold: snapshot.threshold,
             }
         });
         self.maybe_compact(control, &published)?;
@@ -954,6 +1056,7 @@ impl QueryServer {
                 model: snapshot.model.clone(),
                 memory,
                 routed,
+                threshold: snapshot.threshold,
             }
         });
         self.maybe_compact(&mut control, &published)?;
@@ -1042,11 +1145,73 @@ impl QueryServer {
             })?;
         }
         control.attribute_dim = class_attributes.cols();
+        // The threshold survives the swap: it is serve-time control state
+        // (set/cleared through its own verb), not a property of the model
+        // being rolled out. Recovery replays swap records the same way.
         let published = self.publish(move |snapshot| ModelSnapshot {
             version: snapshot.version + 1,
             model,
             memory,
             routed,
+            threshold: snapshot.threshold,
+        });
+        self.maybe_compact(&mut control, &published)?;
+        Ok(published)
+    }
+
+    /// Sets the open-set rejection threshold, atomically publishing a
+    /// snapshot that judges every subsequent query by it: a served top-1
+    /// similarity **strictly below** `threshold` comes back with
+    /// [`Verdict::Unknown`]. Typically fed from a
+    /// [`hdc_zsc::SimilarityCalibrator`] fit offline; the change is one
+    /// hot swap — queries already coalesced keep the old snapshot's
+    /// verdict rule, nothing drains.
+    ///
+    /// On a durable server the change is WAL-logged (bit-exactly, as
+    /// `f32` bits) before publication, so recovery resumes with the same
+    /// verdict boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a non-finite threshold and
+    /// [`ServeError::Wal`] when a durable server cannot log the change
+    /// (nothing is published then).
+    pub fn set_threshold(&self, threshold: f32) -> Result<Arc<ModelSnapshot>, ServeError> {
+        if !threshold.is_finite() {
+            return Err(ServeError::InvalidConfig(format!(
+                "rejection threshold must be finite, got {threshold}"
+            )));
+        }
+        self.store_threshold(Some(threshold))
+    }
+
+    /// Clears the open-set rejection threshold, atomically publishing a
+    /// snapshot that serves every query without a verdict — the behaviour
+    /// of an uncalibrated server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Wal`] when a durable server cannot log the
+    /// change (nothing is published then).
+    pub fn clear_threshold(&self) -> Result<Arc<ModelSnapshot>, ServeError> {
+        self.store_threshold(None)
+    }
+
+    /// The shared set/clear body: WAL-append first (durable servers), then
+    /// one atomic publish, under the control mutex like every mutation.
+    fn store_threshold(&self, threshold: Option<f32>) -> Result<Arc<ModelSnapshot>, ServeError> {
+        let mut control = self.control.lock().expect("control mutex poisoned");
+        if let Some(durable) = control.durable.as_mut() {
+            durable.wal.append(&WalOp::SetThreshold {
+                bits: threshold.map(f32::to_bits),
+            })?;
+        }
+        let published = self.publish(|snapshot| ModelSnapshot {
+            version: snapshot.version + 1,
+            model: snapshot.model.clone(),
+            memory: snapshot.memory.clone(),
+            routed: snapshot.routed.clone(),
+            threshold,
         });
         self.maybe_compact(&mut control, &published)?;
         Ok(published)
@@ -1102,6 +1267,7 @@ impl QueryServer {
             base: Checkpoint::capture(&snapshot.model, &durable.schema),
             memory: snapshot.memory.clone(),
             routed: snapshot.routed.clone(),
+            threshold: snapshot.threshold,
         }
         .save_json(wal::base_path(&durable.dir))?;
         durable.wal.rotate()?;
@@ -1151,6 +1317,21 @@ impl QueryServer {
     ///
     /// Same as [`QueryServer::query`].
     pub fn query_traced(&self, features: &[f32]) -> Result<(u64, Vec<ScoredLabel>), ServeError> {
+        self.query_with_verdict(features)
+            .map(|(version, top, _)| (version, top))
+    }
+
+    /// Like [`QueryServer::query_traced`], additionally reporting the
+    /// serving snapshot's open-set [`Verdict`] — `None` when that snapshot
+    /// carried no rejection threshold. The verdict is computed by the
+    /// dispatcher against the *same* snapshot that scored the query, so a
+    /// concurrent [`QueryServer::set_threshold`] can never judge a query by
+    /// a threshold the reported version does not carry.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QueryServer::query`].
+    pub fn query_with_verdict(&self, features: &[f32]) -> Result<ServedResult, ServeError> {
         let mut results = self.enqueue(vec![features.to_vec()])?;
         Ok(results.pop().expect("one result per submitted row"))
     }
@@ -1173,13 +1354,13 @@ impl QueryServer {
         Ok(self
             .enqueue(rows.to_vec())?
             .into_iter()
-            .map(|(_, top)| top)
+            .map(|(_, top, _)| top)
             .collect())
     }
 
     /// Validates widths, enqueues the owned rows (no further copies — the
     /// dispatcher moves them out of the queue), and blocks for the results.
-    fn enqueue(&self, rows: Vec<Vec<f32>>) -> Result<Vec<(u64, Vec<ScoredLabel>)>, ServeError> {
+    fn enqueue(&self, rows: Vec<Vec<f32>>) -> Result<Vec<ServedResult>, ServeError> {
         for row in &rows {
             if row.len() != self.shared.feature_dim {
                 return Err(ServeError::FeatureWidth {
@@ -1346,8 +1527,13 @@ fn dispatch_loop(shared: &Shared, config: ServerConfig) {
                 .into_iter()
                 .map(|(label, sim)| (label.to_string(), sim))
                 .collect();
+            // Judged by the same snapshot that scored it — threshold swaps
+            // can never split a query's scores from its verdict.
+            let verdict = snapshot.verdict(&labelled);
             // A disconnected receiver just means the caller gave up; drop it.
-            let _ = request.responder.send((snapshot.version, labelled));
+            let _ = request
+                .responder
+                .send((snapshot.version, labelled, verdict));
         }
     }
 }

@@ -215,6 +215,13 @@ pub enum WalOp {
         /// The post-swap class memory.
         memory: ShardedClassMemory,
     },
+    /// The open-set rejection threshold was set (or cleared) mid-traffic.
+    SetThreshold {
+        /// `f32::to_bits` of the new threshold; `None` clears it. Carried
+        /// as raw bits so replay reproduces the exact strict-less verdict
+        /// boundary the pre-crash server enforced.
+        bits: Option<u32>,
+    },
 }
 
 /// Lowercase hex, 16 digits per word — a compact, exact `u64` encoding.
@@ -270,6 +277,10 @@ impl WalOp {
                 entries.push(("checkpoint".to_string(), checkpoint_json.to_value()));
                 entries.push(("memory".to_string(), memory.to_value()));
             }
+            WalOp::SetThreshold { bits } => {
+                entries.push(("op".to_string(), "set_threshold".to_string().to_value()));
+                entries.push(("threshold_bits".to_string(), bits.to_value()));
+            }
         }
         Value::Object(entries)
     }
@@ -304,6 +315,9 @@ impl WalOp {
                 checkpoint_json: serde_json::from_value(get("checkpoint")?)
                     .map_err(|e| e.to_string())?,
                 memory: serde_json::from_value(get("memory")?).map_err(|e| e.to_string())?,
+            },
+            "set_threshold" => WalOp::SetThreshold {
+                bits: serde_json::from_value(get("threshold_bits")?).map_err(|e| e.to_string())?,
             },
             other => return Err(format!("unknown op `{other}`")),
         };
@@ -720,6 +734,33 @@ mod tests {
         let (wal, rec) = WriteAheadLog::open(&path, SyncPolicy::Always).expect("open");
         assert_eq!(wal.next_seq(), 3);
         assert_eq!(rec.entries.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Threshold records carry raw `f32` bits, so set/clear sequences
+    /// replay the exact verdict boundary — including negative-zero and
+    /// subnormal thresholds a decimal rendering could perturb.
+    #[test]
+    fn set_threshold_records_round_trip_bit_exactly() {
+        let path = temp_wal("threshold.log");
+        let ops = vec![
+            WalOp::SetThreshold {
+                bits: Some(0.314f32.to_bits()),
+            },
+            WalOp::SetThreshold {
+                bits: Some((-0.0f32).to_bits()),
+            },
+            WalOp::SetThreshold { bits: None },
+        ];
+        let mut wal = WriteAheadLog::create(&path, SyncPolicy::Always).expect("create");
+        for op in &ops {
+            wal.append(op).expect("append");
+        }
+        drop(wal);
+        let recovered = replay(&path).expect("replay");
+        assert!(recovered.torn_tail.is_none());
+        let replayed: Vec<WalOp> = recovered.entries.iter().map(|e| e.op.clone()).collect();
+        assert_eq!(replayed, ops);
         std::fs::remove_file(&path).ok();
     }
 

@@ -25,11 +25,15 @@
 //! `target/scenario-diffs/<name>.actual.json` so CI can upload it and the
 //! divergence can be inspected with any JSON diff tool.
 
-use dataset::{CubLikeDataset, DatasetConfig, SplitKind};
-use hdc_zsc::{ModelConfig, Pipeline, TrainConfig};
+use baselines::{DirectAttributePrediction, Eszsl, EszslConfig, GzslOutcome, RandomBaseline};
+use dataset::{
+    AttributeSchema, CubLikeDataset, DatasetConfig, GzslWorkload, GzslWorkloadConfig, SplitKind,
+};
+use hdc_zsc::{evaluate_gzsl, ModelConfig, Pipeline, SimilarityCalibrator, TrainConfig, ZscModel};
 use serde::{Serialize, Value};
 use serve::{wal, DurabilityConfig, QueryServer, ServerConfig, SyncPolicy};
 use std::path::PathBuf;
+use tensor::Matrix;
 
 // ---------------------------------------------------------------------------
 // Harness
@@ -571,6 +575,386 @@ fn scenario_serve_crash_recovery() {
                     ("snapshot_version", report.snapshot_version.to_value()),
                     ("replayed_records", report.replayed_records.to_value()),
                     ("torn_tail", report.torn_tail.to_value()),
+                ]),
+            ),
+            ("queries_after_recovery", after_recovery),
+        ]),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Generalized zero-shot evaluation scenario
+// ---------------------------------------------------------------------------
+
+/// GZSL on the attribute-level synthetic workload, as a golden: the HDC
+/// model's seen/unseen/H report ([`evaluate_gzsl`]), the rejection
+/// threshold a [`SimilarityCalibrator`] fits on the known-query logits
+/// (pinned as raw `f32` bits) with the open-set metrics it induces, and
+/// the H-metric comparison against the ESZSL, DAP, and random-prior
+/// baselines on the same workload. The drill model runs without the FC
+/// projection, so query feature rows are the attribute-encoder embeddings
+/// of the workload's query attribute vectors — both sides of every cosine
+/// live in one hypervector space and the whole document is a pure
+/// function of the seeds.
+#[test]
+fn scenario_gzsl_eval() {
+    let schema = AttributeSchema::cub200();
+    let workload = GzslWorkload::generate(&GzslWorkloadConfig {
+        classes: 10,
+        unseen: 3,
+        attribute_dim: schema.num_attributes(),
+        queries: 60,
+        distractors: 12,
+        noise: 0.35,
+        seed: 0x675a_0001,
+    });
+    let model = ZscModel::new(
+        &ModelConfig::tiny().with_projection(false).with_seed(7),
+        &schema,
+        48,
+    );
+    let class_attr = Matrix::from_rows(&workload.class_attributes);
+    let query_attr = Matrix::from_rows(&workload.query_attributes);
+    let query_embeddings = model.attribute_encoder().infer_classes(&query_attr);
+    let known_indices: Vec<usize> = (0..workload.query_class.len())
+        .filter(|&q| workload.query_class[q].is_some())
+        .collect();
+    let known_targets: Vec<usize> = known_indices
+        .iter()
+        .map(|&q| workload.query_class[q].expect("known query"))
+        .collect();
+
+    // The HDC model under the generalized protocol.
+    let gzsl = evaluate_gzsl(
+        &model,
+        &query_embeddings.select_rows(&known_indices),
+        &known_targets,
+        &class_attr,
+        &workload.unseen,
+    );
+
+    // Open-set calibration on the known-query top-1 logits, then the
+    // rejection metrics the fitted threshold induces over the full mixed
+    // batch (knowns + distractors).
+    let logits = model.class_logits(&query_embeddings, &class_attr);
+    let top1: Vec<f32> = (0..logits.rows())
+        .map(|q| {
+            logits
+                .row(q)
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max)
+        })
+        .collect();
+    let known_flags: Vec<bool> = workload.query_class.iter().map(Option::is_some).collect();
+    let known_top1: Vec<f32> = known_indices.iter().map(|&q| top1[q]).collect();
+    let calibration = SimilarityCalibrator::new(0.1).fit(&known_top1);
+    let rejection = metrics::rejection_report(&top1, &known_flags, calibration.threshold);
+    let auroc = metrics::auroc(&top1, &known_flags).expect("both partitions are populated");
+
+    // The same workload through the baselines: trained on the raw
+    // attribute rows of the *seen*-class queries (the unseen classes are
+    // the last indices, so seen targets already index the seen signature
+    // block), scored over the union class set.
+    let seen_count = workload.seen_classes().len();
+    let train_indices: Vec<usize> = known_indices
+        .iter()
+        .copied()
+        .filter(|&q| workload.query_class[q].expect("known query") < seen_count)
+        .collect();
+    let train_x = query_attr.select_rows(&train_indices);
+    let train_targets: Vec<usize> = train_indices
+        .iter()
+        .map(|&q| workload.query_class[q].expect("known query"))
+        .collect();
+    let seen_signatures = class_attr.select_rows(&(0..seen_count).collect::<Vec<_>>());
+    let eval_x = query_attr.select_rows(&known_indices);
+
+    let eszsl = Eszsl::fit(
+        &train_x,
+        &train_targets,
+        &seen_signatures,
+        &EszslConfig::default(),
+    );
+    let eszsl_outcome = GzslOutcome::from_scores(
+        &eszsl.scores(&eval_x, &class_attr),
+        &known_targets,
+        &workload.unseen,
+    );
+    let attribute_targets = Matrix::from_rows(
+        &train_targets
+            .iter()
+            .map(|&c| workload.class_attributes[c].clone())
+            .collect::<Vec<_>>(),
+    );
+    let dap = DirectAttributePrediction::fit(&train_x, &attribute_targets, 0.1);
+    let dap_outcome = GzslOutcome::from_scores(
+        &dap.class_scores(&eval_x, &class_attr),
+        &known_targets,
+        &workload.unseen,
+    );
+    let random_outcome = GzslOutcome::from_predictions(
+        &RandomBaseline::new(workload.labels.len(), 11).predict(known_targets.len()),
+        &known_targets,
+        &workload.unseen,
+    );
+    let outcome = |o: &GzslOutcome| {
+        object(vec![
+            ("seen", o.seen.to_value()),
+            ("unseen", o.unseen.to_value()),
+            ("harmonic", o.harmonic.to_value()),
+        ])
+    };
+
+    check_golden(
+        "gzsl_eval",
+        &object(vec![
+            ("scenario", "gzsl_eval".to_value()),
+            ("workload_seed", 0x675a_0001u64.to_value()),
+            ("model_seed", 7u64.to_value()),
+            ("classes", workload.labels.len().to_value()),
+            ("unseen_classes", workload.unseen_classes().to_value()),
+            ("gzsl", gzsl.to_value()),
+            (
+                "calibration",
+                object(vec![
+                    (
+                        "target_false_reject",
+                        calibration.target_false_reject.to_value(),
+                    ),
+                    ("threshold", calibration.threshold.to_value()),
+                    ("threshold_bits", calibration.threshold.to_bits().to_value()),
+                ]),
+            ),
+            (
+                "open_set",
+                object(vec![
+                    ("rejected", rejection.rejected.to_value()),
+                    (
+                        "precision",
+                        rejection.precision.map_or(Value::Null, |p| p.to_value()),
+                    ),
+                    (
+                        "recall",
+                        rejection.recall.map_or(Value::Null, |r| r.to_value()),
+                    ),
+                    (
+                        "false_reject_rate",
+                        rejection
+                            .false_reject_rate
+                            .map_or(Value::Null, |f| f.to_value()),
+                    ),
+                    ("auroc", auroc.to_value()),
+                ]),
+            ),
+            (
+                "baselines",
+                object(vec![
+                    ("eszsl", outcome(&eszsl_outcome)),
+                    ("dap", outcome(&dap_outcome)),
+                    ("random_prior", outcome(&random_outcome)),
+                ]),
+            ),
+        ]),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Open-set serving scenario
+// ---------------------------------------------------------------------------
+
+/// Serve-time open-set rejection as a golden, on a **routed durable**
+/// server: register classes, calibrate a threshold on served similarities
+/// and install it live (`set_threshold`, one WAL record + one snapshot
+/// swap), trace the verdicts, then crash with a torn WAL tail and
+/// recover. The golden pins the verdict traces before and after
+/// calibration, the fitted threshold bits, the recovery report, and the
+/// post-recovery traces — which must reproduce the pre-crash threshold
+/// and verdicts bit-for-bit. Full-probe routed answers are asserted
+/// bit-identical to the exhaustive sharded scan before anything is
+/// pinned.
+#[test]
+fn scenario_open_set_serve() {
+    let mut config = DatasetConfig::tiny(43);
+    config.num_classes = 20;
+    config.images_per_class = 6;
+    config.feature_dim = 48;
+    let data = CubLikeDataset::generate(&config);
+    let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(2));
+    let (_, model) = pipeline.run_returning_model(&data, SplitKind::Zs, 4);
+    let schema = data.schema();
+
+    let split = data.split(SplitKind::Zs);
+    let eval_classes = split.eval_classes();
+    let class_attr = data.class_attribute_matrix(eval_classes);
+    let labels: Vec<String> = eval_classes
+        .iter()
+        .map(|c| format!("class{c:03}"))
+        .collect();
+    let initial = labels.len() - 2;
+    let server_config = ServerConfig {
+        max_batch: 8,
+        max_wait_us: 50,
+        threads: 2,
+        top_k: 3,
+        shards: 3,
+        routed: Some(engine::RoutedConfig {
+            clusters: 3,
+            nprobe: 2,
+            ..engine::RoutedConfig::default()
+        }),
+    };
+    let wal_dir =
+        std::env::temp_dir().join(format!("zsc-scenario-open-set-{}", std::process::id()));
+    std::fs::remove_dir_all(&wal_dir).ok();
+    let server = QueryServer::start_durable(
+        model,
+        labels[..initial].to_vec(),
+        &class_attr.select_rows(&(0..initial).collect::<Vec<_>>()),
+        schema,
+        server_config,
+        DurabilityConfig {
+            dir: wal_dir.clone(),
+            sync: SyncPolicy::Always,
+            compact_every: 0,
+        },
+    )
+    .expect("durable server starts");
+
+    let (eval_x, _) = data.features_and_labels(eval_classes);
+    let queries: Vec<Vec<f32>> = (0..5).map(|q| eval_x.row(q * 3).to_vec()).collect();
+    let run_queries = |server: &QueryServer| -> Value {
+        Value::Array(
+            queries
+                .iter()
+                .map(|q| {
+                    let (version, top, verdict) =
+                        server.query_with_verdict(q).expect("query served");
+                    object(vec![
+                        ("version", version.to_value()),
+                        (
+                            "verdict",
+                            verdict.map_or(Value::Null, |v| v.to_string().to_value()),
+                        ),
+                        ("top", scored(&top)),
+                    ])
+                })
+                .collect(),
+        )
+    };
+
+    // Register the held-out classes (two WAL records), then trace the
+    // uncalibrated verdicts: all null.
+    for (r, label) in labels.iter().enumerate().skip(initial) {
+        server
+            .register_class(label.clone(), class_attr.row(r))
+            .expect("class registers");
+    }
+    let before_calibration = run_queries(&server);
+
+    // Calibrate on the served top-1 similarities at a 25% target
+    // false-reject rate — deliberately coarse so the trace shows both
+    // verdicts — and install the threshold live (one more WAL record).
+    let sims: Vec<f32> = queries
+        .iter()
+        .map(|q| server.query(q).expect("query served")[0].1)
+        .collect();
+    let calibration = SimilarityCalibrator::new(0.25).fit(&sims);
+    let calibrated = server
+        .set_threshold(calibration.threshold)
+        .expect("threshold installs");
+    let after_calibration = run_queries(&server);
+
+    // The routed bit-identity contract, asserted before it is pinned:
+    // full probing must agree exactly with the exhaustive sharded scan.
+    let snapshot = server.snapshot();
+    for (q, features) in queries.iter().enumerate() {
+        let embedding = snapshot
+            .model()
+            .embed_images(&Matrix::from_rows(std::slice::from_ref(features)));
+        let packed = engine::pack_float_signs(embedding.row(0));
+        let mut full = snapshot.routed().expect("routed server").clone();
+        full.probe_all();
+        let routed_bits: Vec<(String, u32)> = full
+            .top_k(&packed, 3)
+            .into_iter()
+            .map(|(label, sim)| (label.to_string(), sim.to_bits()))
+            .collect();
+        let exhaustive_bits: Vec<(String, u32)> = snapshot
+            .memory()
+            .top_k(&packed, 3)
+            .into_iter()
+            .map(|(label, sim)| (label.to_string(), sim.to_bits()))
+            .collect();
+        assert_eq!(
+            routed_bits, exhaustive_bits,
+            "query {q}: full-probe routed answers diverged from the exhaustive scan"
+        );
+    }
+    drop(server); // the crash: only the WAL directory survives
+
+    // A torn partial record after the last acknowledged one; recovery
+    // must flag and ignore it — and still carry the threshold.
+    {
+        use std::io::Write;
+        let mut log = std::fs::OpenOptions::new()
+            .append(true)
+            .open(wal::wal_path(&wal_dir))
+            .expect("open log");
+        log.write_all(&[0x13, 0x37, 0xAB])
+            .expect("append torn bytes");
+    }
+    let (recovered, report) = QueryServer::recover(
+        schema,
+        server_config,
+        DurabilityConfig {
+            dir: wal_dir.clone(),
+            sync: SyncPolicy::Always,
+            compact_every: 0,
+        },
+    )
+    .expect("recovers");
+    let recovered_threshold = recovered
+        .snapshot()
+        .threshold()
+        .expect("threshold survives recovery");
+    assert_eq!(
+        recovered_threshold.to_bits(),
+        calibration.threshold.to_bits(),
+        "recovery must restore the calibrated threshold bit-exactly"
+    );
+    let after_recovery = run_queries(&recovered);
+    drop(recovered);
+    std::fs::remove_dir_all(&wal_dir).ok();
+
+    check_golden(
+        "open_set_serve",
+        &object(vec![
+            ("scenario", "open_set_serve".to_value()),
+            ("dataset_seed", 43u64.to_value()),
+            ("pipeline_seed", 4u64.to_value()),
+            ("initial_classes", initial.to_value()),
+            ("queries_before_calibration", before_calibration),
+            (
+                "calibration",
+                object(vec![
+                    (
+                        "target_false_reject",
+                        calibration.target_false_reject.to_value(),
+                    ),
+                    ("threshold", calibration.threshold.to_value()),
+                    ("threshold_bits", calibration.threshold.to_bits().to_value()),
+                    ("set_version", calibrated.version().to_value()),
+                ]),
+            ),
+            ("queries_after_calibration", after_calibration),
+            (
+                "recovery",
+                object(vec![
+                    ("snapshot_version", report.snapshot_version.to_value()),
+                    ("replayed_records", report.replayed_records.to_value()),
+                    ("torn_tail", report.torn_tail.to_value()),
+                    ("threshold_bits", recovered_threshold.to_bits().to_value()),
                 ]),
             ),
             ("queries_after_recovery", after_recovery),
