@@ -507,6 +507,28 @@ fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Continual-learning stream state captured inside a [`CheckpointDelta`]:
+/// the exact per-class prototype counters plus the publication batching
+/// position at compaction time.
+///
+/// The counters are the ground truth of streamed learning — prototypes are
+/// re-derived from them by re-signing, so persisting them exactly (i32
+/// sums, observation counts) makes recovery counter-exact even when the
+/// compaction base was written mid-batch: `pending` names the classes whose
+/// counters have changed since their last publication, and `since_publish`
+/// is how far the automatic `publish_every` cadence had advanced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamCheckpoint {
+    /// Exact per-class bundling counters (see [`hdc::ClassAccumulator`]).
+    pub accumulators: hdc::ClassAccumulator,
+    /// Labels observed since their last publication, in sorted order —
+    /// the classes the next publication boundary will re-sign.
+    pub pending: Vec<String>,
+    /// Observes folded since the last publication boundary; the automatic
+    /// boundary fires when this reaches the server's `publish_every`.
+    pub since_publish: u64,
+}
+
 /// A serve-time compaction base: a model [`Checkpoint`] plus the exact
 /// sharded class memory at a known snapshot version, with the write-ahead
 /// log sequence number the memory already folds in.
@@ -545,6 +567,12 @@ pub struct CheckpointDelta {
     /// written before open-set serving existed carry no `threshold` key and
     /// load as `None`.
     pub threshold: Option<f32>,
+    /// Continual-learning stream state at capture time: exact per-class
+    /// prototype counters plus the publication batching position. Additive
+    /// like `routed`: deltas written before streaming existed (or by
+    /// servers that never observed an example) carry no `stream` key and
+    /// load as `None`.
+    pub stream: Option<StreamCheckpoint>,
 }
 
 impl CheckpointDelta {
@@ -569,6 +597,7 @@ impl CheckpointDelta {
             ("memory".to_string(), self.memory.to_value()),
             ("routed".to_string(), self.routed.to_value()),
             ("threshold".to_string(), self.threshold.to_value()),
+            ("stream".to_string(), self.stream.to_value()),
         ]);
         serde_json::to_string_pretty(&value).expect("delta serialization is infallible")
     }
@@ -640,6 +669,28 @@ impl CheckpointDelta {
                 ));
             }
         }
+        // `stream` is additive the same way: older deltas carry no key.
+        let stream = match value.get("stream") {
+            None => None,
+            Some(v) => serde_json::from_value::<Option<StreamCheckpoint>>(v)
+                .map_err(|e| CheckpointError::Malformed(e.to_string()))?,
+        };
+        if let Some(stream) = &stream {
+            if stream.accumulators.dim() != memory.dim() {
+                return Err(CheckpointError::DimensionMismatch {
+                    what: "stream accumulator dimensionality",
+                    expected: memory.dim(),
+                    found: stream.accumulators.dim(),
+                });
+            }
+            for label in &stream.pending {
+                if !stream.accumulators.contains(label) {
+                    return Err(CheckpointError::Malformed(format!(
+                        "stream pending label `{label}` has no accumulator"
+                    )));
+                }
+            }
+        }
         if memory.dim() != base.model.embedding_dim() {
             return Err(CheckpointError::DimensionMismatch {
                 what: "class prototype dimensionality",
@@ -654,6 +705,7 @@ impl CheckpointDelta {
             memory,
             routed,
             threshold,
+            stream,
         })
     }
 
@@ -874,6 +926,16 @@ mod tests {
                 ..engine::RoutedConfig::default()
             },
         );
+        let mut accumulators = hdc::ClassAccumulator::new(memory.dim());
+        let example = hdc::BipolarHypervector::random(memory.dim(), &mut rng);
+        accumulators
+            .observe("class1", &example)
+            .expect("observe fits");
+        let stream = StreamCheckpoint {
+            accumulators,
+            pending: vec!["class1".to_string()],
+            since_publish: 1,
+        };
         let delta = CheckpointDelta {
             snapshot_version: 41,
             next_record_seq: 17,
@@ -881,6 +943,7 @@ mod tests {
             memory: memory.clone(),
             routed: Some(routed.clone()),
             threshold: Some(0.314),
+            stream: Some(stream.clone()),
         };
         let json = delta.to_json();
         let restored = CheckpointDelta::from_json_str(&json).expect("delta round trip");
@@ -906,6 +969,14 @@ mod tests {
         assert_ne!(legacy, json);
         let restored = CheckpointDelta::from_json_str(&legacy).expect("legacy delta loads");
         assert!(restored.routed.is_none());
+        // Stream counters survive exactly (counts, observation tallies,
+        // batching position), and pre-streaming deltas load as `None`.
+        assert_eq!(restored.stream.as_ref(), Some(&stream));
+        let legacy_stream = json.replace("  \"stream\":", "  \"pre_stream\":");
+        assert_ne!(legacy_stream, json);
+        let restored = CheckpointDelta::from_json_str(&legacy_stream).expect("legacy delta loads");
+        assert!(restored.stream.is_none());
+        let restored = CheckpointDelta::from_json_str(&json).expect("delta round trip");
         restored.base.validate_schema(&s).expect("schema preserved");
         // A delta is not a model checkpoint, and vice versa.
         assert!(matches!(
@@ -922,6 +993,60 @@ mod tests {
         assert!(matches!(
             CheckpointDelta::from_json_str(&v1),
             Err(CheckpointError::WrongKind { .. })
+        ));
+    }
+
+    /// Stream state is cross-validated against the memory it rides with: a
+    /// counter set of the wrong dimensionality, or a pending label with no
+    /// accumulator, is rejected instead of resurrected.
+    #[test]
+    fn delta_rejects_inconsistent_stream_state() {
+        let s = schema();
+        let model = fixture_model(AttributeEncoderKind::Hdc);
+        let mut rng = StdRng::seed_from_u64(5);
+        let class_attributes = Matrix::random_uniform(3, 312, 0.5, &mut rng).map(f32::abs);
+        let labels: Vec<String> = (0..3).map(|c| format!("class{c}")).collect();
+        let memory = model.sharded_class_memory(labels, &class_attributes, 2);
+        let delta = |stream| CheckpointDelta {
+            snapshot_version: 0,
+            next_record_seq: 0,
+            base: Checkpoint::capture(&model, &s),
+            memory: memory.clone(),
+            routed: None,
+            threshold: None,
+            stream: Some(stream),
+        };
+        // Wrong dimensionality.
+        let mut narrow = hdc::ClassAccumulator::new(memory.dim() / 2);
+        narrow
+            .observe(
+                "class0",
+                &hdc::BipolarHypervector::random(memory.dim() / 2, &mut rng),
+            )
+            .expect("observe fits");
+        let json = delta(StreamCheckpoint {
+            accumulators: narrow,
+            pending: Vec::new(),
+            since_publish: 0,
+        })
+        .to_json();
+        assert!(matches!(
+            CheckpointDelta::from_json_str(&json),
+            Err(CheckpointError::DimensionMismatch {
+                what: "stream accumulator dimensionality",
+                ..
+            })
+        ));
+        // Pending label with no counters behind it.
+        let json = delta(StreamCheckpoint {
+            accumulators: hdc::ClassAccumulator::new(memory.dim()),
+            pending: vec!["ghost".to_string()],
+            since_publish: 1,
+        })
+        .to_json();
+        assert!(matches!(
+            CheckpointDelta::from_json_str(&json),
+            Err(CheckpointError::Malformed(reason)) if reason.contains("ghost")
         ));
     }
 

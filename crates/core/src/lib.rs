@@ -93,8 +93,8 @@ pub use attribute_encoder::{
     AttributeEncoder, AttributeEncoderKind, HdcAttributeEncoder, MlpAttributeEncoder,
 };
 pub use checkpoint::{
-    Checkpoint, CheckpointDelta, CheckpointError, SchemaFingerprint, CHECKPOINT_FORMAT_VERSION,
-    CHECKPOINT_LEGACY_FORMAT_VERSION,
+    Checkpoint, CheckpointDelta, CheckpointError, SchemaFingerprint, StreamCheckpoint,
+    CHECKPOINT_FORMAT_VERSION, CHECKPOINT_LEGACY_FORMAT_VERSION,
 };
 pub use config::{ModelConfig, TrainConfig};
 pub use eval::{

@@ -60,4 +60,7 @@ pub use instances::{Instance, InstanceNoise, InstanceSet};
 pub use loader::BatchIterator;
 pub use schema::{AttributeGroup, AttributeSchema};
 pub use splits::{ClassSplit, SplitKind};
-pub use workload::{GzslWorkload, GzslWorkloadConfig, SyntheticWorkload, WorkloadConfig};
+pub use workload::{
+    GzslWorkload, GzslWorkloadConfig, StreamExample, StreamWorkload, StreamWorkloadConfig,
+    SyntheticWorkload, WorkloadConfig,
+};

@@ -334,6 +334,147 @@ impl GzslWorkload {
     }
 }
 
+/// Shape of a [`StreamWorkload`]: a labeled example stream whose class
+/// means random-walk over time — the concept-drift half of a streaming
+/// continual-learning drill.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamWorkloadConfig {
+    /// Number of streamed classes.
+    pub classes: usize,
+    /// Width of the backbone-feature rows the stream emits.
+    pub feature_dim: usize,
+    /// Number of time steps the stream spans.
+    pub steps: usize,
+    /// Examples emitted per step, assigned round-robin over the classes so
+    /// every class keeps receiving evidence.
+    pub examples_per_step: usize,
+    /// Amplitude of the uniform per-feature random-walk step each class
+    /// mean takes *between* time steps — the concept-drift rate (`0`
+    /// freezes the means: a stationary stream).
+    pub drift: f64,
+    /// Amplitude of the uniform per-feature jitter applied to each emitted
+    /// example around its class's current mean.
+    pub noise: f64,
+    /// Seed of the generation stream.
+    pub seed: u64,
+}
+
+impl Default for StreamWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            classes: 8,
+            feature_dim: 48,
+            steps: 12,
+            examples_per_step: 8,
+            drift: 0.08,
+            noise: 0.05,
+            seed: 0x57e1_a000,
+        }
+    }
+}
+
+/// One streamed labeled example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamExample {
+    /// The time step the example was emitted in.
+    pub step: usize,
+    /// Index of the class the example belongs to.
+    pub class: usize,
+    /// The backbone-feature row.
+    pub features: Vec<f32>,
+}
+
+/// A seeded concept-drift example stream: per-class feature means
+/// random-walking over time, per-example noise around the current mean —
+/// as a pure function of its config, so a serving drill and its solo
+/// recomputation consume bit-identical examples.
+///
+/// Unlike [`SyntheticWorkload`] (engine-level ±1 rows) and [`GzslWorkload`]
+/// (attribute-level `[0, 1]` rows), this generator emits *backbone feature*
+/// rows: the shape a query server's observation path encodes through the
+/// model's image encoder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamWorkload {
+    /// `class000000`-style labels, one per class, in index order.
+    pub labels: Vec<String>,
+    /// Each class's mean at step 0, before any drift.
+    pub initial_means: Vec<Vec<f32>>,
+    /// Each class's mean after the final step's random walk.
+    pub final_means: Vec<Vec<f32>>,
+    /// The emitted examples, in stream order (`steps * examples_per_step`
+    /// of them).
+    pub examples: Vec<StreamExample>,
+}
+
+impl StreamWorkload {
+    /// Generates the stream described by `config`; pure in `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`, `feature_dim == 0`, or `drift` / `noise`
+    /// is negative.
+    pub fn generate(config: &StreamWorkloadConfig) -> Self {
+        assert!(config.classes > 0, "at least one class is required");
+        assert!(config.feature_dim > 0, "feature_dim must be positive");
+        assert!(config.drift >= 0.0, "drift must be non-negative");
+        assert!(config.noise >= 0.0, "noise must be non-negative");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let labels = (0..config.classes)
+            .map(|c| format!("class{c:06}"))
+            .collect();
+        let initial_means: Vec<Vec<f32>> = (0..config.classes)
+            .map(|_| {
+                (0..config.feature_dim)
+                    .map(|_| rng.gen_range(-1.0f32..1.0))
+                    .collect()
+            })
+            .collect();
+        let mut means = initial_means.clone();
+        let mut examples = Vec::with_capacity(config.steps * config.examples_per_step);
+        for step in 0..config.steps {
+            for e in 0..config.examples_per_step {
+                let class = (step * config.examples_per_step + e) % config.classes;
+                let features = means[class]
+                    .iter()
+                    .map(|&m| {
+                        if config.noise == 0.0 {
+                            m
+                        } else {
+                            m + rng.gen_range(-config.noise..=config.noise) as f32
+                        }
+                    })
+                    .collect();
+                examples.push(StreamExample {
+                    step,
+                    class,
+                    features,
+                });
+            }
+            // The walk happens *between* steps, so step 0 samples the
+            // initial means exactly and every later step sees means that
+            // have moved `step` times.
+            if config.drift > 0.0 {
+                for mean in &mut means {
+                    for m in mean.iter_mut() {
+                        *m += rng.gen_range(-config.drift..=config.drift) as f32;
+                    }
+                }
+            }
+        }
+        Self {
+            labels,
+            initial_means,
+            final_means: means,
+            examples,
+        }
+    }
+
+    /// The examples of one time step, in emission order.
+    pub fn step_examples(&self, step: usize) -> impl Iterator<Item = &StreamExample> {
+        self.examples.iter().filter(move |e| e.step == step)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +656,82 @@ mod tests {
             unseen: 4,
             ..GzslWorkloadConfig::default()
         });
+    }
+
+    #[test]
+    fn stream_generation_is_seed_deterministic() {
+        let config = StreamWorkloadConfig {
+            classes: 5,
+            feature_dim: 24,
+            steps: 6,
+            examples_per_step: 5,
+            ..StreamWorkloadConfig::default()
+        };
+        let a = StreamWorkload::generate(&config);
+        let b = StreamWorkload::generate(&config);
+        assert_eq!(a, b);
+        let c = StreamWorkload::generate(&StreamWorkloadConfig {
+            seed: config.seed + 1,
+            ..config
+        });
+        assert_ne!(a.examples, c.examples);
+    }
+
+    #[test]
+    fn stream_shapes_and_round_robin_are_consistent() {
+        let config = StreamWorkloadConfig {
+            classes: 3,
+            feature_dim: 16,
+            steps: 4,
+            examples_per_step: 6,
+            ..StreamWorkloadConfig::default()
+        };
+        let w = StreamWorkload::generate(&config);
+        assert_eq!(w.labels.len(), 3);
+        assert_eq!(w.examples.len(), 24);
+        assert!(w.examples.iter().all(|e| e.features.len() == 16));
+        assert!(w.examples.iter().all(|e| e.class < 3));
+        // Round-robin assignment touches every class every step.
+        for step in 0..4 {
+            let classes: Vec<usize> = w.step_examples(step).map(|e| e.class).collect();
+            assert_eq!(classes.len(), 6);
+            for c in 0..3 {
+                assert!(classes.contains(&c));
+            }
+        }
+        assert_eq!(w.initial_means.len(), 3);
+        assert_eq!(w.final_means.len(), 3);
+    }
+
+    #[test]
+    fn stream_without_drift_or_noise_repeats_the_means() {
+        let w = StreamWorkload::generate(&StreamWorkloadConfig {
+            classes: 2,
+            feature_dim: 8,
+            steps: 3,
+            examples_per_step: 2,
+            drift: 0.0,
+            noise: 0.0,
+            seed: 11,
+        });
+        assert_eq!(w.initial_means, w.final_means);
+        for example in &w.examples {
+            assert_eq!(example.features, w.initial_means[example.class]);
+        }
+    }
+
+    #[test]
+    fn stream_drift_moves_the_means() {
+        let w = StreamWorkload::generate(&StreamWorkloadConfig {
+            classes: 2,
+            feature_dim: 32,
+            steps: 8,
+            examples_per_step: 2,
+            drift: 0.2,
+            noise: 0.0,
+            ..StreamWorkloadConfig::default()
+        });
+        assert_ne!(w.initial_means, w.final_means);
     }
 
     #[test]

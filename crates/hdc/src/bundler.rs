@@ -35,7 +35,7 @@ use rand::SeedableRng;
 ///     assert!(bundle.cosine(hv) > 0.2);
 /// }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bundler {
     dim: usize,
     counts: Vec<i32>,
@@ -177,6 +177,70 @@ impl Bundler {
     pub fn counts(&self) -> &[i32] {
         &self.counts
     }
+
+    /// The seed of the deterministic tie-breaking hypervector used by
+    /// [`Bundler::finish`].
+    pub fn tie_break_seed(&self) -> u64 {
+        self.tie_break_seed
+    }
+
+    /// Folds another bundler's accumulated state into this one, as if every
+    /// hypervector added to `other` had been added here instead. Because
+    /// bundling is an exact integer sum, `merge` commutes with sequential
+    /// addition: any partition of the inputs across bundlers, merged in any
+    /// order, yields identical counts. The tie-break seed of `self` is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ; use [`Bundler::try_merge`] for
+    /// a checked variant.
+    pub fn merge(&mut self, other: &Bundler) {
+        self.try_merge(other)
+            .expect("bundler dimensionality mismatch");
+    }
+
+    /// Checked variant of [`Bundler::merge`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensionality differs.
+    pub fn try_merge(&mut self, other: &Bundler) -> Result<(), HdcError> {
+        if other.dim != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim,
+                right: other.dim,
+            });
+        }
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.n += other.n;
+        Ok(())
+    }
+
+    /// Reconstructs a bundler from previously captured state — the exact
+    /// inverse of reading [`Bundler::counts`], [`Bundler::len`] and
+    /// [`Bundler::tie_break_seed`]. Because the counters *are* the complete
+    /// state, the rebuilt bundler produces bit-identical bundles. No bound
+    /// is enforced between counts and `n` ([`Bundler::try_add_weighted`]
+    /// legitimately exceeds `±n`); callers persisting unit-weight streams
+    /// should validate that invariant themselves (see
+    /// `hdc::ClassAccumulator`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyInput`] when `counts` is empty.
+    pub fn from_parts(counts: Vec<i32>, n: usize, tie_break_seed: u64) -> Result<Self, HdcError> {
+        if counts.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        Ok(Self {
+            dim: counts.len(),
+            counts,
+            n,
+            tie_break_seed,
+        })
+    }
 }
 
 /// Bundles a slice of bipolar hypervectors with the majority rule.
@@ -296,6 +360,65 @@ mod tests {
         bundler.add(&b);
         assert_eq!(bundler.counts(), &[2, 0, 0]);
         assert_eq!(bundler.dim(), 3);
+    }
+
+    #[test]
+    fn merge_matches_sequential_addition() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let items: Vec<_> = (0..9)
+            .map(|_| BipolarHypervector::random(256, &mut rng))
+            .collect();
+        let mut sequential = Bundler::new(256);
+        for hv in &items {
+            sequential.add(hv);
+        }
+        let mut left = Bundler::new(256);
+        let mut right = Bundler::new(256);
+        for hv in &items[..4] {
+            left.add(hv);
+        }
+        for hv in &items[4..] {
+            right.add(hv);
+        }
+        left.merge(&right);
+        assert_eq!(left.counts(), sequential.counts());
+        assert_eq!(left.len(), sequential.len());
+        assert_eq!(left.finish(), sequential.finish());
+    }
+
+    #[test]
+    fn merge_rejects_dimension_mismatch() {
+        let mut a = Bundler::new(64);
+        let b = Bundler::new(32);
+        assert!(matches!(
+            a.try_merge(&b),
+            Err(HdcError::DimensionMismatch {
+                left: 64,
+                right: 32
+            })
+        ));
+    }
+
+    #[test]
+    fn from_parts_round_trips_exactly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut bundler = Bundler::with_tie_break_seed(128, 99);
+        for _ in 0..5 {
+            bundler.add(&BipolarHypervector::random(128, &mut rng));
+        }
+        let rebuilt = Bundler::from_parts(
+            bundler.counts().to_vec(),
+            bundler.len(),
+            bundler.tie_break_seed(),
+        )
+        .expect("non-empty counts");
+        assert_eq!(rebuilt.counts(), bundler.counts());
+        assert_eq!(rebuilt.len(), bundler.len());
+        assert_eq!(rebuilt.finish(), bundler.finish());
+        assert!(matches!(
+            Bundler::from_parts(Vec::new(), 0, 0),
+            Err(HdcError::EmptyInput)
+        ));
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod accumulator;
 pub mod binary;
 pub mod bipolar;
 pub mod bundler;
@@ -50,6 +51,7 @@ pub mod encoding;
 pub mod item_memory;
 pub mod similarity;
 
+pub use accumulator::ClassAccumulator;
 pub use binary::BinaryHypervector;
 pub use bipolar::BipolarHypervector;
 pub use bundler::Bundler;

@@ -2,7 +2,7 @@
 //! bundling and permutation, and consistency between the binary and bipolar
 //! representations.
 
-use hdc::{bundler::bundle_bipolar, BinaryHypervector, BipolarHypervector};
+use hdc::{bundler::bundle_bipolar, BinaryHypervector, BipolarHypervector, Bundler};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -122,6 +122,83 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = BinaryHypervector::random(dim, &mut rng);
         prop_assert!(a.count_ones() <= dim);
+    }
+}
+
+// Exactness laws of the i32-counter bundler that streaming continual
+// learning builds on: addition order never matters, any partition of a
+// stream across bundlers merges back to the sequential result, and the
+// counters stay exact at counts far past what a vote-margin could track.
+proptest! {
+    #[test]
+    fn bundling_is_order_independent(seed in any::<u64>(), n in 2usize..10) {
+        let dim = 256;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items: Vec<_> =
+            (0..n).map(|_| BipolarHypervector::random(dim, &mut rng)).collect();
+        // A seed-derived rotation gives a nontrivial permutation of the
+        // addition order without needing a permutation strategy.
+        let shift = (seed % n as u64) as usize;
+        let mut forward = Bundler::new(dim);
+        let mut rotated = Bundler::new(dim);
+        for hv in &items {
+            forward.add(hv);
+        }
+        for i in 0..n {
+            rotated.add(&items[(i + shift) % n]);
+        }
+        prop_assert_eq!(forward.counts(), rotated.counts());
+        prop_assert_eq!(forward.finish(), rotated.finish());
+    }
+
+    #[test]
+    fn merge_equals_sequential_addition(seed in any::<u64>(), n in 1usize..12, split in 0usize..12) {
+        let dim = 192;
+        let split = split % (n + 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items: Vec<_> =
+            (0..n).map(|_| BipolarHypervector::random(dim, &mut rng)).collect();
+        let mut sequential = Bundler::new(dim);
+        for hv in &items {
+            sequential.add(hv);
+        }
+        let mut left = Bundler::new(dim);
+        let mut right = Bundler::new(dim);
+        for hv in &items[..split] {
+            left.add(hv);
+        }
+        for hv in &items[split..] {
+            right.add(hv);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.counts(), sequential.counts());
+        prop_assert_eq!(left.len(), sequential.len());
+        if !left.is_empty() {
+            prop_assert_eq!(left.finish(), sequential.finish());
+        }
+    }
+
+    #[test]
+    fn counters_stay_exact_at_large_counts(seed in any::<u64>(), weight in 1i32..1_000_000) {
+        // Weighted adds reach counter magnitudes a float (or saturating
+        // vote) accumulator would corrupt; the i32 counters must hold the
+        // exact algebraic sum.
+        let dim = 64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = BipolarHypervector::random(dim, &mut rng);
+        let b = BipolarHypervector::random(dim, &mut rng);
+        let mut bundler = Bundler::new(dim);
+        bundler.try_add_weighted(&a, weight).expect("same dim");
+        bundler.try_add_weighted(&b, weight - 1).expect("same dim");
+        bundler.try_add_weighted(&a, -weight).expect("same dim");
+        // The ±weight contributions of `a` cancel exactly, leaving only
+        // (weight - 1) · b — no drift, no rounding, at any magnitude.
+        let expected: Vec<i32> =
+            b.as_slice().iter().map(|&s| (weight - 1) * s as i32).collect();
+        prop_assert_eq!(bundler.counts(), expected.as_slice());
+        if weight > 1 {
+            prop_assert_eq!(bundler.finish(), b);
+        }
     }
 }
 

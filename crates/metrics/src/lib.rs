@@ -10,12 +10,15 @@
 //!   dataset;
 //! * **µ ± σ across seeds** (§IV-A) — [`aggregate`].
 //!
-//! Beyond the paper, the serving roadmap adds two metric families:
+//! Beyond the paper, the serving roadmap adds three metric families:
 //!
 //! * **generalized zero-shot (GZSL)** — per-group accuracy over the
 //!   seen/unseen partition and the harmonic-mean H metric — [`gzsl`];
 //! * **open-set rejection** — rejection precision/recall at a calibrated
-//!   similarity threshold and threshold-free AUROC — [`open_set`].
+//!   similarity threshold and threshold-free AUROC — [`open_set`];
+//! * **streaming drift detection** — EWMA trends and Page–Hinkley
+//!   change-point alarms over per-class prototype displacement under
+//!   continual learning — [`stream`].
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@ pub mod confusion;
 pub mod gzsl;
 pub mod open_set;
 pub mod percentile;
+pub mod stream;
 pub mod topk;
 pub mod wmap;
 
@@ -45,5 +49,8 @@ pub use confusion::ConfusionMatrix;
 pub use gzsl::{harmonic_mean, partitioned_top1_accuracy, PartitionedAccuracy};
 pub use open_set::{auroc, rejection_report, RejectionReport};
 pub use percentile::nearest_rank;
+pub use stream::{
+    ClassDrift, DriftReport, Ewma, PageHinkley, StreamDriftConfig, StreamDriftDetector,
+};
 pub use topk::{top1_accuracy, topk_accuracy};
 pub use wmap::{weighted_average_precision, GroupMetrics};

@@ -8,7 +8,8 @@
 //! distribution independently of any particular threshold, using the
 //! Mann–Whitney rank statistic (average ranks over ties), so it is invariant
 //! under strictly monotone transforms of the scores — the same property the
-//! ranking behind [`average_precision`](crate::average_precision) relies on.
+//! ranking behind [`average_precision`](fn@crate::average_precision) relies
+//! on.
 
 /// Rejection quality at one threshold, treating "reject a distractor" as a
 /// true positive of the rejection rule.

@@ -75,6 +75,7 @@
 
 use dataset::{
     AttributeSchema, CubLikeDataset, DatasetConfig, GzslWorkload, GzslWorkloadConfig, SplitKind,
+    StreamWorkload, StreamWorkloadConfig,
 };
 use engine::ShardedClassMemory;
 use hdc_zsc::{
@@ -114,6 +115,7 @@ struct Config {
     net_requests: usize,
     net_admission: usize,
     calibrate: bool,
+    stream: bool,
     json: bool,
 }
 
@@ -144,6 +146,7 @@ impl Default for Config {
             net_requests: 2_000,
             net_admission: 64,
             calibrate: false,
+            stream: false,
             json: false,
         }
     }
@@ -204,6 +207,7 @@ fn parse_args() -> Config {
                 config.net_admission = value("--net-admission").parse().expect("--net-admission");
             }
             "--calibrate" => config.calibrate = true,
+            "--stream" => config.stream = true,
             "--quick" => {
                 // Small CI smoke: train → save → load → serve → register →
                 // re-serve in a few seconds.
@@ -226,7 +230,8 @@ fn parse_args() -> Config {
                      [--top-k K] [--shards N] [--register N] [--seed N] [--checkpoint PATH] \
                      [--wal-dir PATH] [--recover] [--kill-after-register] \
                      [--net] [--net-addr HOST:PORT] [--net-qps A,B,..] [--net-clients N] \
-                     [--net-requests N] [--net-admission N] [--calibrate] [--quick] [--json]"
+                     [--net-requests N] [--net-admission N] [--calibrate] [--stream] [--quick] \
+                     [--json]"
                 );
                 std::process::exit(0);
             }
@@ -443,6 +448,7 @@ fn run_recovery(config: &Config) {
             top_k,
             shards: config.shards,
             routed: None,
+            publish_every: 1,
         },
         DurabilityConfig::new(wal_dir),
     )
@@ -756,6 +762,7 @@ fn run_net_mode(config: &Config) {
                 top_k: config.top_k,
                 shards: config.shards,
                 routed: None,
+                publish_every: 1,
             },
         )
         .expect("server starts"),
@@ -941,6 +948,7 @@ fn run_calibrate(config: &Config) {
             top_k: config.top_k,
             shards: config.shards,
             routed: None,
+            publish_every: 1,
         },
     )
     .expect("server starts");
@@ -1060,6 +1068,272 @@ fn run_calibrate(config: &Config) {
     }
 }
 
+/// `--stream`: the streaming continual-learning drill. Trains a tiny
+/// model, serves it durably behind the TCP front-end, and streams a
+/// seeded concept-drift workload ([`StreamWorkload`]) through the wire
+/// `observe` verb in **lockstep** with a non-durable in-process twin
+/// folding the exact same examples — every wire-reported version must
+/// match the twin's, and after the explicit `flush` the two class
+/// memories must be bit-identical. The server is then killed (dropped), a
+/// torn partial record is appended to the WAL tail, and
+/// [`QueryServer::recover`] must rebuild the exact serving state —
+/// counters, batching position, and served bits — after which the
+/// resumed stream and the twin still publish identical snapshots.
+fn run_stream(config: &Config) {
+    const PUBLISH_EVERY: u32 = 4;
+    eprintln!(
+        "zsc_serve: streaming drill — classes={} images={} feature_dim={} epochs={} \
+         publish_every={PUBLISH_EVERY}",
+        config.classes, config.images, config.feature_dim, config.epochs
+    );
+
+    // --- train ------------------------------------------------------------
+    let mut dataset_config = DatasetConfig::tiny(config.seed);
+    dataset_config.num_classes = config.classes;
+    dataset_config.images_per_class = config.images;
+    dataset_config.feature_dim = config.feature_dim;
+    let data = CubLikeDataset::generate(&dataset_config);
+    let pipeline = Pipeline::new(
+        ModelConfig::tiny(),
+        TrainConfig::fast().with_epochs(config.epochs),
+    );
+    let train_start = Instant::now();
+    let (outcome, model) = pipeline.run_returning_model(&data, SplitKind::Zs, config.seed);
+    let train_s = train_start.elapsed().as_secs_f64();
+    eprintln!("zsc_serve: trained in {train_s:.2}s, eval {}", outcome.zsc);
+
+    let schema = data.schema();
+    let split = data.split(SplitKind::Zs);
+    let eval_classes = split.eval_classes();
+    let class_attr = data.class_attribute_matrix(eval_classes);
+    let labels: Vec<String> = eval_classes
+        .iter()
+        .map(|c| format!("class{c:03}"))
+        .collect();
+    let frozen = model.freeze();
+
+    let server_config = ServerConfig {
+        max_batch: config.max_batch,
+        max_wait_us: config.max_wait_us,
+        threads: config.threads,
+        top_k: config.top_k,
+        shards: config.shards,
+        routed: None,
+        publish_every: PUBLISH_EVERY,
+    };
+    let wal_dir = config
+        .wal_dir
+        .clone()
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("zsc-stream-{}", std::process::id())));
+    std::fs::remove_dir_all(&wal_dir).ok();
+    let server = Arc::new(
+        QueryServer::start_durable(
+            frozen.clone(),
+            labels.clone(),
+            &class_attr,
+            schema,
+            server_config,
+            DurabilityConfig {
+                dir: wal_dir.clone(),
+                sync: serve::SyncPolicy::Always,
+                // Low enough that the stream below crosses a compaction
+                // mid-batch: the counters then ride the checkpoint delta,
+                // not WAL replay.
+                compact_every: 32,
+            },
+        )
+        .expect("durable server starts"),
+    );
+    // The uninterrupted in-process twin: same frozen model, same classes,
+    // no WAL, no network — the reference the streamed server must match
+    // bit-for-bit at every publication.
+    let twin = QueryServer::start(frozen, labels.clone(), &class_attr, server_config)
+        .expect("twin starts");
+    let net = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&server),
+        schema,
+        NetConfig::default(),
+    )
+    .expect("front-end binds");
+    let mut client =
+        NetClient::connect(net.local_addr(), ClientConfig::default()).expect("client connects");
+
+    // --- stream over the socket, lockstep with the twin ---------------------
+    let workload = StreamWorkload::generate(&StreamWorkloadConfig {
+        classes: labels.len(),
+        feature_dim: config.feature_dim,
+        steps: 11,
+        examples_per_step: 7,
+        drift: 0.12,
+        noise: 0.05,
+        seed: config.seed,
+    });
+    let observe_lockstep = |client: &mut NetClient, example: &dataset::StreamExample| -> u64 {
+        let label = &labels[example.class];
+        let version = client
+            .observe(label, &example.features)
+            .expect("observe over the wire");
+        twin.observe(label, &example.features)
+            .expect("twin observe");
+        assert_eq!(
+            version,
+            twin.snapshot().version(),
+            "wire and twin versions diverged at a publication boundary"
+        );
+        version
+    };
+    let phase_one = 70usize;
+    for example in &workload.examples[..phase_one] {
+        observe_lockstep(&mut client, example);
+    }
+    // Explicit boundary: the partial batch (70 % 4 = 2 observes) publishes.
+    let flushed_version = client.flush().expect("flush over the wire");
+    twin.flush().expect("twin flush");
+    assert_eq!(flushed_version, twin.snapshot().version());
+    assert_eq!(
+        server.snapshot().memory(),
+        twin.snapshot().memory(),
+        "streamed memory diverged from the in-process twin after flush"
+    );
+    eprintln!(
+        "zsc_serve: {phase_one} observes + flush published v{flushed_version}, \
+         memory bit-identical to the twin"
+    );
+
+    // Served answers through the socket are bit-identical to solo scoring
+    // on the twin's snapshot (same memory, same model).
+    let twin_snapshot = twin.snapshot();
+    for example in workload.examples.iter().step_by(17) {
+        let (version, served) = client.query(&example.features, None).expect("query served");
+        assert_eq!(version, flushed_version);
+        let expected = twin_snapshot.solo_topk(&example.features, config.top_k);
+        assert_eq!(served.len(), expected.len());
+        for ((sl, ss), (el, es)) in served.iter().zip(&expected) {
+            assert_eq!(sl, el, "served label diverged from solo scoring");
+            assert_eq!(ss.to_bits(), es.to_bits(), "served bits diverged");
+        }
+    }
+
+    // A few more observes leave the server mid-batch, then the kill.
+    for example in &workload.examples[phase_one..] {
+        observe_lockstep(&mut client, example);
+    }
+    let wire_stats = client.stats().expect("stats over the wire");
+    assert_eq!(wire_stats.observes, workload.examples.len() as u64);
+    assert!(wire_stats.wal_bytes > 0, "durable server reports WAL bytes");
+    let expected = server.snapshot();
+    let expected_stream = server.stream_stats();
+    eprintln!(
+        "zsc_serve: killed mid-batch at v{} ({} pending, {} since publish, wal {} bytes, \
+         {} records since compaction, {} drift alarms)",
+        expected.version(),
+        expected_stream.pending_classes,
+        expected_stream.since_publish,
+        wire_stats.wal_bytes,
+        wire_stats.records_since_compaction,
+        wire_stats.drift_alarms,
+    );
+    drop(client);
+    net.shutdown();
+    drop(net);
+    drop(server); // the kill: only the WAL directory survives
+
+    // --- torn tail + recovery ----------------------------------------------
+    {
+        use std::io::Write;
+        let mut log = std::fs::OpenOptions::new()
+            .append(true)
+            .open(serve::wal::wal_path(&wal_dir))
+            .expect("open log");
+        log.write_all(&[0x13, 0x37, 0xAB])
+            .expect("append torn tail");
+    }
+    let (recovered, report) = QueryServer::recover(
+        schema,
+        server_config,
+        DurabilityConfig::new(wal_dir.clone()),
+    )
+    .expect("recovers");
+    assert!(report.torn_tail, "the torn partial record must be detected");
+    assert_eq!(report.snapshot_version, expected.version());
+    assert_eq!(
+        recovered.snapshot().memory(),
+        expected.memory(),
+        "recovered memory diverged from the pre-kill snapshot"
+    );
+    let recovered_stream = recovered.stream_stats();
+    assert_eq!(
+        recovered_stream.since_publish,
+        expected_stream.since_publish
+    );
+    assert_eq!(
+        recovered_stream.pending_classes,
+        expected_stream.pending_classes
+    );
+    eprintln!(
+        "zsc_serve: recovered past the torn tail to v{} ({} records replayed), \
+         batching position intact",
+        report.snapshot_version, report.replayed_records
+    );
+
+    // --- resume the stream on the recovered server ---------------------------
+    // One more observe lands the interrupted batch's boundary on both
+    // servers; the published memories must still agree bit-for-bit.
+    let resume = &workload.examples[0];
+    let resumed_published = recovered
+        .observe(&labels[resume.class], &resume.features)
+        .expect("recovered server observes")
+        .expect("boundary publishes");
+    twin.observe(&labels[resume.class], &resume.features)
+        .expect("twin observes");
+    assert_eq!(resumed_published.version(), twin.snapshot().version());
+    assert_eq!(
+        resumed_published.memory(),
+        twin.snapshot().memory(),
+        "post-recovery publication diverged from the uninterrupted twin"
+    );
+    let durability = recovered
+        .durability_stats()
+        .expect("recovered server is durable");
+    let drift = recovered.drift_report();
+
+    let json = format!(
+        "{{\n  \"config\": {{\"classes\": {}, \"images\": {}, \"feature_dim\": {}, \
+         \"epochs\": {}, \"seed\": {}, \"publish_every\": {PUBLISH_EVERY}}},\n  \
+         \"train\": {{\"elapsed_s\": {:.3}, \"zs_top1\": {:.4}}},\n  \
+         \"stream\": {{\"observes\": {}, \"streamed_classes\": {}, \"publishes\": {}, \
+         \"drift_alarms\": {}, \"final_version\": {}}},\n  \
+         \"durability\": {{\"wal_bytes\": {}, \"records_since_compaction\": {}}},\n  \
+         \"recovery\": {{\"torn_tail\": {}, \"replayed_records\": {}, \
+         \"snapshot_version\": {}}},\n  \
+         \"checks\": {{\"lockstep_versions\": true, \"bit_identical_to_twin\": true, \
+         \"resumed_after_recovery\": true}}\n}}",
+        config.classes,
+        config.images,
+        config.feature_dim,
+        config.epochs,
+        config.seed,
+        train_s,
+        outcome.zsc.top1,
+        workload.examples.len() + 1,
+        drift.classes.len(),
+        drift.publishes,
+        drift.alarms,
+        resumed_published.version(),
+        durability.wal_bytes,
+        durability.records_since_compaction,
+        report.torn_tail,
+        report.replayed_records,
+        report.snapshot_version,
+    );
+    if config.json {
+        println!("{json}");
+    } else {
+        eprintln!("{json}");
+    }
+}
+
 fn main() {
     let config = parse_args();
     if config.recover {
@@ -1068,6 +1342,10 @@ fn main() {
     }
     if config.calibrate {
         run_calibrate(&config);
+        return;
+    }
+    if config.stream {
+        run_stream(&config);
         return;
     }
     if config.net {
@@ -1151,6 +1429,7 @@ fn main() {
         top_k: config.top_k,
         shards: config.shards,
         routed: None,
+        publish_every: 1,
     };
     let server = match &config.wal_dir {
         // Durable serving: class mutations are write-ahead-logged under
@@ -1251,6 +1530,15 @@ fn main() {
     );
 
     let batching = server.stats();
+    // Durable runs report the live WAL footprint; `null` otherwise, so the
+    // document shape is stable across modes.
+    let durability_json = match server.durability_stats() {
+        Some(d) => format!(
+            "{{\"wal_bytes\": {}, \"records_since_compaction\": {}, \"next_record_seq\": {}}}",
+            d.wal_bytes, d.records_since_compaction, d.next_record_seq
+        ),
+        None => "null".to_string(),
+    };
     let json = format!(
         "{{\n  \"config\": {{\"classes\": {}, \"images\": {}, \"feature_dim\": {}, \
          \"epochs\": {}, \"queries\": {}, \"callers\": {}, \"max_batch\": {}, \
@@ -1263,7 +1551,7 @@ fn main() {
          \"final_version\": {}, \"top1_hits_on_registered\": {newly_served}}},\n  \
          \"serve_post_register\": {},\n  \"direct\": {},\n  \
          \"batching\": {{\"batches\": {}, \"mean_batch\": {:.2}, \"max_batch_observed\": {}, \
-         \"swaps\": {}}}\n}}",
+         \"swaps\": {}}},\n  \"durability\": {durability_json}\n}}",
         config.classes,
         config.images,
         config.feature_dim,

@@ -8,8 +8,8 @@ pub mod wal;
 
 pub use net::{NetClient, NetConfig, NetError, NetServer, NetStats};
 pub use server::{
-    DurabilityConfig, ModelSnapshot, QueryServer, RecoveryReport, ScoredLabel, ServeError,
-    ServedResult, ServerConfig, ServerStats, Verdict,
+    DurabilityConfig, DurabilityStats, ModelSnapshot, QueryServer, RecoveryReport, ScoredLabel,
+    ServeError, ServedResult, ServerConfig, ServerStats, StreamStats, Verdict,
 };
 pub use wal::{SyncPolicy, WalError};
 
@@ -77,6 +77,7 @@ mod tests {
                     top_k: 4,
                     shards,
                     routed: None,
+                    publish_every: 1,
                 },
             )
             .expect("server starts");
@@ -111,6 +112,7 @@ mod tests {
                 top_k: 3,
                 shards: 4,
                 routed: None,
+                publish_every: 1,
             },
         )
         .expect("server starts");
@@ -413,6 +415,133 @@ mod tests {
             let expected = reference_topk(&reference_model, &memory, &q, 5);
             assert_eq!(served, expected);
         }
+    }
+
+    /// The streaming continual-learning contract on a live server: observes
+    /// below the `publish_every` boundary fold counters without publishing,
+    /// the boundary observe (or an explicit flush) hot-swaps one snapshot,
+    /// and the published prototype is **bit-identical** to re-signing the
+    /// exact counters recomputed from first principles — seed prototype
+    /// plus every streamed example.
+    #[test]
+    fn streamed_observes_batch_publications_and_resign_exactly() {
+        let (model, labels, class_attributes, _) = fixture();
+        let reference_model = model.clone();
+        let server = QueryServer::start(
+            model,
+            labels,
+            &class_attributes,
+            ServerConfig {
+                publish_every: 3,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server starts");
+        let initial = server.snapshot();
+        let dim = initial.memory().dim();
+        let mut rng = StdRng::seed_from_u64(21);
+        let rows: Vec<Vec<f32>> = (0..4)
+            .map(|_| {
+                Matrix::random_uniform(1, FEATURE_DIM, 1.0, &mut rng)
+                    .row(0)
+                    .to_vec()
+            })
+            .collect();
+
+        // Typed rejections first, so the stream below starts from a clean
+        // batching position.
+        assert!(matches!(
+            server.observe("nope", &rows[0]),
+            Err(ServeError::UnknownClass(_))
+        ));
+        assert!(matches!(
+            server.observe("class1", &rows[0][..FEATURE_DIM - 1]),
+            Err(ServeError::FeatureWidth { .. })
+        ));
+        assert_eq!(server.stream_stats().observes, 0);
+
+        // Two observes under the boundary: counters advance, nothing
+        // publishes, queries still see version 0.
+        assert!(server
+            .observe("class1", &rows[0])
+            .expect("observe")
+            .is_none());
+        assert!(server
+            .observe("class2", &rows[1])
+            .expect("observe")
+            .is_none());
+        assert_eq!(server.snapshot().version(), 0);
+        let stats = server.stream_stats();
+        assert_eq!((stats.observes, stats.pending_classes), (2, 2));
+        assert_eq!(stats.since_publish, 2);
+
+        // The third observe lands the boundary: one snapshot carries both
+        // pending classes.
+        let published = server
+            .observe("class1", &rows[2])
+            .expect("observe")
+            .expect("boundary publishes");
+        assert_eq!(published.version(), 1);
+        let stats = server.stream_stats();
+        assert_eq!((stats.pending_classes, stats.since_publish), (0, 0));
+        // `publishes` counts class-version publications: the one boundary
+        // re-signed two classes.
+        assert_eq!(stats.publishes, 2);
+
+        // Bit-identity from first principles: seed each class's counters
+        // with the version-0 prototype as one pseudo-example, fold the
+        // streamed examples, re-sign, and the published row must match.
+        let encode = |row: &[f32]| {
+            let embedding = reference_model.embed_images(&Matrix::from_rows(&[row.to_vec()]));
+            engine::pack_float_signs(embedding.row(0))
+        };
+        let unpack = |words: &[u64]| -> Vec<i8> {
+            (0..dim)
+                .map(|i| {
+                    if words[i / 64] >> (i % 64) & 1 == 1 {
+                        -1
+                    } else {
+                        1
+                    }
+                })
+                .collect()
+        };
+        for (label, streamed) in [
+            ("class1", vec![&rows[0], &rows[2]]),
+            ("class2", vec![&rows[1]]),
+        ] {
+            let mut acc = hdc::ClassAccumulator::new(dim);
+            let seed = unpack(initial.memory().class_words(label).expect("seed row"));
+            acc.observe(label, &hdc::BipolarHypervector::from_signs(&seed))
+                .expect("seed folds");
+            for row in streamed {
+                let signs = unpack(&encode(row));
+                acc.observe(label, &hdc::BipolarHypervector::from_signs(&signs))
+                    .expect("example folds");
+            }
+            let expected = engine::pack_signs(acc.prototype(label).expect("prototype").as_slice());
+            assert_eq!(
+                published
+                    .memory()
+                    .class_words(label)
+                    .expect("published row"),
+                expected.as_slice(),
+                "{label}: published prototype is not the exact counter re-sign"
+            );
+        }
+
+        // An explicit flush publishes a partial batch immediately…
+        assert!(server
+            .observe("class3", &rows[3])
+            .expect("observe")
+            .is_none());
+        assert_eq!(server.flush().expect("flush").version(), 2);
+        // …and flushing with nothing pending is a version-preserving no-op.
+        assert_eq!(server.flush().expect("idle flush").version(), 2);
+        assert_eq!(server.stream_stats().publishes, 3);
+        assert_eq!(server.drift_report().classes.len(), 3);
+        // Non-durable server: no WAL, no durability stats.
+        assert!(server.durability_stats().is_none());
     }
 
     #[test]

@@ -250,6 +250,34 @@ impl NetClient {
         })
     }
 
+    /// Folds one streamed labeled example into `label`'s exact per-class
+    /// counters on the server — the continual-learning verb. Returns the
+    /// snapshot version now serving: it advances only when this observe
+    /// landed a publication boundary ([`ServerConfig`](crate::ServerConfig)
+    /// `publish_every`), and repeats the current version otherwise.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::query`]; unregistered labels come back as a
+    /// [`NetError::Rejected`] with code `unknown_class`.
+    pub fn observe(&mut self, label: &str, features: &[f32]) -> Result<u64, NetError> {
+        self.mutate(&Request::Observe {
+            label: label.to_string(),
+            features: features.to_vec(),
+        })
+    }
+
+    /// Publishes every pending streamed-class update immediately; returns
+    /// the snapshot version now serving (unchanged when nothing was
+    /// pending).
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::query`].
+    pub fn flush(&mut self) -> Result<u64, NetError> {
+        self.mutate(&Request::Flush)
+    }
+
     /// Fetches the server's combined serve + network counters.
     ///
     /// # Errors

@@ -563,8 +563,30 @@ fn respond(shared: &NetShared, request: Request) -> Response {
             labels,
             attributes,
         } => swap_response(shared, &checkpoint_json, labels, &attributes),
+        Request::Observe { label, features } => {
+            // An observe below the publication boundary folds counters
+            // without publishing: answer with the version still serving so
+            // the client always learns where the stream stands.
+            match shared.server.observe(&label, &features) {
+                Ok(Some(published)) => Response::Mutated {
+                    version: published.version(),
+                    classes: published.memory().len() as u64,
+                },
+                Ok(None) => {
+                    let snapshot = shared.server.snapshot();
+                    Response::Mutated {
+                        version: snapshot.version(),
+                        classes: snapshot.memory().len() as u64,
+                    }
+                }
+                Err(e) => Response::from_serve_error(&e),
+            }
+        }
+        Request::Flush => mutation_response(shared.server.flush()),
         Request::Stats => {
             let serve = shared.server.stats();
+            let stream = shared.server.stream_stats();
+            let durability = shared.server.durability_stats();
             let snapshot = shared.server.snapshot();
             let net = &shared.counters;
             Response::Stats(WireStats {
@@ -582,6 +604,12 @@ fn respond(shared: &NetShared, request: Request) -> Response {
                 net_overloaded: net.overloaded.load(Ordering::Acquire),
                 net_quota_rejections: net.quota_rejections.load(Ordering::Acquire),
                 net_draining_rejections: net.draining_rejections.load(Ordering::Acquire),
+                observes: stream.observes,
+                pending_classes: stream.pending_classes,
+                since_publish: stream.since_publish,
+                drift_alarms: stream.drift_alarms,
+                wal_bytes: durability.map_or(0, |d| d.wal_bytes),
+                records_since_compaction: durability.map_or(0, |d| d.records_since_compaction),
             })
         }
     }

@@ -119,6 +119,22 @@ pub struct WireStats {
     pub net_quota_rejections: u64,
     /// Requests rejected with `draining`.
     pub net_draining_rejections: u64,
+    /// Streamed observations folded into per-class counters (see
+    /// [`StreamStats`](crate::StreamStats)).
+    pub observes: u64,
+    /// Classes with counter changes not yet re-signed into a published
+    /// snapshot.
+    pub pending_classes: u64,
+    /// Observations folded since the last publication boundary.
+    pub since_publish: u64,
+    /// Page–Hinkley drift alarms raised so far.
+    pub drift_alarms: u64,
+    /// Live WAL file size in bytes; `0` on a non-durable server (see
+    /// [`DurabilityStats`](crate::DurabilityStats)).
+    pub wal_bytes: u64,
+    /// WAL records appended since the last compaction; `0` on a
+    /// non-durable server.
+    pub records_since_compaction: u64,
 }
 
 /// A client-to-server message.
@@ -176,6 +192,20 @@ pub enum Request {
         /// `None` clears the threshold.
         threshold_bits: Option<u32>,
     },
+    /// Fold one streamed labeled example into the named class's exact
+    /// counters; answered with [`Response::Mutated`] carrying the version
+    /// now serving — which only advances when this observe landed a
+    /// publication boundary. Additive in protocol 1: old clients simply
+    /// never send it.
+    Observe {
+        /// Class label (must already be registered).
+        label: String,
+        /// Backbone feature row of the labeled example.
+        features: Vec<f32>,
+    },
+    /// Publish every pending streamed-class update immediately; answered
+    /// with [`Response::Mutated`]. Additive in protocol 1.
+    Flush,
     /// Fetch counters; answered with [`Response::Stats`].
     Stats,
 }
@@ -302,6 +332,12 @@ impl Request {
                 ("type", "set_threshold".to_value()),
                 ("threshold_bits", threshold_bits.to_value()),
             ]),
+            Request::Observe { label, features } => obj(vec![
+                ("type", "observe".to_value()),
+                ("label", label.to_value()),
+                ("features", features.to_value()),
+            ]),
+            Request::Flush => obj(vec![("type", "flush".to_value())]),
             Request::Stats => obj(vec![("type", "stats".to_value())]),
         }
     }
@@ -352,6 +388,11 @@ impl Request {
                     ),
                 },
             }),
+            "observe" => Ok(Request::Observe {
+                label: field(value, "label")?,
+                features: field(value, "features")?,
+            }),
+            "flush" => Ok(Request::Flush),
             "stats" => Ok(Request::Stats),
             other => Err(format!("unknown request type `{other}`")),
         }
@@ -588,6 +629,11 @@ mod tests {
         round_trip_request(Request::SetThreshold {
             threshold_bits: None,
         });
+        round_trip_request(Request::Observe {
+            label: "owl".to_string(),
+            features: vec![0.5, -0.0, 1.5e-9],
+        });
+        round_trip_request(Request::Flush);
         round_trip_request(Request::Stats);
     }
 
@@ -643,6 +689,12 @@ mod tests {
             net_overloaded: 15,
             net_quota_rejections: 3,
             net_draining_rejections: 2,
+            observes: 42,
+            pending_classes: 2,
+            since_publish: 1,
+            drift_alarms: 3,
+            wal_bytes: 4096,
+            records_since_compaction: 7,
         }));
         round_trip_response(Response::Error {
             code: code::OVERLOADED.to_string(),

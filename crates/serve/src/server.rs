@@ -57,8 +57,10 @@
 use crate::wal::{self, SyncPolicy, WalError, WalOp, WriteAheadLog};
 use dataset::AttributeSchema;
 use engine::{PackedQueryBatch, RoutedClassMemory, RoutedConfig, ShardedClassMemory};
-use hdc_zsc::{Checkpoint, CheckpointDelta, FrozenModel};
-use std::collections::VecDeque;
+use hdc::{BipolarHypervector, ClassAccumulator};
+use hdc_zsc::{Checkpoint, CheckpointDelta, FrozenModel, StreamCheckpoint};
+use metrics::{DriftReport, StreamDriftConfig, StreamDriftDetector};
+use std::collections::{BTreeSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -93,6 +95,14 @@ pub struct ServerConfig {
     /// `nprobe` shortlists a few clusters per query — the sub-linear mode
     /// for very large class sets. `None` (the default) serves exhaustively.
     pub routed: Option<RoutedConfig>,
+    /// How many streamed observations ([`QueryServer::observe`]) are folded
+    /// into the per-class counters before the touched prototypes are
+    /// re-signed and published as one snapshot. `1` (the default) publishes
+    /// after every observe; larger values batch the snapshot churn while the
+    /// counters — and the write-ahead log — still advance per observe, so
+    /// nothing acknowledged is ever lost. [`QueryServer::flush`] publishes a
+    /// partial batch on demand. Must be at least 1.
+    pub publish_every: u32,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +114,7 @@ impl Default for ServerConfig {
             top_k: 5,
             shards: 4,
             routed: None,
+            publish_every: 1,
         }
     }
 }
@@ -282,8 +293,11 @@ impl DurabilityConfig {
 #[must_use = "a recovery report says how much state was rebuilt and should be checked"]
 pub struct RecoveryReport {
     /// The snapshot version the recovered server resumes at — the
-    /// compaction base's version plus one per replayed record, i.e. exactly
-    /// the version the pre-crash server last acknowledged.
+    /// compaction base's version plus one per replayed *publication*
+    /// (classic mutation records each published one snapshot; streamed
+    /// observe records publish on the `publish_every` cadence, with flush
+    /// records marking the explicit boundaries), i.e. exactly the version
+    /// the pre-crash server last acknowledged.
     pub snapshot_version: u64,
     /// WAL records replayed on top of the compaction base.
     pub replayed_records: u64,
@@ -304,6 +318,89 @@ struct DurableState {
     schema: AttributeSchema,
     compact_every: u64,
     since_compact: u64,
+}
+
+/// The continual-learning half of the control plane: exact per-class
+/// bundling counters, the publication batching position, and the drift
+/// detector fed one displacement per published class version. Lives inside
+/// the control mutex like every other mutation-plane state, so observes are
+/// ordered exactly like the WAL records that log them.
+#[derive(Debug)]
+struct StreamControl {
+    /// Copy of [`ServerConfig::publish_every`] — the automatic publication
+    /// cadence.
+    publish_every: u32,
+    /// Exact i32 counters per streamed class; prototypes are re-signed from
+    /// these at every publication boundary, so folding is order-independent
+    /// and bit-reproducible from the counters alone.
+    accumulators: ClassAccumulator,
+    /// Classes observed since their last publication — what the next
+    /// boundary re-signs. Sorted, so publication order is deterministic.
+    pending: BTreeSet<String>,
+    /// Observes folded since the last publication boundary.
+    since_publish: u64,
+    /// Lifetime observes accepted (pre- and post-publication).
+    observes: u64,
+    /// EWMA + Page–Hinkley change-point detection over per-class prototype
+    /// displacement between published versions.
+    drift: StreamDriftDetector,
+}
+
+impl StreamControl {
+    fn fresh(dim: usize, publish_every: u32) -> Self {
+        Self {
+            publish_every,
+            accumulators: ClassAccumulator::new(dim),
+            pending: BTreeSet::new(),
+            since_publish: 0,
+            observes: 0,
+            drift: StreamDriftDetector::new(StreamDriftConfig::default()),
+        }
+    }
+
+    /// The delta-persistable projection of this state (`None` when nothing
+    /// has been streamed, keeping pre-streaming bases byte-stable).
+    fn checkpoint(&self) -> Option<StreamCheckpoint> {
+        if self.accumulators.is_empty() && self.since_publish == 0 {
+            return None;
+        }
+        Some(StreamCheckpoint {
+            accumulators: self.accumulators.clone(),
+            pending: self.pending.iter().cloned().collect(),
+            since_publish: self.since_publish,
+        })
+    }
+}
+
+/// Streaming continual-learning counters of a [`QueryServer`]; see
+/// [`QueryServer::stream_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct StreamStats {
+    /// Observations accepted over the server's lifetime (on a recovered
+    /// server: since the compaction base, i.e. replayed plus live).
+    pub observes: u64,
+    /// Classes with counter changes not yet re-signed into a published
+    /// snapshot.
+    pub pending_classes: u64,
+    /// Observations folded since the last publication boundary.
+    pub since_publish: u64,
+    /// Class-version publications the drift detector has scored.
+    pub publishes: u64,
+    /// Page–Hinkley drift alarms raised so far.
+    pub drift_alarms: u64,
+}
+
+/// Durability counters of a durable [`QueryServer`]; see
+/// [`QueryServer::durability_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct DurabilityStats {
+    /// Size of the live write-ahead log file in bytes (header included).
+    pub wal_bytes: u64,
+    /// WAL records appended since the last compaction folded the log into
+    /// a fresh base.
+    pub records_since_compaction: u64,
+    /// The sequence number the next appended record will carry.
+    pub next_record_seq: u64,
 }
 
 /// Counters describing the batching and hot-swap behaviour observed so far.
@@ -467,6 +564,8 @@ struct ControlPlane {
     /// [`QueryServer::recover`]: every mutation is WAL-appended (and
     /// fsynced per the policy) *before* its snapshot is published.
     durable: Option<DurableState>,
+    /// Streaming continual-learning state; see [`StreamControl`].
+    stream: StreamControl,
 }
 
 /// A running query server; see the module docs.
@@ -554,6 +653,7 @@ impl QueryServer {
         let routed = config
             .routed
             .map(|rc| routed_from_sharded(&memory, rc, config.threads));
+        let stream = StreamControl::fresh(memory.dim(), config.publish_every);
         Ok(Self::start_with_parts(
             model,
             memory,
@@ -563,6 +663,7 @@ impl QueryServer {
             config,
             0,
             None,
+            stream,
         ))
     }
 
@@ -579,6 +680,7 @@ impl QueryServer {
         config: ServerConfig,
         version: u64,
         durable: Option<DurableState>,
+        stream: StreamControl,
     ) -> Self {
         let feature_dim = model.image_encoder().feature_dim();
         let snapshot = Arc::new(ModelSnapshot {
@@ -607,6 +709,7 @@ impl QueryServer {
             control: Mutex::new(ControlPlane {
                 attribute_dim,
                 durable,
+                stream,
             }),
             dispatcher: Mutex::new(Some(dispatcher)),
         }
@@ -668,6 +771,7 @@ impl QueryServer {
             memory: memory.clone(),
             routed: routed.clone(),
             threshold: None,
+            stream: None,
         }
         .save_json(wal::base_path(&durability.dir))?;
         let log = WriteAheadLog::create(wal::wal_path(&durability.dir), durability.sync)?;
@@ -678,6 +782,7 @@ impl QueryServer {
             compact_every: durability.compact_every,
             since_compact: 0,
         };
+        let stream = StreamControl::fresh(memory.dim(), config.publish_every);
         Ok(Self::start_with_parts(
             model,
             memory,
@@ -687,6 +792,7 @@ impl QueryServer {
             config,
             0,
             Some(durable),
+            stream,
         ))
     }
 
@@ -725,6 +831,7 @@ impl QueryServer {
             memory,
             routed,
             threshold,
+            stream,
         } = delta;
         let mut threshold = threshold;
         let mut model = base.into_frozen(schema)?;
@@ -741,6 +848,28 @@ impl QueryServer {
             }
             _ => None,
         };
+        // Stream state resumes from the base (mid-batch compaction persists
+        // the exact counters and batching position); the drift detector is
+        // not persisted and is rebuilt by replaying the same publication
+        // boundaries the pre-crash server published.
+        let mut stream = match stream {
+            Some(saved) => StreamControl {
+                publish_every: config.publish_every,
+                accumulators: saved.accumulators,
+                pending: saved.pending.into_iter().collect(),
+                since_publish: saved.since_publish,
+                observes: 0,
+                drift: StreamDriftDetector::new(StreamDriftConfig::default()),
+            },
+            None => StreamControl::fresh(memory.dim(), config.publish_every),
+        };
+        // Version accounting replays the pre-crash server's *publication*
+        // boundaries, not its record count: every classic mutation record
+        // published exactly one snapshot, observes publish only when the
+        // `publish_every` cadence fires, and flush records mark the explicit
+        // boundaries — so the recovered version matches the last version the
+        // pre-crash server acknowledged.
+        let mut version = snapshot_version;
         let mut replayed_records = 0u64;
         for entry in &replay.entries {
             // Records the base already folds in (a crash can interleave a
@@ -765,12 +894,22 @@ impl QueryServer {
                     if let Some(routed) = routed.as_mut() {
                         routed.add_class_packed(label.clone(), words);
                     }
+                    // The live path resets a re-pointed class's stream
+                    // counters (the old counters described the replaced
+                    // prototype); a register is a no-op here.
+                    stream.accumulators.remove(label);
+                    stream.pending.remove(label);
+                    version += 1;
                 }
                 WalOp::Remove { label } => {
                     memory.remove_class(label);
                     if let Some(routed) = routed.as_mut() {
                         routed.remove_class(label);
                     }
+                    stream.accumulators.remove(label);
+                    stream.pending.remove(label);
+                    stream.drift.remove(label);
+                    version += 1;
                 }
                 WalOp::Swap {
                     checkpoint_json,
@@ -786,6 +925,11 @@ impl QueryServer {
                     routed = routed
                         .as_ref()
                         .map(|r| routed_from_sharded(&memory, r.config(), config.threads));
+                    // A swap replaces the whole class set; stream state
+                    // describing the old one is meaningless, exactly like
+                    // the live path.
+                    stream = StreamControl::fresh(memory.dim(), config.publish_every);
+                    version += 1;
                 }
                 WalOp::SetThreshold { bits } => {
                     let replayed = bits.map(f32::from_bits);
@@ -799,6 +943,55 @@ impl QueryServer {
                         }));
                     }
                     threshold = replayed;
+                    version += 1;
+                }
+                WalOp::Observe { label, words } => {
+                    if words.len() != memory.words_per_row() {
+                        return Err(ServeError::Wal(WalError::Corrupt {
+                            offset: entry.end_offset,
+                            reason: format!(
+                                "record {} carries {} example words, the memory packs {}",
+                                entry.seq,
+                                words.len(),
+                                memory.words_per_row()
+                            ),
+                        }));
+                    }
+                    let Some(current) = memory.class_words(label).map(<[u64]>::to_vec) else {
+                        return Err(ServeError::Wal(WalError::Corrupt {
+                            offset: entry.end_offset,
+                            reason: format!(
+                                "record {} observes unregistered class `{label}`",
+                                entry.seq
+                            ),
+                        }));
+                    };
+                    fold_observation(
+                        &mut stream.accumulators,
+                        label,
+                        words,
+                        &current,
+                        memory.dim(),
+                    );
+                    stream.pending.insert(label.clone());
+                    stream.since_publish += 1;
+                    stream.observes += 1;
+                    if stream.since_publish >= u64::from(stream.publish_every) {
+                        let rows = resign_pending(&stream.accumulators, &stream.pending);
+                        apply_stream_publish(&mut memory, &mut routed, &mut stream.drift, &rows);
+                        stream.pending.clear();
+                        stream.since_publish = 0;
+                        version += 1;
+                    }
+                }
+                WalOp::Flush => {
+                    if !stream.pending.is_empty() {
+                        let rows = resign_pending(&stream.accumulators, &stream.pending);
+                        apply_stream_publish(&mut memory, &mut routed, &mut stream.drift, &rows);
+                        stream.pending.clear();
+                        stream.since_publish = 0;
+                        version += 1;
+                    }
                 }
             }
             replayed_records += 1;
@@ -811,7 +1004,6 @@ impl QueryServer {
         if let (Some(rc), None) = (config.routed, routed.as_ref()) {
             routed = Some(routed_from_sharded(&memory, rc, config.threads));
         }
-        let version = snapshot_version + replayed_records;
         let attribute_dim = model.attribute_encoder().num_attributes();
         let report = RecoveryReport {
             snapshot_version: version,
@@ -835,6 +1027,7 @@ impl QueryServer {
                 config,
                 version,
                 Some(durable),
+                stream,
             ),
             report,
         ))
@@ -998,6 +1191,11 @@ impl QueryServer {
             };
             durable.wal.append(&op)?;
         }
+        // A re-pointed class's stream counters described the prototype that
+        // is being replaced; drop them so the next observe re-seeds from the
+        // new row. A fresh register has no counters — this is a no-op.
+        control.stream.accumulators.remove(&label);
+        control.stream.pending.remove(&label);
         let published = self.publish(|snapshot| {
             let mut memory = snapshot.memory.clone();
             memory.add_class_packed(label.clone(), &signature);
@@ -1044,6 +1242,10 @@ impl QueryServer {
                 label: label.to_string(),
             })?;
         }
+        // Every stream trace of the class goes with it.
+        control.stream.accumulators.remove(label);
+        control.stream.pending.remove(label);
+        control.stream.drift.remove(label);
         let published = self.publish(|snapshot| {
             let mut memory = snapshot.memory.clone();
             memory.remove_class(label);
@@ -1145,6 +1347,10 @@ impl QueryServer {
             })?;
         }
         control.attribute_dim = class_attributes.cols();
+        // A swap replaces the whole class set: stream counters, pending
+        // publications, and drift history all described the old one.
+        // Recovery replays swap records with the same reset.
+        control.stream = StreamControl::fresh(memory.dim(), control.stream.publish_every);
         // The threshold survives the swap: it is serve-time control state
         // (set/cleared through its own verb), not a property of the model
         // being rolled out. Recovery replays swap records the same way.
@@ -1217,6 +1423,178 @@ impl QueryServer {
         Ok(published)
     }
 
+    /// Folds one **streamed labeled example** into `label`'s exact
+    /// per-class counters — the continual-learning verb. The example is
+    /// encoded through the serving snapshot's shared model (one
+    /// image-encoder forward, sign-binarized into the packed layout), its
+    /// packed words are WAL-logged on a durable server (model-independent
+    /// replay, like every other mutation), and the counters advance
+    /// immediately. The *served* prototype re-signs at the next publication
+    /// boundary: every [`ServerConfig::publish_every`]-th observe, or an
+    /// explicit [`QueryServer::flush`].
+    ///
+    /// The first observe of a class seeds its counters with the
+    /// currently-published prototype as one pseudo-example, so the stream
+    /// refines the class instead of restarting it. Counters are exact i32
+    /// sums — folding is order-independent and the published prototype is a
+    /// pure function of the counters, which is what makes kill-and-recover
+    /// bit-identical to the uninterrupted run.
+    ///
+    /// Returns the snapshot published by this observe when it landed on a
+    /// publication boundary, `None` otherwise (the counters advanced, the
+    /// served prototype did not change yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::FeatureWidth`] for a mis-sized feature row,
+    /// [`ServeError::UnknownClass`] when `label` is not registered (streams
+    /// refine existing classes; register first), and [`ServeError::Wal`]
+    /// when a durable server cannot log the observation (nothing is folded
+    /// then).
+    pub fn observe(
+        &self,
+        label: &str,
+        features: &[f32],
+    ) -> Result<Option<Arc<ModelSnapshot>>, ServeError> {
+        if features.len() != self.shared.feature_dim {
+            return Err(ServeError::FeatureWidth {
+                expected: self.shared.feature_dim,
+                found: features.len(),
+            });
+        }
+        let mut control = self.control.lock().expect("control mutex poisoned");
+        let snapshot = self.snapshot();
+        let Some(current) = snapshot.memory.class_words(label).map(<[u64]>::to_vec) else {
+            return Err(ServeError::UnknownClass(label.to_string()));
+        };
+        // Encode through the serving snapshot's shared model — the same
+        // embed-then-sign path queries take, zero weight copies.
+        let embedding = snapshot
+            .model
+            .embed_images(&Matrix::from_rows(&[features.to_vec()]));
+        let words = engine::pack_float_signs(embedding.row(0));
+        if let Some(durable) = control.durable.as_mut() {
+            durable.wal.append(&WalOp::Observe {
+                label: label.to_string(),
+                words: words.clone(),
+            })?;
+        }
+        let stream = &mut control.stream;
+        fold_observation(
+            &mut stream.accumulators,
+            label,
+            &words,
+            &current,
+            snapshot.memory.dim(),
+        );
+        stream.pending.insert(label.to_string());
+        stream.since_publish += 1;
+        stream.observes += 1;
+        if stream.since_publish >= u64::from(stream.publish_every) {
+            return self.publish_pending_locked(&mut control).map(Some);
+        }
+        // No publication, but the WAL grew by one record: keep the
+        // compaction cadence honest. A base written mid-batch carries the
+        // exact counters and batching position, so this is safe.
+        self.maybe_compact(&mut control, &snapshot)?;
+        Ok(None)
+    }
+
+    /// Publishes every pending streamed-class update right now, without
+    /// waiting for the [`ServerConfig::publish_every`] cadence: re-signs
+    /// each pending class from its exact counters and hot-swaps one
+    /// snapshot carrying all of them. A no-op returning the current
+    /// snapshot when nothing is pending (and nothing is logged then).
+    ///
+    /// On a durable server the explicit boundary is WAL-logged (a `flush`
+    /// record), so replay reproduces the exact same publication — and
+    /// version — sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Wal`] when a durable server cannot log the
+    /// boundary (nothing is published then).
+    pub fn flush(&self) -> Result<Arc<ModelSnapshot>, ServeError> {
+        let mut control = self.control.lock().expect("control mutex poisoned");
+        if control.stream.pending.is_empty() {
+            return Ok(self.snapshot());
+        }
+        if let Some(durable) = control.durable.as_mut() {
+            durable.wal.append(&WalOp::Flush)?;
+        }
+        self.publish_pending_locked(&mut control)
+    }
+
+    /// One publication boundary: re-sign every pending class, score its
+    /// displacement through the drift detector, publish one snapshot, and
+    /// reset the batching position. The caller must hold the control mutex
+    /// and have logged whatever record marks this boundary.
+    fn publish_pending_locked(
+        &self,
+        control: &mut ControlPlane,
+    ) -> Result<Arc<ModelSnapshot>, ServeError> {
+        let stream = &mut control.stream;
+        let rows = resign_pending(&stream.accumulators, &stream.pending);
+        let drift = &mut stream.drift;
+        let published = self.publish(|snapshot| {
+            let mut memory = snapshot.memory.clone();
+            let mut routed = snapshot.routed.clone();
+            apply_stream_publish(&mut memory, &mut routed, drift, &rows);
+            ModelSnapshot {
+                version: snapshot.version + 1,
+                model: snapshot.model.clone(),
+                memory,
+                routed,
+                threshold: snapshot.threshold,
+            }
+        });
+        control.stream.pending.clear();
+        control.stream.since_publish = 0;
+        self.maybe_compact(control, &published)?;
+        Ok(published)
+    }
+
+    /// Streaming continual-learning counters: lifetime observes, the
+    /// batching position, and the drift detector's publication/alarm
+    /// totals.
+    pub fn stream_stats(&self) -> StreamStats {
+        let control = self.control.lock().expect("control mutex poisoned");
+        let stream = &control.stream;
+        StreamStats {
+            observes: stream.observes,
+            pending_classes: stream.pending.len() as u64,
+            since_publish: stream.since_publish,
+            publishes: stream.drift.publishes(),
+            drift_alarms: stream.drift.alarms(),
+        }
+    }
+
+    /// The full per-class drift report — EWMA displacement trends and
+    /// Page–Hinkley statistics for every streamed class; see
+    /// [`metrics::stream`].
+    pub fn drift_report(&self) -> DriftReport {
+        self.control
+            .lock()
+            .expect("control mutex poisoned")
+            .stream
+            .drift
+            .report()
+    }
+
+    /// Durability counters of a durable server — live WAL file size,
+    /// records since the last compaction, and the next record sequence
+    /// number. `None` on a non-durable server.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        let control = self.control.lock().expect("control mutex poisoned");
+        control.durable.as_ref().map(|durable| DurabilityStats {
+            wal_bytes: std::fs::metadata(durable.wal.path())
+                .map(|m| m.len())
+                .unwrap_or(0),
+            records_since_compaction: durable.since_compact,
+            next_record_seq: durable.wal.next_seq(),
+        })
+    }
+
     /// Folds the log into a fresh compaction base right now, regardless of
     /// the [`DurabilityConfig::compact_every`] policy. Returns `Ok(true)`
     /// when a base was written, `Ok(false)` on a non-durable server.
@@ -1228,11 +1606,14 @@ impl QueryServer {
     /// remain fully replayable in that case.
     pub fn compact(&self) -> Result<bool, ServeError> {
         let mut control = self.control.lock().expect("control mutex poisoned");
-        let Some(durable) = control.durable.as_mut() else {
+        let ControlPlane {
+            durable, stream, ..
+        } = &mut *control;
+        let Some(durable) = durable.as_mut() else {
             return Ok(false);
         };
         let snapshot = self.snapshot();
-        Self::compact_locked(durable, &snapshot)?;
+        Self::compact_locked(durable, &snapshot, stream.checkpoint())?;
         Ok(true)
     }
 
@@ -1244,22 +1625,30 @@ impl QueryServer {
         control: &mut ControlPlane,
         published: &ModelSnapshot,
     ) -> Result<(), ServeError> {
-        let Some(durable) = control.durable.as_mut() else {
+        let ControlPlane {
+            durable, stream, ..
+        } = control;
+        let Some(durable) = durable.as_mut() else {
             return Ok(());
         };
         durable.since_compact += 1;
         if durable.compact_every == 0 || durable.since_compact < durable.compact_every {
             return Ok(());
         }
-        Self::compact_locked(durable, published)
+        Self::compact_locked(durable, published, stream.checkpoint())
     }
 
     /// Writes `snapshot` as the new checkpoint-delta base, then rotates the
     /// log — in that order, so a crash between the two leaves a base whose
     /// `next_record_seq` simply skips the old log's already-folded records.
+    ///
+    /// `stream` captures the continual-learning counters and batching
+    /// position at the same instant, so a base written mid-batch still
+    /// recovers counter-exactly.
     fn compact_locked(
         durable: &mut DurableState,
         snapshot: &ModelSnapshot,
+        stream: Option<StreamCheckpoint>,
     ) -> Result<(), ServeError> {
         CheckpointDelta {
             snapshot_version: snapshot.version,
@@ -1268,6 +1657,7 @@ impl QueryServer {
             memory: snapshot.memory.clone(),
             routed: snapshot.routed.clone(),
             threshold: snapshot.threshold,
+            stream,
         }
         .save_json(wal::base_path(&durable.dir))?;
         durable.wal.rotate()?;
@@ -1455,6 +1845,114 @@ fn routed_from_sharded(
     routed.with_threads(threads)
 }
 
+/// Unpacks one packed ±1 prototype row back into sign components (set bit
+/// = −1, the engine's packing convention) — the bridge from the serving
+/// layer's packed words to the [`hdc`] crate's counter arithmetic.
+fn unpack_words(words: &[u64], dim: usize) -> Vec<i8> {
+    (0..dim)
+        .map(|i| {
+            if (words[i / 64] >> (i % 64)) & 1 == 1 {
+                -1
+            } else {
+                1
+            }
+        })
+        .collect()
+}
+
+/// Folds one observed example (as packed sign words) into `label`'s
+/// counters. The **first** observe of a label seeds its accumulator with
+/// the class's currently-published prototype as one pseudo-example, so the
+/// stream refines the existing class instead of restarting it from scratch;
+/// replay reproduces the seeding deterministically because the replayed
+/// memory holds the same prototype at the same record position.
+///
+/// Shared verbatim by the live observe path and WAL replay — which is what
+/// makes recovered counters bit-identical.
+fn fold_observation(
+    accumulators: &mut ClassAccumulator,
+    label: &str,
+    example_words: &[u64],
+    current_class_words: &[u64],
+    dim: usize,
+) {
+    if !accumulators.contains(label) {
+        let seed = BipolarHypervector::from_signs(&unpack_words(current_class_words, dim));
+        accumulators
+            .observe(label, &seed)
+            .expect("seed prototype width matches the accumulator by construction");
+    }
+    let example = BipolarHypervector::from_signs(&unpack_words(example_words, dim));
+    accumulators
+        .observe(label, &example)
+        .expect("observe width was validated against the serving memory");
+}
+
+/// Re-signs every pending class from its exact counters into packed
+/// prototype rows, in sorted label order — the deterministic payload of one
+/// publication boundary.
+fn resign_pending(
+    accumulators: &ClassAccumulator,
+    pending: &BTreeSet<String>,
+) -> Vec<(String, Vec<u64>)> {
+    pending
+        .iter()
+        .map(|label| {
+            let prototype = accumulators
+                .prototype(label)
+                .expect("pending labels always have an accumulator");
+            (label.clone(), engine::pack_signs(prototype.as_slice()))
+        })
+        .collect()
+}
+
+/// Normalized Hamming displacement between two packed rows of the same
+/// dimensionality: differing sign positions over `dim`, in `[0, 1]`. Tail
+/// bits beyond `dim` are zero under the packing contract, so a plain XOR
+/// popcount is exact.
+fn normalized_displacement(old: &[u64], new: &[u64], dim: usize) -> f64 {
+    debug_assert_eq!(old.len(), new.len());
+    let differing: u32 = old.iter().zip(new).map(|(a, b)| (a ^ b).count_ones()).sum();
+    f64::from(differing) / dim as f64
+}
+
+/// Applies one publication boundary to a memory (and routed index): per
+/// pending class, scores the prototype displacement through the drift
+/// detector, then writes the re-signed row. A Page–Hinkley alarm on any
+/// class triggers one deterministic recluster of the routed index — the
+/// serving response to detected concept drift. Returns whether any class
+/// alarmed.
+///
+/// Shared verbatim by the live publish path and WAL replay.
+fn apply_stream_publish(
+    memory: &mut ShardedClassMemory,
+    routed: &mut Option<RoutedClassMemory>,
+    drift: &mut StreamDriftDetector,
+    rows: &[(String, Vec<u64>)],
+) -> bool {
+    let dim = memory.dim();
+    let mut alarmed = false;
+    for (label, words) in rows {
+        let displacement = memory
+            .class_words(label)
+            .map(|old| normalized_displacement(old, words, dim))
+            .unwrap_or(1.0);
+        if drift.record(label, displacement) {
+            alarmed = true;
+        }
+        memory.add_class_packed(label.clone(), words);
+        if let Some(routed) = routed.as_mut() {
+            routed.add_class_packed(label.clone(), words);
+        }
+    }
+    if alarmed {
+        if let Some(routed) = routed.as_mut() {
+            routed.recluster();
+        }
+    }
+    alarmed
+}
+
 /// The label/matrix agreement checks shared by every constructor.
 fn validate_class_set(labels: &[String], class_attributes: &Matrix) -> Result<(), ServeError> {
     if labels.len() != class_attributes.rows() {
@@ -1487,6 +1985,11 @@ fn validate_config(config: &ServerConfig) -> Result<(), ServeError> {
     if config.shards == 0 {
         return Err(ServeError::InvalidConfig(
             "shards must be at least 1".to_string(),
+        ));
+    }
+    if config.publish_every == 0 {
+        return Err(ServeError::InvalidConfig(
+            "publish_every must be at least 1".to_string(),
         ));
     }
     Ok(())

@@ -222,6 +222,24 @@ pub enum WalOp {
         /// boundary the pre-crash server enforced.
         bits: Option<u32>,
     },
+    /// One streamed labeled example was folded into a class's prototype
+    /// accumulator (continual learning). Carries the example's packed ±1
+    /// sign words **as encoded by the serving model at observe time**, so
+    /// replay re-folds the exact counters with no model dependence — the
+    /// same model-independence contract register/update records follow.
+    Observe {
+        /// Class label the example carries.
+        label: String,
+        /// The example's packed ±1 sign words.
+        words: Vec<u64>,
+    },
+    /// Pending accumulated observes were explicitly published
+    /// (`QueryServer::flush`). Logged so replay reproduces the exact
+    /// publication boundaries — and therefore the exact snapshot-version
+    /// sequence — of the pre-crash server; automatic `publish_every`
+    /// boundaries are re-derived from the server configuration instead and
+    /// need no record.
+    Flush,
 }
 
 /// Lowercase hex, 16 digits per word — a compact, exact `u64` encoding.
@@ -281,6 +299,14 @@ impl WalOp {
                 entries.push(("op".to_string(), "set_threshold".to_string().to_value()));
                 entries.push(("threshold_bits".to_string(), bits.to_value()));
             }
+            WalOp::Observe { label, words } => {
+                entries.push(("op".to_string(), "observe".to_string().to_value()));
+                entries.push(("label".to_string(), label.to_value()));
+                entries.push(("row".to_string(), words_to_hex(words).to_value()));
+            }
+            WalOp::Flush => {
+                entries.push(("op".to_string(), "flush".to_string().to_value()));
+            }
         }
         Value::Object(entries)
     }
@@ -319,6 +345,11 @@ impl WalOp {
             "set_threshold" => WalOp::SetThreshold {
                 bits: serde_json::from_value(get("threshold_bits")?).map_err(|e| e.to_string())?,
             },
+            "observe" => WalOp::Observe {
+                label: label()?,
+                words: row()?,
+            },
+            "flush" => WalOp::Flush,
             other => return Err(format!("unknown op `{other}`")),
         };
         Ok((seq, op))
@@ -751,6 +782,40 @@ mod tests {
                 bits: Some((-0.0f32).to_bits()),
             },
             WalOp::SetThreshold { bits: None },
+        ];
+        let mut wal = WriteAheadLog::create(&path, SyncPolicy::Always).expect("create");
+        for op in &ops {
+            wal.append(op).expect("append");
+        }
+        drop(wal);
+        let recovered = replay(&path).expect("replay");
+        assert!(recovered.torn_tail.is_none());
+        let replayed: Vec<WalOp> = recovered.entries.iter().map(|e| e.op.clone()).collect();
+        assert_eq!(replayed, ops);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Streamed-observe records carry the example's packed words exactly,
+    /// and flush records mark publication boundaries with no payload — both
+    /// replay verbatim so continual-learning recovery is counter-exact.
+    #[test]
+    fn observe_and_flush_records_round_trip() {
+        let path = temp_wal("observe.log");
+        let ops = vec![
+            WalOp::Observe {
+                label: "alpha".to_string(),
+                words: vec![0xdead_beef_0bad_f00d, 0, u64::MAX],
+            },
+            WalOp::Observe {
+                label: "beta".to_string(),
+                words: vec![1, 2],
+            },
+            WalOp::Flush,
+            WalOp::Observe {
+                label: "alpha".to_string(),
+                words: vec![42],
+            },
+            WalOp::Flush,
         ];
         let mut wal = WriteAheadLog::create(&path, SyncPolicy::Always).expect("create");
         for op in &ops {

@@ -45,6 +45,7 @@ fn config() -> ServerConfig {
         top_k: 3,
         shards: 3,
         routed: None,
+        publish_every: 1,
     }
 }
 
@@ -226,6 +227,7 @@ fn kill_and_recover_restores_the_exact_routed_index() {
     };
     let config = ServerConfig {
         routed: Some(routed_config),
+        publish_every: 1,
         ..config()
     };
     let labels: Vec<String> = (0..6).map(|c| format!("class{c}")).collect();
@@ -307,6 +309,7 @@ fn kill_and_recover_restores_the_exact_routed_index() {
     // Routing off: the index is dropped, the exhaustive state is unchanged.
     let unrouted = ServerConfig {
         routed: None,
+        publish_every: 1,
         ..config
     };
     let (plain, _) = QueryServer::recover(&schema(), unrouted, DurabilityConfig::new(dir.clone()))
@@ -389,6 +392,134 @@ fn explicit_compaction_folds_the_log() {
     assert!(!non_durable.compact().expect("no-op"));
 }
 
+fn feature_row(lcg: &mut Lcg) -> Vec<f32> {
+    (0..FEATURE_DIM).map(|_| lcg.unit_f32() - 0.5).collect()
+}
+
+/// The streaming kill→recover drill: a durable server batching observes
+/// three-per-publication is killed **mid-batch**; recovery must resume the
+/// exact batching position (same pending classes, same `since_publish`),
+/// serve bit-identically, and — after the stream resumes — land on memory
+/// bit-identical to an uninterrupted twin that streamed the same examples
+/// with no crash. A second phase compacts mid-batch so the stream state
+/// rides the checkpoint delta rather than WAL replay.
+#[test]
+fn kill_and_recover_resumes_the_exact_stream_position() {
+    let dir = temp_dir("stream");
+    let a = alpha();
+    let labels: Vec<String> = (0..3).map(|c| format!("class{c}")).collect();
+    let mut lcg = Lcg(77);
+    let class_attributes = Matrix::from_rows(&(0..3).map(|_| lcg.attr_row(a)).collect::<Vec<_>>());
+    let config = ServerConfig {
+        publish_every: 3,
+        ..config()
+    };
+    // One pre-generated example stream, shared with the uninterrupted twin.
+    let examples: Vec<(String, Vec<f32>)> = (0..11)
+        .map(|i| (format!("class{}", i % 3), feature_row(&mut lcg)))
+        .collect();
+
+    let server = QueryServer::start_durable(
+        model(11),
+        labels.clone(),
+        &class_attributes,
+        &schema(),
+        config,
+        DurabilityConfig {
+            dir: dir.clone(),
+            sync: SyncPolicy::Always,
+            compact_every: 0,
+        },
+    )
+    .expect("durable server starts");
+    // 7 observes: publications at #3 and #6, then one observe into the
+    // third batch — the kill lands mid-batch.
+    for (i, (label, row)) in examples[..7].iter().enumerate() {
+        let published = server.observe(label, row).expect("observe");
+        assert_eq!(
+            published.is_some(),
+            (i + 1) % 3 == 0,
+            "observe {i}: wrong publication boundary"
+        );
+    }
+    let expected = server.snapshot();
+    assert_eq!(expected.version(), 2);
+    let expected_stats = server.stream_stats();
+    assert_eq!(expected_stats.since_publish, 1);
+    assert_eq!(expected_stats.pending_classes, 1);
+    drop(server); // the kill, one observe into a batch
+
+    let (recovered, report) =
+        QueryServer::recover(&schema(), config, DurabilityConfig::new(dir.clone()))
+            .expect("recovers");
+    assert_eq!(report.snapshot_version, 2);
+    assert_eq!(report.replayed_records, 7);
+    assert_snapshots_match(
+        &recovered.snapshot(),
+        &expected,
+        "mid-batch stream recovery",
+    );
+    let stats = recovered.stream_stats();
+    assert_eq!(stats.observes, 7, "replay recounts every observe");
+    assert_eq!(stats.since_publish, expected_stats.since_publish);
+    assert_eq!(stats.pending_classes, expected_stats.pending_classes);
+    assert_eq!(
+        stats.publishes, expected_stats.publishes,
+        "drift detector rebuilt by replay"
+    );
+
+    // Resume the stream: observes 8 and 9 complete the interrupted batch on
+    // the recovered server — at the same version the uninterrupted run
+    // publishes.
+    for (label, row) in &examples[7..9] {
+        recovered.observe(label, row).expect("observe resumes");
+    }
+    assert_eq!(recovered.snapshot().version(), 3);
+
+    // Mid-batch compaction: observe 10 opens a new batch, then the base
+    // absorbs counters + batching position; recovery replays *nothing* yet
+    // resumes the stream exactly.
+    recovered
+        .observe(&examples[9].0, &examples[9].1)
+        .expect("observe");
+    assert!(recovered.compact().expect("compacts"));
+    let expected = recovered.snapshot();
+    drop(recovered);
+    let (resumed, report) =
+        QueryServer::recover(&schema(), config, DurabilityConfig::new(dir.clone()))
+            .expect("recovers from stream checkpoint");
+    assert_eq!(report.replayed_records, 0, "the base absorbed the stream");
+    assert_snapshots_match(
+        &resumed.snapshot(),
+        &expected,
+        "post-compaction stream recovery",
+    );
+    assert_eq!(resumed.stream_stats().since_publish, 1);
+    assert_eq!(resumed.stream_stats().pending_classes, 1);
+    resumed
+        .observe(&examples[10].0, &examples[10].1)
+        .expect("observe");
+    let final_flush = resumed.flush().expect("flush publishes the partial batch");
+    assert_eq!(final_flush.version(), 4);
+    drop(resumed);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The uninterrupted twin: same model, same example stream, no kill, no
+    // compaction — the final class memory must be bit-identical.
+    let twin =
+        QueryServer::start(model(11), labels, &class_attributes, config).expect("twin starts");
+    for (label, row) in &examples {
+        twin.observe(label, row).expect("twin observe");
+    }
+    let twin_final = twin.flush().expect("twin flush");
+    assert_eq!(twin_final.version(), 4);
+    assert_eq!(
+        twin_final.memory(),
+        final_flush.memory(),
+        "crash-recovered stream diverged from the uninterrupted twin"
+    );
+}
+
 /// One step of the property test's mutation script. Returns the published
 /// snapshot; the script is a pure function of the LCG state, so the same
 /// seed always produces the same server history.
@@ -399,9 +530,18 @@ fn apply_scripted_op(
     fresh: &mut usize,
 ) -> Arc<ModelSnapshot> {
     let a = alpha();
-    let kind = lcg.next() % 8;
+    let kind = lcg.next() % 10;
     match kind {
-        // Half the ops grow the class set.
+        // Streamed observes ride the same WAL as classic mutations; the
+        // script's `publish_every: 1` makes each one publish immediately.
+        8 | 9 => {
+            let target = live[(lcg.next() as usize) % live.len()].clone();
+            server
+                .observe(&target, &feature_row(lcg))
+                .expect("scripted observe")
+                .expect("publish_every=1 publishes every observe")
+        }
+        // Otherwise, classic mutations; registers dominate so the set grows.
         0..=3 => {
             let label = format!("dyn{}", *fresh);
             *fresh += 1;

@@ -46,6 +46,7 @@ fn queries_stay_bit_identical_under_repeated_hot_swaps() {
             top_k: 3,
             shards: 3,
             routed: None,
+            publish_every: 1,
         },
     )
     .expect("server starts");
@@ -200,5 +201,158 @@ fn queries_stay_bit_identical_under_repeated_hot_swaps() {
     assert_eq!(stats.swaps, SWAPS as u64);
     // Clean shutdown: dropping the server joins the dispatcher; reaching
     // this point without hanging is the no-deadlock assertion.
+    drop(server);
+}
+
+/// The streaming variant of the churn stress: callers hammer queries while
+/// the main thread streams observes into the live classes — publications
+/// fire on the `publish_every` cadence with explicit flushes interleaved,
+/// so snapshots churn mid-traffic. Every response must still be
+/// bit-identical to solo scoring against the exact snapshot version that
+/// served it, and versions stay monotone per caller.
+#[test]
+fn queries_stay_bit_identical_under_streamed_observe_churn() {
+    const OBSERVES: usize = 48;
+    let schema = AttributeSchema::cub200();
+    let model = ZscModel::new(&ModelConfig::tiny().with_seed(29), &schema, FEATURE_DIM);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(37);
+    let class_attributes = Matrix::random_uniform(6, 312, 0.5, &mut rng).map(f32::abs);
+    let labels: Vec<String> = (0..6).map(|c| format!("base{c}")).collect();
+    let server = QueryServer::start(
+        model,
+        labels.clone(),
+        &class_attributes,
+        ServerConfig {
+            max_batch: 16,
+            max_wait_us: 150,
+            threads: 2,
+            top_k: 3,
+            shards: 3,
+            routed: None,
+            publish_every: 3,
+        },
+    )
+    .expect("server starts");
+
+    let snapshots: Mutex<HashMap<u64, Arc<ModelSnapshot>>> = Mutex::new(HashMap::new());
+    {
+        let initial = server.snapshot();
+        snapshots
+            .lock()
+            .expect("snapshot map")
+            .insert(initial.version(), initial);
+    }
+    let streams: Vec<Vec<Vec<f32>>> = (0..CALLERS)
+        .map(|_| {
+            (0..QUERIES_PER_CALLER)
+                .map(|_| {
+                    Matrix::random_uniform(1, FEATURE_DIM, 1.0, &mut rng)
+                        .row(0)
+                        .to_vec()
+                })
+                .collect()
+        })
+        .collect();
+    let examples: Vec<(String, Vec<f32>)> = (0..OBSERVES)
+        .map(|i| {
+            let row = Matrix::random_uniform(1, FEATURE_DIM, 1.0, &mut rng)
+                .row(0)
+                .to_vec();
+            (labels[i % labels.len()].clone(), row)
+        })
+        .collect();
+
+    type Observation = (u64, usize, usize, Vec<(String, u32)>);
+    let observations: Mutex<Vec<Observation>> = Mutex::new(Vec::new());
+    let answered = AtomicUsize::new(0);
+    let total_queries = CALLERS * QUERIES_PER_CALLER;
+
+    std::thread::scope(|scope| {
+        for (caller, stream) in streams.iter().enumerate() {
+            let server = &server;
+            let observations = &observations;
+            let answered = &answered;
+            scope.spawn(move || {
+                let mut last_version = 0u64;
+                for (q, features) in stream.iter().enumerate() {
+                    let (version, served) = server.query_traced(features).expect("query served");
+                    assert!(
+                        version >= last_version,
+                        "caller {caller}: version went backwards ({last_version} -> {version})"
+                    );
+                    last_version = version;
+                    let served: Vec<(String, u32)> = served
+                        .into_iter()
+                        .map(|(label, sim)| (label, sim.to_bits()))
+                        .collect();
+                    observations
+                        .lock()
+                        .expect("observations")
+                        .push((version, q, caller, served));
+                    answered.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+
+        // The streaming thread: fold observes on the publish_every=3
+        // cadence, with an explicit mid-batch flush every 10th observe, each
+        // paced against the answered-query counter exactly like the classic
+        // swap stress.
+        for (s, (label, row)) in examples.iter().enumerate() {
+            let progress_gate = (s * total_queries / OBSERVES).max(1);
+            while answered.load(Ordering::SeqCst) < progress_gate.min(total_queries) {
+                std::thread::yield_now();
+            }
+            if let Some(published) = server.observe(label, row).expect("observe folds") {
+                snapshots
+                    .lock()
+                    .expect("snapshot map")
+                    .insert(published.version(), published);
+            }
+            if s % 10 == 9 {
+                let flushed = server.flush().expect("flush publishes");
+                snapshots
+                    .lock()
+                    .expect("snapshot map")
+                    .insert(flushed.version(), flushed);
+            }
+        }
+    });
+
+    let observations = observations.into_inner().expect("observations");
+    assert_eq!(observations.len(), total_queries);
+    let snapshots = snapshots.into_inner().expect("snapshot map");
+    // Every publication was captured: the version space is dense from 0.
+    assert_eq!(
+        snapshots.len() as u64,
+        server.stats().swaps + 1,
+        "one recorded snapshot per publication"
+    );
+
+    let mut versions_seen: Vec<u64> = Vec::new();
+    for (version, q, caller, served) in observations {
+        let snapshot = snapshots
+            .get(&version)
+            .unwrap_or_else(|| panic!("response carries unknown version {version}"));
+        let expected: Vec<(String, u32)> = snapshot
+            .solo_topk(&streams[caller][q], 3)
+            .into_iter()
+            .map(|(label, sim)| (label, sim.to_bits()))
+            .collect();
+        assert_eq!(
+            served, expected,
+            "caller {caller} query {q} diverged from snapshot v{version}"
+        );
+        versions_seen.push(version);
+    }
+    versions_seen.sort_unstable();
+    versions_seen.dedup();
+    assert!(
+        versions_seen.len() >= 2,
+        "traffic should have been served by at least two snapshot versions \
+         (saw {versions_seen:?}); increase the interleaving if this flakes"
+    );
+    let stream_stats = server.stream_stats();
+    assert_eq!(stream_stats.observes, OBSERVES as u64);
     drop(server);
 }

@@ -69,6 +69,7 @@ fn a_full_admission_queue_sheds_with_a_typed_rejection() {
             top_k: 4,
             shards: 2,
             routed: None,
+            publish_every: 1,
         },
         NetConfig {
             admission_capacity: 1,
@@ -125,6 +126,7 @@ fn saturating_clients_get_typed_sheds_and_bit_identical_answers() {
             top_k: 3,
             shards: 2,
             routed: None,
+            publish_every: 1,
         },
         NetConfig {
             admission_capacity: 2,
@@ -204,6 +206,7 @@ fn drain_with_open_sockets_does_not_deadlock() {
             top_k: 3,
             shards: 2,
             routed: None,
+            publish_every: 1,
         },
         NetConfig {
             admission_capacity: 2,

@@ -324,3 +324,71 @@ fn shutdown_drains_and_rejects_late_requests() {
     )
     .is_err());
 }
+
+/// Streamed observes and flushes work over the wire: versions advance only
+/// at publication boundaries, unknown classes are typed rejections, the
+/// stats document carries the streaming counters, and queries after the
+/// stream reflect the published prototypes bit-identically.
+#[test]
+fn streamed_observes_over_the_wire() {
+    let (model, labels, class_attributes, schema) = fixture();
+    let server = Arc::new(
+        QueryServer::start(
+            model,
+            labels,
+            &class_attributes,
+            ServerConfig {
+                top_k: 4,
+                publish_every: 3,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server starts"),
+    );
+    let net = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&server),
+        &schema,
+        NetConfig::default(),
+    )
+    .expect("front-end binds");
+    let mut client = client(&net);
+    let rows = random_rows(4, 53);
+
+    // Below the publication boundary the version holds still…
+    assert_eq!(client.observe("class1", &rows[0]).expect("observe"), 0);
+    assert_eq!(client.observe("class2", &rows[1]).expect("observe"), 0);
+    // …and the third observe publishes one snapshot carrying both classes.
+    assert_eq!(client.observe("class1", &rows[2]).expect("observe"), 1);
+    assert_eq!(server.snapshot().version(), 1);
+
+    match client.observe("ghost", &rows[0]) {
+        Err(NetError::Rejected { code, .. }) => assert_eq!(code, wire::code::UNKNOWN_CLASS),
+        other => panic!("expected unknown_class rejection, got {other:?}"),
+    }
+
+    // An explicit flush publishes the partial batch; an idle flush holds.
+    assert_eq!(client.observe("class3", &rows[3]).expect("observe"), 1);
+    assert_eq!(client.flush().expect("flush"), 2);
+    assert_eq!(client.flush().expect("idle flush"), 2);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.observes, 4);
+    assert_eq!((stats.pending_classes, stats.since_publish), (0, 0));
+    assert_eq!(stats.snapshot_version, 2);
+    // Non-durable server: the WAL counters read zero.
+    assert_eq!((stats.wal_bytes, stats.records_since_compaction), (0, 0));
+
+    let snapshot = server.snapshot();
+    for q in random_rows(8, 59) {
+        let (version, served) = client.query(&q, None).expect("query served");
+        assert_eq!(version, 2);
+        let expected = snapshot.solo_topk(&q, 4);
+        assert_eq!(served.len(), expected.len());
+        for ((sl, ss), (el, es)) in served.iter().zip(&expected) {
+            assert_eq!(sl, el);
+            assert_eq!(ss.to_bits(), es.to_bits(), "similarity bits for `{sl}`");
+        }
+    }
+    net.shutdown();
+}

@@ -32,6 +32,7 @@ fn net_addr_drives_a_remote_server_and_reports_the_skipped_cross_check() {
                 top_k: 4,
                 shards: 2,
                 routed: None,
+                publish_every: 1,
             },
         )
         .expect("server starts"),

@@ -33,6 +33,7 @@ fn stop_under_load_answers_or_cleanly_rejects_every_query() {
             top_k: 3,
             shards: 3,
             routed: None,
+            publish_every: 1,
         },
     )
     .expect("server starts");

@@ -53,6 +53,7 @@ fn query_and_dispatch_path_never_deep_copies_the_model() {
             top_k: 3,
             shards: 3,
             routed: None,
+            publish_every: 1,
         },
     )
     .expect("server starts");

@@ -28,6 +28,7 @@
 use baselines::{DirectAttributePrediction, Eszsl, EszslConfig, GzslOutcome, RandomBaseline};
 use dataset::{
     AttributeSchema, CubLikeDataset, DatasetConfig, GzslWorkload, GzslWorkloadConfig, SplitKind,
+    StreamWorkload, StreamWorkloadConfig,
 };
 use hdc_zsc::{evaluate_gzsl, ModelConfig, Pipeline, SimilarityCalibrator, TrainConfig, ZscModel};
 use serde::{Serialize, Value};
@@ -386,6 +387,7 @@ fn scenario_serve_hot_swap() {
             top_k: 3,
             shards: 3,
             routed: None,
+            publish_every: 1,
         },
     )
     .expect("server starts");
@@ -487,6 +489,7 @@ fn scenario_serve_crash_recovery() {
         top_k: 3,
         shards: 3,
         routed: None,
+        publish_every: 1,
     };
     // The WAL directory is scratch state, not part of the golden.
     let wal_dir = std::env::temp_dir().join(format!("zsc-scenario-crash-{}", std::process::id()));
@@ -803,6 +806,7 @@ fn scenario_open_set_serve() {
             nprobe: 2,
             ..engine::RoutedConfig::default()
         }),
+        publish_every: 1,
     };
     let wal_dir =
         std::env::temp_dir().join(format!("zsc-scenario-open-set-{}", std::process::id()));
@@ -958,6 +962,282 @@ fn scenario_open_set_serve() {
                 ]),
             ),
             ("queries_after_recovery", after_recovery),
+        ]),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Streaming continual-learning scenario
+// ---------------------------------------------------------------------------
+
+/// The streaming continual-learning lifecycle as a golden: a durable server
+/// registers two held-out classes, folds a concept-drifting labeled example
+/// stream into exact per-class counters (`observe`) with batched publication
+/// (`publish_every: 4`), flushes mid-stream, then dies mid-batch with a torn
+/// WAL tail; recovery replays the observation log and the stream resumes to
+/// its end. The golden pins the publication-boundary versions, the stream
+/// and drift counters at every stage, the recovery report, and the served
+/// traces after the final flush — and before anything is pinned, the
+/// recovered server's memory is asserted bit-identical to an uninterrupted
+/// non-durable twin that consumed the same stream, which is the exactness
+/// contract of the counter representation.
+#[test]
+fn scenario_stream_learn() {
+    let mut config = DatasetConfig::tiny(47);
+    config.num_classes = 20;
+    config.images_per_class = 6;
+    config.feature_dim = 48;
+    let data = CubLikeDataset::generate(&config);
+    let pipeline = Pipeline::new(ModelConfig::tiny(), TrainConfig::fast().with_epochs(2));
+    let (_, model) = pipeline.run_returning_model(&data, SplitKind::Zs, 5);
+    let schema = data.schema();
+
+    let split = data.split(SplitKind::Zs);
+    let eval_classes = split.eval_classes();
+    let class_attr = data.class_attribute_matrix(eval_classes);
+    let labels: Vec<String> = eval_classes
+        .iter()
+        .map(|c| format!("class{c:03}"))
+        .collect();
+    let initial = labels.len() - 2;
+    let server_config = ServerConfig {
+        max_batch: 8,
+        max_wait_us: 50,
+        threads: 2,
+        top_k: 3,
+        shards: 3,
+        routed: None,
+        // Batched publication: every 4th observation re-signs the pending
+        // classes into one snapshot swap.
+        publish_every: 4,
+    };
+    let wal_dir = std::env::temp_dir().join(format!("zsc-scenario-stream-{}", std::process::id()));
+    std::fs::remove_dir_all(&wal_dir).ok();
+    let durability = || DurabilityConfig {
+        dir: wal_dir.clone(),
+        sync: SyncPolicy::Always,
+        // Compaction off keeps the replayed-record count (and with it this
+        // golden) a pure function of the observation script.
+        compact_every: 0,
+    };
+    let frozen = model.freeze();
+    let server = QueryServer::start_durable(
+        frozen.clone(),
+        labels[..initial].to_vec(),
+        &class_attr.select_rows(&(0..initial).collect::<Vec<_>>()),
+        schema,
+        server_config,
+        durability(),
+    )
+    .expect("durable server starts");
+
+    // Register the held-out classes (two WAL records), then stream into
+    // them plus one original class: the continual-learning verbs run
+    // against both freshly registered and long-standing prototypes.
+    for (r, label) in labels.iter().enumerate().skip(initial) {
+        server
+            .register_class(label.clone(), class_attr.row(r))
+            .expect("class registers");
+    }
+    let streamed: [&String; 3] = [&labels[initial], &labels[initial + 1], &labels[0]];
+
+    // The concept-drift stream; pure in its config, so the durable run and
+    // the uninterrupted twin consume bit-identical examples.
+    let workload = StreamWorkload::generate(&StreamWorkloadConfig {
+        classes: streamed.len(),
+        feature_dim: 48,
+        steps: 9,
+        examples_per_step: 3,
+        drift: 0.25,
+        noise: 0.05,
+        seed: 4747,
+    });
+    assert_eq!(workload.examples.len(), 27);
+    let observe = |server: &QueryServer, index: usize| -> Option<u64> {
+        let example = &workload.examples[index];
+        server
+            .observe(streamed[example.class], &example.features)
+            .expect("observe accepted")
+            .map(|snapshot| snapshot.version())
+    };
+    let stream_stats_value = |server: &QueryServer| -> Value {
+        let stats = server.stream_stats();
+        object(vec![
+            ("observes", stats.observes.to_value()),
+            ("pending_classes", stats.pending_classes.to_value()),
+            ("since_publish", stats.since_publish.to_value()),
+            ("publishes", stats.publishes.to_value()),
+            ("drift_alarms", stats.drift_alarms.to_value()),
+        ])
+    };
+
+    // Part A: 14 observations (boundaries at 4, 8, 12) and an explicit
+    // flush publishing the 2 left pending.
+    let boundary_versions: Vec<Value> = (0..14)
+        .filter_map(|i| observe(&server, i))
+        .map(|v| v.to_value())
+        .collect();
+    let flushed = server.flush().expect("flush publishes").version();
+
+    // Part B: 5 more observations (boundary at the 4th), leaving one
+    // observation pending — the server dies mid-batch.
+    let mut part_b_boundaries = 0u64;
+    for i in 14..19 {
+        if observe(&server, i).is_some() {
+            part_b_boundaries += 1;
+        }
+    }
+    assert_eq!(part_b_boundaries, 1, "observes 14..18 land one boundary");
+    let stats_before_crash = stream_stats_value(&server);
+    let version_at_crash = server.snapshot().version();
+    drop(server); // the crash: only the WAL directory survives
+
+    // A torn partial record after the last acknowledged one — dying
+    // mid-append. Recovery must flag and ignore it.
+    {
+        use std::io::Write;
+        let mut log = std::fs::OpenOptions::new()
+            .append(true)
+            .open(wal::wal_path(&wal_dir))
+            .expect("open log");
+        log.write_all(&[0x13, 0x37, 0xAB])
+            .expect("append torn bytes");
+    }
+    let (recovered, report) =
+        QueryServer::recover(schema, server_config, durability()).expect("recovers");
+    assert!(report.torn_tail, "the torn tail must be detected");
+    assert_eq!(
+        recovered.snapshot().version(),
+        version_at_crash,
+        "recovery must land on the pre-crash version"
+    );
+    let stats_after_recovery = stream_stats_value(&recovered);
+
+    // Part C: the stream resumes where it left off — the recovered batching
+    // state machine places the next boundaries exactly where an
+    // uninterrupted run would — and a final flush publishes the tail.
+    for i in 19..27 {
+        observe(&recovered, i);
+    }
+    let final_version = recovered.flush().expect("final flush").version();
+
+    // The uninterrupted twin: same model, same registration script, same
+    // stream, same flush positions, no crash. Exact online updates mean the
+    // recovered server's memory is bit-identical to it.
+    let twin = QueryServer::start(
+        frozen,
+        labels[..initial].to_vec(),
+        &class_attr.select_rows(&(0..initial).collect::<Vec<_>>()),
+        server_config,
+    )
+    .expect("twin starts");
+    for (r, label) in labels.iter().enumerate().skip(initial) {
+        twin.register_class(label.clone(), class_attr.row(r))
+            .expect("twin registers");
+    }
+    for i in 0..14 {
+        observe(&twin, i);
+    }
+    twin.flush().expect("twin mid-stream flush");
+    for i in 14..27 {
+        observe(&twin, i);
+    }
+    let twin_final = twin.flush().expect("twin final flush");
+    let recovered_final = recovered.snapshot();
+    assert_eq!(
+        twin_final.version(),
+        final_version,
+        "the twin must publish the same version chronology"
+    );
+    assert!(
+        recovered_final.memory() == twin_final.memory(),
+        "recovered stream must be bit-identical to the uninterrupted twin"
+    );
+    drop(twin);
+
+    // Served traces after the final flush: the model's own eval rows plus
+    // the last step's drifted stream rows.
+    let (eval_x, _) = data.features_and_labels(eval_classes);
+    let mut queries: Vec<Vec<f32>> = (0..4).map(|q| eval_x.row(q * 3).to_vec()).collect();
+    queries.extend(workload.examples[24..27].iter().map(|e| e.features.clone()));
+    let final_queries = Value::Array(
+        queries
+            .iter()
+            .map(|q| {
+                let (version, top) = recovered.query_traced(q).expect("query served");
+                object(vec![("version", version.to_value()), ("top", scored(&top))])
+            })
+            .collect(),
+    );
+    let final_stats = stream_stats_value(&recovered);
+    let drift = recovered.drift_report();
+    let drift_classes = Value::Array(
+        drift
+            .classes
+            .iter()
+            .map(|class| {
+                object(vec![
+                    ("label", class.label.to_value()),
+                    ("publishes", class.publishes.to_value()),
+                    ("last_displacement", class.last_displacement.to_value()),
+                    ("mean_displacement", class.mean_displacement.to_value()),
+                    ("alarms", class.alarms.to_value()),
+                    ("drifted", class.drifted.to_value()),
+                ])
+            })
+            .collect(),
+    );
+    drop(recovered);
+    std::fs::remove_dir_all(&wal_dir).ok();
+
+    check_golden(
+        "stream_learn",
+        &object(vec![
+            ("scenario", "stream_learn".to_value()),
+            ("dataset_seed", 47u64.to_value()),
+            ("pipeline_seed", 5u64.to_value()),
+            ("initial_classes", initial.to_value()),
+            (
+                "streamed_labels",
+                Value::Array(streamed.iter().map(|l| l.to_value()).collect()),
+            ),
+            ("publish_every", 4u64.to_value()),
+            (
+                "stream",
+                object(vec![
+                    ("examples", 27u64.to_value()),
+                    ("boundary_versions", Value::Array(boundary_versions)),
+                    ("flush_version", flushed.to_value()),
+                    ("version_at_crash", version_at_crash.to_value()),
+                    ("stats_before_crash", stats_before_crash),
+                ]),
+            ),
+            (
+                "recovery",
+                object(vec![
+                    ("snapshot_version", report.snapshot_version.to_value()),
+                    ("replayed_records", report.replayed_records.to_value()),
+                    ("torn_tail", report.torn_tail.to_value()),
+                    ("stats_after_recovery", stats_after_recovery),
+                ]),
+            ),
+            (
+                "resumed",
+                object(vec![
+                    ("final_version", final_version.to_value()),
+                    ("twin_bit_identical", true.to_value()),
+                    ("stats", final_stats),
+                ]),
+            ),
+            (
+                "drift",
+                object(vec![
+                    ("publishes", drift.publishes.to_value()),
+                    ("alarms", drift.alarms.to_value()),
+                    ("classes", drift_classes),
+                ]),
+            ),
+            ("queries_after_final_flush", final_queries),
         ]),
     );
 }
